@@ -1,0 +1,153 @@
+//! Fig. 3 — number of apps per IoI count over the generated corpus.
+//!
+//! The paper exercises 2,000 BUSINESS/PRODUCTIVITY apps with 5,000 monkey
+//! events each and reports a log-scale histogram of apps by their number of
+//! IPs-of-interest (152 / 53 / 8 / 3 / 2 apps with 1..5 IoIs), together with
+//! the observation that in ~75% of apps with an IoI the differing stack traces
+//! come from the same Java package.  This experiment regenerates that
+//! histogram over the synthetic corpus; the absolute counts depend on the
+//! corpus seed, but the shape (a steeply decreasing histogram, a minority of
+//! apps having any IoI, same-package traces dominating) reproduces.
+
+use serde::{Deserialize, Serialize};
+
+use bp_appsim::generator::{CorpusConfig, CorpusGenerator};
+use bp_types::Error;
+
+use crate::ioi::{IoiAnalysis, IoiHistogram};
+use crate::report::TextTable;
+use crate::testbed::{Deployment, Testbed};
+
+/// Configuration of the Fig. 3 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Config {
+    /// Corpus generation parameters (use [`CorpusConfig::paper_scale`] for the
+    /// full 2,000-app run).
+    pub corpus: CorpusConfig,
+    /// Monkey events per app (the paper uses 5,000).
+    pub monkey_events: usize,
+    /// Monkey seed.
+    pub monkey_seed: u64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config { corpus: CorpusConfig::small(17, 40), monkey_events: 400, monkey_seed: 11 }
+    }
+}
+
+impl Fig3Config {
+    /// The paper-scale configuration (2,000 apps × 5,000 events).  Expensive.
+    pub fn paper_scale() -> Self {
+        Fig3Config { corpus: CorpusConfig::paper_scale(), monkey_events: 5_000, monkey_seed: 11 }
+    }
+}
+
+/// The Fig. 3 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// The IoI histogram.
+    pub histogram: IoiHistogram,
+    /// Number of apps exercised.
+    pub apps_exercised: usize,
+    /// Total functionality invocations driven by the monkey.
+    pub invocations: usize,
+}
+
+impl Fig3Result {
+    /// Render the histogram as the Fig. 3 series.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 3 — apps per number of IPs-of-interest",
+            &["IoIs per app", "Apps (log-scale axis in the paper)"],
+        );
+        for (iois, apps) in self.histogram.rows() {
+            table.add_row(vec![iois.to_string(), apps.to_string()]);
+        }
+        table.add_row(vec![
+            "apps with >=1 IoI".to_string(),
+            self.histogram.apps_with_ioi.to_string(),
+        ]);
+        table.add_row(vec![
+            "single-package IoI fraction".to_string(),
+            format!("{:.0}%", self.histogram.single_package_fraction() * 100.0),
+        ]);
+        table
+    }
+}
+
+/// Run the Fig. 3 experiment.
+///
+/// # Errors
+///
+/// Propagates testbed failures (apk analysis, kernel errors).
+pub fn run(config: &Fig3Config) -> Result<Fig3Result, Error> {
+    let corpus = CorpusGenerator::generate(&config.corpus);
+    let mut analysis = IoiAnalysis::new();
+    let mut invocations = 0usize;
+
+    for (i, spec) in corpus.iter().enumerate() {
+        // One unenforced testbed per app keeps per-app state isolated, exactly
+        // like the paper's one-emulator-per-app worker model.
+        let mut testbed = Testbed::new(Deployment::None);
+        let app = testbed.install_app(spec.clone())?;
+        let outcomes =
+            testbed.monkey_session(app, config.monkey_events, config.monkey_seed ^ i as u64)?;
+        invocations += outcomes.len();
+        // Use a corpus-wide unique id so per-app summaries do not collide.
+        let corpus_app_id = bp_types::AppId::new(i as u64 + 1);
+        analysis.register_app(corpus_app_id);
+        analysis.record_outcomes(corpus_app_id, &outcomes);
+    }
+
+    Ok(Fig3Result {
+        histogram: analysis.histogram(),
+        apps_exercised: corpus.len(),
+        invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_reproduces_figure_shape() {
+        let config = Fig3Config {
+            corpus: CorpusConfig::small(23, 30),
+            monkey_events: 300,
+            monkey_seed: 5,
+        };
+        let result = run(&config).unwrap();
+        assert_eq!(result.apps_exercised, 60);
+        assert!(result.invocations > 0);
+
+        let histogram = &result.histogram;
+        assert_eq!(histogram.total_apps, 60);
+        // A minority of apps (but more than zero) have at least one IoI.
+        assert!(histogram.apps_with_ioi > 0);
+        assert!(histogram.apps_with_ioi < histogram.total_apps);
+        // The histogram decreases: far more apps have 1 IoI than 3+.
+        let rows = histogram.rows();
+        if rows.len() >= 2 {
+            assert!(rows[0].1 >= rows[rows.len() - 1].1);
+        }
+        // Same-package IoIs dominate, as §VI-B reports (~75%).
+        assert!(histogram.single_package_fraction() > 0.5);
+
+        let table = result.to_table();
+        assert!(table.render().contains("IoIs per app"));
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let config = Fig3Config {
+            corpus: CorpusConfig::small(9, 10),
+            monkey_events: 150,
+            monkey_seed: 3,
+        };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 4 — mean HTTP GET latency across the six stack configurations.
+//!
+//! The experiment wraps [`crate::perf::StressRunner`] and reports one row per
+//! configuration, in the order of the figure's x-axis, together with the two
+//! deltas the paper calls out: the NFQUEUE consumer cost ((ii)→(iii)) and the
+//! `getStackTrace` cost ((iv)→(v)).
+
+use serde::{Deserialize, Serialize};
+
+use bp_netsim::clock::SimDuration;
+use bp_types::Error;
+
+use crate::perf::{ConfigurationResult, StackConfiguration, StressRunner};
+use crate::report::TextTable;
+
+/// Configuration of the Fig. 4 experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig4Config {
+    /// HTTP requests per configuration (the paper: 10,000 iterations × 25 runs).
+    pub iterations: usize,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config { iterations: 200 }
+    }
+}
+
+impl Fig4Config {
+    /// The paper-scale iteration count (expensive but still fast in simulation).
+    pub fn paper_scale() -> Self {
+        Fig4Config { iterations: 10_000 }
+    }
+}
+
+/// The Fig. 4 result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Per-configuration mean latencies, in figure order.
+    pub configurations: Vec<ConfigurationResult>,
+}
+
+impl Fig4Result {
+    /// The mean latency of one configuration.
+    pub fn latency(&self, configuration: StackConfiguration) -> Option<SimDuration> {
+        self.configurations
+            .iter()
+            .find(|r| r.configuration == configuration)
+            .map(|r| r.mean_latency)
+    }
+
+    /// The added cost of the NFQUEUE consumer ((ii) → (iii)); the paper
+    /// reports roughly +1 ms.
+    pub fn nfqueue_overhead(&self) -> Option<SimDuration> {
+        Some(
+            self.latency(StackConfiguration::DefaultTapNfqueue)?
+                .saturating_sub(self.latency(StackConfiguration::DefaultTap)?),
+        )
+    }
+
+    /// The added cost of collecting the stack trace ((iv) → (v)); the paper
+    /// reports roughly +1.6 ms.
+    pub fn get_stack_trace_overhead(&self) -> Option<SimDuration> {
+        Some(
+            self.latency(StackConfiguration::StaticGetStackTapNfqueue)?
+                .saturating_sub(self.latency(StackConfiguration::StaticInjectTapNfqueue)?),
+        )
+    }
+
+    /// Total overhead of the full system over the TAP baseline.
+    pub fn total_overhead(&self) -> Option<SimDuration> {
+        Some(
+            self.latency(StackConfiguration::DynamicTapNfqueue)?
+                .saturating_sub(self.latency(StackConfiguration::DefaultTap)?),
+        )
+    }
+
+    /// Render the figure as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 4 — mean HTTP GET latency per stack configuration",
+            &["configuration", "mean latency (ms)"],
+        );
+        for result in &self.configurations {
+            table.add_row(vec![
+                result.configuration.label().to_string(),
+                format!("{:.3}", result.mean_latency.as_millis_f64()),
+            ]);
+        }
+        if let (Some(nfq), Some(stack), Some(total)) = (
+            self.nfqueue_overhead(),
+            self.get_stack_trace_overhead(),
+            self.total_overhead(),
+        ) {
+            table.add_row(vec![
+                "delta (ii)->(iii) nfqueue".to_string(),
+                format!("+{:.3}", nfq.as_millis_f64()),
+            ]);
+            table.add_row(vec![
+                "delta (iv)->(v) getStackTrace".to_string(),
+                format!("+{:.3}", stack.as_millis_f64()),
+            ]);
+            table.add_row(vec![
+                "total overhead vs default-tap".to_string(),
+                format!("+{:.3}", total.as_millis_f64()),
+            ]);
+        }
+        table
+    }
+}
+
+/// Run the Fig. 4 experiment.
+///
+/// # Errors
+///
+/// Propagates stress-runner failures.
+pub fn run(config: &Fig4Config) -> Result<Fig4Result, Error> {
+    let runner = StressRunner::new(config.iterations);
+    Ok(Fig4Result { configurations: runner.measure_all()? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_and_deltas_match_the_paper() {
+        let result = run(&Fig4Config { iterations: 50 }).unwrap();
+        assert_eq!(result.configurations.len(), 6);
+
+        // The nfqueue consumer adds on the order of a millisecond or less.
+        let nfq = result.nfqueue_overhead().unwrap();
+        assert!(nfq.as_micros() >= 300 && nfq.as_micros() <= 1_500, "nfq overhead {nfq}");
+
+        // getStackTrace dominates the on-device overhead (~1.6 ms).
+        let stack = result.get_stack_trace_overhead().unwrap();
+        assert!(
+            stack.as_micros() >= 1_400 && stack.as_micros() <= 1_900,
+            "getStackTrace overhead {stack}"
+        );
+
+        // Total absolute overhead stays within a few milliseconds —
+        // "negligible compared to hundreds of ms of WAN latency".
+        let total = result.total_overhead().unwrap();
+        assert!(total.as_micros() < 4_000, "total overhead {total}");
+
+        let table = result.to_table();
+        assert!(table.render().contains("dynamic-tap-nfq"));
+        assert!(table.render().contains("getStackTrace"));
+    }
+
+    #[test]
+    fn latencies_increase_monotonically_after_the_interface_switch() {
+        let result = run(&Fig4Config { iterations: 30 }).unwrap();
+        let order = [
+            StackConfiguration::DefaultTap,
+            StackConfiguration::DefaultTapNfqueue,
+            StackConfiguration::StaticInjectTapNfqueue,
+            StackConfiguration::StaticGetStackTapNfqueue,
+            StackConfiguration::DynamicTapNfqueue,
+        ];
+        for pair in order.windows(2) {
+            let a = result.latency(pair[0]).unwrap();
+            let b = result.latency(pair[1]).unwrap();
+            assert!(b >= a, "{:?} should not be faster than {:?}", pair[1], pair[0]);
+        }
+        // And the SLIRP baseline is slower than the TAP baseline.
+        assert!(
+            result.latency(StackConfiguration::DefaultSlirp).unwrap()
+                > result.latency(StackConfiguration::DefaultTap).unwrap()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Connection-scaling experiment (§I / §VI-D claim).
+//!
+//! The paper argues the per-socket cost of collecting and encoding the call
+//! stack amortises over the socket's lifetime and stays negligible "even when
+//! seeking to thousands of connections".  This experiment measures the mean
+//! per-connection on-device cost and the enforcer's throughput accounting as
+//! the number of connections grows.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::Error;
+
+use crate::perf::{connection_scaling, ScalingPoint};
+use crate::report::TextTable;
+
+/// Configuration of the scaling experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    /// The connection counts to measure.
+    pub connection_counts: Vec<usize>,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig { connection_counts: vec![10, 100, 1_000] }
+    }
+}
+
+impl ScalingConfig {
+    /// The paper-scale sweep up to thousands of connections.
+    pub fn paper_scale() -> Self {
+        ScalingConfig { connection_counts: vec![10, 100, 1_000, 5_000, 10_000] }
+    }
+}
+
+/// The scaling experiment result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingResult {
+    /// One measurement per connection count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingResult {
+    /// Whether the per-connection on-device cost stays flat (within
+    /// `tolerance_us` microseconds) across the sweep — the paper's
+    /// amortisation claim.
+    pub fn per_connection_cost_is_flat(&self, tolerance_us: u64) -> bool {
+        let Some(first) = self.points.first() else { return true };
+        self.points.iter().all(|p| {
+            p.mean_on_device_latency
+                .as_micros()
+                .abs_diff(first.mean_on_device_latency.as_micros())
+                <= tolerance_us
+        })
+    }
+
+    /// Render as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Connection scaling — per-connection overhead under full BorderPatrol",
+            &["connections", "mean on-device latency (ms)", "mean packets delivered"],
+        );
+        for point in &self.points {
+            table.add_row(vec![
+                point.connections.to_string(),
+                format!("{:.3}", point.mean_on_device_latency.as_millis_f64()),
+                format!("{:.2}", point.mean_packets),
+            ]);
+        }
+        table
+    }
+}
+
+/// Run the scaling experiment.
+///
+/// # Errors
+///
+/// Propagates testbed failures.
+pub fn run(config: &ScalingConfig) -> Result<ScalingResult, Error> {
+    Ok(ScalingResult { points: connection_scaling(&config.connection_counts)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_stays_flat_as_connections_grow() {
+        let result = run(&ScalingConfig { connection_counts: vec![5, 50, 200] }).unwrap();
+        assert_eq!(result.points.len(), 3);
+        assert!(result.per_connection_cost_is_flat(100));
+        // Every connection delivered its packet(s).
+        assert!(result.points.iter().all(|p| p.mean_packets >= 1.0));
+        assert!(result.to_table().render().contains("connections"));
+    }
+}

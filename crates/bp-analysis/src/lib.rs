@@ -1,0 +1,30 @@
+//! Evaluation harness reproducing every table and figure of the BorderPatrol
+//! paper.
+//!
+//! The experiments are organised around a [`testbed::Testbed`] that wires a
+//! simulated BYOD device, the enterprise network, and a deployment (full
+//! BorderPatrol, a pure on-network baseline, or nothing) into the packet path
+//! described by Figure 1 of the paper.  On top of the testbed:
+//!
+//! * [`ioi`] computes the "IPs of interest" statistics behind **Fig. 3** and
+//!   the same-package / cross-package breakdown of §VI-B;
+//! * [`perf`] runs the six stack configurations of the **Fig. 4** latency
+//!   sweep plus the connection-scaling measurement;
+//! * [`experiments`] packages each paper result (Fig. 3, Fig. 4, the 1,050-
+//!   library validation, the Dropbox/Box and Facebook-SDK case studies, the
+//!   hash-collision analysis and the ablations) as a runnable experiment that
+//!   prints the same rows/series the paper reports;
+//! * [`report`] renders results as plain-text tables for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod ioi;
+pub mod perf;
+pub mod report;
+pub mod testbed;
+
+pub use ioi::{IoiAnalysis, IoiHistogram};
+pub use report::TextTable;
+pub use testbed::{Deployment, RunOutcome, Testbed};

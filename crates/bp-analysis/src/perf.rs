@@ -1,0 +1,321 @@
+//! Performance configurations and the stress-test runner (Fig. 4, §VI-D).
+//!
+//! The paper measures the average latency of an HTTP GET request for a
+//! 297-byte static page across six incrementally instrumented configurations
+//! of the stack, from the plain emulator with user-mode (SLIRP) networking to
+//! the full BorderPatrol deployment.  [`StackConfiguration`] enumerates those
+//! configurations, and [`StressRunner`] replays the stress-test app against
+//! each of them, accumulating simulated latency exactly where the real system
+//! pays it (interface traversal, NFQUEUE round trips, hook dispatch,
+//! `getStackTrace`, context encoding, `setsockopt`).
+
+use serde::{Deserialize, Serialize};
+
+use bp_appsim::generator::CorpusGenerator;
+use bp_core::context::{ContextManager, SharedContextManager};
+use bp_core::enforcer::EnforcerConfig;
+use bp_core::policy::PolicySet;
+use bp_device::hooks::{GetStackOnlyHook, StaticInjectHook};
+use bp_netsim::clock::{LatencyModel, SimDuration};
+use bp_netsim::iface::InterfaceMode;
+use bp_types::Error;
+
+use crate::testbed::{Deployment, Testbed};
+
+/// The six stack configurations of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StackConfiguration {
+    /// (i) Default emulator with SLIRP user-mode networking.
+    DefaultSlirp,
+    /// (ii) Default emulator over a TAP interface.
+    DefaultTap,
+    /// (iii) TAP plus iptables redirection into an NFQUEUE consumed by a
+    /// pass-through (empty policy) consumer.
+    DefaultTapNfqueue,
+    /// (iv) Patched kernel + hooking framework injecting a static string into
+    /// `IP_OPTIONS` (no stack collection).
+    StaticInjectTapNfqueue,
+    /// (v) As (iv) but the hook also performs the `getStackTrace` call.
+    StaticGetStackTapNfqueue,
+    /// (vi) The full BorderPatrol prototype: dynamic stack collection,
+    /// encoding and injection.
+    DynamicTapNfqueue,
+}
+
+impl StackConfiguration {
+    /// All configurations in the order Fig. 4 presents them.
+    pub const ALL: [StackConfiguration; 6] = [
+        StackConfiguration::DefaultSlirp,
+        StackConfiguration::DefaultTap,
+        StackConfiguration::DefaultTapNfqueue,
+        StackConfiguration::StaticInjectTapNfqueue,
+        StackConfiguration::StaticGetStackTapNfqueue,
+        StackConfiguration::DynamicTapNfqueue,
+    ];
+
+    /// The label used on the Fig. 4 x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            StackConfiguration::DefaultSlirp => "default-SLIRP",
+            StackConfiguration::DefaultTap => "default-tap",
+            StackConfiguration::DefaultTapNfqueue => "default-tap-nfq",
+            StackConfiguration::StaticInjectTapNfqueue => "static-inject-tap-nfq",
+            StackConfiguration::StaticGetStackTapNfqueue => "static-getStack-tap-nfq",
+            StackConfiguration::DynamicTapNfqueue => "dynamic-tap-nfq",
+        }
+    }
+
+    /// The interface mode this configuration uses.
+    pub fn interface_mode(self) -> InterfaceMode {
+        match self {
+            StackConfiguration::DefaultSlirp => InterfaceMode::Slirp,
+            _ => InterfaceMode::Tap,
+        }
+    }
+
+    /// Whether packets are redirected into an NFQUEUE in this configuration.
+    pub fn uses_nfqueue(self) -> bool {
+        !matches!(self, StackConfiguration::DefaultSlirp | StackConfiguration::DefaultTap)
+    }
+}
+
+/// The measured result of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigurationResult {
+    /// The configuration measured.
+    pub configuration: StackConfiguration,
+    /// Number of HTTP requests issued.
+    pub requests: u64,
+    /// Mean simulated latency per request.
+    pub mean_latency: SimDuration,
+}
+
+/// The stress-test runner.
+#[derive(Debug, Clone)]
+pub struct StressRunner {
+    /// Requests per configuration (the paper issues 10,000 per run and repeats
+    /// 25 times; the simulation default keeps runtimes short while remaining
+    /// statistically meaningless-free since the model is deterministic).
+    pub iterations: usize,
+    /// The latency model (shared by device and network).
+    pub latency: LatencyModel,
+}
+
+impl Default for StressRunner {
+    fn default() -> Self {
+        StressRunner { iterations: 200, latency: LatencyModel::default() }
+    }
+}
+
+impl StressRunner {
+    /// Create a runner issuing `iterations` requests per configuration.
+    pub fn new(iterations: usize) -> Self {
+        StressRunner { iterations, ..StressRunner::default() }
+    }
+
+    /// Build the testbed for one configuration.
+    fn build_testbed(&self, configuration: StackConfiguration) -> Result<(Testbed, bp_types::AppId), Error> {
+        let deployment = match configuration {
+            StackConfiguration::DefaultSlirp | StackConfiguration::DefaultTap => Deployment::None,
+            // (iii)-(v) use an empty-policy BorderPatrol network side; the
+            // difference is on the device.
+            _ => Deployment::BorderPatrol {
+                policies: PolicySet::new(),
+                config: EnforcerConfig::permissive(),
+            },
+        };
+        let mut testbed =
+            Testbed::with_options(deployment, configuration.interface_mode(), self.latency.clone());
+
+        let spec = CorpusGenerator::stress_test_app();
+        match configuration {
+            StackConfiguration::StaticInjectTapNfqueue => {
+                // Remove nothing: the BorderPatrol deployment installed the
+                // Context Manager hook; configurations (iv)/(v) instead want
+                // only the static hooks, so rebuild the device hook set by
+                // constructing a dedicated testbed without BorderPatrol's
+                // device side.  Simplest: use a None-device deployment and add
+                // the network queue manually is equivalent; here we just add
+                // the static hook in addition, which dominates the outcome
+                // because the Context Manager is not registered for the app
+                // (it never injects).
+                testbed.device.install_hook(Box::new(StaticInjectHook::new(vec![0xAB; 12])));
+            }
+            StackConfiguration::StaticGetStackTapNfqueue => {
+                testbed.device.install_hook(Box::new(GetStackOnlyHook::new(vec![0xAB; 12])));
+            }
+            _ => {}
+        }
+
+        let app = match configuration {
+            StackConfiguration::DynamicTapNfqueue => testbed.install_app(spec)?,
+            _ => {
+                // For non-dynamic configurations the Context Manager must not
+                // inject even if deployed; installing the app without
+                // registering it with the Context Manager achieves that, so
+                // bypass `install_app`'s registration by installing a spec
+                // whose app the manager does not know.  `install_app` always
+                // registers, so for (iii)-(v) we install through the device
+                // directly and register the endpoint by hand.
+                for host in spec.endpoint_hosts() {
+                    let ip = std::net::Ipv4Addr::new(203, 0, 113, 7);
+                    testbed.network.register_server(host, ip, 297);
+                }
+                testbed.device.install_app(spec, bp_device::device::Profile::Work)
+            }
+        };
+        Ok((testbed, app))
+    }
+
+    /// Measure one configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates testbed construction or execution failures.
+    pub fn measure(&self, configuration: StackConfiguration) -> Result<ConfigurationResult, Error> {
+        let (mut testbed, app) = self.build_testbed(configuration)?;
+        // Resolve the stress endpoint: either through install_app's table or
+        // the manual registration above.
+        let endpoint = testbed
+            .host_address("stress.local")
+            .map(|ip| bp_netsim::addr::Endpoint::from_ip(ip, 443))
+            .unwrap_or_else(|| bp_netsim::addr::Endpoint::new([203, 0, 113, 7], 443));
+
+        let mut total = SimDuration::ZERO;
+        let mut requests = 0u64;
+        for _ in 0..self.iterations {
+            let invocation = testbed.device.invoke_functionality(app, "http-get", endpoint)?;
+            let mut request_latency = invocation.on_device_latency;
+            for packet in invocation.packets {
+                if let Some(latency) =
+                    testbed.network.transmit(testbed.device.id(), packet).latency()
+                {
+                    request_latency += latency;
+                }
+            }
+            testbed.device.close_socket(invocation.socket);
+            total += request_latency;
+            requests += 1;
+        }
+        let mean_latency = SimDuration::from_micros(total.as_micros() / requests.max(1));
+        Ok(ConfigurationResult { configuration, requests, mean_latency })
+    }
+
+    /// Measure every configuration in Fig. 4 order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn measure_all(&self) -> Result<Vec<ConfigurationResult>, Error> {
+        StackConfiguration::ALL.iter().map(|c| self.measure(*c)).collect()
+    }
+}
+
+/// Connection-scaling measurement: mean per-connection setup cost when an app
+/// opens `connections` sockets under the full BorderPatrol deployment.  The
+/// expensive work (stack collection + encoding) happens once per socket and
+/// amortises over that socket's packets, which is the paper's argument for the
+/// overhead being negligible at scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of connections opened.
+    pub connections: usize,
+    /// Mean on-device latency per connection.
+    pub mean_on_device_latency: SimDuration,
+    /// Mean number of packets delivered per connection.
+    pub mean_packets: f64,
+}
+
+/// Run the connection-scaling measurement for the given connection counts.
+///
+/// # Errors
+///
+/// Propagates testbed failures.
+pub fn connection_scaling(counts: &[usize]) -> Result<Vec<ScalingPoint>, Error> {
+    let mut points = Vec::with_capacity(counts.len());
+    for &connections in counts {
+        let mut testbed = Testbed::new(Deployment::BorderPatrol {
+            policies: PolicySet::new(),
+            config: EnforcerConfig::default(),
+        });
+        let app = testbed.install_app(CorpusGenerator::stress_test_app())?;
+        let mut total_latency = SimDuration::ZERO;
+        let mut total_packets = 0usize;
+        for _ in 0..connections {
+            let outcome = testbed.run(app, "http-get")?;
+            total_latency += outcome.on_device_latency;
+            total_packets += outcome.packets_delivered;
+        }
+        points.push(ScalingPoint {
+            connections,
+            mean_on_device_latency: SimDuration::from_micros(
+                total_latency.as_micros() / connections.max(1) as u64,
+            ),
+            mean_packets: total_packets as f64 / connections.max(1) as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// An explicit mention of the Context Manager type so the dynamic
+/// configuration's dependency is visible to readers of this module.
+#[allow(dead_code)]
+fn _uses_context_manager(_: &ContextManager, _: &SharedContextManager) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configuration_metadata() {
+        assert_eq!(StackConfiguration::ALL.len(), 6);
+        assert_eq!(StackConfiguration::DefaultSlirp.interface_mode(), InterfaceMode::Slirp);
+        assert_eq!(StackConfiguration::DynamicTapNfqueue.interface_mode(), InterfaceMode::Tap);
+        assert!(!StackConfiguration::DefaultTap.uses_nfqueue());
+        assert!(StackConfiguration::DynamicTapNfqueue.uses_nfqueue());
+        assert_eq!(StackConfiguration::DefaultSlirp.label(), "default-SLIRP");
+    }
+
+    #[test]
+    fn latency_ordering_matches_figure_4() {
+        let runner = StressRunner::new(25);
+        let results = runner.measure_all().unwrap();
+        let by_config: std::collections::BTreeMap<_, _> =
+            results.iter().map(|r| (r.configuration, r.mean_latency)).collect();
+
+        let slirp = by_config[&StackConfiguration::DefaultSlirp];
+        let tap = by_config[&StackConfiguration::DefaultTap];
+        let nfq = by_config[&StackConfiguration::DefaultTapNfqueue];
+        let static_inject = by_config[&StackConfiguration::StaticInjectTapNfqueue];
+        let get_stack = by_config[&StackConfiguration::StaticGetStackTapNfqueue];
+        let dynamic = by_config[&StackConfiguration::DynamicTapNfqueue];
+
+        // SLIRP is slower than TAP (the paper's (i) vs (ii)).
+        assert!(slirp > tap);
+        // Adding the NFQUEUE consumer costs measurably more ((ii) vs (iii)).
+        assert!(nfq > tap);
+        // Hook + static inject adds a little ((iii) vs (iv)).
+        assert!(static_inject >= nfq);
+        // getStackTrace is the dominant added cost ((iv) vs (v)).
+        assert!(get_stack.as_micros() - static_inject.as_micros() >= 1_000);
+        // The full dynamic pipeline is the most expensive configuration.
+        assert!(dynamic >= get_stack);
+        // Absolute overhead over the TAP baseline stays below ~2.5 ms + nfq cost,
+        // mirroring the paper's "less than 2.5ms" claim for the added machinery.
+        assert!(dynamic.saturating_sub(nfq).as_micros() < 2_500);
+    }
+
+    #[test]
+    fn scaling_amortises_per_connection_cost() {
+        let points = connection_scaling(&[5, 20]).unwrap();
+        assert_eq!(points.len(), 2);
+        // Per-connection on-device cost is constant (it does not grow with the
+        // number of connections).
+        let diff = points[1]
+            .mean_on_device_latency
+            .as_micros()
+            .abs_diff(points[0].mean_on_device_latency.as_micros());
+        assert!(diff < 100, "per-connection cost should stay flat, diff {diff}us");
+        assert!(points.iter().all(|p| p.mean_packets >= 1.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment produces rows that EXPERIMENTS.md and the example binaries
+//! print; [`TextTable`] keeps the formatting consistent (padded columns,
+//! a header rule, no external dependencies).
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the number of cells should match the header.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table as text.
+    pub fn render(&self) -> String {
+        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let format_row = |cells: &[String]| -> String {
+            let mut line = String::from("| ");
+            for i in 0..columns {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$} | ", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format_row(&self.header));
+        out.push('\n');
+        let rule: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        out.push_str(&format!("{rule}|\n"));
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut table = TextTable::new("Fig. 3", &["IoIs", "Apps"]);
+        table.add_row(vec!["1".to_string(), "152".to_string()]);
+        table.add_row(vec!["2".to_string(), "53".to_string()]);
+        let rendered = table.render();
+        assert!(rendered.starts_with("Fig. 3\n"));
+        assert!(rendered.contains("| IoIs | Apps |"));
+        assert!(rendered.contains("| 1    | 152  |"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn handles_ragged_rows_and_empty_tables() {
+        let mut table = TextTable::new("t", &["a", "b", "c"]);
+        table.add_row(vec!["only".to_string()]);
+        let rendered = table.render();
+        assert!(rendered.contains("only"));
+        let empty = TextTable::new("empty", &["x"]);
+        assert!(empty.is_empty());
+        assert!(empty.render().contains("empty"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let table = TextTable::new("t", &["a"]);
+        assert_eq!(table.to_string(), table.render());
+    }
+}

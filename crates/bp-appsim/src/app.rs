@@ -1,0 +1,366 @@
+//! The synthetic application model.
+//!
+//! An [`AppSpec`] describes one installable application: its main package,
+//! Play-store category, bundled libraries, functionalities and build options
+//! (debug info stripped or not, multi-dex packaging).  It can build the actual
+//! apk container ([`bp_dex::ApkFile`]) the Offline Analyzer consumes, and it
+//! provides the deterministic line-number assignment the simulated runtime
+//! uses to stamp `getStackTrace`-style frames.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_dex::{ApkBuilder, ApkFile, DexBuilder, MAX_METHODS_PER_DEX};
+use bp_types::MethodSignature;
+
+use crate::functionality::Functionality;
+
+/// Google Play categories the evaluation draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// The BUSINESS category.
+    Business,
+    /// The PRODUCTIVITY category.
+    Productivity,
+}
+
+impl AppCategory {
+    /// The category name as it appears in the Play Store.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppCategory::Business => "BUSINESS",
+            AppCategory::Productivity => "PRODUCTIVITY",
+        }
+    }
+}
+
+/// Specification of one synthetic application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Reverse-DNS package name, e.g. `com.dropbox.android`.
+    pub package_name: String,
+    /// Main Java package prefix with slashes, e.g. `com/dropbox/android`.
+    pub main_package: String,
+    /// Play Store category.
+    pub category: AppCategory,
+    /// Download count (popularity proxy, as in the PlayDrone ranking).
+    pub downloads: u64,
+    /// Package prefixes of bundled third-party libraries.
+    pub libraries: Vec<String>,
+    /// The app's functionalities.
+    pub functionalities: Vec<Functionality>,
+    /// Whether debug (line-number) information is retained in the build.
+    pub debug_info: bool,
+    /// Whether the app is packaged as multi-dex.
+    pub multidex: bool,
+    /// Extra filler methods per class to give the dex realistic bulk.
+    pub filler_methods: u32,
+}
+
+impl AppSpec {
+    /// Create a minimal app spec with no functionalities.
+    pub fn new(
+        package_name: impl Into<String>,
+        category: AppCategory,
+        downloads: u64,
+    ) -> Self {
+        let package_name = package_name.into();
+        let main_package = package_name.replace('.', "/");
+        AppSpec {
+            package_name,
+            main_package,
+            category,
+            downloads,
+            libraries: Vec::new(),
+            functionalities: Vec::new(),
+            debug_info: true,
+            multidex: false,
+            filler_methods: 4,
+        }
+    }
+
+    /// Add a functionality (builder style).
+    pub fn with_functionality(mut self, functionality: Functionality) -> Self {
+        self.functionalities.push(functionality);
+        self
+    }
+
+    /// Record that the app bundles the library with `package_prefix`.
+    pub fn with_library(mut self, package_prefix: impl Into<String>) -> Self {
+        self.libraries.push(package_prefix.into());
+        self
+    }
+
+    /// Strip debug information from the build (builder style).
+    pub fn without_debug_info(mut self) -> Self {
+        self.debug_info = false;
+        self
+    }
+
+    /// Package the app as multi-dex (builder style).
+    pub fn as_multidex(mut self) -> Self {
+        self.multidex = true;
+        self
+    }
+
+    /// Look up a functionality by name.
+    pub fn functionality(&self, name: &str) -> Option<&Functionality> {
+        self.functionalities.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all functionalities.
+    pub fn functionality_names(&self) -> Vec<&str> {
+        self.functionalities.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// All DNS endpoints this app talks to (deduplicated, sorted).
+    pub fn endpoint_hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> =
+            self.functionalities.iter().map(|f| f.endpoint_host.clone()).collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Every distinct method signature appearing in any call chain, sorted.
+    pub fn all_signatures(&self) -> Vec<MethodSignature> {
+        let mut sigs: Vec<MethodSignature> = self
+            .functionalities
+            .iter()
+            .flat_map(|f| f.call_chain.iter().cloned())
+            .collect();
+        sigs.sort();
+        sigs.dedup();
+        sigs
+    }
+
+    /// Deterministic source-line assignment for a signature.
+    ///
+    /// Each distinct `(package, class)` pair receives a block of lines; each
+    /// method within the class occupies a 50-line window in sorted-signature
+    /// order.  [`Self::build_apk`] writes exactly these windows into the dex
+    /// debug tables, and [`Self::line_for`] returns a representative line
+    /// inside the window — so a simulated `getStackTrace` frame stamped with
+    /// `line_for(sig)` resolves back to `sig` through the method table even
+    /// when the method name is overloaded.
+    pub fn line_windows(&self) -> BTreeMap<MethodSignature, (u32, u32)> {
+        let mut windows = BTreeMap::new();
+        let mut per_class_counter: BTreeMap<String, u32> = BTreeMap::new();
+        for sig in self.all_signatures() {
+            let class_key = sig.qualified_class();
+            let slot = per_class_counter.entry(class_key).or_insert(0);
+            let line_start = 10 + *slot * 50;
+            windows.insert(sig, (line_start, 40));
+            *slot += 1;
+        }
+        windows
+    }
+
+    /// A representative source line inside the window of `signature`, if the
+    /// signature belongs to this app and the build retains debug info.
+    pub fn line_for(&self, signature: &MethodSignature) -> Option<u32> {
+        if !self.debug_info {
+            return None;
+        }
+        self.line_windows().get(signature).map(|(start, _)| start + 3)
+    }
+
+    /// Build the apk container for this app.
+    ///
+    /// The dex contains every call-chain method (with or without debug info
+    /// according to [`Self::debug_info`]) plus `filler_methods` inert methods
+    /// per class for bulk.  Multi-dex apps split their methods across two dex
+    /// files.
+    pub fn build_apk(&self) -> ApkFile {
+        let windows = self.line_windows();
+        let signatures = self.all_signatures();
+
+        let mut builders = vec![DexBuilder::new()];
+        if self.multidex {
+            builders.push(DexBuilder::new());
+        }
+        let split = builders.len();
+
+        for (i, sig) in signatures.iter().enumerate() {
+            let builder = &mut builders[i % split];
+            if self.debug_info {
+                let (start, span) = windows[sig];
+                builder.add_signature(sig, start, span);
+            } else {
+                builder.add_method_stripped(
+                    sig.package(),
+                    sig.class_name(),
+                    sig.method_name(),
+                    sig.params(),
+                    sig.return_type(),
+                );
+            }
+            // Filler methods to give classes realistic size.
+            for k in 0..self.filler_methods {
+                let name = format!("helper{k}");
+                if self.debug_info {
+                    builders[i % split].add_method(
+                        sig.package(),
+                        sig.class_name(),
+                        &name,
+                        "",
+                        "V",
+                        5_000 + k * 10,
+                        5,
+                    );
+                } else {
+                    builders[i % split].add_method_stripped(
+                        sig.package(),
+                        sig.class_name(),
+                        &name,
+                        "",
+                        "V",
+                    );
+                }
+            }
+        }
+
+        debug_assert!(
+            builders.iter().all(|b| b.method_count() <= MAX_METHODS_PER_DEX),
+            "synthetic apps stay within the per-dex method limit"
+        );
+
+        let mut apk = ApkBuilder::new(self.package_name.clone())
+            .version(format!("{}.0", 1 + self.downloads % 9));
+        for builder in builders {
+            apk = apk.add_dex(builder.build());
+        }
+        apk.add_entry(
+            "res/values/strings.xml",
+            format!("<resources><string name=\"app_name\">{}</string></resources>", self.package_name)
+                .into_bytes(),
+        )
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functionality::{CallChainBuilder, FunctionalityKind};
+    use bp_dex::MethodTable;
+
+    fn sample_app() -> AppSpec {
+        let upload_chain = CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onUploadClicked")
+            .then("com/cloudy/app/tasks", "UploadTask", "run", "", "V")
+            .build();
+        let download_chain = CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onOpenClicked")
+            .then("com/cloudy/app/tasks", "DownloadTask", "run", "", "V")
+            .build();
+        AppSpec::new("com.cloudy.app", AppCategory::Productivity, 1_000_000)
+            .with_library("com/flurry")
+            .with_functionality(Functionality::new(
+                "upload",
+                FunctionalityKind::Upload,
+                "api.cloudy.example",
+                upload_chain,
+                100_000,
+            ))
+            .with_functionality(Functionality::new(
+                "download",
+                FunctionalityKind::Download,
+                "api.cloudy.example",
+                download_chain,
+                200,
+            ))
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let app = sample_app();
+        assert_eq!(app.main_package, "com/cloudy/app");
+        assert_eq!(app.category.name(), "PRODUCTIVITY");
+        assert!(app.functionality("upload").is_some());
+        assert!(app.functionality("missing").is_none());
+        assert_eq!(app.functionality_names().len(), 2);
+        assert_eq!(app.endpoint_hosts(), vec!["api.cloudy.example".to_string()]);
+        assert_eq!(app.libraries, vec!["com/flurry".to_string()]);
+    }
+
+    #[test]
+    fn all_signatures_sorted_dedup() {
+        let app = sample_app();
+        let sigs = app.all_signatures();
+        assert_eq!(sigs.len(), 4);
+        let mut sorted = sigs.clone();
+        sorted.sort();
+        assert_eq!(sigs, sorted);
+    }
+
+    #[test]
+    fn line_windows_are_disjoint_within_a_class() {
+        let app = sample_app();
+        let windows = app.line_windows();
+        // Both MainActivity handlers share a class and must get distinct windows.
+        let handlers: Vec<_> = windows
+            .iter()
+            .filter(|(sig, _)| sig.class_name() == "MainActivity")
+            .collect();
+        assert_eq!(handlers.len(), 2);
+        let (a, b) = (handlers[0].1, handlers[1].1);
+        let a_range = a.0..=a.0 + a.1;
+        assert!(!a_range.contains(&b.0), "windows overlap: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn line_for_resolves_through_method_table() {
+        let app = sample_app();
+        let apk = app.build_apk();
+        let table = MethodTable::from_apk(&apk).unwrap();
+        for sig in app.all_signatures() {
+            let line = app.line_for(&sig).unwrap();
+            let idx = table
+                .resolve_frame(&sig.qualified_class(), sig.method_name(), Some(line))
+                .unwrap_or_else(|| panic!("frame for {sig} should resolve"));
+            assert_eq!(table.signature_at(idx), Some(&sig));
+        }
+    }
+
+    #[test]
+    fn stripped_build_has_no_lines() {
+        let app = sample_app().without_debug_info();
+        let sig = &app.all_signatures()[0];
+        assert_eq!(app.line_for(sig), None);
+        let apk = app.build_apk();
+        let table = MethodTable::from_apk(&apk).unwrap();
+        assert!(!table.has_debug_info());
+    }
+
+    #[test]
+    fn multidex_build_produces_two_dex_files() {
+        let app = sample_app().as_multidex();
+        let apk = app.build_apk();
+        assert!(apk.is_multidex());
+        assert_eq!(apk.dex_entry_names().len(), 2);
+        // The method table still contains every chain signature.
+        let table = MethodTable::from_apk(&apk).unwrap();
+        for sig in app.all_signatures() {
+            assert!(table.index_of(&sig).is_some(), "missing {sig}");
+        }
+    }
+
+    #[test]
+    fn apk_contains_filler_bulk() {
+        let app = sample_app();
+        let apk = app.build_apk();
+        let total = apk.total_method_count().unwrap();
+        assert!(total > app.all_signatures().len());
+    }
+
+    #[test]
+    fn apk_hash_distinguishes_apps() {
+        let a = sample_app().build_apk();
+        let mut spec_b = sample_app();
+        spec_b.package_name = "com.other.app".to_string();
+        let b = spec_b.build_apk();
+        assert_ne!(a.hash(), b.hash());
+        // Rebuilding the same spec yields the same hash (determinism).
+        assert_eq!(a.hash(), sample_app().build_apk().hash());
+    }
+}

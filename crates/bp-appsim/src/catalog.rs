@@ -1,0 +1,321 @@
+//! The third-party library catalog.
+//!
+//! The validation experiment (paper §VI-B-1) relies on a list of 1,050
+//! third-party libraries known to exfiltrate sensitive information (from Li et
+//! al.'s SANER 2016 study), dominated by analytics and advertising SDKs.  The
+//! catalog here contains a small set of well-known named libraries (the ones
+//! that appear in the paper's case studies and discussion) plus procedurally
+//! generated entries to reach the same list size, so corpus generation and the
+//! blacklist policy have realistic diversity to draw from.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::MethodSignature;
+
+/// Number of exfiltrating libraries on the validation blacklist (Li et al.).
+pub const EXFILTRATING_LIBRARY_COUNT: usize = 1_050;
+
+/// Functional category of a third-party library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LibraryCategory {
+    /// Advertisement serving SDKs.
+    Advertising,
+    /// Usage analytics and telemetry SDKs.
+    Analytics,
+    /// User/behaviour tracking SDKs.
+    Tracking,
+    /// Crash reporting SDKs.
+    CrashReporting,
+    /// Social network SDKs (identity + graph APIs).
+    SocialSdk,
+    /// HTTP / networking client libraries.
+    Networking,
+    /// Cloud storage client SDKs.
+    CloudStorage,
+    /// Payment processing SDKs.
+    Payments,
+    /// General utility libraries.
+    Utility,
+}
+
+impl LibraryCategory {
+    /// Whether libraries of this category are typically flagged as
+    /// exfiltrating in Li et al.'s list.
+    pub fn typically_exfiltrating(self) -> bool {
+        matches!(
+            self,
+            LibraryCategory::Advertising
+                | LibraryCategory::Analytics
+                | LibraryCategory::Tracking
+                | LibraryCategory::CrashReporting
+        )
+    }
+}
+
+/// Metadata about one third-party library.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LibraryInfo {
+    /// Human-readable name, e.g. `Flurry Analytics`.
+    pub name: String,
+    /// Java package prefix with slash separators, e.g. `com/flurry`.
+    pub package_prefix: String,
+    /// Functional category.
+    pub category: LibraryCategory,
+    /// Whether the library appears on the exfiltration blacklist.
+    pub exfiltrating: bool,
+    /// Relative popularity weight used by the corpus generator (higher =
+    /// included in more apps).
+    pub popularity: u32,
+    /// DNS name of the backend endpoint the library reports to.
+    pub endpoint_host: String,
+}
+
+/// The full library catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LibraryCatalog {
+    libraries: Vec<LibraryInfo>,
+}
+
+impl LibraryCatalog {
+    /// Build the built-in catalog: the named libraries from the paper's case
+    /// studies and related work, padded with procedurally generated entries so
+    /// that exactly [`EXFILTRATING_LIBRARY_COUNT`] libraries are flagged as
+    /// exfiltrating.
+    pub fn builtin() -> Self {
+        let mut libraries = named_libraries();
+        let named_exfiltrating = libraries.iter().filter(|l| l.exfiltrating).count();
+        let needed = EXFILTRATING_LIBRARY_COUNT.saturating_sub(named_exfiltrating);
+
+        // Procedural exfiltrating libraries: synthetic analytics/ads vendors.
+        for i in 0..needed {
+            let category = match i % 4 {
+                0 => LibraryCategory::Advertising,
+                1 => LibraryCategory::Analytics,
+                2 => LibraryCategory::Tracking,
+                _ => LibraryCategory::CrashReporting,
+            };
+            libraries.push(LibraryInfo {
+                name: format!("Synthetic SDK {i:04}"),
+                package_prefix: format!("com/sdkvendor{i:04}/sdk"),
+                category,
+                exfiltrating: true,
+                popularity: 1 + (i as u32 % 20),
+                endpoint_host: format!("telemetry{i:04}.sdkvendor.example"),
+            });
+        }
+
+        // A spread of benign utility libraries.
+        for i in 0..200 {
+            libraries.push(LibraryInfo {
+                name: format!("Utility Library {i:03}"),
+                package_prefix: format!("org/oss/util{i:03}"),
+                category: LibraryCategory::Utility,
+                exfiltrating: false,
+                popularity: 1 + (i as u32 % 10),
+                endpoint_host: String::new(),
+            });
+        }
+
+        LibraryCatalog { libraries }
+    }
+
+    /// An empty catalog (useful for tests).
+    pub fn empty() -> Self {
+        LibraryCatalog { libraries: Vec::new() }
+    }
+
+    /// Add a library to the catalog.
+    pub fn push(&mut self, library: LibraryInfo) {
+        self.libraries.push(library);
+    }
+
+    /// Number of libraries in the catalog.
+    pub fn len(&self) -> usize {
+        self.libraries.len()
+    }
+
+    /// True if the catalog has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.libraries.is_empty()
+    }
+
+    /// Iterate over all libraries.
+    pub fn iter(&self) -> impl Iterator<Item = &LibraryInfo> {
+        self.libraries.iter()
+    }
+
+    /// All libraries flagged as exfiltrating (the validation blacklist).
+    pub fn exfiltrating(&self) -> impl Iterator<Item = &LibraryInfo> {
+        self.libraries.iter().filter(|l| l.exfiltrating)
+    }
+
+    /// Package prefixes of all exfiltrating libraries.
+    pub fn exfiltrating_prefixes(&self) -> Vec<String> {
+        self.exfiltrating().map(|l| l.package_prefix.clone()).collect()
+    }
+
+    /// Libraries of a given category.
+    pub fn by_category(&self, category: LibraryCategory) -> Vec<&LibraryInfo> {
+        self.libraries.iter().filter(|l| l.category == category).collect()
+    }
+
+    /// Find the library whose package prefix matches `prefix` exactly.
+    pub fn by_prefix(&self, prefix: &str) -> Option<&LibraryInfo> {
+        self.libraries.iter().find(|l| l.package_prefix == prefix)
+    }
+
+    /// Find the library owning `signature` (whose package prefix is a prefix
+    /// of the signature's package on a segment boundary), if any.
+    pub fn owner_of(&self, signature: &MethodSignature) -> Option<&LibraryInfo> {
+        self.libraries.iter().find(|l| {
+            let pkg = signature.package();
+            pkg == l.package_prefix
+                || (pkg.starts_with(&l.package_prefix)
+                    && pkg.as_bytes().get(l.package_prefix.len()) == Some(&b'/'))
+        })
+    }
+
+    /// The `n` most popular libraries in descending popularity order.
+    pub fn most_popular(&self, n: usize) -> Vec<&LibraryInfo> {
+        let mut sorted: Vec<&LibraryInfo> = self.libraries.iter().collect();
+        sorted.sort_by(|a, b| b.popularity.cmp(&a.popularity).then(a.name.cmp(&b.name)));
+        sorted.truncate(n);
+        sorted
+    }
+}
+
+impl Default for LibraryCatalog {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+/// The hand-curated named libraries referenced by the paper.
+fn named_libraries() -> Vec<LibraryInfo> {
+    let lib = |name: &str,
+               prefix: &str,
+               category: LibraryCategory,
+               exfiltrating: bool,
+               popularity: u32,
+               endpoint: &str| LibraryInfo {
+        name: name.to_string(),
+        package_prefix: prefix.to_string(),
+        category,
+        exfiltrating,
+        popularity,
+        endpoint_host: endpoint.to_string(),
+    };
+    vec![
+        lib("Flurry Analytics", "com/flurry", LibraryCategory::Analytics, true, 95, "data.flurry.com"),
+        lib("Google Mobile Services Analytics", "com/google/gms", LibraryCategory::Analytics, true, 100, "app-measurement.com"),
+        lib("Google AdMob", "com/google/ads", LibraryCategory::Advertising, true, 98, "googleads.g.doubleclick.net"),
+        lib("Facebook SDK", "com/facebook", LibraryCategory::SocialSdk, true, 90, "graph.facebook.com"),
+        lib("MoPub Ads", "com/mopub", LibraryCategory::Advertising, true, 70, "ads.mopub.com"),
+        lib("Crashlytics", "com/crashlytics", LibraryCategory::CrashReporting, true, 85, "settings.crashlytics.com"),
+        lib("Mixpanel", "com/mixpanel", LibraryCategory::Analytics, true, 60, "api.mixpanel.com"),
+        lib("AppsFlyer", "com/appsflyer", LibraryCategory::Tracking, true, 55, "t.appsflyer.com"),
+        lib("Adjust", "com/adjust/sdk", LibraryCategory::Tracking, true, 50, "app.adjust.com"),
+        lib("InMobi Ads", "com/inmobi", LibraryCategory::Advertising, true, 45, "sdk.inmobi.com"),
+        lib("Chartboost", "com/chartboost", LibraryCategory::Advertising, true, 40, "live.chartboost.com"),
+        lib("Amplitude", "com/amplitude", LibraryCategory::Analytics, true, 35, "api.amplitude.com"),
+        lib("Apache HTTP Client", "org/apache/http", LibraryCategory::Networking, false, 92, ""),
+        lib("OkHttp", "com/squareup/okhttp", LibraryCategory::Networking, false, 88, ""),
+        lib("Dropbox Core SDK", "com/dropbox/core", LibraryCategory::CloudStorage, false, 65, "api.dropbox.com"),
+        lib("Box Android SDK", "com/box/androidsdk", LibraryCategory::CloudStorage, false, 45, "api.box.com"),
+        lib("Stripe Payments", "com/stripe", LibraryCategory::Payments, false, 42, "api.stripe.com"),
+        lib("Gson", "com/google/gson", LibraryCategory::Utility, false, 96, ""),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalog_has_exactly_the_blacklist_size() {
+        let catalog = LibraryCatalog::builtin();
+        assert_eq!(catalog.exfiltrating().count(), EXFILTRATING_LIBRARY_COUNT);
+        assert!(catalog.len() > EXFILTRATING_LIBRARY_COUNT);
+    }
+
+    #[test]
+    fn named_libraries_are_present() {
+        let catalog = LibraryCatalog::builtin();
+        assert!(catalog.by_prefix("com/flurry").is_some());
+        assert!(catalog.by_prefix("com/facebook").is_some());
+        assert!(catalog.by_prefix("org/apache/http").is_some());
+        assert!(catalog.by_prefix("com/box/androidsdk").is_some());
+        assert!(catalog.by_prefix("does/not/exist").is_none());
+        let flurry = catalog.by_prefix("com/flurry").unwrap();
+        assert!(flurry.exfiltrating);
+        assert_eq!(flurry.category, LibraryCategory::Analytics);
+    }
+
+    #[test]
+    fn networking_and_utility_libraries_are_not_blacklisted() {
+        let catalog = LibraryCatalog::builtin();
+        assert!(!catalog.by_prefix("org/apache/http").unwrap().exfiltrating);
+        assert!(!catalog.by_prefix("com/google/gson").unwrap().exfiltrating);
+        for lib in catalog.by_category(LibraryCategory::Utility) {
+            assert!(!lib.exfiltrating, "{} should not be blacklisted", lib.name);
+        }
+    }
+
+    #[test]
+    fn owner_of_matches_on_segment_boundaries() {
+        let catalog = LibraryCatalog::builtin();
+        let sig: MethodSignature = "Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V".parse().unwrap();
+        assert_eq!(catalog.owner_of(&sig).unwrap().package_prefix, "com/flurry");
+        let app_sig: MethodSignature = "Lcom/example/app/Main;->run()V".parse().unwrap();
+        assert!(catalog.owner_of(&app_sig).is_none());
+        // "com/flurryx" must not match "com/flurry".
+        let tricky: MethodSignature = "Lcom/flurryx/Thing;->go()V".parse().unwrap();
+        assert!(catalog.owner_of(&tricky).is_none());
+    }
+
+    #[test]
+    fn most_popular_is_sorted_and_bounded() {
+        let catalog = LibraryCatalog::builtin();
+        let top = catalog.most_popular(5);
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].popularity >= pair[1].popularity);
+        }
+        // GMS analytics is the single most popular entry in the built-in set.
+        assert_eq!(top[0].package_prefix, "com/google/gms");
+    }
+
+    #[test]
+    fn category_exfiltration_heuristic() {
+        assert!(LibraryCategory::Advertising.typically_exfiltrating());
+        assert!(LibraryCategory::Analytics.typically_exfiltrating());
+        assert!(!LibraryCategory::Networking.typically_exfiltrating());
+        assert!(!LibraryCategory::CloudStorage.typically_exfiltrating());
+    }
+
+    #[test]
+    fn empty_and_push() {
+        let mut catalog = LibraryCatalog::empty();
+        assert!(catalog.is_empty());
+        catalog.push(LibraryInfo {
+            name: "Test".to_string(),
+            package_prefix: "com/test".to_string(),
+            category: LibraryCategory::Utility,
+            exfiltrating: false,
+            popularity: 1,
+            endpoint_host: String::new(),
+        });
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.exfiltrating_prefixes().len(), 0);
+    }
+
+    #[test]
+    fn exfiltrating_prefixes_are_unique() {
+        let catalog = LibraryCatalog::builtin();
+        let mut prefixes = catalog.exfiltrating_prefixes();
+        let before = prefixes.len();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), before);
+    }
+}

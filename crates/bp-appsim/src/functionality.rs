@@ -1,0 +1,255 @@
+//! Application functionalities: the unit of behaviour policies reason about.
+//!
+//! A functionality is a named app behaviour (login, upload, analytics beacon,
+//! ad load, …) with the Java call chain that executes when it runs and the
+//! network endpoint it talks to.  BorderPatrol's whole point (paper §I, §VI-C)
+//! is that several functionalities of one app may talk to the *same* endpoint
+//! while only some of them are acceptable to the company — so the corpus must
+//! represent call chains and endpoints independently.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::MethodSignature;
+
+/// Broad kind of an application functionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FunctionalityKind {
+    /// Authentication / "Login with …" flows.
+    Login,
+    /// Uploading documents or media to a remote service.
+    Upload,
+    /// Downloading documents or media from a remote service.
+    Download,
+    /// Listing, browsing or searching remote content.
+    Browse,
+    /// Background synchronisation.
+    Sync,
+    /// Usage analytics / telemetry beacons.
+    Analytics,
+    /// Advertisement loading.
+    Advertisement,
+    /// User-behaviour tracking.
+    Tracking,
+    /// Crash report submission.
+    CrashReport,
+    /// Messaging / chat traffic.
+    Messaging,
+    /// Generic content fetch used by the app's core feature.
+    ContentFetch,
+}
+
+impl FunctionalityKind {
+    /// Whether a typical corporate BYOD policy considers this functionality
+    /// desirable (the paper's default view: productivity functions are
+    /// desirable; uploads, analytics, ads and tracking are not).
+    pub fn default_desirable(self) -> bool {
+        !matches!(
+            self,
+            FunctionalityKind::Upload
+                | FunctionalityKind::Analytics
+                | FunctionalityKind::Advertisement
+                | FunctionalityKind::Tracking
+        )
+    }
+
+    /// The request kind this functionality issues on the wire.
+    pub fn request_kind(self) -> RequestKind {
+        match self {
+            FunctionalityKind::Upload => RequestKind::Upload,
+            FunctionalityKind::Login
+            | FunctionalityKind::Analytics
+            | FunctionalityKind::Tracking
+            | FunctionalityKind::CrashReport
+            | FunctionalityKind::Messaging => RequestKind::Submit,
+            _ => RequestKind::Fetch,
+        }
+    }
+}
+
+/// The shape of the network interaction a functionality performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Download-dominated (HTTP GET).
+    Fetch,
+    /// Small outbound submission (HTTP POST).
+    Submit,
+    /// Large outbound transfer (HTTP PUT).
+    Upload,
+}
+
+/// One application functionality.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Functionality {
+    /// Short identifier unique within the app, e.g. `upload` or `fb-analytics`.
+    pub name: String,
+    /// Broad kind.
+    pub kind: FunctionalityKind,
+    /// DNS name of the endpoint this functionality connects to.
+    pub endpoint_host: String,
+    /// The Java call chain executed when the functionality runs, ordered
+    /// outermost (UI entry point) first.  The innermost socket-connect frame
+    /// is appended by the device runtime, not stored here.
+    pub call_chain: Vec<MethodSignature>,
+    /// Payload size in bytes of one invocation's outbound request body.
+    pub payload_bytes: usize,
+    /// Relative probability weight of the monkey triggering this functionality.
+    pub trigger_weight: u32,
+}
+
+impl Functionality {
+    /// Create a functionality.  The call chain is given outermost-first.
+    pub fn new(
+        name: impl Into<String>,
+        kind: FunctionalityKind,
+        endpoint_host: impl Into<String>,
+        call_chain: Vec<MethodSignature>,
+        payload_bytes: usize,
+    ) -> Self {
+        Functionality {
+            name: name.into(),
+            kind,
+            endpoint_host: endpoint_host.into(),
+            call_chain,
+            payload_bytes,
+            trigger_weight: 10,
+        }
+    }
+
+    /// Builder-style override of the monkey trigger weight.
+    pub fn with_trigger_weight(mut self, weight: u32) -> Self {
+        self.trigger_weight = weight;
+        self
+    }
+
+    /// The request kind this functionality issues.
+    pub fn request_kind(&self) -> RequestKind {
+        self.kind.request_kind()
+    }
+
+    /// Whether a default corporate policy would consider it desirable.
+    pub fn default_desirable(&self) -> bool {
+        self.kind.default_desirable()
+    }
+
+    /// The innermost application-level frame of the call chain (the method
+    /// closest to the socket call), if the chain is non-empty.
+    pub fn innermost_app_frame(&self) -> Option<&MethodSignature> {
+        self.call_chain.last()
+    }
+
+    /// The signatures of the call chain that belong to the given package
+    /// prefix.
+    pub fn frames_in_package(&self, prefix: &str) -> Vec<&MethodSignature> {
+        self.call_chain
+            .iter()
+            .filter(|s| {
+                let pkg = s.package();
+                pkg == prefix
+                    || (pkg.starts_with(prefix) && pkg.as_bytes().get(prefix.len()) == Some(&b'/'))
+            })
+            .collect()
+    }
+}
+
+/// Helper for building realistic call chains.
+///
+/// Chains start at a UI entry point inside the app's main package, optionally
+/// pass through library glue code, and end at the method that opens the
+/// connection.
+#[derive(Debug, Clone)]
+pub struct CallChainBuilder {
+    frames: Vec<MethodSignature>,
+}
+
+impl CallChainBuilder {
+    /// Start a chain at a UI entry point of the app's main package.
+    pub fn ui_entry(app_package: &str, activity: &str, handler: &str) -> Self {
+        let sig = MethodSignature::new(app_package.to_string(), activity, handler, "", "V");
+        CallChainBuilder { frames: vec![sig] }
+    }
+
+    /// Append a frame.
+    pub fn then(mut self, package: &str, class: &str, method: &str, params: &str, ret: &str) -> Self {
+        self.frames.push(MethodSignature::new(package, class, method, params, ret));
+        self
+    }
+
+    /// Append a frame from a full descriptor string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the descriptor does not parse; chains are built from
+    /// compile-time constants inside this workspace.
+    pub fn then_descriptor(mut self, descriptor: &str) -> Self {
+        self.frames.push(descriptor.parse().expect("valid descriptor literal"));
+        self
+    }
+
+    /// Finish the chain (outermost-first ordering preserved).
+    pub fn build(self) -> Vec<MethodSignature> {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Vec<MethodSignature> {
+        CallChainBuilder::ui_entry("com/example/app", "MainActivity", "onUploadClicked")
+            .then("com/example/app/net", "Uploader", "uploadFile", "Ljava/lang/String;", "V")
+            .then("org/apache/http/client", "HttpClient", "execute", "Lorg/apache/http/HttpRequest;", "Lorg/apache/http/HttpResponse;")
+            .build()
+    }
+
+    #[test]
+    fn kinds_classify_desirability_and_requests() {
+        assert!(FunctionalityKind::Download.default_desirable());
+        assert!(FunctionalityKind::Login.default_desirable());
+        assert!(!FunctionalityKind::Upload.default_desirable());
+        assert!(!FunctionalityKind::Analytics.default_desirable());
+        assert!(!FunctionalityKind::Advertisement.default_desirable());
+        assert_eq!(FunctionalityKind::Upload.request_kind(), RequestKind::Upload);
+        assert_eq!(FunctionalityKind::Download.request_kind(), RequestKind::Fetch);
+        assert_eq!(FunctionalityKind::Analytics.request_kind(), RequestKind::Submit);
+    }
+
+    #[test]
+    fn functionality_accessors() {
+        let f = Functionality::new(
+            "upload",
+            FunctionalityKind::Upload,
+            "api.dropbox.com",
+            chain(),
+            250_000,
+        )
+        .with_trigger_weight(3);
+        assert_eq!(f.name, "upload");
+        assert_eq!(f.trigger_weight, 3);
+        assert_eq!(f.request_kind(), RequestKind::Upload);
+        assert!(!f.default_desirable());
+        assert_eq!(
+            f.innermost_app_frame().unwrap().qualified_class(),
+            "org/apache/http/client/HttpClient"
+        );
+        assert_eq!(f.frames_in_package("com/example/app").len(), 2);
+        assert_eq!(f.frames_in_package("org/apache/http").len(), 1);
+        assert_eq!(f.frames_in_package("com/flurry").len(), 0);
+    }
+
+    #[test]
+    fn call_chain_builder_orders_outermost_first() {
+        let frames = chain();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].class_name(), "MainActivity");
+        assert_eq!(frames[2].class_name(), "HttpClient");
+    }
+
+    #[test]
+    fn then_descriptor_parses_full_signatures() {
+        let frames = CallChainBuilder::ui_entry("com/app", "Main", "onClick")
+            .then_descriptor("Lcom/facebook/GraphRequest;->executeAndWait()Lcom/facebook/GraphResponse;")
+            .build();
+        assert_eq!(frames[1].package(), "com/facebook");
+    }
+}

@@ -1,0 +1,594 @@
+//! Deterministic corpus generation and the paper's case-study apps.
+//!
+//! [`CorpusGenerator::generate`] produces a seeded corpus mirroring the
+//! structural properties of the paper's 2,000-app BUSINESS/PRODUCTIVITY
+//! sample: most apps bundle a handful of third-party libraries (many of them
+//! analytics or advertising SDKs from the exfiltration blacklist), and a
+//! sizeable minority have multiple functionalities that reach the *same*
+//! endpoint from different calling contexts (the "IPs of interest" of Fig. 3).
+//!
+//! The generator also constructs faithful models of the case-study apps:
+//! Dropbox and Box (upload vs download to a shared service), and SolCalendar
+//! with the Facebook SDK (login vs analytics through one Graph API endpoint).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::app::{AppCategory, AppSpec};
+use crate::catalog::{LibraryCatalog, LibraryCategory};
+use crate::functionality::{CallChainBuilder, Functionality, FunctionalityKind};
+
+/// Configuration of a corpus generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed; equal seeds produce identical corpora.
+    pub seed: u64,
+    /// Number of BUSINESS-category apps to generate.
+    pub business_apps: usize,
+    /// Number of PRODUCTIVITY-category apps to generate.
+    pub productivity_apps: usize,
+    /// Probability that an app embeds at least one exfiltrating library.
+    pub exfiltrating_library_probability: f64,
+    /// Probability that an app has several functionalities sharing an endpoint
+    /// (and therefore produces an IP-of-interest under dynamic analysis).
+    pub shared_endpoint_probability: f64,
+    /// Probability that an app ships with debug information stripped.
+    pub stripped_debug_probability: f64,
+    /// Probability that an app is packaged as multi-dex.
+    pub multidex_probability: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0xb0bde5,
+            business_apps: 1_000,
+            productivity_apps: 1_000,
+            exfiltrating_library_probability: 0.72,
+            shared_endpoint_probability: 0.11,
+            stripped_debug_probability: 0.05,
+            multidex_probability: 0.08,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The paper-scale configuration: 1,000 apps in each category.
+    pub fn paper_scale() -> Self {
+        CorpusConfig::default()
+    }
+
+    /// A reduced configuration for unit tests and quick runs.
+    pub fn small(seed: u64, per_category: usize) -> Self {
+        CorpusConfig {
+            seed,
+            business_apps: per_category,
+            productivity_apps: per_category,
+            ..CorpusConfig::default()
+        }
+    }
+
+    /// Total number of apps the configuration will generate.
+    pub fn total_apps(&self) -> usize {
+        self.business_apps + self.productivity_apps
+    }
+}
+
+/// Deterministic corpus generator.
+#[derive(Debug)]
+pub struct CorpusGenerator {
+    rng: StdRng,
+    catalog: LibraryCatalog,
+}
+
+impl CorpusGenerator {
+    /// Create a generator with the given seed and the built-in library catalog.
+    pub fn new(seed: u64) -> Self {
+        CorpusGenerator { rng: StdRng::seed_from_u64(seed), catalog: LibraryCatalog::builtin() }
+    }
+
+    /// The library catalog the generator draws from.
+    pub fn catalog(&self) -> &LibraryCatalog {
+        &self.catalog
+    }
+
+    /// Generate a full corpus according to `config`.
+    pub fn generate(config: &CorpusConfig) -> Vec<AppSpec> {
+        let mut generator = CorpusGenerator::new(config.seed);
+        let mut apps = Vec::with_capacity(config.total_apps());
+        for i in 0..config.business_apps {
+            apps.push(generator.generate_app(config, AppCategory::Business, i));
+        }
+        for i in 0..config.productivity_apps {
+            apps.push(generator.generate_app(config, AppCategory::Productivity, i));
+        }
+        apps
+    }
+
+    /// Generate one app.
+    pub fn generate_app(
+        &mut self,
+        config: &CorpusConfig,
+        category: AppCategory,
+        ordinal: usize,
+    ) -> AppSpec {
+        let vendor = format!("vendor{:04}", self.rng.gen_range(0..4_000));
+        let product = match category {
+            AppCategory::Business => format!("biz{ordinal:04}"),
+            AppCategory::Productivity => format!("prod{ordinal:04}"),
+        };
+        let package_name = format!("com.{vendor}.{product}");
+        // Popularity follows a rough power law: earlier ordinals are more popular.
+        let downloads = 10_000_000u64 / (ordinal as u64 + 1) + self.rng.gen_range(0..10_000);
+
+        let mut app = AppSpec::new(package_name, category, downloads);
+        let main_package = app.main_package.clone();
+
+        // Core (desirable) functionality: content fetch from the vendor API.
+        let api_host = format!("api.{vendor}.example");
+        app = app.with_functionality(core_fetch(&main_package, &api_host));
+
+        // Optionally a second core functionality sharing the same endpoint —
+        // this is what makes the endpoint an IP-of-interest.
+        if self.rng.gen_bool(config.shared_endpoint_probability) {
+            app = app.with_functionality(core_submit(&main_package, &api_host));
+            if self.rng.gen_bool(0.35) {
+                app = app.with_functionality(core_upload(&main_package, &api_host));
+            }
+        }
+
+        // Third-party libraries.
+        if self.rng.gen_bool(config.exfiltrating_library_probability) {
+            let count = 1 + self.rng.gen_range(0..3usize);
+            let flagged: Vec<_> = self
+                .catalog
+                .iter()
+                .filter(|l| l.exfiltrating && !l.endpoint_host.is_empty())
+                .collect();
+            for _ in 0..count {
+                // Popularity-weighted pick from the first 40 entries (named
+                // libraries dominate, mirroring real-world concentration).
+                let idx = self.rng.gen_range(0..flagged.len().min(40).max(1));
+                let lib = flagged[idx];
+                if app.libraries.contains(&lib.package_prefix) {
+                    continue;
+                }
+                let functionality = library_beacon(&main_package, lib.package_prefix.as_str(), &lib.endpoint_host, lib.category);
+                app = app.with_library(lib.package_prefix.clone()).with_functionality(functionality);
+                // Many SDKs expose a second, distinct code path talking to the
+                // same backend (config fetch, identity call, …): this is the
+                // dominant source of *same-package* IPs-of-interest in the
+                // paper's §VI-B breakdown.
+                if self.rng.gen_bool(0.35) {
+                    app = app.with_functionality(library_config_fetch(
+                        &main_package,
+                        lib.package_prefix.as_str(),
+                        &lib.endpoint_host,
+                    ));
+                }
+            }
+        }
+
+        // A shared networking library used by several components (the paper's
+        // observation that a quarter of IoIs mix packages because of common
+        // HTTP client reuse).
+        if self.rng.gen_bool(0.06) {
+            app = app.with_library("org/apache/http").with_functionality(shared_http_fetch(
+                &main_package,
+                &api_host,
+            ));
+        }
+
+        if self.rng.gen_bool(config.stripped_debug_probability) {
+            app = app.without_debug_info();
+        }
+        if self.rng.gen_bool(config.multidex_probability) {
+            app = app.as_multidex();
+        }
+        app
+    }
+
+    /// The Dropbox case-study app: authentication, browse, download and upload
+    /// all talking to the same `api.dropbox.com` endpoint (paper §VI-C).
+    pub fn dropbox() -> AppSpec {
+        let pkg = "com/dropbox/android";
+        AppSpec::new("com.dropbox.android", AppCategory::Productivity, 500_000_000)
+            .with_library("com/dropbox/core")
+            .with_functionality(
+                Functionality::new(
+                    "auth",
+                    FunctionalityKind::Login,
+                    "api.dropbox.com",
+                    CallChainBuilder::ui_entry(pkg, "LoginActivity", "onLoginClicked")
+                        .then("com/dropbox/android/auth", "AuthManager", "authenticate", "Ljava/lang/String;", "Z")
+                        .then("com/dropbox/core", "DbxRequestUtil", "doPost", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
+                        .build(),
+                    420,
+                )
+                .with_trigger_weight(6),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "browse",
+                    FunctionalityKind::Browse,
+                    "api.dropbox.com",
+                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onRefresh")
+                        .then("com/dropbox/android/filemanager", "ListFolderTask", "run", "", "V")
+                        .then("com/dropbox/core", "DbxRequestUtil", "doGet", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
+                        .build(),
+                    310,
+                )
+                .with_trigger_weight(14),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "download",
+                    FunctionalityKind::Download,
+                    "api.dropbox.com",
+                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onFileOpened")
+                        .then("com/dropbox/android/taskqueue", "DownloadTask", "c", "", "Lcom/dropbox/hairball/taskqueue/TaskResult;")
+                        .then("com/dropbox/core", "DbxRequestUtil", "doGet", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
+                        .build(),
+                    280,
+                )
+                .with_trigger_weight(10),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "upload",
+                    FunctionalityKind::Upload,
+                    "api.dropbox.com",
+                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onUploadSelected")
+                        .then("com/dropbox/android/taskqueue", "UploadTask", "c", "", "Lcom/dropbox/hairball/taskqueue/TaskResult;")
+                        .then("com/dropbox/core", "DbxRequestUtil", "doPut", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
+                        .build(),
+                    2_500_000,
+                )
+                .with_trigger_weight(8),
+            )
+    }
+
+    /// The Box case-study app: upload uses a *different* endpoint than
+    /// browse/download (`upload.box.com` vs `api.box.com`), but blocking the
+    /// upload IP alone also breaks listing, because listing precedes upload in
+    /// the user workflow (paper §VI-C).
+    pub fn box_app() -> AppSpec {
+        let pkg = "com/box/android";
+        AppSpec::new("com.box.android", AppCategory::Business, 10_000_000)
+            .with_library("com/box/androidsdk")
+            .with_functionality(
+                Functionality::new(
+                    "auth",
+                    FunctionalityKind::Login,
+                    "api.box.com",
+                    CallChainBuilder::ui_entry(pkg, "SplashActivity", "onLogin")
+                        .then("com/box/androidsdk/content/auth", "BoxAuthentication", "login", "Ljava/lang/String;", "Z")
+                        .build(),
+                    380,
+                )
+                .with_trigger_weight(6),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "browse",
+                    FunctionalityKind::Browse,
+                    "api.box.com",
+                    CallChainBuilder::ui_entry(pkg, "FolderActivity", "onRefresh")
+                        .then("com/box/androidsdk/content/requests", "BoxRequestsFolder$GetFolderItems", "send", "", "Lcom/box/androidsdk/content/models/BoxIteratorItems;")
+                        .build(),
+                    290,
+                )
+                .with_trigger_weight(14),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "download",
+                    FunctionalityKind::Download,
+                    "api.box.com",
+                    CallChainBuilder::ui_entry(pkg, "FolderActivity", "onFileOpened")
+                        .then("com/box/androidsdk/content/requests", "BoxRequestDownload", "send", "", "Lcom/box/androidsdk/content/models/BoxDownload;")
+                        .build(),
+                    260,
+                )
+                .with_trigger_weight(10),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "upload",
+                    FunctionalityKind::Upload,
+                    "upload.box.com",
+                    CallChainBuilder::ui_entry(pkg, "FolderActivity", "onUploadSelected")
+                        .then("com/box/androidsdk/content/requests", "BoxRequestUpload", "send", "", "Lcom/box/androidsdk/content/models/BoxFile;")
+                        .build(),
+                    1_800_000,
+                )
+                .with_trigger_weight(8),
+            )
+    }
+
+    /// The SolCalendar case-study app: "Login with Facebook" and Facebook
+    /// analytics both go through the Graph API endpoint via the Facebook SDK
+    /// (paper §VI-C).
+    pub fn solcalendar() -> AppSpec {
+        let pkg = "net/daum/android/solcalendar";
+        AppSpec::new("net.daum.android.solcalendar", AppCategory::Productivity, 5_000_000)
+            .with_library("com/facebook")
+            .with_functionality(
+                Functionality::new(
+                    "fb-login",
+                    FunctionalityKind::Login,
+                    "graph.facebook.com",
+                    CallChainBuilder::ui_entry(pkg, "SettingsActivity", "onFacebookLoginClicked")
+                        .then("com/facebook/login", "LoginManager", "logInWithReadPermissions", "Ljava/util/Collection;", "V")
+                        .then("com/facebook", "GraphRequest", "executeAndWait", "", "Lcom/facebook/GraphResponse;")
+                        .build(),
+                    450,
+                )
+                .with_trigger_weight(5),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "fb-analytics",
+                    FunctionalityKind::Analytics,
+                    "graph.facebook.com",
+                    CallChainBuilder::ui_entry(pkg, "CalendarActivity", "onResume")
+                        .then("com/facebook/appevents", "AppEventsLogger", "logEvent", "Ljava/lang/String;", "V")
+                        .then("com/facebook", "GraphRequest", "executeAndWait", "", "Lcom/facebook/GraphResponse;")
+                        .build(),
+                    190,
+                )
+                .with_trigger_weight(20),
+            )
+            .with_functionality(
+                Functionality::new(
+                    "calendar-sync",
+                    FunctionalityKind::Sync,
+                    "calendar.daum.example",
+                    CallChainBuilder::ui_entry(pkg, "SyncService", "onPerformSync")
+                        .then("net/daum/android/solcalendar/sync", "CalendarSyncAdapter", "fetchEvents", "", "V")
+                        .build(),
+                    600,
+                )
+                .with_trigger_weight(12),
+            )
+    }
+
+    /// The network stress-test app used for the Fig. 4 latency measurements:
+    /// one functionality that issues an HTTP GET for the 297-byte static page.
+    pub fn stress_test_app() -> AppSpec {
+        let pkg = "com/bp/stresstest";
+        AppSpec::new("com.bp.stresstest", AppCategory::Productivity, 1)
+            .with_functionality(
+                Functionality::new(
+                    "http-get",
+                    FunctionalityKind::ContentFetch,
+                    "stress.local",
+                    CallChainBuilder::ui_entry(pkg, "StressActivity", "onIteration")
+                        .then("com/bp/stresstest/net", "HttpFetcher", "fetchOnce", "Ljava/lang/String;", "V")
+                        .build(),
+                    64,
+                )
+                .with_trigger_weight(100),
+            )
+    }
+
+    /// All three case-study apps.
+    pub fn case_study_apps() -> Vec<AppSpec> {
+        vec![Self::dropbox(), Self::box_app(), Self::solcalendar()]
+    }
+}
+
+fn core_fetch(main_package: &str, host: &str) -> Functionality {
+    Functionality::new(
+        "content-fetch",
+        FunctionalityKind::ContentFetch,
+        host,
+        CallChainBuilder::ui_entry(main_package, "MainActivity", "onResume")
+            .then(&format!("{main_package}/net"), "ApiClient", "fetchContent", "Ljava/lang/String;", "V")
+            .build(),
+        350,
+    )
+    .with_trigger_weight(15)
+}
+
+fn core_submit(main_package: &str, host: &str) -> Functionality {
+    Functionality::new(
+        "form-submit",
+        FunctionalityKind::Messaging,
+        host,
+        CallChainBuilder::ui_entry(main_package, "ComposeActivity", "onSendClicked")
+            .then(&format!("{main_package}/net"), "ApiClient", "submitForm", "Ljava/util/Map;", "V")
+            .build(),
+        900,
+    )
+    .with_trigger_weight(8)
+}
+
+fn core_upload(main_package: &str, host: &str) -> Functionality {
+    Functionality::new(
+        "document-upload",
+        FunctionalityKind::Upload,
+        host,
+        CallChainBuilder::ui_entry(main_package, "DocumentActivity", "onShareClicked")
+            .then(&format!("{main_package}/net"), "ApiClient", "uploadDocument", "Ljava/io/File;", "V")
+            .build(),
+        500_000,
+    )
+    .with_trigger_weight(4)
+}
+
+fn library_config_fetch(main_package: &str, library_prefix: &str, endpoint: &str) -> Functionality {
+    let internal = format!("{library_prefix}/internal");
+    Functionality::new(
+        format!("sdk-config-{}", library_prefix.replace('/', "-")),
+        FunctionalityKind::ContentFetch,
+        endpoint,
+        CallChainBuilder::ui_entry(main_package, "MainActivity", "onCreate")
+            .then(library_prefix, "SdkEntry", "fetchRemoteConfig", "", "V")
+            .then(&internal, "ConfigClient", "download", "Ljava/lang/String;", "V")
+            .build(),
+        300,
+    )
+    .with_trigger_weight(9)
+}
+
+fn shared_http_fetch(main_package: &str, host: &str) -> Functionality {
+    Functionality::new(
+        "news-feed",
+        FunctionalityKind::ContentFetch,
+        host,
+        CallChainBuilder::ui_entry(main_package, "FeedActivity", "onRefresh")
+            .then("org/apache/http/client", "DefaultHttpClient", "execute", "Lorg/apache/http/HttpRequest;", "Lorg/apache/http/HttpResponse;")
+            .build(),
+        420,
+    )
+    .with_trigger_weight(7)
+}
+
+fn library_beacon(
+    main_package: &str,
+    library_prefix: &str,
+    endpoint: &str,
+    category: LibraryCategory,
+) -> Functionality {
+    let (name, kind) = match category {
+        LibraryCategory::Advertising => ("ad-load", FunctionalityKind::Advertisement),
+        LibraryCategory::Analytics => ("analytics-beacon", FunctionalityKind::Analytics),
+        LibraryCategory::Tracking => ("tracking-ping", FunctionalityKind::Tracking),
+        LibraryCategory::CrashReporting => ("crash-report", FunctionalityKind::CrashReport),
+        _ => ("sdk-sync", FunctionalityKind::Analytics),
+    };
+    let class = format!("{library_prefix}/internal");
+    Functionality::new(
+        format!("{name}-{}", library_prefix.replace('/', "-")),
+        kind,
+        endpoint,
+        CallChainBuilder::ui_entry(main_package, "MainActivity", "onResume")
+            .then(library_prefix, "SdkEntry", "onSessionStart", "Landroid/content/Context;", "V")
+            .then(&class, "Transport", "send", "Ljava/lang/String;", "V")
+            .build(),
+        256,
+    )
+    .with_trigger_weight(18)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CorpusConfig::small(42, 20);
+        let a = CorpusGenerator::generate(&config);
+        let b = CorpusGenerator::generate(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusGenerator::generate(&CorpusConfig::small(1, 10));
+        let b = CorpusGenerator::generate(&CorpusConfig::small(2, 10));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corpus_has_both_categories_and_popularity_ordering() {
+        let apps = CorpusGenerator::generate(&CorpusConfig::small(7, 25));
+        let business = apps.iter().filter(|a| a.category == AppCategory::Business).count();
+        let productivity = apps.iter().filter(|a| a.category == AppCategory::Productivity).count();
+        assert_eq!(business, 25);
+        assert_eq!(productivity, 25);
+        // Every app has at least its core functionality.
+        assert!(apps.iter().all(|a| !a.functionalities.is_empty()));
+    }
+
+    #[test]
+    fn a_sizable_fraction_embeds_blacklisted_libraries() {
+        let apps = CorpusGenerator::generate(&CorpusConfig::small(11, 100));
+        let catalog = LibraryCatalog::builtin();
+        let with_flagged = apps
+            .iter()
+            .filter(|a| {
+                a.libraries.iter().any(|l| catalog.by_prefix(l).map(|i| i.exfiltrating).unwrap_or(false))
+            })
+            .count();
+        // Configured probability is 0.72; allow generous slack for a 200-app sample.
+        assert!(with_flagged > 100, "only {with_flagged} of 200 apps have flagged libraries");
+    }
+
+    #[test]
+    fn some_apps_share_endpoints_across_functionalities() {
+        let apps = CorpusGenerator::generate(&CorpusConfig::small(13, 100));
+        let sharing = apps
+            .iter()
+            .filter(|a| a.endpoint_hosts().len() < a.functionalities.len())
+            .count();
+        assert!(sharing > 0);
+    }
+
+    #[test]
+    fn dropbox_model_matches_case_study() {
+        let dropbox = CorpusGenerator::dropbox();
+        // All four functionalities exist and share one endpoint.
+        for name in ["auth", "browse", "download", "upload"] {
+            assert!(dropbox.functionality(name).is_some(), "missing {name}");
+        }
+        assert_eq!(dropbox.endpoint_hosts(), vec!["api.dropbox.com".to_string()]);
+        // The upload chain goes through the UploadTask class targeted by the
+        // paper's Example 3 policy.
+        let upload = dropbox.functionality("upload").unwrap();
+        assert!(upload
+            .call_chain
+            .iter()
+            .any(|s| s.qualified_class() == "com/dropbox/android/taskqueue/UploadTask"));
+        let download = dropbox.functionality("download").unwrap();
+        assert!(!download
+            .call_chain
+            .iter()
+            .any(|s| s.qualified_class() == "com/dropbox/android/taskqueue/UploadTask"));
+    }
+
+    #[test]
+    fn box_model_separates_upload_endpoint() {
+        let box_app = CorpusGenerator::box_app();
+        let upload = box_app.functionality("upload").unwrap();
+        let browse = box_app.functionality("browse").unwrap();
+        assert_ne!(upload.endpoint_host, browse.endpoint_host);
+        assert!(upload
+            .call_chain
+            .iter()
+            .any(|s| s.class_name() == "BoxRequestUpload"));
+    }
+
+    #[test]
+    fn solcalendar_login_and_analytics_share_graph_endpoint() {
+        let sol = CorpusGenerator::solcalendar();
+        let login = sol.functionality("fb-login").unwrap();
+        let analytics = sol.functionality("fb-analytics").unwrap();
+        assert_eq!(login.endpoint_host, analytics.endpoint_host);
+        assert_eq!(login.endpoint_host, "graph.facebook.com");
+        // Both are inside the same Facebook SDK package (the 75% same-package case).
+        assert!(login.frames_in_package("com/facebook").len() >= 2);
+        assert!(analytics.frames_in_package("com/facebook").len() >= 2);
+        // But their full chains are distinguishable at method level.
+        assert_ne!(login.call_chain, analytics.call_chain);
+    }
+
+    #[test]
+    fn case_study_apps_build_valid_apks() {
+        for app in CorpusGenerator::case_study_apps() {
+            let apk = app.build_apk();
+            assert!(apk.total_method_count().unwrap() > 0, "{}", app.package_name);
+            assert_eq!(apk.package_name(), app.package_name);
+        }
+    }
+
+    #[test]
+    fn stress_app_is_minimal() {
+        let app = CorpusGenerator::stress_test_app();
+        assert_eq!(app.functionalities.len(), 1);
+        assert_eq!(app.endpoint_hosts(), vec!["stress.local".to_string()]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic Android application corpus.
+//!
+//! The BorderPatrol evaluation exercises 2,000 real apps from the Google Play
+//! BUSINESS and PRODUCTIVITY categories (the PlayDrone snapshot) with the adb
+//! monkey UI exerciser.  Real Play Store packages are not reproducible here,
+//! so this crate generates a *synthetic corpus* with the structural properties
+//! the evaluation depends on:
+//!
+//! * apps are a mix of developer-authored packages and third-party libraries
+//!   ([`catalog`]), including the set of known data-exfiltrating
+//!   analytics/advertising libraries used for the validation experiment;
+//! * each app exposes a set of [`functionality`]s — login, upload, download,
+//!   analytics beacons, ad loads, … — each with a Java call chain and a target
+//!   network endpoint, so that some endpoints receive traffic from more than
+//!   one calling context (the "IPs of interest" of Fig. 3);
+//! * a deterministic [`generator`] produces arbitrarily many such apps from a
+//!   seed, plus faithful models of the paper's case-study apps (Dropbox, Box,
+//!   SolCalendar with the Facebook SDK);
+//! * a [`monkey`] exerciser replays the paper's 5,000-random-event dynamic
+//!   analysis against an app.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_appsim::generator::CorpusGenerator;
+//!
+//! let dropbox = CorpusGenerator::dropbox();
+//! assert!(dropbox.functionality("upload").is_some());
+//! let apk = dropbox.build_apk();
+//! assert!(apk.total_method_count().unwrap() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod catalog;
+pub mod functionality;
+pub mod generator;
+pub mod monkey;
+
+pub use app::{AppCategory, AppSpec};
+pub use catalog::{LibraryCatalog, LibraryCategory, LibraryInfo};
+pub use functionality::{Functionality, FunctionalityKind, RequestKind};
+pub use generator::{CorpusConfig, CorpusGenerator};
+pub use monkey::{Monkey, MonkeyEvent};

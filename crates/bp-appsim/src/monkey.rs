@@ -1,0 +1,160 @@
+//! The random UI exerciser (adb monkey analogue).
+//!
+//! The paper's dynamic analysis drives each app with 5,000 random UI events
+//! from the adb monkey tool while recording all generated traffic (§VI-A).
+//! [`Monkey`] reproduces that workload: it emits a stream of random events,
+//! a fraction of which land on UI elements that trigger one of the app's
+//! functionalities (weighted by the functionality's trigger weight); the rest
+//! are inert scrolls/taps that generate no network traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::app::AppSpec;
+
+/// Number of random events the paper injects per app.
+pub const PAPER_EVENT_COUNT: usize = 5_000;
+
+/// One monkey event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonkeyEvent {
+    /// Sequence number of the event (0-based).
+    pub sequence: usize,
+    /// The functionality the event triggered, if any; `None` for inert UI
+    /// events (scrolls, taps on static views, back presses, …).
+    pub triggered: Option<String>,
+}
+
+impl MonkeyEvent {
+    /// True if the event triggered network activity.
+    pub fn is_network_event(&self) -> bool {
+        self.triggered.is_some()
+    }
+}
+
+/// The random UI exerciser.
+#[derive(Debug, Clone)]
+pub struct Monkey {
+    rng: StdRng,
+    /// Probability that a random event lands on a functionality trigger.
+    trigger_probability: f64,
+}
+
+impl Monkey {
+    /// Create an exerciser with the given seed and the default 6% chance that
+    /// any single event triggers a network-relevant functionality.
+    pub fn new(seed: u64) -> Self {
+        Monkey { rng: StdRng::seed_from_u64(seed), trigger_probability: 0.06 }
+    }
+
+    /// Override the per-event trigger probability (clamped to `[0, 1]`).
+    pub fn with_trigger_probability(mut self, probability: f64) -> Self {
+        self.trigger_probability = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Exercise `app` with `events` random events and return the event stream.
+    pub fn exercise(&mut self, app: &AppSpec, events: usize) -> Vec<MonkeyEvent> {
+        let weights: Vec<(String, u32)> = app
+            .functionalities
+            .iter()
+            .map(|f| (f.name.clone(), f.trigger_weight.max(1)))
+            .collect();
+        let total_weight: u64 = weights.iter().map(|(_, w)| u64::from(*w)).sum();
+
+        (0..events)
+            .map(|sequence| {
+                let triggered = if total_weight > 0 && self.rng.gen_bool(self.trigger_probability) {
+                    let mut pick = self.rng.gen_range(0..total_weight);
+                    let mut chosen = None;
+                    for (name, weight) in &weights {
+                        if pick < u64::from(*weight) {
+                            chosen = Some(name.clone());
+                            break;
+                        }
+                        pick -= u64::from(*weight);
+                    }
+                    chosen
+                } else {
+                    None
+                };
+                MonkeyEvent { sequence, triggered }
+            })
+            .collect()
+    }
+
+    /// Exercise `app` with the paper's 5,000-event budget.
+    pub fn exercise_paper_scale(&mut self, app: &AppSpec) -> Vec<MonkeyEvent> {
+        self.exercise(app, PAPER_EVENT_COUNT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CorpusGenerator;
+
+    #[test]
+    fn exercise_is_deterministic_per_seed() {
+        let app = CorpusGenerator::dropbox();
+        let a = Monkey::new(99).exercise(&app, 500);
+        let b = Monkey::new(99).exercise(&app, 500);
+        assert_eq!(a, b);
+        let c = Monkey::new(100).exercise(&app, 500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn event_stream_has_requested_length_and_sequences() {
+        let app = CorpusGenerator::solcalendar();
+        let events = Monkey::new(1).exercise(&app, 1_000);
+        assert_eq!(events.len(), 1_000);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.sequence, i);
+        }
+    }
+
+    #[test]
+    fn triggered_functionalities_belong_to_the_app() {
+        let app = CorpusGenerator::box_app();
+        let names: Vec<&str> = app.functionality_names();
+        let events = Monkey::new(5).exercise(&app, 5_000);
+        let network_events: Vec<_> = events.iter().filter(|e| e.is_network_event()).collect();
+        assert!(!network_events.is_empty());
+        for e in network_events {
+            assert!(names.contains(&e.triggered.as_deref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn trigger_weights_bias_selection() {
+        // SolCalendar's analytics beacon has weight 20 vs login's 5, so over a
+        // long run analytics must fire more often.
+        let app = CorpusGenerator::solcalendar();
+        let events = Monkey::new(3).exercise(&app, 20_000);
+        let count = |name: &str| events.iter().filter(|e| e.triggered.as_deref() == Some(name)).count();
+        assert!(count("fb-analytics") > count("fb-login"));
+    }
+
+    #[test]
+    fn zero_probability_never_triggers() {
+        let app = CorpusGenerator::dropbox();
+        let events = Monkey::new(8).with_trigger_probability(0.0).exercise(&app, 1_000);
+        assert!(events.iter().all(|e| !e.is_network_event()));
+    }
+
+    #[test]
+    fn app_without_functionalities_generates_only_inert_events() {
+        let app = crate::app::AppSpec::new("com.empty.app", crate::app::AppCategory::Business, 10);
+        let events = Monkey::new(4).with_trigger_probability(1.0).exercise(&app, 100);
+        assert!(events.iter().all(|e| !e.is_network_event()));
+    }
+
+    #[test]
+    fn paper_scale_is_5000_events() {
+        let app = CorpusGenerator::dropbox();
+        let events = Monkey::new(2).exercise_paper_scale(&app);
+        assert_eq!(events.len(), PAPER_EVENT_COUNT);
+    }
+}

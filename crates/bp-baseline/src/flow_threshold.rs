@@ -1,0 +1,168 @@
+//! Flow-size threshold enforcement.
+//!
+//! A traditional filtering appliance can try to distinguish uploads from
+//! downloads by measuring continuous outgoing transfer volume per flow and
+//! dropping flows that exceed a threshold (paper §VII).  The paper notes two
+//! failure modes this baseline exhibits and that the ablation experiments
+//! reproduce: uploads below the threshold slip through, and legitimate large
+//! requests get cut off because benign flows span a huge size range
+//! (36 bytes to hundreds of megabytes).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_netsim::netfilter::{QueueHandler, Verdict};
+use bp_netsim::packet::{FlowKey, Ipv4Packet};
+
+/// Counters kept by the flow-threshold baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowThresholdStats {
+    /// Packets inspected.
+    pub packets_inspected: u64,
+    /// Packets dropped because their flow exceeded the threshold.
+    pub packets_dropped: u64,
+    /// Number of distinct flows observed.
+    pub flows_tracked: u64,
+    /// Number of flows that exceeded the threshold at least once.
+    pub flows_blocked: u64,
+}
+
+/// Per-flow outbound volume accounting with a hard threshold.
+///
+/// # Examples
+///
+/// ```
+/// use bp_baseline::FlowSizeThreshold;
+/// let threshold = FlowSizeThreshold::new(1_000_000);
+/// assert_eq!(threshold.threshold_bytes(), 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowSizeThreshold {
+    threshold_bytes: u64,
+    per_flow_bytes: BTreeMap<FlowKey, u64>,
+    blocked_flows: BTreeMap<FlowKey, bool>,
+    stats: FlowThresholdStats,
+}
+
+impl FlowSizeThreshold {
+    /// Create a threshold enforcement point dropping flows whose cumulative
+    /// outbound payload exceeds `threshold_bytes`.
+    pub fn new(threshold_bytes: u64) -> Self {
+        FlowSizeThreshold {
+            threshold_bytes,
+            per_flow_bytes: BTreeMap::new(),
+            blocked_flows: BTreeMap::new(),
+            stats: FlowThresholdStats::default(),
+        }
+    }
+
+    /// The configured threshold in bytes.
+    pub fn threshold_bytes(&self) -> u64 {
+        self.threshold_bytes
+    }
+
+    /// Cumulative outbound bytes observed for `flow`.
+    pub fn flow_bytes(&self, flow: &FlowKey) -> u64 {
+        self.per_flow_bytes.get(flow).copied().unwrap_or(0)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FlowThresholdStats {
+        self.stats
+    }
+
+    /// Clear all per-flow state.
+    pub fn reset(&mut self) {
+        self.per_flow_bytes.clear();
+        self.blocked_flows.clear();
+        self.stats = FlowThresholdStats::default();
+    }
+}
+
+impl QueueHandler for FlowSizeThreshold {
+    fn name(&self) -> &str {
+        "baseline-flow-threshold"
+    }
+
+    fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict {
+        self.stats.packets_inspected += 1;
+        let key = packet.flow_key();
+        let entry = self.per_flow_bytes.entry(key);
+        if matches!(entry, std::collections::btree_map::Entry::Vacant(_)) {
+            self.stats.flows_tracked += 1;
+        }
+        let total = entry.or_insert(0);
+        *total += packet.payload().len() as u64;
+
+        if *total > self.threshold_bytes {
+            self.stats.packets_dropped += 1;
+            let newly_blocked = !self.blocked_flows.get(&key).copied().unwrap_or(false);
+            if newly_blocked {
+                self.stats.flows_blocked += 1;
+                self.blocked_flows.insert(key, true);
+            }
+            Verdict::drop(format!(
+                "flow exceeded {} byte outbound threshold ({} bytes seen)",
+                self.threshold_bytes, *total
+            ))
+        } else {
+            Verdict::Accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_netsim::addr::Endpoint;
+
+    fn packet(port: u16, payload: usize) -> Ipv4Packet {
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 2], port),
+            Endpoint::new([93, 184, 216, 34], 443),
+            vec![0xaa; payload],
+        )
+    }
+
+    #[test]
+    fn small_flows_pass_large_flows_get_cut() {
+        let mut handler = FlowSizeThreshold::new(1_000);
+        // Three packets of 400 bytes on the same flow: third exceeds 1,000.
+        assert!(handler.handle(&mut packet(40000, 400)).is_accept());
+        assert!(handler.handle(&mut packet(40000, 400)).is_accept());
+        assert!(!handler.handle(&mut packet(40000, 400)).is_accept());
+        let stats = handler.stats();
+        assert_eq!(stats.flows_tracked, 1);
+        assert_eq!(stats.flows_blocked, 1);
+        assert_eq!(stats.packets_dropped, 1);
+    }
+
+    #[test]
+    fn distinct_flows_are_tracked_independently() {
+        let mut handler = FlowSizeThreshold::new(500);
+        assert!(handler.handle(&mut packet(40000, 400)).is_accept());
+        assert!(handler.handle(&mut packet(40001, 400)).is_accept());
+        assert_eq!(handler.stats().flows_tracked, 2);
+        // Fragmenting an upload across sockets evades the threshold — the
+        // weakness the paper points out.
+        assert_eq!(handler.stats().packets_dropped, 0);
+    }
+
+    #[test]
+    fn uploads_below_threshold_slip_through() {
+        let mut handler = FlowSizeThreshold::new(10_000);
+        assert!(handler.handle(&mut packet(40002, 9_000)).is_accept());
+        assert_eq!(handler.flow_bytes(&packet(40002, 0).flow_key()), 9_000);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut handler = FlowSizeThreshold::new(100);
+        handler.handle(&mut packet(40000, 200));
+        assert_eq!(handler.stats().packets_inspected, 1);
+        handler.reset();
+        assert_eq!(handler.stats().packets_inspected, 0);
+        assert_eq!(handler.flow_bytes(&packet(40000, 0).flow_key()), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! IP / DNS-name blocklist enforcement.
+//!
+//! The classic network-level control: drop every packet destined for a set of
+//! addresses (populated directly or by resolving DNS names or suffixes).  The
+//! case studies show its fundamental limitation — when desirable and
+//! undesirable functionality share an endpoint, the blocklist can only block
+//! both or neither.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use bp_netsim::addr::DnsTable;
+use bp_netsim::netfilter::{QueueHandler, Verdict};
+use bp_netsim::packet::Ipv4Packet;
+
+/// Counters kept by the blocklist.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpBlocklistStats {
+    /// Packets inspected.
+    pub packets_inspected: u64,
+    /// Packets dropped because their destination was blocklisted.
+    pub packets_dropped: u64,
+}
+
+/// An IP/DNS destination blocklist.
+///
+/// # Examples
+///
+/// ```
+/// use bp_baseline::IpBlocklist;
+/// use std::net::Ipv4Addr;
+///
+/// let mut blocklist = IpBlocklist::new();
+/// blocklist.block_ip(Ipv4Addr::new(157, 240, 1, 1));
+/// assert!(blocklist.is_blocked(Ipv4Addr::new(157, 240, 1, 1)));
+/// assert!(!blocklist.is_blocked(Ipv4Addr::new(8, 8, 8, 8)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpBlocklist {
+    blocked: BTreeSet<Ipv4Addr>,
+    stats: IpBlocklistStats,
+}
+
+impl IpBlocklist {
+    /// An empty blocklist (blocks nothing).
+    pub fn new() -> Self {
+        IpBlocklist::default()
+    }
+
+    /// Block a destination address.
+    pub fn block_ip(&mut self, ip: Ipv4Addr) {
+        self.blocked.insert(ip);
+    }
+
+    /// Block the address a DNS name resolves to (no-op if the name is unknown).
+    pub fn block_dns_name(&mut self, dns: &DnsTable, name: &str) {
+        if let Some(ip) = dns.resolve(name) {
+            self.blocked.insert(ip);
+        }
+    }
+
+    /// Block every address whose registered DNS name ends with `suffix`
+    /// (e.g. `.facebook.com`).
+    pub fn block_dns_suffix(&mut self, dns: &DnsTable, suffix: &str) {
+        for ip in dns.addresses_matching_suffix(suffix) {
+            self.blocked.insert(ip);
+        }
+    }
+
+    /// Whether `ip` is currently blocked.
+    pub fn is_blocked(&self, ip: Ipv4Addr) -> bool {
+        self.blocked.contains(&ip)
+    }
+
+    /// Number of blocked addresses.
+    pub fn len(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// True if nothing is blocked.
+    pub fn is_empty(&self) -> bool {
+        self.blocked.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> IpBlocklistStats {
+        self.stats
+    }
+}
+
+impl QueueHandler for IpBlocklist {
+    fn name(&self) -> &str {
+        "baseline-ip-blocklist"
+    }
+
+    fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict {
+        self.stats.packets_inspected += 1;
+        if self.blocked.contains(&packet.destination().ip) {
+            self.stats.packets_dropped += 1;
+            Verdict::drop(format!("destination {} is blocklisted", packet.destination().ip))
+        } else {
+            Verdict::Accept
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_netsim::addr::Endpoint;
+
+    fn packet_to(ip: Ipv4Addr) -> Ipv4Packet {
+        Ipv4Packet::new(Endpoint::new([10, 0, 0, 2], 40000), Endpoint::from_ip(ip, 443), vec![1])
+    }
+
+    #[test]
+    fn blocks_exact_destinations_only() {
+        let mut blocklist = IpBlocklist::new();
+        blocklist.block_ip(Ipv4Addr::new(1, 2, 3, 4));
+        let mut blocked = packet_to(Ipv4Addr::new(1, 2, 3, 4));
+        let mut allowed = packet_to(Ipv4Addr::new(1, 2, 3, 5));
+        assert!(!blocklist.handle(&mut blocked).is_accept());
+        assert!(blocklist.handle(&mut allowed).is_accept());
+        assert_eq!(blocklist.stats().packets_inspected, 2);
+        assert_eq!(blocklist.stats().packets_dropped, 1);
+    }
+
+    #[test]
+    fn dns_name_and_suffix_blocking() {
+        let mut dns = DnsTable::new();
+        dns.register("graph.facebook.com", Ipv4Addr::new(157, 240, 1, 1));
+        dns.register("api.facebook.com", Ipv4Addr::new(157, 240, 1, 2));
+        dns.register("api.dropbox.com", Ipv4Addr::new(162, 125, 4, 1));
+
+        let mut by_name = IpBlocklist::new();
+        by_name.block_dns_name(&dns, "graph.facebook.com");
+        by_name.block_dns_name(&dns, "unknown.example.com");
+        assert_eq!(by_name.len(), 1);
+
+        let mut by_suffix = IpBlocklist::new();
+        by_suffix.block_dns_suffix(&dns, ".facebook.com");
+        assert_eq!(by_suffix.len(), 2);
+        assert!(by_suffix.is_blocked(Ipv4Addr::new(157, 240, 1, 2)));
+        assert!(!by_suffix.is_blocked(Ipv4Addr::new(162, 125, 4, 1)));
+    }
+
+    #[test]
+    fn empty_blocklist_accepts_everything() {
+        let mut blocklist = IpBlocklist::new();
+        assert!(blocklist.is_empty());
+        let mut packet = packet_to(Ipv4Addr::new(9, 9, 9, 9));
+        assert!(blocklist.handle(&mut packet).is_accept());
+        assert_eq!(blocklist.stats().packets_dropped, 0);
+    }
+}

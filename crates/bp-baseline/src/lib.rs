@@ -1,0 +1,18 @@
+//! On-network enforcement baselines.
+//!
+//! The paper contrasts BorderPatrol with what a purely network-level
+//! enforcement point can do (§VI-C "On-network enforcement" and §VII): block
+//! by destination IP address or DNS name, or throttle/deny flows whose
+//! outbound volume exceeds a threshold.  Both mechanisms are implemented here
+//! as NFQUEUE consumers so the case studies can run the exact same traffic
+//! through either BorderPatrol or a baseline and compare which
+//! functionalities survive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_threshold;
+pub mod ip_blocklist;
+
+pub use flow_threshold::{FlowSizeThreshold, FlowThresholdStats};
+pub use ip_blocklist::{IpBlocklist, IpBlocklistStats};

@@ -1,0 +1,64 @@
+//! Ablation benchmarks: the §VII design alternatives (set-once kernel,
+//! stripped debug information, multi-dex wide encoding) plus the end-to-end
+//! cost of running one functionality under each kernel/policy variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bp_analysis::experiments::ablations;
+use bp_analysis::testbed::{Deployment, Testbed};
+use bp_appsim::generator::CorpusGenerator;
+use bp_bench::case_study_policies;
+use bp_core::enforcer::EnforcerConfig;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("full_ablation_suite", |b| {
+        b.iter(|| {
+            let result = ablations::run().unwrap();
+            assert!(result.replay_blocked_on_hardened_kernel);
+            result
+        })
+    });
+
+    group.bench_function("end_to_end_run_debug_info_retained", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::new(Deployment::BorderPatrol {
+                policies: case_study_policies(),
+                config: EnforcerConfig::default(),
+            });
+            let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
+            black_box(testbed.run(app, "upload").unwrap())
+        })
+    });
+
+    group.bench_function("end_to_end_run_debug_info_stripped", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::new(Deployment::BorderPatrol {
+                policies: case_study_policies(),
+                config: EnforcerConfig::default(),
+            });
+            let app = testbed
+                .install_app(CorpusGenerator::dropbox().without_debug_info())
+                .unwrap();
+            black_box(testbed.run(app, "upload").unwrap())
+        })
+    });
+
+    group.bench_function("end_to_end_run_multidex_wide_encoding", |b| {
+        b.iter(|| {
+            let mut testbed = Testbed::new(Deployment::BorderPatrol {
+                policies: case_study_policies(),
+                config: EnforcerConfig::default(),
+            });
+            let app = testbed.install_app(CorpusGenerator::dropbox().as_multidex()).unwrap();
+            black_box(testbed.run(app, "upload").unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

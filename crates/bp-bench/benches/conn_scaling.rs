@@ -1,0 +1,23 @@
+//! Connection-scaling benchmark (§VI-D / §I claim): per-connection cost of the
+//! full BorderPatrol pipeline as the number of connections grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bp_analysis::perf::connection_scaling;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conn_scaling");
+    group.sample_size(10);
+    for connections in [50usize, 250, 1_000] {
+        group.throughput(Throughput::Elements(connections as u64));
+        group.bench_with_input(
+            BenchmarkId::new("connections", connections),
+            &connections,
+            |b, &connections| b.iter(|| connection_scaling(&[connections]).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Micro-benchmark: context encode/decode (the per-connect hot path of the
+//! Context Manager and the per-packet hot path of the Policy Enforcer).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bp_bench::analyzed_dropbox;
+use bp_core::encoding::ContextEncoding;
+
+fn bench_encoding(c: &mut Criterion) {
+    let app = analyzed_dropbox();
+    let tag = app.apk.hash().tag();
+    let indexes = app.stack_indexes("upload");
+    let payload = app.context_payload("upload");
+
+    let mut group = c.benchmark_group("context_encoding");
+    group.bench_function("encode_narrow", |b| {
+        b.iter(|| ContextEncoding::encode(black_box(tag), black_box(&indexes), false).unwrap())
+    });
+    group.bench_function("encode_wide", |b| {
+        b.iter(|| ContextEncoding::encode(black_box(tag), black_box(&indexes), true).unwrap())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| ContextEncoding::decode(black_box(&payload)).unwrap())
+    });
+    group.bench_function("resolve_stack_via_database", |b| {
+        let decoded = ContextEncoding::decode(&payload).unwrap();
+        b.iter(|| {
+            app.database
+                .resolve_stack(black_box(decoded.app_tag), black_box(&decoded.frame_indexes))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Throughput of the Policy Enforcer and Packet Sanitizer NFQUEUE consumers
+//! (packets per second through the network-side pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bp_bench::{analyzed_solcalendar, case_study_policies};
+use bp_core::enforcer::{EnforcerConfig, PolicyEnforcer};
+use bp_core::sanitizer::PacketSanitizer;
+use bp_netsim::netfilter::QueueHandler;
+
+fn bench_enforcer(c: &mut Criterion) {
+    let app = analyzed_solcalendar();
+    let allowed = app.tagged_packet("fb-login");
+    let denied = app.tagged_packet("fb-analytics");
+
+    let mut group = c.benchmark_group("enforcer_throughput");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("inspect_allowed_packet", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            case_study_policies(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            let mut packet = allowed.clone();
+            black_box(enforcer.handle(&mut packet))
+        })
+    });
+    group.bench_function("inspect_denied_packet", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            case_study_policies(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            let mut packet = denied.clone();
+            black_box(enforcer.handle(&mut packet))
+        })
+    });
+    group.bench_function("sanitize_packet", |b| {
+        let mut sanitizer = PacketSanitizer::new();
+        b.iter(|| {
+            let mut packet = allowed.clone();
+            black_box(sanitizer.handle(&mut packet))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcer);
+criterion_main!(benches);

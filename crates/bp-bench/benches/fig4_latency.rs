@@ -1,0 +1,38 @@
+//! Fig. 4 benchmark: the six stack configurations of the HTTP GET stress test.
+//!
+//! Criterion measures the real compute cost of driving each configuration,
+//! while the simulated per-request latency (the quantity the paper plots) is
+//! printed once per configuration so the series can be pasted into
+//! EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bp_analysis::perf::{StackConfiguration, StressRunner};
+
+fn bench_fig4(c: &mut Criterion) {
+    // Print the simulated Fig. 4 series once (this is the figure's y-axis).
+    let runner = StressRunner::new(100);
+    println!("\nFig. 4 — simulated mean latency per configuration:");
+    for result in runner.measure_all().expect("fig4 sweep runs") {
+        println!(
+            "  {:<26} {:>8.3} ms",
+            result.configuration.label(),
+            result.mean_latency.as_millis_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig4_latency");
+    group.sample_size(10);
+    let runner = StressRunner::new(25);
+    for configuration in StackConfiguration::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("configuration", configuration.label()),
+            &configuration,
+            |b, &configuration| b.iter(|| runner.measure(configuration).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

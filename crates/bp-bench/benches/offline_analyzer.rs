@@ -1,0 +1,37 @@
+//! Offline Analyzer cost: apk parsing, signature extraction, index assignment
+//! and database serialization (paper §V-A).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bp_appsim::generator::CorpusGenerator;
+use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
+use bp_dex::MethodTable;
+
+fn bench_offline_analyzer(c: &mut Criterion) {
+    let apk = CorpusGenerator::dropbox().build_apk();
+    let multidex_apk = CorpusGenerator::dropbox().as_multidex().build_apk();
+    let analyzer = OfflineAnalyzer::new();
+
+    let mut group = c.benchmark_group("offline_analyzer");
+    group.bench_function("analyze_single_dex_apk", |b| {
+        b.iter(|| analyzer.analyze(black_box(&apk)).unwrap())
+    });
+    group.bench_function("analyze_multidex_apk", |b| {
+        b.iter(|| analyzer.analyze(black_box(&multidex_apk)).unwrap())
+    });
+    group.bench_function("method_table_construction", |b| {
+        b.iter(|| MethodTable::from_apk(black_box(&apk)).unwrap())
+    });
+    group.bench_function("database_json_roundtrip", |b| {
+        let mut db = SignatureDatabase::new();
+        analyzer.analyze_into(&apk, &mut db).unwrap();
+        b.iter(|| {
+            let json = db.to_json().unwrap();
+            SignatureDatabase::from_json(black_box(&json)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_analyzer);
+criterion_main!(benches);

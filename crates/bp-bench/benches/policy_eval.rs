@@ -1,0 +1,47 @@
+//! Micro-benchmark: policy evaluation against decoded stacks — a small
+//! case-study policy set vs the full 1,050-library validation blacklist.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use bp_bench::{analyzed_dropbox, analyzed_solcalendar, blacklist_policies, case_study_policies};
+use bp_core::encoding::ContextEncoding;
+
+fn bench_policy_eval(c: &mut Criterion) {
+    let dropbox = analyzed_dropbox();
+    let solcal = analyzed_solcalendar();
+
+    let dropbox_stack = dropbox
+        .database
+        .resolve_stack(
+            dropbox.apk.hash().tag(),
+            &ContextEncoding::decode(&dropbox.context_payload("upload")).unwrap().frame_indexes,
+        )
+        .unwrap();
+    let solcal_stack = solcal
+        .database
+        .resolve_stack(
+            solcal.apk.hash().tag(),
+            &ContextEncoding::decode(&solcal.context_payload("fb-analytics")).unwrap().frame_indexes,
+        )
+        .unwrap();
+
+    let small = case_study_policies();
+    let blacklist = blacklist_policies();
+    let dropbox_tag = dropbox.apk.hash().tag();
+    let solcal_tag = solcal.apk.hash().tag();
+
+    let mut group = c.benchmark_group("policy_evaluation");
+    group.bench_function("case_study_set_vs_upload_stack", |b| {
+        b.iter(|| small.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
+    });
+    group.bench_function("blacklist_1050_vs_benign_stack", |b| {
+        b.iter(|| blacklist.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
+    });
+    group.bench_function("blacklist_1050_vs_analytics_stack", |b| {
+        b.iter(|| blacklist.evaluate(black_box(solcal_tag), black_box(&solcal_stack)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_eval);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Validation-experiment benchmark (§VI-B-1): apply the exfiltrating-library
+//! blacklist to a corpus slice and verify flagged traffic is dropped while
+//! benign functionality stays intact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bp_analysis::experiments::validation::{run, ValidationConfig};
+use bp_appsim::generator::CorpusConfig;
+
+fn bench_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation_sweep");
+    group.sample_size(10);
+    group.bench_function("blacklist_over_8_apps", |b| {
+        let config = ValidationConfig {
+            corpus: CorpusConfig::small(41, 20),
+            apps_to_evaluate: 8,
+        };
+        b.iter(|| {
+            let result = run(&config).unwrap();
+            assert!(result.all_pass());
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Shared fixtures for the BorderPatrol benchmark suite.
+//!
+//! Each Criterion bench target regenerates one of the paper's tables or
+//! figures (see `DESIGN.md` §3 for the mapping).  The helpers here build the
+//! fixtures the benches share — analyzed case-study apps, encoded context
+//! payloads, tagged packets and ready-to-use policy sets — so the benchmark
+//! bodies measure only the operation under test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bp_appsim::app::AppSpec;
+use bp_appsim::generator::CorpusGenerator;
+use bp_core::encoding::ContextEncoding;
+use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
+use bp_core::policy::{Policy, PolicySet};
+use bp_dex::{ApkFile, MethodTable};
+use bp_netsim::addr::Endpoint;
+use bp_netsim::options::{IpOption, IpOptionKind};
+use bp_netsim::packet::Ipv4Packet;
+use bp_types::EnforcementLevel;
+
+/// A fully analyzed application fixture.
+pub struct AnalyzedApp {
+    /// The app specification.
+    pub spec: AppSpec,
+    /// Its built apk.
+    pub apk: ApkFile,
+    /// The deterministic method table.
+    pub table: MethodTable,
+    /// A signature database containing only this app.
+    pub database: SignatureDatabase,
+}
+
+/// Build the Dropbox case-study fixture.
+pub fn analyzed_dropbox() -> AnalyzedApp {
+    analyzed(CorpusGenerator::dropbox())
+}
+
+/// Build the SolCalendar (Facebook SDK) case-study fixture.
+pub fn analyzed_solcalendar() -> AnalyzedApp {
+    analyzed(CorpusGenerator::solcalendar())
+}
+
+/// Analyze an arbitrary app spec.
+pub fn analyzed(spec: AppSpec) -> AnalyzedApp {
+    let apk = spec.build_apk();
+    let table = MethodTable::from_apk(&apk).expect("fixture apk parses");
+    let mut database = SignatureDatabase::new();
+    OfflineAnalyzer::new().analyze_into(&apk, &mut database).expect("fixture analyzes");
+    AnalyzedApp { spec, apk, table, database }
+}
+
+impl AnalyzedApp {
+    /// The frame indexes of a functionality's connect-time stack (innermost
+    /// first, excluding runtime frames).
+    pub fn stack_indexes(&self, functionality: &str) -> Vec<u32> {
+        self.spec
+            .functionality(functionality)
+            .expect("fixture functionality exists")
+            .call_chain
+            .iter()
+            .rev()
+            .filter_map(|sig| self.table.index_of(sig))
+            .collect()
+    }
+
+    /// An encoded context payload for a functionality.
+    pub fn context_payload(&self, functionality: &str) -> Vec<u8> {
+        ContextEncoding::encode(self.apk.hash().tag(), &self.stack_indexes(functionality), false)
+            .expect("fixture context encodes")
+    }
+
+    /// A packet tagged with the context of a functionality.
+    pub fn tagged_packet(&self, functionality: &str) -> Ipv4Packet {
+        let mut packet = Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 7], 40_000),
+            Endpoint::new([198, 51, 100, 7], 443),
+            vec![0xA5; 256],
+        );
+        packet
+            .options_mut()
+            .push(
+                IpOption::new(IpOptionKind::BorderPatrolContext, self.context_payload(functionality))
+                    .expect("fixture option fits"),
+            )
+            .expect("fixture option fits packet");
+        packet
+    }
+}
+
+/// The validation blacklist (one library-level deny per exfiltrating library).
+pub fn blacklist_policies() -> PolicySet {
+    let catalog = bp_appsim::catalog::LibraryCatalog::builtin();
+    catalog
+        .exfiltrating_prefixes()
+        .into_iter()
+        .map(|prefix| Policy::deny(EnforcementLevel::Library, prefix))
+        .collect()
+}
+
+/// A small, targeted policy set (the case-study policies).
+pub fn case_study_policies() -> PolicySet {
+    PolicySet::from_policies(vec![
+        Policy::deny(EnforcementLevel::Method, "Lcom/dropbox/android/taskqueue/UploadTask;->c"),
+        Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"),
+        Policy::deny(EnforcementLevel::Library, "com/flurry"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let dropbox = analyzed_dropbox();
+        assert!(!dropbox.stack_indexes("upload").is_empty());
+        assert!(dropbox.tagged_packet("upload").has_context_option());
+        assert!(blacklist_policies().len() > 1_000);
+        assert_eq!(case_study_policies().len(), 3);
+    }
+}

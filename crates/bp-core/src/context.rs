@@ -1,0 +1,376 @@
+//! The Context Manager (on-device component).
+//!
+//! The Context Manager runs inside app processes as a hook module.  When an
+//! app is loaded it parses the app's dex file(s) and builds the same
+//! deterministic signature↔index mapping the Offline Analyzer produced.  After
+//! a socket is connected it gathers the call stack, maps each frame to its
+//! index (using source line numbers to disambiguate overloads), encodes the
+//! app tag plus index list, and injects the result into the socket's
+//! `IP_OPTIONS` through the capability-gated `setsockopt` path.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use bp_dex::{ApkFile, MethodTable};
+use bp_device::hooks::{HookContext, HookOutcome, SocketConnectHook};
+use bp_netsim::kernel::KernelNetStack;
+use bp_netsim::options::{IpOption, IpOptionKind, IpOptions};
+use bp_types::{ApkHash, AppTag, Error};
+
+use crate::encoding::ContextEncoding;
+
+/// Configuration of the Context Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextManagerConfig {
+    /// Use 3-byte frame indexes even for single-dex apps (normally the wide
+    /// encoding is selected automatically for multi-dex apps).
+    pub force_wide_encoding: bool,
+    /// Skip frames that do not resolve to an app method (framework and
+    /// `java.*` frames).  Disabling this makes unresolvable frames an error.
+    pub skip_unresolvable_frames: bool,
+}
+
+impl Default for ContextManagerConfig {
+    fn default() -> Self {
+        ContextManagerConfig { force_wide_encoding: false, skip_unresolvable_frames: true }
+    }
+}
+
+/// Per-app state the Context Manager keeps after app load.
+#[derive(Debug, Clone)]
+struct RegisteredApp {
+    table: MethodTable,
+    multidex: bool,
+}
+
+/// Statistics the Context Manager keeps about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextManagerStats {
+    /// Connect events handled.
+    pub connects_handled: u64,
+    /// Contexts successfully injected into `IP_OPTIONS`.
+    pub contexts_injected: u64,
+    /// Stack frames that could not be resolved to an app method (skipped).
+    pub frames_skipped: u64,
+    /// Contexts that had to be truncated to fit the options budget.
+    pub contexts_truncated: u64,
+    /// `setsockopt` failures (e.g. missing kernel patch).
+    pub injection_failures: u64,
+}
+
+/// The Context Manager hook module.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::context::ContextManager;
+/// use bp_appsim::generator::CorpusGenerator;
+///
+/// let mut manager = ContextManager::new();
+/// let apk = CorpusGenerator::dropbox().build_apk();
+/// let tag = manager.register_app(&apk)?;
+/// assert!(manager.is_registered(tag));
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ContextManager {
+    config: ContextManagerConfig,
+    apps: BTreeMap<AppTag, RegisteredApp>,
+    stats: ContextManagerStats,
+}
+
+impl ContextManager {
+    /// Create a Context Manager with the default configuration.
+    pub fn new() -> Self {
+        ContextManager::default()
+    }
+
+    /// Create a Context Manager with an explicit configuration.
+    pub fn with_config(config: ContextManagerConfig) -> Self {
+        ContextManager { config, apps: BTreeMap::new(), stats: ContextManagerStats::default() }
+    }
+
+    /// Wrap a Context Manager for installation as a device hook while keeping
+    /// a shared handle for statistics inspection.
+    pub fn shared(self) -> Arc<Mutex<ContextManager>> {
+        Arc::new(Mutex::new(self))
+    }
+
+    /// Register an app at load time: parse its dex files and build the
+    /// deterministic method table.  Returns the app tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dex parsing failures.
+    pub fn register_app(&mut self, apk: &ApkFile) -> Result<AppTag, Error> {
+        let hash: ApkHash = apk.hash();
+        let table = MethodTable::from_apk(apk)?;
+        let tag = hash.tag();
+        self.apps.insert(tag, RegisteredApp { table, multidex: apk.is_multidex() });
+        Ok(tag)
+    }
+
+    /// Whether the app identified by `tag` has been registered.
+    pub fn is_registered(&self, tag: AppTag) -> bool {
+        self.apps.contains_key(&tag)
+    }
+
+    /// Number of registered apps.
+    pub fn registered_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Operation statistics.
+    pub fn stats(&self) -> ContextManagerStats {
+        self.stats
+    }
+
+    /// Resolve the raw frames of `context` into method-table indexes for the
+    /// app `tag`, innermost first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for unregistered apps, or for unresolvable
+    /// frames when `skip_unresolvable_frames` is disabled.
+    pub fn resolve_indexes(&mut self, tag: AppTag, context: &HookContext) -> Result<Vec<u32>, Error> {
+        let app = self
+            .apps
+            .get(&tag)
+            .ok_or_else(|| Error::not_found("registered app", tag.to_hex()))?;
+        let mut indexes = Vec::with_capacity(context.stack.len());
+        for frame in &context.stack {
+            match app.table.resolve_frame(&frame.qualified_class, &frame.method_name, frame.line) {
+                Some(index) => indexes.push(index),
+                None => {
+                    if self.config.skip_unresolvable_frames {
+                        self.stats.frames_skipped += 1;
+                    } else {
+                        return Err(Error::not_found(
+                            "stack frame",
+                            format!("{}.{}", frame.qualified_class, frame.method_name),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(indexes)
+    }
+
+    /// Encode and inject the context for one connect event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution, encoding and `setsockopt` errors.
+    pub fn inject(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error> {
+        self.stats.connects_handled += 1;
+        let tag = context.apk_hash.tag();
+        let app = self
+            .apps
+            .get(&tag)
+            .ok_or_else(|| Error::not_found("registered app", tag.to_hex()))?;
+        let wide = self.config.force_wide_encoding || app.multidex;
+
+        let indexes = self.resolve_indexes(tag, context)?;
+        if indexes.len() > ContextEncoding::max_frames(wide) {
+            self.stats.contexts_truncated += 1;
+        }
+        let payload = ContextEncoding::encode(tag, &indexes, wide)?;
+
+        let mut options = IpOptions::new();
+        options.push(IpOption::new(IpOptionKind::BorderPatrolContext, payload)?)?;
+        match kernel.setsockopt_ip_options(&context.credentials, context.socket, options) {
+            Ok(()) => {
+                self.stats.contexts_injected += 1;
+                Ok(HookOutcome {
+                    used_get_stack_trace: true,
+                    encoded_context: true,
+                    set_ip_options: true,
+                })
+            }
+            Err(e) => {
+                self.stats.injection_failures += 1;
+                Err(e)
+            }
+        }
+    }
+}
+
+impl SocketConnectHook for ContextManager {
+    fn name(&self) -> &str {
+        "borderpatrol-context-manager"
+    }
+
+    fn after_connect(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error> {
+        self.inject(context, kernel)
+    }
+}
+
+/// A thin adapter that lets a shared [`ContextManager`] be installed as a
+/// device hook while the caller keeps the `Arc` for inspection.
+pub struct SharedContextManager(pub Arc<Mutex<ContextManager>>);
+
+impl SocketConnectHook for SharedContextManager {
+    fn name(&self) -> &str {
+        "borderpatrol-context-manager"
+    }
+
+    fn after_connect(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error> {
+        self.0.lock().inject(context, kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_appsim::generator::CorpusGenerator;
+    use bp_device::device::{Device, Profile};
+    use bp_netsim::addr::Endpoint;
+    use bp_netsim::kernel::KernelConfig;
+    use bp_types::DeviceId;
+
+    use crate::offline::{OfflineAnalyzer, SignatureDatabase};
+
+    fn endpoint() -> Endpoint {
+        Endpoint::new([162, 125, 4, 1], 443)
+    }
+
+    fn device_with_context_manager(
+        spec: bp_appsim::app::AppSpec,
+        kernel: KernelConfig,
+    ) -> (Device, Arc<Mutex<ContextManager>>, bp_types::AppId) {
+        let mut manager = ContextManager::new();
+        let apk = spec.build_apk();
+        manager.register_app(&apk).unwrap();
+        let shared = manager.shared();
+        let mut device = Device::new(DeviceId::new(1), kernel);
+        device.install_hook(Box::new(SharedContextManager(Arc::clone(&shared))));
+        let app = device.install_app(spec, Profile::Work);
+        (device, shared, app)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut manager = ContextManager::new();
+        let apk = CorpusGenerator::dropbox().build_apk();
+        let tag = manager.register_app(&apk).unwrap();
+        assert!(manager.is_registered(tag));
+        assert_eq!(manager.registered_apps(), 1);
+        assert!(!manager.is_registered(ApkHash::digest(b"other").tag()));
+    }
+
+    #[test]
+    fn invocation_tags_packets_with_decodable_context() {
+        let spec = CorpusGenerator::dropbox();
+        let (mut device, shared, app) =
+            device_with_context_manager(spec.clone(), KernelConfig::borderpatrol_prototype());
+
+        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        assert!(invocation.hook_outcome.encoded_context);
+        assert!(invocation.packets.iter().all(|p| p.has_context_option()));
+
+        // Decode through the offline database and confirm the UploadTask frame
+        // is present.
+        let apk = spec.build_apk();
+        let mut db = SignatureDatabase::new();
+        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+
+        let option = invocation.packets[0]
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .unwrap();
+        let decoded = ContextEncoding::decode(&option.data).unwrap();
+        assert_eq!(decoded.app_tag, apk.hash().tag());
+        let stack = db.resolve_stack(decoded.app_tag, &decoded.frame_indexes).unwrap();
+        assert!(stack
+            .iter()
+            .any(|s| s.qualified_class() == "com/dropbox/android/taskqueue/UploadTask"));
+
+        let stats = shared.lock().stats();
+        assert_eq!(stats.contexts_injected, 1);
+        assert_eq!(stats.injection_failures, 0);
+        // The java.net.Socket connect frame is not an app method and is skipped.
+        assert!(stats.frames_skipped >= 1);
+    }
+
+    #[test]
+    fn context_manager_and_offline_analyzer_agree_on_indexes() {
+        let spec = CorpusGenerator::solcalendar();
+        let apk = spec.build_apk();
+        let mut manager = ContextManager::new();
+        manager.register_app(&apk).unwrap();
+        let mut db = SignatureDatabase::new();
+        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+
+        // Every signature index resolved on-device must decode to the same
+        // signature off-device.
+        let table = MethodTable::from_apk(&apk).unwrap();
+        for (i, sig) in table.signatures().iter().enumerate() {
+            let resolved = db.resolve_stack(apk.hash().tag(), &[i as u32]).unwrap();
+            assert_eq!(&resolved[0], sig);
+        }
+    }
+
+    #[test]
+    fn missing_kernel_patch_causes_injection_failure() {
+        let spec = CorpusGenerator::dropbox();
+        let (mut device, shared, app) =
+            device_with_context_manager(spec, KernelConfig::default());
+        let invocation = device.invoke_functionality(app, "browse", endpoint()).unwrap();
+        // The hook error is swallowed by the framework, so packets go out untagged.
+        assert!(invocation.packets.iter().all(|p| !p.has_context_option()));
+        assert_eq!(shared.lock().stats().injection_failures, 1);
+        assert_eq!(device.hook_stats().errors, 1);
+    }
+
+    #[test]
+    fn unregistered_app_fails_resolution() {
+        let spec = CorpusGenerator::box_app();
+        // Install the hook but never register the app with the manager.
+        let shared = ContextManager::new().shared();
+        let mut device = Device::new(DeviceId::new(2), KernelConfig::borderpatrol_prototype());
+        device.install_hook(Box::new(SharedContextManager(Arc::clone(&shared))));
+        let app = device.install_app(spec, Profile::Work);
+        let invocation = device.invoke_functionality(app, "browse", endpoint()).unwrap();
+        assert!(invocation.packets.iter().all(|p| !p.has_context_option()));
+        assert_eq!(device.hook_stats().errors, 1);
+    }
+
+    #[test]
+    fn multidex_apps_use_wide_encoding() {
+        let spec = CorpusGenerator::dropbox().as_multidex();
+        let (mut device, _shared, app) =
+            device_with_context_manager(spec, KernelConfig::borderpatrol_prototype());
+        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        let option = invocation.packets[0]
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .unwrap();
+        let decoded = ContextEncoding::decode(&option.data).unwrap();
+        assert!(decoded.wide);
+    }
+
+    #[test]
+    fn stripped_debug_info_still_produces_context() {
+        // Overloads merge (over-approximation) but context is still attached.
+        let spec = CorpusGenerator::dropbox().without_debug_info();
+        let (mut device, shared, app) =
+            device_with_context_manager(spec, KernelConfig::borderpatrol_prototype());
+        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        assert!(invocation.packets.iter().all(|p| p.has_context_option()));
+        assert_eq!(shared.lock().stats().contexts_injected, 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! The wire encoding of contextual information inside `IP_OPTIONS`.
+//!
+//! The options area offers at most 40 bytes including the 2-byte option
+//! header, so the Context Manager transmits the context as:
+//!
+//! ```text
+//! +--------+----------------+------------------------------+
+//! | flags  | app tag (8 B)  | frame indexes (2 or 3 B each)|
+//! +--------+----------------+------------------------------+
+//! ```
+//!
+//! * `flags` bit 0 — wide (3-byte) frame indexes, required for multi-dex apps
+//!   whose method count exceeds what 2 bytes can address (paper §VII,
+//!   "Multi-dex file applications");
+//! * `flags` bit 1 — the stack was truncated to fit the budget.
+//!
+//! With narrow (2-byte) indexes the payload holds up to 14 frames, with wide
+//! (3-byte) indexes up to 9 — enough for the innermost frames that carry the
+//! discriminating context.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{AppTag, Error};
+
+/// Maximum payload size of the BorderPatrol option: 40 bytes total minus the
+/// 2-byte option type/length header.
+pub const MAX_CONTEXT_PAYLOAD: usize = 38;
+
+/// Size of the header inside the payload: flags byte + 8-byte app tag.
+const PAYLOAD_HEADER: usize = 1 + 8;
+
+/// Flag bit: indexes are 3 bytes wide.
+const FLAG_WIDE: u8 = 0b0000_0001;
+/// Flag bit: the frame list was truncated to fit the budget.
+const FLAG_TRUNCATED: u8 = 0b0000_0010;
+
+/// A decoded context: the application tag plus the stack of method indexes,
+/// innermost frame first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EncodedContext {
+    /// Truncated apk hash identifying the application.
+    pub app_tag: AppTag,
+    /// Method-table indexes of the stack frames, innermost first.
+    pub frame_indexes: Vec<u32>,
+    /// Whether the encoder had to drop outer frames to fit the budget.
+    pub truncated: bool,
+    /// Whether 3-byte indexes were used.
+    pub wide: bool,
+}
+
+/// Encoder/decoder for the BorderPatrol context option payload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextEncoding;
+
+impl ContextEncoding {
+    /// Number of index bytes per frame for the given width.
+    pub fn bytes_per_frame(wide: bool) -> usize {
+        if wide {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Maximum number of frames that fit the payload for the given width.
+    pub fn max_frames(wide: bool) -> usize {
+        (MAX_CONTEXT_PAYLOAD - PAYLOAD_HEADER) / Self::bytes_per_frame(wide)
+    }
+
+    /// Largest index representable at the given width.
+    pub fn max_index(wide: bool) -> u32 {
+        if wide {
+            0x00ff_ffff
+        } else {
+            0xffff
+        }
+    }
+
+    /// Encode `app_tag` and `frame_indexes` (innermost first) into an option
+    /// payload.  Frames beyond the capacity are dropped from the *outer* end
+    /// and the truncated flag is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if any index exceeds what the
+    /// chosen width can represent.
+    pub fn encode(app_tag: AppTag, frame_indexes: &[u32], wide: bool) -> Result<Vec<u8>, Error> {
+        let max_index = Self::max_index(wide);
+        if let Some(&too_big) = frame_indexes.iter().find(|&&i| i > max_index) {
+            return Err(Error::capacity(
+                "frame index",
+                too_big as usize,
+                max_index as usize,
+            ));
+        }
+        let capacity = Self::max_frames(wide);
+        let truncated = frame_indexes.len() > capacity;
+        let kept = &frame_indexes[..frame_indexes.len().min(capacity)];
+
+        let mut flags = 0u8;
+        if wide {
+            flags |= FLAG_WIDE;
+        }
+        if truncated {
+            flags |= FLAG_TRUNCATED;
+        }
+
+        let mut payload = Vec::with_capacity(PAYLOAD_HEADER + kept.len() * Self::bytes_per_frame(wide));
+        payload.push(flags);
+        payload.extend_from_slice(app_tag.as_bytes());
+        for &index in kept {
+            if wide {
+                payload.extend_from_slice(&index.to_be_bytes()[1..4]);
+            } else {
+                payload.extend_from_slice(&(index as u16).to_be_bytes());
+            }
+        }
+        debug_assert!(payload.len() <= MAX_CONTEXT_PAYLOAD);
+        Ok(payload)
+    }
+
+    /// Decode an option payload back into an [`EncodedContext`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] if the payload is shorter than the header
+    /// or its frame area is not a multiple of the frame width.
+    pub fn decode(payload: &[u8]) -> Result<EncodedContext, Error> {
+        if payload.len() < PAYLOAD_HEADER {
+            return Err(Error::malformed("context option", "payload shorter than header"));
+        }
+        if payload.len() > MAX_CONTEXT_PAYLOAD {
+            return Err(Error::malformed("context option", "payload exceeds 38 bytes"));
+        }
+        let flags = payload[0];
+        let wide = flags & FLAG_WIDE != 0;
+        let truncated = flags & FLAG_TRUNCATED != 0;
+        let mut tag_bytes = [0u8; 8];
+        tag_bytes.copy_from_slice(&payload[1..9]);
+        let app_tag = AppTag::from_bytes(tag_bytes);
+
+        let frame_area = &payload[PAYLOAD_HEADER..];
+        let width = Self::bytes_per_frame(wide);
+        if frame_area.len() % width != 0 {
+            return Err(Error::malformed(
+                "context option",
+                format!("frame area of {} bytes is not a multiple of {width}", frame_area.len()),
+            ));
+        }
+        let frame_indexes = frame_area
+            .chunks_exact(width)
+            .map(|chunk| {
+                if wide {
+                    u32::from_be_bytes([0, chunk[0], chunk[1], chunk[2]])
+                } else {
+                    u32::from(u16::from_be_bytes([chunk[0], chunk[1]]))
+                }
+            })
+            .collect();
+        Ok(EncodedContext { app_tag, frame_indexes, truncated, wide })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_types::ApkHash;
+
+    fn tag() -> AppTag {
+        ApkHash::digest(b"com.example.app").tag()
+    }
+
+    #[test]
+    fn narrow_roundtrip() {
+        let indexes = vec![0, 1, 65_535, 42, 7];
+        let payload = ContextEncoding::encode(tag(), &indexes, false).unwrap();
+        assert!(payload.len() <= MAX_CONTEXT_PAYLOAD);
+        let decoded = ContextEncoding::decode(&payload).unwrap();
+        assert_eq!(decoded.app_tag, tag());
+        assert_eq!(decoded.frame_indexes, indexes);
+        assert!(!decoded.truncated);
+        assert!(!decoded.wide);
+    }
+
+    #[test]
+    fn wide_roundtrip() {
+        let indexes = vec![70_000, 0xff_ffff, 3];
+        let payload = ContextEncoding::encode(tag(), &indexes, true).unwrap();
+        let decoded = ContextEncoding::decode(&payload).unwrap();
+        assert_eq!(decoded.frame_indexes, indexes);
+        assert!(decoded.wide);
+    }
+
+    #[test]
+    fn capacity_limits() {
+        assert_eq!(ContextEncoding::max_frames(false), 14);
+        assert_eq!(ContextEncoding::max_frames(true), 9);
+        assert_eq!(ContextEncoding::max_index(false), 65_535);
+        assert_eq!(ContextEncoding::max_index(true), 16_777_215);
+    }
+
+    #[test]
+    fn truncation_keeps_innermost_frames() {
+        let indexes: Vec<u32> = (0..30).collect();
+        let payload = ContextEncoding::encode(tag(), &indexes, false).unwrap();
+        assert!(payload.len() <= MAX_CONTEXT_PAYLOAD);
+        let decoded = ContextEncoding::decode(&payload).unwrap();
+        assert!(decoded.truncated);
+        assert_eq!(decoded.frame_indexes.len(), ContextEncoding::max_frames(false));
+        assert_eq!(decoded.frame_indexes, (0..14).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn narrow_rejects_indexes_beyond_u16() {
+        let err = ContextEncoding::encode(tag(), &[70_000], false).unwrap_err();
+        assert!(matches!(err, Error::CapacityExceeded { .. }));
+        // The same index encodes fine in wide mode.
+        assert!(ContextEncoding::encode(tag(), &[70_000], true).is_ok());
+    }
+
+    #[test]
+    fn wide_rejects_indexes_beyond_24_bits() {
+        assert!(ContextEncoding::encode(tag(), &[0x0100_0000], true).is_err());
+    }
+
+    #[test]
+    fn empty_stack_encodes_header_only() {
+        let payload = ContextEncoding::encode(tag(), &[], false).unwrap();
+        assert_eq!(payload.len(), 9);
+        let decoded = ContextEncoding::decode(&payload).unwrap();
+        assert!(decoded.frame_indexes.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(ContextEncoding::decode(&[]).is_err());
+        assert!(ContextEncoding::decode(&[0; 5]).is_err());
+        // Narrow flag but odd frame area.
+        let mut payload = ContextEncoding::encode(tag(), &[1, 2], false).unwrap();
+        payload.push(0xFF);
+        assert!(ContextEncoding::decode(&payload).is_err());
+        // Oversized payload.
+        assert!(ContextEncoding::decode(&[0u8; 39]).is_err());
+    }
+
+    #[test]
+    fn distinct_apps_produce_distinct_payloads() {
+        let a = ContextEncoding::encode(ApkHash::digest(b"a").tag(), &[1, 2], false).unwrap();
+        let b = ContextEncoding::encode(ApkHash::digest(b"b").tag(), &[1, 2], false).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,395 @@
+//! The Policy Enforcer (network-side component).
+//!
+//! The Policy Enforcer consumes packets from an NFQUEUE and performs the three
+//! stages of §IV-A3: **extraction** of the app tag and index sequence from
+//! `IP_OPTIONS`, **decoding** of indexes back to method signatures through the
+//! signature database, and **enforcement** of the policy set.  Packets that
+//! violate policy are dropped; conforming packets continue to the Packet
+//! Sanitizer.
+
+use serde::{Deserialize, Serialize};
+
+use bp_netsim::netfilter::{QueueHandler, Verdict};
+use bp_netsim::options::IpOptionKind;
+use bp_netsim::packet::Ipv4Packet;
+
+use crate::encoding::ContextEncoding;
+use crate::offline::SignatureDatabase;
+use crate::policy::{Decision, PolicySet};
+
+/// Configuration of the Policy Enforcer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnforcerConfig {
+    /// Drop packets that carry no BorderPatrol context option at all.
+    ///
+    /// In the paper's deployment model (§VII "Compatibility") every packet
+    /// leaving the work profile is tagged, so untagged packets indicate
+    /// traffic from outside BorderPatrol's control and are dropped in strict
+    /// deployments; permissive deployments let them pass (useful while rolling
+    /// the system out).
+    pub drop_untagged: bool,
+    /// Drop packets whose app tag is not present in the signature database.
+    pub drop_unknown_apps: bool,
+    /// Drop packets whose context option fails to decode.
+    pub drop_malformed_context: bool,
+}
+
+impl Default for EnforcerConfig {
+    fn default() -> Self {
+        EnforcerConfig { drop_untagged: false, drop_unknown_apps: true, drop_malformed_context: true }
+    }
+}
+
+impl EnforcerConfig {
+    /// The strict deployment described in §VII: untagged packets are dropped.
+    pub fn strict() -> Self {
+        EnforcerConfig { drop_untagged: true, drop_unknown_apps: true, drop_malformed_context: true }
+    }
+
+    /// A permissive configuration that only enforces explicit policies.
+    pub fn permissive() -> Self {
+        EnforcerConfig {
+            drop_untagged: false,
+            drop_unknown_apps: false,
+            drop_malformed_context: false,
+        }
+    }
+}
+
+/// Counters the enforcer keeps, broken down by outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnforcerStats {
+    /// Packets inspected.
+    pub packets_inspected: u64,
+    /// Packets accepted.
+    pub packets_accepted: u64,
+    /// Packets dropped because a policy matched.
+    pub dropped_by_policy: u64,
+    /// Packets dropped because they carried no context option.
+    pub dropped_untagged: u64,
+    /// Packets dropped because the app tag was unknown.
+    pub dropped_unknown_app: u64,
+    /// Packets dropped because the context failed to decode.
+    pub dropped_malformed: u64,
+}
+
+impl EnforcerStats {
+    /// Total packets dropped for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_by_policy
+            + self.dropped_untagged
+            + self.dropped_unknown_app
+            + self.dropped_malformed
+    }
+}
+
+/// The Policy Enforcer NFQUEUE consumer.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::enforcer::{EnforcerConfig, PolicyEnforcer};
+/// use bp_core::offline::SignatureDatabase;
+/// use bp_core::policy::PolicySet;
+///
+/// let enforcer = PolicyEnforcer::new(
+///     SignatureDatabase::new(),
+///     PolicySet::new(),
+///     EnforcerConfig::default(),
+/// );
+/// assert_eq!(enforcer.stats().packets_inspected, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyEnforcer {
+    database: SignatureDatabase,
+    policies: PolicySet,
+    config: EnforcerConfig,
+    stats: EnforcerStats,
+    drop_log: Vec<String>,
+}
+
+impl PolicyEnforcer {
+    /// Create an enforcer with a signature database, a policy set and a
+    /// configuration.
+    pub fn new(database: SignatureDatabase, policies: PolicySet, config: EnforcerConfig) -> Self {
+        PolicyEnforcer { database, policies, config, stats: EnforcerStats::default(), drop_log: Vec::new() }
+    }
+
+    /// The active policy set.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// Replace the policy set (administrators reconfigure policies centrally;
+    /// this is the "Reconfigurability" design goal of §IV).
+    pub fn set_policies(&mut self, policies: PolicySet) {
+        self.policies = policies;
+    }
+
+    /// Replace the signature database (e.g. after new apps are analyzed).
+    pub fn set_database(&mut self, database: SignatureDatabase) {
+        self.database = database;
+    }
+
+    /// The signature database.
+    pub fn database(&self) -> &SignatureDatabase {
+        &self.database
+    }
+
+    /// Enforcement statistics.
+    pub fn stats(&self) -> EnforcerStats {
+        self.stats
+    }
+
+    /// Human-readable reasons of the most recent drops (most recent last).
+    pub fn drop_log(&self) -> &[String] {
+        &self.drop_log
+    }
+
+    /// Reset statistics and the drop log.
+    pub fn reset_stats(&mut self) {
+        self.stats = EnforcerStats::default();
+        self.drop_log.clear();
+    }
+
+    fn record_drop(&mut self, reason: String) -> Verdict {
+        self.drop_log.push(reason.clone());
+        if self.drop_log.len() > 10_000 {
+            self.drop_log.remove(0);
+        }
+        Verdict::Drop { reason }
+    }
+
+    /// Inspect one packet and produce a verdict (the three-stage pipeline).
+    pub fn inspect(&mut self, packet: &Ipv4Packet) -> Verdict {
+        self.stats.packets_inspected += 1;
+
+        // Stage 1: extraction.
+        let Some(option) = packet.options().find(IpOptionKind::BorderPatrolContext) else {
+            if self.config.drop_untagged {
+                self.stats.dropped_untagged += 1;
+                return self.record_drop("packet carries no BorderPatrol context".to_string());
+            }
+            self.stats.packets_accepted += 1;
+            return Verdict::Accept;
+        };
+
+        // Stage 2: decoding.
+        let decoded = match ContextEncoding::decode(&option.data) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                if self.config.drop_malformed_context {
+                    self.stats.dropped_malformed += 1;
+                    return self.record_drop(format!("malformed context option: {e}"));
+                }
+                self.stats.packets_accepted += 1;
+                return Verdict::Accept;
+            }
+        };
+        let stack = match self.database.resolve_stack(decoded.app_tag, &decoded.frame_indexes) {
+            Ok(stack) => stack,
+            Err(_) if !self.database.contains(decoded.app_tag) => {
+                if self.config.drop_unknown_apps {
+                    self.stats.dropped_unknown_app += 1;
+                    return self
+                        .record_drop(format!("unknown application tag {}", decoded.app_tag));
+                }
+                self.stats.packets_accepted += 1;
+                return Verdict::Accept;
+            }
+            Err(e) => {
+                if self.config.drop_malformed_context {
+                    self.stats.dropped_malformed += 1;
+                    return self.record_drop(format!("undecodable stack indexes: {e}"));
+                }
+                self.stats.packets_accepted += 1;
+                return Verdict::Accept;
+            }
+        };
+
+        // Stage 3: enforcement.
+        match self.policies.evaluate(decoded.app_tag, &stack) {
+            Decision::Allow => {
+                self.stats.packets_accepted += 1;
+                Verdict::Accept
+            }
+            Decision::Deny { policy, reason } => {
+                self.stats.dropped_by_policy += 1;
+                let detail = match policy {
+                    Some(policy) => format!("policy {policy} violated: {reason}"),
+                    None => reason,
+                };
+                self.record_drop(detail)
+            }
+        }
+    }
+}
+
+impl QueueHandler for PolicyEnforcer {
+    fn name(&self) -> &str {
+        "policy-enforcer"
+    }
+
+    fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict {
+        self.inspect(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineAnalyzer;
+    use crate::policy::Policy;
+    use bp_appsim::generator::CorpusGenerator;
+    use bp_netsim::addr::Endpoint;
+    use bp_netsim::options::IpOption;
+    use bp_types::EnforcementLevel;
+
+    fn tagged_packet(payload_option: Vec<u8>) -> Ipv4Packet {
+        let mut packet = Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 4], 40001),
+            Endpoint::new([31, 13, 71, 36], 443),
+            b"POST /beacon HTTP/1.1".to_vec(),
+        );
+        packet
+            .options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload_option).unwrap())
+            .unwrap();
+        packet
+    }
+
+    fn untagged_packet() -> Ipv4Packet {
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 4], 40001),
+            Endpoint::new([31, 13, 71, 36], 443),
+            b"GET / HTTP/1.1".to_vec(),
+        )
+    }
+
+    /// Build a database + a context payload whose decoded stack includes the
+    /// Facebook analytics frames of the SolCalendar model.
+    fn solcalendar_fixture() -> (SignatureDatabase, Vec<u8>, Vec<u8>) {
+        let spec = CorpusGenerator::solcalendar();
+        let apk = spec.build_apk();
+        let mut db = SignatureDatabase::new();
+        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        let table = bp_dex::MethodTable::from_apk(&apk).unwrap();
+
+        let indexes_for = |functionality: &str| -> Vec<u32> {
+            spec.functionality(functionality)
+                .unwrap()
+                .call_chain
+                .iter()
+                .rev()
+                .map(|sig| table.index_of(sig).unwrap())
+                .collect()
+        };
+        let analytics =
+            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-analytics"), false).unwrap();
+        let login =
+            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-login"), false).unwrap();
+        (db, analytics, login)
+    }
+
+    #[test]
+    fn policy_violations_are_dropped_and_logged() {
+        let (db, analytics_payload, login_payload) = solcalendar_fixture();
+        let policies = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Class,
+            "com/facebook/appevents",
+        )]);
+        let mut enforcer = PolicyEnforcer::new(db, policies, EnforcerConfig::default());
+
+        let verdict = enforcer.inspect(&tagged_packet(analytics_payload));
+        assert!(!verdict.is_accept());
+        let verdict = enforcer.inspect(&tagged_packet(login_payload));
+        assert!(verdict.is_accept());
+
+        let stats = enforcer.stats();
+        assert_eq!(stats.packets_inspected, 2);
+        assert_eq!(stats.dropped_by_policy, 1);
+        assert_eq!(stats.packets_accepted, 1);
+        assert_eq!(enforcer.drop_log().len(), 1);
+        assert!(enforcer.drop_log()[0].contains("com/facebook/appevents"));
+    }
+
+    #[test]
+    fn untagged_packets_follow_configuration() {
+        let (db, _, _) = solcalendar_fixture();
+        let mut permissive =
+            PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        assert!(permissive.inspect(&untagged_packet()).is_accept());
+        assert_eq!(permissive.stats().dropped_untagged, 0);
+
+        let mut strict = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::strict());
+        assert!(!strict.inspect(&untagged_packet()).is_accept());
+        assert_eq!(strict.stats().dropped_untagged, 1);
+    }
+
+    #[test]
+    fn unknown_app_tags_follow_configuration() {
+        let (db, _, _) = solcalendar_fixture();
+        let bogus_payload = ContextEncoding::encode(
+            bp_types::ApkHash::digest(b"never-analyzed").tag(),
+            &[0, 1],
+            false,
+        )
+        .unwrap();
+
+        let mut default = PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        assert!(!default.inspect(&tagged_packet(bogus_payload.clone())).is_accept());
+        assert_eq!(default.stats().dropped_unknown_app, 1);
+
+        let mut permissive = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::permissive());
+        assert!(permissive.inspect(&tagged_packet(bogus_payload)).is_accept());
+    }
+
+    #[test]
+    fn malformed_context_is_dropped_by_default() {
+        let (db, _, _) = solcalendar_fixture();
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        // 3 bytes is shorter than the payload header.
+        let verdict = enforcer.inspect(&tagged_packet(vec![1, 2, 3]));
+        assert!(!verdict.is_accept());
+        assert_eq!(enforcer.stats().dropped_malformed, 1);
+    }
+
+    #[test]
+    fn dangling_index_counts_as_malformed_for_known_app() {
+        let (db, _, _) = solcalendar_fixture();
+        let tag = db.iter().next().map(|(tag_hex, _)| bp_types::AppTag::from_hex(tag_hex).unwrap()).unwrap();
+        let payload = ContextEncoding::encode(tag, &[60_000], false).unwrap();
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        assert!(!enforcer.inspect(&tagged_packet(payload)).is_accept());
+        assert_eq!(enforcer.stats().dropped_malformed, 1);
+    }
+
+    #[test]
+    fn reconfiguration_changes_behaviour_without_rebuilding() {
+        let (db, analytics_payload, _) = solcalendar_fixture();
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        assert!(enforcer.inspect(&tagged_packet(analytics_payload.clone())).is_accept());
+
+        enforcer.set_policies(PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Library,
+            "com/facebook",
+        )]));
+        assert!(!enforcer.inspect(&tagged_packet(analytics_payload)).is_accept());
+        enforcer.reset_stats();
+        assert_eq!(enforcer.stats().packets_inspected, 0);
+        assert!(enforcer.drop_log().is_empty());
+    }
+
+    #[test]
+    fn stats_total_dropped_sums_reasons() {
+        let stats = EnforcerStats {
+            packets_inspected: 10,
+            packets_accepted: 4,
+            dropped_by_policy: 3,
+            dropped_untagged: 1,
+            dropped_unknown_app: 1,
+            dropped_malformed: 1,
+        };
+        assert_eq!(stats.total_dropped(), 6);
+    }
+}

@@ -1,0 +1,60 @@
+//! BorderPatrol core: the paper's primary contribution.
+//!
+//! BorderPatrol augments the network traffic of BYOD-provisioned devices with
+//! fine-grained execution context (the Java call stack at socket-connect time)
+//! and enforces company policies against that context at the network
+//! perimeter.  This crate implements the four system components of §IV plus
+//! the policy extractor extension of §V-E:
+//!
+//! * [`offline`] — the **Offline Analyzer**: extracts every method signature
+//!   from an apk, assigns deterministic indexes and stores the per-app tables
+//!   in a JSON [`offline::SignatureDatabase`] keyed by the apk's MD5 hash.
+//! * [`encoding`] — the compact wire format that fits an app tag plus a stack
+//!   of method indexes into the 40-byte `IP_OPTIONS` budget, with the 2-byte /
+//!   3-byte variable-length frame encoding for multi-dex apps (§VII).
+//! * [`context`] — the **Context Manager**: an on-device hook that captures the
+//!   call stack after connect, maps frames to indexes through the same
+//!   deterministic table and injects the encoded context into `IP_OPTIONS`.
+//! * [`policy`] — the policy grammar `{[action][level][target]}` and the
+//!   evaluation semantics over decoded stack traces.
+//! * [`enforcer`] — the **Policy Enforcer**: an NFQUEUE consumer that extracts,
+//!   decodes and evaluates the context of every packet and drops violations.
+//! * [`sanitizer`] — the **Packet Sanitizer**: strips the context option from
+//!   conforming packets before they leave the enterprise perimeter.
+//! * [`policy_extractor`] — the differential profiling tool that helps
+//!   administrators derive policies from a baseline run and an
+//!   undesired-functionality run.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_core::policy::{Policy, PolicyAction, PolicySet};
+//! use bp_types::EnforcementLevel;
+//!
+//! // Paper Snippet 1, Example 1: prevent ad library connections.
+//! let policy: Policy = r#"{[deny][library]["com/flurry"]}"#.parse()?;
+//! assert_eq!(policy.action(), PolicyAction::Deny);
+//! assert_eq!(policy.level(), EnforcementLevel::Library);
+//! let set = PolicySet::from_policies(vec![policy]);
+//! assert_eq!(set.len(), 1);
+//! # Ok::<(), bp_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod encoding;
+pub mod enforcer;
+pub mod offline;
+pub mod policy;
+pub mod policy_extractor;
+pub mod sanitizer;
+
+pub use context::{ContextManager, ContextManagerConfig};
+pub use encoding::{ContextEncoding, EncodedContext, MAX_CONTEXT_PAYLOAD};
+pub use enforcer::{EnforcerConfig, EnforcerStats, PolicyEnforcer};
+pub use offline::{OfflineAnalyzer, SignatureDatabase};
+pub use policy::{Decision, Policy, PolicyAction, PolicySet};
+pub use policy_extractor::{PolicyExtractor, ProfileRun};
+pub use sanitizer::PacketSanitizer;

@@ -1,0 +1,348 @@
+//! The Offline Analyzer and its signature database.
+//!
+//! The Offline Analyzer (paper §IV-A1, §V-A) processes every app that should
+//! be managed by BorderPatrol: it extracts the method signatures from the
+//! app's dex file(s), orders them deterministically, assigns sequential
+//! indexes, and stores the mapping in a JSON database keyed by the MD5 hash of
+//! the apk.  The Policy Enforcer later selects the right table via the
+//! truncated hash it finds in each packet and maps indexes back to
+//! signatures.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use bp_dex::{extract_apk_signatures, ApkFile};
+use bp_types::{ApkHash, AppTag, Error, MethodSignature};
+
+/// One application's entry in the signature database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppEntry {
+    /// Full MD5 hash of the apk (hex).
+    pub apk_hash: String,
+    /// The app's package name (informational).
+    pub package_name: String,
+    /// Whether the apk packs more than one dex file.
+    pub multidex: bool,
+    /// Sorted method signatures; the position in this list is the index.
+    pub signatures: Vec<String>,
+}
+
+/// The JSON signature database produced by the Offline Analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
+/// use bp_appsim::generator::CorpusGenerator;
+///
+/// let apk = CorpusGenerator::dropbox().build_apk();
+/// let mut db = SignatureDatabase::new();
+/// OfflineAnalyzer::new().analyze_into(&apk, &mut db)?;
+/// assert_eq!(db.len(), 1);
+/// let json = db.to_json()?;
+/// let restored = SignatureDatabase::from_json(&json)?;
+/// assert_eq!(restored.len(), 1);
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureDatabase {
+    /// Entries keyed by the hex form of the truncated 8-byte app tag.
+    entries: BTreeMap<String, AppEntry>,
+}
+
+impl SignatureDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        SignatureDatabase::default()
+    }
+
+    /// Number of applications in the database.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert (or replace) an entry.
+    pub fn insert(&mut self, hash: ApkHash, package_name: &str, multidex: bool, signatures: Vec<MethodSignature>) {
+        let entry = AppEntry {
+            apk_hash: hash.to_hex(),
+            package_name: package_name.to_string(),
+            multidex,
+            signatures: signatures.iter().map(MethodSignature::to_descriptor).collect(),
+        };
+        self.entries.insert(hash.tag().to_hex(), entry);
+    }
+
+    /// Look up an app entry by its truncated tag.
+    pub fn entry(&self, tag: AppTag) -> Option<&AppEntry> {
+        self.entries.get(&tag.to_hex())
+    }
+
+    /// Whether the database knows the app identified by `tag`.
+    pub fn contains(&self, tag: AppTag) -> bool {
+        self.entries.contains_key(&tag.to_hex())
+    }
+
+    /// Iterate over `(tag hex, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AppEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Resolve a stack of indexes for the app identified by `tag` back to
+    /// method signatures, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for an unknown app tag or a dangling index,
+    /// and [`Error::Malformed`] if a stored signature fails to parse.
+    pub fn resolve_stack(&self, tag: AppTag, indexes: &[u32]) -> Result<Vec<MethodSignature>, Error> {
+        let entry = self
+            .entry(tag)
+            .ok_or_else(|| Error::not_found("app tag", tag.to_hex()))?;
+        indexes
+            .iter()
+            .map(|&index| {
+                let descriptor = entry
+                    .signatures
+                    .get(index as usize)
+                    .ok_or_else(|| Error::not_found("method index", index.to_string()))?;
+                descriptor
+                    .parse::<MethodSignature>()
+                    .map_err(|e| Error::malformed("signature database", e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Whether the database has two distinct applications whose truncated tags
+    /// collide (the paper's §VII hash-collision concern).
+    pub fn has_tag_collision(&self) -> bool {
+        // Tags are the map keys, so a collision manifests as two different
+        // full hashes mapping to one key; detect by comparing counts is not
+        // possible after the fact, so collisions are detected at insert time
+        // by callers comparing `entry(tag)` before inserting.  Here we check
+        // for entries whose stored full hash does not start with the key.
+        self.entries.iter().any(|(tag_hex, entry)| !entry.apk_hash.starts_with(tag_hex))
+    }
+
+    /// Serialize the database to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, Error> {
+        serde_json::to_string_pretty(self).map_err(|e| Error::Io(e.to_string()))
+    }
+
+    /// Parse a database from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] if the JSON does not describe a database.
+    pub fn from_json(json: &str) -> Result<Self, Error> {
+        serde_json::from_str(json).map_err(|e| Error::malformed("signature database", e.to_string()))
+    }
+
+    /// Write the database to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem errors.
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json()?).map_err(Error::from)
+    }
+
+    /// Load a database from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem errors and [`Error::Malformed`] on
+    /// invalid content.
+    pub fn load(path: &Path) -> Result<Self, Error> {
+        let text = std::fs::read_to_string(path).map_err(Error::from)?;
+        Self::from_json(&text)
+    }
+}
+
+/// The Offline Analyzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OfflineAnalyzer;
+
+impl OfflineAnalyzer {
+    /// Create an analyzer.
+    pub fn new() -> Self {
+        OfflineAnalyzer
+    }
+
+    /// Analyze one apk and return its sorted signatures and hash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dex parsing errors.
+    pub fn analyze(&self, apk: &ApkFile) -> Result<(ApkHash, Vec<MethodSignature>), Error> {
+        let signatures = extract_apk_signatures(apk)?;
+        Ok((apk.hash(), signatures))
+    }
+
+    /// Analyze one apk and insert its entry into `database`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dex parsing errors.
+    pub fn analyze_into(&self, apk: &ApkFile, database: &mut SignatureDatabase) -> Result<ApkHash, Error> {
+        let (hash, signatures) = self.analyze(apk)?;
+        database.insert(hash, apk.package_name(), apk.is_multidex(), signatures);
+        Ok(hash)
+    }
+
+    /// Analyze a batch of apks into a fresh database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dex parsing errors from any apk.
+    pub fn analyze_batch<'a, I>(&self, apks: I) -> Result<SignatureDatabase, Error>
+    where
+        I: IntoIterator<Item = &'a ApkFile>,
+    {
+        let mut db = SignatureDatabase::new();
+        for apk in apks {
+            self.analyze_into(apk, &mut db)?;
+        }
+        Ok(db)
+    }
+}
+
+/// Analysis of the truncated-hash collision risk (paper §VII "Hash collision").
+pub mod collision {
+    /// Probability that at least two of `apps` distinct applications share the
+    /// same truncated tag of `bits` bits, by the birthday approximation
+    /// `1 - exp(-n(n-1) / 2^(bits+1))`.
+    pub fn collision_probability(apps: u64, bits: u32) -> f64 {
+        let n = apps as f64;
+        let space = 2f64.powi(bits as i32);
+        1.0 - (-(n * (n - 1.0)) / (2.0 * space)).exp()
+    }
+
+    /// The paper's headline number: with 3.3 million Play Store apps and an
+    /// 8-byte (64-bit) tag the collision probability is below 10⁻⁶.
+    pub fn paper_claim_holds() -> bool {
+        collision_probability(3_300_000, 64) < 1e-6
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn paper_collision_bound() {
+            assert!(paper_claim_holds());
+            let p = collision_probability(3_300_000, 64);
+            assert!(p > 0.0 && p < 1e-6, "p = {p}");
+        }
+
+        #[test]
+        fn probability_grows_with_apps_and_shrinks_with_bits() {
+            assert!(collision_probability(1_000_000, 64) < collision_probability(10_000_000, 64));
+            assert!(collision_probability(3_300_000, 32) > collision_probability(3_300_000, 64));
+            // With only 16 bits, 3.3M apps collide almost surely.
+            assert!(collision_probability(3_300_000, 16) > 0.999);
+        }
+
+        #[test]
+        fn degenerate_cases() {
+            assert_eq!(collision_probability(0, 64), 0.0);
+            assert_eq!(collision_probability(1, 64), 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_appsim::generator::CorpusGenerator;
+
+    #[test]
+    fn analyze_produces_sorted_deterministic_indexes() {
+        let apk = CorpusGenerator::dropbox().build_apk();
+        let analyzer = OfflineAnalyzer::new();
+        let (hash1, sigs1) = analyzer.analyze(&apk).unwrap();
+        let (hash2, sigs2) = analyzer.analyze(&apk).unwrap();
+        assert_eq!(hash1, hash2);
+        assert_eq!(sigs1, sigs2);
+        let mut sorted = sigs1.clone();
+        sorted.sort();
+        assert_eq!(sigs1, sorted);
+    }
+
+    #[test]
+    fn database_roundtrips_through_json() {
+        let analyzer = OfflineAnalyzer::new();
+        let apks: Vec<_> = CorpusGenerator::case_study_apps().iter().map(|a| a.build_apk()).collect();
+        let db = analyzer.analyze_batch(&apks).unwrap();
+        assert_eq!(db.len(), 3);
+        let json = db.to_json().unwrap();
+        assert!(json.contains("com.dropbox.android"));
+        let restored = SignatureDatabase::from_json(&json).unwrap();
+        assert_eq!(restored, db);
+        assert!(SignatureDatabase::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn resolve_stack_maps_indexes_back_to_signatures() {
+        let apk = CorpusGenerator::solcalendar().build_apk();
+        let analyzer = OfflineAnalyzer::new();
+        let mut db = SignatureDatabase::new();
+        let hash = analyzer.analyze_into(&apk, &mut db).unwrap();
+        let (_, signatures) = analyzer.analyze(&apk).unwrap();
+
+        let indexes: Vec<u32> = vec![0, 2, 1];
+        let resolved = db.resolve_stack(hash.tag(), &indexes).unwrap();
+        assert_eq!(resolved[0], signatures[0]);
+        assert_eq!(resolved[1], signatures[2]);
+        assert_eq!(resolved[2], signatures[1]);
+    }
+
+    #[test]
+    fn resolve_stack_rejects_unknown_tag_and_index() {
+        let db = SignatureDatabase::new();
+        let tag = ApkHash::digest(b"unknown").tag();
+        assert!(db.resolve_stack(tag, &[0]).is_err());
+
+        let apk = CorpusGenerator::box_app().build_apk();
+        let mut db = SignatureDatabase::new();
+        let hash = OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        let huge_index = 1_000_000;
+        assert!(db.resolve_stack(hash.tag(), &[huge_index]).is_err());
+    }
+
+    #[test]
+    fn entries_record_multidex_and_package_name() {
+        let apk = CorpusGenerator::dropbox().as_multidex().build_apk();
+        let mut db = SignatureDatabase::new();
+        let hash = OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        let entry = db.entry(hash.tag()).unwrap();
+        assert!(entry.multidex);
+        assert_eq!(entry.package_name, "com.dropbox.android");
+        assert!(db.contains(hash.tag()));
+        assert!(!db.has_tag_collision());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("bp-core-offline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("signatures.json");
+        let apk = CorpusGenerator::dropbox().build_apk();
+        let mut db = SignatureDatabase::new();
+        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        db.save(&path).unwrap();
+        let loaded = SignatureDatabase::load(&path).unwrap();
+        assert_eq!(loaded, db);
+        std::fs::remove_file(&path).ok();
+    }
+}

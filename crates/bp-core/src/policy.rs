@@ -1,0 +1,524 @@
+//! The policy grammar and evaluation semantics.
+//!
+//! Policies follow the grammar of the paper's Snippet 1:
+//!
+//! ```text
+//! <POLICY> ::= {[<ACTION>] [<LEVEL>] [<TARGET>]}
+//! <ACTION> ::= (allow | deny)
+//! <LEVEL>  ::= (hash | library | class | method)
+//! ```
+//!
+//! Evaluation follows §IV-B: for the stack signatures `s ∈ H` of a packet and
+//! a policy target `θ` at enforcement level `L`,
+//!
+//! * a **deny** policy drops the packet if **at least one** stack signature
+//!   matches the target at level `L` or finer (blacklisting);
+//! * an **allow** policy admits the packet only if **every** stack signature
+//!   matches the target at level `L` or finer (whitelisting) — when any allow
+//!   policies are present, packets that satisfy none of them are dropped.
+//!
+//! Hash-level targets match against the application tag rather than stack
+//! signatures.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{AppTag, EnforcementLevel, Error, MethodSignature};
+
+/// The decision a policy prescribes for matching packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyAction {
+    /// Whitelist: admit only matching traffic.
+    Allow,
+    /// Blacklist: drop matching traffic.
+    Deny,
+}
+
+impl PolicyAction {
+    /// The grammar keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            PolicyAction::Allow => "allow",
+            PolicyAction::Deny => "deny",
+        }
+    }
+}
+
+impl FromStr for PolicyAction {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "allow" => Ok(PolicyAction::Allow),
+            "deny" => Ok(PolicyAction::Deny),
+            other => Err(Error::PolicyParse {
+                input: other.to_string(),
+                detail: "expected allow or deny".to_string(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for PolicyAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One policy rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Policy {
+    action: PolicyAction,
+    level: EnforcementLevel,
+    target: String,
+}
+
+impl Policy {
+    /// Create a policy from its parts.
+    pub fn new(action: PolicyAction, level: EnforcementLevel, target: impl Into<String>) -> Self {
+        Policy { action, level, target: target.into() }
+    }
+
+    /// Convenience constructor for a deny rule.
+    pub fn deny(level: EnforcementLevel, target: impl Into<String>) -> Self {
+        Policy::new(PolicyAction::Deny, level, target)
+    }
+
+    /// Convenience constructor for an allow (whitelist) rule.
+    pub fn allow(level: EnforcementLevel, target: impl Into<String>) -> Self {
+        Policy::new(PolicyAction::Allow, level, target)
+    }
+
+    /// The policy action.
+    pub fn action(&self) -> PolicyAction {
+        self.action
+    }
+
+    /// The enforcement level.
+    pub fn level(&self) -> EnforcementLevel {
+        self.level
+    }
+
+    /// The target string (library prefix, class path, method descriptor or
+    /// truncated/full app hash depending on the level).
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Whether `signature` matches this policy's target at the policy's level
+    /// or finer.
+    pub fn matches_signature(&self, signature: &MethodSignature) -> bool {
+        match self.level {
+            EnforcementLevel::Hash => false,
+            level => signature.matches_target(level, &self.target),
+        }
+    }
+
+    /// Whether `tag` matches a hash-level policy (the target may be the
+    /// 16-hex-character truncated tag or the full 32-character apk hash).
+    pub fn matches_tag(&self, tag: AppTag) -> bool {
+        if self.level != EnforcementLevel::Hash {
+            return false;
+        }
+        let t = self.target.to_ascii_lowercase();
+        let tag_hex = tag.to_hex();
+        t == tag_hex || t.starts_with(&tag_hex)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{[{}][{}][\"{}\"]}}", self.action, self.level, self.target)
+    }
+}
+
+impl FromStr for Policy {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_error = |detail: &str| Error::PolicyParse {
+            input: s.to_string(),
+            detail: detail.to_string(),
+        };
+        let trimmed = s.trim();
+        let body = trimmed
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or_else(|| parse_error("policy must be enclosed in braces"))?;
+
+        let mut fields = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let open = rest.find('[').ok_or_else(|| parse_error("expected '['"))?;
+            let close = rest[open..]
+                .find(']')
+                .map(|i| i + open)
+                .ok_or_else(|| parse_error("unterminated '['"))?;
+            fields.push(rest[open + 1..close].trim().to_string());
+            rest = rest[close + 1..].trim();
+        }
+        if fields.len() != 3 {
+            return Err(parse_error("expected exactly three bracketed fields"));
+        }
+        let action: PolicyAction = fields[0].parse()?;
+        let level: EnforcementLevel = fields[1].parse()?;
+        let raw_target = fields[2].trim();
+        let target = raw_target
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .unwrap_or(raw_target)
+            .to_string();
+        if target.is_empty() {
+            return Err(parse_error("empty target"));
+        }
+        Ok(Policy { action, level, target })
+    }
+}
+
+/// The outcome of evaluating a packet's context against a policy set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The packet conforms to policy and may proceed.
+    Allow,
+    /// The packet violates policy and must be dropped.
+    Deny {
+        /// The policy that caused the drop (absent for whitelist-miss drops).
+        policy: Option<Policy>,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl Decision {
+    /// True if the decision is to allow the packet.
+    pub fn is_allow(&self) -> bool {
+        matches!(self, Decision::Allow)
+    }
+
+    /// Construct a deny decision caused by `policy`.
+    pub fn deny_by(policy: &Policy, reason: impl Into<String>) -> Self {
+        Decision::Deny { policy: Some(policy.clone()), reason: reason.into() }
+    }
+}
+
+/// An ordered collection of policies evaluated together.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicySet {
+    policies: Vec<Policy>,
+}
+
+impl PolicySet {
+    /// An empty policy set (allows everything).
+    pub fn new() -> Self {
+        PolicySet::default()
+    }
+
+    /// Build a set from a list of policies.
+    pub fn from_policies(policies: Vec<Policy>) -> Self {
+        PolicySet { policies }
+    }
+
+    /// Parse a policy file: one policy per line, `//` comments and blank lines
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error encountered.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        let mut policies = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            policies.push(line.parse()?);
+        }
+        Ok(PolicySet { policies })
+    }
+
+    /// Add a policy.
+    pub fn push(&mut self, policy: Policy) {
+        self.policies.push(policy);
+    }
+
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if the set has no policies.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Iterate over the policies.
+    pub fn iter(&self) -> impl Iterator<Item = &Policy> {
+        self.policies.iter()
+    }
+
+    /// Whether the set contains any allow (whitelist) policies.
+    pub fn has_whitelist(&self) -> bool {
+        self.policies.iter().any(|p| p.action == PolicyAction::Allow)
+    }
+
+    /// Render the set in the grammar's textual form, one policy per line.
+    pub fn to_text(&self) -> String {
+        self.policies.iter().map(Policy::to_string).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Evaluate a packet's decoded context against the set.
+    ///
+    /// `app_tag` is the application tag from the packet header; `stack` is the
+    /// decoded stack of method signatures (innermost first).
+    pub fn evaluate(&self, app_tag: AppTag, stack: &[MethodSignature]) -> Decision {
+        // 1. Deny rules: ∃ s matching ⇒ drop.
+        for policy in self.policies.iter().filter(|p| p.action == PolicyAction::Deny) {
+            if policy.level() == EnforcementLevel::Hash {
+                if policy.matches_tag(app_tag) {
+                    return Decision::deny_by(policy, "application hash is blacklisted");
+                }
+            } else if let Some(matched) = stack.iter().find(|s| policy.matches_signature(s)) {
+                return Decision::deny_by(
+                    policy,
+                    format!("stack frame {matched} matches denied target"),
+                );
+            }
+        }
+
+        // 2. Allow (whitelist) rules: if any exist, the packet must satisfy at
+        //    least one of them — hash-level allow matches the tag, finer
+        //    levels require every stack frame to match.
+        let allows: Vec<&Policy> =
+            self.policies.iter().filter(|p| p.action == PolicyAction::Allow).collect();
+        if allows.is_empty() {
+            return Decision::Allow;
+        }
+        for policy in allows {
+            let satisfied = if policy.level() == EnforcementLevel::Hash {
+                policy.matches_tag(app_tag)
+            } else {
+                !stack.is_empty() && stack.iter().all(|s| policy.matches_signature(s))
+            };
+            if satisfied {
+                return Decision::Allow;
+            }
+        }
+        Decision::Deny {
+            policy: None,
+            reason: "no whitelist policy is satisfied by every stack frame".to_string(),
+        }
+    }
+}
+
+impl FromIterator<Policy> for PolicySet {
+    fn from_iter<T: IntoIterator<Item = Policy>>(iter: T) -> Self {
+        PolicySet { policies: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_types::ApkHash;
+
+    fn sig(s: &str) -> MethodSignature {
+        s.parse().unwrap()
+    }
+
+    fn flurry_stack() -> Vec<MethodSignature> {
+        vec![
+            sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"),
+            sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"),
+            sig("Lcom/flurry/sdk/Agent;->onSessionStart(Landroid/content/Context;)V"),
+            sig("Lcom/example/app/MainActivity;->onResume()V"),
+        ]
+    }
+
+    fn dropbox_upload_stack() -> Vec<MethodSignature> {
+        vec![
+            sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"),
+            sig("Lcom/dropbox/core/DbxRequestUtil;->doPut(Ljava/lang/String;)Lcom/dropbox/core/http/HttpRequestor$Response;"),
+            sig("Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;"),
+            sig("Lcom/dropbox/android/BrowserActivity;->onUploadSelected()V"),
+        ]
+    }
+
+    fn tag(seed: &[u8]) -> AppTag {
+        ApkHash::digest(seed).tag()
+    }
+
+    #[test]
+    fn parse_paper_examples() {
+        // Example 1: library level.
+        let p: Policy = r#"{[deny][library]["com/flurry"]}"#.parse().unwrap();
+        assert_eq!(p.action(), PolicyAction::Deny);
+        assert_eq!(p.level(), EnforcementLevel::Library);
+        assert_eq!(p.target(), "com/flurry");
+
+        // Example 2: class level.
+        let p: Policy = r#"{[deny][class]["com/google/gms"]}"#.parse().unwrap();
+        assert_eq!(p.level(), EnforcementLevel::Class);
+
+        // Example 3: method level (Dropbox UploadTask).
+        let p: Policy = r#"{[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult"]}"#
+            .parse()
+            .unwrap();
+        assert_eq!(p.level(), EnforcementLevel::Method);
+
+        // Example 4: hash-level whitelist.
+        let p: Policy = r#"{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}"#.parse().unwrap();
+        assert_eq!(p.action(), PolicyAction::Allow);
+        assert_eq!(p.level(), EnforcementLevel::Hash);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_policies() {
+        for bad in [
+            "",
+            "deny library com/flurry",
+            "{[deny][library]}",
+            "{[deny][library][\"\"]}",
+            "{[maybe][library][\"x\"]}",
+            "{[deny][package][\"x\"]}",
+            "{[deny][library][\"x\"]",
+            "[deny][library][\"x\"]",
+        ] {
+            assert!(bad.parse::<Policy>().is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let policies = [
+            Policy::deny(EnforcementLevel::Library, "com/flurry"),
+            Policy::allow(EnforcementLevel::Hash, "da6880ab1f991974"),
+            Policy::deny(
+                EnforcementLevel::Method,
+                "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+            ),
+        ];
+        for p in policies {
+            let reparsed: Policy = p.to_string().parse().unwrap();
+            assert_eq!(reparsed, p);
+        }
+    }
+
+    #[test]
+    fn policy_set_parse_skips_comments_and_blank_lines() {
+        let text = r#"
+            // Example 1: prevent ad library connections
+            {[deny][library]["com/flurry"]}
+
+            // whitelist the business app
+            {[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}
+        "#;
+        let set = PolicySet::parse(text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.has_whitelist());
+        let rendered = set.to_text();
+        assert!(rendered.contains("com/flurry"));
+    }
+
+    #[test]
+    fn deny_library_blocks_flurry_but_not_dropbox() {
+        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
+        assert!(!set.evaluate(tag(b"app"), &flurry_stack()).is_allow());
+        assert!(set.evaluate(tag(b"app"), &dropbox_upload_stack()).is_allow());
+    }
+
+    #[test]
+    fn deny_method_blocks_upload_but_not_download() {
+        let set = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Method,
+            "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+        )]);
+        assert!(!set.evaluate(tag(b"dropbox"), &dropbox_upload_stack()).is_allow());
+
+        let download_stack = vec![
+            sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"),
+            sig("Lcom/dropbox/android/taskqueue/DownloadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;"),
+        ];
+        assert!(set.evaluate(tag(b"dropbox"), &download_stack).is_allow());
+    }
+
+    #[test]
+    fn deny_class_blocks_whole_package_tree() {
+        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Class, "com/google/gms")]);
+        let stack = vec![sig("Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V")];
+        assert!(!set.evaluate(tag(b"x"), &stack).is_allow());
+    }
+
+    #[test]
+    fn hash_policies_match_the_app_tag() {
+        let the_tag = tag(b"corporate-app");
+        let deny_set =
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Hash, the_tag.to_hex())]);
+        assert!(!deny_set.evaluate(the_tag, &dropbox_upload_stack()).is_allow());
+        assert!(deny_set.evaluate(tag(b"other-app"), &dropbox_upload_stack()).is_allow());
+    }
+
+    #[test]
+    fn whitelist_requires_all_frames_to_match() {
+        // Paper semantics: allow iff ∀ s match the target at level ≥ L.
+        let set = PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Library, "com/flurry")]);
+        // Mixed stack (app + flurry frames): not all frames match ⇒ deny.
+        assert!(!set.evaluate(tag(b"a"), &flurry_stack()).is_allow());
+        // Pure flurry stack ⇒ allow.
+        let pure: Vec<MethodSignature> = flurry_stack()
+            .into_iter()
+            .filter(|s| s.package().starts_with("com/flurry"))
+            .collect();
+        assert!(set.evaluate(tag(b"a"), &pure).is_allow());
+        // Empty stack can never satisfy a signature whitelist.
+        assert!(!set.evaluate(tag(b"a"), &[]).is_allow());
+    }
+
+    #[test]
+    fn hash_whitelist_admits_only_that_app() {
+        let corporate = tag(b"corporate");
+        let set =
+            PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Hash, corporate.to_hex())]);
+        assert!(set.evaluate(corporate, &dropbox_upload_stack()).is_allow());
+        assert!(!set.evaluate(tag(b"game"), &dropbox_upload_stack()).is_allow());
+    }
+
+    #[test]
+    fn deny_takes_precedence_over_whitelist() {
+        let corporate = tag(b"corporate");
+        let set = PolicySet::from_policies(vec![
+            Policy::allow(EnforcementLevel::Hash, corporate.to_hex()),
+            Policy::deny(EnforcementLevel::Library, "com/flurry"),
+        ]);
+        assert!(!set.evaluate(corporate, &flurry_stack()).is_allow());
+        assert!(set.evaluate(corporate, &dropbox_upload_stack()).is_allow());
+    }
+
+    #[test]
+    fn empty_set_allows_everything() {
+        let set = PolicySet::new();
+        assert!(set.is_empty());
+        assert!(set.evaluate(tag(b"x"), &flurry_stack()).is_allow());
+        assert!(set.evaluate(tag(b"x"), &[]).is_allow());
+    }
+
+    #[test]
+    fn decision_reports_the_matching_policy() {
+        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
+        match set.evaluate(tag(b"x"), &flurry_stack()) {
+            Decision::Deny { policy: Some(policy), reason } => {
+                assert_eq!(policy.target(), "com/flurry");
+                assert!(reason.contains("com/flurry"));
+            }
+            other => panic!("expected deny with policy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: PolicySet =
+            vec![Policy::deny(EnforcementLevel::Library, "com/mopub")].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+}

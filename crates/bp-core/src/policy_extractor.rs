@@ -1,0 +1,202 @@
+//! The Policy Extractor (administrator tooling, paper §V-E).
+//!
+//! Administrators run an app twice: once exercising only the allowed
+//! functionality (the baseline profile) and once exercising the undesirable
+//! functionality.  The extractor diffs the two sets of observed stack traces,
+//! identifies the method signatures that appear *only* in the undesired run,
+//! and emits deny policies at a chosen enforcement level.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{EnforcementLevel, MethodSignature, StackTrace};
+
+use crate::policy::{Policy, PolicySet};
+
+/// The observed stack traces of one profiling run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRun {
+    traces: Vec<StackTrace>,
+}
+
+impl ProfileRun {
+    /// An empty run.
+    pub fn new() -> Self {
+        ProfileRun::default()
+    }
+
+    /// Build a run from recorded traces.
+    pub fn from_traces(traces: Vec<StackTrace>) -> Self {
+        ProfileRun { traces }
+    }
+
+    /// Record one connection's stack trace.
+    pub fn record(&mut self, trace: StackTrace) {
+        self.traces.push(trace);
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The set of distinct method signatures appearing anywhere in the run.
+    pub fn signature_set(&self) -> BTreeSet<MethodSignature> {
+        self.traces.iter().flat_map(|t| t.signatures().cloned()).collect()
+    }
+}
+
+/// The differential policy extractor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyExtractor;
+
+impl PolicyExtractor {
+    /// Create an extractor.
+    pub fn new() -> Self {
+        PolicyExtractor
+    }
+
+    /// The method signatures that appear in `undesired` but never in
+    /// `baseline` — the candidates for deny targets.
+    pub fn unique_signatures(
+        &self,
+        baseline: &ProfileRun,
+        undesired: &ProfileRun,
+    ) -> Vec<MethodSignature> {
+        let baseline_set = baseline.signature_set();
+        undesired
+            .signature_set()
+            .into_iter()
+            .filter(|sig| !baseline_set.contains(sig))
+            .collect()
+    }
+
+    /// Derive deny policies at `level` from the unique signatures of the
+    /// undesired run.
+    ///
+    /// * `Method` level: one policy per unique signature (full descriptor).
+    /// * `Class` level: one policy per distinct fully qualified class.
+    /// * `Library` level: one policy per distinct two-segment package prefix.
+    /// * `Hash` level is not meaningful for differential extraction and
+    ///   produces an empty set.
+    pub fn extract(
+        &self,
+        baseline: &ProfileRun,
+        undesired: &ProfileRun,
+        level: EnforcementLevel,
+    ) -> PolicySet {
+        let unique = self.unique_signatures(baseline, undesired);
+        let mut targets: BTreeSet<String> = BTreeSet::new();
+        for sig in &unique {
+            match level {
+                EnforcementLevel::Method => {
+                    targets.insert(sig.to_descriptor());
+                }
+                EnforcementLevel::Class => {
+                    targets.insert(sig.qualified_class());
+                }
+                EnforcementLevel::Library => {
+                    let prefix = sig.library_prefix(2);
+                    if !prefix.is_empty() {
+                        targets.insert(prefix);
+                    }
+                }
+                EnforcementLevel::Hash => {}
+            }
+        }
+        targets.into_iter().map(|t| Policy::deny(level, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_appsim::generator::CorpusGenerator;
+    use bp_device::runtime::java_stack_for;
+    use bp_types::ApkHash;
+
+    fn dropbox_runs() -> (ProfileRun, ProfileRun) {
+        let app = CorpusGenerator::dropbox();
+        let mut baseline = ProfileRun::new();
+        for name in ["auth", "browse", "download"] {
+            baseline.record(java_stack_for(&app, app.functionality(name).unwrap()));
+        }
+        let mut undesired = ProfileRun::new();
+        undesired.record(java_stack_for(&app, app.functionality("upload").unwrap()));
+        (baseline, undesired)
+    }
+
+    #[test]
+    fn unique_signatures_exclude_shared_frames() {
+        let extractor = PolicyExtractor::new();
+        let (baseline, undesired) = dropbox_runs();
+        let unique = extractor.unique_signatures(&baseline, &undesired);
+        assert!(!unique.is_empty());
+        // The shared Socket.connect frame and shared UI/activity frames must
+        // not appear.
+        assert!(unique.iter().all(|s| s.class_name() != "Socket"));
+        // The UploadTask method must appear.
+        assert!(unique.iter().any(|s| s.class_name() == "UploadTask"));
+    }
+
+    #[test]
+    fn method_level_extraction_blocks_upload_only() {
+        let extractor = PolicyExtractor::new();
+        let (baseline, undesired) = dropbox_runs();
+        let set = extractor.extract(&baseline, &undesired, EnforcementLevel::Method);
+        assert!(!set.is_empty());
+
+        let app = CorpusGenerator::dropbox();
+        let tag = ApkHash::digest(b"dropbox").tag();
+        let upload_stack: Vec<MethodSignature> = java_stack_for(&app, app.functionality("upload").unwrap())
+            .signatures()
+            .cloned()
+            .collect();
+        let download_stack: Vec<MethodSignature> = java_stack_for(&app, app.functionality("download").unwrap())
+            .signatures()
+            .cloned()
+            .collect();
+        assert!(!set.evaluate(tag, &upload_stack).is_allow());
+        assert!(set.evaluate(tag, &download_stack).is_allow());
+    }
+
+    #[test]
+    fn class_and_library_levels_aggregate_targets() {
+        let extractor = PolicyExtractor::new();
+        let (baseline, undesired) = dropbox_runs();
+        let class_set = extractor.extract(&baseline, &undesired, EnforcementLevel::Class);
+        let method_set = extractor.extract(&baseline, &undesired, EnforcementLevel::Method);
+        let library_set = extractor.extract(&baseline, &undesired, EnforcementLevel::Library);
+        assert!(class_set.len() <= method_set.len());
+        assert!(library_set.len() <= class_set.len());
+        assert!(library_set.iter().all(|p| p.level() == EnforcementLevel::Library));
+        // Hash-level extraction yields nothing.
+        assert!(extractor.extract(&baseline, &undesired, EnforcementLevel::Hash).is_empty());
+    }
+
+    #[test]
+    fn identical_runs_produce_no_policies() {
+        let extractor = PolicyExtractor::new();
+        let (baseline, _) = dropbox_runs();
+        let set = extractor.extract(&baseline, &baseline.clone(), EnforcementLevel::Method);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn profile_run_accessors() {
+        let (baseline, undesired) = dropbox_runs();
+        assert_eq!(baseline.len(), 3);
+        assert_eq!(undesired.len(), 1);
+        assert!(!baseline.is_empty());
+        assert!(ProfileRun::new().is_empty());
+        assert!(baseline.signature_set().len() > 3);
+        let rebuilt = ProfileRun::from_traces(vec![]);
+        assert!(rebuilt.is_empty());
+    }
+}

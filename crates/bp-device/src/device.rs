@@ -1,0 +1,439 @@
+//! The provisioned BYOD device façade.
+//!
+//! A [`Device`] owns a kernel network stack, installed applications split
+//! across a work and a personal profile, and the hooking framework that the
+//! Context Manager plugs into.  Invoking an app functionality runs the full
+//! on-device pipeline: Java call chain → lazy socket creation → connect →
+//! post-connect hooks → HTTP request packets ready for transmission through
+//! the enterprise network.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_appsim::app::AppSpec;
+use bp_dex::ApkFile;
+use bp_netsim::addr::Endpoint;
+use bp_netsim::clock::{LatencyModel, SimDuration};
+use bp_netsim::http::HttpRequest;
+use bp_netsim::kernel::{KernelConfig, KernelNetStack};
+use bp_netsim::packet::Ipv4Packet;
+use bp_types::{ApkHash, AppId, DeviceId, Error, SocketId};
+
+use crate::hooks::{HookContext, HookManager, HookOutcome, SocketConnectHook};
+use crate::process::{ProcessTable, Zygote};
+use crate::runtime::{http_request_for, java_stack_for, raw_stack_for};
+
+/// Profile an app is installed into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// The managed work profile (traffic subject to BorderPatrol).
+    Work,
+    /// The personal profile (outside the business context).
+    Personal,
+}
+
+/// An installed application.
+#[derive(Debug, Clone)]
+pub struct InstalledApp {
+    /// The app's identifier on this device.
+    pub id: AppId,
+    /// The app specification.
+    pub spec: AppSpec,
+    /// The built apk container.
+    pub apk: ApkFile,
+    /// MD5 hash of the apk.
+    pub apk_hash: ApkHash,
+    /// Profile the app is installed into.
+    pub profile: Profile,
+    /// Sandbox uid of the app's process.
+    pub uid: u32,
+}
+
+/// The result of invoking one app functionality.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The app that ran.
+    pub app: AppId,
+    /// Name of the functionality that ran.
+    pub functionality: String,
+    /// The socket the functionality connected.
+    pub socket: SocketId,
+    /// The HTTP request it issued.
+    pub request: HttpRequest,
+    /// The packets the kernel emitted for the request (carrying whatever
+    /// `IP_OPTIONS` the hooks attached).
+    pub packets: Vec<Ipv4Packet>,
+    /// The ground-truth Java stack trace at connect time.
+    pub stack: bp_types::StackTrace,
+    /// What the installed hooks did.
+    pub hook_outcome: HookOutcome,
+    /// Whether the connect took the native path and bypassed hooks entirely.
+    pub native_bypass: bool,
+    /// On-device latency attributable to hooking, stack collection, encoding
+    /// and `setsockopt`, under the device's latency model.
+    pub on_device_latency: SimDuration,
+}
+
+/// A provisioned BYOD device.
+pub struct Device {
+    id: DeviceId,
+    kernel: KernelNetStack,
+    zygote: Zygote,
+    processes: ProcessTable,
+    apps: BTreeMap<AppId, InstalledApp>,
+    hooks: HookManager,
+    latency: LatencyModel,
+    next_app_id: u64,
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("id", &self.id)
+            .field("apps", &self.apps.len())
+            .field("hooks", &self.hooks)
+            .finish()
+    }
+}
+
+impl Device {
+    /// Create a device with the given kernel configuration.  The device
+    /// address is derived from its identifier (`10.0.x.y`).
+    pub fn new(id: DeviceId, kernel_config: KernelConfig) -> Self {
+        let raw = id.raw();
+        let address = Endpoint::new([10, 0, (raw >> 8) as u8, (raw & 0xff) as u8], 0);
+        Device {
+            id,
+            kernel: KernelNetStack::new(kernel_config, address),
+            zygote: Zygote::new(),
+            processes: ProcessTable::new(),
+            apps: BTreeMap::new(),
+            hooks: HookManager::new(),
+            latency: LatencyModel::default(),
+            next_app_id: 1,
+        }
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's IP endpoint (port 0).
+    pub fn address(&self) -> Endpoint {
+        self.kernel.device_ip()
+    }
+
+    /// The kernel network stack.
+    pub fn kernel(&self) -> &KernelNetStack {
+        &self.kernel
+    }
+
+    /// Mutable access to the kernel (used by ablation experiments to toggle
+    /// the patch or set-once mode).
+    pub fn kernel_mut(&mut self) -> &mut KernelNetStack {
+        &mut self.kernel
+    }
+
+    /// The latency model used for on-device cost accounting.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Replace the latency model.
+    pub fn set_latency_model(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// Hook-framework statistics.
+    pub fn hook_stats(&self) -> crate::hooks::HookStats {
+        self.hooks.stats()
+    }
+
+    /// Install a hook (e.g. the BorderPatrol Context Manager).
+    pub fn install_hook(&mut self, hook: Box<dyn SocketConnectHook>) {
+        self.hooks.install(hook);
+    }
+
+    /// Number of hooks installed.
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Install an app into `profile`, building its apk and forking its process.
+    pub fn install_app(&mut self, spec: AppSpec, profile: Profile) -> AppId {
+        let id = AppId::new(self.next_app_id);
+        self.next_app_id += 1;
+        let apk = spec.build_apk();
+        let apk_hash = apk.hash();
+        let process = self.zygote.fork(id, profile == Profile::Work);
+        let uid = process.uid;
+        self.processes.insert(process);
+        self.apps.insert(id, InstalledApp { id, spec, apk, apk_hash, profile, uid });
+        id
+    }
+
+    /// The installed app with identifier `app`.
+    pub fn app(&self, app: AppId) -> Option<&InstalledApp> {
+        self.apps.get(&app)
+    }
+
+    /// All installed apps.
+    pub fn apps(&self) -> impl Iterator<Item = &InstalledApp> {
+        self.apps.values()
+    }
+
+    /// Apps installed in the work profile.
+    pub fn work_profile_apps(&self) -> Vec<&InstalledApp> {
+        self.apps.values().filter(|a| a.profile == Profile::Work).collect()
+    }
+
+    fn require_app(&self, app: AppId) -> Result<&InstalledApp, Error> {
+        self.apps.get(&app).ok_or_else(|| Error::not_found("installed app", app.to_string()))
+    }
+
+    /// Invoke a functionality through the managed (Dalvik) code path: hooks
+    /// run after connect, so the Context Manager sees the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the app or functionality does not exist or a
+    /// kernel operation fails.
+    pub fn invoke_functionality(
+        &mut self,
+        app: AppId,
+        functionality: &str,
+        endpoint: Endpoint,
+    ) -> Result<Invocation, Error> {
+        self.invoke_inner(app, functionality, endpoint, false)
+    }
+
+    /// Invoke a functionality through a native socket path (libc `socket`/
+    /// `connect`), which the hooking framework cannot intercept (paper §VII
+    /// "Native functions"): packets leave the device untagged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::invoke_functionality`].
+    pub fn invoke_functionality_native(
+        &mut self,
+        app: AppId,
+        functionality: &str,
+        endpoint: Endpoint,
+    ) -> Result<Invocation, Error> {
+        self.invoke_inner(app, functionality, endpoint, true)
+    }
+
+    fn invoke_inner(
+        &mut self,
+        app_id: AppId,
+        functionality: &str,
+        endpoint: Endpoint,
+        native: bool,
+    ) -> Result<Invocation, Error> {
+        let installed = self.require_app(app_id)?.clone();
+        let spec_functionality = installed
+            .spec
+            .functionality(functionality)
+            .ok_or_else(|| Error::not_found("functionality", functionality.to_string()))?
+            .clone();
+        let process = self
+            .processes
+            .get(app_id)
+            .ok_or_else(|| Error::not_found("app process", app_id.to_string()))?
+            .clone();
+        let creds = process.credentials();
+
+        // Lazy socket creation + connect.
+        let socket = self.kernel.socket(app_id);
+        self.kernel.connect(&creds, socket, endpoint)?;
+
+        let stack = java_stack_for(&installed.spec, &spec_functionality);
+        let mut on_device_latency = SimDuration::ZERO;
+        let mut hook_outcome = HookOutcome::noop();
+
+        if native {
+            // Xposed cannot hook native socket calls: no context is attached.
+            self.hooks.record_native_bypass();
+        } else if !self.hooks.is_empty() {
+            let raw = raw_stack_for(&installed.spec, &spec_functionality);
+            let context = HookContext {
+                device: self.id,
+                app: app_id,
+                apk_hash: installed.apk_hash,
+                socket,
+                remote: endpoint,
+                credentials: creds.clone(),
+                stack: raw,
+            };
+            on_device_latency += self.latency.hook_dispatch;
+            hook_outcome = self.hooks.dispatch(&context, &mut self.kernel);
+            if hook_outcome.used_get_stack_trace {
+                on_device_latency += self.latency.get_stack_trace;
+            }
+            if hook_outcome.encoded_context {
+                on_device_latency += self.latency.context_encode;
+            }
+            if hook_outcome.set_ip_options {
+                on_device_latency += self.latency.setsockopt_call;
+            }
+        }
+
+        // Build and send the HTTP request.
+        let request = http_request_for(&spec_functionality);
+        let packets = self.kernel.send(&creds, socket, &request.to_bytes())?;
+
+        Ok(Invocation {
+            app: app_id,
+            functionality: functionality.to_string(),
+            socket,
+            request,
+            packets,
+            stack,
+            hook_outcome,
+            native_bypass: native,
+            on_device_latency,
+        })
+    }
+
+    /// Send additional data on an already-connected socket (keep-alive reuse).
+    /// The packets carry whatever options the socket already has — no hooks
+    /// run again, which is exactly the paper's socket-reuse caveat (§VII).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the socket is unknown or not connected.
+    pub fn send_on_socket(
+        &mut self,
+        app: AppId,
+        socket: SocketId,
+        payload: &[u8],
+    ) -> Result<Vec<Ipv4Packet>, Error> {
+        let process = self
+            .processes
+            .get(app)
+            .ok_or_else(|| Error::not_found("app process", app.to_string()))?;
+        let creds = process.credentials();
+        self.kernel.send(&creds, socket, payload)
+    }
+
+    /// Close a socket.
+    pub fn close_socket(&mut self, socket: SocketId) {
+        self.kernel.close(socket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::StaticInjectHook;
+    use bp_appsim::generator::CorpusGenerator;
+    use bp_netsim::options::IpOptionKind;
+
+    fn endpoint() -> Endpoint {
+        Endpoint::new([162, 125, 4, 1], 443)
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceId::new(3), KernelConfig::borderpatrol_prototype())
+    }
+
+    #[test]
+    fn install_assigns_unique_ids_and_profiles() {
+        let mut d = device();
+        let a = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let b = d.install_app(CorpusGenerator::box_app(), Profile::Work);
+        let c = d.install_app(CorpusGenerator::solcalendar(), Profile::Personal);
+        assert_ne!(a, b);
+        assert_eq!(d.apps().count(), 3);
+        assert_eq!(d.work_profile_apps().len(), 2);
+        assert_eq!(d.app(c).unwrap().profile, Profile::Personal);
+        // uids are distinct sandboxes.
+        let uids: Vec<u32> = d.apps().map(|a| a.uid).collect();
+        let mut dedup = uids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(uids.len(), dedup.len());
+    }
+
+    #[test]
+    fn invocation_produces_packets_and_stack() {
+        let mut d = device();
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let inv = d.invoke_functionality(app, "browse", endpoint()).unwrap();
+        assert!(!inv.packets.is_empty());
+        assert_eq!(inv.packets[0].destination(), endpoint());
+        assert!(inv.stack.depth() >= 3);
+        assert!(!inv.native_bypass);
+        // No hooks installed: no options on packets, zero on-device latency.
+        assert!(!inv.packets[0].has_context_option());
+        assert_eq!(inv.on_device_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_app_or_functionality_errors() {
+        let mut d = device();
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        assert!(d.invoke_functionality(AppId::new(99), "browse", endpoint()).is_err());
+        assert!(d.invoke_functionality(app, "does-not-exist", endpoint()).is_err());
+    }
+
+    #[test]
+    fn hooks_tag_packets_and_account_latency() {
+        let mut d = device();
+        d.install_hook(Box::new(StaticInjectHook::new(vec![0xCC; 10])));
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let inv = d.invoke_functionality(app, "upload", endpoint()).unwrap();
+        assert!(inv.hook_outcome.set_ip_options);
+        assert!(inv.packets.iter().all(|p| p.has_context_option()));
+        assert!(inv.on_device_latency > SimDuration::ZERO);
+        assert_eq!(d.hook_stats().dispatched, 1);
+    }
+
+    #[test]
+    fn native_invocation_bypasses_hooks() {
+        let mut d = device();
+        d.install_hook(Box::new(StaticInjectHook::new(vec![0xCC; 10])));
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let inv = d.invoke_functionality_native(app, "upload", endpoint()).unwrap();
+        assert!(inv.native_bypass);
+        assert!(inv.packets.iter().all(|p| !p.has_context_option()));
+        assert_eq!(d.hook_stats().native_bypasses, 1);
+        assert_eq!(d.hook_stats().dispatched, 0);
+    }
+
+    #[test]
+    fn socket_reuse_keeps_original_options() {
+        let mut d = device();
+        d.install_hook(Box::new(StaticInjectHook::new(vec![0xEE; 6])));
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let inv = d.invoke_functionality(app, "browse", endpoint()).unwrap();
+        let more = d.send_on_socket(app, inv.socket, b"second request on same socket").unwrap();
+        assert!(!more.is_empty());
+        // Reused socket: same tag, no second hook dispatch.
+        assert!(more[0].options().find(IpOptionKind::BorderPatrolContext).is_some());
+        assert_eq!(d.hook_stats().dispatched, 1);
+        d.close_socket(inv.socket);
+        assert!(d.send_on_socket(app, inv.socket, b"x").is_err());
+    }
+
+    #[test]
+    fn device_addresses_differ_per_device() {
+        let a = Device::new(DeviceId::new(1), KernelConfig::default());
+        let b = Device::new(DeviceId::new(2), KernelConfig::default());
+        assert_ne!(a.address(), b.address());
+        assert_eq!(a.id(), DeviceId::new(1));
+    }
+
+    #[test]
+    fn upload_payload_is_larger_than_browse() {
+        let mut d = device();
+        let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
+        let upload = d.invoke_functionality(app, "upload", endpoint()).unwrap();
+        let browse = d.invoke_functionality(app, "browse", endpoint()).unwrap();
+        let upload_bytes: usize = upload.packets.iter().map(|p| p.payload().len()).sum();
+        let browse_bytes: usize = browse.packets.iter().map(|p| p.payload().len()).sum();
+        assert!(upload_bytes > browse_bytes * 10);
+    }
+}

@@ -1,0 +1,335 @@
+//! The runtime hooking framework (Xposed analogue).
+//!
+//! BorderPatrol's Context Manager is packaged as an Xposed module: the
+//! framework intercepts Java method calls inside app processes and transfers
+//! control to registered hooks.  BorderPatrol installs *post*-hooks on socket
+//! connect so that the OS socket is guaranteed to exist when the hook runs
+//! (paper §V-B "Hooks").  The framework cannot intercept native code or direct
+//! system calls — that limitation (§VII "Native functions") is modelled by the
+//! device runtime simply not invoking hooks for native-path invocations.
+
+use bp_netsim::kernel::{KernelNetStack, ProcessCredentials};
+use bp_types::{ApkHash, AppId, DeviceId, Error, SocketId};
+
+use bp_netsim::addr::Endpoint;
+
+/// One stack frame as reported by the Java `getStackTrace` API: class, method
+/// name and (when debug info is present) the executing source line.  Note that
+/// parameter types are *not* available — exactly the information gap that
+/// forces BorderPatrol to disambiguate overloads via line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawStackFrame {
+    /// Fully qualified class path with slash separators.
+    pub qualified_class: String,
+    /// Method name.
+    pub method_name: String,
+    /// Executing source line, absent when debug info was stripped.
+    pub line: Option<u32>,
+}
+
+/// Context passed to a post-connect hook.
+#[derive(Debug, Clone)]
+pub struct HookContext {
+    /// Device on which the connect happened.
+    pub device: DeviceId,
+    /// The app that owns the socket.
+    pub app: AppId,
+    /// MD5 hash of the app's apk (identifies the signature table).
+    pub apk_hash: ApkHash,
+    /// The connected socket.
+    pub socket: SocketId,
+    /// The remote endpoint the socket connected to.
+    pub remote: Endpoint,
+    /// Credentials of the app process (hooks run *inside* the app process and
+    /// therefore inherit its unprivileged credentials).
+    pub credentials: ProcessCredentials,
+    /// The captured Java call stack, innermost frame first.
+    pub stack: Vec<RawStackFrame>,
+}
+
+/// What a hook actually did, used for latency accounting in the Fig. 4 sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HookOutcome {
+    /// The hook called `getStackTrace` to obtain the call stack.
+    pub used_get_stack_trace: bool,
+    /// The hook encoded a stack context (frame→index mapping + serialization).
+    pub encoded_context: bool,
+    /// The hook called `setsockopt(IP_OPTIONS)` through the JNI shim.
+    pub set_ip_options: bool,
+}
+
+impl HookOutcome {
+    /// Outcome of a hook that did nothing.
+    pub fn noop() -> Self {
+        HookOutcome::default()
+    }
+}
+
+/// A post-connect hook.
+pub trait SocketConnectHook: Send {
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Called after a socket is connected (managed-code path only).
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate kernel errors (e.g. `EPERM` from
+    /// `setsockopt` when the kernel patch is missing).
+    fn after_connect(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error>;
+}
+
+/// Statistics kept by the hook manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HookStats {
+    /// Number of connect events dispatched to hooks.
+    pub dispatched: u64,
+    /// Number of hook invocations that returned an error.
+    pub errors: u64,
+    /// Number of connect events that bypassed the framework (native code).
+    pub native_bypasses: u64,
+}
+
+/// Registry and dispatcher for socket-connect hooks.
+#[derive(Default)]
+pub struct HookManager {
+    hooks: Vec<Box<dyn SocketConnectHook>>,
+    stats: HookStats,
+}
+
+impl std::fmt::Debug for HookManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookManager")
+            .field("hooks", &self.hooks.iter().map(|h| h.name().to_string()).collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl HookManager {
+    /// An empty hook registry.
+    pub fn new() -> Self {
+        HookManager::default()
+    }
+
+    /// Install a hook; hooks run in installation order.
+    pub fn install(&mut self, hook: Box<dyn SocketConnectHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Number of installed hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// True if no hooks are installed.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+
+    /// Dispatch statistics.
+    pub fn stats(&self) -> HookStats {
+        self.stats
+    }
+
+    /// Record that a connect happened on the native path where the framework
+    /// cannot intercept (no hooks run).
+    pub fn record_native_bypass(&mut self) {
+        self.stats.native_bypasses += 1;
+    }
+
+    /// Dispatch a connect event to every installed hook, merging their
+    /// outcomes.  Hook errors are recorded and swallowed (a failing module
+    /// must not crash the app), mirroring Xposed behaviour.
+    pub fn dispatch(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> HookOutcome {
+        self.stats.dispatched += 1;
+        let mut merged = HookOutcome::default();
+        for hook in &mut self.hooks {
+            match hook.after_connect(context, kernel) {
+                Ok(outcome) => {
+                    merged.used_get_stack_trace |= outcome.used_get_stack_trace;
+                    merged.encoded_context |= outcome.encoded_context;
+                    merged.set_ip_options |= outcome.set_ip_options;
+                }
+                Err(_) => self.stats.errors += 1,
+            }
+        }
+        merged
+    }
+}
+
+/// A hook that writes a fixed byte string into `IP_OPTIONS` without looking at
+/// the stack — the `static-inject` configuration (iv) of the Fig. 4 sweep.
+#[derive(Debug, Clone)]
+pub struct StaticInjectHook {
+    payload: Vec<u8>,
+}
+
+impl StaticInjectHook {
+    /// Create a hook injecting `payload` (must fit the options budget together
+    /// with the 2-byte option header).
+    pub fn new(payload: Vec<u8>) -> Self {
+        StaticInjectHook { payload }
+    }
+}
+
+impl SocketConnectHook for StaticInjectHook {
+    fn name(&self) -> &str {
+        "static-inject"
+    }
+
+    fn after_connect(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error> {
+        let mut options = bp_netsim::options::IpOptions::new();
+        options.push(bp_netsim::options::IpOption::new(
+            bp_netsim::options::IpOptionKind::BorderPatrolContext,
+            self.payload.clone(),
+        )?)?;
+        kernel.setsockopt_ip_options(&context.credentials, context.socket, options)?;
+        Ok(HookOutcome { used_get_stack_trace: false, encoded_context: false, set_ip_options: true })
+    }
+}
+
+/// A hook that gathers the stack trace but does nothing with it — the
+/// `static-getStack` configuration (v) of the Fig. 4 sweep.
+#[derive(Debug, Clone, Default)]
+pub struct GetStackOnlyHook {
+    payload: Vec<u8>,
+}
+
+impl GetStackOnlyHook {
+    /// Create the hook; like configuration (v) it still injects a static
+    /// payload after collecting the stack.
+    pub fn new(payload: Vec<u8>) -> Self {
+        GetStackOnlyHook { payload }
+    }
+}
+
+impl SocketConnectHook for GetStackOnlyHook {
+    fn name(&self) -> &str {
+        "static-getstack"
+    }
+
+    fn after_connect(
+        &mut self,
+        context: &HookContext,
+        kernel: &mut KernelNetStack,
+    ) -> Result<HookOutcome, Error> {
+        // "Collect" the stack: touch every frame (the simulation analogue of
+        // the getStackTrace call).
+        let _frames = context.stack.len();
+        let mut options = bp_netsim::options::IpOptions::new();
+        options.push(bp_netsim::options::IpOption::new(
+            bp_netsim::options::IpOptionKind::BorderPatrolContext,
+            self.payload.clone(),
+        )?)?;
+        kernel.setsockopt_ip_options(&context.credentials, context.socket, options)?;
+        Ok(HookOutcome { used_get_stack_trace: true, encoded_context: false, set_ip_options: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_netsim::kernel::KernelConfig;
+    use bp_netsim::options::IpOptionKind;
+
+    fn context(kernel: &mut KernelNetStack) -> HookContext {
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let socket = kernel.socket(AppId::new(1));
+        kernel.connect(&creds, socket, Endpoint::new([1, 2, 3, 4], 443)).unwrap();
+        HookContext {
+            device: DeviceId::new(1),
+            app: AppId::new(1),
+            apk_hash: ApkHash::digest(b"test-app"),
+            socket,
+            remote: Endpoint::new([1, 2, 3, 4], 443),
+            credentials: creds,
+            stack: vec![RawStackFrame {
+                qualified_class: "com/example/Main".to_string(),
+                method_name: "run".to_string(),
+                line: Some(12),
+            }],
+        }
+    }
+
+    fn kernel() -> KernelNetStack {
+        KernelNetStack::new(
+            KernelConfig::borderpatrol_prototype(),
+            Endpoint::new([10, 0, 0, 3], 0),
+        )
+    }
+
+    #[test]
+    fn static_inject_sets_options() {
+        let mut k = kernel();
+        let ctx = context(&mut k);
+        let mut manager = HookManager::new();
+        manager.install(Box::new(StaticInjectHook::new(vec![0xAA; 8])));
+        let outcome = manager.dispatch(&ctx, &mut k);
+        assert!(outcome.set_ip_options);
+        assert!(!outcome.used_get_stack_trace);
+        let socket = k.sockets().get(ctx.socket).unwrap();
+        assert!(socket.options().find(IpOptionKind::BorderPatrolContext).is_some());
+        assert_eq!(manager.stats().dispatched, 1);
+        assert_eq!(manager.stats().errors, 0);
+    }
+
+    #[test]
+    fn get_stack_only_reports_stack_usage() {
+        let mut k = kernel();
+        let ctx = context(&mut k);
+        let mut manager = HookManager::new();
+        manager.install(Box::new(GetStackOnlyHook::new(vec![1, 2, 3])));
+        let outcome = manager.dispatch(&ctx, &mut k);
+        assert!(outcome.used_get_stack_trace);
+        assert!(outcome.set_ip_options);
+        assert!(!outcome.encoded_context);
+    }
+
+    #[test]
+    fn hook_errors_are_counted_but_do_not_propagate() {
+        // Without the kernel patch, the unprivileged setsockopt fails; the
+        // manager must swallow the error and keep the app alive.
+        let mut k = KernelNetStack::new(KernelConfig::default(), Endpoint::new([10, 0, 0, 3], 0));
+        let ctx = context(&mut k);
+        let mut manager = HookManager::new();
+        manager.install(Box::new(StaticInjectHook::new(vec![0xAA; 8])));
+        let outcome = manager.dispatch(&ctx, &mut k);
+        assert_eq!(outcome, HookOutcome::noop());
+        assert_eq!(manager.stats().errors, 1);
+    }
+
+    #[test]
+    fn multiple_hooks_merge_outcomes() {
+        let mut k = kernel();
+        let ctx = context(&mut k);
+        let mut manager = HookManager::new();
+        manager.install(Box::new(GetStackOnlyHook::new(vec![7])));
+        manager.install(Box::new(StaticInjectHook::new(vec![9])));
+        let outcome = manager.dispatch(&ctx, &mut k);
+        assert!(outcome.used_get_stack_trace && outcome.set_ip_options);
+        assert_eq!(manager.len(), 2);
+    }
+
+    #[test]
+    fn native_bypass_is_recorded() {
+        let mut manager = HookManager::new();
+        assert!(manager.is_empty());
+        manager.record_native_bypass();
+        manager.record_native_bypass();
+        assert_eq!(manager.stats().native_bypasses, 2);
+        assert_eq!(manager.stats().dispatched, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated BYOD Android device.
+//!
+//! The Context Manager in the BorderPatrol prototype runs on the user's
+//! provisioned device as an Xposed module: it hooks socket calls inside app
+//! processes, gathers the Java call stack after a connection is established,
+//! and injects the encoded context into `IP_OPTIONS` via a JNI wrapper around
+//! `setsockopt` (paper §V-B).  This crate models the device-side substrate
+//! those mechanisms need:
+//!
+//! * [`process`] — Zygote-style process creation, per-app sandbox uids and
+//!   work/personal profile separation.
+//! * [`hooks`] — the runtime hooking framework (Xposed analogue): post-connect
+//!   hooks receive the captured stack frames and may modify socket state
+//!   through the kernel interface.  Native-code socket calls bypass the hooks,
+//!   reproducing the limitation discussed in §VII.
+//! * [`runtime`] — execution of an app functionality: building the Java call
+//!   stack, lazily creating and connecting the socket, invoking hooks, and
+//!   emitting the HTTP request packets.
+//! * [`device`] — the [`Device`](device::Device) façade tying kernel, profiles,
+//!   installed apps and hooks together.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_device::device::{Device, Profile};
+//! use bp_netsim::kernel::KernelConfig;
+//! use bp_netsim::addr::Endpoint;
+//! use bp_appsim::generator::CorpusGenerator;
+//! use bp_types::DeviceId;
+//!
+//! let mut device = Device::new(DeviceId::new(1), KernelConfig::borderpatrol_prototype());
+//! let app = device.install_app(CorpusGenerator::dropbox(), Profile::Work);
+//! let invocation = device
+//!     .invoke_functionality(app, "browse", Endpoint::new([162, 125, 4, 1], 443))?;
+//! assert!(!invocation.packets.is_empty());
+//! # Ok::<(), bp_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod hooks;
+pub mod process;
+pub mod runtime;
+
+pub use device::{Device, InstalledApp, Invocation, Profile};
+pub use hooks::{HookContext, HookManager, HookOutcome, RawStackFrame, SocketConnectHook};
+pub use process::{AppProcess, ProcessTable, Zygote};
+pub use runtime::{java_stack_for, socket_connect_frame};

@@ -1,0 +1,141 @@
+//! Process model: Zygote forking, per-app sandboxes and profiles.
+//!
+//! On Android every app process is forked from Zygote and runs as its own
+//! unprivileged uid inside a sandbox; BYOD frameworks additionally separate
+//! work-profile apps from personal apps (paper §III and §VII "Compatibility").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_netsim::kernel::ProcessCredentials;
+use bp_types::AppId;
+
+/// Base uid assigned to the first installed app (Android's `AID_APP_START`).
+pub const FIRST_APP_UID: u32 = 10_000;
+
+/// A running app process forked from Zygote.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppProcess {
+    /// The app this process hosts.
+    pub app: AppId,
+    /// Sandbox uid of the process.
+    pub uid: u32,
+    /// Process id.
+    pub pid: u32,
+    /// Whether the process belongs to the managed work profile.
+    pub work_profile: bool,
+}
+
+impl AppProcess {
+    /// Credentials this process presents to the kernel (always unprivileged —
+    /// app sandboxes never hold `CAP_NET_RAW`).
+    pub fn credentials(&self) -> ProcessCredentials {
+        ProcessCredentials::unprivileged(self.uid)
+    }
+}
+
+/// The Zygote process factory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zygote {
+    next_uid: u32,
+    next_pid: u32,
+}
+
+impl Default for Zygote {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Zygote {
+    /// Create the Zygote with fresh uid/pid counters.
+    pub fn new() -> Self {
+        Zygote { next_uid: FIRST_APP_UID, next_pid: 2_000 }
+    }
+
+    /// Fork a new app process for `app`.
+    pub fn fork(&mut self, app: AppId, work_profile: bool) -> AppProcess {
+        let proc = AppProcess { app, uid: self.next_uid, pid: self.next_pid, work_profile };
+        self.next_uid += 1;
+        self.next_pid += 1;
+        proc
+    }
+}
+
+/// Table of running processes keyed by app.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessTable {
+    processes: BTreeMap<AppId, AppProcess>,
+}
+
+impl ProcessTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ProcessTable::default()
+    }
+
+    /// Register (or replace) the process of `app`.
+    pub fn insert(&mut self, process: AppProcess) {
+        self.processes.insert(process.app, process);
+    }
+
+    /// The process hosting `app`, if running.
+    pub fn get(&self, app: AppId) -> Option<&AppProcess> {
+        self.processes.get(&app)
+    }
+
+    /// Number of running processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True if no processes are running.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Iterate over running processes.
+    pub fn iter(&self) -> impl Iterator<Item = &AppProcess> {
+        self.processes.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zygote_assigns_unique_uids_and_pids() {
+        let mut zygote = Zygote::new();
+        let a = zygote.fork(AppId::new(1), true);
+        let b = zygote.fork(AppId::new(2), false);
+        assert_eq!(a.uid, FIRST_APP_UID);
+        assert_eq!(b.uid, FIRST_APP_UID + 1);
+        assert_ne!(a.pid, b.pid);
+        assert!(a.work_profile);
+        assert!(!b.work_profile);
+    }
+
+    #[test]
+    fn app_processes_are_unprivileged() {
+        let mut zygote = Zygote::new();
+        let proc = zygote.fork(AppId::new(7), true);
+        let creds = proc.credentials();
+        assert_eq!(creds.uid, proc.uid);
+        assert!(creds.capabilities.is_empty());
+    }
+
+    #[test]
+    fn process_table_tracks_per_app_processes() {
+        let mut zygote = Zygote::new();
+        let mut table = ProcessTable::new();
+        assert!(table.is_empty());
+        table.insert(zygote.fork(AppId::new(1), true));
+        table.insert(zygote.fork(AppId::new(2), true));
+        assert_eq!(table.len(), 2);
+        assert!(table.get(AppId::new(1)).is_some());
+        assert!(table.get(AppId::new(3)).is_none());
+        assert_eq!(table.iter().count(), 2);
+    }
+}

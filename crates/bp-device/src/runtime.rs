@@ -1,0 +1,147 @@
+//! Functionality execution: building Java stacks and driving the kernel.
+//!
+//! When the monkey (or a human in the case studies) triggers an app
+//! functionality, the app executes its call chain; the innermost frames are
+//! the Java socket machinery, and `getStackTrace` observed at connect time
+//! reports the whole chain.  This module turns an [`AppSpec`] functionality
+//! into the raw stack frames the hooking framework hands to the Context
+//! Manager, and into the HTTP request the functionality sends.
+
+use bp_appsim::app::AppSpec;
+use bp_appsim::functionality::{Functionality, RequestKind};
+use bp_netsim::http::HttpRequest;
+use bp_types::{MethodSignature, StackFrame, StackTrace};
+
+use crate::hooks::RawStackFrame;
+
+/// The method signature of the Java socket connect frame that is always the
+/// innermost frame of a connect-time stack trace.
+pub fn socket_connect_frame() -> MethodSignature {
+    MethodSignature::new(
+        "java/net",
+        "Socket",
+        "connect",
+        "Ljava/net/SocketAddress;",
+        "V",
+    )
+}
+
+/// Build the raw (getStackTrace-style) frames observed when `functionality`
+/// of `app` establishes its connection: innermost `Socket.connect` frame
+/// first, then the app's call chain from innermost to outermost.
+///
+/// Line numbers are present only when the app retains debug information.
+pub fn raw_stack_for(app: &AppSpec, functionality: &Functionality) -> Vec<RawStackFrame> {
+    let mut frames = Vec::with_capacity(functionality.call_chain.len() + 1);
+    let connect = socket_connect_frame();
+    frames.push(RawStackFrame {
+        qualified_class: connect.qualified_class(),
+        method_name: connect.method_name().to_string(),
+        line: Some(589),
+    });
+    for sig in functionality.call_chain.iter().rev() {
+        frames.push(RawStackFrame {
+            qualified_class: sig.qualified_class(),
+            method_name: sig.method_name().to_string(),
+            line: app.line_for(sig),
+        });
+    }
+    frames
+}
+
+/// Build the full, signature-resolved [`StackTrace`] for a functionality
+/// (innermost first).  This is the ground truth the evaluation uses; the
+/// Context Manager only ever sees the raw frames and must reconstruct the
+/// same signatures through the method table.
+pub fn java_stack_for(app: &AppSpec, functionality: &Functionality) -> StackTrace {
+    let mut trace = StackTrace::new();
+    trace.push_outer(StackFrame::new(socket_connect_frame(), 589));
+    for sig in functionality.call_chain.iter().rev() {
+        match app.line_for(sig) {
+            Some(line) => trace.push_outer(StackFrame::new(sig.clone(), line)),
+            None => trace.push_outer(StackFrame::without_line(sig.clone())),
+        }
+    }
+    trace
+}
+
+/// Build the HTTP request one invocation of `functionality` sends.
+pub fn http_request_for(functionality: &Functionality) -> HttpRequest {
+    let host = functionality.endpoint_host.clone();
+    let path = format!("/{}", functionality.name);
+    match functionality.request_kind() {
+        RequestKind::Fetch => HttpRequest::get(host, path),
+        RequestKind::Submit => {
+            HttpRequest::post(host, path, vec![b'd'; functionality.payload_bytes.min(64 * 1024)])
+        }
+        RequestKind::Upload => {
+            HttpRequest::put(host, path, vec![b'u'; functionality.payload_bytes.min(4 * 1024 * 1024)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_appsim::generator::CorpusGenerator;
+    use bp_netsim::http::HttpMethod;
+
+    #[test]
+    fn raw_stack_is_innermost_first_with_connect_frame() {
+        let app = CorpusGenerator::dropbox();
+        let upload = app.functionality("upload").unwrap();
+        let frames = raw_stack_for(&app, upload);
+        assert_eq!(frames.len(), upload.call_chain.len() + 1);
+        assert_eq!(frames[0].qualified_class, "java/net/Socket");
+        assert_eq!(frames[0].method_name, "connect");
+        // The outermost frame is the UI entry point.
+        assert_eq!(frames.last().unwrap().method_name, "onUploadSelected");
+        // Debug builds carry line numbers on app frames.
+        assert!(frames[1].line.is_some());
+    }
+
+    #[test]
+    fn stripped_app_produces_frames_without_lines() {
+        let app = CorpusGenerator::dropbox().without_debug_info();
+        let upload = app.functionality("upload").unwrap();
+        let frames = raw_stack_for(&app, upload);
+        assert!(frames[1].line.is_none());
+    }
+
+    #[test]
+    fn java_stack_matches_raw_stack_signatures() {
+        let app = CorpusGenerator::solcalendar();
+        let login = app.functionality("fb-login").unwrap();
+        let raw = raw_stack_for(&app, login);
+        let full = java_stack_for(&app, login);
+        assert_eq!(raw.len(), full.depth());
+        for (raw_frame, full_frame) in raw.iter().zip(full.frames()) {
+            assert_eq!(raw_frame.qualified_class, full_frame.signature().qualified_class());
+            assert_eq!(raw_frame.method_name, full_frame.signature().method_name());
+        }
+        assert!(full.contains_library("com/facebook"));
+    }
+
+    #[test]
+    fn http_request_kind_follows_functionality() {
+        let app = CorpusGenerator::dropbox();
+        let upload = http_request_for(app.functionality("upload").unwrap());
+        assert_eq!(upload.method, HttpMethod::Put);
+        assert!(!upload.body.is_empty());
+        let browse = http_request_for(app.functionality("browse").unwrap());
+        assert_eq!(browse.method, HttpMethod::Get);
+        assert!(browse.body.is_empty());
+        let analytics =
+            http_request_for(CorpusGenerator::solcalendar().functionality("fb-analytics").unwrap());
+        assert_eq!(analytics.method, HttpMethod::Post);
+        assert_eq!(analytics.host, "graph.facebook.com");
+    }
+
+    #[test]
+    fn distinct_functionalities_have_distinct_stacks() {
+        let app = CorpusGenerator::dropbox();
+        let upload = java_stack_for(&app, app.functionality("upload").unwrap());
+        let download = java_stack_for(&app, app.functionality("download").unwrap());
+        assert_ne!(upload, download);
+    }
+}

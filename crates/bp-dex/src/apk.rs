@@ -1,0 +1,333 @@
+//! The apk-style outer container.
+//!
+//! An Android application is distributed as an apk: an archive containing one
+//! or more dex files (`classes.dex`, `classes2.dex`, ... for multi-dex apps),
+//! a manifest, resources and a signing certificate.  BorderPatrol keys its
+//! per-application signature tables by the MD5 hash of the apk file (§V-A) and
+//! the multi-dex case drives the variable-length frame-index encoding
+//! discussed in §VII ("Multi-dex file applications").
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{ApkHash, Error};
+
+use crate::file::DexFile;
+use crate::wire::{adler32, Reader, Writer};
+
+/// Magic bytes at the start of the apk container.
+pub const APK_MAGIC: &[u8; 4] = b"BAPK";
+
+/// Conventional name of the primary dex entry.
+pub const CLASSES_DEX: &str = "classes.dex";
+
+/// The Dalvik method-reference limit that forces an app into multi-dex
+/// packaging (65,536 method references per dex file).
+pub const MAX_METHODS_PER_DEX: usize = 65_536;
+
+/// One named entry of the apk archive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApkEntry {
+    /// Entry path, e.g. `classes.dex` or `AndroidManifest.xml`.
+    pub name: String,
+    /// Raw entry contents.
+    pub data: Vec<u8>,
+}
+
+/// A parsed apk container.
+///
+/// # Examples
+///
+/// ```
+/// use bp_dex::{ApkBuilder, ApkFile, DexBuilder};
+/// let mut dex = DexBuilder::new();
+/// dex.add_method("com/example", "Main", "run", "", "V", 1, 5);
+/// let apk = ApkBuilder::new("com.example.app")
+///     .version("1.2.3")
+///     .add_dex(dex.build())
+///     .build();
+/// let bytes = apk.to_bytes();
+/// let parsed = ApkFile::parse(&bytes)?;
+/// assert_eq!(parsed.package_name(), "com.example.app");
+/// assert_eq!(parsed.dex_files()?.len(), 1);
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApkFile {
+    package_name: String,
+    version: String,
+    entries: Vec<ApkEntry>,
+}
+
+impl ApkFile {
+    /// The application package name from the manifest (e.g. `com.dropbox.android`).
+    pub fn package_name(&self) -> &str {
+        &self.package_name
+    }
+
+    /// The application version string from the manifest.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// All archive entries.
+    pub fn entries(&self) -> &[ApkEntry] {
+        &self.entries
+    }
+
+    /// Look up an entry by name.
+    pub fn entry(&self, name: &str) -> Option<&ApkEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Names of the dex entries, in load order (`classes.dex`, `classes2.dex`, ...).
+    pub fn dex_entry_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .entries
+            .iter()
+            .map(|e| e.name.as_str())
+            .filter(|n| n.starts_with("classes") && n.ends_with(".dex"))
+            .collect();
+        names.sort_by_key(|n| dex_ordinal(n));
+        names
+    }
+
+    /// True if the app packs more than one dex file (multi-dex, §VII).
+    pub fn is_multidex(&self) -> bool {
+        self.dex_entry_names().len() > 1
+    }
+
+    /// Parse and return every dex file in load order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any dex entry fails to parse.
+    pub fn dex_files(&self) -> Result<Vec<DexFile>, Error> {
+        self.dex_entry_names()
+            .into_iter()
+            .map(|name| {
+                let entry = self.entry(name).expect("name came from entries");
+                DexFile::parse(&entry.data)
+            })
+            .collect()
+    }
+
+    /// Total number of methods across all dex files.
+    pub fn total_method_count(&self) -> Result<usize, Error> {
+        Ok(self.dex_files()?.iter().map(DexFile::method_count).sum())
+    }
+
+    /// The MD5 hash of the serialized apk — the identifier the Offline
+    /// Analyzer uses to key this application's signature table.
+    pub fn hash(&self) -> ApkHash {
+        ApkHash::digest(&self.to_bytes())
+    }
+
+    /// Serialize the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::with_capacity(4096);
+        payload.put_string(&self.package_name);
+        payload.put_string(&self.version);
+        payload.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            payload.put_string(&e.name);
+            payload.put_blob(&e.data);
+        }
+        let payload = payload.into_bytes();
+
+        let mut w = Writer::with_capacity(payload.len() + 12);
+        w.put_bytes(APK_MAGIC);
+        w.put_u32(payload.len() as u32);
+        w.put_u32(adler32(&payload));
+        w.put_bytes(&payload);
+        w.into_bytes()
+    }
+
+    /// Parse a container from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on bad magic, checksum mismatch or
+    /// truncation.
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        let mut r = Reader::new(data, "apk file");
+        if r.get_bytes(4)? != APK_MAGIC {
+            return Err(Error::malformed("apk file", "bad magic"));
+        }
+        let payload_len = r.get_u32()? as usize;
+        let checksum = r.get_u32()?;
+        if r.remaining() < payload_len {
+            return Err(Error::malformed("apk file", "truncated payload"));
+        }
+        let payload = r.get_bytes(payload_len)?;
+        if adler32(payload) != checksum {
+            return Err(Error::malformed("apk file", "checksum mismatch"));
+        }
+        let mut pr = Reader::new(payload, "apk file");
+        let package_name = pr.get_string()?;
+        let version = pr.get_string()?;
+        let count = pr.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 12));
+        for _ in 0..count {
+            let name = pr.get_string()?;
+            let data = pr.get_blob()?.to_vec();
+            entries.push(ApkEntry { name, data });
+        }
+        Ok(ApkFile { package_name, version, entries })
+    }
+}
+
+fn dex_ordinal(name: &str) -> u32 {
+    // classes.dex -> 1, classes2.dex -> 2, classesN.dex -> N
+    let stem = name.trim_start_matches("classes").trim_end_matches(".dex");
+    if stem.is_empty() {
+        1
+    } else {
+        stem.parse().unwrap_or(u32::MAX)
+    }
+}
+
+/// Builder for [`ApkFile`].
+#[derive(Debug, Clone)]
+pub struct ApkBuilder {
+    package_name: String,
+    version: String,
+    dex_files: Vec<DexFile>,
+    extra_entries: Vec<ApkEntry>,
+}
+
+impl ApkBuilder {
+    /// Start building an apk for the given package name.
+    pub fn new(package_name: impl Into<String>) -> Self {
+        ApkBuilder {
+            package_name: package_name.into(),
+            version: "1.0.0".to_string(),
+            dex_files: Vec::new(),
+            extra_entries: Vec::new(),
+        }
+    }
+
+    /// Set the manifest version string.
+    pub fn version(mut self, version: impl Into<String>) -> Self {
+        self.version = version.into();
+        self
+    }
+
+    /// Add a dex file; methods beyond [`MAX_METHODS_PER_DEX`] should be split
+    /// across multiple calls (the builder does not split automatically).
+    pub fn add_dex(mut self, dex: DexFile) -> Self {
+        self.dex_files.push(dex);
+        self
+    }
+
+    /// Add an arbitrary extra entry (resources, certificates, assets).
+    pub fn add_entry(mut self, name: impl Into<String>, data: Vec<u8>) -> Self {
+        self.extra_entries.push(ApkEntry { name: name.into(), data });
+        self
+    }
+
+    /// Finish and produce the [`ApkFile`].
+    pub fn build(self) -> ApkFile {
+        let mut entries = Vec::new();
+        entries.push(ApkEntry {
+            name: "AndroidManifest.xml".to_string(),
+            data: format!(
+                "<manifest package=\"{}\" versionName=\"{}\"/>",
+                self.package_name, self.version
+            )
+            .into_bytes(),
+        });
+        for (i, dex) in self.dex_files.iter().enumerate() {
+            let name = if i == 0 {
+                CLASSES_DEX.to_string()
+            } else {
+                format!("classes{}.dex", i + 1)
+            };
+            entries.push(ApkEntry { name, data: dex.to_bytes() });
+        }
+        entries.push(ApkEntry {
+            name: "META-INF/CERT.RSA".to_string(),
+            data: format!("certificate-for-{}", self.package_name).into_bytes(),
+        });
+        entries.extend(self.extra_entries);
+        ApkFile { package_name: self.package_name, version: self.version, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DexBuilder;
+
+    fn small_dex(pkg: &str) -> DexFile {
+        let mut b = DexBuilder::new();
+        b.add_method(pkg, "Main", "run", "", "V", 1, 5);
+        b.add_method(pkg, "Net", "connect", "Ljava/lang/String;", "V", 10, 8);
+        b.build()
+    }
+
+    #[test]
+    fn apk_roundtrip() {
+        let apk = ApkBuilder::new("com.example.app")
+            .version("2.0")
+            .add_dex(small_dex("com/example/app"))
+            .add_entry("res/layout/main.xml", b"<layout/>".to_vec())
+            .build();
+        let parsed = ApkFile::parse(&apk.to_bytes()).unwrap();
+        assert_eq!(parsed, apk);
+        assert_eq!(parsed.package_name(), "com.example.app");
+        assert_eq!(parsed.version(), "2.0");
+        assert!(parsed.entry("res/layout/main.xml").is_some());
+        assert!(parsed.entry("missing").is_none());
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_content_sensitive() {
+        let apk1 = ApkBuilder::new("com.a").add_dex(small_dex("com/a")).build();
+        let apk2 = ApkBuilder::new("com.a").add_dex(small_dex("com/a")).build();
+        let apk3 = ApkBuilder::new("com.b").add_dex(small_dex("com/b")).build();
+        assert_eq!(apk1.hash(), apk2.hash());
+        assert_ne!(apk1.hash(), apk3.hash());
+    }
+
+    #[test]
+    fn multidex_ordering() {
+        let apk = ApkBuilder::new("com.big.app")
+            .add_dex(small_dex("com/big/app"))
+            .add_dex(small_dex("com/big/lib"))
+            .add_dex(small_dex("com/big/ads"))
+            .build();
+        assert!(apk.is_multidex());
+        assert_eq!(apk.dex_entry_names(), vec!["classes.dex", "classes2.dex", "classes3.dex"]);
+        let dexes = apk.dex_files().unwrap();
+        assert_eq!(dexes.len(), 3);
+        assert_eq!(apk.total_method_count().unwrap(), 6);
+    }
+
+    #[test]
+    fn single_dex_is_not_multidex() {
+        let apk = ApkBuilder::new("com.small").add_dex(small_dex("com/small")).build();
+        assert!(!apk.is_multidex());
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let apk = ApkBuilder::new("com.x").add_dex(small_dex("com/x")).build();
+        let good = apk.to_bytes();
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(ApkFile::parse(&bad).is_err());
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x55;
+        assert!(ApkFile::parse(&bad).is_err());
+        assert!(ApkFile::parse(&good[..10]).is_err());
+    }
+
+    #[test]
+    fn manifest_and_cert_always_present() {
+        let apk = ApkBuilder::new("com.x").build();
+        assert!(apk.entry("AndroidManifest.xml").is_some());
+        assert!(apk.entry("META-INF/CERT.RSA").is_some());
+        assert_eq!(apk.dex_entry_names().len(), 0);
+    }
+}

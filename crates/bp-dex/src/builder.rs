@@ -1,0 +1,215 @@
+//! Convenience builder for constructing dex files from method descriptions.
+
+use std::collections::BTreeMap;
+
+use bp_types::MethodSignature;
+
+use crate::file::{ClassDef, CodeItem, DexFile, EncodedMethod};
+use crate::pools::{MethodId, ProtoId, StringPool};
+
+/// Incrementally constructs a [`DexFile`] from `(package, class, method)`
+/// descriptions, taking care of pool deduplication and class grouping.
+///
+/// # Examples
+///
+/// ```
+/// use bp_dex::DexBuilder;
+/// let mut b = DexBuilder::new();
+/// b.add_method("com/example", "Login", "authenticate", "Ljava/lang/String;", "Z", 20, 15);
+/// b.add_method("com/example", "Login", "logout", "", "V", 40, 5);
+/// let dex = b.build();
+/// assert_eq!(dex.method_count(), 2);
+/// assert_eq!(dex.class_count(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DexBuilder {
+    strings: StringPool,
+    protos: Vec<ProtoId>,
+    methods: Vec<MethodId>,
+    // (package_idx, name_idx) -> methods defined by the class.
+    classes: BTreeMap<(u32, u32), Vec<EncodedMethod>>,
+    superclasses: BTreeMap<(u32, u32), u32>,
+}
+
+impl DexBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        DexBuilder::default()
+    }
+
+    fn intern_proto(&mut self, params: &str, ret: &str) -> u32 {
+        let params_idx = self.strings.intern(params);
+        let return_idx = self.strings.intern(ret);
+        if let Some(pos) = self
+            .protos
+            .iter()
+            .position(|p| p.params_idx == params_idx && p.return_idx == return_idx)
+        {
+            return pos as u32;
+        }
+        self.protos.push(ProtoId { params_idx, return_idx });
+        (self.protos.len() - 1) as u32
+    }
+
+    fn intern_method(&mut self, package: &str, class: &str, name: &str, proto_idx: u32) -> u32 {
+        let package_idx = self.strings.intern(package);
+        let class_idx = self.strings.intern(class);
+        let name_idx = self.strings.intern(name);
+        if let Some(pos) = self.methods.iter().position(|m| {
+            m.package_idx == package_idx
+                && m.class_idx == class_idx
+                && m.name_idx == name_idx
+                && m.proto_idx == proto_idx
+        }) {
+            return pos as u32;
+        }
+        self.methods.push(MethodId { package_idx, class_idx, name_idx, proto_idx });
+        (self.methods.len() - 1) as u32
+    }
+
+    /// Add a method with debug line information starting at `line_start` and
+    /// spanning `line_span` source lines.  Returns the method-pool index.
+    pub fn add_method(
+        &mut self,
+        package: &str,
+        class: &str,
+        name: &str,
+        params: &str,
+        ret: &str,
+        line_start: u32,
+        line_span: u32,
+    ) -> u32 {
+        let proto_idx = self.intern_proto(params, ret);
+        let method_idx = self.intern_method(package, class, name, proto_idx);
+        let key = (self.strings.intern(package), self.strings.intern(class));
+        let encoded = EncodedMethod {
+            method_idx,
+            code: Some(CodeItem::with_debug(line_start, line_span)),
+        };
+        let methods = self.classes.entry(key).or_default();
+        if !methods.iter().any(|m| m.method_idx == method_idx) {
+            methods.push(encoded);
+        }
+        method_idx
+    }
+
+    /// Add a method without debug information (stripped build).
+    pub fn add_method_stripped(
+        &mut self,
+        package: &str,
+        class: &str,
+        name: &str,
+        params: &str,
+        ret: &str,
+    ) -> u32 {
+        let proto_idx = self.intern_proto(params, ret);
+        let method_idx = self.intern_method(package, class, name, proto_idx);
+        let key = (self.strings.intern(package), self.strings.intern(class));
+        let methods = self.classes.entry(key).or_default();
+        if !methods.iter().any(|m| m.method_idx == method_idx) {
+            methods.push(EncodedMethod { method_idx, code: Some(CodeItem::stripped(8)) });
+        }
+        method_idx
+    }
+
+    /// Add a method from a parsed [`MethodSignature`].
+    pub fn add_signature(&mut self, sig: &MethodSignature, line_start: u32, line_span: u32) -> u32 {
+        self.add_method(
+            sig.package(),
+            sig.class_name(),
+            sig.method_name(),
+            sig.params(),
+            sig.return_type(),
+            line_start,
+            line_span,
+        )
+    }
+
+    /// Declare that `(package, class)` extends the class at the fully
+    /// qualified path `superclass`.
+    pub fn set_superclass(&mut self, package: &str, class: &str, superclass: &str) {
+        let key = (self.strings.intern(package), self.strings.intern(class));
+        let sup = self.strings.intern(superclass);
+        self.superclasses.insert(key, sup);
+        self.classes.entry(key).or_default();
+    }
+
+    /// Number of methods added so far.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Finish and produce the [`DexFile`].
+    pub fn build(self) -> DexFile {
+        let classes = self
+            .classes
+            .into_iter()
+            .map(|((package_idx, name_idx), methods)| ClassDef {
+                package_idx,
+                name_idx,
+                superclass_idx: self.superclasses.get(&(package_idx, name_idx)).copied(),
+                methods,
+            })
+            .collect();
+        DexFile {
+            strings: self.strings,
+            protos: self.protos,
+            methods: self.methods,
+            classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_deduplicates_pools() {
+        let mut b = DexBuilder::new();
+        let first = b.add_method("com/a", "B", "m", "I", "V", 1, 2);
+        let dup = b.add_method("com/a", "B", "m", "I", "V", 1, 2);
+        assert_eq!(first, dup);
+        assert_eq!(b.method_count(), 1);
+        let overload = b.add_method("com/a", "B", "m", "J", "V", 5, 2);
+        assert_ne!(first, overload);
+        let dex = b.build();
+        assert_eq!(dex.method_count(), 2);
+        assert_eq!(dex.class_count(), 1);
+        assert_eq!(dex.classes[0].methods.len(), 2);
+    }
+
+    #[test]
+    fn builder_groups_by_class() {
+        let mut b = DexBuilder::new();
+        b.add_method("com/a", "B", "m", "", "V", 1, 2);
+        b.add_method("com/a", "C", "m", "", "V", 1, 2);
+        b.add_method("com/d", "B", "m", "", "V", 1, 2);
+        let dex = b.build();
+        assert_eq!(dex.class_count(), 3);
+        assert_eq!(dex.method_count(), 3);
+    }
+
+    #[test]
+    fn superclass_recorded() {
+        let mut b = DexBuilder::new();
+        b.add_method("com/a", "Child", "m", "", "V", 1, 2);
+        b.set_superclass("com/a", "Child", "com/a/Parent");
+        let dex = b.build();
+        let class = &dex.classes[0];
+        let sup = class.superclass_idx.unwrap();
+        assert_eq!(dex.strings.resolve(sup), Some("com/a/Parent"));
+    }
+
+    #[test]
+    fn add_signature_roundtrips() {
+        let sig: MethodSignature =
+            "Lcom/box/androidsdk/content/requests/BoxRequestUpload;->send()Lcom/box/androidsdk/content/models/BoxFile;"
+                .parse()
+                .unwrap();
+        let mut b = DexBuilder::new();
+        let idx = b.add_signature(&sig, 100, 20);
+        let dex = b.build();
+        assert_eq!(dex.signature_at(idx).unwrap(), sig);
+    }
+}

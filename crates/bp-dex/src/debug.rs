@@ -1,0 +1,148 @@
+//! Debug information: source line tables.
+//!
+//! Dalvik code items may carry debug info mapping bytecode offsets to source
+//! line numbers.  BorderPatrol's Context Manager uses these line numbers to
+//! map the `getStackTrace` output (class + method name + line) back to the
+//! unique method signature, which is how overloaded methods sharing a name are
+//! disambiguated (paper §V-B and §VII "Overloaded methods").
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::Error;
+
+use crate::wire::{Reader, Writer};
+
+/// One entry of a line table: bytecode offset → source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineEntry {
+    /// Bytecode instruction offset within the method.
+    pub offset: u32,
+    /// Source line number at that offset.
+    pub line: u32,
+}
+
+/// Per-method debug information.
+///
+/// A method occupies the half-open source-line range
+/// `[line_start, line_start + line_span)`; the entries map individual
+/// bytecode offsets to lines inside that range.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebugInfo {
+    line_start: u32,
+    line_span: u32,
+    entries: Vec<LineEntry>,
+}
+
+impl DebugInfo {
+    /// Build debug info for a method spanning `line_span` source lines
+    /// starting at `line_start`, with one line entry per bytecode offset.
+    pub fn new(line_start: u32, line_span: u32) -> Self {
+        let span = line_span.max(1);
+        let entries = (0..span).map(|i| LineEntry { offset: i, line: line_start + i }).collect();
+        DebugInfo { line_start, line_span: span, entries }
+    }
+
+    /// Build debug info from explicit entries.
+    pub fn from_entries(line_start: u32, line_span: u32, entries: Vec<LineEntry>) -> Self {
+        DebugInfo { line_start, line_span: line_span.max(1), entries }
+    }
+
+    /// First source line of the method.
+    pub fn line_start(&self) -> u32 {
+        self.line_start
+    }
+
+    /// Number of source lines the method spans.
+    pub fn line_span(&self) -> u32 {
+        self.line_span
+    }
+
+    /// Last source line of the method (inclusive).
+    pub fn line_end(&self) -> u32 {
+        self.line_start + self.line_span - 1
+    }
+
+    /// The line table entries.
+    pub fn entries(&self) -> &[LineEntry] {
+        &self.entries
+    }
+
+    /// Whether the given source line falls within this method's line range.
+    pub fn covers_line(&self, line: u32) -> bool {
+        line >= self.line_start && line <= self.line_end()
+    }
+
+    /// Source line for a given bytecode offset, if recorded.
+    pub fn line_for_offset(&self, offset: u32) -> Option<u32> {
+        self.entries.iter().find(|e| e.offset == offset).map(|e| e.line)
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.line_start);
+        w.put_u32(self.line_span);
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_u32(e.offset);
+            w.put_u32(e.line);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let line_start = r.get_u32()?;
+        let line_span = r.get_u32()?;
+        let count = r.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            entries.push(LineEntry { offset: r.get_u32()?, line: r.get_u32()? });
+        }
+        Ok(DebugInfo { line_start, line_span: line_span.max(1), entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_generates_contiguous_entries() {
+        let d = DebugInfo::new(100, 5);
+        assert_eq!(d.line_start(), 100);
+        assert_eq!(d.line_end(), 104);
+        assert_eq!(d.entries().len(), 5);
+        assert_eq!(d.line_for_offset(0), Some(100));
+        assert_eq!(d.line_for_offset(4), Some(104));
+        assert_eq!(d.line_for_offset(5), None);
+    }
+
+    #[test]
+    fn covers_line_bounds() {
+        let d = DebugInfo::new(10, 3);
+        assert!(!d.covers_line(9));
+        assert!(d.covers_line(10));
+        assert!(d.covers_line(12));
+        assert!(!d.covers_line(13));
+    }
+
+    #[test]
+    fn zero_span_is_clamped_to_one() {
+        let d = DebugInfo::new(50, 0);
+        assert_eq!(d.line_span(), 1);
+        assert_eq!(d.line_end(), 50);
+        assert!(d.covers_line(50));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let d = DebugInfo::from_entries(
+            7,
+            4,
+            vec![LineEntry { offset: 0, line: 7 }, LineEntry { offset: 3, line: 9 }],
+        );
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "dex file");
+        let decoded = DebugInfo::decode(&mut r).unwrap();
+        assert_eq!(decoded, d);
+    }
+}

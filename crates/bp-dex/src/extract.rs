@@ -1,0 +1,345 @@
+//! Method-signature extraction and index assignment.
+//!
+//! The Offline Analyzer's core job (paper §IV-A1, §V-A): extract every method
+//! signature from an application's dex file(s), order them deterministically,
+//! and assign sequential indexes.  The Context Manager performs the same
+//! extraction on-device so both sides agree on the index ↔ signature mapping
+//! without any extra communication.
+//!
+//! [`MethodTable`] is that mapping plus the line-number lookup used to resolve
+//! `getStackTrace` frames (class, method name, line) back to unique
+//! signatures.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{Error, MethodSignature};
+
+use crate::apk::ApkFile;
+use crate::file::DexFile;
+
+/// Extract the sorted, deduplicated list of method signatures from one dex file.
+///
+/// Sorting is lexicographic over (package, class, method, params, return) —
+/// the deterministic "topological" ordering the paper relies on so that the
+/// on-device and off-device components assign identical indexes.
+///
+/// # Errors
+///
+/// Returns an error if any pool index inside the dex file is dangling.
+pub fn extract_signatures(dex: &DexFile) -> Result<Vec<MethodSignature>, Error> {
+    let mut signatures = dex.all_signatures()?;
+    signatures.sort();
+    signatures.dedup();
+    Ok(signatures)
+}
+
+/// Extract the sorted, deduplicated signatures across *all* dex files of an apk.
+///
+/// # Errors
+///
+/// Returns an error if any contained dex file is malformed.
+pub fn extract_apk_signatures(apk: &ApkFile) -> Result<Vec<MethodSignature>, Error> {
+    let mut signatures = Vec::new();
+    for dex in apk.dex_files()? {
+        signatures.extend(dex.all_signatures()?);
+    }
+    signatures.sort();
+    signatures.dedup();
+    Ok(signatures)
+}
+
+/// A deterministic method-signature ↔ index table for one application,
+/// with the auxiliary line-number index used for overload disambiguation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodTable {
+    signatures: Vec<MethodSignature>,
+    /// (qualified class, method name) -> candidate indexes (overloads).
+    #[serde(skip)]
+    by_name: BTreeMap<(String, String), Vec<u32>>,
+    /// index -> (line_start, line_end) when debug info was available.
+    line_ranges: BTreeMap<u32, (u32, u32)>,
+    has_debug_info: bool,
+}
+
+impl MethodTable {
+    /// Build a table from a single dex file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors from malformed dex files.
+    pub fn from_dex(dex: &DexFile) -> Result<Self, Error> {
+        Self::from_dex_files(std::slice::from_ref(dex))
+    }
+
+    /// Build a table from all dex files of an apk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors from malformed dex files.
+    pub fn from_apk(apk: &ApkFile) -> Result<Self, Error> {
+        Self::from_dex_files(&apk.dex_files()?)
+    }
+
+    /// Build a table from a slice of dex files (multi-dex load order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction errors from malformed dex files.
+    pub fn from_dex_files(dex_files: &[DexFile]) -> Result<Self, Error> {
+        let mut signatures = Vec::new();
+        for dex in dex_files {
+            signatures.extend(dex.all_signatures()?);
+        }
+        signatures.sort();
+        signatures.dedup();
+
+        let mut table = MethodTable {
+            signatures,
+            by_name: BTreeMap::new(),
+            line_ranges: BTreeMap::new(),
+            has_debug_info: dex_files.iter().any(DexFile::has_debug_info),
+        };
+        table.rebuild_name_index();
+
+        // Populate line ranges from debug info.
+        for dex in dex_files {
+            for (method_idx, _) in dex.methods.iter().enumerate() {
+                let Some(debug) = dex.debug_info_at(method_idx as u32) else { continue };
+                let sig = dex.signature_at(method_idx as u32)?;
+                if let Some(index) = table.index_of(&sig) {
+                    table
+                        .line_ranges
+                        .insert(index, (debug.line_start(), debug.line_end()));
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// Build a table directly from a list of signatures (used by the
+    /// simulated runtime, which knows its method set without a dex parse).
+    pub fn from_signatures(mut signatures: Vec<MethodSignature>) -> Self {
+        signatures.sort();
+        signatures.dedup();
+        let mut table = MethodTable {
+            signatures,
+            by_name: BTreeMap::new(),
+            line_ranges: BTreeMap::new(),
+            has_debug_info: false,
+        };
+        table.rebuild_name_index();
+        table
+    }
+
+    fn rebuild_name_index(&mut self) {
+        self.by_name.clear();
+        for (i, sig) in self.signatures.iter().enumerate() {
+            self.by_name
+                .entry((sig.qualified_class(), sig.method_name().to_string()))
+                .or_default()
+                .push(i as u32);
+        }
+    }
+
+    /// Rebuild transient indexes after deserialization (serde skips `by_name`).
+    pub fn rehydrate(&mut self) {
+        self.rebuild_name_index();
+    }
+
+    /// Number of methods in the table.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True if the table has no methods.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Whether the underlying app carried debug line information.
+    pub fn has_debug_info(&self) -> bool {
+        self.has_debug_info
+    }
+
+    /// The sorted signatures, index order.
+    pub fn signatures(&self) -> &[MethodSignature] {
+        &self.signatures
+    }
+
+    /// The signature at `index`.
+    pub fn signature_at(&self, index: u32) -> Option<&MethodSignature> {
+        self.signatures.get(index as usize)
+    }
+
+    /// The index of `signature`, if present.
+    pub fn index_of(&self, signature: &MethodSignature) -> Option<u32> {
+        self.signatures.binary_search(signature).ok().map(|i| i as u32)
+    }
+
+    /// All indexes whose signature shares `(qualified_class, method_name)` —
+    /// i.e. the overload set for a name.
+    pub fn overloads(&self, qualified_class: &str, method_name: &str) -> &[u32] {
+        self.by_name
+            .get(&(qualified_class.to_string(), method_name.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolve a `getStackTrace`-style frame (class, method name, optional
+    /// line) to a unique method index.
+    ///
+    /// With debug info present, the line number selects among overloads.
+    /// Without a line number (stripped build) the paper's over-approximation
+    /// applies: the *first* overload (lowest index) is returned, merging all
+    /// variants into one identifier.
+    pub fn resolve_frame(
+        &self,
+        qualified_class: &str,
+        method_name: &str,
+        line: Option<u32>,
+    ) -> Option<u32> {
+        let candidates = self.overloads(qualified_class, method_name);
+        match candidates {
+            [] => None,
+            [only] => Some(*only),
+            many => {
+                if let Some(line) = line {
+                    for &idx in many {
+                        if let Some(&(start, end)) = self.line_ranges.get(&idx) {
+                            if line >= start && line <= end {
+                                return Some(idx);
+                            }
+                        }
+                    }
+                }
+                // Over-approximation: merge overloads into the first variant.
+                many.first().copied()
+            }
+        }
+    }
+
+    /// The recorded source line range of the method at `index`, if known.
+    pub fn line_range(&self, index: u32) -> Option<(u32, u32)> {
+        self.line_ranges.get(&index).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apk::ApkBuilder;
+    use crate::builder::DexBuilder;
+
+    fn overload_dex() -> DexFile {
+        let mut b = DexBuilder::new();
+        // Two overloads of report() at distinct line ranges.
+        b.add_method("com/flurry/sdk", "Agent", "report", "", "V", 10, 10);
+        b.add_method("com/flurry/sdk", "Agent", "report", "Ljava/lang/String;", "V", 30, 10);
+        b.add_method("com/example", "Main", "run", "", "V", 100, 5);
+        b.build()
+    }
+
+    #[test]
+    fn extraction_is_sorted_and_deduplicated() {
+        let dex = overload_dex();
+        let sigs = extract_signatures(&dex).unwrap();
+        assert_eq!(sigs.len(), 3);
+        let mut sorted = sigs.clone();
+        sorted.sort();
+        assert_eq!(sigs, sorted);
+    }
+
+    #[test]
+    fn index_assignment_is_deterministic_across_rebuilds() {
+        let dex = overload_dex();
+        let t1 = MethodTable::from_dex(&dex).unwrap();
+        let t2 = MethodTable::from_dex(&DexFile::parse(&dex.to_bytes()).unwrap()).unwrap();
+        assert_eq!(t1.signatures(), t2.signatures());
+        for (i, sig) in t1.signatures().iter().enumerate() {
+            assert_eq!(t2.index_of(sig), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn resolve_frame_uses_line_numbers_for_overloads() {
+        let table = MethodTable::from_dex(&overload_dex()).unwrap();
+        let overloads = table.overloads("com/flurry/sdk/Agent", "report");
+        assert_eq!(overloads.len(), 2);
+
+        let idx_early = table.resolve_frame("com/flurry/sdk/Agent", "report", Some(12)).unwrap();
+        let idx_late = table.resolve_frame("com/flurry/sdk/Agent", "report", Some(35)).unwrap();
+        assert_ne!(idx_early, idx_late);
+        assert_eq!(table.signature_at(idx_early).unwrap().params(), "");
+        assert_eq!(
+            table.signature_at(idx_late).unwrap().params(),
+            "Ljava/lang/String;"
+        );
+    }
+
+    #[test]
+    fn resolve_frame_without_line_over_approximates() {
+        let table = MethodTable::from_dex(&overload_dex()).unwrap();
+        let merged = table.resolve_frame("com/flurry/sdk/Agent", "report", None).unwrap();
+        assert_eq!(merged, *table.overloads("com/flurry/sdk/Agent", "report").first().unwrap());
+    }
+
+    #[test]
+    fn resolve_frame_unknown_method_is_none() {
+        let table = MethodTable::from_dex(&overload_dex()).unwrap();
+        assert_eq!(table.resolve_frame("com/none/X", "nope", Some(1)), None);
+    }
+
+    #[test]
+    fn multidex_table_spans_all_dex_files() {
+        let mut d1 = DexBuilder::new();
+        d1.add_method("com/app", "Main", "run", "", "V", 1, 3);
+        let mut d2 = DexBuilder::new();
+        d2.add_method("com/lib", "Helper", "go", "", "V", 1, 3);
+        let apk = ApkBuilder::new("com.app").add_dex(d1.build()).add_dex(d2.build()).build();
+        let table = MethodTable::from_apk(&apk).unwrap();
+        assert_eq!(table.len(), 2);
+        let all = extract_apk_signatures(&apk).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn from_signatures_matches_dex_ordering() {
+        let dex = overload_dex();
+        let from_dex = MethodTable::from_dex(&dex).unwrap();
+        let from_sigs = MethodTable::from_signatures(dex.all_signatures().unwrap());
+        assert_eq!(from_dex.signatures(), from_sigs.signatures());
+    }
+
+    #[test]
+    fn line_range_reflects_debug_info() {
+        let table = MethodTable::from_dex(&overload_dex()).unwrap();
+        let sig: MethodSignature = "Lcom/example/Main;->run()V".parse().unwrap();
+        let idx = table.index_of(&sig).unwrap();
+        assert_eq!(table.line_range(idx), Some((100, 104)));
+        assert!(table.has_debug_info());
+    }
+
+    #[test]
+    fn stripped_dex_has_no_line_ranges() {
+        let mut b = DexBuilder::new();
+        b.add_method_stripped("com/x", "Y", "f", "", "V");
+        b.add_method_stripped("com/x", "Y", "f", "I", "V");
+        let table = MethodTable::from_dex(&b.build()).unwrap();
+        assert!(!table.has_debug_info());
+        assert_eq!(table.line_range(0), None);
+        // Overloads merge without line info.
+        let a = table.resolve_frame("com/x/Y", "f", Some(5));
+        let b2 = table.resolve_frame("com/x/Y", "f", None);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = MethodTable::from_signatures(Vec::new());
+        assert!(table.is_empty());
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.signature_at(0), None);
+    }
+}

@@ -1,0 +1,399 @@
+//! The dex file proper: class definitions, code items and binary format.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{Error, MethodSignature};
+
+use crate::debug::DebugInfo;
+use crate::pools::{resolve_signature, MethodId, ProtoId, StringPool};
+use crate::wire::{adler32, Reader, Writer};
+
+/// Magic bytes at the start of every dex-like file.
+pub const DEX_MAGIC: &[u8; 4] = b"BDEX";
+
+/// Format version written by this crate.
+pub const DEX_VERSION: u16 = 1;
+
+/// Per-method executable payload: register/instruction counts plus optional
+/// debug line information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeItem {
+    /// Number of virtual registers the method uses.
+    pub registers: u16,
+    /// Number of bytecode instructions in the method body.
+    pub instruction_count: u32,
+    /// Debug line table, absent when the app stripped debug information.
+    pub debug: Option<DebugInfo>,
+}
+
+impl CodeItem {
+    /// A code item with generated debug info spanning `line_span` lines.
+    pub fn with_debug(line_start: u32, line_span: u32) -> Self {
+        CodeItem {
+            registers: 4,
+            instruction_count: line_span.max(1) * 2,
+            debug: Some(DebugInfo::new(line_start, line_span)),
+        }
+    }
+
+    /// A code item without debug info (stripped build).
+    pub fn stripped(instruction_count: u32) -> Self {
+        CodeItem { registers: 4, instruction_count, debug: None }
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.registers);
+        w.put_u32(self.instruction_count);
+        match &self.debug {
+            Some(debug) => {
+                w.put_u8(1);
+                debug.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let registers = r.get_u16()?;
+        let instruction_count = r.get_u32()?;
+        let debug = match r.get_u8()? {
+            0 => None,
+            1 => Some(DebugInfo::decode(r)?),
+            other => {
+                return Err(Error::malformed("dex file", format!("invalid debug flag {other}")))
+            }
+        };
+        Ok(CodeItem { registers, instruction_count, debug })
+    }
+}
+
+/// A method as encoded inside a class definition: a method-pool index plus its
+/// code item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedMethod {
+    /// Index into the dex file's method pool.
+    pub method_idx: u32,
+    /// The method body metadata (absent for abstract/native methods).
+    pub code: Option<CodeItem>,
+}
+
+impl EncodedMethod {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.method_idx);
+        match &self.code {
+            Some(code) => {
+                w.put_u8(1);
+                code.encode(w);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let method_idx = r.get_u32()?;
+        let code = match r.get_u8()? {
+            0 => None,
+            1 => Some(CodeItem::decode(r)?),
+            other => {
+                return Err(Error::malformed("dex file", format!("invalid code flag {other}")))
+            }
+        };
+        Ok(EncodedMethod { method_idx, code })
+    }
+}
+
+/// A class definition: package, name, optional superclass and its methods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// String-pool index of the package path.
+    pub package_idx: u32,
+    /// String-pool index of the simple class name.
+    pub name_idx: u32,
+    /// String-pool index of the superclass's fully qualified path, if any.
+    pub superclass_idx: Option<u32>,
+    /// Methods defined by this class.
+    pub methods: Vec<EncodedMethod>,
+}
+
+impl ClassDef {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.package_idx);
+        w.put_u32(self.name_idx);
+        match self.superclass_idx {
+            Some(idx) => {
+                w.put_u8(1);
+                w.put_u32(idx);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32(self.methods.len() as u32);
+        for m in &self.methods {
+            m.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let package_idx = r.get_u32()?;
+        let name_idx = r.get_u32()?;
+        let superclass_idx = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u32()?),
+            other => {
+                return Err(Error::malformed(
+                    "dex file",
+                    format!("invalid superclass flag {other}"),
+                ))
+            }
+        };
+        let count = r.get_u32()? as usize;
+        let mut methods = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            methods.push(EncodedMethod::decode(r)?);
+        }
+        Ok(ClassDef { package_idx, name_idx, superclass_idx, methods })
+    }
+}
+
+/// A complete dex-like file: pools plus class definitions.
+///
+/// # Examples
+///
+/// ```
+/// use bp_dex::DexBuilder;
+/// let mut b = DexBuilder::new();
+/// b.add_method("com/example", "Main", "run", "", "V", 1, 10);
+/// let dex = b.build();
+/// let parsed = bp_dex::DexFile::parse(&dex.to_bytes())?;
+/// assert_eq!(parsed, dex);
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DexFile {
+    /// Deduplicated string pool.
+    pub strings: StringPool,
+    /// Prototype pool.
+    pub protos: Vec<ProtoId>,
+    /// Method-identifier pool.
+    pub methods: Vec<MethodId>,
+    /// Class definitions.
+    pub classes: Vec<ClassDef>,
+}
+
+impl DexFile {
+    /// Create an empty dex file.
+    pub fn new() -> Self {
+        DexFile::default()
+    }
+
+    /// Number of methods in the method pool.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of class definitions.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Resolve the method-pool entry at `index` to a full signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index or any referenced pool entry is dangling.
+    pub fn signature_at(&self, index: u32) -> Result<MethodSignature, Error> {
+        let method = self
+            .methods
+            .get(index as usize)
+            .ok_or_else(|| Error::not_found("method index", index.to_string()))?;
+        resolve_signature(&self.strings, &self.protos, method)
+    }
+
+    /// Resolve every method in the pool to its signature, in pool order.
+    pub fn all_signatures(&self) -> Result<Vec<MethodSignature>, Error> {
+        (0..self.methods.len() as u32).map(|i| self.signature_at(i)).collect()
+    }
+
+    /// Find the debug info of the method-pool entry at `index`, if the method
+    /// has a body with debug information.
+    pub fn debug_info_at(&self, index: u32) -> Option<&DebugInfo> {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .find(|m| m.method_idx == index)
+            .and_then(|m| m.code.as_ref())
+            .and_then(|c| c.debug.as_ref())
+    }
+
+    /// True if *any* method body carries debug line information.
+    pub fn has_debug_info(&self) -> bool {
+        self.classes
+            .iter()
+            .flat_map(|c| c.methods.iter())
+            .any(|m| m.code.as_ref().is_some_and(|c| c.debug.is_some()))
+    }
+
+    /// Serialize to the binary container format.
+    ///
+    /// Layout: magic, version, payload length, Adler-32 checksum of the
+    /// payload, then the payload (string pool, proto pool, method pool,
+    /// class defs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::with_capacity(1024);
+        self.strings.encode(&mut payload);
+        payload.put_u32(self.protos.len() as u32);
+        for p in &self.protos {
+            p.encode(&mut payload);
+        }
+        payload.put_u32(self.methods.len() as u32);
+        for m in &self.methods {
+            m.encode(&mut payload);
+        }
+        payload.put_u32(self.classes.len() as u32);
+        for c in &self.classes {
+            c.encode(&mut payload);
+        }
+        let payload = payload.into_bytes();
+
+        let mut w = Writer::with_capacity(payload.len() + 16);
+        w.put_bytes(DEX_MAGIC);
+        w.put_u16(DEX_VERSION);
+        w.put_u32(payload.len() as u32);
+        w.put_u32(adler32(&payload));
+        w.put_bytes(&payload);
+        w.into_bytes()
+    }
+
+    /// Parse a dex file from its binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] when the magic, version, length or
+    /// checksum do not match, or any section is truncated.
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        let mut r = Reader::new(data, "dex file");
+        let magic = r.get_bytes(4)?;
+        if magic != DEX_MAGIC {
+            return Err(Error::malformed("dex file", "bad magic"));
+        }
+        let version = r.get_u16()?;
+        if version != DEX_VERSION {
+            return Err(Error::malformed("dex file", format!("unsupported version {version}")));
+        }
+        let payload_len = r.get_u32()? as usize;
+        let checksum = r.get_u32()?;
+        if r.remaining() < payload_len {
+            return Err(Error::malformed("dex file", "truncated payload"));
+        }
+        let payload = r.get_bytes(payload_len)?;
+        if adler32(payload) != checksum {
+            return Err(Error::malformed("dex file", "checksum mismatch"));
+        }
+
+        let mut pr = Reader::new(payload, "dex file");
+        let strings = StringPool::decode(&mut pr)?;
+        let proto_count = pr.get_u32()? as usize;
+        let mut protos = Vec::with_capacity(proto_count.min(1 << 16));
+        for _ in 0..proto_count {
+            protos.push(ProtoId::decode(&mut pr)?);
+        }
+        let method_count = pr.get_u32()? as usize;
+        let mut methods = Vec::with_capacity(method_count.min(1 << 18));
+        for _ in 0..method_count {
+            methods.push(MethodId::decode(&mut pr)?);
+        }
+        let class_count = pr.get_u32()? as usize;
+        let mut classes = Vec::with_capacity(class_count.min(1 << 16));
+        for _ in 0..class_count {
+            classes.push(ClassDef::decode(&mut pr)?);
+        }
+        if !pr.is_exhausted() {
+            return Err(Error::malformed("dex file", "trailing bytes after class defs"));
+        }
+        Ok(DexFile { strings, protos, methods, classes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DexBuilder;
+
+    fn sample() -> DexFile {
+        let mut b = DexBuilder::new();
+        b.add_method("com/flurry/sdk", "Agent", "report", "Ljava/lang/String;", "V", 40, 12);
+        b.add_method("com/flurry/sdk", "Agent", "report", "", "V", 60, 6);
+        b.add_method("com/example/app", "MainActivity", "onCreate", "", "V", 10, 25);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let dex = sample();
+        let bytes = dex.to_bytes();
+        let parsed = DexFile::parse(&bytes).unwrap();
+        assert_eq!(parsed, dex);
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let dex = sample();
+        let good = dex.to_bytes();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(DexFile::parse(&bad).is_err());
+
+        // Bad version.
+        let mut bad = good.clone();
+        bad[4] = 0xff;
+        assert!(DexFile::parse(&bad).is_err());
+
+        // Flip a payload byte: checksum must catch it.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(DexFile::parse(&bad).is_err());
+
+        // Truncation.
+        assert!(DexFile::parse(&good[..good.len() / 2]).is_err());
+        assert!(DexFile::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn signature_resolution() {
+        let dex = sample();
+        let sigs = dex.all_signatures().unwrap();
+        assert_eq!(sigs.len(), 3);
+        assert!(sigs.iter().any(|s| s.to_descriptor()
+            == "Lcom/flurry/sdk/Agent;->report(Ljava/lang/String;)V"));
+        assert!(dex.signature_at(99).is_err());
+    }
+
+    #[test]
+    fn debug_info_lookup() {
+        let dex = sample();
+        assert!(dex.has_debug_info());
+        let dbg = dex.debug_info_at(0).expect("method 0 has debug info");
+        assert!(dbg.line_span() >= 1);
+    }
+
+    #[test]
+    fn stripped_code_items() {
+        let code = CodeItem::stripped(17);
+        assert!(code.debug.is_none());
+        assert_eq!(code.instruction_count, 17);
+        let mut b = DexBuilder::new();
+        b.add_method_stripped("com/x", "Y", "f", "I", "V");
+        let dex = b.build();
+        assert!(!dex.has_debug_info());
+    }
+
+    #[test]
+    fn empty_dex_roundtrip() {
+        let dex = DexFile::new();
+        let parsed = DexFile::parse(&dex.to_bytes()).unwrap();
+        assert_eq!(parsed.method_count(), 0);
+        assert_eq!(parsed.class_count(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! A compact, self-contained "dex-like" bytecode container format.
+//!
+//! The BorderPatrol Offline Analyzer (paper §V-A) parses an application's
+//! `classes.dex` file(s) with `dexlib2` to obtain every method signature plus
+//! the debug line tables needed to disambiguate overloaded methods.  Real
+//! Dalvik bytecode is not reproducible here, so this crate provides a faithful
+//! substitute: a binary container with the same *information content* the
+//! analyzer relies on —
+//!
+//! * a deduplicated string pool,
+//! * type, prototype and method-id pools,
+//! * class definitions with per-method code items and debug line tables,
+//! * a binary serialization with header, checksum and section table,
+//! * an apk-style outer container supporting multi-dex packaging.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_dex::{DexBuilder, DexFile};
+//!
+//! let mut builder = DexBuilder::new();
+//! builder.add_method("com/flurry/sdk", "Agent", "report", "Ljava/lang/String;", "V", 40, 12);
+//! builder.add_method("com/example/app", "MainActivity", "onCreate", "", "V", 10, 30);
+//! let dex: DexFile = builder.build();
+//!
+//! let bytes = dex.to_bytes();
+//! let parsed = DexFile::parse(&bytes)?;
+//! assert_eq!(parsed.method_count(), 2);
+//! # Ok::<(), bp_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apk;
+pub mod builder;
+pub mod debug;
+pub mod extract;
+pub mod file;
+pub mod pools;
+pub mod wire;
+
+pub use apk::{ApkBuilder, ApkEntry, ApkFile, CLASSES_DEX, MAX_METHODS_PER_DEX};
+pub use builder::DexBuilder;
+pub use debug::{DebugInfo, LineEntry};
+pub use extract::{extract_apk_signatures, extract_signatures, MethodTable};
+pub use file::{ClassDef, CodeItem, DexFile, EncodedMethod};
+pub use pools::{MethodId, ProtoId, StringPool};

@@ -1,0 +1,231 @@
+//! Constant pools: strings, prototypes and method identifiers.
+//!
+//! Real dex files deduplicate every string, type descriptor, prototype and
+//! method reference into sorted pools; this module reproduces that structure
+//! so that signature extraction is deterministic and compact.
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{Error, MethodSignature};
+
+use crate::wire::{Reader, Writer};
+
+/// A deduplicating, index-stable string pool.
+///
+/// # Examples
+///
+/// ```
+/// use bp_dex::StringPool;
+/// let mut pool = StringPool::new();
+/// let a = pool.intern("com/example");
+/// let b = pool.intern("com/example");
+/// assert_eq!(a, b);
+/// assert_eq!(pool.resolve(a), Some("com/example"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StringPool {
+    strings: Vec<String>,
+}
+
+impl StringPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        StringPool { strings: Vec::new() }
+    }
+
+    /// Intern `value`, returning its stable index.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(pos) = self.strings.iter().position(|s| s == value) {
+            return pos as u32;
+        }
+        self.strings.push(value.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    /// Look up the index of `value` without inserting.
+    pub fn lookup(&self, value: &str) -> Option<u32> {
+        self.strings.iter().position(|s| s == value).map(|p| p as u32)
+    }
+
+    /// Resolve an index back to its string.
+    pub fn resolve(&self, index: u32) -> Option<&str> {
+        self.strings.get(index as usize).map(String::as_str)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over the interned strings in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.strings.len() as u32);
+        for s in &self.strings {
+            w.put_string(s);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let count = r.get_u32()? as usize;
+        let mut strings = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            strings.push(r.get_string()?);
+        }
+        Ok(StringPool { strings })
+    }
+}
+
+/// A method prototype: parameter descriptor plus return descriptor, both as
+/// string-pool indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProtoId {
+    /// String-pool index of the raw parameter descriptor (may reference `""`).
+    pub params_idx: u32,
+    /// String-pool index of the return descriptor.
+    pub return_idx: u32,
+}
+
+impl ProtoId {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.params_idx);
+        w.put_u32(self.return_idx);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(ProtoId { params_idx: r.get_u32()?, return_idx: r.get_u32()? })
+    }
+}
+
+/// A method identifier: owning class, method name and prototype.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MethodId {
+    /// String-pool index of the owning class's package path (slash separated).
+    pub package_idx: u32,
+    /// String-pool index of the simple class name.
+    pub class_idx: u32,
+    /// String-pool index of the method name.
+    pub name_idx: u32,
+    /// Index into the prototype pool.
+    pub proto_idx: u32,
+}
+
+impl MethodId {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.package_idx);
+        w.put_u32(self.class_idx);
+        w.put_u32(self.name_idx);
+        w.put_u32(self.proto_idx);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        Ok(MethodId {
+            package_idx: r.get_u32()?,
+            class_idx: r.get_u32()?,
+            name_idx: r.get_u32()?,
+            proto_idx: r.get_u32()?,
+        })
+    }
+}
+
+/// Resolve a [`MethodId`] through its pools into a [`MethodSignature`].
+pub fn resolve_signature(
+    strings: &StringPool,
+    protos: &[ProtoId],
+    method: &MethodId,
+) -> Result<MethodSignature, Error> {
+    let package = strings
+        .resolve(method.package_idx)
+        .ok_or_else(|| Error::malformed("dex file", "dangling package string index"))?;
+    let class = strings
+        .resolve(method.class_idx)
+        .ok_or_else(|| Error::malformed("dex file", "dangling class string index"))?;
+    let name = strings
+        .resolve(method.name_idx)
+        .ok_or_else(|| Error::malformed("dex file", "dangling method-name string index"))?;
+    let proto = protos
+        .get(method.proto_idx as usize)
+        .ok_or_else(|| Error::malformed("dex file", "dangling prototype index"))?;
+    let params = strings
+        .resolve(proto.params_idx)
+        .ok_or_else(|| Error::malformed("dex file", "dangling parameter string index"))?;
+    let ret = strings
+        .resolve(proto.return_idx)
+        .ok_or_else(|| Error::malformed("dex file", "dangling return string index"))?;
+    Ok(MethodSignature::new(package, class, name, params, ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_index_stable() {
+        let mut pool = StringPool::new();
+        let a = pool.intern("alpha");
+        let b = pool.intern("beta");
+        assert_eq!(pool.intern("alpha"), a);
+        assert_eq!(pool.intern("beta"), b);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.resolve(a), Some("alpha"));
+        assert_eq!(pool.resolve(b), Some("beta"));
+        assert_eq!(pool.lookup("alpha"), Some(a));
+        assert_eq!(pool.lookup("gamma"), None);
+        assert_eq!(pool.resolve(99), None);
+    }
+
+    #[test]
+    fn pool_wire_roundtrip() {
+        let mut pool = StringPool::new();
+        pool.intern("com/flurry/sdk");
+        pool.intern("Agent");
+        pool.intern("");
+        let mut w = Writer::new();
+        pool.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "dex file");
+        let decoded = StringPool::decode(&mut r).unwrap();
+        assert_eq!(decoded, pool);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn resolve_signature_happy_path() {
+        let mut strings = StringPool::new();
+        let package = strings.intern("com/dropbox/android/taskqueue");
+        let class = strings.intern("UploadTask");
+        let name = strings.intern("run");
+        let params = strings.intern("");
+        let ret = strings.intern("V");
+        let protos = vec![ProtoId { params_idx: params, return_idx: ret }];
+        let m = MethodId { package_idx: package, class_idx: class, name_idx: name, proto_idx: 0 };
+        let sig = resolve_signature(&strings, &protos, &m).unwrap();
+        assert_eq!(sig.to_descriptor(), "Lcom/dropbox/android/taskqueue/UploadTask;->run()V");
+    }
+
+    #[test]
+    fn resolve_signature_detects_dangling_indices() {
+        let strings = StringPool::new();
+        let protos: Vec<ProtoId> = Vec::new();
+        let m = MethodId { package_idx: 0, class_idx: 0, name_idx: 0, proto_idx: 0 };
+        assert!(resolve_signature(&strings, &protos, &m).is_err());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut pool = StringPool::new();
+        pool.intern("one");
+        pool.intern("two");
+        pool.intern("three");
+        let collected: Vec<&str> = pool.iter().collect();
+        assert_eq!(collected, vec!["one", "two", "three"]);
+    }
+}

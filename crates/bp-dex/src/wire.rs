@@ -1,0 +1,275 @@
+//! Low-level binary encoding helpers shared by the dex and apk formats.
+//!
+//! The container formats in this crate use a simple little-endian wire layout:
+//! fixed-width integers, length-prefixed UTF-8 strings and length-prefixed
+//! byte blobs, with an Adler-32 checksum over the payload (mirroring the real
+//! dex header, which also carries an Adler-32 checksum).
+
+use bp_types::Error;
+
+/// Modulus used by the Adler-32 checksum.
+const ADLER_MOD: u32 = 65_521;
+
+/// Compute the Adler-32 checksum of `data` (RFC 1950 definition).
+pub fn adler32(data: &[u8]) -> u32 {
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(5_552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= ADLER_MOD;
+        b %= ADLER_MOD;
+    }
+    (b << 16) | a
+}
+
+/// Growable little-endian byte writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Create a writer with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, value: u16) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append raw bytes without a length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32` length prefix followed by the raw bytes.
+    pub fn put_blob(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.put_bytes(bytes);
+    }
+
+    /// Append a `u32` length prefix followed by UTF-8 bytes.
+    pub fn put_string(&mut self, value: &str) {
+        self.put_blob(value.as_bytes());
+    }
+
+    /// Current length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish writing and return the underlying buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian byte reader over a borrowed slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over `data`; `what` names the artifact for error messages.
+    pub fn new(data: &'a [u8], what: &'static str) -> Self {
+        Reader { data, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::malformed(
+                self.what,
+                format!(
+                    "unexpected end of input: need {} bytes at offset {}, have {}",
+                    n,
+                    self.pos,
+                    self.data.len() - self.pos
+                ),
+            ));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, Error> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        self.take(n)
+    }
+
+    /// Read a `u32`-length-prefixed blob.
+    pub fn get_blob(&mut self) -> Result<&'a [u8], Error> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(Error::malformed(
+                self.what,
+                format!("blob length {len} exceeds remaining {}", self.remaining()),
+            ));
+        }
+        self.take(len)
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, Error> {
+        let bytes = self.get_blob()?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::malformed(self.what, "invalid utf-8 in string"))
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adler32_known_vectors() {
+        // "Wikipedia" is the classic worked example: 0x11E60398.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x0062_0062);
+    }
+
+    #[test]
+    fn adler32_large_input_does_not_overflow() {
+        let data = vec![0xffu8; 100_000];
+        let sum = adler32(&data);
+        // Recompute with a naive mod-every-step implementation for cross-check.
+        let mut a: u64 = 1;
+        let mut b: u64 = 0;
+        for &byte in &data {
+            a = (a + u64::from(byte)) % 65_521;
+            b = (b + a) % 65_521;
+        }
+        assert_eq!(sum, ((b as u32) << 16) | a as u32);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xbeef);
+        w.put_u32(0xdead_beef);
+        w.put_u64(0x0123_4567_89ab_cdef);
+        w.put_string("hello dex");
+        w.put_blob(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xbeef);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.get_string().unwrap(), "hello dex");
+        assert_eq!(r.get_blob().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let mut r = Reader::new(&[1, 2], "dex file");
+        assert!(r.get_u32().is_err());
+        let mut r = Reader::new(&[4, 0, 0, 0, 1], "dex file");
+        // Blob claims 4 bytes but only 1 remains.
+        assert!(r.get_blob().is_err());
+    }
+
+    #[test]
+    fn reader_rejects_invalid_utf8() {
+        let mut w = Writer::new();
+        w.put_blob(&[0xff, 0xfe, 0xfd]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "dex file");
+        assert!(r.get_string().is_err());
+    }
+
+    #[test]
+    fn blob_length_sanity_check() {
+        // A blob whose declared length exceeds the buffer must error, not panic.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "dex file");
+        assert!(r.get_blob().is_err());
+    }
+
+    #[test]
+    fn writer_len_tracks_bytes() {
+        let mut w = Writer::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+        w.put_string("ab");
+        assert_eq!(w.len(), 4 + 4 + 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Addresses, endpoints and the DNS table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::Error;
+
+/// A network endpoint: IPv4 address plus TCP/UDP port.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::addr::Endpoint;
+/// let ep = Endpoint::new([192, 168, 1, 10], 443);
+/// assert_eq!(ep.to_string(), "192.168.1.10:443");
+/// assert_eq!("192.168.1.10:443".parse::<Endpoint>().unwrap(), ep);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Transport port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Construct an endpoint from address octets and a port.
+    pub fn new(octets: impl Into<Ipv4Addr>, port: u16) -> Self {
+        Endpoint { ip: octets.into(), port }
+    }
+
+    /// Construct an endpoint from an [`Ipv4Addr`].
+    pub fn from_ip(ip: Ipv4Addr, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl FromStr for Endpoint {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, port) = s
+            .rsplit_once(':')
+            .ok_or_else(|| Error::malformed("endpoint", "expected ip:port"))?;
+        let ip: Ipv4Addr = ip
+            .parse()
+            .map_err(|_| Error::malformed("endpoint", format!("invalid ipv4 address {ip:?}")))?;
+        let port: u16 = port
+            .parse()
+            .map_err(|_| Error::malformed("endpoint", format!("invalid port {port:?}")))?;
+        Ok(Endpoint { ip, port })
+    }
+}
+
+/// A forward + reverse DNS table for the simulated WAN.
+///
+/// Real enterprise enforcement appliances often match on DNS names rather than
+/// raw addresses; the on-network baselines use this table, and the synthetic
+/// app corpus registers each service endpoint under a realistic domain name.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsTable {
+    forward: BTreeMap<String, Ipv4Addr>,
+    reverse: BTreeMap<Ipv4Addr, String>,
+}
+
+impl DnsTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        DnsTable::default()
+    }
+
+    /// Register `name → ip` (and the reverse mapping).  Re-registering a name
+    /// overwrites the previous address.
+    pub fn register(&mut self, name: impl Into<String>, ip: Ipv4Addr) {
+        let name = name.into();
+        if let Some(old) = self.forward.insert(name.clone(), ip) {
+            self.reverse.remove(&old);
+        }
+        self.reverse.insert(ip, name);
+    }
+
+    /// Resolve a DNS name to an address.
+    pub fn resolve(&self, name: &str) -> Option<Ipv4Addr> {
+        self.forward.get(name).copied()
+    }
+
+    /// Reverse-resolve an address to the registered DNS name.
+    pub fn reverse_lookup(&self, ip: Ipv4Addr) -> Option<&str> {
+        self.reverse.get(&ip).map(String::as_str)
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True if no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Iterate over `(name, ip)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Ipv4Addr)> {
+        self.forward.iter().map(|(n, ip)| (n.as_str(), *ip))
+    }
+
+    /// All addresses whose DNS name ends with `suffix` (e.g. `.facebook.com`).
+    pub fn addresses_matching_suffix(&self, suffix: &str) -> Vec<Ipv4Addr> {
+        self.forward
+            .iter()
+            .filter(|(name, _)| name.ends_with(suffix))
+            .map(|(_, ip)| *ip)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        let ep: Endpoint = "10.1.2.3:8080".parse().unwrap();
+        assert_eq!(ep.ip, Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(ep.port, 8080);
+        assert_eq!(ep.to_string(), "10.1.2.3:8080");
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_garbage() {
+        assert!("10.1.2.3".parse::<Endpoint>().is_err());
+        assert!("10.1.2:80".parse::<Endpoint>().is_err());
+        assert!("10.1.2.3:notaport".parse::<Endpoint>().is_err());
+        assert!("".parse::<Endpoint>().is_err());
+    }
+
+    #[test]
+    fn dns_forward_and_reverse() {
+        let mut dns = DnsTable::new();
+        dns.register("api.dropbox.com", Ipv4Addr::new(162, 125, 4, 1));
+        dns.register("graph.facebook.com", Ipv4Addr::new(157, 240, 1, 1));
+        assert_eq!(dns.resolve("api.dropbox.com"), Some(Ipv4Addr::new(162, 125, 4, 1)));
+        assert_eq!(dns.resolve("nope.example.com"), None);
+        assert_eq!(
+            dns.reverse_lookup(Ipv4Addr::new(157, 240, 1, 1)),
+            Some("graph.facebook.com")
+        );
+        assert_eq!(dns.len(), 2);
+        assert!(!dns.is_empty());
+    }
+
+    #[test]
+    fn dns_reregistration_overwrites() {
+        let mut dns = DnsTable::new();
+        dns.register("svc.example.com", Ipv4Addr::new(1, 1, 1, 1));
+        dns.register("svc.example.com", Ipv4Addr::new(2, 2, 2, 2));
+        assert_eq!(dns.resolve("svc.example.com"), Some(Ipv4Addr::new(2, 2, 2, 2)));
+        assert_eq!(dns.reverse_lookup(Ipv4Addr::new(1, 1, 1, 1)), None);
+        assert_eq!(dns.len(), 1);
+    }
+
+    #[test]
+    fn suffix_matching() {
+        let mut dns = DnsTable::new();
+        dns.register("graph.facebook.com", Ipv4Addr::new(157, 240, 1, 1));
+        dns.register("api.facebook.com", Ipv4Addr::new(157, 240, 1, 2));
+        dns.register("api.dropbox.com", Ipv4Addr::new(162, 125, 4, 1));
+        let hits = dns.addresses_matching_suffix(".facebook.com");
+        assert_eq!(hits.len(), 2);
+        assert!(!hits.contains(&Ipv4Addr::new(162, 125, 4, 1)));
+    }
+}

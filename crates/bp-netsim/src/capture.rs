@@ -1,0 +1,122 @@
+//! Packet capture (pcap-style) support.
+//!
+//! The evaluation records all traffic generated while exercising apps and
+//! inspects traffic before and after the Policy Enforcer.  [`PacketCapture`]
+//! records packets at a named tap point along with the simulated timestamp.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimDuration;
+use crate::packet::{FlowKey, Ipv4Packet};
+
+/// One captured packet with its capture timestamp.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapturedPacket {
+    /// Simulated time at which the packet passed the tap point.
+    pub timestamp: SimDuration,
+    /// The packet as seen at the tap point.
+    pub packet: Ipv4Packet,
+}
+
+/// A named capture point recording every packet that passes it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketCapture {
+    name: String,
+    packets: Vec<CapturedPacket>,
+}
+
+impl PacketCapture {
+    /// Create a capture with a descriptive name (e.g. `pre-enforcer`).
+    pub fn new(name: impl Into<String>) -> Self {
+        PacketCapture { name: name.into(), packets: Vec::new() }
+    }
+
+    /// The capture point's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a packet.
+    pub fn record(&mut self, timestamp: SimDuration, packet: &Ipv4Packet) {
+        self.packets.push(CapturedPacket { timestamp, packet: packet.clone() });
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterate over captured packets in capture order.
+    pub fn iter(&self) -> impl Iterator<Item = &CapturedPacket> {
+        self.packets.iter()
+    }
+
+    /// All captured packets belonging to `flow`.
+    pub fn flow(&self, flow: FlowKey) -> Vec<&CapturedPacket> {
+        self.packets.iter().filter(|c| c.packet.flow_key() == flow).collect()
+    }
+
+    /// Total payload bytes captured.
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.packets.iter().map(|c| c.packet.payload().len() as u64).sum()
+    }
+
+    /// Number of captured packets that still carry a BorderPatrol context
+    /// option (should be zero after the Packet Sanitizer).
+    pub fn packets_with_context(&self) -> usize {
+        self.packets.iter().filter(|c| c.packet.has_context_option()).count()
+    }
+
+    /// Clear the capture buffer.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Endpoint;
+    use crate::options::{IpOption, IpOptionKind};
+
+    fn pkt(dst_last: u8) -> Ipv4Packet {
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 1], 40000),
+            Endpoint::new([1, 1, 1, dst_last], 443),
+            vec![0; 10],
+        )
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut cap = PacketCapture::new("pre-enforcer");
+        assert!(cap.is_empty());
+        cap.record(SimDuration::from_micros(10), &pkt(1));
+        cap.record(SimDuration::from_micros(20), &pkt(2));
+        cap.record(SimDuration::from_micros(30), &pkt(1));
+        assert_eq!(cap.len(), 3);
+        assert_eq!(cap.name(), "pre-enforcer");
+        assert_eq!(cap.flow(pkt(1).flow_key()).len(), 2);
+        assert_eq!(cap.total_payload_bytes(), 30);
+    }
+
+    #[test]
+    fn context_option_counting() {
+        let mut cap = PacketCapture::new("post-sanitizer");
+        let mut tagged = pkt(1);
+        tagged
+            .options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1]).unwrap())
+            .unwrap();
+        cap.record(SimDuration::ZERO, &tagged);
+        cap.record(SimDuration::ZERO, &pkt(2));
+        assert_eq!(cap.packets_with_context(), 1);
+        cap.clear();
+        assert!(cap.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Simulated time and the per-component latency model.
+//!
+//! The Fig. 4 performance evaluation compares the average latency of an HTTP
+//! GET request across six stack configurations.  In the simulation, each
+//! component on a packet's path contributes a deterministic cost drawn from a
+//! [`LatencyModel`]; the accumulated [`SimDuration`] plays the role of
+//! wall-clock latency, while Criterion benches additionally measure the *real*
+//! compute cost of encoding, decoding and policy evaluation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A duration of simulated time with microsecond resolution.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// Construct from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { micros: millis * 1_000 }
+    }
+
+    /// Duration in microseconds.
+    pub const fn as_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Duration in (fractional) milliseconds.
+    pub fn as_millis_f64(&self) -> f64 {
+        self.micros as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros.saturating_sub(other.micros) }
+    }
+
+    /// Multiply by an integer factor.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration { micros: self.micros.saturating_mul(factor) }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: Self) -> Self::Output {
+        SimDuration { micros: self.micros + rhs.micros }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.micros >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.micros)
+        }
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::clock::{SimClock, SimDuration};
+/// let mut clock = SimClock::new();
+/// clock.advance(SimDuration::from_millis(2));
+/// assert_eq!(clock.now().as_micros(), 2_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimDuration,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        SimClock { now: SimDuration::ZERO }
+    }
+
+    /// The current simulated time (elapsed since start).
+    pub fn now(&self) -> SimDuration {
+        self.now
+    }
+
+    /// Advance the clock by `delta`.
+    pub fn advance(&mut self, delta: SimDuration) {
+        self.now += delta;
+    }
+}
+
+/// Per-component latency costs on the path of one request.
+///
+/// The defaults are calibrated so the six Fig. 4 configurations reproduce the
+/// paper's reported deltas: switching SLIRP→TAP removes user-mode networking
+/// overhead, the Python-style NFQUEUE consumer adds about +1 ms, the
+/// `getStackTrace` call adds about +1.6 ms, and the final dynamic encoding
+/// adds a small additional cost — for a total absolute overhead below ~2.5 ms
+/// over the TAP baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Cost of traversing a SLIRP (user-mode) interface, per packet direction.
+    pub slirp_traversal: SimDuration,
+    /// Cost of traversing a TAP interface, per packet direction.
+    pub tap_traversal: SimDuration,
+    /// Cost of an NFQUEUE round trip to a user-space consumer, per packet.
+    pub nfqueue_roundtrip: SimDuration,
+    /// Cost of the hook-framework interception of a socket call (per connect).
+    pub hook_dispatch: SimDuration,
+    /// Cost of collecting the Java stack trace via `getStackTrace` (per connect).
+    pub get_stack_trace: SimDuration,
+    /// Cost of mapping frames to indexes and encoding `IP_OPTIONS` (per connect).
+    pub context_encode: SimDuration,
+    /// Cost of the `setsockopt` syscall through the JNI shared library (per connect).
+    pub setsockopt_call: SimDuration,
+    /// Cost of policy decoding + evaluation at the enforcer (per packet).
+    pub policy_evaluation: SimDuration,
+    /// Cost of stripping options at the sanitizer (per packet).
+    pub sanitize: SimDuration,
+    /// Server-side time to serve the static stress-test page (per request).
+    pub server_processing: SimDuration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            slirp_traversal: SimDuration::from_micros(700),
+            tap_traversal: SimDuration::from_micros(200),
+            nfqueue_roundtrip: SimDuration::from_micros(500),
+            hook_dispatch: SimDuration::from_micros(120),
+            get_stack_trace: SimDuration::from_micros(1_600),
+            context_encode: SimDuration::from_micros(180),
+            setsockopt_call: SimDuration::from_micros(60),
+            policy_evaluation: SimDuration::from_micros(90),
+            sanitize: SimDuration::from_micros(40),
+            server_processing: SimDuration::from_micros(100),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A model with every cost set to zero (useful for functional tests that
+    /// do not care about timing).
+    pub fn zero() -> Self {
+        LatencyModel {
+            slirp_traversal: SimDuration::ZERO,
+            tap_traversal: SimDuration::ZERO,
+            nfqueue_roundtrip: SimDuration::ZERO,
+            hook_dispatch: SimDuration::ZERO,
+            get_stack_trace: SimDuration::ZERO,
+            context_encode: SimDuration::ZERO,
+            setsockopt_call: SimDuration::ZERO,
+            policy_evaluation: SimDuration::ZERO,
+            sanitize: SimDuration::ZERO,
+            server_processing: SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_micros(), 1_500);
+        assert_eq!(a.saturating_sub(b).as_micros(), 500);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(b.saturating_mul(4).as_micros(), 2_000);
+        let total: SimDuration = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_micros(), 2_000);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_micros(250).to_string(), "250us");
+        assert_eq!(SimDuration::from_micros(2_500).to_string(), "2.500ms");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now(), SimDuration::ZERO);
+        clock.advance(SimDuration::from_micros(10));
+        clock.advance(SimDuration::from_micros(5));
+        assert_eq!(clock.now().as_micros(), 15);
+    }
+
+    #[test]
+    fn default_model_matches_paper_deltas() {
+        let m = LatencyModel::default();
+        // The nfqueue consumer adds roughly +1ms per request
+        // (two packet directions through the queue in the worst case is
+        // bounded by ~1ms here; the Fig. 4 harness asserts the end-to-end
+        // deltas).
+        assert!(m.nfqueue_roundtrip.as_micros() >= 300);
+        // getStackTrace is the dominant on-device cost (+1.6ms in the paper).
+        assert_eq!(m.get_stack_trace.as_micros(), 1_600);
+        // SLIRP must be more expensive than TAP.
+        assert!(m.slirp_traversal > m.tap_traversal);
+    }
+
+    #[test]
+    fn zero_model_is_all_zero() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.get_stack_trace, SimDuration::ZERO);
+        assert_eq!(m.slirp_traversal, SimDuration::ZERO);
+        assert_eq!(m.policy_evaluation, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal HTTP request/response model and the stress-test static server.
+//!
+//! The Fig. 4 performance evaluation repeatedly issues HTTP GET requests for a
+//! static 297-byte HTML page served on the same host as the emulator.  This
+//! module provides just enough HTTP to reproduce that workload: request and
+//! response types with a textual wire form, plus [`StaticServer`] which serves
+//! a page of configurable size.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::Error;
+
+/// Size in bytes of the static page used by the paper's stress test.
+pub const STRESS_PAGE_SIZE: usize = 297;
+
+/// HTTP request methods used by the simulated apps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpMethod {
+    /// Retrieve a resource.
+    Get,
+    /// Submit data (logins, analytics beacons).
+    Post,
+    /// Upload a resource body.
+    Put,
+}
+
+impl HttpMethod {
+    /// The method token as it appears on the request line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Post => "POST",
+            HttpMethod::Put => "PUT",
+        }
+    }
+}
+
+/// A simplified HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: HttpMethod,
+    /// Request path.
+    pub path: String,
+    /// Host header value.
+    pub host: String,
+    /// Additional headers.
+    pub headers: BTreeMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request for `path` on `host`.
+    pub fn get(host: impl Into<String>, path: impl Into<String>) -> Self {
+        HttpRequest {
+            method: HttpMethod::Get,
+            path: path.into(),
+            host: host.into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request carrying `body`.
+    pub fn post(host: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
+        HttpRequest {
+            method: HttpMethod::Post,
+            path: path.into(),
+            host: host.into(),
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// A PUT upload request carrying `body`.
+    pub fn put(host: impl Into<String>, path: impl Into<String>, body: Vec<u8>) -> Self {
+        HttpRequest {
+            method: HttpMethod::Put,
+            path: path.into(),
+            host: host.into(),
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// Serialize to the textual wire form (request line, headers, body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", self.method.as_str(), self.path, self.host);
+        for (k, v) in &self.headers {
+            out.push_str(&format!("{k}: {v}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+
+    /// Parse a request from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] for anything that does not look like a
+    /// request produced by [`Self::to_bytes`].
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        let text_end = find_header_end(data)
+            .ok_or_else(|| Error::malformed("http request", "missing header terminator"))?;
+        let head = std::str::from_utf8(&data[..text_end])
+            .map_err(|_| Error::malformed("http request", "non-utf8 header"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let method = match parts.next() {
+            Some("GET") => HttpMethod::Get,
+            Some("POST") => HttpMethod::Post,
+            Some("PUT") => HttpMethod::Put,
+            other => {
+                return Err(Error::malformed(
+                    "http request",
+                    format!("unsupported method {other:?}"),
+                ))
+            }
+        };
+        let path = parts
+            .next()
+            .ok_or_else(|| Error::malformed("http request", "missing path"))?
+            .to_string();
+        let mut host = String::new();
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(": ")
+                .ok_or_else(|| Error::malformed("http request", format!("bad header {line:?}")))?;
+            if k.eq_ignore_ascii_case("host") {
+                host = v.to_string();
+            } else if !k.eq_ignore_ascii_case("content-length") {
+                headers.insert(k.to_string(), v.to_string());
+            }
+        }
+        let body = data[text_end + 4..].to_vec();
+        Ok(HttpRequest { method, path, host, headers, body })
+    }
+}
+
+/// A simplified HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 OK response with `body`.
+    pub fn ok(body: Vec<u8>) -> Self {
+        HttpResponse { status: 200, body }
+    }
+
+    /// A 404 Not Found response.
+    pub fn not_found() -> Self {
+        HttpResponse { status: 404, body: b"not found".to_vec() }
+    }
+
+    /// Serialize to the textual wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\n\r\n",
+            self.status,
+            if self.status == 200 { "OK" } else { "Error" },
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a response from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] for anything that does not look like a
+    /// response produced by [`Self::to_bytes`].
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        let text_end = find_header_end(data)
+            .ok_or_else(|| Error::malformed("http response", "missing header terminator"))?;
+        let head = std::str::from_utf8(&data[..text_end])
+            .map_err(|_| Error::malformed("http response", "non-utf8 header"))?;
+        let status_line = head.split("\r\n").next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::malformed("http response", "bad status line"))?;
+        Ok(HttpResponse { status, body: data[text_end + 4..].to_vec() })
+    }
+}
+
+fn find_header_end(data: &[u8]) -> Option<usize> {
+    data.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A static-content HTTP server, equivalent to the Python
+/// `SimpleHTTPServer` instance the paper runs on the emulator host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticServer {
+    page: Vec<u8>,
+    requests_served: u64,
+    bytes_uploaded: u64,
+}
+
+impl StaticServer {
+    /// A server whose root page is exactly [`STRESS_PAGE_SIZE`] bytes.
+    pub fn stress_test() -> Self {
+        Self::with_page_size(STRESS_PAGE_SIZE)
+    }
+
+    /// A server whose root page has the given size.
+    pub fn with_page_size(size: usize) -> Self {
+        let mut page = b"<html><body>".to_vec();
+        while page.len() < size.saturating_sub(14) {
+            page.push(b'x');
+        }
+        page.extend_from_slice(b"</body></html>");
+        page.truncate(size.max(1));
+        StaticServer { page, requests_served: 0, bytes_uploaded: 0 }
+    }
+
+    /// Size of the served page in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page.len()
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Total bytes received in PUT/POST bodies.
+    pub fn bytes_uploaded(&self) -> u64 {
+        self.bytes_uploaded
+    }
+
+    /// Handle one request.
+    pub fn handle(&mut self, request: &HttpRequest) -> HttpResponse {
+        self.requests_served += 1;
+        match request.method {
+            HttpMethod::Get => HttpResponse::ok(self.page.clone()),
+            HttpMethod::Post | HttpMethod::Put => {
+                self.bytes_uploaded += request.body.len() as u64;
+                HttpResponse::ok(b"stored".to_vec())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut req = HttpRequest::post("api.flurry.com", "/beacon", b"uid=42".to_vec());
+        req.headers.insert("User-Agent".to_string(), "bp-sim".to_string());
+        let parsed = HttpRequest::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn get_request_has_empty_body() {
+        let req = HttpRequest::get("localhost", "/index.html");
+        let parsed = HttpRequest::parse(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.method, HttpMethod::Get);
+        assert!(parsed.body.is_empty());
+        assert_eq!(parsed.host, "localhost");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::ok(vec![b'a'; 297]);
+        let parsed = HttpResponse::parse(&resp.to_bytes()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body.len(), 297);
+        let nf = HttpResponse::not_found();
+        assert_eq!(HttpResponse::parse(&nf.to_bytes()).unwrap().status, 404);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(HttpRequest::parse(b"not http").is_err());
+        assert!(HttpRequest::parse(b"DELETE / HTTP/1.1\r\nHost: x\r\n\r\n").is_err());
+        assert!(HttpResponse::parse(b"HTTP/1.1\r\n\r\n").is_err());
+        assert!(HttpResponse::parse(b"").is_err());
+    }
+
+    #[test]
+    fn stress_server_serves_297_byte_page() {
+        let mut server = StaticServer::stress_test();
+        assert_eq!(server.page_size(), STRESS_PAGE_SIZE);
+        let resp = server.handle(&HttpRequest::get("localhost", "/"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.len(), STRESS_PAGE_SIZE);
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn uploads_are_accounted() {
+        let mut server = StaticServer::with_page_size(64);
+        server.handle(&HttpRequest::put("files.example.com", "/doc", vec![0u8; 1000]));
+        server.handle(&HttpRequest::post("files.example.com", "/doc", vec![0u8; 500]));
+        assert_eq!(server.bytes_uploaded(), 1500);
+        assert_eq!(server.requests_served(), 2);
+    }
+
+    #[test]
+    fn page_size_is_respected_for_small_sizes() {
+        let server = StaticServer::with_page_size(10);
+        assert_eq!(server.page_size(), 10);
+        let server = StaticServer::with_page_size(0);
+        assert_eq!(server.page_size(), 1);
+    }
+}

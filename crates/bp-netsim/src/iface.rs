@@ -1,0 +1,162 @@
+//! Network interfaces: SLIRP (user-mode) vs TAP.
+//!
+//! The performance evaluation (Fig. 4) distinguishes the Android emulator's
+//! default user-mode (SLIRP) networking from the TAP virtual interface the
+//! prototype uses; the two differ in per-packet traversal cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{LatencyModel, SimDuration};
+use crate::packet::Ipv4Packet;
+
+/// The interface backing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterfaceMode {
+    /// QEMU user-mode networking (the emulator default).
+    Slirp,
+    /// TAP virtual interface bridged into the host network.
+    Tap,
+}
+
+impl InterfaceMode {
+    /// Per-direction traversal cost under `model`.
+    pub fn traversal_cost(self, model: &LatencyModel) -> SimDuration {
+        match self {
+            InterfaceMode::Slirp => model.slirp_traversal,
+            InterfaceMode::Tap => model.tap_traversal,
+        }
+    }
+}
+
+/// Per-interface statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterfaceStats {
+    /// Packets transmitted from the device.
+    pub tx_packets: u64,
+    /// Bytes transmitted from the device.
+    pub tx_bytes: u64,
+    /// Packets received towards the device.
+    pub rx_packets: u64,
+    /// Bytes received towards the device.
+    pub rx_bytes: u64,
+}
+
+/// A simulated network interface attached to a device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkInterface {
+    name: String,
+    mode: InterfaceMode,
+    stats: InterfaceStats,
+    up: bool,
+}
+
+impl NetworkInterface {
+    /// Create an interface with the given name and mode; starts up.
+    pub fn new(name: impl Into<String>, mode: InterfaceMode) -> Self {
+        NetworkInterface { name: name.into(), mode, stats: InterfaceStats::default(), up: true }
+    }
+
+    /// Interface name (e.g. `eth0`, `tap0`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Backing mode.
+    pub fn mode(&self) -> InterfaceMode {
+        self.mode
+    }
+
+    /// Change the backing mode (used by the Fig. 4 configuration sweep).
+    pub fn set_mode(&mut self, mode: InterfaceMode) {
+        self.mode = mode;
+    }
+
+    /// Whether the interface is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Bring the interface up or down.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Transmission/receive counters.
+    pub fn stats(&self) -> InterfaceStats {
+        self.stats
+    }
+
+    /// Account for transmitting `packet` out of the device and return the
+    /// traversal latency.  Returns `None` if the interface is down.
+    pub fn transmit(&mut self, packet: &Ipv4Packet, model: &LatencyModel) -> Option<SimDuration> {
+        if !self.up {
+            return None;
+        }
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += packet.total_len() as u64;
+        Some(self.mode.traversal_cost(model))
+    }
+
+    /// Account for receiving `packet` towards the device and return the
+    /// traversal latency.  Returns `None` if the interface is down.
+    pub fn receive(&mut self, packet: &Ipv4Packet, model: &LatencyModel) -> Option<SimDuration> {
+        if !self.up {
+            return None;
+        }
+        self.stats.rx_packets += 1;
+        self.stats.rx_bytes += packet.total_len() as u64;
+        Some(self.mode.traversal_cost(model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Endpoint;
+
+    fn pkt() -> Ipv4Packet {
+        Ipv4Packet::new(Endpoint::new([10, 0, 0, 1], 1), Endpoint::new([10, 0, 0, 2], 2), vec![0; 64])
+    }
+
+    #[test]
+    fn slirp_is_slower_than_tap() {
+        let model = LatencyModel::default();
+        assert!(
+            InterfaceMode::Slirp.traversal_cost(&model) > InterfaceMode::Tap.traversal_cost(&model)
+        );
+    }
+
+    #[test]
+    fn transmit_and_receive_account_stats() {
+        let model = LatencyModel::default();
+        let mut iface = NetworkInterface::new("tap0", InterfaceMode::Tap);
+        let latency = iface.transmit(&pkt(), &model).unwrap();
+        assert_eq!(latency, model.tap_traversal);
+        iface.receive(&pkt(), &model).unwrap();
+        let stats = iface.stats();
+        assert_eq!(stats.tx_packets, 1);
+        assert_eq!(stats.rx_packets, 1);
+        assert!(stats.tx_bytes > 0);
+        assert_eq!(stats.tx_bytes, stats.rx_bytes);
+    }
+
+    #[test]
+    fn down_interface_refuses_traffic() {
+        let model = LatencyModel::default();
+        let mut iface = NetworkInterface::new("eth0", InterfaceMode::Slirp);
+        iface.set_up(false);
+        assert!(!iface.is_up());
+        assert!(iface.transmit(&pkt(), &model).is_none());
+        assert!(iface.receive(&pkt(), &model).is_none());
+        assert_eq!(iface.stats().tx_packets, 0);
+    }
+
+    #[test]
+    fn mode_can_be_switched() {
+        let mut iface = NetworkInterface::new("net0", InterfaceMode::Slirp);
+        assert_eq!(iface.mode(), InterfaceMode::Slirp);
+        iface.set_mode(InterfaceMode::Tap);
+        assert_eq!(iface.mode(), InterfaceMode::Tap);
+        assert_eq!(iface.name(), "net0");
+    }
+}

@@ -1,0 +1,540 @@
+//! The capability-checked kernel networking interface.
+//!
+//! The stock Linux kernel used by Android requires `CAP_NET_RAW` /
+//! `CAP_NET_ADMIN` to set `IP_OPTIONS` on a socket, which non-system Android
+//! apps (and therefore the Context Manager running as an Xposed module inside
+//! the app process) do not have.  The BorderPatrol prototype instruments the
+//! kernel with a one-line patch that lifts the privilege requirement (paper
+//! §V-B, "Instrumented Linux kernel"), and the paper's §VII "Tag-replay"
+//! discussion proposes a hardened variant where `IP_OPTIONS` can only be set
+//! *once* per socket.  [`KernelNetStack`] models all three behaviours.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{AppId, Error, SocketId};
+
+use crate::addr::Endpoint;
+use crate::options::{IpOption, IpOptionKind, IpOptions};
+use crate::packet::{Ipv4Packet, Protocol};
+use crate::socket::SocketTable;
+
+/// Linux-style capabilities relevant to packet-header construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Capability {
+    /// `CAP_NET_RAW`: open raw sockets, set exotic socket options.
+    NetRaw,
+    /// `CAP_NET_ADMIN`: administer network interfaces and stack behaviour.
+    NetAdmin,
+}
+
+/// Credentials of the process issuing a syscall.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessCredentials {
+    /// Numeric uid of the process (Android assigns one uid per app sandbox).
+    pub uid: u32,
+    /// Capabilities held by the process.
+    pub capabilities: Vec<Capability>,
+}
+
+impl ProcessCredentials {
+    /// Credentials of an unprivileged app sandbox.
+    pub fn unprivileged(uid: u32) -> Self {
+        ProcessCredentials { uid, capabilities: Vec::new() }
+    }
+
+    /// Credentials of a privileged system process holding both net capabilities.
+    pub fn privileged(uid: u32) -> Self {
+        ProcessCredentials {
+            uid,
+            capabilities: vec![Capability::NetRaw, Capability::NetAdmin],
+        }
+    }
+
+    /// Whether the process holds `capability`.
+    pub fn has(&self, capability: Capability) -> bool {
+        self.capabilities.contains(&capability)
+    }
+}
+
+/// Kernel build/runtime configuration knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// The BorderPatrol one-line patch: allow unprivileged processes to set
+    /// `IP_OPTIONS` of the security/context classes.
+    pub borderpatrol_patch: bool,
+    /// Hardened mode (§VII "Tag-replay"): `IP_OPTIONS` may be set at most once
+    /// per socket; later attempts fail even for privileged callers.
+    pub set_options_once: bool,
+    /// Maximum transmission unit used when segmenting payloads into packets.
+    pub mtu: usize,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig { borderpatrol_patch: false, set_options_once: false, mtu: 1500 }
+    }
+}
+
+impl KernelConfig {
+    /// The configuration the BorderPatrol prototype ships: patch applied,
+    /// set-once hardening off (as in the paper's prototype).
+    pub fn borderpatrol_prototype() -> Self {
+        KernelConfig { borderpatrol_patch: true, set_options_once: false, mtu: 1500 }
+    }
+
+    /// The hardened configuration proposed in §VII: patch applied and
+    /// `IP_OPTIONS` settable only once per socket.
+    pub fn borderpatrol_hardened() -> Self {
+        KernelConfig { borderpatrol_patch: true, set_options_once: true, mtu: 1500 }
+    }
+}
+
+/// Counters the kernel keeps about syscall activity (used by the performance
+/// experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Number of `socket` syscalls issued (lazily, on connect/bind).
+    pub socket_calls: u64,
+    /// Number of `connect` syscalls issued.
+    pub connect_calls: u64,
+    /// Number of successful `setsockopt(IP_OPTIONS)` calls.
+    pub setsockopt_success: u64,
+    /// Number of `setsockopt(IP_OPTIONS)` calls rejected with `EPERM`.
+    pub setsockopt_denied: u64,
+    /// Number of packets emitted by `send`.
+    pub packets_emitted: u64,
+}
+
+/// The simulated kernel network stack of one device.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::kernel::{KernelConfig, KernelNetStack, ProcessCredentials};
+/// use bp_netsim::addr::Endpoint;
+/// use bp_types::AppId;
+///
+/// let mut kernel = KernelNetStack::new(KernelConfig::borderpatrol_prototype(),
+///                                      Endpoint::new([10, 0, 0, 7], 0));
+/// let creds = ProcessCredentials::unprivileged(10_123);
+/// let sock = kernel.socket(AppId::new(1));
+/// kernel.connect(&creds, sock, Endpoint::new([162, 125, 4, 1], 443))?;
+/// assert!(kernel.sockets().get(sock).unwrap().is_connected());
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelNetStack {
+    config: KernelConfig,
+    device_address: Endpoint,
+    sockets: SocketTable,
+    stats: KernelStats,
+    next_ephemeral_port: u16,
+    next_ip_identification: u16,
+}
+
+impl KernelNetStack {
+    /// Create a kernel stack for a device whose interface address is
+    /// `device_address` (the port component is ignored).
+    pub fn new(config: KernelConfig, device_address: Endpoint) -> Self {
+        KernelNetStack {
+            config,
+            device_address,
+            sockets: SocketTable::new(),
+            stats: KernelStats::default(),
+            next_ephemeral_port: 40_000,
+            next_ip_identification: 1,
+        }
+    }
+
+    /// The kernel configuration in effect.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Replace the kernel configuration (e.g. to toggle the patch in ablations).
+    pub fn set_config(&mut self, config: KernelConfig) {
+        self.config = config;
+    }
+
+    /// The device's interface address.
+    pub fn device_ip(&self) -> Endpoint {
+        self.device_address
+    }
+
+    /// Syscall counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The socket table.
+    pub fn sockets(&self) -> &SocketTable {
+        &self.sockets
+    }
+
+    /// Mutable access to the socket table (used by tests and the device layer).
+    pub fn sockets_mut(&mut self) -> &mut SocketTable {
+        &mut self.sockets
+    }
+
+    /// `socket()`: create a Java-level socket owned by `owner`.
+    ///
+    /// Note that, mirroring Dalvik's lazy initialization, this does *not*
+    /// count as an OS `socket` syscall; that happens on connect/bind.
+    pub fn socket(&mut self, owner: AppId) -> SocketId {
+        self.sockets.create(owner)
+    }
+
+    fn allocate_ephemeral(&mut self) -> Endpoint {
+        let port = self.next_ephemeral_port;
+        self.next_ephemeral_port = if port == u16::MAX { 40_000 } else { port + 1 };
+        Endpoint::from_ip(self.device_address.ip, port)
+    }
+
+    /// `connect()`: connect `socket` to `remote`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket state errors (unknown socket, already connected,
+    /// closed).
+    pub fn connect(
+        &mut self,
+        _creds: &ProcessCredentials,
+        socket: SocketId,
+        remote: Endpoint,
+    ) -> Result<(), Error> {
+        let local = self.allocate_ephemeral();
+        let s = self.sockets.require_mut(socket)?;
+        let had_os_socket = s.os_socket_calls() > 0;
+        s.connect(local, remote)?;
+        if !had_os_socket {
+            self.stats.socket_calls += 1;
+        }
+        self.stats.connect_calls += 1;
+        Ok(())
+    }
+
+    /// `bind()`: bind `socket` to a specific local port on the device address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket state errors.
+    pub fn bind(
+        &mut self,
+        _creds: &ProcessCredentials,
+        socket: SocketId,
+        port: u16,
+    ) -> Result<(), Error> {
+        let local = Endpoint::from_ip(self.device_address.ip, port);
+        let s = self.sockets.require_mut(socket)?;
+        let had_os_socket = s.os_socket_calls() > 0;
+        s.bind(local)?;
+        if !had_os_socket {
+            self.stats.socket_calls += 1;
+        }
+        Ok(())
+    }
+
+    /// `setsockopt(IPPROTO_IP, IP_OPTIONS, …)`.
+    ///
+    /// Permission model:
+    /// * processes holding `CAP_NET_RAW` or `CAP_NET_ADMIN` may always set
+    ///   options (subject to set-once mode);
+    /// * unprivileged processes are rejected with `EPERM` unless the
+    ///   BorderPatrol kernel patch is applied **and** the option being set is
+    ///   of the security/context class.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PermissionDenied`] on an `EPERM`-equivalent rejection,
+    /// [`Error::InvalidState`] when set-once mode forbids re-setting,
+    /// [`Error::NotFound`] for unknown sockets and
+    /// [`Error::CapacityExceeded`] if the options exceed 40 bytes.
+    pub fn setsockopt_ip_options(
+        &mut self,
+        creds: &ProcessCredentials,
+        socket: SocketId,
+        options: IpOptions,
+    ) -> Result<(), Error> {
+        if options.encoded_len() > crate::options::MAX_OPTIONS_LEN {
+            return Err(Error::capacity(
+                "ip options",
+                options.encoded_len(),
+                crate::options::MAX_OPTIONS_LEN,
+            ));
+        }
+        let privileged = creds.has(Capability::NetRaw) || creds.has(Capability::NetAdmin);
+        if !privileged {
+            let security_class_only = options.iter().all(|o| {
+                matches!(
+                    o.kind,
+                    IpOptionKind::Security | IpOptionKind::BorderPatrolContext | IpOptionKind::NoOp
+                )
+            });
+            if !(self.config.borderpatrol_patch && security_class_only) {
+                self.stats.setsockopt_denied += 1;
+                return Err(Error::permission_denied(
+                    "setsockopt(IP_OPTIONS)",
+                    "CAP_NET_RAW (kernel patch not applied or non-security option)",
+                ));
+            }
+        }
+        let s = self.sockets.require_mut(socket)?;
+        if self.config.set_options_once && s.options_set_count() > 0 {
+            return Err(Error::invalid_state(
+                "setsockopt(IP_OPTIONS)",
+                "options already set and kernel is in set-once mode",
+            ));
+        }
+        s.set_options(options);
+        self.stats.setsockopt_success += 1;
+        Ok(())
+    }
+
+    /// `send()`: segment `payload` into MTU-sized packets, each carrying the
+    /// socket's current `IP_OPTIONS`, and return them for transmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] if the socket is not connected.
+    pub fn send(
+        &mut self,
+        _creds: &ProcessCredentials,
+        socket: SocketId,
+        payload: &[u8],
+    ) -> Result<Vec<Ipv4Packet>, Error> {
+        let mtu = self.config.mtu;
+        let s = self.sockets.require_mut(socket)?;
+        if !s.is_connected() {
+            return Err(Error::invalid_state("send", "socket not connected"));
+        }
+        let local = s.local().expect("connected socket has local endpoint");
+        let remote = s.remote().expect("connected socket has remote endpoint");
+        let options = s.options().clone();
+        let max_payload = mtu.saturating_sub(Ipv4Packet::BASE_HEADER_LEN + options.padded_len() + 4).max(1);
+
+        let chunks: Vec<&[u8]> = if payload.is_empty() {
+            vec![&[][..]]
+        } else {
+            payload.chunks(max_payload).collect()
+        };
+        let mut packets = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let mut pkt = Ipv4Packet::with_protocol(local, remote, Protocol::Tcp, chunk.to_vec());
+            pkt.set_identification(self.next_ip_identification);
+            self.next_ip_identification = self.next_ip_identification.wrapping_add(1);
+            for opt in options.iter() {
+                // Copy socket options onto the packet; budget is preserved by
+                // construction because the socket options already fit.
+                pkt.options_mut()
+                    .push(IpOption { kind: opt.kind, data: opt.data.clone() })
+                    .expect("socket options fit packet options budget");
+            }
+            s.record_send(chunk.len());
+            self.stats.packets_emitted += 1;
+            packets.push(pkt);
+        }
+        Ok(packets)
+    }
+
+    /// `close()`: close and remove the socket.
+    pub fn close(&mut self, socket: SocketId) {
+        if let Some(s) = self.sockets.get_mut(socket) {
+            s.close();
+        }
+        self.sockets.remove(socket);
+    }
+
+    /// Copy the `IP_OPTIONS` currently attached to `from` onto `to`,
+    /// modelling the tag-replay attack discussed in §VII.  Subject to the same
+    /// permission checks as a regular `setsockopt`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::setsockopt_ip_options`].
+    pub fn replay_options(
+        &mut self,
+        creds: &ProcessCredentials,
+        from: SocketId,
+        to: SocketId,
+    ) -> Result<(), Error> {
+        let options = self.sockets.require(from)?.options().clone();
+        self.setsockopt_ip_options(creds, to, options)
+    }
+
+    /// Per-owner summary of socket usage (used in connection-scaling analysis).
+    pub fn per_app_socket_counts(&self) -> BTreeMap<AppId, usize> {
+        let mut counts = BTreeMap::new();
+        for socket in self.sockets.iter() {
+            *counts.entry(socket.owner()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn remote() -> Endpoint {
+        Endpoint::new([93, 184, 216, 34], 443)
+    }
+
+    fn context_options() -> IpOptions {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2, 3, 4]).unwrap())
+            .unwrap();
+        opts
+    }
+
+    fn kernel(config: KernelConfig) -> KernelNetStack {
+        KernelNetStack::new(config, Endpoint::new([10, 0, 0, 9], 0))
+    }
+
+    #[test]
+    fn unprivileged_setsockopt_requires_patch() {
+        let mut k = kernel(KernelConfig::default());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        let err = k.setsockopt_ip_options(&creds, s, context_options()).unwrap_err();
+        assert!(matches!(err, Error::PermissionDenied { .. }));
+        assert_eq!(k.stats().setsockopt_denied, 1);
+
+        // With the one-line patch the same call succeeds.
+        let mut k = kernel(KernelConfig::borderpatrol_prototype());
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+        assert_eq!(k.stats().setsockopt_success, 1);
+    }
+
+    #[test]
+    fn privileged_process_bypasses_patch_requirement() {
+        let mut k = kernel(KernelConfig::default());
+        let creds = ProcessCredentials::privileged(0);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+    }
+
+    #[test]
+    fn patch_only_allows_security_class_options() {
+        let mut k = kernel(KernelConfig::borderpatrol_prototype());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 4]).unwrap()).unwrap();
+        assert!(k.setsockopt_ip_options(&creds, s, opts).is_err());
+    }
+
+    #[test]
+    fn set_once_mode_blocks_tag_replay() {
+        let mut k = kernel(KernelConfig::borderpatrol_hardened());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let benign = k.socket(AppId::new(1));
+        let malicious = k.socket(AppId::new(1));
+        k.connect(&creds, benign, remote()).unwrap();
+        k.connect(&creds, malicious, remote()).unwrap();
+        k.setsockopt_ip_options(&creds, benign, context_options()).unwrap();
+        // First set on the malicious socket succeeds (it is its first set)…
+        k.replay_options(&creds, benign, malicious).unwrap();
+        // …but the Context Manager's subsequent legitimate set now fails,
+        // and equally any attempt to overwrite an already-tagged socket fails.
+        assert!(k.setsockopt_ip_options(&creds, malicious, context_options()).is_err());
+        assert!(k.replay_options(&creds, benign, benign).is_err());
+    }
+
+    #[test]
+    fn replay_succeeds_in_prototype_mode() {
+        // The unhardened prototype permits the tag-replay weakness the paper
+        // acknowledges; the ablation experiment relies on observing this.
+        let mut k = kernel(KernelConfig::borderpatrol_prototype());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let a = k.socket(AppId::new(1));
+        let b = k.socket(AppId::new(1));
+        k.connect(&creds, a, remote()).unwrap();
+        k.connect(&creds, b, remote()).unwrap();
+        k.setsockopt_ip_options(&creds, a, context_options()).unwrap();
+        k.replay_options(&creds, a, b).unwrap();
+        assert!(k.sockets().get(b).unwrap().options().find(IpOptionKind::BorderPatrolContext).is_some());
+    }
+
+    #[test]
+    fn send_copies_options_onto_every_packet_and_segments_by_mtu() {
+        let mut config = KernelConfig::borderpatrol_prototype();
+        config.mtu = 100;
+        let mut k = kernel(config);
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+        let payload = vec![0xaa; 500];
+        let packets = k.send(&creds, s, &payload).unwrap();
+        assert!(packets.len() > 1);
+        let total: usize = packets.iter().map(|p| p.payload().len()).sum();
+        assert_eq!(total, 500);
+        for p in &packets {
+            assert!(p.has_context_option());
+            assert!(p.total_len() <= 100 + 4); // mtu + abbreviated transport header
+            assert_eq!(p.destination(), remote());
+        }
+        assert_eq!(k.stats().packets_emitted, packets.len() as u64);
+    }
+
+    #[test]
+    fn send_requires_connected_socket() {
+        let mut k = kernel(KernelConfig::default());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        assert!(k.send(&creds, s, b"data").is_err());
+    }
+
+    #[test]
+    fn empty_payload_still_produces_one_packet() {
+        let mut k = kernel(KernelConfig::borderpatrol_prototype());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        let packets = k.send(&creds, s, b"").unwrap();
+        assert_eq!(packets.len(), 1);
+        assert!(packets[0].payload().is_empty());
+    }
+
+    #[test]
+    fn ephemeral_ports_are_unique_per_connection() {
+        let mut k = kernel(KernelConfig::default());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let a = k.socket(AppId::new(1));
+        let b = k.socket(AppId::new(1));
+        k.connect(&creds, a, remote()).unwrap();
+        k.connect(&creds, b, remote()).unwrap();
+        let pa = k.sockets().get(a).unwrap().local().unwrap().port;
+        let pb = k.sockets().get(b).unwrap().local().unwrap().port;
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn per_app_socket_counts() {
+        let mut k = kernel(KernelConfig::default());
+        k.socket(AppId::new(1));
+        k.socket(AppId::new(1));
+        k.socket(AppId::new(2));
+        let counts = k.per_app_socket_counts();
+        assert_eq!(counts[&AppId::new(1)], 2);
+        assert_eq!(counts[&AppId::new(2)], 1);
+    }
+
+    #[test]
+    fn close_removes_socket() {
+        let mut k = kernel(KernelConfig::default());
+        let creds = ProcessCredentials::unprivileged(10_001);
+        let s = k.socket(AppId::new(1));
+        k.connect(&creds, s, remote()).unwrap();
+        k.close(s);
+        assert!(k.sockets().get(s).is_none());
+        assert!(k.send(&creds, s, b"x").is_err());
+    }
+}

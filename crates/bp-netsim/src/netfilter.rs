@@ -1,0 +1,438 @@
+//! iptables-style packet filtering and NFQUEUE verdict handlers.
+//!
+//! The BorderPatrol prototype routes packets originating from provisioned
+//! devices into netfilter queues consumed by the user-space Policy Enforcer
+//! and Packet Sanitizer (paper §V-C/§V-D).  This module models the rule
+//! table, the queues, and the verdict mechanism.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{Ipv4Packet, Protocol};
+
+/// The verdict a queue handler returns for one packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Let the (possibly modified) packet continue along the chain.
+    Accept,
+    /// Drop the packet; `reason` is recorded for diagnostics.
+    Drop {
+        /// Human-readable reason recorded by the dropping component.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Convenience constructor for a drop verdict.
+    pub fn drop(reason: impl Into<String>) -> Self {
+        Verdict::Drop { reason: reason.into() }
+    }
+
+    /// True if this verdict accepts the packet.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Accept => write!(f, "ACCEPT"),
+            Verdict::Drop { reason } => write!(f, "DROP ({reason})"),
+        }
+    }
+}
+
+/// A user-space consumer attached to an NFQUEUE: it inspects (and may modify)
+/// each packet and returns a [`Verdict`].
+pub trait QueueHandler: Send {
+    /// Short name used in chain diagnostics (e.g. `policy-enforcer`).
+    fn name(&self) -> &str;
+
+    /// Inspect one packet and decide its fate.  Handlers may mutate the packet
+    /// (the Packet Sanitizer strips options here).
+    fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict;
+}
+
+/// A pass-through handler that accepts every packet unmodified — the
+/// "empty policy" consumer used by the Fig. 4 `default-tap-nfqueue`
+/// configuration.
+#[derive(Debug, Default, Clone)]
+pub struct PassthroughHandler {
+    handled: u64,
+}
+
+impl PassthroughHandler {
+    /// Create a new pass-through handler.
+    pub fn new() -> Self {
+        PassthroughHandler { handled: 0 }
+    }
+
+    /// Number of packets this handler has seen.
+    pub fn handled(&self) -> u64 {
+        self.handled
+    }
+}
+
+impl QueueHandler for PassthroughHandler {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn handle(&mut self, _packet: &mut Ipv4Packet) -> Verdict {
+        self.handled += 1;
+        Verdict::Accept
+    }
+}
+
+/// Match criteria of one iptables-like rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleMatch {
+    /// Match only packets from this source address.
+    pub source_ip: Option<Ipv4Addr>,
+    /// Match only packets to this destination address.
+    pub destination_ip: Option<Ipv4Addr>,
+    /// Match only packets to this destination port.
+    pub destination_port: Option<u16>,
+    /// Match only this transport protocol.
+    pub protocol: Option<Protocol>,
+}
+
+impl RuleMatch {
+    /// A rule match that matches every packet.
+    pub fn any() -> Self {
+        RuleMatch::default()
+    }
+
+    /// Whether `packet` satisfies all present criteria.
+    pub fn matches(&self, packet: &Ipv4Packet) -> bool {
+        self.source_ip.is_none_or(|ip| packet.source().ip == ip)
+            && self.destination_ip.is_none_or(|ip| packet.destination().ip == ip)
+            && self.destination_port.is_none_or(|p| packet.destination().port == p)
+            && self.protocol.is_none_or(|proto| packet.protocol() == proto)
+    }
+}
+
+/// The action of an iptables-like rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Accept the packet immediately (skip later rules).
+    Accept,
+    /// Drop the packet immediately.
+    Drop,
+    /// Divert the packet to the NFQUEUE with the given number.
+    Queue(u16),
+}
+
+/// One rule in a filter chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IptablesRule {
+    /// Match criteria.
+    pub matcher: RuleMatch,
+    /// Action taken when the criteria match.
+    pub action: RuleAction,
+}
+
+/// Statistics of one NFQUEUE.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Packets delivered to the handler.
+    pub received: u64,
+    /// Packets accepted by the handler.
+    pub accepted: u64,
+    /// Packets dropped by the handler.
+    pub dropped: u64,
+}
+
+/// An NFQUEUE: a numbered queue with an attached user-space handler.
+pub struct NfQueue {
+    number: u16,
+    handler: Arc<Mutex<dyn QueueHandler>>,
+    stats: QueueStats,
+}
+
+impl fmt::Debug for NfQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NfQueue")
+            .field("number", &self.number)
+            .field("handler", &self.handler.lock().name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl NfQueue {
+    /// Create a queue with the given number and handler.
+    pub fn new(number: u16, handler: Arc<Mutex<dyn QueueHandler>>) -> Self {
+        NfQueue { number, handler, stats: QueueStats::default() }
+    }
+
+    /// The queue number.
+    pub fn number(&self) -> u16 {
+        self.number
+    }
+
+    /// Statistics for this queue.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Deliver one packet to the handler and return its verdict.
+    pub fn deliver(&mut self, packet: &mut Ipv4Packet) -> Verdict {
+        self.stats.received += 1;
+        let verdict = self.handler.lock().handle(packet);
+        match &verdict {
+            Verdict::Accept => self.stats.accepted += 1,
+            Verdict::Drop { .. } => self.stats.dropped += 1,
+        }
+        verdict
+    }
+}
+
+/// Outcome of pushing a packet through a [`FilterChain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainOutcome {
+    /// The packet traversed the chain and may leave the network.
+    Accepted {
+        /// Number of NFQUEUEs the packet traversed.
+        queues_traversed: usize,
+    },
+    /// The packet was dropped.
+    Dropped {
+        /// Name of the component (rule or handler) that dropped it.
+        by: String,
+        /// Reason recorded by that component.
+        reason: String,
+    },
+}
+
+impl ChainOutcome {
+    /// True if the packet was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, ChainOutcome::Accepted { .. })
+    }
+}
+
+/// An ordered iptables-like chain with attached NFQUEUEs.
+///
+/// Packets are evaluated against the rules in order.  A `Queue` action sends
+/// the packet to the numbered queue; if the handler accepts, evaluation
+/// continues with the *next* rule (this is how the enforcer → sanitizer
+/// pipeline is expressed).  If no rule matches, the chain's default policy
+/// (accept) applies.
+#[derive(Debug, Default)]
+pub struct FilterChain {
+    rules: Vec<IptablesRule>,
+    queues: BTreeMap<u16, NfQueue>,
+}
+
+impl FilterChain {
+    /// An empty chain with no rules or queues (accept-all).
+    pub fn new() -> Self {
+        FilterChain::default()
+    }
+
+    /// Append a rule to the end of the chain.
+    pub fn add_rule(&mut self, rule: IptablesRule) {
+        self.rules.push(rule);
+    }
+
+    /// Register an NFQUEUE handler under `queue_number`.
+    pub fn register_queue(&mut self, queue_number: u16, handler: Arc<Mutex<dyn QueueHandler>>) {
+        self.queues.insert(queue_number, NfQueue::new(queue_number, handler));
+    }
+
+    /// Statistics of the queue with the given number.
+    pub fn queue_stats(&self, queue_number: u16) -> Option<QueueStats> {
+        self.queues.get(&queue_number).map(NfQueue::stats)
+    }
+
+    /// Number of rules installed.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Push one packet through the chain.
+    pub fn process(&mut self, packet: &mut Ipv4Packet) -> ChainOutcome {
+        let mut queues_traversed = 0;
+        for rule in &self.rules {
+            if !rule.matcher.matches(packet) {
+                continue;
+            }
+            match &rule.action {
+                RuleAction::Accept => return ChainOutcome::Accepted { queues_traversed },
+                RuleAction::Drop => {
+                    return ChainOutcome::Dropped {
+                        by: "iptables".to_string(),
+                        reason: "matched DROP rule".to_string(),
+                    }
+                }
+                RuleAction::Queue(number) => {
+                    let Some(queue) = self.queues.get_mut(number) else {
+                        // Mirroring netfilter behaviour with no queue bound:
+                        // the packet is dropped.
+                        return ChainOutcome::Dropped {
+                            by: "iptables".to_string(),
+                            reason: format!("NFQUEUE {number} has no listener"),
+                        };
+                    };
+                    queues_traversed += 1;
+                    match queue.deliver(packet) {
+                        Verdict::Accept => {}
+                        Verdict::Drop { reason } => {
+                            let by = queue.handler.lock().name().to_string();
+                            return ChainOutcome::Dropped { by, reason };
+                        }
+                    }
+                }
+            }
+        }
+        ChainOutcome::Accepted { queues_traversed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Endpoint;
+
+    fn packet_to(dst: [u8; 4], port: u16) -> Ipv4Packet {
+        Ipv4Packet::new(Endpoint::new([10, 0, 0, 4], 40000), Endpoint::new(dst, port), vec![1, 2, 3])
+    }
+
+    struct DropOdd {
+        seen: u64,
+    }
+
+    impl QueueHandler for DropOdd {
+        fn name(&self) -> &str {
+            "drop-odd"
+        }
+
+        fn handle(&mut self, _packet: &mut Ipv4Packet) -> Verdict {
+            self.seen += 1;
+            if self.seen % 2 == 1 {
+                Verdict::drop("odd packet")
+            } else {
+                Verdict::Accept
+            }
+        }
+    }
+
+    #[test]
+    fn rule_match_criteria() {
+        let pkt = packet_to([1, 2, 3, 4], 443);
+        assert!(RuleMatch::any().matches(&pkt));
+        assert!(RuleMatch {
+            destination_ip: Some(Ipv4Addr::new(1, 2, 3, 4)),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
+        assert!(!RuleMatch {
+            destination_ip: Some(Ipv4Addr::new(9, 9, 9, 9)),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
+        assert!(RuleMatch { destination_port: Some(443), ..RuleMatch::default() }.matches(&pkt));
+        assert!(!RuleMatch { destination_port: Some(80), ..RuleMatch::default() }.matches(&pkt));
+        assert!(RuleMatch { protocol: Some(Protocol::Tcp), ..RuleMatch::default() }.matches(&pkt));
+        assert!(!RuleMatch { protocol: Some(Protocol::Udp), ..RuleMatch::default() }.matches(&pkt));
+    }
+
+    #[test]
+    fn empty_chain_accepts_everything() {
+        let mut chain = FilterChain::new();
+        let mut pkt = packet_to([1, 2, 3, 4], 80);
+        assert!(chain.process(&mut pkt).is_accepted());
+    }
+
+    #[test]
+    fn drop_rule_terminates_chain() {
+        let mut chain = FilterChain::new();
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch {
+                destination_ip: Some(Ipv4Addr::new(5, 5, 5, 5)),
+                ..RuleMatch::default()
+            },
+            action: RuleAction::Drop,
+        });
+        let mut blocked = packet_to([5, 5, 5, 5], 80);
+        let mut allowed = packet_to([6, 6, 6, 6], 80);
+        assert!(!chain.process(&mut blocked).is_accepted());
+        assert!(chain.process(&mut allowed).is_accepted());
+    }
+
+    #[test]
+    fn queue_handler_verdicts_are_respected_and_counted() {
+        let mut chain = FilterChain::new();
+        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        chain.register_queue(1, Arc::new(Mutex::new(DropOdd { seen: 0 })));
+
+        let mut first = packet_to([1, 1, 1, 1], 80);
+        let mut second = packet_to([1, 1, 1, 1], 80);
+        let outcome1 = chain.process(&mut first);
+        let outcome2 = chain.process(&mut second);
+        assert!(!outcome1.is_accepted());
+        assert!(outcome2.is_accepted());
+        if let ChainOutcome::Dropped { by, reason } = outcome1 {
+            assert_eq!(by, "drop-odd");
+            assert_eq!(reason, "odd packet");
+        }
+        let stats = chain.queue_stats(1).unwrap();
+        assert_eq!(stats.received, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn queue_without_listener_drops() {
+        let mut chain = FilterChain::new();
+        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(7) });
+        let mut pkt = packet_to([1, 1, 1, 1], 80);
+        let outcome = chain.process(&mut pkt);
+        assert!(!outcome.is_accepted());
+    }
+
+    #[test]
+    fn multiple_queues_form_a_pipeline() {
+        let mut chain = FilterChain::new();
+        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(2) });
+        chain.register_queue(1, Arc::new(Mutex::new(PassthroughHandler::new())));
+        chain.register_queue(2, Arc::new(Mutex::new(PassthroughHandler::new())));
+        let mut pkt = packet_to([1, 1, 1, 1], 80);
+        match chain.process(&mut pkt) {
+            ChainOutcome::Accepted { queues_traversed } => assert_eq!(queues_traversed, 2),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accept_rule_short_circuits_later_queues() {
+        let mut chain = FilterChain::new();
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch { destination_port: Some(22), ..RuleMatch::default() },
+            action: RuleAction::Accept,
+        });
+        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        chain.register_queue(1, Arc::new(Mutex::new(DropOdd { seen: 0 })));
+        let mut ssh = packet_to([1, 1, 1, 1], 22);
+        match chain.process(&mut ssh) {
+            ChainOutcome::Accepted { queues_traversed } => assert_eq!(queues_traversed, 0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Accept.to_string(), "ACCEPT");
+        assert_eq!(Verdict::drop("policy").to_string(), "DROP (policy)");
+        assert!(Verdict::Accept.is_accept());
+        assert!(!Verdict::drop("x").is_accept());
+    }
+}

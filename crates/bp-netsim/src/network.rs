@@ -1,0 +1,473 @@
+//! The enterprise network: device egress, filter chain, captures and WAN.
+//!
+//! [`EnterpriseNetwork`] models the packet path of Figure 1 in the paper:
+//! packets leave a provisioned device through its interface, traverse the
+//! iptables/NFQUEUE chain where the Policy Enforcer and Packet Sanitizer run,
+//! and — if accepted — are delivered to the destination WAN server.  Capture
+//! points before and after the chain support the validation experiments, and
+//! the accumulated latency supports the Fig. 4 performance sweep.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{DeviceId, PacketId};
+
+use crate::addr::{DnsTable, Endpoint};
+use crate::capture::PacketCapture;
+use crate::clock::{LatencyModel, SimClock, SimDuration};
+use crate::http::{HttpRequest, HttpResponse, StaticServer};
+use crate::iface::{InterfaceMode, NetworkInterface};
+use crate::netfilter::{ChainOutcome, FilterChain};
+use crate::packet::{FlowKey, Ipv4Packet};
+
+/// A server reachable on the simulated WAN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WanServer {
+    /// DNS name the server is registered under.
+    pub dns_name: String,
+    /// The server's address.
+    pub address: Ipv4Addr,
+    /// The HTTP responder backing this server.
+    pub server: StaticServer,
+}
+
+/// The fate of one transmitted packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// The packet reached its destination.
+    Delivered {
+        /// End-to-end latency accumulated on the path.
+        latency: SimDuration,
+        /// Number of NFQUEUEs traversed on the way out.
+        queues_traversed: usize,
+    },
+    /// The packet was dropped inside the enterprise network.
+    Dropped {
+        /// Component that dropped the packet.
+        by: String,
+        /// Reason recorded by that component.
+        reason: String,
+    },
+    /// The destination address is not a registered WAN server.
+    Unroutable,
+}
+
+impl Delivery {
+    /// True if the packet reached its destination.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Delivery::Delivered { .. })
+    }
+
+    /// The delivery latency, if delivered.
+    pub fn latency(&self) -> Option<SimDuration> {
+        match self {
+            Delivery::Delivered { latency, .. } => Some(*latency),
+            _ => None,
+        }
+    }
+}
+
+/// Per-flow statistics maintained by the network (used by the flow-size
+/// threshold baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Flow identifier.
+    pub id: u64,
+    /// Packets observed leaving the network on this flow.
+    pub packets: u64,
+    /// Payload bytes observed leaving the network on this flow.
+    pub bytes: u64,
+}
+
+/// The enterprise network tying everything together.
+pub struct EnterpriseNetwork {
+    clock: SimClock,
+    latency: LatencyModel,
+    chain: FilterChain,
+    dns: DnsTable,
+    servers: BTreeMap<Ipv4Addr, WanServer>,
+    interfaces: BTreeMap<DeviceId, NetworkInterface>,
+    pre_chain_capture: PacketCapture,
+    post_chain_capture: PacketCapture,
+    flows: BTreeMap<FlowKey, FlowStats>,
+    next_flow_id: u64,
+    next_packet_id: u64,
+    drops: Vec<(String, String)>,
+}
+
+impl std::fmt::Debug for EnterpriseNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnterpriseNetwork")
+            .field("servers", &self.servers.len())
+            .field("interfaces", &self.interfaces.len())
+            .field("flows", &self.flows.len())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Default for EnterpriseNetwork {
+    fn default() -> Self {
+        Self::new(LatencyModel::default())
+    }
+}
+
+impl EnterpriseNetwork {
+    /// Create a network with the given latency model and an empty filter chain.
+    pub fn new(latency: LatencyModel) -> Self {
+        EnterpriseNetwork {
+            clock: SimClock::new(),
+            latency,
+            chain: FilterChain::new(),
+            dns: DnsTable::new(),
+            servers: BTreeMap::new(),
+            interfaces: BTreeMap::new(),
+            pre_chain_capture: PacketCapture::new("pre-chain"),
+            post_chain_capture: PacketCapture::new("post-chain"),
+            flows: BTreeMap::new(),
+            next_flow_id: 1,
+            next_packet_id: 1,
+            drops: Vec::new(),
+        }
+    }
+
+    /// The latency model in effect.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimDuration {
+        self.clock.now()
+    }
+
+    /// Advance the simulated clock (e.g. for idle time between app events).
+    pub fn advance_clock(&mut self, delta: SimDuration) {
+        self.clock.advance(delta);
+    }
+
+    /// The DNS table of the simulated WAN.
+    pub fn dns(&self) -> &DnsTable {
+        &self.dns
+    }
+
+    /// Mutable access to the filter chain, used to install rules and queues.
+    pub fn chain_mut(&mut self) -> &mut FilterChain {
+        &mut self.chain
+    }
+
+    /// The filter chain.
+    pub fn chain(&self) -> &FilterChain {
+        &self.chain
+    }
+
+    /// Register a WAN server under `dns_name`/`address` with a page of
+    /// `page_size` bytes; returns the endpoint apps should connect to.
+    pub fn register_server(
+        &mut self,
+        dns_name: impl Into<String>,
+        address: Ipv4Addr,
+        page_size: usize,
+    ) -> Endpoint {
+        let dns_name = dns_name.into();
+        self.dns.register(dns_name.clone(), address);
+        self.servers.insert(
+            address,
+            WanServer { dns_name, address, server: StaticServer::with_page_size(page_size) },
+        );
+        Endpoint::from_ip(address, 443)
+    }
+
+    /// Attach a device's egress interface.
+    pub fn attach_device(&mut self, device: DeviceId, mode: InterfaceMode) {
+        self.interfaces.insert(device, NetworkInterface::new(format!("{device}-if"), mode));
+    }
+
+    /// Change the interface mode of an attached device.
+    pub fn set_device_interface_mode(&mut self, device: DeviceId, mode: InterfaceMode) {
+        if let Some(iface) = self.interfaces.get_mut(&device) {
+            iface.set_mode(mode);
+        }
+    }
+
+    /// The interface of an attached device.
+    pub fn device_interface(&self, device: DeviceId) -> Option<&NetworkInterface> {
+        self.interfaces.get(&device)
+    }
+
+    /// Capture point before the filter chain (as emitted by devices).
+    pub fn pre_chain_capture(&self) -> &PacketCapture {
+        &self.pre_chain_capture
+    }
+
+    /// Capture point after the filter chain (as seen on the WAN).
+    pub fn post_chain_capture(&self) -> &PacketCapture {
+        &self.post_chain_capture
+    }
+
+    /// Reasons of all drops observed so far, as `(component, reason)` pairs.
+    pub fn drops(&self) -> &[(String, String)] {
+        &self.drops
+    }
+
+    /// Per-flow statistics observed after the chain.
+    pub fn flow_stats(&self) -> impl Iterator<Item = (&FlowKey, &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Clear the capture buffers and flow statistics (keeps servers and chain).
+    pub fn reset_observations(&mut self) {
+        self.pre_chain_capture.clear();
+        self.post_chain_capture.clear();
+        self.flows.clear();
+        self.drops.clear();
+    }
+
+    /// Transmit one packet from `device` towards its destination.
+    ///
+    /// The packet traverses: device interface → pre-chain capture → filter
+    /// chain (enforcer/sanitizer queues) → post-chain capture → WAN delivery.
+    pub fn transmit(&mut self, device: DeviceId, mut packet: Ipv4Packet) -> Delivery {
+        packet.set_id(PacketId::new(self.next_packet_id));
+        self.next_packet_id += 1;
+
+        let mut latency = SimDuration::ZERO;
+
+        // Device interface egress.
+        if let Some(iface) = self.interfaces.get_mut(&device) {
+            match iface.transmit(&packet, &self.latency) {
+                Some(cost) => latency += cost,
+                None => {
+                    self.drops.push(("interface".to_string(), "interface down".to_string()));
+                    return Delivery::Dropped {
+                        by: "interface".to_string(),
+                        reason: "interface down".to_string(),
+                    };
+                }
+            }
+        }
+
+        self.pre_chain_capture.record(self.clock.now(), &packet);
+
+        // Filter chain (NFQUEUE consumers may modify the packet).
+        let outcome = self.chain.process(&mut packet);
+        match outcome {
+            ChainOutcome::Dropped { by, reason } => {
+                self.clock.advance(latency);
+                self.drops.push((by.clone(), reason.clone()));
+                return Delivery::Dropped { by, reason };
+            }
+            ChainOutcome::Accepted { queues_traversed } => {
+                latency += self.latency.nfqueue_roundtrip.saturating_mul(queues_traversed as u64);
+                self.post_chain_capture.record(self.clock.now(), &packet);
+
+                // Flow accounting happens on what actually leaves the network.
+                let key = packet.flow_key();
+                let next_id = self.next_flow_id;
+                let entry = self.flows.entry(key).or_insert_with(|| {
+                    FlowStats { id: next_id, packets: 0, bytes: 0 }
+                });
+                if entry.packets == 0 {
+                    self.next_flow_id += 1;
+                }
+                entry.packets += 1;
+                entry.bytes += packet.payload().len() as u64;
+
+                // WAN delivery.
+                let dst = packet.destination().ip;
+                if self.servers.contains_key(&dst) {
+                    latency += self.latency.server_processing;
+                    self.clock.advance(latency);
+                    Delivery::Delivered { latency, queues_traversed }
+                } else {
+                    self.clock.advance(latency);
+                    Delivery::Unroutable
+                }
+            }
+        }
+    }
+
+    /// Transmit a packet carrying an HTTP request and, if it is delivered,
+    /// return the server's HTTP response along with the end-to-end latency
+    /// (including the response path back through the device interface).
+    pub fn http_round_trip(
+        &mut self,
+        device: DeviceId,
+        packet: Ipv4Packet,
+        request: &HttpRequest,
+    ) -> (Delivery, Option<(HttpResponse, SimDuration)>) {
+        let destination = packet.destination();
+        let source = packet.source();
+        let delivery = self.transmit(device, packet);
+        let Delivery::Delivered { latency, .. } = delivery else {
+            return (delivery, None);
+        };
+        let Some(server) = self.servers.get_mut(&destination.ip) else {
+            return (delivery, None);
+        };
+        let response = server.server.handle(request);
+
+        // Response path: WAN → device interface.
+        let response_packet =
+            Ipv4Packet::new(destination, source, response.to_bytes());
+        let mut total = latency;
+        if let Some(iface) = self.interfaces.get_mut(&device) {
+            if let Some(cost) = iface.receive(&response_packet, &self.latency) {
+                total += cost;
+            }
+        }
+        self.clock.advance(total.saturating_sub(latency));
+        (delivery, Some((response, total)))
+    }
+
+    /// Resolve a DNS name against the network's DNS table.
+    pub fn resolve(&self, name: &str) -> Option<Endpoint> {
+        self.dns.resolve(name).map(|ip| Endpoint::from_ip(ip, 443))
+    }
+
+    /// Total number of packets observed leaving the network (post-chain).
+    pub fn egress_packet_count(&self) -> usize {
+        self.post_chain_capture.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netfilter::{IptablesRule, PassthroughHandler, QueueHandler, RuleAction, RuleMatch, Verdict};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn network_with_server() -> (EnterpriseNetwork, Endpoint) {
+        let mut net = EnterpriseNetwork::new(LatencyModel::default());
+        let ep = net.register_server("www.example.com", Ipv4Addr::new(93, 184, 216, 34), 297);
+        net.attach_device(DeviceId::new(1), InterfaceMode::Tap);
+        (net, ep)
+    }
+
+    fn packet_from_device(ep: Endpoint, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet::new(Endpoint::new([10, 0, 0, 7], 40001), ep, payload)
+    }
+
+    #[test]
+    fn packets_are_delivered_to_registered_servers() {
+        let (mut net, ep) = network_with_server();
+        let delivery = net.transmit(DeviceId::new(1), packet_from_device(ep, vec![1, 2, 3]));
+        assert!(delivery.is_delivered());
+        assert!(delivery.latency().unwrap() > SimDuration::ZERO);
+        assert_eq!(net.egress_packet_count(), 1);
+        assert_eq!(net.pre_chain_capture().len(), 1);
+    }
+
+    #[test]
+    fn unknown_destinations_are_unroutable() {
+        let (mut net, _) = network_with_server();
+        let bogus = Endpoint::new([203, 0, 113, 9], 443);
+        let delivery = net.transmit(DeviceId::new(1), packet_from_device(bogus, vec![]));
+        assert_eq!(delivery, Delivery::Unroutable);
+    }
+
+    #[test]
+    fn chain_drop_prevents_wan_delivery_and_is_recorded() {
+        let (mut net, ep) = network_with_server();
+        struct DropAll;
+        impl QueueHandler for DropAll {
+            fn name(&self) -> &str {
+                "drop-all"
+            }
+            fn handle(&mut self, _p: &mut Ipv4Packet) -> Verdict {
+                Verdict::drop("test drop")
+            }
+        }
+        net.chain_mut().add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        net.chain_mut().register_queue(1, Arc::new(Mutex::new(DropAll)));
+        let delivery = net.transmit(DeviceId::new(1), packet_from_device(ep, vec![9; 10]));
+        assert!(!delivery.is_delivered());
+        assert_eq!(net.egress_packet_count(), 0);
+        assert_eq!(net.pre_chain_capture().len(), 1);
+        assert_eq!(net.drops().len(), 1);
+        assert_eq!(net.drops()[0].0, "drop-all");
+    }
+
+    #[test]
+    fn nfqueue_latency_is_charged_per_queue() {
+        let (mut net, ep) = network_with_server();
+        net.chain_mut().add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        net.chain_mut().register_queue(1, Arc::new(Mutex::new(PassthroughHandler::new())));
+        let with_queue =
+            net.transmit(DeviceId::new(1), packet_from_device(ep, vec![0; 10])).latency().unwrap();
+
+        let (mut plain, ep2) = network_with_server();
+        let without_queue =
+            plain.transmit(DeviceId::new(1), packet_from_device(ep2, vec![0; 10])).latency().unwrap();
+        assert_eq!(
+            with_queue.saturating_sub(without_queue),
+            LatencyModel::default().nfqueue_roundtrip
+        );
+    }
+
+    #[test]
+    fn http_round_trip_returns_response() {
+        let (mut net, ep) = network_with_server();
+        let request = HttpRequest::get("www.example.com", "/");
+        let packet = packet_from_device(ep, request.to_bytes());
+        let (delivery, response) = net.http_round_trip(DeviceId::new(1), packet, &request);
+        assert!(delivery.is_delivered());
+        let (response, total_latency) = response.unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body.len(), 297);
+        assert!(total_latency >= delivery.latency().unwrap());
+    }
+
+    #[test]
+    fn flow_stats_accumulate() {
+        let (mut net, ep) = network_with_server();
+        for _ in 0..3 {
+            net.transmit(DeviceId::new(1), packet_from_device(ep, vec![0; 100]));
+        }
+        let flows: Vec<_> = net.flow_stats().collect();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].1.packets, 3);
+        assert_eq!(flows[0].1.bytes, 300);
+        net.reset_observations();
+        assert_eq!(net.flow_stats().count(), 0);
+        assert_eq!(net.pre_chain_capture().len(), 0);
+    }
+
+    #[test]
+    fn slirp_interface_adds_more_latency_than_tap() {
+        let (mut tap_net, ep) = network_with_server();
+        let tap_latency =
+            tap_net.transmit(DeviceId::new(1), packet_from_device(ep, vec![])).latency().unwrap();
+
+        let mut slirp_net = EnterpriseNetwork::new(LatencyModel::default());
+        let ep2 = slirp_net.register_server("www.example.com", Ipv4Addr::new(93, 184, 216, 34), 297);
+        slirp_net.attach_device(DeviceId::new(1), InterfaceMode::Slirp);
+        let slirp_latency =
+            slirp_net.transmit(DeviceId::new(1), packet_from_device(ep2, vec![])).latency().unwrap();
+        assert!(slirp_latency > tap_latency);
+    }
+
+    #[test]
+    fn dns_resolution_through_network() {
+        let (net, ep) = network_with_server();
+        assert_eq!(net.resolve("www.example.com"), Some(ep));
+        assert_eq!(net.resolve("missing.example.com"), None);
+        assert_eq!(
+            net.dns().reverse_lookup(Ipv4Addr::new(93, 184, 216, 34)),
+            Some("www.example.com")
+        );
+    }
+
+    #[test]
+    fn clock_advances_with_traffic() {
+        let (mut net, ep) = network_with_server();
+        let before = net.now();
+        net.transmit(DeviceId::new(1), packet_from_device(ep, vec![0; 10]));
+        assert!(net.now() > before);
+        net.advance_clock(SimDuration::from_millis(5));
+        assert!(net.now() > SimDuration::from_millis(5));
+    }
+}

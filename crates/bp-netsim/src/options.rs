@@ -1,0 +1,341 @@
+//! The IPv4 options area (RFC 791).
+//!
+//! IP packet headers may carry up to 40 bytes of options; each option has a
+//! one-byte type, a one-byte length (covering type + length + data) and its
+//! data.  BorderPatrol transports its compressed call-stack context in a
+//! dedicated option kind, and the Packet Sanitizer strips that option before
+//! packets leave the enterprise perimeter (RFC 7126 recommends dropping
+//! packets with unexpected options on the open Internet).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::Error;
+
+/// Maximum total size of the options area in bytes (RFC 791).
+pub const MAX_OPTIONS_LEN: usize = 40;
+
+/// Option kinds understood by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpOptionKind {
+    /// End-of-options-list marker (type 0).
+    EndOfList,
+    /// No-operation padding (type 1).
+    NoOp,
+    /// Internet timestamp option (type 68), as used by `ping -T`.
+    Timestamp,
+    /// RFC 1108 basic security option (type 130); the kernel patch in the
+    /// paper permits user space to set options of the *security* class.
+    Security,
+    /// The BorderPatrol context option carrying the app tag and stack indexes.
+    /// We use type 0x9e (copied-flag set, option class 0, experimental number 30).
+    BorderPatrolContext,
+    /// Any other option type, preserved verbatim.
+    Other(u8),
+}
+
+impl IpOptionKind {
+    /// The on-wire option type byte.
+    pub fn type_byte(self) -> u8 {
+        match self {
+            IpOptionKind::EndOfList => 0,
+            IpOptionKind::NoOp => 1,
+            IpOptionKind::Timestamp => 68,
+            IpOptionKind::Security => 130,
+            IpOptionKind::BorderPatrolContext => 0x9e,
+            IpOptionKind::Other(t) => t,
+        }
+    }
+
+    /// Map an on-wire type byte back to a kind.
+    pub fn from_type_byte(byte: u8) -> Self {
+        match byte {
+            0 => IpOptionKind::EndOfList,
+            1 => IpOptionKind::NoOp,
+            68 => IpOptionKind::Timestamp,
+            130 => IpOptionKind::Security,
+            0x9e => IpOptionKind::BorderPatrolContext,
+            other => IpOptionKind::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for IpOptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpOptionKind::EndOfList => write!(f, "eol"),
+            IpOptionKind::NoOp => write!(f, "nop"),
+            IpOptionKind::Timestamp => write!(f, "timestamp"),
+            IpOptionKind::Security => write!(f, "security"),
+            IpOptionKind::BorderPatrolContext => write!(f, "bp-context"),
+            IpOptionKind::Other(t) => write!(f, "option-{t}"),
+        }
+    }
+}
+
+/// A single IP option: kind plus data bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpOption {
+    /// The option kind.
+    pub kind: IpOptionKind,
+    /// The option data (excluding the type and length bytes).
+    pub data: Vec<u8>,
+}
+
+impl IpOption {
+    /// Create an option; the data must fit the 40-byte area together with the
+    /// 2-byte type/length header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if the option alone would exceed
+    /// the RFC 791 budget.
+    pub fn new(kind: IpOptionKind, data: Vec<u8>) -> Result<Self, Error> {
+        let total = data.len() + 2;
+        if total > MAX_OPTIONS_LEN {
+            return Err(Error::capacity("ip option", total, MAX_OPTIONS_LEN));
+        }
+        Ok(IpOption { kind, data })
+    }
+
+    /// Total encoded length in bytes (type + length + data).
+    pub fn encoded_len(&self) -> usize {
+        match self.kind {
+            IpOptionKind::EndOfList | IpOptionKind::NoOp => 1,
+            _ => 2 + self.data.len(),
+        }
+    }
+}
+
+/// The options area of one packet: an ordered list of options bounded by the
+/// 40-byte budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IpOptions {
+    options: Vec<IpOption>,
+}
+
+impl IpOptions {
+    /// An empty options area.
+    pub fn new() -> Self {
+        IpOptions::default()
+    }
+
+    /// Current encoded size (excluding padding to a 4-byte boundary).
+    pub fn encoded_len(&self) -> usize {
+        self.options.iter().map(IpOption::encoded_len).sum()
+    }
+
+    /// Encoded size including padding to the next 4-byte boundary, which is
+    /// what actually occupies header space.
+    pub fn padded_len(&self) -> usize {
+        (self.encoded_len() + 3) & !3
+    }
+
+    /// Number of options present.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// True if there are no options.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+
+    /// Append an option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if adding the option would overflow
+    /// the 40-byte area (after padding).
+    pub fn push(&mut self, option: IpOption) -> Result<(), Error> {
+        let new_len = self.encoded_len() + option.encoded_len();
+        if new_len > MAX_OPTIONS_LEN {
+            return Err(Error::capacity("ip options", new_len, MAX_OPTIONS_LEN));
+        }
+        self.options.push(option);
+        Ok(())
+    }
+
+    /// Iterate over the options in order.
+    pub fn iter(&self) -> impl Iterator<Item = &IpOption> {
+        self.options.iter()
+    }
+
+    /// Find the first option of `kind`.
+    pub fn find(&self, kind: IpOptionKind) -> Option<&IpOption> {
+        self.options.iter().find(|o| o.kind == kind)
+    }
+
+    /// Remove every option of `kind`, returning how many were removed.
+    pub fn remove(&mut self, kind: IpOptionKind) -> usize {
+        let before = self.options.len();
+        self.options.retain(|o| o.kind != kind);
+        before - self.options.len()
+    }
+
+    /// Remove all options.
+    pub fn clear(&mut self) {
+        self.options.clear();
+    }
+
+    /// Serialize the options area, padded with NOPs to a 4-byte boundary.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.padded_len());
+        for opt in &self.options {
+            match opt.kind {
+                IpOptionKind::EndOfList | IpOptionKind::NoOp => out.push(opt.kind.type_byte()),
+                _ => {
+                    out.push(opt.kind.type_byte());
+                    out.push((opt.data.len() + 2) as u8);
+                    out.extend_from_slice(&opt.data);
+                }
+            }
+        }
+        while out.len() % 4 != 0 {
+            out.push(IpOptionKind::NoOp.type_byte());
+        }
+        out
+    }
+
+    /// Parse an options area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] if the area exceeds 40 bytes, an option
+    /// length is inconsistent, or the data is truncated.
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        if data.len() > MAX_OPTIONS_LEN {
+            return Err(Error::malformed("ip options", "options area exceeds 40 bytes"));
+        }
+        let mut options = Vec::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            let type_byte = data[pos];
+            let kind = IpOptionKind::from_type_byte(type_byte);
+            match kind {
+                IpOptionKind::EndOfList => break,
+                IpOptionKind::NoOp => {
+                    pos += 1;
+                }
+                _ => {
+                    if pos + 1 >= data.len() {
+                        return Err(Error::malformed("ip options", "truncated option header"));
+                    }
+                    let len = data[pos + 1] as usize;
+                    if len < 2 || pos + len > data.len() {
+                        return Err(Error::malformed(
+                            "ip options",
+                            format!("invalid option length {len}"),
+                        ));
+                    }
+                    options.push(IpOption { kind, data: data[pos + 2..pos + len].to_vec() });
+                    pos += len;
+                }
+            }
+        }
+        Ok(IpOptions { options })
+    }
+}
+
+impl FromIterator<IpOption> for IpOptions {
+    fn from_iter<T: IntoIterator<Item = IpOption>>(iter: T) -> Self {
+        IpOptions { options: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_kind_roundtrip() {
+        for kind in [
+            IpOptionKind::EndOfList,
+            IpOptionKind::NoOp,
+            IpOptionKind::Timestamp,
+            IpOptionKind::Security,
+            IpOptionKind::BorderPatrolContext,
+            IpOptionKind::Other(77),
+        ] {
+            assert_eq!(IpOptionKind::from_type_byte(kind.type_byte()), kind);
+        }
+    }
+
+    #[test]
+    fn options_roundtrip_with_padding() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2, 3, 4, 5]).unwrap())
+            .unwrap();
+        let bytes = opts.to_bytes();
+        assert_eq!(bytes.len() % 4, 0);
+        let parsed = IpOptions::parse(&bytes).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            parsed.find(IpOptionKind::BorderPatrolContext).unwrap().data,
+            vec![1, 2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn budget_enforced() {
+        // A single oversized option is rejected at construction.
+        assert!(IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 39]).is_err());
+        // Exactly at budget (38 data + 2 header = 40) is allowed.
+        let max = IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 38]).unwrap();
+        let mut opts = IpOptions::new();
+        opts.push(max).unwrap();
+        assert_eq!(opts.encoded_len(), 40);
+        // No room for anything else.
+        assert!(opts.push(IpOption::new(IpOptionKind::NoOp, vec![]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn cumulative_budget_enforced() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::Security, vec![0; 18]).unwrap()).unwrap();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 16]).unwrap()).unwrap();
+        // 20 + 18 = 38 used; a 4-byte option would exceed 40.
+        let overflow = IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 2]).unwrap();
+        assert!(opts.push(overflow).is_err());
+    }
+
+    #[test]
+    fn remove_strips_only_matching_kind() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![9]).unwrap()).unwrap();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2]).unwrap()).unwrap();
+        assert_eq!(opts.remove(IpOptionKind::BorderPatrolContext), 1);
+        assert_eq!(opts.len(), 1);
+        assert!(opts.find(IpOptionKind::Timestamp).is_some());
+        assert_eq!(opts.remove(IpOptionKind::BorderPatrolContext), 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        // Length byte smaller than 2.
+        assert!(IpOptions::parse(&[0x9e, 1, 0, 0]).is_err());
+        // Length byte pointing past the buffer.
+        assert!(IpOptions::parse(&[0x9e, 10, 1]).is_err());
+        // Truncated header.
+        assert!(IpOptions::parse(&[0x9e]).is_err());
+        // Oversized area.
+        assert!(IpOptions::parse(&[1u8; 41]).is_err());
+    }
+
+    #[test]
+    fn parse_stops_at_end_of_list() {
+        let bytes = [1, 1, 0, 0x9e];
+        let parsed = IpOptions::parse(&bytes).unwrap();
+        // NOPs are skipped, EOL stops parsing, trailing garbage ignored.
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn empty_options_serialize_to_nothing() {
+        let opts = IpOptions::new();
+        assert!(opts.to_bytes().is_empty());
+        assert_eq!(opts.padded_len(), 0);
+        assert_eq!(IpOptions::parse(&[]).unwrap(), opts);
+    }
+}

@@ -1,0 +1,461 @@
+//! IPv4 packets with an options area.
+//!
+//! The simulation keeps the parts of the IPv4 header BorderPatrol and its
+//! baselines reason about: addresses, protocol, identification, TTL, the
+//! options area (where the context travels) and the payload length.  A header
+//! checksum is computed over the serialized header exactly as RFC 791
+//! specifies, so tampering tests and sanitizer recomputation are meaningful.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{Error, PacketId};
+
+use crate::addr::Endpoint;
+use crate::options::{IpOptionKind, IpOptions};
+
+/// Transport protocol carried by a packet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Protocol {
+    /// Transmission Control Protocol.
+    Tcp,
+    /// User Datagram Protocol.
+    Udp,
+}
+
+impl Protocol {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+
+    /// Map an IP protocol number to a [`Protocol`].
+    pub fn from_number(n: u8) -> Option<Self> {
+        match n {
+            6 => Some(Protocol::Tcp),
+            17 => Some(Protocol::Udp),
+            _ => None,
+        }
+    }
+}
+
+/// The 5-tuple equivalence class on-network appliances use to group packets
+/// into flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source address.
+    pub src_ip: Ipv4Addr,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst_ip: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+/// A simulated IPv4 packet.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::packet::Ipv4Packet;
+/// use bp_netsim::addr::Endpoint;
+/// let pkt = Ipv4Packet::new(
+///     Endpoint::new([10, 0, 0, 5], 51000),
+///     Endpoint::new([172, 217, 16, 14], 443),
+///     vec![0u8; 297],
+/// );
+/// assert_eq!(pkt.payload().len(), 297);
+/// assert!(pkt.verify_checksum());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Packet {
+    id: PacketId,
+    identification: u16,
+    ttl: u8,
+    protocol: Protocol,
+    source: Endpoint,
+    destination: Endpoint,
+    options: IpOptions,
+    payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Base IPv4 header size without options, in bytes.
+    pub const BASE_HEADER_LEN: usize = 20;
+
+    /// Create a TCP packet with default TTL and no options.
+    pub fn new(source: Endpoint, destination: Endpoint, payload: Vec<u8>) -> Self {
+        Ipv4Packet {
+            id: PacketId::new(0),
+            identification: 0,
+            ttl: 64,
+            protocol: Protocol::Tcp,
+            source,
+            destination,
+            options: IpOptions::new(),
+            payload,
+        }
+    }
+
+    /// Create a packet with an explicit protocol.
+    pub fn with_protocol(
+        source: Endpoint,
+        destination: Endpoint,
+        protocol: Protocol,
+        payload: Vec<u8>,
+    ) -> Self {
+        let mut p = Ipv4Packet::new(source, destination, payload);
+        p.protocol = protocol;
+        p
+    }
+
+    /// The simulation-assigned packet identifier.
+    pub fn id(&self) -> PacketId {
+        self.id
+    }
+
+    /// Set the simulation-assigned packet identifier.
+    pub fn set_id(&mut self, id: PacketId) {
+        self.id = id;
+    }
+
+    /// The IPv4 identification field.
+    pub fn identification(&self) -> u16 {
+        self.identification
+    }
+
+    /// Set the IPv4 identification field.
+    pub fn set_identification(&mut self, identification: u16) {
+        self.identification = identification;
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.ttl
+    }
+
+    /// Decrement TTL (routers do this per hop); returns the new value.
+    pub fn decrement_ttl(&mut self) -> u8 {
+        self.ttl = self.ttl.saturating_sub(1);
+        self.ttl
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Source endpoint.
+    pub fn source(&self) -> Endpoint {
+        self.source
+    }
+
+    /// Destination endpoint.
+    pub fn destination(&self) -> Endpoint {
+        self.destination
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Immutable access to the options area.
+    pub fn options(&self) -> &IpOptions {
+        &self.options
+    }
+
+    /// Mutable access to the options area (the Context Manager and the Packet
+    /// Sanitizer both modify it).
+    pub fn options_mut(&mut self) -> &mut IpOptions {
+        &mut self.options
+    }
+
+    /// Whether this packet carries a BorderPatrol context option.
+    pub fn has_context_option(&self) -> bool {
+        self.options.find(IpOptionKind::BorderPatrolContext).is_some()
+    }
+
+    /// The flow key (5-tuple) of this packet.
+    pub fn flow_key(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.source.ip,
+            src_port: self.source.port,
+            dst_ip: self.destination.ip,
+            dst_port: self.destination.port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// Total header length including options and padding.
+    pub fn header_len(&self) -> usize {
+        Self::BASE_HEADER_LEN + self.options.padded_len()
+    }
+
+    /// Total packet length (header + payload).
+    pub fn total_len(&self) -> usize {
+        self.header_len() + self.payload.len()
+    }
+
+    fn header_bytes(&self) -> Vec<u8> {
+        let options_bytes = self.options.to_bytes();
+        let ihl_words = (Self::BASE_HEADER_LEN + options_bytes.len()) / 4;
+        let total_len = (Self::BASE_HEADER_LEN + options_bytes.len() + self.payload.len()) as u16;
+
+        let mut header = Vec::with_capacity(Self::BASE_HEADER_LEN + options_bytes.len());
+        header.push(0x40 | ihl_words as u8); // version 4 + IHL
+        header.push(0); // DSCP/ECN
+        header.extend_from_slice(&total_len.to_be_bytes());
+        header.extend_from_slice(&self.identification.to_be_bytes());
+        header.extend_from_slice(&[0, 0]); // flags + fragment offset
+        header.push(self.ttl);
+        header.push(self.protocol.number());
+        header.extend_from_slice(&[0, 0]); // checksum placeholder
+        header.extend_from_slice(&self.source.ip.octets());
+        header.extend_from_slice(&self.destination.ip.octets());
+        header.extend_from_slice(&options_bytes);
+        header
+    }
+
+    /// Compute the RFC 791 ones-complement header checksum.
+    pub fn header_checksum(&self) -> u16 {
+        checksum(&self.header_bytes())
+    }
+
+    /// Verify that the header checksum computed over the current header is
+    /// internally consistent (always true for in-memory packets; exposed so
+    /// wire-level tampering tests have something to assert against).
+    pub fn verify_checksum(&self) -> bool {
+        let mut bytes = self.header_bytes();
+        let ck = checksum(&bytes);
+        bytes[10..12].copy_from_slice(&ck.to_be_bytes());
+        checksum_with_field(&bytes) == 0
+    }
+
+    /// Serialize the packet (header with checksum, ports, payload).
+    ///
+    /// The transport layer is abbreviated: source and destination ports are
+    /// written immediately after the IP header, followed by the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut header = self.header_bytes();
+        let ck = checksum(&header);
+        header[10..12].copy_from_slice(&ck.to_be_bytes());
+        let mut out = header;
+        out.extend_from_slice(&self.source.port.to_be_bytes());
+        out.extend_from_slice(&self.destination.port.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse a packet from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on truncation, an invalid IHL, an unknown
+    /// protocol number or a checksum mismatch.
+    pub fn parse(data: &[u8]) -> Result<Self, Error> {
+        if data.len() < Self::BASE_HEADER_LEN + 4 {
+            return Err(Error::malformed("ipv4 packet", "shorter than minimum header"));
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(Error::malformed("ipv4 packet", format!("unsupported version {version}")));
+        }
+        let ihl_words = (data[0] & 0x0f) as usize;
+        let header_len = ihl_words * 4;
+        if !(Self::BASE_HEADER_LEN..=Self::BASE_HEADER_LEN + 40).contains(&header_len)
+            || data.len() < header_len + 4
+        {
+            return Err(Error::malformed("ipv4 packet", "invalid header length"));
+        }
+        if checksum_with_field(&data[..header_len]) != 0 {
+            return Err(Error::malformed("ipv4 packet", "header checksum mismatch"));
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
+        let identification = u16::from_be_bytes([data[4], data[5]]);
+        let ttl = data[8];
+        let protocol = Protocol::from_number(data[9])
+            .ok_or_else(|| Error::malformed("ipv4 packet", format!("unknown protocol {}", data[9])))?;
+        let src_ip = Ipv4Addr::new(data[12], data[13], data[14], data[15]);
+        let dst_ip = Ipv4Addr::new(data[16], data[17], data[18], data[19]);
+        let options = IpOptions::parse(&data[Self::BASE_HEADER_LEN..header_len])?;
+        let src_port = u16::from_be_bytes([data[header_len], data[header_len + 1]]);
+        let dst_port = u16::from_be_bytes([data[header_len + 2], data[header_len + 3]]);
+        let payload_start = header_len + 4;
+        let expected_payload = total_len.saturating_sub(header_len);
+        let payload = data[payload_start..].to_vec();
+        if payload.len() != expected_payload {
+            return Err(Error::malformed(
+                "ipv4 packet",
+                format!("payload length {} does not match total length field", payload.len()),
+            ));
+        }
+        Ok(Ipv4Packet {
+            id: PacketId::new(0),
+            identification,
+            ttl,
+            protocol,
+            source: Endpoint::from_ip(src_ip, src_port),
+            destination: Endpoint::from_ip(dst_ip, dst_port),
+            options,
+            payload,
+        })
+    }
+}
+
+impl fmt::Display for Ipv4Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} ({:?}, {} bytes payload, {} option bytes)",
+            self.source,
+            self.destination,
+            self.protocol,
+            self.payload.len(),
+            self.options.encoded_len()
+        )
+    }
+}
+
+/// RFC 1071 internet checksum of `data` (assuming the checksum field is zero).
+fn checksum(data: &[u8]) -> u16 {
+    checksum_with_field(data)
+}
+
+/// RFC 1071 internet checksum over `data` as-is (used to verify: result is 0
+/// when the embedded checksum field is correct).
+fn checksum_with_field(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{IpOption, IpOptionKind};
+
+    fn sample_packet() -> Ipv4Packet {
+        let mut p = Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 2], 40001),
+            Endpoint::new([162, 125, 4, 1], 443),
+            b"GET / HTTP/1.1".to_vec(),
+        );
+        p.set_identification(0x1234);
+        p.options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2, 3, 4, 5, 6]).unwrap())
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn roundtrip_with_options() {
+        let p = sample_packet();
+        let bytes = p.to_bytes();
+        let parsed = Ipv4Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed.source(), p.source());
+        assert_eq!(parsed.destination(), p.destination());
+        assert_eq!(parsed.identification(), 0x1234);
+        assert_eq!(parsed.payload(), p.payload());
+        assert!(parsed.has_context_option());
+        assert_eq!(
+            parsed.options().find(IpOptionKind::BorderPatrolContext).unwrap().data,
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn roundtrip_without_options() {
+        let p = Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 2], 40001),
+            Endpoint::new([8, 8, 8, 8], 53),
+            vec![],
+        );
+        let parsed = Ipv4Packet::parse(&p.to_bytes()).unwrap();
+        assert!(!parsed.has_context_option());
+        assert_eq!(parsed.header_len(), Ipv4Packet::BASE_HEADER_LEN);
+        assert!(parsed.payload().is_empty());
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let p = sample_packet();
+        let mut bytes = p.to_bytes();
+        bytes[13] ^= 0x01; // flip a bit in the source address
+        assert!(Ipv4Packet::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_garbage() {
+        let p = sample_packet();
+        let bytes = p.to_bytes();
+        assert!(Ipv4Packet::parse(&bytes[..10]).is_err());
+        assert!(Ipv4Packet::parse(&[]).is_err());
+        let mut v6 = bytes.clone();
+        v6[0] = 0x65;
+        assert!(Ipv4Packet::parse(&v6).is_err());
+    }
+
+    #[test]
+    fn flow_key_groups_by_five_tuple() {
+        let a = sample_packet();
+        let b = sample_packet();
+        assert_eq!(a.flow_key(), b.flow_key());
+        let mut c = Ipv4Packet::new(a.source(), Endpoint::new([1, 1, 1, 1], 443), vec![]);
+        c.set_identification(9);
+        assert_ne!(a.flow_key(), c.flow_key());
+    }
+
+    #[test]
+    fn header_len_accounts_for_options_padding() {
+        let p = sample_packet();
+        // 6 data bytes + 2 header bytes = 8, already 4-aligned.
+        assert_eq!(p.header_len(), 28);
+        assert_eq!(p.total_len(), 28 + p.payload().len());
+    }
+
+    #[test]
+    fn ttl_decrements_and_saturates() {
+        let mut p = sample_packet();
+        assert_eq!(p.ttl(), 64);
+        p.decrement_ttl();
+        assert_eq!(p.ttl(), 63);
+        for _ in 0..100 {
+            p.decrement_ttl();
+        }
+        assert_eq!(p.ttl(), 0);
+    }
+
+    #[test]
+    fn verify_checksum_on_constructed_packets() {
+        assert!(sample_packet().verify_checksum());
+    }
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(Protocol::Tcp.number(), 6);
+        assert_eq!(Protocol::Udp.number(), 17);
+        assert_eq!(Protocol::from_number(6), Some(Protocol::Tcp));
+        assert_eq!(Protocol::from_number(17), Some(Protocol::Udp));
+        assert_eq!(Protocol::from_number(1), None);
+    }
+}

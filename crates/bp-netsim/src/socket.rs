@@ -1,0 +1,352 @@
+//! Sockets with Dalvik-style lazy initialization.
+//!
+//! The paper (§II-B1) points out a subtlety BorderPatrol depends on: calling
+//! the `java.net.Socket` default constructor does *not* issue a `socket`
+//! system call; the operating-system socket only comes into existence when the
+//! app `connect`s or `bind`s.  BorderPatrol therefore hooks the connect path
+//! and uses *post*-hooks so the OS socket is guaranteed to exist when
+//! `IP_OPTIONS` are set.  This module models that lifecycle.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use bp_types::{AppId, Error, SocketId};
+
+use crate::addr::Endpoint;
+use crate::options::IpOptions;
+
+/// Lifecycle state of a simulated socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocketState {
+    /// The Java-level object exists but no OS socket has been created yet
+    /// (lazy initialization).
+    JavaCreated,
+    /// The OS socket exists and is bound to a local endpoint.
+    Bound,
+    /// The socket is connected to a remote endpoint.
+    Connected,
+    /// The socket has been closed.
+    Closed,
+}
+
+/// A simulated socket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Socket {
+    id: SocketId,
+    owner: AppId,
+    state: SocketState,
+    local: Option<Endpoint>,
+    remote: Option<Endpoint>,
+    options: IpOptions,
+    /// Whether `IP_OPTIONS` have been set at least once (for set-once mode).
+    options_set_count: u32,
+    /// Number of OS-level `socket` syscalls issued on behalf of this object.
+    os_socket_calls: u32,
+    bytes_sent: u64,
+    packets_sent: u64,
+}
+
+impl Socket {
+    /// Create a Java-level socket object (no OS socket yet).
+    pub fn new(id: SocketId, owner: AppId) -> Self {
+        Socket {
+            id,
+            owner,
+            state: SocketState::JavaCreated,
+            local: None,
+            remote: None,
+            options: IpOptions::new(),
+            options_set_count: 0,
+            os_socket_calls: 0,
+            bytes_sent: 0,
+            packets_sent: 0,
+        }
+    }
+
+    /// The socket identifier (file-descriptor analogue).
+    pub fn id(&self) -> SocketId {
+        self.id
+    }
+
+    /// The application that owns this socket.
+    pub fn owner(&self) -> AppId {
+        self.owner
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SocketState {
+        self.state
+    }
+
+    /// Local endpoint, if bound or connected.
+    pub fn local(&self) -> Option<Endpoint> {
+        self.local
+    }
+
+    /// Remote endpoint, if connected.
+    pub fn remote(&self) -> Option<Endpoint> {
+        self.remote
+    }
+
+    /// The options currently attached to the socket (copied onto every packet).
+    pub fn options(&self) -> &IpOptions {
+        &self.options
+    }
+
+    /// Number of times `IP_OPTIONS` have been set on this socket.
+    pub fn options_set_count(&self) -> u32 {
+        self.options_set_count
+    }
+
+    /// Number of OS-level `socket` syscalls triggered by this object.
+    pub fn os_socket_calls(&self) -> u32 {
+        self.os_socket_calls
+    }
+
+    /// Total payload bytes sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total packets sent.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    fn ensure_os_socket(&mut self) {
+        if self.os_socket_calls == 0 {
+            self.os_socket_calls = 1;
+        }
+    }
+
+    /// Bind the socket to a local endpoint, lazily creating the OS socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] if the socket is closed or already
+    /// connected.
+    pub fn bind(&mut self, local: Endpoint) -> Result<(), Error> {
+        match self.state {
+            SocketState::JavaCreated => {
+                self.ensure_os_socket();
+                self.local = Some(local);
+                self.state = SocketState::Bound;
+                Ok(())
+            }
+            SocketState::Bound => {
+                self.local = Some(local);
+                Ok(())
+            }
+            SocketState::Connected => {
+                Err(Error::invalid_state("bind", "socket already connected"))
+            }
+            SocketState::Closed => Err(Error::invalid_state("bind", "socket closed")),
+        }
+    }
+
+    /// Connect to `remote`, lazily creating the OS socket and assigning an
+    /// ephemeral local endpoint if none was bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidState`] if the socket is closed or already
+    /// connected (changing endpoints requires a fresh connect on a new socket,
+    /// which is exactly the property BorderPatrol relies on in §VII
+    /// "Socket reuse").
+    pub fn connect(&mut self, local_if_unbound: Endpoint, remote: Endpoint) -> Result<(), Error> {
+        match self.state {
+            SocketState::JavaCreated | SocketState::Bound => {
+                self.ensure_os_socket();
+                if self.local.is_none() {
+                    self.local = Some(local_if_unbound);
+                }
+                self.remote = Some(remote);
+                self.state = SocketState::Connected;
+                Ok(())
+            }
+            SocketState::Connected => {
+                Err(Error::invalid_state("connect", "socket already connected"))
+            }
+            SocketState::Closed => Err(Error::invalid_state("connect", "socket closed")),
+        }
+    }
+
+    /// Replace the socket's options (the kernel performs permission checks
+    /// before calling this; see [`crate::kernel::KernelNetStack::setsockopt_ip_options`]).
+    pub fn set_options(&mut self, options: IpOptions) {
+        self.options = options;
+        self.options_set_count += 1;
+    }
+
+    /// Record that `bytes` of payload were sent as one packet.
+    pub fn record_send(&mut self, bytes: usize) {
+        self.bytes_sent += bytes as u64;
+        self.packets_sent += 1;
+    }
+
+    /// Close the socket.
+    pub fn close(&mut self) {
+        self.state = SocketState::Closed;
+    }
+
+    /// True if the socket can currently send data.
+    pub fn is_connected(&self) -> bool {
+        self.state == SocketState::Connected
+    }
+}
+
+/// Per-device socket table mapping socket ids (file descriptors) to sockets.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SocketTable {
+    sockets: BTreeMap<SocketId, Socket>,
+    next_id: u64,
+}
+
+impl SocketTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SocketTable { sockets: BTreeMap::new(), next_id: 3 } // 0,1,2 mimic stdio
+    }
+
+    /// Create a new Java-level socket owned by `owner` and return its id.
+    pub fn create(&mut self, owner: AppId) -> SocketId {
+        let id = SocketId::new(self.next_id);
+        self.next_id += 1;
+        self.sockets.insert(id, Socket::new(id, owner));
+        id
+    }
+
+    /// Borrow a socket.
+    pub fn get(&self, id: SocketId) -> Option<&Socket> {
+        self.sockets.get(&id)
+    }
+
+    /// Mutably borrow a socket.
+    pub fn get_mut(&mut self, id: SocketId) -> Option<&mut Socket> {
+        self.sockets.get_mut(&id)
+    }
+
+    /// Borrow a socket or return a [`Error::NotFound`].
+    pub fn require(&self, id: SocketId) -> Result<&Socket, Error> {
+        self.get(id).ok_or_else(|| Error::not_found("socket", id.to_string()))
+    }
+
+    /// Mutably borrow a socket or return a [`Error::NotFound`].
+    pub fn require_mut(&mut self, id: SocketId) -> Result<&mut Socket, Error> {
+        self.get_mut(id).ok_or_else(|| Error::not_found("socket", id.to_string()))
+    }
+
+    /// Remove a socket from the table (after close).
+    pub fn remove(&mut self, id: SocketId) -> Option<Socket> {
+        self.sockets.remove(&id)
+    }
+
+    /// Number of sockets currently tracked.
+    pub fn len(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sockets.is_empty()
+    }
+
+    /// Iterate over all sockets.
+    pub fn iter(&self) -> impl Iterator<Item = &Socket> {
+        self.sockets.values()
+    }
+
+    /// All sockets owned by `owner`.
+    pub fn owned_by(&self, owner: AppId) -> Vec<&Socket> {
+        self.sockets.values().filter(|s| s.owner() == owner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(last: u8, port: u16) -> Endpoint {
+        Endpoint::new([10, 0, 0, last], port)
+    }
+
+    #[test]
+    fn lazy_initialization_semantics() {
+        let mut table = SocketTable::new();
+        let id = table.create(AppId::new(1));
+        let socket = table.get(id).unwrap();
+        // Java constructor alone does not issue a socket syscall.
+        assert_eq!(socket.state(), SocketState::JavaCreated);
+        assert_eq!(socket.os_socket_calls(), 0);
+
+        // connect() lazily creates the OS socket.
+        table.get_mut(id).unwrap().connect(ep(2, 40000), ep(99, 443)).unwrap();
+        let socket = table.get(id).unwrap();
+        assert_eq!(socket.state(), SocketState::Connected);
+        assert_eq!(socket.os_socket_calls(), 1);
+        assert_eq!(socket.remote(), Some(ep(99, 443)));
+        assert_eq!(socket.local(), Some(ep(2, 40000)));
+    }
+
+    #[test]
+    fn bind_then_connect_preserves_local() {
+        let mut s = Socket::new(SocketId::new(5), AppId::new(1));
+        s.bind(ep(2, 5555)).unwrap();
+        assert_eq!(s.state(), SocketState::Bound);
+        assert_eq!(s.os_socket_calls(), 1);
+        s.connect(ep(2, 9999), ep(50, 80)).unwrap();
+        assert_eq!(s.local(), Some(ep(2, 5555)));
+        // Only one OS socket was ever created.
+        assert_eq!(s.os_socket_calls(), 1);
+    }
+
+    #[test]
+    fn reconnect_is_rejected() {
+        let mut s = Socket::new(SocketId::new(5), AppId::new(1));
+        s.connect(ep(2, 40000), ep(50, 80)).unwrap();
+        // Changing the endpoint requires a new connect, which BorderPatrol
+        // would intercept; reusing the connected socket for a different
+        // endpoint is impossible.
+        assert!(s.connect(ep(2, 40000), ep(51, 80)).is_err());
+        assert!(s.bind(ep(2, 1)).is_err());
+    }
+
+    #[test]
+    fn closed_socket_rejects_operations() {
+        let mut s = Socket::new(SocketId::new(5), AppId::new(1));
+        s.close();
+        assert!(s.connect(ep(2, 40000), ep(50, 80)).is_err());
+        assert!(s.bind(ep(2, 40000)).is_err());
+        assert!(!s.is_connected());
+    }
+
+    #[test]
+    fn options_and_send_accounting() {
+        let mut s = Socket::new(SocketId::new(7), AppId::new(2));
+        s.connect(ep(3, 41000), ep(60, 443)).unwrap();
+        assert_eq!(s.options_set_count(), 0);
+        s.set_options(IpOptions::new());
+        assert_eq!(s.options_set_count(), 1);
+        s.record_send(100);
+        s.record_send(250);
+        assert_eq!(s.bytes_sent(), 350);
+        assert_eq!(s.packets_sent(), 2);
+    }
+
+    #[test]
+    fn table_allocates_unique_ids_and_tracks_owners() {
+        let mut table = SocketTable::new();
+        let a = table.create(AppId::new(1));
+        let b = table.create(AppId::new(1));
+        let c = table.create(AppId::new(2));
+        assert_ne!(a, b);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.owned_by(AppId::new(1)).len(), 2);
+        assert_eq!(table.owned_by(AppId::new(2)).len(), 1);
+        assert!(table.require(a).is_ok());
+        assert!(table.require(SocketId::new(999)).is_err());
+        table.remove(c);
+        assert_eq!(table.len(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared error type for the BorderPatrol workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by BorderPatrol components.
+///
+/// The variants intentionally mirror the failure modes described in the paper:
+/// malformed packages, capability violations when setting `IP_OPTIONS`,
+/// encoding-budget overflows of the 40-byte options field, unknown application
+/// hashes at the policy enforcer, and malformed policy text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A binary artifact (dex file, apk container, packet) could not be parsed.
+    Malformed {
+        /// Which artifact failed to parse.
+        what: &'static str,
+        /// Human readable detail.
+        detail: String,
+    },
+    /// An operation required a capability the caller does not hold
+    /// (e.g. `CAP_NET_RAW` to set `IP_OPTIONS` without the kernel patch).
+    PermissionDenied {
+        /// The denied operation.
+        operation: &'static str,
+        /// The missing capability or privilege.
+        missing: String,
+    },
+    /// A value did not fit in the space available for it
+    /// (e.g. a stack context larger than the 40-byte `IP_OPTIONS` budget
+    /// with truncation disabled).
+    CapacityExceeded {
+        /// What was being encoded.
+        what: &'static str,
+        /// Requested size in bytes (or elements).
+        requested: usize,
+        /// Maximum allowed size.
+        limit: usize,
+    },
+    /// A lookup failed: unknown app hash, socket id, method index, etc.
+    NotFound {
+        /// The kind of entity that was looked up.
+        what: &'static str,
+        /// The key that was not found.
+        key: String,
+    },
+    /// A policy string or policy file could not be parsed.
+    PolicyParse {
+        /// Offending input fragment.
+        input: String,
+        /// Explanation of the problem.
+        detail: String,
+    },
+    /// A state-machine violation, e.g. connecting an already-connected socket.
+    InvalidState {
+        /// The operation that was attempted.
+        operation: &'static str,
+        /// Explanation of why the current state forbids it.
+        detail: String,
+    },
+    /// An I/O error (database persistence, report output).
+    Io(String),
+}
+
+impl Error {
+    /// Construct a [`Error::Malformed`] error.
+    pub fn malformed(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::Malformed { what, detail: detail.into() }
+    }
+
+    /// Construct a [`Error::NotFound`] error.
+    pub fn not_found(what: &'static str, key: impl Into<String>) -> Self {
+        Error::NotFound { what, key: key.into() }
+    }
+
+    /// Construct a [`Error::InvalidState`] error.
+    pub fn invalid_state(operation: &'static str, detail: impl Into<String>) -> Self {
+        Error::InvalidState { operation, detail: detail.into() }
+    }
+
+    /// Construct a [`Error::PermissionDenied`] error.
+    pub fn permission_denied(operation: &'static str, missing: impl Into<String>) -> Self {
+        Error::PermissionDenied { operation, missing: missing.into() }
+    }
+
+    /// Construct a [`Error::CapacityExceeded`] error.
+    pub fn capacity(what: &'static str, requested: usize, limit: usize) -> Self {
+        Error::CapacityExceeded { what, requested, limit }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            Error::PermissionDenied { operation, missing } => {
+                write!(f, "permission denied for {operation}: missing {missing}")
+            }
+            Error::CapacityExceeded { what, requested, limit } => {
+                write!(f, "{what} requires {requested} but only {limit} available")
+            }
+            Error::NotFound { what, key } => write!(f, "{what} not found: {key}"),
+            Error::PolicyParse { input, detail } => {
+                write!(f, "invalid policy {input:?}: {detail}")
+            }
+            Error::InvalidState { operation, detail } => {
+                write!(f, "invalid state for {operation}: {detail}")
+            }
+            Error::Io(detail) => write!(f, "i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(value: std::io::Error) -> Self {
+        Error::Io(value.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::malformed("dex file", "truncated header");
+        assert_eq!(e.to_string(), "malformed dex file: truncated header");
+        let e = Error::permission_denied("setsockopt(IP_OPTIONS)", "CAP_NET_RAW");
+        assert!(e.to_string().contains("CAP_NET_RAW"));
+        let e = Error::capacity("ip options", 44, 40);
+        assert!(e.to_string().contains("44"));
+        assert!(e.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk full");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn not_found_formats_key() {
+        let e = Error::not_found("app hash", "deadbeef");
+        assert_eq!(e.to_string(), "app hash not found: deadbeef");
+    }
+
+    #[test]
+    fn invalid_state_formats() {
+        let e = Error::invalid_state("connect", "socket already connected");
+        assert!(e.to_string().contains("already connected"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Opaque identifiers used across the simulated device and network substrates.
+//!
+//! Each identifier is a newtype around an integer so the different id spaces
+//! (devices, apps, sockets, connections, flows, packets) cannot be confused
+//! with one another at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Construct an identifier from a raw integer.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer value of this identifier.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The next identifier in sequence (useful for simple allocators).
+            pub const fn next(self) -> Self {
+                Self(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(value: u64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(value: $name) -> u64 {
+                value.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a provisioned BYOD device in the simulated enterprise network.
+    DeviceId,
+    "dev-"
+);
+define_id!(
+    /// Identifier of an installed application (one per installed apk).
+    AppId,
+    "app-"
+);
+define_id!(
+    /// Identifier of a socket within a device (mirrors a file descriptor).
+    SocketId,
+    "sock-"
+);
+define_id!(
+    /// Identifier of an established connection (socket + remote endpoint).
+    ConnectionId,
+    "conn-"
+);
+define_id!(
+    /// Identifier of a network flow as seen by on-network appliances
+    /// (5-tuple equivalence class).
+    FlowId,
+    "flow-"
+);
+define_id!(
+    /// Identifier of an individual IP packet in the simulation.
+    PacketId,
+    "pkt-"
+);
+
+/// A monotonically increasing allocator for any of the identifier types.
+///
+/// # Examples
+///
+/// ```
+/// use bp_types::ids::{IdAllocator, SocketId};
+/// let mut alloc = IdAllocator::<SocketId>::new();
+/// let a = alloc.allocate();
+/// let b = alloc.allocate();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdAllocator<T> {
+    next: u64,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: From<u64>> IdAllocator<T> {
+    /// Create an allocator that starts at 1.
+    pub fn new() -> Self {
+        IdAllocator { next: 1, _marker: std::marker::PhantomData }
+    }
+
+    /// Create an allocator that starts at the provided raw value.
+    pub fn starting_at(raw: u64) -> Self {
+        IdAllocator { next: raw, _marker: std::marker::PhantomData }
+    }
+
+    /// Allocate the next identifier.
+    pub fn allocate(&mut self) -> T {
+        let id = T::from(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of identifiers allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next.saturating_sub(1)
+    }
+}
+
+impl<T: From<u64>> Default for IdAllocator<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(DeviceId::new(3).to_string(), "dev-3");
+        assert_eq!(AppId::new(42).to_string(), "app-42");
+        assert_eq!(SocketId::new(7).to_string(), "sock-7");
+        assert_eq!(ConnectionId::new(1).to_string(), "conn-1");
+        assert_eq!(FlowId::new(9).to_string(), "flow-9");
+        assert_eq!(PacketId::new(0).to_string(), "pkt-0");
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let id = SocketId::new(123);
+        assert_eq!(id.raw(), 123);
+        assert_eq!(u64::from(id), 123);
+        assert_eq!(SocketId::from(123u64), id);
+        assert_eq!(id.next().raw(), 124);
+    }
+
+    #[test]
+    fn allocator_is_monotonic_and_unique() {
+        let mut alloc = IdAllocator::<PacketId>::new();
+        let ids: Vec<_> = (0..100).map(|_| alloc.allocate()).collect();
+        for pair in ids.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert_eq!(alloc.allocated(), 100);
+    }
+
+    #[test]
+    fn allocator_starting_at() {
+        let mut alloc = IdAllocator::<AppId>::starting_at(1000);
+        assert_eq!(alloc.allocate().raw(), 1000);
+        assert_eq!(alloc.allocate().raw(), 1001);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(FlowId::new(1) < FlowId::new(2));
+        assert!(ConnectionId::new(10) > ConnectionId::new(2));
+    }
+}

@@ -1,0 +1,129 @@
+//! Policy enforcement levels.
+//!
+//! The paper (§IV-B) orders the granularity of a policy target as
+//! `hash < library < class < method`: a match at the `method` level is the
+//! most specific, a match at the `hash` level (the whole application) is the
+//! least specific.  [`EnforcementLevel`] captures that ordering.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// Granularity at which a policy target is matched against a stack signature.
+///
+/// The derived `Ord` implementation follows the paper's ordering
+/// `Hash < Library < Class < Method` (finer granularity is *greater*).
+///
+/// # Examples
+///
+/// ```
+/// use bp_types::EnforcementLevel;
+/// assert!(EnforcementLevel::Method > EnforcementLevel::Class);
+/// assert_eq!("library".parse::<EnforcementLevel>().unwrap(), EnforcementLevel::Library);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum EnforcementLevel {
+    /// Match against the application identity (truncated apk hash).
+    Hash,
+    /// Match against the library (Java package prefix), e.g. `com/flurry`.
+    Library,
+    /// Match against the fully qualified class, e.g. `com/google/gms/Analytics`.
+    Class,
+    /// Match against the full method signature including parameter types.
+    Method,
+}
+
+impl EnforcementLevel {
+    /// All levels in ascending order of granularity.
+    pub const ALL: [EnforcementLevel; 4] = [
+        EnforcementLevel::Hash,
+        EnforcementLevel::Library,
+        EnforcementLevel::Class,
+        EnforcementLevel::Method,
+    ];
+
+    /// The canonical lowercase keyword used in the policy grammar.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EnforcementLevel::Hash => "hash",
+            EnforcementLevel::Library => "library",
+            EnforcementLevel::Class => "class",
+            EnforcementLevel::Method => "method",
+        }
+    }
+}
+
+impl fmt::Display for EnforcementLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+impl FromStr for EnforcementLevel {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "hash" => Ok(EnforcementLevel::Hash),
+            "library" => Ok(EnforcementLevel::Library),
+            "class" => Ok(EnforcementLevel::Class),
+            "method" => Ok(EnforcementLevel::Method),
+            other => Err(Error::PolicyParse {
+                input: other.to_string(),
+                detail: "expected one of hash, library, class, method".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        assert!(EnforcementLevel::Hash < EnforcementLevel::Library);
+        assert!(EnforcementLevel::Library < EnforcementLevel::Class);
+        assert!(EnforcementLevel::Class < EnforcementLevel::Method);
+    }
+
+    #[test]
+    fn all_is_sorted_ascending() {
+        let mut sorted = EnforcementLevel::ALL.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, EnforcementLevel::ALL.to_vec());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for level in EnforcementLevel::ALL {
+            let parsed: EnforcementLevel = level.keyword().parse().unwrap();
+            assert_eq!(parsed, level);
+            assert_eq!(level.to_string(), level.keyword());
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(
+            "  Method ".parse::<EnforcementLevel>().unwrap(),
+            EnforcementLevel::Method
+        );
+        assert_eq!(
+            "LIBRARY".parse::<EnforcementLevel>().unwrap(),
+            EnforcementLevel::Library
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("package".parse::<EnforcementLevel>().is_err());
+        assert!("".parse::<EnforcementLevel>().is_err());
+    }
+}

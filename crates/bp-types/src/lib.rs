@@ -1,0 +1,44 @@
+//! Common vocabulary types for the BorderPatrol reproduction.
+//!
+//! This crate defines the identifiers, hashes and descriptor types that every
+//! other crate in the workspace shares:
+//!
+//! * [`ApkHash`] / [`AppTag`] — the MD5 digest of an application package and
+//!   the truncated 8-byte form that BorderPatrol embeds into packet headers.
+//! * [`MethodSignature`] — a fully qualified Java-style method signature
+//!   (`Lcom/example/Cls;->method(I)V`), the unit of context BorderPatrol
+//!   reasons about.
+//! * [`StackFrame`] / [`StackTrace`] — the call-stack snapshot captured when a
+//!   socket is connected.
+//! * [`EnforcementLevel`] — the four policy granularities (`hash` < `library`
+//!   < `class` < `method`).
+//! * [`Error`] — the shared error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use bp_types::{MethodSignature, EnforcementLevel};
+//!
+//! let sig: MethodSignature =
+//!     "Lcom/dropbox/android/taskqueue/UploadTask;->run()V".parse().unwrap();
+//! assert_eq!(sig.class_name(), "UploadTask");
+//! assert_eq!(sig.library_prefix(2), "com/dropbox");
+//! assert!(EnforcementLevel::Method > EnforcementLevel::Library);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod level;
+pub mod signature;
+pub mod stack;
+
+pub use error::{Error, Result};
+pub use hash::{md5_digest, ApkHash, AppTag};
+pub use ids::{AppId, ConnectionId, DeviceId, FlowId, PacketId, SocketId};
+pub use level::EnforcementLevel;
+pub use signature::{MethodSignature, SignatureParseError};
+pub use stack::{StackFrame, StackTrace};

@@ -1,0 +1,331 @@
+//! Call-stack snapshots.
+//!
+//! The contextual information BorderPatrol attaches to network traffic is the
+//! Java call stack at the time a socket is connected (paper §IV-A2).  A
+//! [`StackTrace`] is an ordered list of [`StackFrame`]s, innermost (the frame
+//! that performed the connect) first — the same ordering `getStackTrace`
+//! returns on Android.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::level::EnforcementLevel;
+use crate::signature::MethodSignature;
+
+/// One active stack frame: a method signature plus the source line number the
+/// frame was executing.
+///
+/// The line number is what lets the Context Manager disambiguate overloaded
+/// methods sharing a name (§V-B); it is `None` when the app was built with
+/// debug information stripped.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StackFrame {
+    signature: MethodSignature,
+    line: Option<u32>,
+}
+
+impl StackFrame {
+    /// Create a frame with a known source line number.
+    pub fn new(signature: MethodSignature, line: u32) -> Self {
+        StackFrame { signature, line: Some(line) }
+    }
+
+    /// Create a frame without debug information (no line number).
+    pub fn without_line(signature: MethodSignature) -> Self {
+        StackFrame { signature, line: None }
+    }
+
+    /// The method signature of this frame.
+    pub fn signature(&self) -> &MethodSignature {
+        &self.signature
+    }
+
+    /// The source line number, if debug information was present.
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+}
+
+impl fmt::Display for StackFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} (line {})", self.signature, line),
+            None => write!(f, "{} (unknown line)", self.signature),
+        }
+    }
+}
+
+/// An ordered call stack, innermost frame first.
+///
+/// # Examples
+///
+/// ```
+/// use bp_types::{MethodSignature, StackFrame, StackTrace};
+/// let connect: MethodSignature = "Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"
+///     .parse().unwrap();
+/// let caller: MethodSignature = "Lcom/flurry/sdk/Agent;->report()V".parse().unwrap();
+/// let trace = StackTrace::from_frames(vec![
+///     StackFrame::new(connect, 421),
+///     StackFrame::new(caller, 88),
+/// ]);
+/// assert_eq!(trace.depth(), 2);
+/// assert!(trace.contains_library("com/flurry"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StackTrace {
+    frames: Vec<StackFrame>,
+}
+
+impl StackTrace {
+    /// An empty stack trace.
+    pub fn new() -> Self {
+        StackTrace { frames: Vec::new() }
+    }
+
+    /// Build a stack trace from frames ordered innermost-first.
+    pub fn from_frames(frames: Vec<StackFrame>) -> Self {
+        StackTrace { frames }
+    }
+
+    /// Build a stack trace from signatures (no line information).
+    pub fn from_signatures<I>(signatures: I) -> Self
+    where
+        I: IntoIterator<Item = MethodSignature>,
+    {
+        StackTrace {
+            frames: signatures.into_iter().map(StackFrame::without_line).collect(),
+        }
+    }
+
+    /// Push a frame onto the innermost end of the trace.
+    pub fn push_inner(&mut self, frame: StackFrame) {
+        self.frames.insert(0, frame);
+    }
+
+    /// Push a frame onto the outermost end of the trace.
+    pub fn push_outer(&mut self, frame: StackFrame) {
+        self.frames.push(frame);
+    }
+
+    /// Number of frames in the trace.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Iterate over frames, innermost first.
+    pub fn frames(&self) -> impl Iterator<Item = &StackFrame> {
+        self.frames.iter()
+    }
+
+    /// Iterate over the method signatures, innermost first.
+    pub fn signatures(&self) -> impl Iterator<Item = &MethodSignature> {
+        self.frames.iter().map(StackFrame::signature)
+    }
+
+    /// The innermost frame (the code that triggered the socket operation).
+    pub fn innermost(&self) -> Option<&StackFrame> {
+        self.frames.first()
+    }
+
+    /// The outermost frame (typically the app entry point / UI dispatcher).
+    pub fn outermost(&self) -> Option<&StackFrame> {
+        self.frames.last()
+    }
+
+    /// Truncate the trace to at most `max_frames` innermost frames.
+    ///
+    /// This is the behaviour of the Context Manager when the full stack does
+    /// not fit the 40-byte `IP_OPTIONS` budget: the innermost frames carry the
+    /// most discriminating context and are preserved.
+    pub fn truncated(&self, max_frames: usize) -> StackTrace {
+        StackTrace { frames: self.frames.iter().take(max_frames).cloned().collect() }
+    }
+
+    /// True if any frame matches `target` at `level` or finer.
+    pub fn contains_match(&self, level: EnforcementLevel, target: &str) -> bool {
+        self.frames.iter().any(|f| {
+            f.signature()
+                .match_level(target)
+                .map(|l| l >= level)
+                .unwrap_or(false)
+        })
+    }
+
+    /// True if every frame matches `target` at `level` or finer.
+    pub fn all_match(&self, level: EnforcementLevel, target: &str) -> bool {
+        !self.frames.is_empty()
+            && self.frames.iter().all(|f| {
+                f.signature()
+                    .match_level(target)
+                    .map(|l| l >= level)
+                    .unwrap_or(false)
+            })
+    }
+
+    /// Convenience: true if any frame's package starts with `library_prefix`.
+    pub fn contains_library(&self, library_prefix: &str) -> bool {
+        self.contains_match(EnforcementLevel::Library, library_prefix)
+    }
+
+    /// The set of distinct top-level library prefixes (first `depth` package
+    /// segments) appearing in the trace, in first-appearance order.
+    pub fn library_prefixes(&self, depth: usize) -> Vec<String> {
+        let mut seen = Vec::new();
+        for frame in &self.frames {
+            let prefix = frame.signature().library_prefix(depth);
+            if !prefix.is_empty() && !seen.contains(&prefix) {
+                seen.push(prefix);
+            }
+        }
+        seen
+    }
+
+    /// Whether all frames originate from the same Java package at the given
+    /// prefix depth (used by the Fig. 3 package-overlap analysis, §VI-B).
+    pub fn single_package(&self, depth: usize) -> bool {
+        self.library_prefixes(depth).len() <= 1
+    }
+}
+
+impl fmt::Display for StackTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frames.is_empty() {
+            return f.write_str("<empty stack>");
+        }
+        for (i, frame) in self.frames.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  at {frame}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<StackFrame> for StackTrace {
+    fn from_iter<T: IntoIterator<Item = StackFrame>>(iter: T) -> Self {
+        StackTrace { frames: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<StackFrame> for StackTrace {
+    fn extend<T: IntoIterator<Item = StackFrame>>(&mut self, iter: T) {
+        self.frames.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(s: &str) -> MethodSignature {
+        s.parse().unwrap()
+    }
+
+    fn sample_trace() -> StackTrace {
+        StackTrace::from_frames(vec![
+            StackFrame::new(sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"), 589),
+            StackFrame::new(sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"), 112),
+            StackFrame::new(sig("Lcom/flurry/sdk/Agent;->report()V"), 44),
+            StackFrame::new(sig("Lcom/example/app/MainActivity;->onResume()V"), 201),
+        ])
+    }
+
+    #[test]
+    fn depth_and_accessors() {
+        let t = sample_trace();
+        assert_eq!(t.depth(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.innermost().unwrap().signature().class_name(), "Socket");
+        assert_eq!(t.outermost().unwrap().signature().class_name(), "MainActivity");
+        assert_eq!(t.signatures().count(), 4);
+    }
+
+    #[test]
+    fn contains_and_all_match() {
+        let t = sample_trace();
+        assert!(t.contains_match(EnforcementLevel::Library, "com/flurry"));
+        assert!(t.contains_match(EnforcementLevel::Class, "com/flurry/sdk/Agent"));
+        assert!(t.contains_match(
+            EnforcementLevel::Method,
+            "Lcom/flurry/sdk/Agent;->report"
+        ));
+        assert!(!t.contains_match(EnforcementLevel::Library, "com/google"));
+        assert!(!t.all_match(EnforcementLevel::Library, "com/flurry"));
+        let flurry_only = StackTrace::from_frames(vec![
+            StackFrame::new(sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"), 1),
+            StackFrame::new(sig("Lcom/flurry/sdk/Agent;->report()V"), 2),
+        ]);
+        assert!(flurry_only.all_match(EnforcementLevel::Library, "com/flurry"));
+    }
+
+    #[test]
+    fn all_match_is_false_for_empty_trace() {
+        let t = StackTrace::new();
+        assert!(!t.all_match(EnforcementLevel::Library, "com/flurry"));
+        assert!(!t.contains_match(EnforcementLevel::Library, "com/flurry"));
+    }
+
+    #[test]
+    fn truncation_keeps_innermost() {
+        let t = sample_trace();
+        let short = t.truncated(2);
+        assert_eq!(short.depth(), 2);
+        assert_eq!(short.innermost(), t.innermost());
+        assert_eq!(
+            short.outermost().unwrap().signature().qualified_class(),
+            "com/flurry/sdk/Transport"
+        );
+        // Truncating beyond the depth is a no-op.
+        assert_eq!(t.truncated(100), t);
+    }
+
+    #[test]
+    fn library_prefixes_and_single_package() {
+        let t = sample_trace();
+        let prefixes = t.library_prefixes(2);
+        assert_eq!(prefixes, vec!["java/net", "com/flurry", "com/example"]);
+        assert!(!t.single_package(2));
+        let single = StackTrace::from_frames(vec![
+            StackFrame::new(sig("Lcom/box/androidsdk/Upload;->go()V"), 1),
+            StackFrame::new(sig("Lcom/box/androidsdk/Session;->run()V"), 2),
+        ]);
+        assert!(single.single_package(2));
+    }
+
+    #[test]
+    fn push_inner_and_outer() {
+        let mut t = StackTrace::new();
+        t.push_outer(StackFrame::without_line(sig("La/B;->m()V")));
+        t.push_inner(StackFrame::without_line(sig("Lc/D;->n()V")));
+        assert_eq!(t.innermost().unwrap().signature().qualified_class(), "c/D");
+        assert_eq!(t.outermost().unwrap().signature().qualified_class(), "a/B");
+    }
+
+    #[test]
+    fn display_lists_frames() {
+        let t = sample_trace();
+        let text = t.to_string();
+        assert!(text.contains("at Lcom/flurry/sdk/Agent;->report()V (line 44)"));
+        assert_eq!(StackTrace::new().to_string(), "<empty stack>");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let frames = vec![
+            StackFrame::without_line(sig("La/B;->m()V")),
+            StackFrame::without_line(sig("Lc/D;->n()V")),
+        ];
+        let t: StackTrace = frames.clone().into_iter().collect();
+        assert_eq!(t.depth(), 2);
+        let mut t2 = StackTrace::new();
+        t2.extend(frames);
+        assert_eq!(t2.depth(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! Facebook-SDK case study (paper §VI-C): SolCalendar.
+//!
+//! "Login with Facebook" and the SDK's analytics beacons both talk to the same
+//! Graph API endpoint.  An on-network block of that endpoint kills the login;
+//! BorderPatrol distinguishes the two flows by their calling context and drops
+//! only the analytics traffic.  The deny policy is derived automatically with
+//! the Policy Extractor from a baseline run and an undesired-functionality run
+//! (paper §V-E).
+//!
+//! Run with: `cargo run --example facebook_login`
+
+use borderpatrol::analysis::experiments::case_facebook;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let extracted = case_facebook::extract_analytics_policy();
+    println!("Policy Extractor derived {} policy rule(s):", extracted.len());
+    for policy in extracted.iter() {
+        println!("  {policy}");
+    }
+    println!();
+
+    let result = case_facebook::run()?;
+    println!("{}", result.to_table());
+
+    assert!(result.borderpatrol_wins());
+    println!(
+        "BorderPatrol preserved \"Login with Facebook\" and calendar sync while dropping the analytics beacons;\n\
+         the endpoint-blocking baseline broke authentication."
+    );
+    Ok(())
+}

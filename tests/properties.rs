@@ -1,0 +1,198 @@
+//! Property-based tests over the core data structures and wire formats.
+
+use proptest::prelude::*;
+
+use borderpatrol::core::encoding::ContextEncoding;
+use borderpatrol::core::policy::{Policy, PolicyAction, PolicySet};
+use borderpatrol::core::sanitizer::PacketSanitizer;
+use borderpatrol::dex::{DexBuilder, DexFile, MethodTable};
+use borderpatrol::netsim::addr::Endpoint;
+use borderpatrol::netsim::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN};
+use borderpatrol::netsim::packet::Ipv4Packet;
+use borderpatrol::types::{ApkHash, EnforcementLevel, MethodSignature};
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+fn package() -> impl Strategy<Value = String> {
+    prop::collection::vec(identifier(), 1..4).prop_map(|segments| segments.join("/"))
+}
+
+fn signature() -> impl Strategy<Value = MethodSignature> {
+    (package(), "[A-Z][a-zA-Z0-9]{0,8}", identifier(), prop::sample::select(vec!["", "I", "Ljava/lang/String;", "IJ"]))
+        .prop_map(|(pkg, class, method, params)| {
+            MethodSignature::new(pkg, class, method, params, "V")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn signature_descriptor_roundtrips(sig in signature()) {
+        let descriptor = sig.to_descriptor();
+        let parsed: MethodSignature = descriptor.parse().unwrap();
+        prop_assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn packet_wire_roundtrip(
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        option_data in prop::collection::vec(any::<u8>(), 0..30),
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        identification in any::<u16>(),
+    ) {
+        let mut packet = Ipv4Packet::new(
+            Endpoint::new(src, src_port),
+            Endpoint::new(dst, dst_port),
+            payload.clone(),
+        );
+        packet.set_identification(identification);
+        if !option_data.is_empty() {
+            packet
+                .options_mut()
+                .push(IpOption::new(IpOptionKind::BorderPatrolContext, option_data.clone()).unwrap())
+                .unwrap();
+        }
+        let parsed = Ipv4Packet::parse(&packet.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.payload(), &payload[..]);
+        prop_assert_eq!(parsed.source(), packet.source());
+        prop_assert_eq!(parsed.destination(), packet.destination());
+        prop_assert_eq!(parsed.identification(), identification);
+        prop_assert_eq!(parsed.has_context_option(), !option_data.is_empty());
+    }
+
+    #[test]
+    fn options_area_never_exceeds_rfc_budget(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 0..6)
+    ) {
+        let mut options = IpOptions::new();
+        for chunk in chunks {
+            if let Ok(option) = IpOption::new(IpOptionKind::BorderPatrolContext, chunk) {
+                // push may refuse for budget reasons; either way the invariant holds.
+                let _ = options.push(option);
+            }
+            prop_assert!(options.encoded_len() <= MAX_OPTIONS_LEN);
+            prop_assert!(options.padded_len() <= MAX_OPTIONS_LEN);
+        }
+        let reparsed = IpOptions::parse(&options.to_bytes()).unwrap();
+        prop_assert_eq!(reparsed.encoded_len(), options.encoded_len());
+    }
+
+    #[test]
+    fn context_encoding_roundtrips_and_respects_budget(
+        seed in any::<u64>(),
+        narrow_indexes in prop::collection::vec(0u32..=0xffff, 0..30),
+        wide_indexes in prop::collection::vec(0u32..=0x00ff_ffff, 0..30),
+    ) {
+        let tag = ApkHash::digest(&seed.to_le_bytes()).tag();
+        for (indexes, wide) in [(narrow_indexes, false), (wide_indexes, true)] {
+            let payload = ContextEncoding::encode(tag, &indexes, wide).unwrap();
+            prop_assert!(payload.len() <= 38);
+            let decoded = ContextEncoding::decode(&payload).unwrap();
+            prop_assert_eq!(decoded.app_tag, tag);
+            prop_assert_eq!(decoded.wide, wide);
+            let kept = indexes.len().min(ContextEncoding::max_frames(wide));
+            prop_assert_eq!(&decoded.frame_indexes[..], &indexes[..kept]);
+            prop_assert_eq!(decoded.truncated, indexes.len() > kept);
+        }
+    }
+
+    #[test]
+    fn context_decoder_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..60)) {
+        let _ = ContextEncoding::decode(&data);
+    }
+
+    #[test]
+    fn dex_parser_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = DexFile::parse(&data);
+        let _ = Ipv4Packet::parse(&data);
+    }
+
+    #[test]
+    fn method_table_indexes_are_deterministic(sigs in prop::collection::vec(signature(), 1..25)) {
+        let mut builder_a = DexBuilder::new();
+        let mut builder_b = DexBuilder::new();
+        // Insert in different orders; the table must be identical.
+        for (i, sig) in sigs.iter().enumerate() {
+            builder_a.add_signature(sig, (i as u32 + 1) * 10, 5);
+        }
+        for (i, sig) in sigs.iter().rev().enumerate() {
+            builder_b.add_signature(sig, (i as u32 + 1) * 10, 5);
+        }
+        let table_a = MethodTable::from_dex(&builder_a.build()).unwrap();
+        let table_b = MethodTable::from_dex(&builder_b.build()).unwrap();
+        prop_assert_eq!(table_a.signatures(), table_b.signatures());
+        // Round-trip through the binary format preserves the table.
+        let dex = {
+            let mut b = DexBuilder::new();
+            for (i, sig) in sigs.iter().enumerate() {
+                b.add_signature(sig, (i as u32 + 1) * 10, 5);
+            }
+            b.build()
+        };
+        let reparsed = DexFile::parse(&dex.to_bytes()).unwrap();
+        let reparsed_table = MethodTable::from_dex(&reparsed).unwrap();
+        prop_assert_eq!(reparsed_table.signatures(), table_a.signatures());
+    }
+
+    #[test]
+    fn policy_grammar_roundtrips(
+        action in prop::sample::select(vec![PolicyAction::Allow, PolicyAction::Deny]),
+        level in prop::sample::select(vec![
+            EnforcementLevel::Hash,
+            EnforcementLevel::Library,
+            EnforcementLevel::Class,
+            EnforcementLevel::Method,
+        ]),
+        target in "[a-zA-Z][a-zA-Z0-9/;>()<-]{0,40}",
+    ) {
+        let policy = Policy::new(action, level, target);
+        let reparsed: Policy = policy.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, policy);
+    }
+
+    #[test]
+    fn deny_decision_is_monotone_in_the_stack(
+        stack in prop::collection::vec(signature(), 1..10),
+        extra in signature(),
+    ) {
+        // If a deny policy drops a stack, it also drops any superset of it.
+        let target = stack[0].library_prefix(2);
+        prop_assume!(!target.is_empty());
+        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, target)]);
+        let tag = ApkHash::digest(b"prop").tag();
+        let denied = !set.evaluate(tag, &stack).is_allow();
+        if denied {
+            let mut bigger = stack.clone();
+            bigger.push(extra);
+            prop_assert!(!set.evaluate(tag, &bigger).is_allow());
+        }
+    }
+
+    #[test]
+    fn sanitizer_removes_every_context_option_and_is_idempotent(
+        option_data in prop::collection::vec(any::<u8>(), 1..30),
+        payload in prop::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let mut packet = Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 1], 1000),
+            Endpoint::new([20, 0, 0, 2], 443),
+            payload,
+        );
+        packet
+            .options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, option_data).unwrap())
+            .unwrap();
+        let mut sanitizer = PacketSanitizer::new();
+        sanitizer.sanitize(&mut packet);
+        prop_assert!(!packet.has_context_option());
+        let snapshot = packet.clone();
+        sanitizer.sanitize(&mut packet);
+        prop_assert_eq!(packet, snapshot);
+    }
+}
