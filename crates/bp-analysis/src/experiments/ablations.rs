@@ -92,13 +92,19 @@ fn replay_outcome(config: KernelConfig) -> Result<bool, Error> {
     kernel.connect(&creds, malicious, Endpoint::new([198, 51, 100, 1], 443))?;
 
     let mut options = IpOptions::new();
-    options.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![0xAA; 10])?)?;
+    options.push(IpOption::new(
+        IpOptionKind::BorderPatrolContext,
+        vec![0xAA; 10],
+    )?)?;
     kernel.setsockopt_ip_options(&creds, benign, options)?;
 
     // The malicious function first lets the (hypothetical) Context Manager tag
     // its socket, then tries to overwrite that tag with the benign one.
     let mut own_tag = IpOptions::new();
-    own_tag.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![0xBB; 10])?)?;
+    own_tag.push(IpOption::new(
+        IpOptionKind::BorderPatrolContext,
+        vec![0xBB; 10],
+    )?)?;
     kernel.setsockopt_ip_options(&creds, malicious, own_tag)?;
     Ok(kernel.replay_options(&creds, benign, malicious).is_ok())
 }
@@ -127,7 +133,11 @@ fn multidex_wide_encoding() -> Result<bool, Error> {
     testbed.run(app, "browse")?;
     let capture = testbed.network.pre_chain_capture();
     for captured in capture.iter() {
-        if let Some(option) = captured.packet.options().find(IpOptionKind::BorderPatrolContext) {
+        if let Some(option) = captured
+            .packet
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+        {
             return Ok(ContextEncoding::decode(&option.data)?.wide);
         }
     }

@@ -65,13 +65,15 @@ impl MechanismOutcome {
     /// The paper's success criterion for the cloud-storage policy: upload
     /// blocked, everything else intact.
     pub fn upload_blocked_everything_else_intact(&self) -> bool {
-        self.functionality_delivered.iter().all(|(name, delivered)| {
-            if name == "upload" {
-                !*delivered
-            } else {
-                *delivered
-            }
-        })
+        self.functionality_delivered
+            .iter()
+            .all(|(name, delivered)| {
+                if name == "upload" {
+                    !*delivered
+                } else {
+                    *delivered
+                }
+            })
     }
 }
 
@@ -95,15 +97,17 @@ impl CloudCaseResult {
         let functionalities: Vec<String> = self
             .outcomes
             .first()
-            .map(|o| o.functionality_delivered.iter().map(|(n, _)| n.clone()).collect())
+            .map(|o| {
+                o.functionality_delivered
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .collect()
+            })
             .unwrap_or_default();
         let mut header = vec!["mechanism"];
         let functionality_refs: Vec<&str> = functionalities.iter().map(String::as_str).collect();
         header.extend(functionality_refs);
-        let mut table = TextTable::new(
-            format!("Cloud storage case study — {}", self.app),
-            &header,
-        );
+        let mut table = TextTable::new(format!("Cloud storage case study — {}", self.app), &header);
         for outcome in &self.outcomes {
             let mut row = vec![outcome.mechanism.label().to_string()];
             for functionality in &functionalities {
@@ -128,19 +132,29 @@ pub fn upload_block_policy(app_package: &str) -> PolicySet {
             "Lcom/dropbox/android/taskqueue/UploadTask;->c",
         )
     } else {
-        Policy::deny(EnforcementLevel::Class, "com/box/androidsdk/content/requests/BoxRequestUpload")
+        Policy::deny(
+            EnforcementLevel::Class,
+            "com/box/androidsdk/content/requests/BoxRequestUpload",
+        )
     };
     PolicySet::from_policies(vec![policy])
 }
 
-fn exercise(testbed: &mut Testbed, spec: &bp_appsim::app::AppSpec, mechanism: Mechanism) -> Result<MechanismOutcome, Error> {
+fn exercise(
+    testbed: &mut Testbed,
+    spec: &bp_appsim::app::AppSpec,
+    mechanism: Mechanism,
+) -> Result<MechanismOutcome, Error> {
     let app = testbed.install_app(spec.clone())?;
     let mut functionality_delivered = Vec::new();
     for functionality in &spec.functionalities {
         let outcome = testbed.run(app, &functionality.name)?;
         functionality_delivered.push((functionality.name.clone(), outcome.fully_delivered()));
     }
-    Ok(MechanismOutcome { mechanism, functionality_delivered })
+    Ok(MechanismOutcome {
+        mechanism,
+        functionality_delivered,
+    })
 }
 
 /// Run the case study for one cloud-storage app spec.
@@ -168,11 +182,19 @@ pub fn run_for(spec: &bp_appsim::app::AppSpec) -> Result<CloudCaseResult, Error>
         blocklist.block_ip(ip);
     }
     let mut testbed = Testbed::new(Deployment::IpBlocklist(blocklist));
-    outcomes.push(exercise(&mut testbed, spec, Mechanism::IpBlocklistBaseline)?);
+    outcomes.push(exercise(
+        &mut testbed,
+        spec,
+        Mechanism::IpBlocklistBaseline,
+    )?);
 
     // Flow-size threshold baseline (100 kB outbound per flow).
     let mut testbed = Testbed::new(Deployment::FlowThreshold(FlowSizeThreshold::new(100_000)));
-    outcomes.push(exercise(&mut testbed, spec, Mechanism::FlowThresholdBaseline)?);
+    outcomes.push(exercise(
+        &mut testbed,
+        spec,
+        Mechanism::FlowThresholdBaseline,
+    )?);
 
     // BorderPatrol with the method-level upload deny.
     let mut testbed = Testbed::new(Deployment::BorderPatrol {
@@ -181,7 +203,10 @@ pub fn run_for(spec: &bp_appsim::app::AppSpec) -> Result<CloudCaseResult, Error>
     });
     outcomes.push(exercise(&mut testbed, spec, Mechanism::BorderPatrol)?);
 
-    Ok(CloudCaseResult { app: spec.package_name.clone(), outcomes })
+    Ok(CloudCaseResult {
+        app: spec.package_name.clone(),
+        outcomes,
+    })
 }
 
 /// Run the case study for both Dropbox and Box.
@@ -190,7 +215,10 @@ pub fn run_for(spec: &bp_appsim::app::AppSpec) -> Result<CloudCaseResult, Error>
 ///
 /// Propagates testbed failures.
 pub fn run() -> Result<Vec<CloudCaseResult>, Error> {
-    Ok(vec![run_for(&CorpusGenerator::dropbox())?, run_for(&CorpusGenerator::box_app())?])
+    Ok(vec![
+        run_for(&CorpusGenerator::dropbox())?,
+        run_for(&CorpusGenerator::box_app())?,
+    ])
 }
 
 #[cfg(test)]
@@ -212,7 +240,10 @@ mod tests {
 
         // BorderPatrol blocks exactly the upload.
         let borderpatrol = result.outcome(Mechanism::BorderPatrol).unwrap();
-        assert!(borderpatrol.upload_blocked_everything_else_intact(), "{borderpatrol:?}");
+        assert!(
+            borderpatrol.upload_blocked_everything_else_intact(),
+            "{borderpatrol:?}"
+        );
     }
 
     #[test]
@@ -225,7 +256,10 @@ mod tests {
         // upload; the structural takeaway preserved here is that BorderPatrol
         // achieves the same separation without any endpoint knowledge.
         let borderpatrol = result.outcome(Mechanism::BorderPatrol).unwrap();
-        assert!(borderpatrol.upload_blocked_everything_else_intact(), "{borderpatrol:?}");
+        assert!(
+            borderpatrol.upload_blocked_everything_else_intact(),
+            "{borderpatrol:?}"
+        );
 
         // The flow threshold misses nothing here only if the upload is large;
         // Box's browse/auth flows must never be cut.
@@ -246,7 +280,11 @@ mod tests {
         }
         let result = run_for(&spec).unwrap();
         let flow = result.outcome(Mechanism::FlowThresholdBaseline).unwrap();
-        assert_eq!(flow.delivered("upload"), Some(true), "small upload evades the threshold");
+        assert_eq!(
+            flow.delivered("upload"),
+            Some(true),
+            "small upload evades the threshold"
+        );
         let borderpatrol = result.outcome(Mechanism::BorderPatrol).unwrap();
         assert_eq!(borderpatrol.delivered("upload"), Some(false));
     }

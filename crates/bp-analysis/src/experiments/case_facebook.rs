@@ -54,7 +54,13 @@ impl FacebookCaseResult {
             "Facebook SDK case study — SolCalendar (login vs analytics)",
             &["mechanism", "fb-login", "fb-analytics", "calendar-sync"],
         );
-        let cell = |works: bool| if works { "works".to_string() } else { "BLOCKED".to_string() };
+        let cell = |works: bool| {
+            if works {
+                "works".to_string()
+            } else {
+                "BLOCKED".to_string()
+            }
+        };
         table.add_row(vec![
             "on-network endpoint block".to_string(),
             cell(self.baseline_login_works),
@@ -86,9 +92,15 @@ pub fn extract_analytics_policy() -> PolicySet {
     let app = CorpusGenerator::solcalendar();
     let mut baseline = ProfileRun::new();
     baseline.record(java_stack_for(&app, app.functionality("fb-login").unwrap()));
-    baseline.record(java_stack_for(&app, app.functionality("calendar-sync").unwrap()));
+    baseline.record(java_stack_for(
+        &app,
+        app.functionality("calendar-sync").unwrap(),
+    ));
     let mut undesired = ProfileRun::new();
-    undesired.record(java_stack_for(&app, app.functionality("fb-analytics").unwrap()));
+    undesired.record(java_stack_for(
+        &app,
+        app.functionality("fb-analytics").unwrap(),
+    ));
     PolicyExtractor::new().extract(&baseline, &undesired, EnforcementLevel::Class)
 }
 
@@ -117,7 +129,11 @@ pub fn run() -> Result<FacebookCaseResult, Error> {
     // BorderPatrol: use the extractor-derived policy (equivalent to the
     // hand-written one) and verify the behavioural split.
     let extracted = extract_analytics_policy();
-    let policies = if extracted.is_empty() { analytics_block_policy() } else { extracted.clone() };
+    let policies = if extracted.is_empty() {
+        analytics_block_policy()
+    } else {
+        extracted.clone()
+    };
     let mut bp_testbed = Testbed::new(Deployment::BorderPatrol {
         policies,
         config: EnforcerConfig::default(),
@@ -162,7 +178,10 @@ mod tests {
         assert!(!policies.is_empty());
         // None of the extracted targets may touch the login path classes.
         for policy in policies.iter() {
-            assert!(!policy.target().contains("login"), "policy {policy} touches login");
+            assert!(
+                !policy.target().contains("login"),
+                "policy {policy} touches login"
+            );
             assert!(!policy.target().contains("LoginManager"));
         }
     }

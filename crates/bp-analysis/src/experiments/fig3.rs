@@ -32,14 +32,22 @@ pub struct Fig3Config {
 
 impl Default for Fig3Config {
     fn default() -> Self {
-        Fig3Config { corpus: CorpusConfig::small(17, 40), monkey_events: 400, monkey_seed: 11 }
+        Fig3Config {
+            corpus: CorpusConfig::small(17, 40),
+            monkey_events: 400,
+            monkey_seed: 11,
+        }
     }
 }
 
 impl Fig3Config {
     /// The paper-scale configuration (2,000 apps × 5,000 events).  Expensive.
     pub fn paper_scale() -> Self {
-        Fig3Config { corpus: CorpusConfig::paper_scale(), monkey_events: 5_000, monkey_seed: 11 }
+        Fig3Config {
+            corpus: CorpusConfig::paper_scale(),
+            monkey_events: 5_000,
+            monkey_seed: 11,
+        }
     }
 }
 

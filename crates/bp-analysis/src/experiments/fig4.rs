@@ -116,7 +116,9 @@ impl Fig4Result {
 /// Propagates stress-runner failures.
 pub fn run(config: &Fig4Config) -> Result<Fig4Result, Error> {
     let runner = StressRunner::new(config.iterations);
-    Ok(Fig4Result { configurations: runner.measure_all()? })
+    Ok(Fig4Result {
+        configurations: runner.measure_all()?,
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +132,10 @@ mod tests {
 
         // The nfqueue consumer adds on the order of a millisecond or less.
         let nfq = result.nfqueue_overhead().unwrap();
-        assert!(nfq.as_micros() >= 300 && nfq.as_micros() <= 1_500, "nfq overhead {nfq}");
+        assert!(
+            nfq.as_micros() >= 300 && nfq.as_micros() <= 1_500,
+            "nfq overhead {nfq}"
+        );
 
         // getStackTrace dominates the on-device overhead (~1.6 ms).
         let stack = result.get_stack_trace_overhead().unwrap();
@@ -162,7 +167,12 @@ mod tests {
         for pair in order.windows(2) {
             let a = result.latency(pair[0]).unwrap();
             let b = result.latency(pair[1]).unwrap();
-            assert!(b >= a, "{:?} should not be faster than {:?}", pair[1], pair[0]);
+            assert!(
+                b >= a,
+                "{:?} should not be faster than {:?}",
+                pair[1],
+                pair[0]
+            );
         }
         // And the SLIRP baseline is slower than the TAP baseline.
         assert!(

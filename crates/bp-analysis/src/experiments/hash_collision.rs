@@ -79,15 +79,17 @@ pub fn run(config: &HashCollisionConfig) -> Result<HashCollisionResult, Error> {
     let corpus = CorpusGenerator::generate(&config.corpus);
     let analyzer = OfflineAnalyzer::new();
     let mut db = SignatureDatabase::new();
-    let mut observed_collisions = 0usize;
     for spec in &corpus {
         let apk = spec.build_apk();
-        let tag = apk.hash().tag();
-        if db.contains(tag) {
-            observed_collisions += 1;
+        match analyzer.analyze_into(&apk, &mut db) {
+            Ok(_) => {}
+            // A collision is this experiment's observable, not a failure;
+            // the database has already recorded it.
+            Err(Error::InvalidState { .. }) => {}
+            Err(other) => return Err(other),
         }
-        analyzer.analyze_into(&apk, &mut db)?;
     }
+    let observed_collisions = db.collisions().len();
 
     Ok(HashCollisionResult {
         analytic,

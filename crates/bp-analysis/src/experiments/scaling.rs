@@ -22,14 +22,18 @@ pub struct ScalingConfig {
 
 impl Default for ScalingConfig {
     fn default() -> Self {
-        ScalingConfig { connection_counts: vec![10, 100, 1_000] }
+        ScalingConfig {
+            connection_counts: vec![10, 100, 1_000],
+        }
     }
 }
 
 impl ScalingConfig {
     /// The paper-scale sweep up to thousands of connections.
     pub fn paper_scale() -> Self {
-        ScalingConfig { connection_counts: vec![10, 100, 1_000, 5_000, 10_000] }
+        ScalingConfig {
+            connection_counts: vec![10, 100, 1_000, 5_000, 10_000],
+        }
     }
 }
 
@@ -45,7 +49,9 @@ impl ScalingResult {
     /// `tolerance_us` microseconds) across the sweep — the paper's
     /// amortisation claim.
     pub fn per_connection_cost_is_flat(&self, tolerance_us: u64) -> bool {
-        let Some(first) = self.points.first() else { return true };
+        let Some(first) = self.points.first() else {
+            return true;
+        };
         self.points.iter().all(|p| {
             p.mean_on_device_latency
                 .as_micros()
@@ -58,7 +64,11 @@ impl ScalingResult {
     pub fn to_table(&self) -> TextTable {
         let mut table = TextTable::new(
             "Connection scaling — per-connection overhead under full BorderPatrol",
-            &["connections", "mean on-device latency (ms)", "mean packets delivered"],
+            &[
+                "connections",
+                "mean on-device latency (ms)",
+                "mean packets delivered",
+            ],
         );
         for point in &self.points {
             table.add_row(vec![
@@ -77,7 +87,9 @@ impl ScalingResult {
 ///
 /// Propagates testbed failures.
 pub fn run(config: &ScalingConfig) -> Result<ScalingResult, Error> {
-    Ok(ScalingResult { points: connection_scaling(&config.connection_counts)? })
+    Ok(ScalingResult {
+        points: connection_scaling(&config.connection_counts)?,
+    })
 }
 
 #[cfg(test)]
@@ -86,7 +98,10 @@ mod tests {
 
     #[test]
     fn overhead_stays_flat_as_connections_grow() {
-        let result = run(&ScalingConfig { connection_counts: vec![5, 50, 200] }).unwrap();
+        let result = run(&ScalingConfig {
+            connection_counts: vec![5, 50, 200],
+        })
+        .unwrap();
         assert_eq!(result.points.len(), 3);
         assert!(result.per_connection_cost_is_flat(100));
         // Every connection delivered its packet(s).

@@ -101,7 +101,10 @@ impl IoiHistogram {
     /// The histogram as `(ioi_count, apps)` rows sorted by IoI count —
     /// the series plotted in Fig. 3.
     pub fn rows(&self) -> Vec<(usize, usize)> {
-        self.apps_by_ioi_count.iter().map(|(k, v)| (*k, *v)).collect()
+        self.apps_by_ioi_count
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 }
 
@@ -150,7 +153,10 @@ impl IoiAnalysis {
 
     /// Build the Fig. 3 histogram.
     pub fn histogram(&self) -> IoiHistogram {
-        let mut histogram = IoiHistogram { total_apps: self.total_apps, ..IoiHistogram::default() };
+        let mut histogram = IoiHistogram {
+            total_apps: self.total_apps,
+            ..IoiHistogram::default()
+        };
         for summary in self.per_app.values() {
             let count = summary.ioi_count();
             if count > 0 {
@@ -215,7 +221,9 @@ mod tests {
     #[test]
     fn apps_with_single_context_per_endpoint_have_no_ioi() {
         let mut testbed = Testbed::new(Deployment::None);
-        let app = testbed.install_app(CorpusGenerator::stress_test_app()).unwrap();
+        let app = testbed
+            .install_app(CorpusGenerator::stress_test_app())
+            .unwrap();
         testbed.run(app, "http-get").unwrap();
         testbed.run(app, "http-get").unwrap();
         let mut analysis = IoiAnalysis::new();

@@ -75,7 +75,10 @@ impl StackConfiguration {
 
     /// Whether packets are redirected into an NFQUEUE in this configuration.
     pub fn uses_nfqueue(self) -> bool {
-        !matches!(self, StackConfiguration::DefaultSlirp | StackConfiguration::DefaultTap)
+        !matches!(
+            self,
+            StackConfiguration::DefaultSlirp | StackConfiguration::DefaultTap
+        )
     }
 }
 
@@ -103,18 +106,27 @@ pub struct StressRunner {
 
 impl Default for StressRunner {
     fn default() -> Self {
-        StressRunner { iterations: 200, latency: LatencyModel::default() }
+        StressRunner {
+            iterations: 200,
+            latency: LatencyModel::default(),
+        }
     }
 }
 
 impl StressRunner {
     /// Create a runner issuing `iterations` requests per configuration.
     pub fn new(iterations: usize) -> Self {
-        StressRunner { iterations, ..StressRunner::default() }
+        StressRunner {
+            iterations,
+            ..StressRunner::default()
+        }
     }
 
     /// Build the testbed for one configuration.
-    fn build_testbed(&self, configuration: StackConfiguration) -> Result<(Testbed, bp_types::AppId), Error> {
+    fn build_testbed(
+        &self,
+        configuration: StackConfiguration,
+    ) -> Result<(Testbed, bp_types::AppId), Error> {
         let deployment = match configuration {
             StackConfiguration::DefaultSlirp | StackConfiguration::DefaultTap => Deployment::None,
             // (iii)-(v) use an empty-policy BorderPatrol network side; the
@@ -124,8 +136,11 @@ impl StressRunner {
                 config: EnforcerConfig::permissive(),
             },
         };
-        let mut testbed =
-            Testbed::with_options(deployment, configuration.interface_mode(), self.latency.clone());
+        let mut testbed = Testbed::with_options(
+            deployment,
+            configuration.interface_mode(),
+            self.latency.clone(),
+        );
 
         let spec = CorpusGenerator::stress_test_app();
         match configuration {
@@ -139,10 +154,14 @@ impl StressRunner {
                 // the static hook in addition, which dominates the outcome
                 // because the Context Manager is not registered for the app
                 // (it never injects).
-                testbed.device.install_hook(Box::new(StaticInjectHook::new(vec![0xAB; 12])));
+                testbed
+                    .device
+                    .install_hook(Box::new(StaticInjectHook::new(vec![0xAB; 12])));
             }
             StackConfiguration::StaticGetStackTapNfqueue => {
-                testbed.device.install_hook(Box::new(GetStackOnlyHook::new(vec![0xAB; 12])));
+                testbed
+                    .device
+                    .install_hook(Box::new(GetStackOnlyHook::new(vec![0xAB; 12])));
             }
             _ => {}
         }
@@ -161,7 +180,9 @@ impl StressRunner {
                     let ip = std::net::Ipv4Addr::new(203, 0, 113, 7);
                     testbed.network.register_server(host, ip, 297);
                 }
-                testbed.device.install_app(spec, bp_device::device::Profile::Work)
+                testbed
+                    .device
+                    .install_app(spec, bp_device::device::Profile::Work)
             }
         };
         Ok((testbed, app))
@@ -184,11 +205,15 @@ impl StressRunner {
         let mut total = SimDuration::ZERO;
         let mut requests = 0u64;
         for _ in 0..self.iterations {
-            let invocation = testbed.device.invoke_functionality(app, "http-get", endpoint)?;
+            let invocation = testbed
+                .device
+                .invoke_functionality(app, "http-get", endpoint)?;
             let mut request_latency = invocation.on_device_latency;
             for packet in invocation.packets {
-                if let Some(latency) =
-                    testbed.network.transmit(testbed.device.id(), packet).latency()
+                if let Some(latency) = testbed
+                    .network
+                    .transmit(testbed.device.id(), packet)
+                    .latency()
                 {
                     request_latency += latency;
                 }
@@ -198,7 +223,11 @@ impl StressRunner {
             requests += 1;
         }
         let mean_latency = SimDuration::from_micros(total.as_micros() / requests.max(1));
-        Ok(ConfigurationResult { configuration, requests, mean_latency })
+        Ok(ConfigurationResult {
+            configuration,
+            requests,
+            mean_latency,
+        })
     }
 
     /// Measure every configuration in Fig. 4 order.
@@ -207,7 +236,10 @@ impl StressRunner {
     ///
     /// Propagates the first measurement failure.
     pub fn measure_all(&self) -> Result<Vec<ConfigurationResult>, Error> {
-        StackConfiguration::ALL.iter().map(|c| self.measure(*c)).collect()
+        StackConfiguration::ALL
+            .iter()
+            .map(|c| self.measure(*c))
+            .collect()
     }
 }
 
@@ -269,8 +301,14 @@ mod tests {
     #[test]
     fn configuration_metadata() {
         assert_eq!(StackConfiguration::ALL.len(), 6);
-        assert_eq!(StackConfiguration::DefaultSlirp.interface_mode(), InterfaceMode::Slirp);
-        assert_eq!(StackConfiguration::DynamicTapNfqueue.interface_mode(), InterfaceMode::Tap);
+        assert_eq!(
+            StackConfiguration::DefaultSlirp.interface_mode(),
+            InterfaceMode::Slirp
+        );
+        assert_eq!(
+            StackConfiguration::DynamicTapNfqueue.interface_mode(),
+            InterfaceMode::Tap
+        );
         assert!(!StackConfiguration::DefaultTap.uses_nfqueue());
         assert!(StackConfiguration::DynamicTapNfqueue.uses_nfqueue());
         assert_eq!(StackConfiguration::DefaultSlirp.label(), "default-SLIRP");
@@ -280,8 +318,10 @@ mod tests {
     fn latency_ordering_matches_figure_4() {
         let runner = StressRunner::new(25);
         let results = runner.measure_all().unwrap();
-        let by_config: std::collections::BTreeMap<_, _> =
-            results.iter().map(|r| (r.configuration, r.mean_latency)).collect();
+        let by_config: std::collections::BTreeMap<_, _> = results
+            .iter()
+            .map(|r| (r.configuration, r.mean_latency))
+            .collect();
 
         let slirp = by_config[&StackConfiguration::DefaultSlirp];
         let tap = by_config[&StackConfiguration::DefaultTap];
@@ -315,7 +355,10 @@ mod tests {
             .mean_on_device_latency
             .as_micros()
             .abs_diff(points[0].mean_on_device_latency.as_micros());
-        assert!(diff < 100, "per-connection cost should stay flat, diff {diff}us");
+        assert!(
+            diff < 100,
+            "per-connection cost should stay flat, diff {diff}us"
+        );
         assert!(points.iter().all(|p| p.mean_packets >= 1.0));
     }
 }

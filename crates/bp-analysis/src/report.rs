@@ -39,7 +39,10 @@ impl TextTable {
 
     /// Render the table as text.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, cell) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
@@ -52,9 +55,9 @@ impl TextTable {
 
         let format_row = |cells: &[String]| -> String {
             let mut line = String::from("| ");
-            for i in 0..columns {
+            for (i, &width) in widths.iter().enumerate().take(columns) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$} | ", width = widths[i]));
+                line.push_str(&format!("{cell:<width$} | "));
             }
             line.trim_end().to_string()
         };
@@ -63,7 +66,10 @@ impl TextTable {
         out.push_str(&format!("{}\n", self.title));
         out.push_str(&format_row(&self.header));
         out.push('\n');
-        let rule: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        let rule: String = widths
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect();
         out.push_str(&format!("{rule}|\n"));
         for row in &self.rows {
             out.push_str(&format_row(row));

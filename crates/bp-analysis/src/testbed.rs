@@ -152,23 +152,41 @@ impl Testbed {
                 )));
                 let sanitizer = Arc::new(Mutex::new(PacketSanitizer::new()));
                 let chain = self.network.chain_mut();
-                chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
-                chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(2) });
-                chain.register_queue(1, Arc::clone(&enforcer) as Arc<Mutex<dyn bp_netsim::netfilter::QueueHandler>>);
-                chain.register_queue(2, Arc::clone(&sanitizer) as Arc<Mutex<dyn bp_netsim::netfilter::QueueHandler>>);
+                chain.add_rule(IptablesRule {
+                    matcher: RuleMatch::any(),
+                    action: RuleAction::Queue(1),
+                });
+                chain.add_rule(IptablesRule {
+                    matcher: RuleMatch::any(),
+                    action: RuleAction::Queue(2),
+                });
+                chain.register_queue(
+                    1,
+                    Arc::clone(&enforcer) as Arc<Mutex<dyn bp_netsim::netfilter::QueueHandler>>,
+                );
+                chain.register_queue(
+                    2,
+                    Arc::clone(&sanitizer) as Arc<Mutex<dyn bp_netsim::netfilter::QueueHandler>>,
+                );
                 self.enforcer = Some(enforcer);
                 self.sanitizer = Some(sanitizer);
             }
             Deployment::IpBlocklist(blocklist) => {
                 let handler = Arc::new(Mutex::new(blocklist));
                 let chain = self.network.chain_mut();
-                chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+                chain.add_rule(IptablesRule {
+                    matcher: RuleMatch::any(),
+                    action: RuleAction::Queue(1),
+                });
                 chain.register_queue(1, handler);
             }
             Deployment::FlowThreshold(threshold) => {
                 let handler = Arc::new(Mutex::new(threshold));
                 let chain = self.network.chain_mut();
-                chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+                chain.add_rule(IptablesRule {
+                    matcher: RuleMatch::any(),
+                    action: RuleAction::Queue(1),
+                });
                 chain.register_queue(1, handler);
             }
         }
@@ -188,7 +206,10 @@ impl Testbed {
 
     /// The most recent drop reasons recorded by the enforcer.
     pub fn enforcer_drop_log(&self) -> Vec<String> {
-        self.enforcer.as_ref().map(|e| e.lock().drop_log().to_vec()).unwrap_or_default()
+        self.enforcer
+            .as_ref()
+            .map(|e| e.lock().drop_log())
+            .unwrap_or_default()
     }
 
     /// The sanitizer statistics, if BorderPatrol is deployed.
@@ -279,7 +300,9 @@ impl Testbed {
             .ok_or_else(|| Error::not_found("registered host", host.clone()))?;
         let endpoint = Endpoint::from_ip(destination_ip, 443);
 
-        let invocation = self.device.invoke_functionality(app, functionality, endpoint)?;
+        let invocation = self
+            .device
+            .invoke_functionality(app, functionality, endpoint)?;
         let device_id = self.device.id();
 
         let mut delivered = 0usize;
@@ -362,7 +385,10 @@ mod tests {
     use bp_types::EnforcementLevel;
 
     fn borderpatrol_testbed(policies: PolicySet) -> Testbed {
-        Testbed::new(Deployment::BorderPatrol { policies, config: EnforcerConfig::default() })
+        Testbed::new(Deployment::BorderPatrol {
+            policies,
+            config: EnforcerConfig::default(),
+        })
     }
 
     #[test]
@@ -385,7 +411,10 @@ mod tests {
         let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
 
         let upload = testbed.run(app, "upload").unwrap();
-        assert!(upload.fully_blocked(), "upload should be blocked: {upload:?}");
+        assert!(
+            upload.fully_blocked(),
+            "upload should be blocked: {upload:?}"
+        );
         assert_eq!(upload.dropped_by.as_deref(), Some("policy-enforcer"));
 
         let download = testbed.run(app, "download").unwrap();
@@ -405,7 +434,10 @@ mod tests {
         testbed.run(app, "fb-login").unwrap();
 
         // Packets on the WAN side must not carry the context option.
-        assert_eq!(testbed.network.post_chain_capture().packets_with_context(), 0);
+        assert_eq!(
+            testbed.network.post_chain_capture().packets_with_context(),
+            0
+        );
         // But the device did emit tagged packets (visible pre-chain).
         assert!(testbed.network.pre_chain_capture().packets_with_context() > 0);
         assert!(testbed.sanitizer_stats().unwrap().options_stripped > 0);
@@ -448,7 +480,10 @@ mod tests {
         let app = testbed.install_app(CorpusGenerator::solcalendar()).unwrap();
 
         // Address assignment is deterministic, so the blocklisted IP matches.
-        assert_eq!(testbed.host_address("graph.facebook.com").unwrap(), graph_ip);
+        assert_eq!(
+            testbed.host_address("graph.facebook.com").unwrap(),
+            graph_ip
+        );
         let login = testbed.run(app, "fb-login").unwrap();
         let analytics = testbed.run(app, "fb-analytics").unwrap();
         let sync = testbed.run(app, "calendar-sync").unwrap();

@@ -60,11 +60,7 @@ pub struct AppSpec {
 
 impl AppSpec {
     /// Create a minimal app spec with no functionalities.
-    pub fn new(
-        package_name: impl Into<String>,
-        category: AppCategory,
-        downloads: u64,
-    ) -> Self {
+    pub fn new(package_name: impl Into<String>, category: AppCategory, downloads: u64) -> Self {
         let package_name = package_name.into();
         let main_package = package_name.replace('.', "/");
         AppSpec {
@@ -111,13 +107,19 @@ impl AppSpec {
 
     /// Names of all functionalities.
     pub fn functionality_names(&self) -> Vec<&str> {
-        self.functionalities.iter().map(|f| f.name.as_str()).collect()
+        self.functionalities
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect()
     }
 
     /// All DNS endpoints this app talks to (deduplicated, sorted).
     pub fn endpoint_hosts(&self) -> Vec<String> {
-        let mut hosts: Vec<String> =
-            self.functionalities.iter().map(|f| f.endpoint_host.clone()).collect();
+        let mut hosts: Vec<String> = self
+            .functionalities
+            .iter()
+            .map(|f| f.endpoint_host.clone())
+            .collect();
         hosts.sort();
         hosts.dedup();
         hosts
@@ -163,7 +165,9 @@ impl AppSpec {
         if !self.debug_info {
             return None;
         }
-        self.line_windows().get(signature).map(|(start, _)| start + 3)
+        self.line_windows()
+            .get(signature)
+            .map(|(start, _)| start + 3)
     }
 
     /// Build the apk container for this app.
@@ -222,7 +226,9 @@ impl AppSpec {
         }
 
         debug_assert!(
-            builders.iter().all(|b| b.method_count() <= MAX_METHODS_PER_DEX),
+            builders
+                .iter()
+                .all(|b| b.method_count() <= MAX_METHODS_PER_DEX),
             "synthetic apps stay within the per-dex method limit"
         );
 
@@ -233,8 +239,11 @@ impl AppSpec {
         }
         apk.add_entry(
             "res/values/strings.xml",
-            format!("<resources><string name=\"app_name\">{}</string></resources>", self.package_name)
-                .into_bytes(),
+            format!(
+                "<resources><string name=\"app_name\">{}</string></resources>",
+                self.package_name
+            )
+            .into_bytes(),
         )
         .build()
     }
@@ -247,12 +256,14 @@ mod tests {
     use bp_dex::MethodTable;
 
     fn sample_app() -> AppSpec {
-        let upload_chain = CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onUploadClicked")
-            .then("com/cloudy/app/tasks", "UploadTask", "run", "", "V")
-            .build();
-        let download_chain = CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onOpenClicked")
-            .then("com/cloudy/app/tasks", "DownloadTask", "run", "", "V")
-            .build();
+        let upload_chain =
+            CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onUploadClicked")
+                .then("com/cloudy/app/tasks", "UploadTask", "run", "", "V")
+                .build();
+        let download_chain =
+            CallChainBuilder::ui_entry("com/cloudy/app", "MainActivity", "onOpenClicked")
+                .then("com/cloudy/app/tasks", "DownloadTask", "run", "", "V")
+                .build();
         AppSpec::new("com.cloudy.app", AppCategory::Productivity, 1_000_000)
             .with_library("com/flurry")
             .with_functionality(Functionality::new(

@@ -121,7 +121,9 @@ impl LibraryCatalog {
 
     /// An empty catalog (useful for tests).
     pub fn empty() -> Self {
-        LibraryCatalog { libraries: Vec::new() }
+        LibraryCatalog {
+            libraries: Vec::new(),
+        }
     }
 
     /// Add a library to the catalog.
@@ -151,12 +153,17 @@ impl LibraryCatalog {
 
     /// Package prefixes of all exfiltrating libraries.
     pub fn exfiltrating_prefixes(&self) -> Vec<String> {
-        self.exfiltrating().map(|l| l.package_prefix.clone()).collect()
+        self.exfiltrating()
+            .map(|l| l.package_prefix.clone())
+            .collect()
     }
 
     /// Libraries of a given category.
     pub fn by_category(&self, category: LibraryCategory) -> Vec<&LibraryInfo> {
-        self.libraries.iter().filter(|l| l.category == category).collect()
+        self.libraries
+            .iter()
+            .filter(|l| l.category == category)
+            .collect()
     }
 
     /// Find the library whose package prefix matches `prefix` exactly.
@@ -206,24 +213,150 @@ fn named_libraries() -> Vec<LibraryInfo> {
         endpoint_host: endpoint.to_string(),
     };
     vec![
-        lib("Flurry Analytics", "com/flurry", LibraryCategory::Analytics, true, 95, "data.flurry.com"),
-        lib("Google Mobile Services Analytics", "com/google/gms", LibraryCategory::Analytics, true, 100, "app-measurement.com"),
-        lib("Google AdMob", "com/google/ads", LibraryCategory::Advertising, true, 98, "googleads.g.doubleclick.net"),
-        lib("Facebook SDK", "com/facebook", LibraryCategory::SocialSdk, true, 90, "graph.facebook.com"),
-        lib("MoPub Ads", "com/mopub", LibraryCategory::Advertising, true, 70, "ads.mopub.com"),
-        lib("Crashlytics", "com/crashlytics", LibraryCategory::CrashReporting, true, 85, "settings.crashlytics.com"),
-        lib("Mixpanel", "com/mixpanel", LibraryCategory::Analytics, true, 60, "api.mixpanel.com"),
-        lib("AppsFlyer", "com/appsflyer", LibraryCategory::Tracking, true, 55, "t.appsflyer.com"),
-        lib("Adjust", "com/adjust/sdk", LibraryCategory::Tracking, true, 50, "app.adjust.com"),
-        lib("InMobi Ads", "com/inmobi", LibraryCategory::Advertising, true, 45, "sdk.inmobi.com"),
-        lib("Chartboost", "com/chartboost", LibraryCategory::Advertising, true, 40, "live.chartboost.com"),
-        lib("Amplitude", "com/amplitude", LibraryCategory::Analytics, true, 35, "api.amplitude.com"),
-        lib("Apache HTTP Client", "org/apache/http", LibraryCategory::Networking, false, 92, ""),
-        lib("OkHttp", "com/squareup/okhttp", LibraryCategory::Networking, false, 88, ""),
-        lib("Dropbox Core SDK", "com/dropbox/core", LibraryCategory::CloudStorage, false, 65, "api.dropbox.com"),
-        lib("Box Android SDK", "com/box/androidsdk", LibraryCategory::CloudStorage, false, 45, "api.box.com"),
-        lib("Stripe Payments", "com/stripe", LibraryCategory::Payments, false, 42, "api.stripe.com"),
-        lib("Gson", "com/google/gson", LibraryCategory::Utility, false, 96, ""),
+        lib(
+            "Flurry Analytics",
+            "com/flurry",
+            LibraryCategory::Analytics,
+            true,
+            95,
+            "data.flurry.com",
+        ),
+        lib(
+            "Google Mobile Services Analytics",
+            "com/google/gms",
+            LibraryCategory::Analytics,
+            true,
+            100,
+            "app-measurement.com",
+        ),
+        lib(
+            "Google AdMob",
+            "com/google/ads",
+            LibraryCategory::Advertising,
+            true,
+            98,
+            "googleads.g.doubleclick.net",
+        ),
+        lib(
+            "Facebook SDK",
+            "com/facebook",
+            LibraryCategory::SocialSdk,
+            true,
+            90,
+            "graph.facebook.com",
+        ),
+        lib(
+            "MoPub Ads",
+            "com/mopub",
+            LibraryCategory::Advertising,
+            true,
+            70,
+            "ads.mopub.com",
+        ),
+        lib(
+            "Crashlytics",
+            "com/crashlytics",
+            LibraryCategory::CrashReporting,
+            true,
+            85,
+            "settings.crashlytics.com",
+        ),
+        lib(
+            "Mixpanel",
+            "com/mixpanel",
+            LibraryCategory::Analytics,
+            true,
+            60,
+            "api.mixpanel.com",
+        ),
+        lib(
+            "AppsFlyer",
+            "com/appsflyer",
+            LibraryCategory::Tracking,
+            true,
+            55,
+            "t.appsflyer.com",
+        ),
+        lib(
+            "Adjust",
+            "com/adjust/sdk",
+            LibraryCategory::Tracking,
+            true,
+            50,
+            "app.adjust.com",
+        ),
+        lib(
+            "InMobi Ads",
+            "com/inmobi",
+            LibraryCategory::Advertising,
+            true,
+            45,
+            "sdk.inmobi.com",
+        ),
+        lib(
+            "Chartboost",
+            "com/chartboost",
+            LibraryCategory::Advertising,
+            true,
+            40,
+            "live.chartboost.com",
+        ),
+        lib(
+            "Amplitude",
+            "com/amplitude",
+            LibraryCategory::Analytics,
+            true,
+            35,
+            "api.amplitude.com",
+        ),
+        lib(
+            "Apache HTTP Client",
+            "org/apache/http",
+            LibraryCategory::Networking,
+            false,
+            92,
+            "",
+        ),
+        lib(
+            "OkHttp",
+            "com/squareup/okhttp",
+            LibraryCategory::Networking,
+            false,
+            88,
+            "",
+        ),
+        lib(
+            "Dropbox Core SDK",
+            "com/dropbox/core",
+            LibraryCategory::CloudStorage,
+            false,
+            65,
+            "api.dropbox.com",
+        ),
+        lib(
+            "Box Android SDK",
+            "com/box/androidsdk",
+            LibraryCategory::CloudStorage,
+            false,
+            45,
+            "api.box.com",
+        ),
+        lib(
+            "Stripe Payments",
+            "com/stripe",
+            LibraryCategory::Payments,
+            false,
+            42,
+            "api.stripe.com",
+        ),
+        lib(
+            "Gson",
+            "com/google/gson",
+            LibraryCategory::Utility,
+            false,
+            96,
+            "",
+        ),
     ]
 }
 
@@ -264,7 +397,9 @@ mod tests {
     #[test]
     fn owner_of_matches_on_segment_boundaries() {
         let catalog = LibraryCatalog::builtin();
-        let sig: MethodSignature = "Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V".parse().unwrap();
+        let sig: MethodSignature = "Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"
+            .parse()
+            .unwrap();
         assert_eq!(catalog.owner_of(&sig).unwrap().package_prefix, "com/flurry");
         let app_sig: MethodSignature = "Lcom/example/app/Main;->run()V".parse().unwrap();
         assert!(catalog.owner_of(&app_sig).is_none());

@@ -169,8 +169,16 @@ impl CallChainBuilder {
     }
 
     /// Append a frame.
-    pub fn then(mut self, package: &str, class: &str, method: &str, params: &str, ret: &str) -> Self {
-        self.frames.push(MethodSignature::new(package, class, method, params, ret));
+    pub fn then(
+        mut self,
+        package: &str,
+        class: &str,
+        method: &str,
+        params: &str,
+        ret: &str,
+    ) -> Self {
+        self.frames
+            .push(MethodSignature::new(package, class, method, params, ret));
         self
     }
 
@@ -181,7 +189,8 @@ impl CallChainBuilder {
     /// Panics if the descriptor does not parse; chains are built from
     /// compile-time constants inside this workspace.
     pub fn then_descriptor(mut self, descriptor: &str) -> Self {
-        self.frames.push(descriptor.parse().expect("valid descriptor literal"));
+        self.frames
+            .push(descriptor.parse().expect("valid descriptor literal"));
         self
     }
 
@@ -197,8 +206,20 @@ mod tests {
 
     fn chain() -> Vec<MethodSignature> {
         CallChainBuilder::ui_entry("com/example/app", "MainActivity", "onUploadClicked")
-            .then("com/example/app/net", "Uploader", "uploadFile", "Ljava/lang/String;", "V")
-            .then("org/apache/http/client", "HttpClient", "execute", "Lorg/apache/http/HttpRequest;", "Lorg/apache/http/HttpResponse;")
+            .then(
+                "com/example/app/net",
+                "Uploader",
+                "uploadFile",
+                "Ljava/lang/String;",
+                "V",
+            )
+            .then(
+                "org/apache/http/client",
+                "HttpClient",
+                "execute",
+                "Lorg/apache/http/HttpRequest;",
+                "Lorg/apache/http/HttpResponse;",
+            )
             .build()
     }
 
@@ -209,9 +230,18 @@ mod tests {
         assert!(!FunctionalityKind::Upload.default_desirable());
         assert!(!FunctionalityKind::Analytics.default_desirable());
         assert!(!FunctionalityKind::Advertisement.default_desirable());
-        assert_eq!(FunctionalityKind::Upload.request_kind(), RequestKind::Upload);
-        assert_eq!(FunctionalityKind::Download.request_kind(), RequestKind::Fetch);
-        assert_eq!(FunctionalityKind::Analytics.request_kind(), RequestKind::Submit);
+        assert_eq!(
+            FunctionalityKind::Upload.request_kind(),
+            RequestKind::Upload
+        );
+        assert_eq!(
+            FunctionalityKind::Download.request_kind(),
+            RequestKind::Fetch
+        );
+        assert_eq!(
+            FunctionalityKind::Analytics.request_kind(),
+            RequestKind::Submit
+        );
     }
 
     #[test]
@@ -248,7 +278,9 @@ mod tests {
     #[test]
     fn then_descriptor_parses_full_signatures() {
         let frames = CallChainBuilder::ui_entry("com/app", "Main", "onClick")
-            .then_descriptor("Lcom/facebook/GraphRequest;->executeAndWait()Lcom/facebook/GraphResponse;")
+            .then_descriptor(
+                "Lcom/facebook/GraphRequest;->executeAndWait()Lcom/facebook/GraphResponse;",
+            )
             .build();
         assert_eq!(frames[1].package(), "com/facebook");
     }

@@ -85,7 +85,10 @@ pub struct CorpusGenerator {
 impl CorpusGenerator {
     /// Create a generator with the given seed and the built-in library catalog.
     pub fn new(seed: u64) -> Self {
-        CorpusGenerator { rng: StdRng::seed_from_u64(seed), catalog: LibraryCatalog::builtin() }
+        CorpusGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            catalog: LibraryCatalog::builtin(),
+        }
     }
 
     /// The library catalog the generator draws from.
@@ -149,13 +152,20 @@ impl CorpusGenerator {
             for _ in 0..count {
                 // Popularity-weighted pick from the first 40 entries (named
                 // libraries dominate, mirroring real-world concentration).
-                let idx = self.rng.gen_range(0..flagged.len().min(40).max(1));
+                let idx = self.rng.gen_range(0..flagged.len().clamp(1, 40));
                 let lib = flagged[idx];
                 if app.libraries.contains(&lib.package_prefix) {
                     continue;
                 }
-                let functionality = library_beacon(&main_package, lib.package_prefix.as_str(), &lib.endpoint_host, lib.category);
-                app = app.with_library(lib.package_prefix.clone()).with_functionality(functionality);
+                let functionality = library_beacon(
+                    &main_package,
+                    lib.package_prefix.as_str(),
+                    &lib.endpoint_host,
+                    lib.category,
+                );
+                app = app
+                    .with_library(lib.package_prefix.clone())
+                    .with_functionality(functionality);
                 // Many SDKs expose a second, distinct code path talking to the
                 // same backend (config fetch, identity call, …): this is the
                 // dominant source of *same-package* IPs-of-interest in the
@@ -174,10 +184,9 @@ impl CorpusGenerator {
         // observation that a quarter of IoIs mix packages because of common
         // HTTP client reuse).
         if self.rng.gen_bool(0.06) {
-            app = app.with_library("org/apache/http").with_functionality(shared_http_fetch(
-                &main_package,
-                &api_host,
-            ));
+            app = app
+                .with_library("org/apache/http")
+                .with_functionality(shared_http_fetch(&main_package, &api_host));
         }
 
         if self.rng.gen_bool(config.stripped_debug_probability) {
@@ -193,60 +202,112 @@ impl CorpusGenerator {
     /// all talking to the same `api.dropbox.com` endpoint (paper §VI-C).
     pub fn dropbox() -> AppSpec {
         let pkg = "com/dropbox/android";
-        AppSpec::new("com.dropbox.android", AppCategory::Productivity, 500_000_000)
-            .with_library("com/dropbox/core")
-            .with_functionality(
-                Functionality::new(
-                    "auth",
-                    FunctionalityKind::Login,
-                    "api.dropbox.com",
-                    CallChainBuilder::ui_entry(pkg, "LoginActivity", "onLoginClicked")
-                        .then("com/dropbox/android/auth", "AuthManager", "authenticate", "Ljava/lang/String;", "Z")
-                        .then("com/dropbox/core", "DbxRequestUtil", "doPost", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
-                        .build(),
-                    420,
-                )
-                .with_trigger_weight(6),
+        AppSpec::new(
+            "com.dropbox.android",
+            AppCategory::Productivity,
+            500_000_000,
+        )
+        .with_library("com/dropbox/core")
+        .with_functionality(
+            Functionality::new(
+                "auth",
+                FunctionalityKind::Login,
+                "api.dropbox.com",
+                CallChainBuilder::ui_entry(pkg, "LoginActivity", "onLoginClicked")
+                    .then(
+                        "com/dropbox/android/auth",
+                        "AuthManager",
+                        "authenticate",
+                        "Ljava/lang/String;",
+                        "Z",
+                    )
+                    .then(
+                        "com/dropbox/core",
+                        "DbxRequestUtil",
+                        "doPost",
+                        "Ljava/lang/String;",
+                        "Lcom/dropbox/core/http/HttpRequestor$Response;",
+                    )
+                    .build(),
+                420,
             )
-            .with_functionality(
-                Functionality::new(
-                    "browse",
-                    FunctionalityKind::Browse,
-                    "api.dropbox.com",
-                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onRefresh")
-                        .then("com/dropbox/android/filemanager", "ListFolderTask", "run", "", "V")
-                        .then("com/dropbox/core", "DbxRequestUtil", "doGet", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
-                        .build(),
-                    310,
-                )
-                .with_trigger_weight(14),
+            .with_trigger_weight(6),
+        )
+        .with_functionality(
+            Functionality::new(
+                "browse",
+                FunctionalityKind::Browse,
+                "api.dropbox.com",
+                CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onRefresh")
+                    .then(
+                        "com/dropbox/android/filemanager",
+                        "ListFolderTask",
+                        "run",
+                        "",
+                        "V",
+                    )
+                    .then(
+                        "com/dropbox/core",
+                        "DbxRequestUtil",
+                        "doGet",
+                        "Ljava/lang/String;",
+                        "Lcom/dropbox/core/http/HttpRequestor$Response;",
+                    )
+                    .build(),
+                310,
             )
-            .with_functionality(
-                Functionality::new(
-                    "download",
-                    FunctionalityKind::Download,
-                    "api.dropbox.com",
-                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onFileOpened")
-                        .then("com/dropbox/android/taskqueue", "DownloadTask", "c", "", "Lcom/dropbox/hairball/taskqueue/TaskResult;")
-                        .then("com/dropbox/core", "DbxRequestUtil", "doGet", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
-                        .build(),
-                    280,
-                )
-                .with_trigger_weight(10),
+            .with_trigger_weight(14),
+        )
+        .with_functionality(
+            Functionality::new(
+                "download",
+                FunctionalityKind::Download,
+                "api.dropbox.com",
+                CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onFileOpened")
+                    .then(
+                        "com/dropbox/android/taskqueue",
+                        "DownloadTask",
+                        "c",
+                        "",
+                        "Lcom/dropbox/hairball/taskqueue/TaskResult;",
+                    )
+                    .then(
+                        "com/dropbox/core",
+                        "DbxRequestUtil",
+                        "doGet",
+                        "Ljava/lang/String;",
+                        "Lcom/dropbox/core/http/HttpRequestor$Response;",
+                    )
+                    .build(),
+                280,
             )
-            .with_functionality(
-                Functionality::new(
-                    "upload",
-                    FunctionalityKind::Upload,
-                    "api.dropbox.com",
-                    CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onUploadSelected")
-                        .then("com/dropbox/android/taskqueue", "UploadTask", "c", "", "Lcom/dropbox/hairball/taskqueue/TaskResult;")
-                        .then("com/dropbox/core", "DbxRequestUtil", "doPut", "Ljava/lang/String;", "Lcom/dropbox/core/http/HttpRequestor$Response;")
-                        .build(),
-                    2_500_000,
-                )
-                .with_trigger_weight(8),
+            .with_trigger_weight(10),
+        )
+        .with_functionality(
+            Functionality::new(
+                "upload",
+                FunctionalityKind::Upload,
+                "api.dropbox.com",
+                CallChainBuilder::ui_entry(pkg, "BrowserActivity", "onUploadSelected")
+                    .then(
+                        "com/dropbox/android/taskqueue",
+                        "UploadTask",
+                        "c",
+                        "",
+                        "Lcom/dropbox/hairball/taskqueue/TaskResult;",
+                    )
+                    .then(
+                        "com/dropbox/core",
+                        "DbxRequestUtil",
+                        "doPut",
+                        "Ljava/lang/String;",
+                        "Lcom/dropbox/core/http/HttpRequestor$Response;",
+                    )
+                    .build(),
+                2_500_000,
             )
+            .with_trigger_weight(8),
+        )
     }
 
     /// The Box case-study app: upload uses a *different* endpoint than
@@ -263,7 +324,13 @@ impl CorpusGenerator {
                     FunctionalityKind::Login,
                     "api.box.com",
                     CallChainBuilder::ui_entry(pkg, "SplashActivity", "onLogin")
-                        .then("com/box/androidsdk/content/auth", "BoxAuthentication", "login", "Ljava/lang/String;", "Z")
+                        .then(
+                            "com/box/androidsdk/content/auth",
+                            "BoxAuthentication",
+                            "login",
+                            "Ljava/lang/String;",
+                            "Z",
+                        )
                         .build(),
                     380,
                 )
@@ -275,7 +342,13 @@ impl CorpusGenerator {
                     FunctionalityKind::Browse,
                     "api.box.com",
                     CallChainBuilder::ui_entry(pkg, "FolderActivity", "onRefresh")
-                        .then("com/box/androidsdk/content/requests", "BoxRequestsFolder$GetFolderItems", "send", "", "Lcom/box/androidsdk/content/models/BoxIteratorItems;")
+                        .then(
+                            "com/box/androidsdk/content/requests",
+                            "BoxRequestsFolder$GetFolderItems",
+                            "send",
+                            "",
+                            "Lcom/box/androidsdk/content/models/BoxIteratorItems;",
+                        )
                         .build(),
                     290,
                 )
@@ -287,7 +360,13 @@ impl CorpusGenerator {
                     FunctionalityKind::Download,
                     "api.box.com",
                     CallChainBuilder::ui_entry(pkg, "FolderActivity", "onFileOpened")
-                        .then("com/box/androidsdk/content/requests", "BoxRequestDownload", "send", "", "Lcom/box/androidsdk/content/models/BoxDownload;")
+                        .then(
+                            "com/box/androidsdk/content/requests",
+                            "BoxRequestDownload",
+                            "send",
+                            "",
+                            "Lcom/box/androidsdk/content/models/BoxDownload;",
+                        )
                         .build(),
                     260,
                 )
@@ -299,7 +378,13 @@ impl CorpusGenerator {
                     FunctionalityKind::Upload,
                     "upload.box.com",
                     CallChainBuilder::ui_entry(pkg, "FolderActivity", "onUploadSelected")
-                        .then("com/box/androidsdk/content/requests", "BoxRequestUpload", "send", "", "Lcom/box/androidsdk/content/models/BoxFile;")
+                        .then(
+                            "com/box/androidsdk/content/requests",
+                            "BoxRequestUpload",
+                            "send",
+                            "",
+                            "Lcom/box/androidsdk/content/models/BoxFile;",
+                        )
                         .build(),
                     1_800_000,
                 )
@@ -312,65 +397,104 @@ impl CorpusGenerator {
     /// (paper §VI-C).
     pub fn solcalendar() -> AppSpec {
         let pkg = "net/daum/android/solcalendar";
-        AppSpec::new("net.daum.android.solcalendar", AppCategory::Productivity, 5_000_000)
-            .with_library("com/facebook")
-            .with_functionality(
-                Functionality::new(
-                    "fb-login",
-                    FunctionalityKind::Login,
-                    "graph.facebook.com",
-                    CallChainBuilder::ui_entry(pkg, "SettingsActivity", "onFacebookLoginClicked")
-                        .then("com/facebook/login", "LoginManager", "logInWithReadPermissions", "Ljava/util/Collection;", "V")
-                        .then("com/facebook", "GraphRequest", "executeAndWait", "", "Lcom/facebook/GraphResponse;")
-                        .build(),
-                    450,
-                )
-                .with_trigger_weight(5),
+        AppSpec::new(
+            "net.daum.android.solcalendar",
+            AppCategory::Productivity,
+            5_000_000,
+        )
+        .with_library("com/facebook")
+        .with_functionality(
+            Functionality::new(
+                "fb-login",
+                FunctionalityKind::Login,
+                "graph.facebook.com",
+                CallChainBuilder::ui_entry(pkg, "SettingsActivity", "onFacebookLoginClicked")
+                    .then(
+                        "com/facebook/login",
+                        "LoginManager",
+                        "logInWithReadPermissions",
+                        "Ljava/util/Collection;",
+                        "V",
+                    )
+                    .then(
+                        "com/facebook",
+                        "GraphRequest",
+                        "executeAndWait",
+                        "",
+                        "Lcom/facebook/GraphResponse;",
+                    )
+                    .build(),
+                450,
             )
-            .with_functionality(
-                Functionality::new(
-                    "fb-analytics",
-                    FunctionalityKind::Analytics,
-                    "graph.facebook.com",
-                    CallChainBuilder::ui_entry(pkg, "CalendarActivity", "onResume")
-                        .then("com/facebook/appevents", "AppEventsLogger", "logEvent", "Ljava/lang/String;", "V")
-                        .then("com/facebook", "GraphRequest", "executeAndWait", "", "Lcom/facebook/GraphResponse;")
-                        .build(),
-                    190,
-                )
-                .with_trigger_weight(20),
+            .with_trigger_weight(5),
+        )
+        .with_functionality(
+            Functionality::new(
+                "fb-analytics",
+                FunctionalityKind::Analytics,
+                "graph.facebook.com",
+                CallChainBuilder::ui_entry(pkg, "CalendarActivity", "onResume")
+                    .then(
+                        "com/facebook/appevents",
+                        "AppEventsLogger",
+                        "logEvent",
+                        "Ljava/lang/String;",
+                        "V",
+                    )
+                    .then(
+                        "com/facebook",
+                        "GraphRequest",
+                        "executeAndWait",
+                        "",
+                        "Lcom/facebook/GraphResponse;",
+                    )
+                    .build(),
+                190,
             )
-            .with_functionality(
-                Functionality::new(
-                    "calendar-sync",
-                    FunctionalityKind::Sync,
-                    "calendar.daum.example",
-                    CallChainBuilder::ui_entry(pkg, "SyncService", "onPerformSync")
-                        .then("net/daum/android/solcalendar/sync", "CalendarSyncAdapter", "fetchEvents", "", "V")
-                        .build(),
-                    600,
-                )
-                .with_trigger_weight(12),
+            .with_trigger_weight(20),
+        )
+        .with_functionality(
+            Functionality::new(
+                "calendar-sync",
+                FunctionalityKind::Sync,
+                "calendar.daum.example",
+                CallChainBuilder::ui_entry(pkg, "SyncService", "onPerformSync")
+                    .then(
+                        "net/daum/android/solcalendar/sync",
+                        "CalendarSyncAdapter",
+                        "fetchEvents",
+                        "",
+                        "V",
+                    )
+                    .build(),
+                600,
             )
+            .with_trigger_weight(12),
+        )
     }
 
     /// The network stress-test app used for the Fig. 4 latency measurements:
     /// one functionality that issues an HTTP GET for the 297-byte static page.
     pub fn stress_test_app() -> AppSpec {
         let pkg = "com/bp/stresstest";
-        AppSpec::new("com.bp.stresstest", AppCategory::Productivity, 1)
-            .with_functionality(
-                Functionality::new(
-                    "http-get",
-                    FunctionalityKind::ContentFetch,
-                    "stress.local",
-                    CallChainBuilder::ui_entry(pkg, "StressActivity", "onIteration")
-                        .then("com/bp/stresstest/net", "HttpFetcher", "fetchOnce", "Ljava/lang/String;", "V")
-                        .build(),
-                    64,
-                )
-                .with_trigger_weight(100),
+        AppSpec::new("com.bp.stresstest", AppCategory::Productivity, 1).with_functionality(
+            Functionality::new(
+                "http-get",
+                FunctionalityKind::ContentFetch,
+                "stress.local",
+                CallChainBuilder::ui_entry(pkg, "StressActivity", "onIteration")
+                    .then(
+                        "com/bp/stresstest/net",
+                        "HttpFetcher",
+                        "fetchOnce",
+                        "Ljava/lang/String;",
+                        "V",
+                    )
+                    .build(),
+                64,
             )
+            .with_trigger_weight(100),
+        )
     }
 
     /// All three case-study apps.
@@ -385,7 +509,13 @@ fn core_fetch(main_package: &str, host: &str) -> Functionality {
         FunctionalityKind::ContentFetch,
         host,
         CallChainBuilder::ui_entry(main_package, "MainActivity", "onResume")
-            .then(&format!("{main_package}/net"), "ApiClient", "fetchContent", "Ljava/lang/String;", "V")
+            .then(
+                &format!("{main_package}/net"),
+                "ApiClient",
+                "fetchContent",
+                "Ljava/lang/String;",
+                "V",
+            )
             .build(),
         350,
     )
@@ -398,7 +528,13 @@ fn core_submit(main_package: &str, host: &str) -> Functionality {
         FunctionalityKind::Messaging,
         host,
         CallChainBuilder::ui_entry(main_package, "ComposeActivity", "onSendClicked")
-            .then(&format!("{main_package}/net"), "ApiClient", "submitForm", "Ljava/util/Map;", "V")
+            .then(
+                &format!("{main_package}/net"),
+                "ApiClient",
+                "submitForm",
+                "Ljava/util/Map;",
+                "V",
+            )
             .build(),
         900,
     )
@@ -411,7 +547,13 @@ fn core_upload(main_package: &str, host: &str) -> Functionality {
         FunctionalityKind::Upload,
         host,
         CallChainBuilder::ui_entry(main_package, "DocumentActivity", "onShareClicked")
-            .then(&format!("{main_package}/net"), "ApiClient", "uploadDocument", "Ljava/io/File;", "V")
+            .then(
+                &format!("{main_package}/net"),
+                "ApiClient",
+                "uploadDocument",
+                "Ljava/io/File;",
+                "V",
+            )
             .build(),
         500_000,
     )
@@ -426,7 +568,13 @@ fn library_config_fetch(main_package: &str, library_prefix: &str, endpoint: &str
         endpoint,
         CallChainBuilder::ui_entry(main_package, "MainActivity", "onCreate")
             .then(library_prefix, "SdkEntry", "fetchRemoteConfig", "", "V")
-            .then(&internal, "ConfigClient", "download", "Ljava/lang/String;", "V")
+            .then(
+                &internal,
+                "ConfigClient",
+                "download",
+                "Ljava/lang/String;",
+                "V",
+            )
             .build(),
         300,
     )
@@ -439,7 +587,13 @@ fn shared_http_fetch(main_package: &str, host: &str) -> Functionality {
         FunctionalityKind::ContentFetch,
         host,
         CallChainBuilder::ui_entry(main_package, "FeedActivity", "onRefresh")
-            .then("org/apache/http/client", "DefaultHttpClient", "execute", "Lorg/apache/http/HttpRequest;", "Lorg/apache/http/HttpResponse;")
+            .then(
+                "org/apache/http/client",
+                "DefaultHttpClient",
+                "execute",
+                "Lorg/apache/http/HttpRequest;",
+                "Lorg/apache/http/HttpResponse;",
+            )
             .build(),
         420,
     )
@@ -465,7 +619,13 @@ fn library_beacon(
         kind,
         endpoint,
         CallChainBuilder::ui_entry(main_package, "MainActivity", "onResume")
-            .then(library_prefix, "SdkEntry", "onSessionStart", "Landroid/content/Context;", "V")
+            .then(
+                library_prefix,
+                "SdkEntry",
+                "onSessionStart",
+                "Landroid/content/Context;",
+                "V",
+            )
             .then(&class, "Transport", "send", "Ljava/lang/String;", "V")
             .build(),
         256,
@@ -496,8 +656,14 @@ mod tests {
     #[test]
     fn corpus_has_both_categories_and_popularity_ordering() {
         let apps = CorpusGenerator::generate(&CorpusConfig::small(7, 25));
-        let business = apps.iter().filter(|a| a.category == AppCategory::Business).count();
-        let productivity = apps.iter().filter(|a| a.category == AppCategory::Productivity).count();
+        let business = apps
+            .iter()
+            .filter(|a| a.category == AppCategory::Business)
+            .count();
+        let productivity = apps
+            .iter()
+            .filter(|a| a.category == AppCategory::Productivity)
+            .count();
         assert_eq!(business, 25);
         assert_eq!(productivity, 25);
         // Every app has at least its core functionality.
@@ -511,11 +677,19 @@ mod tests {
         let with_flagged = apps
             .iter()
             .filter(|a| {
-                a.libraries.iter().any(|l| catalog.by_prefix(l).map(|i| i.exfiltrating).unwrap_or(false))
+                a.libraries.iter().any(|l| {
+                    catalog
+                        .by_prefix(l)
+                        .map(|i| i.exfiltrating)
+                        .unwrap_or(false)
+                })
             })
             .count();
         // Configured probability is 0.72; allow generous slack for a 200-app sample.
-        assert!(with_flagged > 100, "only {with_flagged} of 200 apps have flagged libraries");
+        assert!(
+            with_flagged > 100,
+            "only {with_flagged} of 200 apps have flagged libraries"
+        );
     }
 
     #[test]
@@ -535,7 +709,10 @@ mod tests {
         for name in ["auth", "browse", "download", "upload"] {
             assert!(dropbox.functionality(name).is_some(), "missing {name}");
         }
-        assert_eq!(dropbox.endpoint_hosts(), vec!["api.dropbox.com".to_string()]);
+        assert_eq!(
+            dropbox.endpoint_hosts(),
+            vec!["api.dropbox.com".to_string()]
+        );
         // The upload chain goes through the UploadTask class targeted by the
         // paper's Example 3 policy.
         let upload = dropbox.functionality("upload").unwrap();
@@ -580,7 +757,11 @@ mod tests {
     fn case_study_apps_build_valid_apks() {
         for app in CorpusGenerator::case_study_apps() {
             let apk = app.build_apk();
-            assert!(apk.total_method_count().unwrap() > 0, "{}", app.package_name);
+            assert!(
+                apk.total_method_count().unwrap() > 0,
+                "{}",
+                app.package_name
+            );
             assert_eq!(apk.package_name(), app.package_name);
         }
     }

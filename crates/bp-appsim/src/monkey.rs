@@ -45,7 +45,10 @@ impl Monkey {
     /// Create an exerciser with the given seed and the default 6% chance that
     /// any single event triggers a network-relevant functionality.
     pub fn new(seed: u64) -> Self {
-        Monkey { rng: StdRng::seed_from_u64(seed), trigger_probability: 0.06 }
+        Monkey {
+            rng: StdRng::seed_from_u64(seed),
+            trigger_probability: 0.06,
+        }
     }
 
     /// Override the per-event trigger probability (clamped to `[0, 1]`).
@@ -79,7 +82,10 @@ impl Monkey {
                 } else {
                     None
                 };
-                MonkeyEvent { sequence, triggered }
+                MonkeyEvent {
+                    sequence,
+                    triggered,
+                }
             })
             .collect()
     }
@@ -133,21 +139,30 @@ mod tests {
         // long run analytics must fire more often.
         let app = CorpusGenerator::solcalendar();
         let events = Monkey::new(3).exercise(&app, 20_000);
-        let count = |name: &str| events.iter().filter(|e| e.triggered.as_deref() == Some(name)).count();
+        let count = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.triggered.as_deref() == Some(name))
+                .count()
+        };
         assert!(count("fb-analytics") > count("fb-login"));
     }
 
     #[test]
     fn zero_probability_never_triggers() {
         let app = CorpusGenerator::dropbox();
-        let events = Monkey::new(8).with_trigger_probability(0.0).exercise(&app, 1_000);
+        let events = Monkey::new(8)
+            .with_trigger_probability(0.0)
+            .exercise(&app, 1_000);
         assert!(events.iter().all(|e| !e.is_network_event()));
     }
 
     #[test]
     fn app_without_functionalities_generates_only_inert_events() {
         let app = crate::app::AppSpec::new("com.empty.app", crate::app::AppCategory::Business, 10);
-        let events = Monkey::new(4).with_trigger_probability(1.0).exercise(&app, 100);
+        let events = Monkey::new(4)
+            .with_trigger_probability(1.0)
+            .exercise(&app, 100);
         assert!(events.iter().all(|e| !e.is_network_event()));
     }
 

@@ -99,7 +99,10 @@ impl QueueHandler for IpBlocklist {
         self.stats.packets_inspected += 1;
         if self.blocked.contains(&packet.destination().ip) {
             self.stats.packets_dropped += 1;
-            Verdict::drop(format!("destination {} is blocklisted", packet.destination().ip))
+            Verdict::drop(format!(
+                "destination {} is blocklisted",
+                packet.destination().ip
+            ))
         } else {
             Verdict::Accept
         }
@@ -112,7 +115,11 @@ mod tests {
     use bp_netsim::addr::Endpoint;
 
     fn packet_to(ip: Ipv4Addr) -> Ipv4Packet {
-        Ipv4Packet::new(Endpoint::new([10, 0, 0, 2], 40000), Endpoint::from_ip(ip, 443), vec![1])
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 2], 40000),
+            Endpoint::from_ip(ip, 443),
+            vec![1],
+        )
     }
 
     #[test]

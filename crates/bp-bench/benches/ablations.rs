@@ -52,7 +52,9 @@ fn bench_ablations(c: &mut Criterion) {
                 policies: case_study_policies(),
                 config: EnforcerConfig::default(),
             });
-            let app = testbed.install_app(CorpusGenerator::dropbox().as_multidex()).unwrap();
+            let app = testbed
+                .install_app(CorpusGenerator::dropbox().as_multidex())
+                .unwrap();
             black_box(testbed.run(app, "upload").unwrap())
         })
     });

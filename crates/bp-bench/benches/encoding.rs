@@ -26,7 +26,10 @@ fn bench_encoding(c: &mut Criterion) {
         let decoded = ContextEncoding::decode(&payload).unwrap();
         b.iter(|| {
             app.database
-                .resolve_stack(black_box(decoded.app_tag), black_box(&decoded.frame_indexes))
+                .resolve_stack(
+                    black_box(decoded.app_tag),
+                    black_box(&decoded.frame_indexes),
+                )
                 .unwrap()
         })
     });

@@ -1,5 +1,6 @@
 //! Throughput of the Policy Enforcer and Packet Sanitizer NFQUEUE consumers
-//! (packets per second through the network-side pipeline).
+//! (packets per second through the network-side pipeline), comparing the
+//! legacy interpretive inspection path with the compiled data plane.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -16,26 +17,48 @@ fn bench_enforcer(c: &mut Criterion) {
     let mut group = c.benchmark_group("enforcer_throughput");
     group.throughput(Throughput::Elements(1));
 
-    group.bench_function("inspect_allowed_packet", |b| {
+    group.bench_function("legacy/inspect_allowed_packet", |b| {
         let mut enforcer = PolicyEnforcer::new(
             app.database.clone(),
             case_study_policies(),
             EnforcerConfig::default(),
         );
         b.iter(|| {
-            let mut packet = allowed.clone();
-            black_box(enforcer.handle(&mut packet))
+            let packet = allowed.clone();
+            black_box(enforcer.inspect_legacy(&packet))
         })
     });
-    group.bench_function("inspect_denied_packet", |b| {
+    group.bench_function("compiled/inspect_allowed_packet", |b| {
         let mut enforcer = PolicyEnforcer::new(
             app.database.clone(),
             case_study_policies(),
             EnforcerConfig::default(),
         );
         b.iter(|| {
-            let mut packet = denied.clone();
-            black_box(enforcer.handle(&mut packet))
+            let packet = allowed.clone();
+            black_box(enforcer.inspect(&packet))
+        })
+    });
+    group.bench_function("legacy/inspect_denied_packet", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            case_study_policies(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            let packet = denied.clone();
+            black_box(enforcer.inspect_legacy(&packet))
+        })
+    });
+    group.bench_function("compiled/inspect_denied_packet", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            case_study_policies(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            let packet = denied.clone();
+            black_box(enforcer.inspect(&packet))
         })
     });
     group.bench_function("sanitize_packet", |b| {

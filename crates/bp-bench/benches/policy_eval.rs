@@ -1,5 +1,6 @@
 //! Micro-benchmark: policy evaluation against decoded stacks — a small
-//! case-study policy set vs the full 1,050-library validation blacklist.
+//! case-study policy set vs the full 1,050-library validation blacklist,
+//! comparing the interpretive (legacy) evaluator with the compiled one.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -14,31 +15,46 @@ fn bench_policy_eval(c: &mut Criterion) {
         .database
         .resolve_stack(
             dropbox.apk.hash().tag(),
-            &ContextEncoding::decode(&dropbox.context_payload("upload")).unwrap().frame_indexes,
+            &ContextEncoding::decode(&dropbox.context_payload("upload"))
+                .unwrap()
+                .frame_indexes,
         )
         .unwrap();
     let solcal_stack = solcal
         .database
         .resolve_stack(
             solcal.apk.hash().tag(),
-            &ContextEncoding::decode(&solcal.context_payload("fb-analytics")).unwrap().frame_indexes,
+            &ContextEncoding::decode(&solcal.context_payload("fb-analytics"))
+                .unwrap()
+                .frame_indexes,
         )
         .unwrap();
 
     let small = case_study_policies();
     let blacklist = blacklist_policies();
+    let small_compiled = small.compile();
+    let blacklist_compiled = blacklist.compile();
     let dropbox_tag = dropbox.apk.hash().tag();
     let solcal_tag = solcal.apk.hash().tag();
 
     let mut group = c.benchmark_group("policy_evaluation");
-    group.bench_function("case_study_set_vs_upload_stack", |b| {
+    group.bench_function("legacy/case_study_set_vs_upload_stack", |b| {
         b.iter(|| small.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
     });
-    group.bench_function("blacklist_1050_vs_benign_stack", |b| {
+    group.bench_function("compiled/case_study_set_vs_upload_stack", |b| {
+        b.iter(|| small_compiled.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
+    });
+    group.bench_function("legacy/blacklist_1050_vs_benign_stack", |b| {
         b.iter(|| blacklist.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
     });
-    group.bench_function("blacklist_1050_vs_analytics_stack", |b| {
+    group.bench_function("compiled/blacklist_1050_vs_benign_stack", |b| {
+        b.iter(|| blacklist_compiled.evaluate(black_box(dropbox_tag), black_box(&dropbox_stack)))
+    });
+    group.bench_function("legacy/blacklist_1050_vs_analytics_stack", |b| {
         b.iter(|| blacklist.evaluate(black_box(solcal_tag), black_box(&solcal_stack)))
+    });
+    group.bench_function("compiled/blacklist_1050_vs_analytics_stack", |b| {
+        b.iter(|| blacklist_compiled.evaluate(black_box(solcal_tag), black_box(&solcal_stack)))
     });
     group.finish();
 }

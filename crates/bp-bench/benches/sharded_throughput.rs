@@ -1,0 +1,86 @@
+//! Batch throughput of the sharded Policy Enforcer: one compiled table set
+//! shared across N worker shards, inspecting a mixed multi-flow packet
+//! stream, vs the single-shard facade inspecting the same stream inline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bp_bench::{analyzed_solcalendar, blacklist_policies, case_study_policies};
+use bp_core::enforcer::{EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer};
+use bp_core::policy::PolicySet;
+use bp_netsim::addr::Endpoint;
+use bp_netsim::options::{IpOption, IpOptionKind};
+use bp_netsim::packet::Ipv4Packet;
+
+const BATCH: usize = 1_024;
+
+/// A mixed stream: many flows (distinct source endpoints), mostly conforming
+/// traffic with some policy violations sprinkled in.
+fn packet_stream(login: &[u8], analytics: &[u8]) -> Vec<Ipv4Packet> {
+    (0..BATCH as u16)
+        .map(|i| {
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, (i >> 8) as u8, i as u8], 40_000 + i),
+                Endpoint::new([31, 13, 71, 36], 443),
+                vec![0xA5; 256],
+            );
+            let payload = if i % 5 == 0 {
+                analytics.to_vec()
+            } else {
+                login.to_vec()
+            };
+            packet
+                .options_mut()
+                .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload).unwrap())
+                .unwrap();
+            packet
+        })
+        .collect()
+}
+
+/// One policy-set scenario: the single-shard facade inline vs `inspect_batch`
+/// fanned over 1/2/4/8 shards.
+fn bench_scenario(c: &mut Criterion, scenario: &str, policies: PolicySet) {
+    let app = analyzed_solcalendar();
+    let packets = packet_stream(
+        &app.context_payload("fb-login"),
+        &app.context_payload("fb-analytics"),
+    );
+
+    let mut group = c.benchmark_group(format!("sharded_throughput/{scenario}"));
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("single_shard_facade", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            policies.clone(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            for packet in &packets {
+                black_box(enforcer.inspect(packet));
+            }
+        })
+    });
+
+    let tables = EnforcementTables::shared(&app.database, &policies, EnforcerConfig::default());
+    for shards in [1usize, 2, 4, 8] {
+        let enforcer = ShardedEnforcer::new(tables.clone(), shards);
+        group.bench_with_input(
+            BenchmarkId::new("inspect_batch", shards),
+            &enforcer,
+            |b, enforcer| b.iter(|| black_box(enforcer.inspect_batch(&packets))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    // Light: 3 targeted rules — measures the fan-out overhead floor.
+    bench_scenario(c, "case_study_policies", case_study_policies());
+    // Heavy: the 1,050-library validation blacklist — per-packet evaluation
+    // is expensive enough that sharding pays.
+    bench_scenario(c, "blacklist_1050", blacklist_policies());
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -47,8 +47,15 @@ pub fn analyzed(spec: AppSpec) -> AnalyzedApp {
     let apk = spec.build_apk();
     let table = MethodTable::from_apk(&apk).expect("fixture apk parses");
     let mut database = SignatureDatabase::new();
-    OfflineAnalyzer::new().analyze_into(&apk, &mut database).expect("fixture analyzes");
-    AnalyzedApp { spec, apk, table, database }
+    OfflineAnalyzer::new()
+        .analyze_into(&apk, &mut database)
+        .expect("fixture analyzes");
+    AnalyzedApp {
+        spec,
+        apk,
+        table,
+        database,
+    }
 }
 
 impl AnalyzedApp {
@@ -67,8 +74,12 @@ impl AnalyzedApp {
 
     /// An encoded context payload for a functionality.
     pub fn context_payload(&self, functionality: &str) -> Vec<u8> {
-        ContextEncoding::encode(self.apk.hash().tag(), &self.stack_indexes(functionality), false)
-            .expect("fixture context encodes")
+        ContextEncoding::encode(
+            self.apk.hash().tag(),
+            &self.stack_indexes(functionality),
+            false,
+        )
+        .expect("fixture context encodes")
     }
 
     /// A packet tagged with the context of a functionality.
@@ -81,8 +92,11 @@ impl AnalyzedApp {
         packet
             .options_mut()
             .push(
-                IpOption::new(IpOptionKind::BorderPatrolContext, self.context_payload(functionality))
-                    .expect("fixture option fits"),
+                IpOption::new(
+                    IpOptionKind::BorderPatrolContext,
+                    self.context_payload(functionality),
+                )
+                .expect("fixture option fits"),
             )
             .expect("fixture option fits packet");
         packet
@@ -102,7 +116,10 @@ pub fn blacklist_policies() -> PolicySet {
 /// A small, targeted policy set (the case-study policies).
 pub fn case_study_policies() -> PolicySet {
     PolicySet::from_policies(vec![
-        Policy::deny(EnforcementLevel::Method, "Lcom/dropbox/android/taskqueue/UploadTask;->c"),
+        Policy::deny(
+            EnforcementLevel::Method,
+            "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+        ),
         Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"),
         Policy::deny(EnforcementLevel::Library, "com/flurry"),
     ])

@@ -13,8 +13,8 @@ use std::collections::BTreeMap;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use bp_dex::{ApkFile, MethodTable};
 use bp_device::hooks::{HookContext, HookOutcome, SocketConnectHook};
+use bp_dex::{ApkFile, MethodTable};
 use bp_netsim::kernel::KernelNetStack;
 use bp_netsim::options::{IpOption, IpOptionKind, IpOptions};
 use bp_types::{ApkHash, AppTag, Error};
@@ -34,7 +34,10 @@ pub struct ContextManagerConfig {
 
 impl Default for ContextManagerConfig {
     fn default() -> Self {
-        ContextManagerConfig { force_wide_encoding: false, skip_unresolvable_frames: true }
+        ContextManagerConfig {
+            force_wide_encoding: false,
+            skip_unresolvable_frames: true,
+        }
     }
 }
 
@@ -89,7 +92,11 @@ impl ContextManager {
 
     /// Create a Context Manager with an explicit configuration.
     pub fn with_config(config: ContextManagerConfig) -> Self {
-        ContextManager { config, apps: BTreeMap::new(), stats: ContextManagerStats::default() }
+        ContextManager {
+            config,
+            apps: BTreeMap::new(),
+            stats: ContextManagerStats::default(),
+        }
     }
 
     /// Wrap a Context Manager for installation as a device hook while keeping
@@ -108,7 +115,13 @@ impl ContextManager {
         let hash: ApkHash = apk.hash();
         let table = MethodTable::from_apk(apk)?;
         let tag = hash.tag();
-        self.apps.insert(tag, RegisteredApp { table, multidex: apk.is_multidex() });
+        self.apps.insert(
+            tag,
+            RegisteredApp {
+                table,
+                multidex: apk.is_multidex(),
+            },
+        );
         Ok(tag)
     }
 
@@ -134,14 +147,21 @@ impl ContextManager {
     ///
     /// Returns [`Error::NotFound`] for unregistered apps, or for unresolvable
     /// frames when `skip_unresolvable_frames` is disabled.
-    pub fn resolve_indexes(&mut self, tag: AppTag, context: &HookContext) -> Result<Vec<u32>, Error> {
+    pub fn resolve_indexes(
+        &mut self,
+        tag: AppTag,
+        context: &HookContext,
+    ) -> Result<Vec<u32>, Error> {
         let app = self
             .apps
             .get(&tag)
             .ok_or_else(|| Error::not_found("registered app", tag.to_hex()))?;
         let mut indexes = Vec::with_capacity(context.stack.len());
         for frame in &context.stack {
-            match app.table.resolve_frame(&frame.qualified_class, &frame.method_name, frame.line) {
+            match app
+                .table
+                .resolve_frame(&frame.qualified_class, &frame.method_name, frame.line)
+            {
                 Some(index) => indexes.push(index),
                 None => {
                     if self.config.skip_unresolvable_frames {
@@ -278,7 +298,9 @@ mod tests {
         let (mut device, shared, app) =
             device_with_context_manager(spec.clone(), KernelConfig::borderpatrol_prototype());
 
-        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        let invocation = device
+            .invoke_functionality(app, "upload", endpoint())
+            .unwrap();
         assert!(invocation.hook_outcome.encoded_context);
         assert!(invocation.packets.iter().all(|p| p.has_context_option()));
 
@@ -294,7 +316,9 @@ mod tests {
             .unwrap();
         let decoded = ContextEncoding::decode(&option.data).unwrap();
         assert_eq!(decoded.app_tag, apk.hash().tag());
-        let stack = db.resolve_stack(decoded.app_tag, &decoded.frame_indexes).unwrap();
+        let stack = db
+            .resolve_stack(decoded.app_tag, &decoded.frame_indexes)
+            .unwrap();
         assert!(stack
             .iter()
             .any(|s| s.qualified_class() == "com/dropbox/android/taskqueue/UploadTask"));
@@ -327,9 +351,10 @@ mod tests {
     #[test]
     fn missing_kernel_patch_causes_injection_failure() {
         let spec = CorpusGenerator::dropbox();
-        let (mut device, shared, app) =
-            device_with_context_manager(spec, KernelConfig::default());
-        let invocation = device.invoke_functionality(app, "browse", endpoint()).unwrap();
+        let (mut device, shared, app) = device_with_context_manager(spec, KernelConfig::default());
+        let invocation = device
+            .invoke_functionality(app, "browse", endpoint())
+            .unwrap();
         // The hook error is swallowed by the framework, so packets go out untagged.
         assert!(invocation.packets.iter().all(|p| !p.has_context_option()));
         assert_eq!(shared.lock().stats().injection_failures, 1);
@@ -344,7 +369,9 @@ mod tests {
         let mut device = Device::new(DeviceId::new(2), KernelConfig::borderpatrol_prototype());
         device.install_hook(Box::new(SharedContextManager(Arc::clone(&shared))));
         let app = device.install_app(spec, Profile::Work);
-        let invocation = device.invoke_functionality(app, "browse", endpoint()).unwrap();
+        let invocation = device
+            .invoke_functionality(app, "browse", endpoint())
+            .unwrap();
         assert!(invocation.packets.iter().all(|p| !p.has_context_option()));
         assert_eq!(device.hook_stats().errors, 1);
     }
@@ -354,7 +381,9 @@ mod tests {
         let spec = CorpusGenerator::dropbox().as_multidex();
         let (mut device, _shared, app) =
             device_with_context_manager(spec, KernelConfig::borderpatrol_prototype());
-        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        let invocation = device
+            .invoke_functionality(app, "upload", endpoint())
+            .unwrap();
         let option = invocation.packets[0]
             .options()
             .find(IpOptionKind::BorderPatrolContext)
@@ -369,7 +398,9 @@ mod tests {
         let spec = CorpusGenerator::dropbox().without_debug_info();
         let (mut device, shared, app) =
             device_with_context_manager(spec, KernelConfig::borderpatrol_prototype());
-        let invocation = device.invoke_functionality(app, "upload", endpoint()).unwrap();
+        let invocation = device
+            .invoke_functionality(app, "upload", endpoint())
+            .unwrap();
         assert!(invocation.packets.iter().all(|p| p.has_context_option()));
         assert_eq!(shared.lock().stats().contexts_injected, 1);
     }

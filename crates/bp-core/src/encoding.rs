@@ -105,7 +105,8 @@ impl ContextEncoding {
             flags |= FLAG_TRUNCATED;
         }
 
-        let mut payload = Vec::with_capacity(PAYLOAD_HEADER + kept.len() * Self::bytes_per_frame(wide));
+        let mut payload =
+            Vec::with_capacity(PAYLOAD_HEADER + kept.len() * Self::bytes_per_frame(wide));
         payload.push(flags);
         payload.extend_from_slice(app_tag.as_bytes());
         for &index in kept {
@@ -126,11 +127,42 @@ impl ContextEncoding {
     /// Returns [`Error::Malformed`] if the payload is shorter than the header
     /// or its frame area is not a multiple of the frame width.
     pub fn decode(payload: &[u8]) -> Result<EncodedContext, Error> {
+        let mut frame_indexes = Vec::new();
+        let header = Self::decode_into(payload, &mut frame_indexes)?;
+        Ok(EncodedContext {
+            app_tag: header.app_tag,
+            frame_indexes,
+            truncated: header.truncated,
+            wide: header.wide,
+        })
+    }
+
+    /// Decode an option payload into a caller-provided index buffer.
+    ///
+    /// This is the allocation-free path the compiled Policy Enforcer uses:
+    /// `frame_indexes` is cleared and refilled, so a per-shard scratch buffer
+    /// can be reused across packets without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] under the same conditions as
+    /// [`ContextEncoding::decode`].
+    pub fn decode_into(
+        payload: &[u8],
+        frame_indexes: &mut Vec<u32>,
+    ) -> Result<DecodedHeader, Error> {
+        frame_indexes.clear();
         if payload.len() < PAYLOAD_HEADER {
-            return Err(Error::malformed("context option", "payload shorter than header"));
+            return Err(Error::malformed(
+                "context option",
+                "payload shorter than header",
+            ));
         }
         if payload.len() > MAX_CONTEXT_PAYLOAD {
-            return Err(Error::malformed("context option", "payload exceeds 38 bytes"));
+            return Err(Error::malformed(
+                "context option",
+                "payload exceeds 38 bytes",
+            ));
         }
         let flags = payload[0];
         let wide = flags & FLAG_WIDE != 0;
@@ -144,21 +176,38 @@ impl ContextEncoding {
         if frame_area.len() % width != 0 {
             return Err(Error::malformed(
                 "context option",
-                format!("frame area of {} bytes is not a multiple of {width}", frame_area.len()),
+                format!(
+                    "frame area of {} bytes is not a multiple of {width}",
+                    frame_area.len()
+                ),
             ));
         }
-        let frame_indexes = frame_area
-            .chunks_exact(width)
-            .map(|chunk| {
-                if wide {
-                    u32::from_be_bytes([0, chunk[0], chunk[1], chunk[2]])
-                } else {
-                    u32::from(u16::from_be_bytes([chunk[0], chunk[1]]))
-                }
-            })
-            .collect();
-        Ok(EncodedContext { app_tag, frame_indexes, truncated, wide })
+        frame_indexes.extend(frame_area.chunks_exact(width).map(|chunk| {
+            if wide {
+                u32::from_be_bytes([0, chunk[0], chunk[1], chunk[2]])
+            } else {
+                u32::from(u16::from_be_bytes([chunk[0], chunk[1]]))
+            }
+        }));
+        Ok(DecodedHeader {
+            app_tag,
+            truncated,
+            wide,
+        })
     }
+}
+
+/// The fixed-size part of a decoded context option (everything except the
+/// frame indexes, which [`ContextEncoding::decode_into`] writes to a reusable
+/// buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedHeader {
+    /// Truncated apk hash identifying the application.
+    pub app_tag: AppTag,
+    /// Whether the encoder had to drop outer frames to fit the budget.
+    pub truncated: bool,
+    /// Whether 3-byte indexes were used.
+    pub wide: bool,
 }
 
 #[cfg(test)]
@@ -206,7 +255,10 @@ mod tests {
         assert!(payload.len() <= MAX_CONTEXT_PAYLOAD);
         let decoded = ContextEncoding::decode(&payload).unwrap();
         assert!(decoded.truncated);
-        assert_eq!(decoded.frame_indexes.len(), ContextEncoding::max_frames(false));
+        assert_eq!(
+            decoded.frame_indexes.len(),
+            ContextEncoding::max_frames(false)
+        );
         assert_eq!(decoded.frame_indexes, (0..14).collect::<Vec<u32>>());
     }
 

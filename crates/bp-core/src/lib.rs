@@ -52,9 +52,14 @@ pub mod policy_extractor;
 pub mod sanitizer;
 
 pub use context::{ContextManager, ContextManagerConfig};
-pub use encoding::{ContextEncoding, EncodedContext, MAX_CONTEXT_PAYLOAD};
-pub use enforcer::{EnforcerConfig, EnforcerStats, PolicyEnforcer};
-pub use offline::{OfflineAnalyzer, SignatureDatabase};
-pub use policy::{Decision, Policy, PolicyAction, PolicySet};
+pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_PAYLOAD};
+pub use enforcer::{
+    AtomicEnforcerStats, DropLog, EnforcementTables, EnforcerConfig, EnforcerStats, PolicyEnforcer,
+    ShardedEnforcer,
+};
+pub use offline::{
+    CompiledAppEntry, CompiledSignatureDb, OfflineAnalyzer, SignatureDatabase, TagCollision,
+};
+pub use policy::{CompiledPolicySet, CompiledVerdict, Decision, Policy, PolicyAction, PolicySet};
 pub use policy_extractor::{PolicyExtractor, ProfileRun};
 pub use sanitizer::PacketSanitizer;

@@ -9,6 +9,7 @@
 //! signatures.
 
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -50,6 +51,24 @@ pub struct AppEntry {
 pub struct SignatureDatabase {
     /// Entries keyed by the hex form of the truncated 8-byte app tag.
     entries: BTreeMap<String, AppEntry>,
+    /// Truncated-tag collisions observed at insert time (paper §VII).
+    #[serde(default)]
+    collisions: Vec<TagCollision>,
+}
+
+/// A truncated-tag collision between two distinct applications: both apks
+/// share the same leading 8 digest bytes, so the Policy Enforcer could not
+/// tell them apart on the wire (paper §VII "Hash collision").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagCollision {
+    /// The shared truncated tag (hex).
+    pub tag: String,
+    /// Full hash of the application already in the database (which is kept).
+    pub existing_apk_hash: String,
+    /// Full hash of the application whose insert collided (which is rejected).
+    pub rejected_apk_hash: String,
+    /// Package name of the rejected application.
+    pub rejected_package: String,
 }
 
 impl SignatureDatabase {
@@ -68,15 +87,50 @@ impl SignatureDatabase {
         self.entries.is_empty()
     }
 
-    /// Insert (or replace) an entry.
-    pub fn insert(&mut self, hash: ApkHash, package_name: &str, multidex: bool, signatures: Vec<MethodSignature>) {
+    /// Insert an entry.
+    ///
+    /// Re-analyzing the same apk replaces its entry in place.  If a *different*
+    /// apk (different full MD5) maps to the same truncated tag, the insert is
+    /// rejected so the existing app keeps resolving correctly, and the
+    /// collision is recorded and returned — the silent-replacement behaviour
+    /// the paper's §VII analysis warns about is surfaced instead of hidden.
+    pub fn insert(
+        &mut self,
+        hash: ApkHash,
+        package_name: &str,
+        multidex: bool,
+        signatures: Vec<MethodSignature>,
+    ) -> Option<TagCollision> {
+        let tag_hex = hash.tag().to_hex();
+        let hash_hex = hash.to_hex();
+        if let Some(existing) = self.entries.get(&tag_hex) {
+            if existing.apk_hash != hash_hex {
+                let collision = TagCollision {
+                    tag: tag_hex,
+                    existing_apk_hash: existing.apk_hash.clone(),
+                    rejected_apk_hash: hash_hex,
+                    rejected_package: package_name.to_string(),
+                };
+                self.collisions.push(collision.clone());
+                return Some(collision);
+            }
+        }
         let entry = AppEntry {
-            apk_hash: hash.to_hex(),
+            apk_hash: hash_hex,
             package_name: package_name.to_string(),
             multidex,
-            signatures: signatures.iter().map(MethodSignature::to_descriptor).collect(),
+            signatures: signatures
+                .iter()
+                .map(MethodSignature::to_descriptor)
+                .collect(),
         };
-        self.entries.insert(hash.tag().to_hex(), entry);
+        self.entries.insert(tag_hex, entry);
+        None
+    }
+
+    /// Truncated-tag collisions observed so far, in insertion order.
+    pub fn collisions(&self) -> &[TagCollision] {
+        &self.collisions
     }
 
     /// Look up an app entry by its truncated tag.
@@ -101,7 +155,11 @@ impl SignatureDatabase {
     ///
     /// Returns [`Error::NotFound`] for an unknown app tag or a dangling index,
     /// and [`Error::Malformed`] if a stored signature fails to parse.
-    pub fn resolve_stack(&self, tag: AppTag, indexes: &[u32]) -> Result<Vec<MethodSignature>, Error> {
+    pub fn resolve_stack(
+        &self,
+        tag: AppTag,
+        indexes: &[u32],
+    ) -> Result<Vec<MethodSignature>, Error> {
         let entry = self
             .entry(tag)
             .ok_or_else(|| Error::not_found("app tag", tag.to_hex()))?;
@@ -119,15 +177,11 @@ impl SignatureDatabase {
             .collect()
     }
 
-    /// Whether the database has two distinct applications whose truncated tags
-    /// collide (the paper's §VII hash-collision concern).
+    /// Whether two distinct applications have collided on a truncated tag
+    /// (the paper's §VII hash-collision concern).  Collisions are detected at
+    /// insert time — see [`SignatureDatabase::insert`].
     pub fn has_tag_collision(&self) -> bool {
-        // Tags are the map keys, so a collision manifests as two different
-        // full hashes mapping to one key; detect by comparing counts is not
-        // possible after the fact, so collisions are detected at insert time
-        // by callers comparing `entry(tag)` before inserting.  Here we check
-        // for entries whose stored full hash does not start with the key.
-        self.entries.iter().any(|(tag_hex, entry)| !entry.apk_hash.starts_with(tag_hex))
+        !self.collisions.is_empty()
     }
 
     /// Serialize the database to pretty-printed JSON.
@@ -145,7 +199,8 @@ impl SignatureDatabase {
     ///
     /// Returns [`Error::Malformed`] if the JSON does not describe a database.
     pub fn from_json(json: &str) -> Result<Self, Error> {
-        serde_json::from_str(json).map_err(|e| Error::malformed("signature database", e.to_string()))
+        serde_json::from_str(json)
+            .map_err(|e| Error::malformed("signature database", e.to_string()))
     }
 
     /// Write the database to a JSON file.
@@ -166,6 +221,190 @@ impl SignatureDatabase {
     pub fn load(path: &Path) -> Result<Self, Error> {
         let text = std::fs::read_to_string(path).map_err(Error::from)?;
         Self::from_json(&text)
+    }
+}
+
+/// One application's compiled (pre-parsed) signature table.
+///
+/// Built once by [`CompiledSignatureDb::compile`]; the Policy Enforcer's hot
+/// path resolves frame indexes against [`CompiledAppEntry::signature`] with a
+/// plain slice lookup — no descriptor parsing and no string allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledAppEntry {
+    tag: AppTag,
+    apk_hash: Option<ApkHash>,
+    package_name: String,
+    multidex: bool,
+    /// Pre-parsed signatures, indexed by wire index.  A slot is `None` when
+    /// the stored descriptor failed to parse; resolving such an index reports
+    /// the same malformed-database error the interpretive path produces.
+    signatures: Vec<Option<MethodSignature>>,
+}
+
+impl CompiledAppEntry {
+    /// The application's truncated tag.
+    pub fn tag(&self) -> AppTag {
+        self.tag
+    }
+
+    /// The application's full apk hash, when the stored hash field parsed
+    /// (a corrupted database file yields `None` rather than a fabricated
+    /// identity; frame resolution is unaffected either way).
+    pub fn apk_hash(&self) -> Option<ApkHash> {
+        self.apk_hash
+    }
+
+    /// The application's package name.
+    pub fn package_name(&self) -> &str {
+        &self.package_name
+    }
+
+    /// Whether the apk packs more than one dex file.
+    pub fn multidex(&self) -> bool {
+        self.multidex
+    }
+
+    /// Number of indexed signatures.
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The pre-parsed signature at `index`, if the index is in range and the
+    /// stored descriptor parsed.
+    pub fn signature(&self, index: u32) -> Option<&MethodSignature> {
+        self.signatures.get(index as usize).and_then(Option::as_ref)
+    }
+
+    /// Validate a whole index stack: `Ok` iff every index resolves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] for a dangling index and
+    /// [`Error::Malformed`] for an index whose stored descriptor did not
+    /// parse (mirroring [`SignatureDatabase::resolve_stack`]).
+    pub fn validate_indexes(&self, indexes: &[u32]) -> Result<(), Error> {
+        for &index in indexes {
+            match self.signatures.get(index as usize) {
+                Some(Some(_)) => {}
+                Some(None) => {
+                    return Err(Error::malformed(
+                        "signature database",
+                        format!("stored signature at index {index} does not parse"),
+                    ))
+                }
+                None => return Err(Error::not_found("method index", index.to_string())),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The compiled, share-everywhere form of a [`SignatureDatabase`].
+///
+/// The JSON database stays the interchange format the Offline Analyzer
+/// produces; `CompiledSignatureDb` is built from it **once** (per policy or
+/// database reload) and is what the enforcement data plane reads on every
+/// packet: per-app tables keyed by the tag's `u64` form with every method
+/// descriptor pre-parsed.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::offline::{CompiledSignatureDb, OfflineAnalyzer, SignatureDatabase};
+/// use bp_appsim::generator::CorpusGenerator;
+///
+/// let apk = CorpusGenerator::dropbox().build_apk();
+/// let mut db = SignatureDatabase::new();
+/// let hash = OfflineAnalyzer::new().analyze_into(&apk, &mut db)?;
+/// let compiled = CompiledSignatureDb::compile(&db);
+/// assert!(compiled.contains(hash.tag()));
+/// assert!(compiled.entry(hash.tag()).unwrap().signature(0).is_some());
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompiledSignatureDb {
+    entries: HashMap<u64, CompiledAppEntry>,
+}
+
+impl CompiledSignatureDb {
+    /// An empty compiled database.
+    pub fn new() -> Self {
+        CompiledSignatureDb::default()
+    }
+
+    /// Compile an interchange database: parse every stored descriptor once and
+    /// key the per-app tables by the tag's `u64` form.
+    ///
+    /// Entries whose stored tag key is not valid hex are skipped (they could
+    /// never be addressed by a packet); individual descriptors that fail to
+    /// parse keep their index slot so resolution errors match the
+    /// interpretive path.
+    pub fn compile(database: &SignatureDatabase) -> Self {
+        let mut entries = HashMap::with_capacity(database.len());
+        for (tag_hex, entry) in database.iter() {
+            let Some(tag) = AppTag::from_hex(tag_hex) else {
+                continue;
+            };
+            let apk_hash = ApkHash::from_hex(&entry.apk_hash);
+            let signatures = entry
+                .signatures
+                .iter()
+                .map(|descriptor| descriptor.parse::<MethodSignature>().ok())
+                .collect();
+            entries.insert(
+                tag.as_u64(),
+                CompiledAppEntry {
+                    tag,
+                    apk_hash,
+                    package_name: entry.package_name.clone(),
+                    multidex: entry.multidex,
+                    signatures,
+                },
+            );
+        }
+        CompiledSignatureDb { entries }
+    }
+
+    /// Number of applications in the compiled database.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the compiled database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up an application's compiled table (a single `u64` hash-map probe).
+    pub fn entry(&self, tag: AppTag) -> Option<&CompiledAppEntry> {
+        self.entries.get(&tag.as_u64())
+    }
+
+    /// Whether the compiled database knows the app identified by `tag`.
+    pub fn contains(&self, tag: AppTag) -> bool {
+        self.entries.contains_key(&tag.as_u64())
+    }
+
+    /// Resolve a stack of indexes to pre-parsed signature references,
+    /// preserving order.  Unlike [`SignatureDatabase::resolve_stack`] this
+    /// performs no parsing and allocates only the returned reference vector.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SignatureDatabase::resolve_stack`].
+    pub fn resolve_stack<'a>(
+        &'a self,
+        tag: AppTag,
+        indexes: &[u32],
+    ) -> Result<Vec<&'a MethodSignature>, Error> {
+        let entry = self
+            .entry(tag)
+            .ok_or_else(|| Error::not_found("app tag", tag.to_hex()))?;
+        entry.validate_indexes(indexes)?;
+        Ok(indexes
+            .iter()
+            .map(|&index| entry.signature(index).expect("validated above"))
+            .collect())
     }
 }
 
@@ -193,10 +432,28 @@ impl OfflineAnalyzer {
     ///
     /// # Errors
     ///
-    /// Propagates dex parsing errors.
-    pub fn analyze_into(&self, apk: &ApkFile, database: &mut SignatureDatabase) -> Result<ApkHash, Error> {
+    /// Propagates dex parsing errors.  Returns [`Error::InvalidState`] when
+    /// the apk's truncated tag collides with a different application already
+    /// in the database: the entry is *not* inserted (the existing app keeps
+    /// resolving correctly) and the collision is recorded on the database
+    /// ([`SignatureDatabase::collisions`]).
+    pub fn analyze_into(
+        &self,
+        apk: &ApkFile,
+        database: &mut SignatureDatabase,
+    ) -> Result<ApkHash, Error> {
         let (hash, signatures) = self.analyze(apk)?;
-        database.insert(hash, apk.package_name(), apk.is_multidex(), signatures);
+        if let Some(collision) =
+            database.insert(hash, apk.package_name(), apk.is_multidex(), signatures)
+        {
+            return Err(Error::invalid_state(
+                "apk analysis",
+                format!(
+                    "truncated tag {} of {} collides with already-analyzed apk {}",
+                    collision.tag, collision.rejected_apk_hash, collision.existing_apk_hash
+                ),
+            ));
+        }
         Ok(hash)
     }
 
@@ -282,7 +539,10 @@ mod tests {
     #[test]
     fn database_roundtrips_through_json() {
         let analyzer = OfflineAnalyzer::new();
-        let apks: Vec<_> = CorpusGenerator::case_study_apps().iter().map(|a| a.build_apk()).collect();
+        let apks: Vec<_> = CorpusGenerator::case_study_apps()
+            .iter()
+            .map(|a| a.build_apk())
+            .collect();
         let db = analyzer.analyze_batch(&apks).unwrap();
         assert_eq!(db.len(), 3);
         let json = db.to_json().unwrap();
@@ -330,6 +590,136 @@ mod tests {
         assert_eq!(entry.package_name, "com.dropbox.android");
         assert!(db.contains(hash.tag()));
         assert!(!db.has_tag_collision());
+    }
+
+    fn sig(descriptor: &str) -> MethodSignature {
+        descriptor.parse().unwrap()
+    }
+
+    #[test]
+    fn colliding_tags_are_detected_and_first_entry_is_kept() {
+        // Two distinct "apks" whose digests share the leading 8 bytes.
+        let mut first_hash = [0xAB; 16];
+        first_hash[15] = 0x01;
+        let mut second_hash = [0xAB; 16];
+        second_hash[15] = 0x02;
+        let first = ApkHash::from_bytes(first_hash);
+        let second = ApkHash::from_bytes(second_hash);
+        assert_eq!(first.tag(), second.tag());
+
+        let mut db = SignatureDatabase::new();
+        assert!(db
+            .insert(first, "com.first.app", false, vec![sig("La/B;->m()V")])
+            .is_none());
+        let collision = db
+            .insert(second, "com.second.app", false, vec![sig("Lc/D;->n()V")])
+            .expect("second insert must surface the collision");
+        assert_eq!(collision.tag, first.tag().to_hex());
+        assert_eq!(collision.existing_apk_hash, first.to_hex());
+        assert_eq!(collision.rejected_apk_hash, second.to_hex());
+        assert_eq!(collision.rejected_package, "com.second.app");
+
+        // The §VII collision case is now observable.
+        assert!(db.has_tag_collision());
+        assert_eq!(db.collisions().len(), 1);
+        // The existing app keeps resolving through the original table.
+        let entry = db.entry(first.tag()).unwrap();
+        assert_eq!(entry.package_name, "com.first.app");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn reanalyzing_the_same_apk_is_not_a_collision() {
+        let apk = CorpusGenerator::dropbox().build_apk();
+        let mut db = SignatureDatabase::new();
+        let analyzer = OfflineAnalyzer::new();
+        analyzer.analyze_into(&apk, &mut db).unwrap();
+        analyzer.analyze_into(&apk, &mut db).unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(!db.has_tag_collision());
+        assert!(db.collisions().is_empty());
+    }
+
+    #[test]
+    fn collisions_survive_json_roundtrip() {
+        let mut db = SignatureDatabase::new();
+        let mut a = [0x11; 16];
+        a[15] = 1;
+        let mut b = [0x11; 16];
+        b[15] = 2;
+        db.insert(ApkHash::from_bytes(a), "a", false, vec![]);
+        db.insert(ApkHash::from_bytes(b), "b", false, vec![]);
+        let restored = SignatureDatabase::from_json(&db.to_json().unwrap()).unwrap();
+        assert_eq!(restored, db);
+        assert!(restored.has_tag_collision());
+    }
+
+    #[test]
+    fn compiled_db_resolves_identically_to_interchange_form() {
+        let analyzer = OfflineAnalyzer::new();
+        let apks: Vec<_> = CorpusGenerator::case_study_apps()
+            .iter()
+            .map(|a| a.build_apk())
+            .collect();
+        let db = analyzer.analyze_batch(&apks).unwrap();
+        let compiled = CompiledSignatureDb::compile(&db);
+        assert_eq!(compiled.len(), db.len());
+
+        for apk in &apks {
+            let tag = apk.hash().tag();
+            assert!(compiled.contains(tag));
+            let entry = compiled.entry(tag).unwrap();
+            assert_eq!(entry.tag(), tag);
+            assert_eq!(entry.apk_hash(), Some(apk.hash()));
+            let count = entry.signature_count();
+            assert!(count > 0);
+            let indexes: Vec<u32> = (0..count.min(20) as u32).collect();
+            let interpreted = db.resolve_stack(tag, &indexes).unwrap();
+            let fast = compiled.resolve_stack(tag, &indexes).unwrap();
+            assert_eq!(interpreted.len(), fast.len());
+            for (a, b) in interpreted.iter().zip(fast) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_db_rejects_unknown_tags_and_dangling_indexes() {
+        let apk = CorpusGenerator::box_app().build_apk();
+        let mut db = SignatureDatabase::new();
+        let hash = OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        let compiled = CompiledSignatureDb::compile(&db);
+
+        assert!(compiled
+            .resolve_stack(ApkHash::digest(b"unknown").tag(), &[0])
+            .is_err());
+        assert!(compiled.resolve_stack(hash.tag(), &[1_000_000]).is_err());
+        let entry = compiled.entry(hash.tag()).unwrap();
+        assert!(entry.validate_indexes(&[0]).is_ok());
+        assert!(entry.validate_indexes(&[0, 9_999_999]).is_err());
+        assert!(entry.signature(9_999_999).is_none());
+    }
+
+    #[test]
+    fn compiled_db_marks_unparseable_descriptors_malformed() {
+        let mut db = SignatureDatabase::new();
+        db.insert(
+            ApkHash::digest(b"app"),
+            "com.app",
+            false,
+            vec![sig("La/B;->m()V")],
+        );
+        let mut json = db.to_json().unwrap();
+        // Corrupt the stored descriptor to simulate a damaged database file.
+        json = json.replace("La/B;->m()V", "not a descriptor");
+        let damaged = SignatureDatabase::from_json(&json).unwrap();
+        let compiled = CompiledSignatureDb::compile(&damaged);
+        let tag = ApkHash::digest(b"app").tag();
+        let err = compiled.resolve_stack(tag, &[0]).unwrap_err();
+        assert!(matches!(err, Error::Malformed { .. }));
+        // Same classification as the interpretive resolver.
+        let legacy_err = damaged.resolve_stack(tag, &[0]).unwrap_err();
+        assert!(matches!(legacy_err, Error::Malformed { .. }));
     }
 
     #[test]

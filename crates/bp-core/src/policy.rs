@@ -78,7 +78,11 @@ pub struct Policy {
 impl Policy {
     /// Create a policy from its parts.
     pub fn new(action: PolicyAction, level: EnforcementLevel, target: impl Into<String>) -> Self {
-        Policy { action, level, target: target.into() }
+        Policy {
+            action,
+            level,
+            target: target.into(),
+        }
     }
 
     /// Convenience constructor for a deny rule.
@@ -130,7 +134,11 @@ impl Policy {
 
 impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{[{}][{}][\"{}\"]}}", self.action, self.level, self.target)
+        write!(
+            f,
+            "{{[{}][{}][\"{}\"]}}",
+            self.action, self.level, self.target
+        )
     }
 }
 
@@ -173,7 +181,11 @@ impl FromStr for Policy {
         if target.is_empty() {
             return Err(parse_error("empty target"));
         }
-        Ok(Policy { action, level, target })
+        Ok(Policy {
+            action,
+            level,
+            target,
+        })
     }
 }
 
@@ -199,7 +211,10 @@ impl Decision {
 
     /// Construct a deny decision caused by `policy`.
     pub fn deny_by(policy: &Policy, reason: impl Into<String>) -> Self {
-        Decision::Deny { policy: Some(policy.clone()), reason: reason.into() }
+        Decision::Deny {
+            policy: Some(policy.clone()),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -260,12 +275,18 @@ impl PolicySet {
 
     /// Whether the set contains any allow (whitelist) policies.
     pub fn has_whitelist(&self) -> bool {
-        self.policies.iter().any(|p| p.action == PolicyAction::Allow)
+        self.policies
+            .iter()
+            .any(|p| p.action == PolicyAction::Allow)
     }
 
     /// Render the set in the grammar's textual form, one policy per line.
     pub fn to_text(&self) -> String {
-        self.policies.iter().map(Policy::to_string).collect::<Vec<_>>().join("\n")
+        self.policies
+            .iter()
+            .map(Policy::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     /// Evaluate a packet's decoded context against the set.
@@ -274,7 +295,11 @@ impl PolicySet {
     /// decoded stack of method signatures (innermost first).
     pub fn evaluate(&self, app_tag: AppTag, stack: &[MethodSignature]) -> Decision {
         // 1. Deny rules: ∃ s matching ⇒ drop.
-        for policy in self.policies.iter().filter(|p| p.action == PolicyAction::Deny) {
+        for policy in self
+            .policies
+            .iter()
+            .filter(|p| p.action == PolicyAction::Deny)
+        {
             if policy.level() == EnforcementLevel::Hash {
                 if policy.matches_tag(app_tag) {
                     return Decision::deny_by(policy, "application hash is blacklisted");
@@ -290,8 +315,11 @@ impl PolicySet {
         // 2. Allow (whitelist) rules: if any exist, the packet must satisfy at
         //    least one of them — hash-level allow matches the tag, finer
         //    levels require every stack frame to match.
-        let allows: Vec<&Policy> =
-            self.policies.iter().filter(|p| p.action == PolicyAction::Allow).collect();
+        let allows: Vec<&Policy> = self
+            .policies
+            .iter()
+            .filter(|p| p.action == PolicyAction::Allow)
+            .collect();
         if allows.is_empty() {
             return Decision::Allow;
         }
@@ -312,9 +340,401 @@ impl PolicySet {
     }
 }
 
+impl PolicySet {
+    /// Compile the set into the pre-split, pre-bucketed form the enforcement
+    /// data plane evaluates (see [`CompiledPolicySet`]).
+    pub fn compile(&self) -> CompiledPolicySet {
+        CompiledPolicySet::compile(self)
+    }
+}
+
 impl FromIterator<Policy> for PolicySet {
     fn from_iter<T: IntoIterator<Item = Policy>>(iter: T) -> Self {
-        PolicySet { policies: iter.into_iter().collect() }
+        PolicySet {
+            policies: iter.into_iter().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled policy evaluation
+// ---------------------------------------------------------------------------
+
+// Target normalization and prefix matching reuse the exact primitives of
+// `MethodSignature::matches_target`, so compiled and interpretive verdicts
+// cannot drift apart.
+use bp_types::signature::{normalize_package, segment_prefix};
+
+/// A policy target pre-split into the comparisons `evaluate` performs, so the
+/// per-packet work is slice/prefix comparisons with no string building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CompiledMatcher {
+    /// Hash-level rule: the target's first 16 hex characters, pre-decoded to
+    /// tag bytes.  `None` when the target can never match any tag.
+    Hash(Option<AppTag>),
+    /// Library-level rule: pre-normalized package prefix.
+    Library(String),
+    /// Class-level rule: pre-normalized class path (or package prefix).
+    Class(String),
+    /// Method-level rule pre-split into descriptor components.  `params:
+    /// None` means the target omitted the parameter list entirely; `ret:
+    /// None` means it omitted the return type.
+    Method {
+        class_path: String,
+        method: String,
+        params: Option<String>,
+        ret: Option<String>,
+    },
+    /// Fallback for method targets whose shape does not decompose cleanly:
+    /// replicates the interpretive string comparisons verbatim.
+    MethodVerbatim(String),
+    /// A target that can never match (e.g. empty after trimming).
+    Never,
+}
+
+impl CompiledMatcher {
+    fn compile(level: EnforcementLevel, target: &str) -> CompiledMatcher {
+        if level == EnforcementLevel::Hash {
+            // `Policy::matches_tag` compares the *untrimmed* lowercased
+            // target; a tag matches iff the target's first 16 characters are
+            // its hex form.
+            let lowered = target.to_ascii_lowercase();
+            return CompiledMatcher::Hash(lowered.get(..16).and_then(AppTag::from_hex));
+        }
+        // `MethodSignature::matches_target` trims and rejects empty targets.
+        let raw = target.trim();
+        if raw.is_empty() {
+            return CompiledMatcher::Never;
+        }
+        match level {
+            EnforcementLevel::Hash => unreachable!("handled above"),
+            EnforcementLevel::Library => CompiledMatcher::Library(normalize_package(raw)),
+            EnforcementLevel::Class => CompiledMatcher::Class(normalize_package(raw)),
+            EnforcementLevel::Method => Self::compile_method(raw),
+        }
+    }
+
+    /// Split a method target of the form `L<class>;-><method>[(<params>)[<ret>]]`.
+    fn compile_method(raw: &str) -> CompiledMatcher {
+        let verbatim = || CompiledMatcher::MethodVerbatim(raw.to_string());
+        let Some(body) = raw.strip_prefix('L') else {
+            // None of the three descriptor forms can start without `L`.
+            return CompiledMatcher::Never;
+        };
+        let Some((class_path, rest)) = body.split_once(";->") else {
+            return CompiledMatcher::Never;
+        };
+        match rest.split_once('(') {
+            None => CompiledMatcher::Method {
+                class_path: class_path.to_string(),
+                method: rest.to_string(),
+                params: None,
+                ret: None,
+            },
+            Some((method, after)) => {
+                // The descriptor forms close the parameter list with the
+                // first `)`; anything trailing is the return type.
+                let Some((params, ret)) = after.split_once(')') else {
+                    // `(` without `)` — defer to the verbatim comparisons.
+                    return verbatim();
+                };
+                if params.contains('(') || params.contains(')') {
+                    return verbatim();
+                }
+                CompiledMatcher::Method {
+                    class_path: class_path.to_string(),
+                    method: method.to_string(),
+                    params: Some(params.to_string()),
+                    ret: (!ret.is_empty()).then(|| ret.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Whether a hash-level matcher matches `tag` (tag comparisons only).
+    fn matches_tag(&self, tag: AppTag) -> bool {
+        matches!(self, CompiledMatcher::Hash(Some(t)) if *t == tag)
+    }
+
+    /// Whether a signature-level matcher matches `signature`.
+    fn matches_signature(&self, signature: &MethodSignature) -> bool {
+        match self {
+            CompiledMatcher::Hash(_) | CompiledMatcher::Never => false,
+            CompiledMatcher::Library(prefix) => segment_prefix(signature.package(), prefix),
+            CompiledMatcher::Class(path) => class_matches(signature, path),
+            CompiledMatcher::Method {
+                class_path,
+                method,
+                params,
+                ret,
+            } => {
+                if signature.method_name() != method
+                    || !qualified_class_equals(signature, class_path)
+                {
+                    return false;
+                }
+                match (params, ret) {
+                    (None, _) => true,
+                    (Some(p), None) => signature.params() == p,
+                    (Some(p), Some(r)) => signature.params() == p && signature.return_type() == r,
+                }
+            }
+            CompiledMatcher::MethodVerbatim(target) => {
+                signature.matches_target(EnforcementLevel::Method, target)
+            }
+        }
+    }
+}
+
+/// `signature.qualified_class() == path`, compared piecewise so no `String`
+/// is built per evaluation.
+fn qualified_class_equals(signature: &MethodSignature, path: &str) -> bool {
+    let package = signature.package();
+    let class = signature.class_name();
+    if package.is_empty() {
+        return class == path;
+    }
+    path.len() == package.len() + 1 + class.len()
+        && path.as_bytes()[package.len()] == b'/'
+        && path.starts_with(package)
+        && path.ends_with(class)
+}
+
+/// Class-level matching: `qc == t || segment_prefix(qc, t)` over the virtual
+/// qualified class path, without materializing it.
+fn class_matches(signature: &MethodSignature, target: &str) -> bool {
+    let package = signature.package();
+    let class = signature.class_name();
+    if target.is_empty() {
+        // `qc == ""` requires both parts empty; segment_prefix rejects "".
+        return package.is_empty() && class.is_empty();
+    }
+    if qualified_class_equals(signature, target) {
+        return true;
+    }
+    if package.is_empty() {
+        // qc == class, which contains no `/`: only exact equality matches.
+        return false;
+    }
+    // A strict segment prefix of `package/Class` must end inside the package
+    // part (the class name contains no further `/` boundary).
+    if target.len() < package.len() {
+        return package.starts_with(target) && package.as_bytes()[target.len()] == b'/';
+    }
+    target.len() == package.len() && package == target
+}
+
+/// A compiled rule: the original policy's position plus its pre-split target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CompiledRule {
+    /// Index into the originating [`PolicySet`], for attribution.
+    policy: usize,
+    matcher: CompiledMatcher,
+}
+
+/// The verdict of the compiled evaluator, free of allocation: policies and
+/// frames are referenced by index and only formatted when a drop is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledVerdict {
+    /// The packet conforms to policy.
+    Allow,
+    /// The packet violates policy.
+    Deny {
+        /// Index of the violated policy in the originating set (`None` for
+        /// whitelist-miss denials).
+        policy: Option<usize>,
+        /// Index of the matching stack frame, when a frame triggered the
+        /// denial.
+        frame: Option<usize>,
+    },
+}
+
+impl CompiledVerdict {
+    /// True if the verdict allows the packet.
+    pub fn is_allow(self) -> bool {
+        matches!(self, CompiledVerdict::Allow)
+    }
+}
+
+/// The compiled, evaluation-ready form of a [`PolicySet`].
+///
+/// Compilation pre-buckets rules by action and by whether they match the app
+/// tag (hash level) or the stack (library/class/method levels), and pre-splits
+/// every target (normalized package prefix, class path, descriptor
+/// components, decoded tag bytes) so `evaluate` performs only slice and
+/// prefix comparisons — no normalization, no descriptor rendering and no
+/// allocation per packet.
+///
+/// Deny evaluation checks tag-level rules before stack-level rules (each
+/// bucket in insertion order); since any matching deny rule drops the packet,
+/// this only affects which policy a drop is *attributed* to when several
+/// match, not the decision itself.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::policy::{Policy, PolicySet};
+/// use bp_types::{ApkHash, EnforcementLevel};
+///
+/// let set = PolicySet::from_policies(vec![Policy::deny(
+///     EnforcementLevel::Library,
+///     "com/flurry",
+/// )]);
+/// let compiled = set.compile();
+/// let stack = vec!["Lcom/flurry/sdk/Agent;->report()V".parse().unwrap()];
+/// let tag = ApkHash::digest(b"app").tag();
+/// assert!(!compiled.evaluate(tag, &stack).is_allow());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledPolicySet {
+    /// The original policies, for attribution and reporting.
+    policies: Vec<Policy>,
+    deny_tag: Vec<CompiledRule>,
+    deny_stack: Vec<CompiledRule>,
+    allow_tag: Vec<CompiledRule>,
+    allow_stack: Vec<CompiledRule>,
+}
+
+impl CompiledPolicySet {
+    /// Compile `set` (see the type-level documentation).
+    pub fn compile(set: &PolicySet) -> Self {
+        let mut compiled = CompiledPolicySet {
+            policies: set.policies.clone(),
+            deny_tag: Vec::new(),
+            deny_stack: Vec::new(),
+            allow_tag: Vec::new(),
+            allow_stack: Vec::new(),
+        };
+        for (index, policy) in set.policies.iter().enumerate() {
+            let rule = CompiledRule {
+                policy: index,
+                matcher: CompiledMatcher::compile(policy.level(), policy.target()),
+            };
+            let bucket = match (policy.action(), policy.level()) {
+                (PolicyAction::Deny, EnforcementLevel::Hash) => &mut compiled.deny_tag,
+                (PolicyAction::Deny, _) => &mut compiled.deny_stack,
+                (PolicyAction::Allow, EnforcementLevel::Hash) => &mut compiled.allow_tag,
+                (PolicyAction::Allow, _) => &mut compiled.allow_stack,
+            };
+            bucket.push(rule);
+        }
+        compiled
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Whether the set contains any allow (whitelist) rules.
+    pub fn has_whitelist(&self) -> bool {
+        !self.allow_tag.is_empty() || !self.allow_stack.is_empty()
+    }
+
+    /// The original policy at `index` (as reported by [`CompiledVerdict`]).
+    pub fn policy(&self, index: usize) -> Option<&Policy> {
+        self.policies.get(index)
+    }
+
+    /// Evaluate against stack frames provided by index — the allocation-free
+    /// core shared by the slice and enforcer entry points.  `frame(i)` must
+    /// return the `i`-th innermost frame for `i < frame_count`.
+    pub fn evaluate_frames<'s, F>(
+        &self,
+        app_tag: AppTag,
+        frame_count: usize,
+        frame: F,
+    ) -> CompiledVerdict
+    where
+        F: Fn(usize) -> &'s MethodSignature,
+    {
+        // 1. Deny rules: ∃ matching rule ⇒ drop (tag bucket first).
+        for rule in &self.deny_tag {
+            if rule.matcher.matches_tag(app_tag) {
+                return CompiledVerdict::Deny {
+                    policy: Some(rule.policy),
+                    frame: None,
+                };
+            }
+        }
+        for rule in &self.deny_stack {
+            if let Some(hit) = (0..frame_count).find(|&i| rule.matcher.matches_signature(frame(i)))
+            {
+                return CompiledVerdict::Deny {
+                    policy: Some(rule.policy),
+                    frame: Some(hit),
+                };
+            }
+        }
+
+        // 2. Allow (whitelist) rules: if any exist, at least one must be
+        //    satisfied — tag rules by the tag, stack rules by *every* frame.
+        if self.allow_tag.is_empty() && self.allow_stack.is_empty() {
+            return CompiledVerdict::Allow;
+        }
+        if self
+            .allow_tag
+            .iter()
+            .any(|rule| rule.matcher.matches_tag(app_tag))
+        {
+            return CompiledVerdict::Allow;
+        }
+        if frame_count > 0
+            && self
+                .allow_stack
+                .iter()
+                .any(|rule| (0..frame_count).all(|i| rule.matcher.matches_signature(frame(i))))
+        {
+            return CompiledVerdict::Allow;
+        }
+        CompiledVerdict::Deny {
+            policy: None,
+            frame: None,
+        }
+    }
+
+    /// Evaluate a decoded stack slice; same semantics as
+    /// [`PolicySet::evaluate`].
+    pub fn evaluate(&self, app_tag: AppTag, stack: &[MethodSignature]) -> Decision {
+        let verdict = self.evaluate_frames(app_tag, stack.len(), |i| &stack[i]);
+        self.verdict_to_decision(verdict, |i| &stack[i])
+    }
+
+    /// Render a [`CompiledVerdict`] into the interpretive [`Decision`] form,
+    /// reproducing the same policy attribution and reason strings.
+    pub fn verdict_to_decision<'s, F>(&self, verdict: CompiledVerdict, frame: F) -> Decision
+    where
+        F: Fn(usize) -> &'s MethodSignature,
+    {
+        match verdict {
+            CompiledVerdict::Allow => Decision::Allow,
+            CompiledVerdict::Deny {
+                policy: Some(index),
+                frame: hit,
+            } => {
+                let policy = &self.policies[index];
+                let reason = match hit {
+                    Some(i) => format!("stack frame {} matches denied target", frame(i)),
+                    None => "application hash is blacklisted".to_string(),
+                };
+                Decision::deny_by(policy, reason)
+            }
+            CompiledVerdict::Deny { policy: None, .. } => Decision::Deny {
+                policy: None,
+                reason: "no whitelist policy is satisfied by every stack frame".to_string(),
+            },
+        }
+    }
+}
+
+impl From<&PolicySet> for CompiledPolicySet {
+    fn from(set: &PolicySet) -> Self {
+        CompiledPolicySet::compile(set)
     }
 }
 
@@ -368,7 +788,9 @@ mod tests {
         assert_eq!(p.level(), EnforcementLevel::Method);
 
         // Example 4: hash-level whitelist.
-        let p: Policy = r#"{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}"#.parse().unwrap();
+        let p: Policy = r#"{[allow][hash]["da6880ab1f9919747d39e2bd895b95a5"]}"#
+            .parse()
+            .unwrap();
         assert_eq!(p.action(), PolicyAction::Allow);
         assert_eq!(p.level(), EnforcementLevel::Hash);
     }
@@ -423,9 +845,12 @@ mod tests {
 
     #[test]
     fn deny_library_blocks_flurry_but_not_dropbox() {
-        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
+        let set =
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
         assert!(!set.evaluate(tag(b"app"), &flurry_stack()).is_allow());
-        assert!(set.evaluate(tag(b"app"), &dropbox_upload_stack()).is_allow());
+        assert!(set
+            .evaluate(tag(b"app"), &dropbox_upload_stack())
+            .is_allow());
     }
 
     #[test]
@@ -434,7 +859,9 @@ mod tests {
             EnforcementLevel::Method,
             "Lcom/dropbox/android/taskqueue/UploadTask;->c",
         )]);
-        assert!(!set.evaluate(tag(b"dropbox"), &dropbox_upload_stack()).is_allow());
+        assert!(!set
+            .evaluate(tag(b"dropbox"), &dropbox_upload_stack())
+            .is_allow());
 
         let download_stack = vec![
             sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"),
@@ -445,8 +872,13 @@ mod tests {
 
     #[test]
     fn deny_class_blocks_whole_package_tree() {
-        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Class, "com/google/gms")]);
-        let stack = vec![sig("Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V")];
+        let set = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Class,
+            "com/google/gms",
+        )]);
+        let stack = vec![sig(
+            "Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V",
+        )];
         assert!(!set.evaluate(tag(b"x"), &stack).is_allow());
     }
 
@@ -455,14 +887,19 @@ mod tests {
         let the_tag = tag(b"corporate-app");
         let deny_set =
             PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Hash, the_tag.to_hex())]);
-        assert!(!deny_set.evaluate(the_tag, &dropbox_upload_stack()).is_allow());
-        assert!(deny_set.evaluate(tag(b"other-app"), &dropbox_upload_stack()).is_allow());
+        assert!(!deny_set
+            .evaluate(the_tag, &dropbox_upload_stack())
+            .is_allow());
+        assert!(deny_set
+            .evaluate(tag(b"other-app"), &dropbox_upload_stack())
+            .is_allow());
     }
 
     #[test]
     fn whitelist_requires_all_frames_to_match() {
         // Paper semantics: allow iff ∀ s match the target at level ≥ L.
-        let set = PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Library, "com/flurry")]);
+        let set =
+            PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Library, "com/flurry")]);
         // Mixed stack (app + flurry frames): not all frames match ⇒ deny.
         assert!(!set.evaluate(tag(b"a"), &flurry_stack()).is_allow());
         // Pure flurry stack ⇒ allow.
@@ -478,10 +915,14 @@ mod tests {
     #[test]
     fn hash_whitelist_admits_only_that_app() {
         let corporate = tag(b"corporate");
-        let set =
-            PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Hash, corporate.to_hex())]);
+        let set = PolicySet::from_policies(vec![Policy::allow(
+            EnforcementLevel::Hash,
+            corporate.to_hex(),
+        )]);
         assert!(set.evaluate(corporate, &dropbox_upload_stack()).is_allow());
-        assert!(!set.evaluate(tag(b"game"), &dropbox_upload_stack()).is_allow());
+        assert!(!set
+            .evaluate(tag(b"game"), &dropbox_upload_stack())
+            .is_allow());
     }
 
     #[test]
@@ -505,9 +946,13 @@ mod tests {
 
     #[test]
     fn decision_reports_the_matching_policy() {
-        let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
+        let set =
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]);
         match set.evaluate(tag(b"x"), &flurry_stack()) {
-            Decision::Deny { policy: Some(policy), reason } => {
+            Decision::Deny {
+                policy: Some(policy),
+                reason,
+            } => {
                 assert_eq!(policy.target(), "com/flurry");
                 assert!(reason.contains("com/flurry"));
             }
@@ -517,8 +962,164 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let set: PolicySet =
-            vec![Policy::deny(EnforcementLevel::Library, "com/mopub")].into_iter().collect();
+        let set: PolicySet = vec![Policy::deny(EnforcementLevel::Library, "com/mopub")]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 1);
+    }
+
+    /// Exhaustive scenario sweep: compiled evaluation must agree with the
+    /// interpretive evaluation on every decision.
+    #[test]
+    fn compiled_set_agrees_with_interpretive_evaluation() {
+        let corporate = tag(b"corporate");
+        let sets = vec![
+            PolicySet::new(),
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/flurry")]),
+            PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Method,
+                "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+            )]),
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Class, "com/google/gms")]),
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Hash, corporate.to_hex())]),
+            PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Library, "com/flurry")]),
+            PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Hash, corporate.to_hex())]),
+            PolicySet::from_policies(vec![
+                Policy::allow(EnforcementLevel::Hash, corporate.to_hex()),
+                Policy::deny(EnforcementLevel::Library, "com/flurry"),
+            ]),
+            PolicySet::from_policies(vec![
+                Policy::deny(EnforcementLevel::Method, "Lcom/dropbox/android/taskqueue/UploadTask;->c()"),
+                Policy::deny(
+                    EnforcementLevel::Method,
+                    "Lcom/dropbox/android/taskqueue/UploadTask;->c()Lcom/dropbox/hairball/taskqueue/TaskResult;",
+                ),
+            ]),
+        ];
+        let stacks: Vec<Vec<MethodSignature>> = vec![
+            vec![],
+            flurry_stack(),
+            dropbox_upload_stack(),
+            vec![sig(
+                "Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V",
+            )],
+            flurry_stack()
+                .into_iter()
+                .filter(|s| s.package().starts_with("com/flurry"))
+                .collect(),
+        ];
+        for set in &sets {
+            let compiled = set.compile();
+            assert_eq!(compiled.len(), set.len());
+            assert_eq!(compiled.has_whitelist(), set.has_whitelist());
+            for stack in &stacks {
+                for t in [corporate, tag(b"other")] {
+                    let interpreted = set.evaluate(t, stack);
+                    let fast = compiled.evaluate(t, stack);
+                    assert_eq!(
+                        interpreted.is_allow(),
+                        fast.is_allow(),
+                        "set {:?} stack {:?}",
+                        set.to_text(),
+                        stack
+                    );
+                }
+            }
+        }
+    }
+
+    /// With a single policy, the compiled path must also reproduce the exact
+    /// attribution and reason strings.
+    #[test]
+    fn compiled_set_reproduces_attribution_for_single_policies() {
+        let the_tag = tag(b"corporate");
+        let cases = vec![
+            Policy::deny(EnforcementLevel::Library, "com/flurry"),
+            Policy::deny(EnforcementLevel::Class, "com/flurry/sdk"),
+            Policy::deny(EnforcementLevel::Method, "Lcom/flurry/sdk/Transport;->send"),
+            Policy::deny(EnforcementLevel::Hash, the_tag.to_hex()),
+            Policy::allow(EnforcementLevel::Library, "com/dropbox"),
+        ];
+        for policy in cases {
+            let set = PolicySet::from_policies(vec![policy]);
+            let compiled = set.compile();
+            for stack in [flurry_stack(), dropbox_upload_stack(), vec![]] {
+                assert_eq!(
+                    set.evaluate(the_tag, &stack),
+                    compiled.evaluate(the_tag, &stack),
+                    "set {}",
+                    set.to_text()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_hash_rules_match_full_and_truncated_hashes() {
+        let full = ApkHash::digest(b"corp-apk");
+        let the_tag = full.tag();
+        for target in [
+            the_tag.to_hex(),
+            full.to_hex(),
+            full.to_hex().to_uppercase(),
+        ] {
+            let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Hash, target)]);
+            let compiled = set.compile();
+            assert!(!compiled.evaluate(the_tag, &[]).is_allow());
+            assert!(compiled.evaluate(tag(b"other"), &[]).is_allow());
+        }
+        // Non-hex and too-short targets never match (same as interpretive).
+        for target in ["zz", "da68", ""] {
+            let set = PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Hash, target)]);
+            assert!(set.compile().evaluate(the_tag, &[]).is_allow());
+            assert!(set.evaluate(the_tag, &[]).is_allow());
+        }
+    }
+
+    #[test]
+    fn compiled_deny_checks_tag_rules_before_stack_rules() {
+        let the_tag = tag(b"app");
+        let set = PolicySet::from_policies(vec![
+            Policy::deny(EnforcementLevel::Library, "com/flurry"),
+            Policy::deny(EnforcementLevel::Hash, the_tag.to_hex()),
+        ]);
+        // Both rules match: the interpretive path reports the library rule
+        // (insertion order), the compiled path the hash rule (tag bucket
+        // first) — the decision itself is identical.
+        let interpreted = set.evaluate(the_tag, &flurry_stack());
+        let fast = set.compile().evaluate(the_tag, &flurry_stack());
+        assert!(!interpreted.is_allow());
+        assert!(!fast.is_allow());
+        match fast {
+            Decision::Deny {
+                policy: Some(policy),
+                ..
+            } => {
+                assert_eq!(policy.level(), EnforcementLevel::Hash);
+            }
+            other => panic!("expected attributed deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_verdict_exposes_policy_and_frame_indexes() {
+        let set = PolicySet::from_policies(vec![
+            Policy::deny(EnforcementLevel::Library, "com/none"),
+            Policy::deny(EnforcementLevel::Library, "com/flurry"),
+        ]);
+        let compiled = set.compile();
+        let stack = flurry_stack();
+        let verdict = compiled.evaluate_frames(tag(b"x"), stack.len(), |i| &stack[i]);
+        match verdict {
+            CompiledVerdict::Deny {
+                policy: Some(1),
+                frame: Some(frame),
+            } => {
+                assert!(stack[frame].package().starts_with("com/flurry"));
+            }
+            other => panic!("expected deny by policy 1, got {other:?}"),
+        }
+        assert!(!verdict.is_allow());
+        assert_eq!(compiled.policy(1).unwrap().target(), "com/flurry");
     }
 }

@@ -48,7 +48,10 @@ impl ProfileRun {
 
     /// The set of distinct method signatures appearing anywhere in the run.
     pub fn signature_set(&self) -> BTreeSet<MethodSignature> {
-        self.traces.iter().flat_map(|t| t.signatures().cloned()).collect()
+        self.traces
+            .iter()
+            .flat_map(|t| t.signatures().cloned())
+            .collect()
     }
 }
 
@@ -110,7 +113,10 @@ impl PolicyExtractor {
                 EnforcementLevel::Hash => {}
             }
         }
-        targets.into_iter().map(|t| Policy::deny(level, t)).collect()
+        targets
+            .into_iter()
+            .map(|t| Policy::deny(level, t))
+            .collect()
     }
 }
 
@@ -154,14 +160,16 @@ mod tests {
 
         let app = CorpusGenerator::dropbox();
         let tag = ApkHash::digest(b"dropbox").tag();
-        let upload_stack: Vec<MethodSignature> = java_stack_for(&app, app.functionality("upload").unwrap())
-            .signatures()
-            .cloned()
-            .collect();
-        let download_stack: Vec<MethodSignature> = java_stack_for(&app, app.functionality("download").unwrap())
-            .signatures()
-            .cloned()
-            .collect();
+        let upload_stack: Vec<MethodSignature> =
+            java_stack_for(&app, app.functionality("upload").unwrap())
+                .signatures()
+                .cloned()
+                .collect();
+        let download_stack: Vec<MethodSignature> =
+            java_stack_for(&app, app.functionality("download").unwrap())
+                .signatures()
+                .cloned()
+                .collect();
         assert!(!set.evaluate(tag, &upload_stack).is_allow());
         assert!(set.evaluate(tag, &download_stack).is_allow());
     }
@@ -175,9 +183,13 @@ mod tests {
         let library_set = extractor.extract(&baseline, &undesired, EnforcementLevel::Library);
         assert!(class_set.len() <= method_set.len());
         assert!(library_set.len() <= class_set.len());
-        assert!(library_set.iter().all(|p| p.level() == EnforcementLevel::Library));
+        assert!(library_set
+            .iter()
+            .all(|p| p.level() == EnforcementLevel::Library));
         // Hash-level extraction yields nothing.
-        assert!(extractor.extract(&baseline, &undesired, EnforcementLevel::Hash).is_empty());
+        assert!(extractor
+            .extract(&baseline, &undesired, EnforcementLevel::Hash)
+            .is_empty());
     }
 
     #[test]

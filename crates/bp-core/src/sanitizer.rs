@@ -44,12 +44,18 @@ impl PacketSanitizer {
     /// Create a sanitizer that strips BorderPatrol context options and legacy
     /// security options.
     pub fn new() -> Self {
-        PacketSanitizer { stats: SanitizerStats::default(), strip_security_options: true }
+        PacketSanitizer {
+            stats: SanitizerStats::default(),
+            strip_security_options: true,
+        }
     }
 
     /// Create a sanitizer that only strips the BorderPatrol context option.
     pub fn context_only() -> Self {
-        PacketSanitizer { stats: SanitizerStats::default(), strip_security_options: false }
+        PacketSanitizer {
+            stats: SanitizerStats::default(),
+            strip_security_options: false,
+        }
     }
 
     /// Counters.
@@ -65,7 +71,9 @@ impl PacketSanitizer {
     /// Strip context (and optionally security) options from a packet in place.
     pub fn sanitize(&mut self, packet: &mut Ipv4Packet) {
         self.stats.packets_processed += 1;
-        let removed = packet.options_mut().remove(IpOptionKind::BorderPatrolContext);
+        let removed = packet
+            .options_mut()
+            .remove(IpOptionKind::BorderPatrolContext);
         if removed > 0 {
             self.stats.options_stripped += 1;
         }
@@ -103,7 +111,13 @@ mod tests {
         );
         packet
             .options_mut()
-            .push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap())
+            .push(
+                IpOption::new(
+                    IpOptionKind::BorderPatrolContext,
+                    vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                )
+                .unwrap(),
+            )
             .unwrap();
         packet
             .options_mut()

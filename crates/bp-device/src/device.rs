@@ -170,7 +170,17 @@ impl Device {
         let process = self.zygote.fork(id, profile == Profile::Work);
         let uid = process.uid;
         self.processes.insert(process);
-        self.apps.insert(id, InstalledApp { id, spec, apk, apk_hash, profile, uid });
+        self.apps.insert(
+            id,
+            InstalledApp {
+                id,
+                spec,
+                apk,
+                apk_hash,
+                profile,
+                uid,
+            },
+        );
         id
     }
 
@@ -186,11 +196,16 @@ impl Device {
 
     /// Apps installed in the work profile.
     pub fn work_profile_apps(&self) -> Vec<&InstalledApp> {
-        self.apps.values().filter(|a| a.profile == Profile::Work).collect()
+        self.apps
+            .values()
+            .filter(|a| a.profile == Profile::Work)
+            .collect()
     }
 
     fn require_app(&self, app: AppId) -> Result<&InstalledApp, Error> {
-        self.apps.get(&app).ok_or_else(|| Error::not_found("installed app", app.to_string()))
+        self.apps
+            .get(&app)
+            .ok_or_else(|| Error::not_found("installed app", app.to_string()))
     }
 
     /// Invoke a functionality through the managed (Dalvik) code path: hooks
@@ -375,8 +390,12 @@ mod tests {
     fn unknown_app_or_functionality_errors() {
         let mut d = device();
         let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
-        assert!(d.invoke_functionality(AppId::new(99), "browse", endpoint()).is_err());
-        assert!(d.invoke_functionality(app, "does-not-exist", endpoint()).is_err());
+        assert!(d
+            .invoke_functionality(AppId::new(99), "browse", endpoint())
+            .is_err());
+        assert!(d
+            .invoke_functionality(app, "does-not-exist", endpoint())
+            .is_err());
     }
 
     #[test]
@@ -396,7 +415,9 @@ mod tests {
         let mut d = device();
         d.install_hook(Box::new(StaticInjectHook::new(vec![0xCC; 10])));
         let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
-        let inv = d.invoke_functionality_native(app, "upload", endpoint()).unwrap();
+        let inv = d
+            .invoke_functionality_native(app, "upload", endpoint())
+            .unwrap();
         assert!(inv.native_bypass);
         assert!(inv.packets.iter().all(|p| !p.has_context_option()));
         assert_eq!(d.hook_stats().native_bypasses, 1);
@@ -409,10 +430,15 @@ mod tests {
         d.install_hook(Box::new(StaticInjectHook::new(vec![0xEE; 6])));
         let app = d.install_app(CorpusGenerator::dropbox(), Profile::Work);
         let inv = d.invoke_functionality(app, "browse", endpoint()).unwrap();
-        let more = d.send_on_socket(app, inv.socket, b"second request on same socket").unwrap();
+        let more = d
+            .send_on_socket(app, inv.socket, b"second request on same socket")
+            .unwrap();
         assert!(!more.is_empty());
         // Reused socket: same tag, no second hook dispatch.
-        assert!(more[0].options().find(IpOptionKind::BorderPatrolContext).is_some());
+        assert!(more[0]
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .is_some());
         assert_eq!(d.hook_stats().dispatched, 1);
         d.close_socket(inv.socket);
         assert!(d.send_on_socket(app, inv.socket, b"x").is_err());

@@ -104,7 +104,14 @@ pub struct HookManager {
 impl std::fmt::Debug for HookManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HookManager")
-            .field("hooks", &self.hooks.iter().map(|h| h.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "hooks",
+                &self
+                    .hooks
+                    .iter()
+                    .map(|h| h.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
             .field("stats", &self.stats)
             .finish()
     }
@@ -145,11 +152,7 @@ impl HookManager {
     /// Dispatch a connect event to every installed hook, merging their
     /// outcomes.  Hook errors are recorded and swallowed (a failing module
     /// must not crash the app), mirroring Xposed behaviour.
-    pub fn dispatch(
-        &mut self,
-        context: &HookContext,
-        kernel: &mut KernelNetStack,
-    ) -> HookOutcome {
+    pub fn dispatch(&mut self, context: &HookContext, kernel: &mut KernelNetStack) -> HookOutcome {
         self.stats.dispatched += 1;
         let mut merged = HookOutcome::default();
         for hook in &mut self.hooks {
@@ -197,7 +200,11 @@ impl SocketConnectHook for StaticInjectHook {
             self.payload.clone(),
         )?)?;
         kernel.setsockopt_ip_options(&context.credentials, context.socket, options)?;
-        Ok(HookOutcome { used_get_stack_trace: false, encoded_context: false, set_ip_options: true })
+        Ok(HookOutcome {
+            used_get_stack_trace: false,
+            encoded_context: false,
+            set_ip_options: true,
+        })
     }
 }
 
@@ -235,7 +242,11 @@ impl SocketConnectHook for GetStackOnlyHook {
             self.payload.clone(),
         )?)?;
         kernel.setsockopt_ip_options(&context.credentials, context.socket, options)?;
-        Ok(HookOutcome { used_get_stack_trace: true, encoded_context: false, set_ip_options: true })
+        Ok(HookOutcome {
+            used_get_stack_trace: true,
+            encoded_context: false,
+            set_ip_options: true,
+        })
     }
 }
 
@@ -248,7 +259,9 @@ mod tests {
     fn context(kernel: &mut KernelNetStack) -> HookContext {
         let creds = ProcessCredentials::unprivileged(10_001);
         let socket = kernel.socket(AppId::new(1));
-        kernel.connect(&creds, socket, Endpoint::new([1, 2, 3, 4], 443)).unwrap();
+        kernel
+            .connect(&creds, socket, Endpoint::new([1, 2, 3, 4], 443))
+            .unwrap();
         HookContext {
             device: DeviceId::new(1),
             app: AppId::new(1),
@@ -281,7 +294,10 @@ mod tests {
         assert!(outcome.set_ip_options);
         assert!(!outcome.used_get_stack_trace);
         let socket = k.sockets().get(ctx.socket).unwrap();
-        assert!(socket.options().find(IpOptionKind::BorderPatrolContext).is_some());
+        assert!(socket
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .is_some());
         assert_eq!(manager.stats().dispatched, 1);
         assert_eq!(manager.stats().errors, 0);
     }

@@ -51,12 +51,20 @@ impl Default for Zygote {
 impl Zygote {
     /// Create the Zygote with fresh uid/pid counters.
     pub fn new() -> Self {
-        Zygote { next_uid: FIRST_APP_UID, next_pid: 2_000 }
+        Zygote {
+            next_uid: FIRST_APP_UID,
+            next_pid: 2_000,
+        }
     }
 
     /// Fork a new app process for `app`.
     pub fn fork(&mut self, app: AppId, work_profile: bool) -> AppProcess {
-        let proc = AppProcess { app, uid: self.next_uid, pid: self.next_pid, work_profile };
+        let proc = AppProcess {
+            app,
+            uid: self.next_uid,
+            pid: self.next_pid,
+            work_profile,
+        };
         self.next_uid += 1;
         self.next_pid += 1;
         proc

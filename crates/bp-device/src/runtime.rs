@@ -71,12 +71,16 @@ pub fn http_request_for(functionality: &Functionality) -> HttpRequest {
     let path = format!("/{}", functionality.name);
     match functionality.request_kind() {
         RequestKind::Fetch => HttpRequest::get(host, path),
-        RequestKind::Submit => {
-            HttpRequest::post(host, path, vec![b'd'; functionality.payload_bytes.min(64 * 1024)])
-        }
-        RequestKind::Upload => {
-            HttpRequest::put(host, path, vec![b'u'; functionality.payload_bytes.min(4 * 1024 * 1024)])
-        }
+        RequestKind::Submit => HttpRequest::post(
+            host,
+            path,
+            vec![b'd'; functionality.payload_bytes.min(64 * 1024)],
+        ),
+        RequestKind::Upload => HttpRequest::put(
+            host,
+            path,
+            vec![b'u'; functionality.payload_bytes.min(4 * 1024 * 1024)],
+        ),
     }
 }
 
@@ -116,7 +120,10 @@ mod tests {
         let full = java_stack_for(&app, login);
         assert_eq!(raw.len(), full.depth());
         for (raw_frame, full_frame) in raw.iter().zip(full.frames()) {
-            assert_eq!(raw_frame.qualified_class, full_frame.signature().qualified_class());
+            assert_eq!(
+                raw_frame.qualified_class,
+                full_frame.signature().qualified_class()
+            );
             assert_eq!(raw_frame.method_name, full_frame.signature().method_name());
         }
         assert!(full.contains_library("com/facebook"));
@@ -131,8 +138,11 @@ mod tests {
         let browse = http_request_for(app.functionality("browse").unwrap());
         assert_eq!(browse.method, HttpMethod::Get);
         assert!(browse.body.is_empty());
-        let analytics =
-            http_request_for(CorpusGenerator::solcalendar().functionality("fb-analytics").unwrap());
+        let analytics = http_request_for(
+            CorpusGenerator::solcalendar()
+                .functionality("fb-analytics")
+                .unwrap(),
+        );
         assert_eq!(analytics.method, HttpMethod::Post);
         assert_eq!(analytics.host, "graph.facebook.com");
     }

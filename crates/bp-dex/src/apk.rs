@@ -172,7 +172,11 @@ impl ApkFile {
             let data = pr.get_blob()?.to_vec();
             entries.push(ApkEntry { name, data });
         }
-        Ok(ApkFile { package_name, version, entries })
+        Ok(ApkFile {
+            package_name,
+            version,
+            entries,
+        })
     }
 }
 
@@ -221,7 +225,10 @@ impl ApkBuilder {
 
     /// Add an arbitrary extra entry (resources, certificates, assets).
     pub fn add_entry(mut self, name: impl Into<String>, data: Vec<u8>) -> Self {
-        self.extra_entries.push(ApkEntry { name: name.into(), data });
+        self.extra_entries.push(ApkEntry {
+            name: name.into(),
+            data,
+        });
         self
     }
 
@@ -242,14 +249,21 @@ impl ApkBuilder {
             } else {
                 format!("classes{}.dex", i + 1)
             };
-            entries.push(ApkEntry { name, data: dex.to_bytes() });
+            entries.push(ApkEntry {
+                name,
+                data: dex.to_bytes(),
+            });
         }
         entries.push(ApkEntry {
             name: "META-INF/CERT.RSA".to_string(),
             data: format!("certificate-for-{}", self.package_name).into_bytes(),
         });
         entries.extend(self.extra_entries);
-        ApkFile { package_name: self.package_name, version: self.version, entries }
+        ApkFile {
+            package_name: self.package_name,
+            version: self.version,
+            entries,
+        }
     }
 }
 
@@ -297,7 +311,10 @@ mod tests {
             .add_dex(small_dex("com/big/ads"))
             .build();
         assert!(apk.is_multidex());
-        assert_eq!(apk.dex_entry_names(), vec!["classes.dex", "classes2.dex", "classes3.dex"]);
+        assert_eq!(
+            apk.dex_entry_names(),
+            vec!["classes.dex", "classes2.dex", "classes3.dex"]
+        );
         let dexes = apk.dex_files().unwrap();
         assert_eq!(dexes.len(), 3);
         assert_eq!(apk.total_method_count().unwrap(), 6);
@@ -305,7 +322,9 @@ mod tests {
 
     #[test]
     fn single_dex_is_not_multidex() {
-        let apk = ApkBuilder::new("com.small").add_dex(small_dex("com/small")).build();
+        let apk = ApkBuilder::new("com.small")
+            .add_dex(small_dex("com/small"))
+            .build();
         assert!(!apk.is_multidex());
     }
 

@@ -47,7 +47,10 @@ impl DexBuilder {
         {
             return pos as u32;
         }
-        self.protos.push(ProtoId { params_idx, return_idx });
+        self.protos.push(ProtoId {
+            params_idx,
+            return_idx,
+        });
         (self.protos.len() - 1) as u32
     }
 
@@ -63,12 +66,18 @@ impl DexBuilder {
         }) {
             return pos as u32;
         }
-        self.methods.push(MethodId { package_idx, class_idx, name_idx, proto_idx });
+        self.methods.push(MethodId {
+            package_idx,
+            class_idx,
+            name_idx,
+            proto_idx,
+        });
         (self.methods.len() - 1) as u32
     }
 
     /// Add a method with debug line information starting at `line_start` and
     /// spanning `line_span` source lines.  Returns the method-pool index.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_method(
         &mut self,
         package: &str,
@@ -107,7 +116,10 @@ impl DexBuilder {
         let key = (self.strings.intern(package), self.strings.intern(class));
         let methods = self.classes.entry(key).or_default();
         if !methods.iter().any(|m| m.method_idx == method_idx) {
-            methods.push(EncodedMethod { method_idx, code: Some(CodeItem::stripped(8)) });
+            methods.push(EncodedMethod {
+                method_idx,
+                code: Some(CodeItem::stripped(8)),
+            });
         }
         method_idx
     }

@@ -38,13 +38,26 @@ impl DebugInfo {
     /// starting at `line_start`, with one line entry per bytecode offset.
     pub fn new(line_start: u32, line_span: u32) -> Self {
         let span = line_span.max(1);
-        let entries = (0..span).map(|i| LineEntry { offset: i, line: line_start + i }).collect();
-        DebugInfo { line_start, line_span: span, entries }
+        let entries = (0..span)
+            .map(|i| LineEntry {
+                offset: i,
+                line: line_start + i,
+            })
+            .collect();
+        DebugInfo {
+            line_start,
+            line_span: span,
+            entries,
+        }
     }
 
     /// Build debug info from explicit entries.
     pub fn from_entries(line_start: u32, line_span: u32, entries: Vec<LineEntry>) -> Self {
-        DebugInfo { line_start, line_span: line_span.max(1), entries }
+        DebugInfo {
+            line_start,
+            line_span: line_span.max(1),
+            entries,
+        }
     }
 
     /// First source line of the method.
@@ -74,7 +87,10 @@ impl DebugInfo {
 
     /// Source line for a given bytecode offset, if recorded.
     pub fn line_for_offset(&self, offset: u32) -> Option<u32> {
-        self.entries.iter().find(|e| e.offset == offset).map(|e| e.line)
+        self.entries
+            .iter()
+            .find(|e| e.offset == offset)
+            .map(|e| e.line)
     }
 
     pub(crate) fn encode(&self, w: &mut Writer) {
@@ -93,9 +109,16 @@ impl DebugInfo {
         let count = r.get_u32()? as usize;
         let mut entries = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
-            entries.push(LineEntry { offset: r.get_u32()?, line: r.get_u32()? });
+            entries.push(LineEntry {
+                offset: r.get_u32()?,
+                line: r.get_u32()?,
+            });
         }
-        Ok(DebugInfo { line_start, line_span: line_span.max(1), entries })
+        Ok(DebugInfo {
+            line_start,
+            line_span: line_span.max(1),
+            entries,
+        })
     }
 }
 
@@ -136,7 +159,10 @@ mod tests {
         let d = DebugInfo::from_entries(
             7,
             4,
-            vec![LineEntry { offset: 0, line: 7 }, LineEntry { offset: 3, line: 9 }],
+            vec![
+                LineEntry { offset: 0, line: 7 },
+                LineEntry { offset: 3, line: 9 },
+            ],
         );
         let mut w = Writer::new();
         d.encode(&mut w);

@@ -106,7 +106,9 @@ impl MethodTable {
         // Populate line ranges from debug info.
         for dex in dex_files {
             for (method_idx, _) in dex.methods.iter().enumerate() {
-                let Some(debug) = dex.debug_info_at(method_idx as u32) else { continue };
+                let Some(debug) = dex.debug_info_at(method_idx as u32) else {
+                    continue;
+                };
                 let sig = dex.signature_at(method_idx as u32)?;
                 if let Some(index) = table.index_of(&sig) {
                     table
@@ -175,7 +177,10 @@ impl MethodTable {
 
     /// The index of `signature`, if present.
     pub fn index_of(&self, signature: &MethodSignature) -> Option<u32> {
-        self.signatures.binary_search(signature).ok().map(|i| i as u32)
+        self.signatures
+            .binary_search(signature)
+            .ok()
+            .map(|i| i as u32)
     }
 
     /// All indexes whose signature shares `(qualified_class, method_name)` —
@@ -236,7 +241,15 @@ mod tests {
         let mut b = DexBuilder::new();
         // Two overloads of report() at distinct line ranges.
         b.add_method("com/flurry/sdk", "Agent", "report", "", "V", 10, 10);
-        b.add_method("com/flurry/sdk", "Agent", "report", "Ljava/lang/String;", "V", 30, 10);
+        b.add_method(
+            "com/flurry/sdk",
+            "Agent",
+            "report",
+            "Ljava/lang/String;",
+            "V",
+            30,
+            10,
+        );
         b.add_method("com/example", "Main", "run", "", "V", 100, 5);
         b.build()
     }
@@ -268,8 +281,12 @@ mod tests {
         let overloads = table.overloads("com/flurry/sdk/Agent", "report");
         assert_eq!(overloads.len(), 2);
 
-        let idx_early = table.resolve_frame("com/flurry/sdk/Agent", "report", Some(12)).unwrap();
-        let idx_late = table.resolve_frame("com/flurry/sdk/Agent", "report", Some(35)).unwrap();
+        let idx_early = table
+            .resolve_frame("com/flurry/sdk/Agent", "report", Some(12))
+            .unwrap();
+        let idx_late = table
+            .resolve_frame("com/flurry/sdk/Agent", "report", Some(35))
+            .unwrap();
         assert_ne!(idx_early, idx_late);
         assert_eq!(table.signature_at(idx_early).unwrap().params(), "");
         assert_eq!(
@@ -281,8 +298,16 @@ mod tests {
     #[test]
     fn resolve_frame_without_line_over_approximates() {
         let table = MethodTable::from_dex(&overload_dex()).unwrap();
-        let merged = table.resolve_frame("com/flurry/sdk/Agent", "report", None).unwrap();
-        assert_eq!(merged, *table.overloads("com/flurry/sdk/Agent", "report").first().unwrap());
+        let merged = table
+            .resolve_frame("com/flurry/sdk/Agent", "report", None)
+            .unwrap();
+        assert_eq!(
+            merged,
+            *table
+                .overloads("com/flurry/sdk/Agent", "report")
+                .first()
+                .unwrap()
+        );
     }
 
     #[test]
@@ -297,7 +322,10 @@ mod tests {
         d1.add_method("com/app", "Main", "run", "", "V", 1, 3);
         let mut d2 = DexBuilder::new();
         d2.add_method("com/lib", "Helper", "go", "", "V", 1, 3);
-        let apk = ApkBuilder::new("com.app").add_dex(d1.build()).add_dex(d2.build()).build();
+        let apk = ApkBuilder::new("com.app")
+            .add_dex(d1.build())
+            .add_dex(d2.build())
+            .build();
         let table = MethodTable::from_apk(&apk).unwrap();
         assert_eq!(table.len(), 2);
         let all = extract_apk_signatures(&apk).unwrap();

@@ -38,7 +38,11 @@ impl CodeItem {
 
     /// A code item without debug info (stripped build).
     pub fn stripped(instruction_count: u32) -> Self {
-        CodeItem { registers: 4, instruction_count, debug: None }
+        CodeItem {
+            registers: 4,
+            instruction_count,
+            debug: None,
+        }
     }
 
     fn encode(&self, w: &mut Writer) {
@@ -60,10 +64,17 @@ impl CodeItem {
             0 => None,
             1 => Some(DebugInfo::decode(r)?),
             other => {
-                return Err(Error::malformed("dex file", format!("invalid debug flag {other}")))
+                return Err(Error::malformed(
+                    "dex file",
+                    format!("invalid debug flag {other}"),
+                ))
             }
         };
-        Ok(CodeItem { registers, instruction_count, debug })
+        Ok(CodeItem {
+            registers,
+            instruction_count,
+            debug,
+        })
     }
 }
 
@@ -95,7 +106,10 @@ impl EncodedMethod {
             0 => None,
             1 => Some(CodeItem::decode(r)?),
             other => {
-                return Err(Error::malformed("dex file", format!("invalid code flag {other}")))
+                return Err(Error::malformed(
+                    "dex file",
+                    format!("invalid code flag {other}"),
+                ))
             }
         };
         Ok(EncodedMethod { method_idx, code })
@@ -150,7 +164,12 @@ impl ClassDef {
         for _ in 0..count {
             methods.push(EncodedMethod::decode(r)?);
         }
-        Ok(ClassDef { package_idx, name_idx, superclass_idx, methods })
+        Ok(ClassDef {
+            package_idx,
+            name_idx,
+            superclass_idx,
+            methods,
+        })
     }
 }
 
@@ -210,7 +229,9 @@ impl DexFile {
 
     /// Resolve every method in the pool to its signature, in pool order.
     pub fn all_signatures(&self) -> Result<Vec<MethodSignature>, Error> {
-        (0..self.methods.len() as u32).map(|i| self.signature_at(i)).collect()
+        (0..self.methods.len() as u32)
+            .map(|i| self.signature_at(i))
+            .collect()
     }
 
     /// Find the debug info of the method-pool entry at `index`, if the method
@@ -277,7 +298,10 @@ impl DexFile {
         }
         let version = r.get_u16()?;
         if version != DEX_VERSION {
-            return Err(Error::malformed("dex file", format!("unsupported version {version}")));
+            return Err(Error::malformed(
+                "dex file",
+                format!("unsupported version {version}"),
+            ));
         }
         let payload_len = r.get_u32()? as usize;
         let checksum = r.get_u32()?;
@@ -307,9 +331,17 @@ impl DexFile {
             classes.push(ClassDef::decode(&mut pr)?);
         }
         if !pr.is_exhausted() {
-            return Err(Error::malformed("dex file", "trailing bytes after class defs"));
+            return Err(Error::malformed(
+                "dex file",
+                "trailing bytes after class defs",
+            ));
         }
-        Ok(DexFile { strings, protos, methods, classes })
+        Ok(DexFile {
+            strings,
+            protos,
+            methods,
+            classes,
+        })
     }
 }
 
@@ -320,9 +352,25 @@ mod tests {
 
     fn sample() -> DexFile {
         let mut b = DexBuilder::new();
-        b.add_method("com/flurry/sdk", "Agent", "report", "Ljava/lang/String;", "V", 40, 12);
+        b.add_method(
+            "com/flurry/sdk",
+            "Agent",
+            "report",
+            "Ljava/lang/String;",
+            "V",
+            40,
+            12,
+        );
         b.add_method("com/flurry/sdk", "Agent", "report", "", "V", 60, 6);
-        b.add_method("com/example/app", "MainActivity", "onCreate", "", "V", 10, 25);
+        b.add_method(
+            "com/example/app",
+            "MainActivity",
+            "onCreate",
+            "",
+            "V",
+            10,
+            25,
+        );
         b.build()
     }
 
@@ -365,8 +413,9 @@ mod tests {
         let dex = sample();
         let sigs = dex.all_signatures().unwrap();
         assert_eq!(sigs.len(), 3);
-        assert!(sigs.iter().any(|s| s.to_descriptor()
-            == "Lcom/flurry/sdk/Agent;->report(Ljava/lang/String;)V"));
+        assert!(sigs
+            .iter()
+            .any(|s| s.to_descriptor() == "Lcom/flurry/sdk/Agent;->report(Ljava/lang/String;)V"));
         assert!(dex.signature_at(99).is_err());
     }
 

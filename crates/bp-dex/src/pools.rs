@@ -30,7 +30,9 @@ pub struct StringPool {
 impl StringPool {
     /// Create an empty pool.
     pub fn new() -> Self {
-        StringPool { strings: Vec::new() }
+        StringPool {
+            strings: Vec::new(),
+        }
     }
 
     /// Intern `value`, returning its stable index.
@@ -44,7 +46,10 @@ impl StringPool {
 
     /// Look up the index of `value` without inserting.
     pub fn lookup(&self, value: &str) -> Option<u32> {
-        self.strings.iter().position(|s| s == value).map(|p| p as u32)
+        self.strings
+            .iter()
+            .position(|s| s == value)
+            .map(|p| p as u32)
     }
 
     /// Resolve an index back to its string.
@@ -101,7 +106,10 @@ impl ProtoId {
     }
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        Ok(ProtoId { params_idx: r.get_u32()?, return_idx: r.get_u32()? })
+        Ok(ProtoId {
+            params_idx: r.get_u32()?,
+            return_idx: r.get_u32()?,
+        })
     }
 }
 
@@ -205,17 +213,33 @@ mod tests {
         let name = strings.intern("run");
         let params = strings.intern("");
         let ret = strings.intern("V");
-        let protos = vec![ProtoId { params_idx: params, return_idx: ret }];
-        let m = MethodId { package_idx: package, class_idx: class, name_idx: name, proto_idx: 0 };
+        let protos = vec![ProtoId {
+            params_idx: params,
+            return_idx: ret,
+        }];
+        let m = MethodId {
+            package_idx: package,
+            class_idx: class,
+            name_idx: name,
+            proto_idx: 0,
+        };
         let sig = resolve_signature(&strings, &protos, &m).unwrap();
-        assert_eq!(sig.to_descriptor(), "Lcom/dropbox/android/taskqueue/UploadTask;->run()V");
+        assert_eq!(
+            sig.to_descriptor(),
+            "Lcom/dropbox/android/taskqueue/UploadTask;->run()V"
+        );
     }
 
     #[test]
     fn resolve_signature_detects_dangling_indices() {
         let strings = StringPool::new();
         let protos: Vec<ProtoId> = Vec::new();
-        let m = MethodId { package_idx: 0, class_idx: 0, name_idx: 0, proto_idx: 0 };
+        let m = MethodId {
+            package_idx: 0,
+            class_idx: 0,
+            name_idx: 0,
+            proto_idx: 0,
+        };
         assert!(resolve_signature(&strings, &protos, &m).is_err());
     }
 

@@ -39,7 +39,9 @@ impl Writer {
 
     /// Create a writer with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Writer { buf: Vec::with_capacity(capacity) }
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
     }
 
     /// Append a single byte.
@@ -145,7 +147,9 @@ impl<'a> Reader<'a> {
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, Error> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read `n` raw bytes.

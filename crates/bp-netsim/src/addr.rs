@@ -19,9 +19,7 @@ use bp_types::Error;
 /// assert_eq!(ep.to_string(), "192.168.1.10:443");
 /// assert_eq!("192.168.1.10:443".parse::<Endpoint>().unwrap(), ep);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Endpoint {
     /// IPv4 address.
     pub ip: Ipv4Addr,
@@ -32,7 +30,10 @@ pub struct Endpoint {
 impl Endpoint {
     /// Construct an endpoint from address octets and a port.
     pub fn new(octets: impl Into<Ipv4Addr>, port: u16) -> Self {
-        Endpoint { ip: octets.into(), port }
+        Endpoint {
+            ip: octets.into(),
+            port,
+        }
     }
 
     /// Construct an endpoint from an [`Ipv4Addr`].
@@ -151,7 +152,10 @@ mod tests {
         let mut dns = DnsTable::new();
         dns.register("api.dropbox.com", Ipv4Addr::new(162, 125, 4, 1));
         dns.register("graph.facebook.com", Ipv4Addr::new(157, 240, 1, 1));
-        assert_eq!(dns.resolve("api.dropbox.com"), Some(Ipv4Addr::new(162, 125, 4, 1)));
+        assert_eq!(
+            dns.resolve("api.dropbox.com"),
+            Some(Ipv4Addr::new(162, 125, 4, 1))
+        );
         assert_eq!(dns.resolve("nope.example.com"), None);
         assert_eq!(
             dns.reverse_lookup(Ipv4Addr::new(157, 240, 1, 1)),
@@ -166,7 +170,10 @@ mod tests {
         let mut dns = DnsTable::new();
         dns.register("svc.example.com", Ipv4Addr::new(1, 1, 1, 1));
         dns.register("svc.example.com", Ipv4Addr::new(2, 2, 2, 2));
-        assert_eq!(dns.resolve("svc.example.com"), Some(Ipv4Addr::new(2, 2, 2, 2)));
+        assert_eq!(
+            dns.resolve("svc.example.com"),
+            Some(Ipv4Addr::new(2, 2, 2, 2))
+        );
         assert_eq!(dns.reverse_lookup(Ipv4Addr::new(1, 1, 1, 1)), None);
         assert_eq!(dns.len(), 1);
     }

@@ -28,7 +28,10 @@ pub struct PacketCapture {
 impl PacketCapture {
     /// Create a capture with a descriptive name (e.g. `pre-enforcer`).
     pub fn new(name: impl Into<String>) -> Self {
-        PacketCapture { name: name.into(), packets: Vec::new() }
+        PacketCapture {
+            name: name.into(),
+            packets: Vec::new(),
+        }
     }
 
     /// The capture point's name.
@@ -38,7 +41,10 @@ impl PacketCapture {
 
     /// Record a packet.
     pub fn record(&mut self, timestamp: SimDuration, packet: &Ipv4Packet) {
-        self.packets.push(CapturedPacket { timestamp, packet: packet.clone() });
+        self.packets.push(CapturedPacket {
+            timestamp,
+            packet: packet.clone(),
+        });
     }
 
     /// Number of captured packets.
@@ -58,18 +64,27 @@ impl PacketCapture {
 
     /// All captured packets belonging to `flow`.
     pub fn flow(&self, flow: FlowKey) -> Vec<&CapturedPacket> {
-        self.packets.iter().filter(|c| c.packet.flow_key() == flow).collect()
+        self.packets
+            .iter()
+            .filter(|c| c.packet.flow_key() == flow)
+            .collect()
     }
 
     /// Total payload bytes captured.
     pub fn total_payload_bytes(&self) -> u64 {
-        self.packets.iter().map(|c| c.packet.payload().len() as u64).sum()
+        self.packets
+            .iter()
+            .map(|c| c.packet.payload().len() as u64)
+            .sum()
     }
 
     /// Number of captured packets that still carry a BorderPatrol context
     /// option (should be zero after the Packet Sanitizer).
     pub fn packets_with_context(&self) -> usize {
-        self.packets.iter().filter(|c| c.packet.has_context_option()).count()
+        self.packets
+            .iter()
+            .filter(|c| c.packet.has_context_option())
+            .count()
     }
 
     /// Clear the capture buffer.

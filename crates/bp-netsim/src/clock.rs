@@ -31,7 +31,9 @@ impl SimDuration {
 
     /// Construct from milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { micros: millis * 1_000 }
+        SimDuration {
+            micros: millis * 1_000,
+        }
     }
 
     /// Duration in microseconds.
@@ -46,12 +48,16 @@ impl SimDuration {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_sub(other.micros) }
+        SimDuration {
+            micros: self.micros.saturating_sub(other.micros),
+        }
     }
 
     /// Multiply by an integer factor.
     pub fn saturating_mul(self, factor: u64) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_mul(factor) }
+        SimDuration {
+            micros: self.micros.saturating_mul(factor),
+        }
     }
 }
 
@@ -59,7 +65,9 @@ impl Add for SimDuration {
     type Output = SimDuration;
 
     fn add(self, rhs: Self) -> Self::Output {
-        SimDuration { micros: self.micros + rhs.micros }
+        SimDuration {
+            micros: self.micros + rhs.micros,
+        }
     }
 }
 
@@ -103,7 +111,9 @@ pub struct SimClock {
 impl SimClock {
     /// A clock starting at time zero.
     pub fn new() -> Self {
-        SimClock { now: SimDuration::ZERO }
+        SimClock {
+            now: SimDuration::ZERO,
+        }
     }
 
     /// The current simulated time (elapsed since start).

@@ -88,7 +88,12 @@ impl HttpRequest {
 
     /// Serialize to the textual wire form (request line, headers, body).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = format!("{} {} HTTP/1.1\r\nHost: {}\r\n", self.method.as_str(), self.path, self.host);
+        let mut out = format!(
+            "{} {} HTTP/1.1\r\nHost: {}\r\n",
+            self.method.as_str(),
+            self.path,
+            self.host
+        );
         for (k, v) in &self.headers {
             out.push_str(&format!("{k}: {v}\r\n"));
         }
@@ -143,7 +148,13 @@ impl HttpRequest {
             }
         }
         let body = data[text_end + 4..].to_vec();
-        Ok(HttpRequest { method, path, host, headers, body })
+        Ok(HttpRequest {
+            method,
+            path,
+            host,
+            headers,
+            body,
+        })
     }
 }
 
@@ -164,7 +175,10 @@ impl HttpResponse {
 
     /// A 404 Not Found response.
     pub fn not_found() -> Self {
-        HttpResponse { status: 404, body: b"not found".to_vec() }
+        HttpResponse {
+            status: 404,
+            body: b"not found".to_vec(),
+        }
     }
 
     /// Serialize to the textual wire form.
@@ -197,7 +211,10 @@ impl HttpResponse {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| Error::malformed("http response", "bad status line"))?;
-        Ok(HttpResponse { status, body: data[text_end + 4..].to_vec() })
+        Ok(HttpResponse {
+            status,
+            body: data[text_end + 4..].to_vec(),
+        })
     }
 }
 
@@ -228,7 +245,11 @@ impl StaticServer {
         }
         page.extend_from_slice(b"</body></html>");
         page.truncate(size.max(1));
-        StaticServer { page, requests_served: 0, bytes_uploaded: 0 }
+        StaticServer {
+            page,
+            requests_served: 0,
+            bytes_uploaded: 0,
+        }
     }
 
     /// Size of the served page in bytes.
@@ -266,7 +287,8 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let mut req = HttpRequest::post("api.flurry.com", "/beacon", b"uid=42".to_vec());
-        req.headers.insert("User-Agent".to_string(), "bp-sim".to_string());
+        req.headers
+            .insert("User-Agent".to_string(), "bp-sim".to_string());
         let parsed = HttpRequest::parse(&req.to_bytes()).unwrap();
         assert_eq!(parsed, req);
     }
@@ -311,8 +333,16 @@ mod tests {
     #[test]
     fn uploads_are_accounted() {
         let mut server = StaticServer::with_page_size(64);
-        server.handle(&HttpRequest::put("files.example.com", "/doc", vec![0u8; 1000]));
-        server.handle(&HttpRequest::post("files.example.com", "/doc", vec![0u8; 500]));
+        server.handle(&HttpRequest::put(
+            "files.example.com",
+            "/doc",
+            vec![0u8; 1000],
+        ));
+        server.handle(&HttpRequest::post(
+            "files.example.com",
+            "/doc",
+            vec![0u8; 500],
+        ));
         assert_eq!(server.bytes_uploaded(), 1500);
         assert_eq!(server.requests_served(), 2);
     }

@@ -53,7 +53,12 @@ pub struct NetworkInterface {
 impl NetworkInterface {
     /// Create an interface with the given name and mode; starts up.
     pub fn new(name: impl Into<String>, mode: InterfaceMode) -> Self {
-        NetworkInterface { name: name.into(), mode, stats: InterfaceStats::default(), up: true }
+        NetworkInterface {
+            name: name.into(),
+            mode,
+            stats: InterfaceStats::default(),
+            up: true,
+        }
     }
 
     /// Interface name (e.g. `eth0`, `tap0`).
@@ -115,7 +120,11 @@ mod tests {
     use crate::addr::Endpoint;
 
     fn pkt() -> Ipv4Packet {
-        Ipv4Packet::new(Endpoint::new([10, 0, 0, 1], 1), Endpoint::new([10, 0, 0, 2], 2), vec![0; 64])
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 1], 1),
+            Endpoint::new([10, 0, 0, 2], 2),
+            vec![0; 64],
+        )
     }
 
     #[test]

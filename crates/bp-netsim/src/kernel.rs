@@ -41,7 +41,10 @@ pub struct ProcessCredentials {
 impl ProcessCredentials {
     /// Credentials of an unprivileged app sandbox.
     pub fn unprivileged(uid: u32) -> Self {
-        ProcessCredentials { uid, capabilities: Vec::new() }
+        ProcessCredentials {
+            uid,
+            capabilities: Vec::new(),
+        }
     }
 
     /// Credentials of a privileged system process holding both net capabilities.
@@ -73,7 +76,11 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { borderpatrol_patch: false, set_options_once: false, mtu: 1500 }
+        KernelConfig {
+            borderpatrol_patch: false,
+            set_options_once: false,
+            mtu: 1500,
+        }
     }
 }
 
@@ -81,13 +88,21 @@ impl KernelConfig {
     /// The configuration the BorderPatrol prototype ships: patch applied,
     /// set-once hardening off (as in the paper's prototype).
     pub fn borderpatrol_prototype() -> Self {
-        KernelConfig { borderpatrol_patch: true, set_options_once: false, mtu: 1500 }
+        KernelConfig {
+            borderpatrol_patch: true,
+            set_options_once: false,
+            mtu: 1500,
+        }
     }
 
     /// The hardened configuration proposed in §VII: patch applied and
     /// `IP_OPTIONS` settable only once per socket.
     pub fn borderpatrol_hardened() -> Self {
-        KernelConfig { borderpatrol_patch: true, set_options_once: true, mtu: 1500 }
+        KernelConfig {
+            borderpatrol_patch: true,
+            set_options_once: true,
+            mtu: 1500,
+        }
     }
 }
 
@@ -312,7 +327,9 @@ impl KernelNetStack {
         let local = s.local().expect("connected socket has local endpoint");
         let remote = s.remote().expect("connected socket has remote endpoint");
         let options = s.options().clone();
-        let max_payload = mtu.saturating_sub(Ipv4Packet::BASE_HEADER_LEN + options.padded_len() + 4).max(1);
+        let max_payload = mtu
+            .saturating_sub(Ipv4Packet::BASE_HEADER_LEN + options.padded_len() + 4)
+            .max(1);
 
         let chunks: Vec<&[u8]> = if payload.is_empty() {
             vec![&[][..]]
@@ -328,7 +345,10 @@ impl KernelNetStack {
                 // Copy socket options onto the packet; budget is preserved by
                 // construction because the socket options already fit.
                 pkt.options_mut()
-                    .push(IpOption { kind: opt.kind, data: opt.data.clone() })
+                    .push(IpOption {
+                        kind: opt.kind,
+                        data: opt.data.clone(),
+                    })
                     .expect("socket options fit packet options budget");
             }
             s.record_send(chunk.len());
@@ -398,7 +418,9 @@ mod tests {
         let creds = ProcessCredentials::unprivileged(10_001);
         let s = k.socket(AppId::new(1));
         k.connect(&creds, s, remote()).unwrap();
-        let err = k.setsockopt_ip_options(&creds, s, context_options()).unwrap_err();
+        let err = k
+            .setsockopt_ip_options(&creds, s, context_options())
+            .unwrap_err();
         assert!(matches!(err, Error::PermissionDenied { .. }));
         assert_eq!(k.stats().setsockopt_denied, 1);
 
@@ -406,7 +428,8 @@ mod tests {
         let mut k = kernel(KernelConfig::borderpatrol_prototype());
         let s = k.socket(AppId::new(1));
         k.connect(&creds, s, remote()).unwrap();
-        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options())
+            .unwrap();
         assert_eq!(k.stats().setsockopt_success, 1);
     }
 
@@ -416,7 +439,8 @@ mod tests {
         let creds = ProcessCredentials::privileged(0);
         let s = k.socket(AppId::new(1));
         k.connect(&creds, s, remote()).unwrap();
-        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options())
+            .unwrap();
     }
 
     #[test]
@@ -426,7 +450,8 @@ mod tests {
         let s = k.socket(AppId::new(1));
         k.connect(&creds, s, remote()).unwrap();
         let mut opts = IpOptions::new();
-        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 4]).unwrap()).unwrap();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 4]).unwrap())
+            .unwrap();
         assert!(k.setsockopt_ip_options(&creds, s, opts).is_err());
     }
 
@@ -438,12 +463,15 @@ mod tests {
         let malicious = k.socket(AppId::new(1));
         k.connect(&creds, benign, remote()).unwrap();
         k.connect(&creds, malicious, remote()).unwrap();
-        k.setsockopt_ip_options(&creds, benign, context_options()).unwrap();
+        k.setsockopt_ip_options(&creds, benign, context_options())
+            .unwrap();
         // First set on the malicious socket succeeds (it is its first set)…
         k.replay_options(&creds, benign, malicious).unwrap();
         // …but the Context Manager's subsequent legitimate set now fails,
         // and equally any attempt to overwrite an already-tagged socket fails.
-        assert!(k.setsockopt_ip_options(&creds, malicious, context_options()).is_err());
+        assert!(k
+            .setsockopt_ip_options(&creds, malicious, context_options())
+            .is_err());
         assert!(k.replay_options(&creds, benign, benign).is_err());
     }
 
@@ -457,9 +485,16 @@ mod tests {
         let b = k.socket(AppId::new(1));
         k.connect(&creds, a, remote()).unwrap();
         k.connect(&creds, b, remote()).unwrap();
-        k.setsockopt_ip_options(&creds, a, context_options()).unwrap();
+        k.setsockopt_ip_options(&creds, a, context_options())
+            .unwrap();
         k.replay_options(&creds, a, b).unwrap();
-        assert!(k.sockets().get(b).unwrap().options().find(IpOptionKind::BorderPatrolContext).is_some());
+        assert!(k
+            .sockets()
+            .get(b)
+            .unwrap()
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .is_some());
     }
 
     #[test]
@@ -470,7 +505,8 @@ mod tests {
         let creds = ProcessCredentials::unprivileged(10_001);
         let s = k.socket(AppId::new(1));
         k.connect(&creds, s, remote()).unwrap();
-        k.setsockopt_ip_options(&creds, s, context_options()).unwrap();
+        k.setsockopt_ip_options(&creds, s, context_options())
+            .unwrap();
         let payload = vec![0xaa; 500];
         let packets = k.send(&creds, s, &payload).unwrap();
         assert!(packets.len() > 1);

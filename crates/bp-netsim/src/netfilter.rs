@@ -30,7 +30,9 @@ pub enum Verdict {
 impl Verdict {
     /// Convenience constructor for a drop verdict.
     pub fn drop(reason: impl Into<String>) -> Self {
-        Verdict::Drop { reason: reason.into() }
+        Verdict::Drop {
+            reason: reason.into(),
+        }
     }
 
     /// True if this verdict accepts the packet.
@@ -57,6 +59,18 @@ pub trait QueueHandler: Send {
     /// Inspect one packet and decide its fate.  Handlers may mutate the packet
     /// (the Packet Sanitizer strips options here).
     fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict;
+
+    /// Inspect a batch of packets, returning one verdict per packet in input
+    /// order.  [`FilterChain::process_batch`] drains queues through this
+    /// entry point, so handlers that can parallelize or amortize per-packet
+    /// work (e.g. a sharded Policy Enforcer) override it; the default simply
+    /// loops over [`QueueHandler::handle`].
+    fn handle_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
+        packets
+            .iter_mut()
+            .map(|packet| self.handle(packet))
+            .collect()
+    }
 }
 
 /// A pass-through handler that accepts every packet unmodified — the
@@ -112,8 +126,12 @@ impl RuleMatch {
     /// Whether `packet` satisfies all present criteria.
     pub fn matches(&self, packet: &Ipv4Packet) -> bool {
         self.source_ip.is_none_or(|ip| packet.source().ip == ip)
-            && self.destination_ip.is_none_or(|ip| packet.destination().ip == ip)
-            && self.destination_port.is_none_or(|p| packet.destination().port == p)
+            && self
+                .destination_ip
+                .is_none_or(|ip| packet.destination().ip == ip)
+            && self
+                .destination_port
+                .is_none_or(|p| packet.destination().port == p)
             && self.protocol.is_none_or(|proto| packet.protocol() == proto)
     }
 }
@@ -169,7 +187,11 @@ impl fmt::Debug for NfQueue {
 impl NfQueue {
     /// Create a queue with the given number and handler.
     pub fn new(number: u16, handler: Arc<Mutex<dyn QueueHandler>>) -> Self {
-        NfQueue { number, handler, stats: QueueStats::default() }
+        NfQueue {
+            number,
+            handler,
+            stats: QueueStats::default(),
+        }
     }
 
     /// The queue number.
@@ -191,6 +213,25 @@ impl NfQueue {
             Verdict::Drop { .. } => self.stats.dropped += 1,
         }
         verdict
+    }
+
+    /// Deliver a batch to the handler's [`QueueHandler::handle_batch`] entry
+    /// point and return per-packet verdicts in input order.
+    pub fn deliver_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
+        self.stats.received += packets.len() as u64;
+        let verdicts = self.handler.lock().handle_batch(packets);
+        debug_assert_eq!(
+            verdicts.len(),
+            packets.len(),
+            "handler returned wrong verdict count"
+        );
+        for verdict in &verdicts {
+            match verdict {
+                Verdict::Accept => self.stats.accepted += 1,
+                Verdict::Drop { .. } => self.stats.dropped += 1,
+            }
+        }
+        verdicts
     }
 }
 
@@ -244,7 +285,8 @@ impl FilterChain {
 
     /// Register an NFQUEUE handler under `queue_number`.
     pub fn register_queue(&mut self, queue_number: u16, handler: Arc<Mutex<dyn QueueHandler>>) {
-        self.queues.insert(queue_number, NfQueue::new(queue_number, handler));
+        self.queues
+            .insert(queue_number, NfQueue::new(queue_number, handler));
     }
 
     /// Statistics of the queue with the given number.
@@ -255,6 +297,100 @@ impl FilterChain {
     /// Number of rules installed.
     pub fn rule_count(&self) -> usize {
         self.rules.len()
+    }
+
+    /// Push a batch of packets through the chain, draining each NFQUEUE with
+    /// its handler's batch entry point ([`QueueHandler::handle_batch`]).
+    ///
+    /// Outcomes are returned in input order and match what per-packet
+    /// [`FilterChain::process`] calls would produce: rules are evaluated in
+    /// order, each queue sees its matching packets in input order, and
+    /// dropped packets leave the batch.
+    pub fn process_batch(&mut self, packets: &mut [Ipv4Packet]) -> Vec<ChainOutcome> {
+        let mut outcomes: Vec<Option<ChainOutcome>> = vec![None; packets.len()];
+        let mut queues_traversed = vec![0usize; packets.len()];
+        let mut alive: Vec<usize> = (0..packets.len()).collect();
+
+        for rule in &self.rules {
+            if alive.is_empty() {
+                break;
+            }
+            let (matching, rest): (Vec<usize>, Vec<usize>) = alive
+                .iter()
+                .partition(|&&index| rule.matcher.matches(&packets[index]));
+            match &rule.action {
+                RuleAction::Accept => {
+                    for index in matching {
+                        outcomes[index] = Some(ChainOutcome::Accepted {
+                            queues_traversed: queues_traversed[index],
+                        });
+                    }
+                    alive = rest;
+                }
+                RuleAction::Drop => {
+                    for index in matching {
+                        outcomes[index] = Some(ChainOutcome::Dropped {
+                            by: "iptables".to_string(),
+                            reason: "matched DROP rule".to_string(),
+                        });
+                    }
+                    alive = rest;
+                }
+                RuleAction::Queue(number) => {
+                    if matching.is_empty() {
+                        continue;
+                    }
+                    let Some(queue) = self.queues.get_mut(number) else {
+                        for index in matching {
+                            outcomes[index] = Some(ChainOutcome::Dropped {
+                                by: "iptables".to_string(),
+                                reason: format!("NFQUEUE {number} has no listener"),
+                            });
+                        }
+                        alive = rest;
+                        continue;
+                    };
+                    let mut in_matching = vec![false; packets.len()];
+                    for &index in &matching {
+                        queues_traversed[index] += 1;
+                        in_matching[index] = true;
+                    }
+                    let mut batch: Vec<&mut Ipv4Packet> = packets
+                        .iter_mut()
+                        .enumerate()
+                        .filter_map(|(index, packet)| in_matching[index].then_some(packet))
+                        .collect();
+                    let verdicts = queue.deliver_batch(&mut batch);
+                    let by = queue.handler.lock().name().to_string();
+                    let mut survivors = Vec::with_capacity(matching.len());
+                    for (index, verdict) in matching.iter().zip(verdicts) {
+                        match verdict {
+                            Verdict::Accept => survivors.push(*index),
+                            Verdict::Drop { reason } => {
+                                outcomes[*index] = Some(ChainOutcome::Dropped {
+                                    by: by.clone(),
+                                    reason,
+                                });
+                            }
+                        }
+                    }
+                    // Restore input order across the merged survivor sets.
+                    alive = rest;
+                    alive.extend(survivors);
+                    alive.sort_unstable();
+                }
+            }
+        }
+
+        for index in alive {
+            outcomes[index] = Some(ChainOutcome::Accepted {
+                queues_traversed: queues_traversed[index],
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every packet received an outcome"))
+            .collect()
     }
 
     /// Push one packet through the chain.
@@ -302,7 +438,11 @@ mod tests {
     use crate::addr::Endpoint;
 
     fn packet_to(dst: [u8; 4], port: u16) -> Ipv4Packet {
-        Ipv4Packet::new(Endpoint::new([10, 0, 0, 4], 40000), Endpoint::new(dst, port), vec![1, 2, 3])
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 4], 40000),
+            Endpoint::new(dst, port),
+            vec![1, 2, 3],
+        )
     }
 
     struct DropOdd {
@@ -338,10 +478,26 @@ mod tests {
             ..RuleMatch::default()
         }
         .matches(&pkt));
-        assert!(RuleMatch { destination_port: Some(443), ..RuleMatch::default() }.matches(&pkt));
-        assert!(!RuleMatch { destination_port: Some(80), ..RuleMatch::default() }.matches(&pkt));
-        assert!(RuleMatch { protocol: Some(Protocol::Tcp), ..RuleMatch::default() }.matches(&pkt));
-        assert!(!RuleMatch { protocol: Some(Protocol::Udp), ..RuleMatch::default() }.matches(&pkt));
+        assert!(RuleMatch {
+            destination_port: Some(443),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
+        assert!(!RuleMatch {
+            destination_port: Some(80),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
+        assert!(RuleMatch {
+            protocol: Some(Protocol::Tcp),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
+        assert!(!RuleMatch {
+            protocol: Some(Protocol::Udp),
+            ..RuleMatch::default()
+        }
+        .matches(&pkt));
     }
 
     #[test]
@@ -370,7 +526,10 @@ mod tests {
     #[test]
     fn queue_handler_verdicts_are_respected_and_counted() {
         let mut chain = FilterChain::new();
-        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(1),
+        });
         chain.register_queue(1, Arc::new(Mutex::new(DropOdd { seen: 0 })));
 
         let mut first = packet_to([1, 1, 1, 1], 80);
@@ -392,7 +551,10 @@ mod tests {
     #[test]
     fn queue_without_listener_drops() {
         let mut chain = FilterChain::new();
-        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(7) });
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(7),
+        });
         let mut pkt = packet_to([1, 1, 1, 1], 80);
         let outcome = chain.process(&mut pkt);
         assert!(!outcome.is_accepted());
@@ -401,8 +563,14 @@ mod tests {
     #[test]
     fn multiple_queues_form_a_pipeline() {
         let mut chain = FilterChain::new();
-        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
-        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(2) });
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(1),
+        });
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(2),
+        });
         chain.register_queue(1, Arc::new(Mutex::new(PassthroughHandler::new())));
         chain.register_queue(2, Arc::new(Mutex::new(PassthroughHandler::new())));
         let mut pkt = packet_to([1, 1, 1, 1], 80);
@@ -416,16 +584,107 @@ mod tests {
     fn accept_rule_short_circuits_later_queues() {
         let mut chain = FilterChain::new();
         chain.add_rule(IptablesRule {
-            matcher: RuleMatch { destination_port: Some(22), ..RuleMatch::default() },
+            matcher: RuleMatch {
+                destination_port: Some(22),
+                ..RuleMatch::default()
+            },
             action: RuleAction::Accept,
         });
-        chain.add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
+        chain.add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(1),
+        });
         chain.register_queue(1, Arc::new(Mutex::new(DropOdd { seen: 0 })));
         let mut ssh = packet_to([1, 1, 1, 1], 22);
         match chain.process(&mut ssh) {
             ChainOutcome::Accepted { queues_traversed } => assert_eq!(queues_traversed, 0),
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn process_batch_matches_sequential_processing() {
+        let build_chain = || {
+            let mut chain = FilterChain::new();
+            chain.add_rule(IptablesRule {
+                matcher: RuleMatch {
+                    destination_port: Some(22),
+                    ..RuleMatch::default()
+                },
+                action: RuleAction::Accept,
+            });
+            chain.add_rule(IptablesRule {
+                matcher: RuleMatch {
+                    destination_ip: Some(Ipv4Addr::new(5, 5, 5, 5)),
+                    ..RuleMatch::default()
+                },
+                action: RuleAction::Drop,
+            });
+            chain.add_rule(IptablesRule {
+                matcher: RuleMatch::any(),
+                action: RuleAction::Queue(1),
+            });
+            chain.register_queue(1, Arc::new(Mutex::new(DropOdd { seen: 0 })));
+            chain
+        };
+        let build_packets = || {
+            vec![
+                packet_to([1, 1, 1, 1], 80),
+                packet_to([1, 1, 1, 1], 22),
+                packet_to([5, 5, 5, 5], 80),
+                packet_to([2, 2, 2, 2], 443),
+                packet_to([3, 3, 3, 3], 80),
+            ]
+        };
+
+        let mut sequential_chain = build_chain();
+        let mut expected = Vec::new();
+        for packet in &mut build_packets() {
+            expected.push(sequential_chain.process(packet));
+        }
+
+        let mut batch_chain = build_chain();
+        let mut packets = build_packets();
+        let outcomes = batch_chain.process_batch(&mut packets);
+        assert_eq!(outcomes, expected);
+        assert_eq!(batch_chain.queue_stats(1), sequential_chain.queue_stats(1));
+    }
+
+    #[test]
+    fn process_batch_on_empty_chain_accepts_everything() {
+        let mut chain = FilterChain::new();
+        let mut packets = vec![packet_to([1, 1, 1, 1], 80), packet_to([2, 2, 2, 2], 80)];
+        let outcomes = chain.process_batch(&mut packets);
+        assert!(outcomes.iter().all(ChainOutcome::is_accepted));
+    }
+
+    #[test]
+    fn default_handle_batch_loops_over_handle() {
+        let mut handler = DropOdd { seen: 0 };
+        let mut a = packet_to([1, 1, 1, 1], 80);
+        let mut b = packet_to([1, 1, 1, 1], 81);
+        let mut c = packet_to([1, 1, 1, 1], 82);
+        let mut batch: Vec<&mut Ipv4Packet> = vec![&mut a, &mut b, &mut c];
+        let verdicts = handler.handle_batch(&mut batch);
+        assert_eq!(verdicts.len(), 3);
+        assert!(!verdicts[0].is_accept());
+        assert!(verdicts[1].is_accept());
+        assert!(!verdicts[2].is_accept());
+        assert_eq!(handler.seen, 3);
+    }
+
+    #[test]
+    fn deliver_batch_counts_queue_stats() {
+        let mut queue = NfQueue::new(3, Arc::new(Mutex::new(DropOdd { seen: 0 })));
+        let mut a = packet_to([1, 1, 1, 1], 80);
+        let mut b = packet_to([1, 1, 1, 1], 81);
+        let mut batch: Vec<&mut Ipv4Packet> = vec![&mut a, &mut b];
+        let verdicts = queue.deliver_batch(&mut batch);
+        assert_eq!(verdicts.len(), 2);
+        let stats = queue.stats();
+        assert_eq!(stats.received, 2);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.accepted, 1);
     }
 
     #[test]

@@ -175,14 +175,19 @@ impl EnterpriseNetwork {
         self.dns.register(dns_name.clone(), address);
         self.servers.insert(
             address,
-            WanServer { dns_name, address, server: StaticServer::with_page_size(page_size) },
+            WanServer {
+                dns_name,
+                address,
+                server: StaticServer::with_page_size(page_size),
+            },
         );
         Endpoint::from_ip(address, 443)
     }
 
     /// Attach a device's egress interface.
     pub fn attach_device(&mut self, device: DeviceId, mode: InterfaceMode) {
-        self.interfaces.insert(device, NetworkInterface::new(format!("{device}-if"), mode));
+        self.interfaces
+            .insert(device, NetworkInterface::new(format!("{device}-if"), mode));
     }
 
     /// Change the interface mode of an attached device.
@@ -240,7 +245,8 @@ impl EnterpriseNetwork {
             match iface.transmit(&packet, &self.latency) {
                 Some(cost) => latency += cost,
                 None => {
-                    self.drops.push(("interface".to_string(), "interface down".to_string()));
+                    self.drops
+                        .push(("interface".to_string(), "interface down".to_string()));
                     return Delivery::Dropped {
                         by: "interface".to_string(),
                         reason: "interface down".to_string(),
@@ -257,17 +263,22 @@ impl EnterpriseNetwork {
             ChainOutcome::Dropped { by, reason } => {
                 self.clock.advance(latency);
                 self.drops.push((by.clone(), reason.clone()));
-                return Delivery::Dropped { by, reason };
+                Delivery::Dropped { by, reason }
             }
             ChainOutcome::Accepted { queues_traversed } => {
-                latency += self.latency.nfqueue_roundtrip.saturating_mul(queues_traversed as u64);
+                latency += self
+                    .latency
+                    .nfqueue_roundtrip
+                    .saturating_mul(queues_traversed as u64);
                 self.post_chain_capture.record(self.clock.now(), &packet);
 
                 // Flow accounting happens on what actually leaves the network.
                 let key = packet.flow_key();
                 let next_id = self.next_flow_id;
-                let entry = self.flows.entry(key).or_insert_with(|| {
-                    FlowStats { id: next_id, packets: 0, bytes: 0 }
+                let entry = self.flows.entry(key).or_insert_with(|| FlowStats {
+                    id: next_id,
+                    packets: 0,
+                    bytes: 0,
                 });
                 if entry.packets == 0 {
                     self.next_flow_id += 1;
@@ -280,13 +291,106 @@ impl EnterpriseNetwork {
                 if self.servers.contains_key(&dst) {
                     latency += self.latency.server_processing;
                     self.clock.advance(latency);
-                    Delivery::Delivered { latency, queues_traversed }
+                    Delivery::Delivered {
+                        latency,
+                        queues_traversed,
+                    }
                 } else {
                     self.clock.advance(latency);
                     Delivery::Unroutable
                 }
             }
         }
+    }
+
+    /// Transmit a batch of packets from `device`, draining the filter chain
+    /// through its batch path ([`FilterChain::process_batch`]) so queue
+    /// handlers that parallelize (e.g. a sharded Policy Enforcer) see the
+    /// whole batch at once.
+    ///
+    /// Deliveries are returned in input order and match per-packet
+    /// [`EnterpriseNetwork::transmit`] outcomes; the simulated clock advances
+    /// once per packet after the chain, so only capture timestamps within the
+    /// batch differ from sequential transmission.
+    pub fn transmit_batch(&mut self, device: DeviceId, packets: Vec<Ipv4Packet>) -> Vec<Delivery> {
+        let total = packets.len();
+        let mut deliveries: Vec<Option<Delivery>> = vec![None; total];
+        let mut latencies = vec![SimDuration::ZERO; total];
+        let mut chain_members: Vec<usize> = Vec::with_capacity(total);
+        let mut chain_packets: Vec<Ipv4Packet> = Vec::with_capacity(total);
+
+        for (index, mut packet) in packets.into_iter().enumerate() {
+            packet.set_id(PacketId::new(self.next_packet_id));
+            self.next_packet_id += 1;
+
+            if let Some(iface) = self.interfaces.get_mut(&device) {
+                match iface.transmit(&packet, &self.latency) {
+                    Some(cost) => latencies[index] += cost,
+                    None => {
+                        self.drops
+                            .push(("interface".to_string(), "interface down".to_string()));
+                        deliveries[index] = Some(Delivery::Dropped {
+                            by: "interface".to_string(),
+                            reason: "interface down".to_string(),
+                        });
+                        continue;
+                    }
+                }
+            }
+            self.pre_chain_capture.record(self.clock.now(), &packet);
+            chain_members.push(index);
+            chain_packets.push(packet);
+        }
+
+        let outcomes = self.chain.process_batch(&mut chain_packets);
+        for ((&index, packet), outcome) in chain_members.iter().zip(&chain_packets).zip(outcomes) {
+            let mut latency = latencies[index];
+            match outcome {
+                ChainOutcome::Dropped { by, reason } => {
+                    self.clock.advance(latency);
+                    self.drops.push((by.clone(), reason.clone()));
+                    deliveries[index] = Some(Delivery::Dropped { by, reason });
+                }
+                ChainOutcome::Accepted { queues_traversed } => {
+                    latency += self
+                        .latency
+                        .nfqueue_roundtrip
+                        .saturating_mul(queues_traversed as u64);
+                    self.post_chain_capture.record(self.clock.now(), packet);
+
+                    let key = packet.flow_key();
+                    let next_id = self.next_flow_id;
+                    let entry = self.flows.entry(key).or_insert_with(|| FlowStats {
+                        id: next_id,
+                        packets: 0,
+                        bytes: 0,
+                    });
+                    if entry.packets == 0 {
+                        self.next_flow_id += 1;
+                    }
+                    entry.packets += 1;
+                    entry.bytes += packet.payload().len() as u64;
+
+                    let dst = packet.destination().ip;
+                    deliveries[index] = Some(if self.servers.contains_key(&dst) {
+                        latency += self.latency.server_processing;
+                        self.clock.advance(latency);
+                        Delivery::Delivered {
+                            latency,
+                            queues_traversed,
+                        }
+                    } else {
+                        self.clock.advance(latency);
+                        Delivery::Unroutable
+                    });
+                }
+            }
+        }
+
+        deliveries
+            .into_iter()
+            .map(|delivery| delivery.expect("every packet received a delivery"))
+            .collect()
     }
 
     /// Transmit a packet carrying an HTTP request and, if it is delivered,
@@ -310,8 +414,7 @@ impl EnterpriseNetwork {
         let response = server.server.handle(request);
 
         // Response path: WAN → device interface.
-        let response_packet =
-            Ipv4Packet::new(destination, source, response.to_bytes());
+        let response_packet = Ipv4Packet::new(destination, source, response.to_bytes());
         let mut total = latency;
         if let Some(iface) = self.interfaces.get_mut(&device) {
             if let Some(cost) = iface.receive(&response_packet, &self.latency) {
@@ -336,7 +439,9 @@ impl EnterpriseNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netfilter::{IptablesRule, PassthroughHandler, QueueHandler, RuleAction, RuleMatch, Verdict};
+    use crate::netfilter::{
+        IptablesRule, PassthroughHandler, QueueHandler, RuleAction, RuleMatch, Verdict,
+    };
     use parking_lot::Mutex;
     use std::sync::Arc;
 
@@ -381,8 +486,12 @@ mod tests {
                 Verdict::drop("test drop")
             }
         }
-        net.chain_mut().add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
-        net.chain_mut().register_queue(1, Arc::new(Mutex::new(DropAll)));
+        net.chain_mut().add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(1),
+        });
+        net.chain_mut()
+            .register_queue(1, Arc::new(Mutex::new(DropAll)));
         let delivery = net.transmit(DeviceId::new(1), packet_from_device(ep, vec![9; 10]));
         assert!(!delivery.is_delivered());
         assert_eq!(net.egress_packet_count(), 0);
@@ -392,16 +501,87 @@ mod tests {
     }
 
     #[test]
+    fn transmit_batch_matches_sequential_transmit() {
+        struct DropOddPorts;
+        impl QueueHandler for DropOddPorts {
+            fn name(&self) -> &str {
+                "drop-odd-ports"
+            }
+            fn handle(&mut self, p: &mut Ipv4Packet) -> Verdict {
+                if p.source().port % 2 == 1 {
+                    Verdict::drop("odd source port")
+                } else {
+                    Verdict::Accept
+                }
+            }
+        }
+        let build = || {
+            let (mut net, ep) = network_with_server();
+            net.chain_mut().add_rule(IptablesRule {
+                matcher: RuleMatch::any(),
+                action: RuleAction::Queue(1),
+            });
+            net.chain_mut()
+                .register_queue(1, Arc::new(Mutex::new(DropOddPorts)));
+            (net, ep)
+        };
+        let packets = |ep: Endpoint| -> Vec<Ipv4Packet> {
+            (0..6u16)
+                .map(|i| {
+                    Ipv4Packet::new(
+                        Endpoint::new([10, 0, 0, 7], 40_000 + i),
+                        ep,
+                        vec![i as u8; 16],
+                    )
+                })
+                .collect()
+        };
+
+        let (mut sequential, ep) = build();
+        let expected: Vec<Delivery> = packets(ep)
+            .into_iter()
+            .map(|p| sequential.transmit(DeviceId::new(1), p))
+            .collect();
+
+        let (mut batched, ep) = build();
+        let deliveries = batched.transmit_batch(DeviceId::new(1), packets(ep));
+        assert_eq!(deliveries, expected);
+        assert_eq!(
+            batched.egress_packet_count(),
+            sequential.egress_packet_count()
+        );
+        assert_eq!(batched.drops(), sequential.drops());
+        assert_eq!(
+            batched
+                .flow_stats()
+                .map(|(k, v)| (*k, *v))
+                .collect::<Vec<_>>(),
+            sequential
+                .flow_stats()
+                .map(|(k, v)| (*k, *v))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn nfqueue_latency_is_charged_per_queue() {
         let (mut net, ep) = network_with_server();
-        net.chain_mut().add_rule(IptablesRule { matcher: RuleMatch::any(), action: RuleAction::Queue(1) });
-        net.chain_mut().register_queue(1, Arc::new(Mutex::new(PassthroughHandler::new())));
-        let with_queue =
-            net.transmit(DeviceId::new(1), packet_from_device(ep, vec![0; 10])).latency().unwrap();
+        net.chain_mut().add_rule(IptablesRule {
+            matcher: RuleMatch::any(),
+            action: RuleAction::Queue(1),
+        });
+        net.chain_mut()
+            .register_queue(1, Arc::new(Mutex::new(PassthroughHandler::new())));
+        let with_queue = net
+            .transmit(DeviceId::new(1), packet_from_device(ep, vec![0; 10]))
+            .latency()
+            .unwrap();
 
         let (mut plain, ep2) = network_with_server();
-        let without_queue =
-            plain.transmit(DeviceId::new(1), packet_from_device(ep2, vec![0; 10])).latency().unwrap();
+        let without_queue = plain
+            .transmit(DeviceId::new(1), packet_from_device(ep2, vec![0; 10]))
+            .latency()
+            .unwrap();
         assert_eq!(
             with_queue.saturating_sub(without_queue),
             LatencyModel::default().nfqueue_roundtrip
@@ -439,14 +619,19 @@ mod tests {
     #[test]
     fn slirp_interface_adds_more_latency_than_tap() {
         let (mut tap_net, ep) = network_with_server();
-        let tap_latency =
-            tap_net.transmit(DeviceId::new(1), packet_from_device(ep, vec![])).latency().unwrap();
+        let tap_latency = tap_net
+            .transmit(DeviceId::new(1), packet_from_device(ep, vec![]))
+            .latency()
+            .unwrap();
 
         let mut slirp_net = EnterpriseNetwork::new(LatencyModel::default());
-        let ep2 = slirp_net.register_server("www.example.com", Ipv4Addr::new(93, 184, 216, 34), 297);
+        let ep2 =
+            slirp_net.register_server("www.example.com", Ipv4Addr::new(93, 184, 216, 34), 297);
         slirp_net.attach_device(DeviceId::new(1), InterfaceMode::Slirp);
-        let slirp_latency =
-            slirp_net.transmit(DeviceId::new(1), packet_from_device(ep2, vec![])).latency().unwrap();
+        let slirp_latency = slirp_net
+            .transmit(DeviceId::new(1), packet_from_device(ep2, vec![]))
+            .latency()
+            .unwrap();
         assert!(slirp_latency > tap_latency);
     }
 

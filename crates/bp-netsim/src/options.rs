@@ -206,7 +206,10 @@ impl IpOptions {
     /// length is inconsistent, or the data is truncated.
     pub fn parse(data: &[u8]) -> Result<Self, Error> {
         if data.len() > MAX_OPTIONS_LEN {
-            return Err(Error::malformed("ip options", "options area exceeds 40 bytes"));
+            return Err(Error::malformed(
+                "ip options",
+                "options area exceeds 40 bytes",
+            ));
         }
         let mut options = Vec::new();
         let mut pos = 0;
@@ -229,7 +232,10 @@ impl IpOptions {
                             format!("invalid option length {len}"),
                         ));
                     }
-                    options.push(IpOption { kind, data: data[pos + 2..pos + len].to_vec() });
+                    options.push(IpOption {
+                        kind,
+                        data: data[pos + 2..pos + len].to_vec(),
+                    });
                     pos += len;
                 }
             }
@@ -240,7 +246,9 @@ impl IpOptions {
 
 impl FromIterator<IpOption> for IpOptions {
     fn from_iter<T: IntoIterator<Item = IpOption>>(iter: T) -> Self {
-        IpOptions { options: iter.into_iter().collect() }
+        IpOptions {
+            options: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -287,14 +295,18 @@ mod tests {
         opts.push(max).unwrap();
         assert_eq!(opts.encoded_len(), 40);
         // No room for anything else.
-        assert!(opts.push(IpOption::new(IpOptionKind::NoOp, vec![]).unwrap()).is_err());
+        assert!(opts
+            .push(IpOption::new(IpOptionKind::NoOp, vec![]).unwrap())
+            .is_err());
     }
 
     #[test]
     fn cumulative_budget_enforced() {
         let mut opts = IpOptions::new();
-        opts.push(IpOption::new(IpOptionKind::Security, vec![0; 18]).unwrap()).unwrap();
-        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 16]).unwrap()).unwrap();
+        opts.push(IpOption::new(IpOptionKind::Security, vec![0; 18]).unwrap())
+            .unwrap();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 16]).unwrap())
+            .unwrap();
         // 20 + 18 = 38 used; a 4-byte option would exceed 40.
         let overflow = IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 2]).unwrap();
         assert!(opts.push(overflow).is_err());
@@ -303,8 +315,10 @@ mod tests {
     #[test]
     fn remove_strips_only_matching_kind() {
         let mut opts = IpOptions::new();
-        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![9]).unwrap()).unwrap();
-        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2]).unwrap()).unwrap();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![9]).unwrap())
+            .unwrap();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2]).unwrap())
+            .unwrap();
         assert_eq!(opts.remove(IpOptionKind::BorderPatrolContext), 1);
         assert_eq!(opts.len(), 1);
         assert!(opts.find(IpOptionKind::Timestamp).is_some());

@@ -17,9 +17,7 @@ use crate::addr::Endpoint;
 use crate::options::{IpOptionKind, IpOptions};
 
 /// Transport protocol carried by a packet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Protocol {
     /// Transmission Control Protocol.
     Tcp,
@@ -60,6 +58,46 @@ pub struct FlowKey {
     pub dst_port: u16,
     /// Transport protocol.
     pub protocol: Protocol,
+}
+
+impl serde::SerdeKey for FlowKey {
+    fn to_key(&self) -> String {
+        format!(
+            "{}:{}->{}:{}/{}",
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.protocol.number()
+        )
+    }
+
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        let invalid = || serde::DeError::custom(format!("invalid flow key {key:?}"));
+        let (flow, proto) = key.rsplit_once('/').ok_or_else(invalid)?;
+        let (src, dst) = flow.split_once("->").ok_or_else(invalid)?;
+        let parse_endpoint = |text: &str| -> Result<(Ipv4Addr, u16), serde::DeError> {
+            let (ip, port) = text.rsplit_once(':').ok_or_else(invalid)?;
+            Ok((
+                ip.parse().map_err(|_| invalid())?,
+                port.parse().map_err(|_| invalid())?,
+            ))
+        };
+        let (src_ip, src_port) = parse_endpoint(src)?;
+        let (dst_ip, dst_port) = parse_endpoint(dst)?;
+        let protocol = proto
+            .parse::<u8>()
+            .ok()
+            .and_then(Protocol::from_number)
+            .ok_or_else(invalid)?;
+        Ok(FlowKey {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            protocol,
+        })
+    }
 }
 
 /// A simulated IPv4 packet.
@@ -183,7 +221,9 @@ impl Ipv4Packet {
 
     /// Whether this packet carries a BorderPatrol context option.
     pub fn has_context_option(&self) -> bool {
-        self.options.find(IpOptionKind::BorderPatrolContext).is_some()
+        self.options
+            .find(IpOptionKind::BorderPatrolContext)
+            .is_some()
     }
 
     /// The flow key (5-tuple) of this packet.
@@ -265,11 +305,17 @@ impl Ipv4Packet {
     /// protocol number or a checksum mismatch.
     pub fn parse(data: &[u8]) -> Result<Self, Error> {
         if data.len() < Self::BASE_HEADER_LEN + 4 {
-            return Err(Error::malformed("ipv4 packet", "shorter than minimum header"));
+            return Err(Error::malformed(
+                "ipv4 packet",
+                "shorter than minimum header",
+            ));
         }
         let version = data[0] >> 4;
         if version != 4 {
-            return Err(Error::malformed("ipv4 packet", format!("unsupported version {version}")));
+            return Err(Error::malformed(
+                "ipv4 packet",
+                format!("unsupported version {version}"),
+            ));
         }
         let ihl_words = (data[0] & 0x0f) as usize;
         let header_len = ihl_words * 4;
@@ -284,8 +330,9 @@ impl Ipv4Packet {
         let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
         let identification = u16::from_be_bytes([data[4], data[5]]);
         let ttl = data[8];
-        let protocol = Protocol::from_number(data[9])
-            .ok_or_else(|| Error::malformed("ipv4 packet", format!("unknown protocol {}", data[9])))?;
+        let protocol = Protocol::from_number(data[9]).ok_or_else(|| {
+            Error::malformed("ipv4 packet", format!("unknown protocol {}", data[9]))
+        })?;
         let src_ip = Ipv4Addr::new(data[12], data[13], data[14], data[15]);
         let dst_ip = Ipv4Addr::new(data[16], data[17], data[18], data[19]);
         let options = IpOptions::parse(&data[Self::BASE_HEADER_LEN..header_len])?;
@@ -297,7 +344,10 @@ impl Ipv4Packet {
         if payload.len() != expected_payload {
             return Err(Error::malformed(
                 "ipv4 packet",
-                format!("payload length {} does not match total length field", payload.len()),
+                format!(
+                    "payload length {} does not match total length field",
+                    payload.len()
+                ),
             ));
         }
         Ok(Ipv4Packet {
@@ -378,7 +428,11 @@ mod tests {
         assert_eq!(parsed.payload(), p.payload());
         assert!(parsed.has_context_option());
         assert_eq!(
-            parsed.options().find(IpOptionKind::BorderPatrolContext).unwrap().data,
+            parsed
+                .options()
+                .find(IpOptionKind::BorderPatrolContext)
+                .unwrap()
+                .data,
             vec![1, 2, 3, 4, 5, 6]
         );
     }

@@ -138,9 +138,7 @@ impl Socket {
                 self.local = Some(local);
                 Ok(())
             }
-            SocketState::Connected => {
-                Err(Error::invalid_state("bind", "socket already connected"))
-            }
+            SocketState::Connected => Err(Error::invalid_state("bind", "socket already connected")),
             SocketState::Closed => Err(Error::invalid_state("bind", "socket closed")),
         }
     }
@@ -206,7 +204,10 @@ pub struct SocketTable {
 impl SocketTable {
     /// An empty table.
     pub fn new() -> Self {
-        SocketTable { sockets: BTreeMap::new(), next_id: 3 } // 0,1,2 mimic stdio
+        SocketTable {
+            sockets: BTreeMap::new(),
+            next_id: 3,
+        } // 0,1,2 mimic stdio
     }
 
     /// Create a new Java-level socket owned by `owner` and return its id.
@@ -229,12 +230,14 @@ impl SocketTable {
 
     /// Borrow a socket or return a [`Error::NotFound`].
     pub fn require(&self, id: SocketId) -> Result<&Socket, Error> {
-        self.get(id).ok_or_else(|| Error::not_found("socket", id.to_string()))
+        self.get(id)
+            .ok_or_else(|| Error::not_found("socket", id.to_string()))
     }
 
     /// Mutably borrow a socket or return a [`Error::NotFound`].
     pub fn require_mut(&mut self, id: SocketId) -> Result<&mut Socket, Error> {
-        self.get_mut(id).ok_or_else(|| Error::not_found("socket", id.to_string()))
+        self.get_mut(id)
+            .ok_or_else(|| Error::not_found("socket", id.to_string()))
     }
 
     /// Remove a socket from the table (after close).
@@ -259,7 +262,10 @@ impl SocketTable {
 
     /// All sockets owned by `owner`.
     pub fn owned_by(&self, owner: AppId) -> Vec<&Socket> {
-        self.sockets.values().filter(|s| s.owner() == owner).collect()
+        self.sockets
+            .values()
+            .filter(|s| s.owner() == owner)
+            .collect()
     }
 }
 
@@ -281,7 +287,11 @@ mod tests {
         assert_eq!(socket.os_socket_calls(), 0);
 
         // connect() lazily creates the OS socket.
-        table.get_mut(id).unwrap().connect(ep(2, 40000), ep(99, 443)).unwrap();
+        table
+            .get_mut(id)
+            .unwrap()
+            .connect(ep(2, 40000), ep(99, 443))
+            .unwrap();
         let socket = table.get(id).unwrap();
         assert_eq!(socket.state(), SocketState::Connected);
         assert_eq!(socket.os_socket_calls(), 1);

@@ -68,27 +68,43 @@ pub enum Error {
 impl Error {
     /// Construct a [`Error::Malformed`] error.
     pub fn malformed(what: &'static str, detail: impl Into<String>) -> Self {
-        Error::Malformed { what, detail: detail.into() }
+        Error::Malformed {
+            what,
+            detail: detail.into(),
+        }
     }
 
     /// Construct a [`Error::NotFound`] error.
     pub fn not_found(what: &'static str, key: impl Into<String>) -> Self {
-        Error::NotFound { what, key: key.into() }
+        Error::NotFound {
+            what,
+            key: key.into(),
+        }
     }
 
     /// Construct a [`Error::InvalidState`] error.
     pub fn invalid_state(operation: &'static str, detail: impl Into<String>) -> Self {
-        Error::InvalidState { operation, detail: detail.into() }
+        Error::InvalidState {
+            operation,
+            detail: detail.into(),
+        }
     }
 
     /// Construct a [`Error::PermissionDenied`] error.
     pub fn permission_denied(operation: &'static str, missing: impl Into<String>) -> Self {
-        Error::PermissionDenied { operation, missing: missing.into() }
+        Error::PermissionDenied {
+            operation,
+            missing: missing.into(),
+        }
     }
 
     /// Construct a [`Error::CapacityExceeded`] error.
     pub fn capacity(what: &'static str, requested: usize, limit: usize) -> Self {
-        Error::CapacityExceeded { what, requested, limit }
+        Error::CapacityExceeded {
+            what,
+            requested,
+            limit,
+        }
     }
 }
 
@@ -99,7 +115,11 @@ impl fmt::Display for Error {
             Error::PermissionDenied { operation, missing } => {
                 write!(f, "permission denied for {operation}: missing {missing}")
             }
-            Error::CapacityExceeded { what, requested, limit } => {
+            Error::CapacityExceeded {
+                what,
+                requested,
+                limit,
+            } => {
                 write!(f, "{what} requires {requested} but only {limit} available")
             }
             Error::NotFound { what, key } => write!(f, "{what} not found: {key}"),
@@ -145,7 +165,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk full");
+        let io = std::io::Error::other("disk full");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(e.to_string().contains("disk full"));

@@ -107,6 +107,17 @@ impl AppTag {
         &self.0
     }
 
+    /// The tag as a big-endian `u64` — the key the compiled enforcement
+    /// tables index by, avoiding hex-string rendering on the packet path.
+    pub fn as_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0)
+    }
+
+    /// Reconstruct a tag from its big-endian `u64` form.
+    pub fn from_u64(raw: u64) -> Self {
+        AppTag(raw.to_be_bytes())
+    }
+
     /// Render as a lowercase hexadecimal string (16 characters).
     pub fn to_hex(&self) -> String {
         to_hex(&self.0)
@@ -156,7 +167,12 @@ fn from_hex(s: &str) -> Option<Vec<u8>> {
         return None;
     }
     let chars: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
-    Some(chars.chunks(2).map(|p| ((p[0] << 4) | p[1]) as u8).collect())
+    Some(
+        chars
+            .chunks(2)
+            .map(|p| ((p[0] << 4) | p[1]) as u8)
+            .collect(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -171,16 +187,14 @@ const S: [u32; 64] = [
 ];
 
 const K: [u32; 64] = [
-    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
-    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
-    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
-    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
-    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
-    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
-    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
-    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
-    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
-    0xeb86d391,
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
 ];
 
 /// Compute the MD5 digest of `data`, returning the raw 16-byte digest.
@@ -216,10 +230,7 @@ pub fn md5_digest(data: &[u8]) -> [u8; 16] {
                 32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
                 _ => (c ^ (b | !d), (7 * i) % 16),
             };
-            let f = f
-                .wrapping_add(a)
-                .wrapping_add(K[i])
-                .wrapping_add(m[g]);
+            let f = f.wrapping_add(a).wrapping_add(K[i]).wrapping_add(m[g]);
             a = d;
             d = c;
             c = b;
@@ -262,7 +273,9 @@ mod tests {
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(
-            hex(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+            hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
             "57edf4a22be3c955ac49da2e2107b67a"
         );
     }
@@ -307,6 +320,14 @@ mod tests {
         let a = ApkHash::digest(b"app-a").tag();
         let b = ApkHash::digest(b"app-b").tag();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tag_u64_roundtrip_preserves_identity_and_order_of_bytes() {
+        let tag = ApkHash::digest(b"com.dropbox.android").tag();
+        assert_eq!(AppTag::from_u64(tag.as_u64()), tag);
+        assert_eq!(AppTag::from_u64(tag.as_u64()).to_hex(), tag.to_hex());
+        assert_ne!(tag.as_u64(), ApkHash::digest(b"other").tag().as_u64());
     }
 
     #[test]

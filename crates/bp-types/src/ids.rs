@@ -50,6 +50,21 @@ macro_rules! define_id {
                 value.0
             }
         }
+
+        impl serde::SerdeKey for $name {
+            fn to_key(&self) -> String {
+                self.0.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, serde::DeError> {
+                key.parse::<u64>().map(Self).map_err(|_| {
+                    serde::DeError::custom(format!(
+                        concat!("invalid ", stringify!($name), " key {:?}"),
+                        key
+                    ))
+                })
+            }
+        }
     };
 }
 
@@ -105,12 +120,18 @@ pub struct IdAllocator<T> {
 impl<T: From<u64>> IdAllocator<T> {
     /// Create an allocator that starts at 1.
     pub fn new() -> Self {
-        IdAllocator { next: 1, _marker: std::marker::PhantomData }
+        IdAllocator {
+            next: 1,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Create an allocator that starts at the provided raw value.
     pub fn starting_at(raw: u64) -> Self {
-        IdAllocator { next: raw, _marker: std::marker::PhantomData }
+        IdAllocator {
+            next: raw,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Allocate the next identifier.

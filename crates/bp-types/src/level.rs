@@ -24,9 +24,7 @@ use crate::error::Error;
 /// assert!(EnforcementLevel::Method > EnforcementLevel::Class);
 /// assert_eq!("library".parse::<EnforcementLevel>().unwrap(), EnforcementLevel::Library);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase")]
 pub enum EnforcementLevel {
     /// Match against the application identity (truncated apk hash).

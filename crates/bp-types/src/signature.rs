@@ -23,7 +23,10 @@ pub struct SignatureParseError {
 
 impl SignatureParseError {
     fn new(input: &str, detail: &'static str) -> Self {
-        SignatureParseError { input: input.to_string(), detail }
+        SignatureParseError {
+            input: input.to_string(),
+            detail,
+        }
     }
 
     /// The offending input string.
@@ -34,7 +37,11 @@ impl SignatureParseError {
 
 impl fmt::Display for SignatureParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid method signature {:?}: {}", self.input, self.detail)
+        write!(
+            f,
+            "invalid method signature {:?}: {}",
+            self.input, self.detail
+        )
     }
 }
 
@@ -186,9 +193,7 @@ impl MethodSignature {
         }
         match level {
             EnforcementLevel::Hash => false,
-            EnforcementLevel::Library => {
-                segment_prefix(&self.package, &normalize_package(target))
-            }
+            EnforcementLevel::Library => segment_prefix(&self.package, &normalize_package(target)),
             EnforcementLevel::Class => {
                 let qc = self.qualified_class();
                 let t = normalize_package(target);
@@ -207,8 +212,7 @@ impl MethodSignature {
                     self.method,
                     self.params
                 );
-                let without_params =
-                    format!("L{};->{}", self.qualified_class(), self.method);
+                let without_params = format!("L{};->{}", self.qualified_class(), self.method);
                 target == without_ret || target == without_params
             }
         }
@@ -238,22 +242,27 @@ impl MethodSignature {
 
 /// Strip a leading `L` and trailing `;` so class targets can be written either
 /// as `com/google/gms` or `Lcom/google/gms;`.
-fn normalize_package(target: &str) -> String {
+///
+/// Exported so compiled policy evaluators can pre-normalize targets with the
+/// exact same rules [`MethodSignature::matches_target`] applies per call.
+pub fn normalize_package(target: &str) -> String {
     let t = target.strip_prefix('L').unwrap_or(target);
     let t = t.strip_suffix(';').unwrap_or(t);
     t.trim_matches('/').to_string()
 }
 
 /// True if `prefix` equals `path` or is a prefix of it ending at a `/` boundary.
-fn segment_prefix(path: &str, prefix: &str) -> bool {
+///
+/// Exported alongside [`normalize_package`] as the package/class matching
+/// primitive compiled policy evaluators must agree with.
+pub fn segment_prefix(path: &str, prefix: &str) -> bool {
     if prefix.is_empty() {
         return false;
     }
     if path == prefix {
         return true;
     }
-    path.starts_with(prefix)
-        && path.as_bytes().get(prefix.len()) == Some(&b'/')
+    path.starts_with(prefix) && path.as_bytes().get(prefix.len()) == Some(&b'/')
 }
 
 impl fmt::Debug for MethodSignature {
@@ -279,13 +288,20 @@ impl Ord for MethodSignature {
     /// return).  This is the deterministic "topological" ordering the Offline
     /// Analyzer relies on to assign stable indexes.
     fn cmp(&self, other: &Self) -> Ordering {
-        (&self.package, &self.class, &self.method, &self.params, &self.ret).cmp(&(
-            &other.package,
-            &other.class,
-            &other.method,
-            &other.params,
-            &other.ret,
-        ))
+        (
+            &self.package,
+            &self.class,
+            &self.method,
+            &self.params,
+            &self.ret,
+        )
+            .cmp(&(
+                &other.package,
+                &other.class,
+                &other.method,
+                &other.params,
+                &other.ret,
+            ))
     }
 }
 
@@ -349,7 +365,10 @@ mod tests {
         assert_eq!(sig.class_name(), "UploadTask");
         assert_eq!(sig.method_name(), "c");
         assert_eq!(sig.params(), "");
-        assert_eq!(sig.return_type(), "Lcom/dropbox/hairball/taskqueue/TaskResult;");
+        assert_eq!(
+            sig.return_type(),
+            "Lcom/dropbox/hairball/taskqueue/TaskResult;"
+        );
     }
 
     #[test]
@@ -371,15 +390,18 @@ mod tests {
     fn parse_rejects_malformed() {
         for bad in [
             "",
-            "com/foo/Bar;->baz()V",      // missing leading L
-            "Lcom/foo/Bar->baz()V",      // missing ;
-            "Lcom/foo/Bar;->()V",        // empty method
-            "Lcom/foo/Bar;->baz)V",      // missing (
-            "Lcom/foo/Bar;->bazV",       // missing parens entirely
-            "Lcom/foo/Bar;->baz()",      // empty return
-            "L;->baz()V",                // empty class path
+            "com/foo/Bar;->baz()V", // missing leading L
+            "Lcom/foo/Bar->baz()V", // missing ;
+            "Lcom/foo/Bar;->()V",   // empty method
+            "Lcom/foo/Bar;->baz)V", // missing (
+            "Lcom/foo/Bar;->bazV",  // missing parens entirely
+            "Lcom/foo/Bar;->baz()", // empty return
+            "L;->baz()V",           // empty class path
         ] {
-            assert!(bad.parse::<MethodSignature>().is_err(), "should reject {bad:?}");
+            assert!(
+                bad.parse::<MethodSignature>().is_err(),
+                "should reject {bad:?}"
+            );
         }
     }
 
@@ -395,14 +417,15 @@ mod tests {
     #[test]
     fn class_matching_accepts_package_style_targets() {
         // Paper Example 2: {[deny][class]["com/google/gms"]} blocks an entire class tree.
-        let sig: MethodSignature =
-            "Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V".parse().unwrap();
+        let sig: MethodSignature = "Lcom/google/gms/analytics/Tracker;->send(Ljava/util/Map;)V"
+            .parse()
+            .unwrap();
         assert!(sig.matches_target(EnforcementLevel::Class, "com/google/gms"));
+        assert!(sig.matches_target(EnforcementLevel::Class, "com/google/gms/analytics/Tracker"));
         assert!(sig.matches_target(
             EnforcementLevel::Class,
-            "com/google/gms/analytics/Tracker"
+            "Lcom/google/gms/analytics/Tracker;"
         ));
-        assert!(sig.matches_target(EnforcementLevel::Class, "Lcom/google/gms/analytics/Tracker;"));
         assert!(!sig.matches_target(EnforcementLevel::Class, "com/google/gmsx"));
     }
 
@@ -441,7 +464,10 @@ mod tests {
             sig.match_level("com/dropbox/android/taskqueue/UploadTask"),
             Some(EnforcementLevel::Class)
         );
-        assert_eq!(sig.match_level("com/dropbox"), Some(EnforcementLevel::Library));
+        assert_eq!(
+            sig.match_level("com/dropbox"),
+            Some(EnforcementLevel::Library)
+        );
         assert_eq!(sig.match_level("com/box"), None);
     }
 

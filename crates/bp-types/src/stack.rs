@@ -28,12 +28,18 @@ pub struct StackFrame {
 impl StackFrame {
     /// Create a frame with a known source line number.
     pub fn new(signature: MethodSignature, line: u32) -> Self {
-        StackFrame { signature, line: Some(line) }
+        StackFrame {
+            signature,
+            line: Some(line),
+        }
     }
 
     /// Create a frame without debug information (no line number).
     pub fn without_line(signature: MethodSignature) -> Self {
-        StackFrame { signature, line: None }
+        StackFrame {
+            signature,
+            line: None,
+        }
     }
 
     /// The method signature of this frame.
@@ -94,7 +100,10 @@ impl StackTrace {
         I: IntoIterator<Item = MethodSignature>,
     {
         StackTrace {
-            frames: signatures.into_iter().map(StackFrame::without_line).collect(),
+            frames: signatures
+                .into_iter()
+                .map(StackFrame::without_line)
+                .collect(),
         }
     }
 
@@ -144,7 +153,9 @@ impl StackTrace {
     /// not fit the 40-byte `IP_OPTIONS` budget: the innermost frames carry the
     /// most discriminating context and are preserved.
     pub fn truncated(&self, max_frames: usize) -> StackTrace {
-        StackTrace { frames: self.frames.iter().take(max_frames).cloned().collect() }
+        StackTrace {
+            frames: self.frames.iter().take(max_frames).cloned().collect(),
+        }
     }
 
     /// True if any frame matches `target` at `level` or finer.
@@ -210,7 +221,9 @@ impl fmt::Display for StackTrace {
 
 impl FromIterator<StackFrame> for StackTrace {
     fn from_iter<T: IntoIterator<Item = StackFrame>>(iter: T) -> Self {
-        StackTrace { frames: iter.into_iter().collect() }
+        StackTrace {
+            frames: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -230,8 +243,14 @@ mod tests {
 
     fn sample_trace() -> StackTrace {
         StackTrace::from_frames(vec![
-            StackFrame::new(sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"), 589),
-            StackFrame::new(sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"), 112),
+            StackFrame::new(
+                sig("Ljava/net/Socket;->connect(Ljava/net/SocketAddress;)V"),
+                589,
+            ),
+            StackFrame::new(
+                sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"),
+                112,
+            ),
             StackFrame::new(sig("Lcom/flurry/sdk/Agent;->report()V"), 44),
             StackFrame::new(sig("Lcom/example/app/MainActivity;->onResume()V"), 201),
         ])
@@ -243,7 +262,10 @@ mod tests {
         assert_eq!(t.depth(), 4);
         assert!(!t.is_empty());
         assert_eq!(t.innermost().unwrap().signature().class_name(), "Socket");
-        assert_eq!(t.outermost().unwrap().signature().class_name(), "MainActivity");
+        assert_eq!(
+            t.outermost().unwrap().signature().class_name(),
+            "MainActivity"
+        );
         assert_eq!(t.signatures().count(), 4);
     }
 
@@ -252,14 +274,14 @@ mod tests {
         let t = sample_trace();
         assert!(t.contains_match(EnforcementLevel::Library, "com/flurry"));
         assert!(t.contains_match(EnforcementLevel::Class, "com/flurry/sdk/Agent"));
-        assert!(t.contains_match(
-            EnforcementLevel::Method,
-            "Lcom/flurry/sdk/Agent;->report"
-        ));
+        assert!(t.contains_match(EnforcementLevel::Method, "Lcom/flurry/sdk/Agent;->report"));
         assert!(!t.contains_match(EnforcementLevel::Library, "com/google"));
         assert!(!t.all_match(EnforcementLevel::Library, "com/flurry"));
         let flurry_only = StackTrace::from_frames(vec![
-            StackFrame::new(sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"), 1),
+            StackFrame::new(
+                sig("Lcom/flurry/sdk/Transport;->send(Ljava/lang/String;)V"),
+                1,
+            ),
             StackFrame::new(sig("Lcom/flurry/sdk/Agent;->report()V"), 2),
         ]);
         assert!(flurry_only.all_match(EnforcementLevel::Library, "com/flurry"));

@@ -13,7 +13,10 @@ use borderpatrol::analysis::experiments::case_facebook;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extracted = case_facebook::extract_analytics_policy();
-    println!("Policy Extractor derived {} policy rule(s):", extracted.len());
+    println!(
+        "Policy Extractor derived {} policy rule(s):",
+        extracted.len()
+    );
     for policy in extracted.iter() {
         println!("  {policy}");
     }

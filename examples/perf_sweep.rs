@@ -13,9 +13,10 @@ use borderpatrol::analysis::experiments::{fig4, scaling};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig4_result = fig4::run(&fig4::Fig4Config { iterations: 1_000 })?;
     println!("{}", fig4_result.to_table());
-    if let (Some(nfq), Some(stack)) =
-        (fig4_result.nfqueue_overhead(), fig4_result.get_stack_trace_overhead())
-    {
+    if let (Some(nfq), Some(stack)) = (
+        fig4_result.nfqueue_overhead(),
+        fig4_result.get_stack_trace_overhead(),
+    ) {
         println!(
             "NFQUEUE consumer adds ~{:.1} ms per request; getStackTrace adds ~{:.1} ms — the same two\n\
              deltas the paper reports (≈1 ms and ≈1.6 ms), amortised once per socket.\n",

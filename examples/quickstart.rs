@@ -35,8 +35,20 @@ fn sample_app() -> AppSpec {
             FunctionalityKind::Analytics,
             "data.flurry.com",
             CallChainBuilder::ui_entry(main_package, "NotesActivity", "onResume")
-                .then("com/flurry", "FlurryAgent", "onStartSession", "Landroid/content/Context;", "V")
-                .then("com/flurry/sdk", "Transport", "send", "Ljava/lang/String;", "V")
+                .then(
+                    "com/flurry",
+                    "FlurryAgent",
+                    "onStartSession",
+                    "Landroid/content/Context;",
+                    "V",
+                )
+                .then(
+                    "com/flurry/sdk",
+                    "Transport",
+                    "send",
+                    "Ljava/lang/String;",
+                    "V",
+                )
                 .build(),
             256,
         ))
@@ -56,21 +68,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Offline Analyzer indexed {} application(s); signature database entries: {}",
         testbed.database().len(),
-        testbed.database().iter().map(|(_, e)| e.signatures.len()).sum::<usize>()
+        testbed
+            .database()
+            .iter()
+            .map(|(_, e)| e.signatures.len())
+            .sum::<usize>()
     );
 
     // Exercise both functionalities.
     let sync = testbed.run(app, "sync-notes")?;
     let beacon = testbed.run(app, "flurry-beacon")?;
 
-    println!("\nsync-notes     → delivered: {} packet(s), dropped: {}", sync.packets_delivered, sync.packets_dropped);
-    println!("flurry-beacon  → delivered: {} packet(s), dropped: {} (by {})",
+    println!(
+        "\nsync-notes     → delivered: {} packet(s), dropped: {}",
+        sync.packets_delivered, sync.packets_dropped
+    );
+    println!(
+        "flurry-beacon  → delivered: {} packet(s), dropped: {} (by {})",
         beacon.packets_delivered,
         beacon.packets_dropped,
-        beacon.dropped_by.clone().unwrap_or_else(|| "-".to_string()));
+        beacon.dropped_by.clone().unwrap_or_else(|| "-".to_string())
+    );
 
     let stats = testbed.enforcer_stats().expect("BorderPatrol deployed");
-    println!("\nPolicy Enforcer: {} packet(s) inspected, {} dropped by policy", stats.packets_inspected, stats.dropped_by_policy);
+    println!(
+        "\nPolicy Enforcer: {} packet(s) inspected, {} dropped by policy",
+        stats.packets_inspected, stats.dropped_by_policy
+    );
     for reason in testbed.enforcer_drop_log() {
         println!("  drop reason: {reason}");
     }

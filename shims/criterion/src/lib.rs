@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion`, benchmark groups,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`) backed by a
+//! compact wall-clock harness: each benchmark warms up briefly, then runs
+//! timed batches and reports the mean time per iteration (plus throughput
+//! when configured).
+//!
+//! Tuning via environment variables: `BP_BENCH_WARMUP_MS` (default 20) and
+//! `BP_BENCH_MEASURE_MS` (default 120).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Work-per-iteration declaration used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements (e.g. packets).
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last [`Bencher::iter`] run.
+    ns_per_iter: f64,
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Measure `routine`, first warming up, then timing batches until the
+    /// measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warmup = env_ms("BP_BENCH_WARMUP_MS", 20);
+        let measure = env_ms("BP_BENCH_MEASURE_MS", 120);
+
+        // Warm-up: also estimates the cost of one iteration.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+
+        // Aim for ~50 batches within the measurement budget.
+        let batch = ((measure.as_nanos() as f64 / 50.0 / per_iter.max(1.0)) as u64).max(1);
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < measure {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = measure_start.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(group) => format!("{group}/{id}"),
+        None => id.to_string(),
+    };
+    let mut line = format!("{full:<60} time: {:>12.1} ns/iter", ns_per_iter);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  thrpt: {:>14.0} elem/s", rate));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e9 / ns_per_iter;
+            line.push_str(&format!("  thrpt: {:>14.0} B/s", rate));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(None, &id.id, bencher.ns_per_iter, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the harness sizes batches itself.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the harness uses its own budget.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(
+            Some(&self.name),
+            &id.id,
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher, input);
+        report(
+            Some(&self.name),
+            &id.id,
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups (arguments from `cargo bench`
+/// are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        std::env::set_var("BP_BENCH_WARMUP_MS", "1");
+        std::env::set_var("BP_BENCH_MEASURE_MS", "5");
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        bencher.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(bencher.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("scale", 8).id, "scale/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("name").id, "name");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        std::env::set_var("BP_BENCH_WARMUP_MS", "1");
+        std::env::set_var("BP_BENCH_MEASURE_MS", "2");
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

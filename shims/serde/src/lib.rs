@@ -1,0 +1,620 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name.  It keeps the parts of serde's surface the workspace actually
+//! uses — the `Serialize` / `Deserialize` traits, the derive macros and the
+//! `#[serde(...)]` helper attributes — over a simple JSON-shaped [`Value`]
+//! data model instead of serde's visitor machinery.
+//!
+//! `serde_json` (also vendored) renders [`Value`] to JSON text and parses it
+//! back, which is all the workspace needs (the signature database interchange
+//! format of `bp-core`).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped self-describing value: the data model every `Serialize`
+/// implementation renders into and every `Deserialize` implementation reads
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used for values above `i64::MAX`).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this value is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// Error produced when deserializing a [`Value`] into a concrete type fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Create an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Create an "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError {
+            message: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// Create a "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        DeError {
+            message: format!("missing field `{name}`"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let raw = match value {
+                    Value::I64(i) => *i,
+                    Value::U64(u) if *u <= i64::MAX as u64 => *u as i64,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::I64(i) => Ok(*i as f64),
+            Value::U64(u) => Ok(*u as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(value)?.into())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_seq().ok_or_else(|| DeError::expected("array", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Map keys: types that render to / parse from a JSON object key.
+pub trait SerdeKey: Sized {
+    /// Render as an object key.
+    fn to_key(&self) -> String;
+    /// Parse from an object key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl SerdeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl SerdeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::custom(format!("invalid integer key {key:?}")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SerdeKey for Ipv4Addr {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        key.parse()
+            .map_err(|_| DeError::custom(format!("invalid IPv4 key {key:?}")))
+    }
+}
+
+impl<K: SerdeKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: SerdeKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: SerdeKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: SerdeKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Misc std types used across the workspace
+// ---------------------------------------------------------------------------
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        s.parse()
+            .map_err(|_| DeError::custom(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let secs = value
+            .get_field("secs")
+            .ok_or_else(|| DeError::missing_field("secs"))
+            .and_then(u64::from_value)?;
+        let nanos = value
+            .get_field("nanos")
+            .ok_or_else(|| DeError::missing_field("nanos"))
+            .and_then(u32::from_value)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let arr = [9u8; 4];
+        assert_eq!(<[u8; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1u64);
+        assert_eq!(
+            BTreeMap::<String, u64>::from_value(&map.to_value()).unwrap(),
+            map
+        );
+        let pair = (3u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(<[u8; 4]>::from_value(&vec![1u8].to_value()).is_err());
+        assert!(bool::from_value(&Value::I64(1)).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly against `proc_macro` (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable).  The macros parse the
+//! item declaration token-by-token and emit `Serialize` / `Deserialize` impls
+//! over the stand-in's `Value` data model.
+//!
+//! Supported shapes: structs with named fields, tuple structs, unit structs,
+//! and enums whose variants are unit, tuple or struct-like.  Supported
+//! `#[serde(...)]` helper attributes: `rename_all = "lowercase"` on enums,
+//! `skip` / `default` on named struct fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("serde_derive produced invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("serde_derive produced invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    lowercase_variants: bool,
+    body: Body,
+}
+
+/// Attributes gathered while skipping `#[...]` groups.
+#[derive(Default)]
+struct AttrInfo {
+    lowercase_variants: bool,
+    skip: bool,
+    default: bool,
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tree: &TokenTree, word: &str) -> bool {
+    matches!(tree, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Consume leading attributes from `tokens[*pos..]`, recording serde hints.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> AttrInfo {
+    let mut info = AttrInfo::default();
+    while *pos < tokens.len() && is_punct(&tokens[*pos], '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(group)) = tokens.get(*pos) {
+            let text = group.stream().to_string();
+            if text.starts_with("serde") {
+                if text.contains("rename_all") {
+                    if text.contains("\"lowercase\"") {
+                        info.lowercase_variants = true;
+                    } else {
+                        panic!("serde shim derive: unsupported rename_all in `{text}`");
+                    }
+                }
+                if text.contains("skip") {
+                    info.skip = true;
+                }
+                if text.contains("default") {
+                    info.default = true;
+                }
+            }
+            *pos += 1;
+        }
+    }
+    info
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if *pos < tokens.len() && is_ident(&tokens[*pos], "pub") {
+        *pos += 1;
+        if let Some(TokenTree::Group(group)) = tokens.get(*pos) {
+            if group.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Consume tokens of a type expression until a top-level `,` (tracking `<>`
+/// nesting depth); leaves `pos` at the `,` or the end.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "serde shim derive: expected field name, got {:?}",
+                tokens.get(pos).map(ToString::to_string)
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        assert!(
+            is_punct(&tokens[pos], ':'),
+            "serde shim derive: expected ':' after field `{name}`"
+        );
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        if pos < tokens.len() {
+            // consume the ','
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if pos < tokens.len() {
+            pos += 1; // the ','
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!("serde shim derive: expected variant name");
+        };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(group.stream());
+                pos += 1;
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(group.stream());
+                pos += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant `= expr` up to the separating comma.
+        while pos < tokens.len() && !is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        if pos < tokens.len() {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let tokens: Vec<TokenTree> = input.into_iter().collect();
+        let mut pos = 0;
+        let attrs = skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) if i.to_string() == "struct" || i.to_string() == "enum" => {
+                i.to_string()
+            }
+            other => panic!(
+                "serde shim derive: expected `struct` or `enum`, got {:?}",
+                other.map(ToString::to_string)
+            ),
+        };
+        pos += 1;
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!("serde shim derive: expected item name");
+        };
+        let name = name.to_string();
+        pos += 1;
+        if pos < tokens.len() && is_punct(&tokens[pos], '<') {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+        if pos < tokens.len() && is_ident(&tokens[pos], "where") {
+            panic!("serde shim derive: `where` clauses are not supported");
+        }
+        let body = if kind == "struct" {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    Body::Struct(Fields::Named(parse_named_fields(group.stream())))
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    Body::Struct(Fields::Tuple(count_tuple_fields(group.stream())))
+                }
+                Some(t) if is_punct(t, ';') => Body::Struct(Fields::Unit),
+                other => panic!(
+                    "serde shim derive: unsupported struct body {:?}",
+                    other.map(ToString::to_string)
+                ),
+            }
+        } else {
+            match tokens.get(pos) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    Body::Enum(parse_variants(group.stream()))
+                }
+                other => panic!(
+                    "serde shim derive: unsupported enum body {:?}",
+                    other.map(ToString::to_string)
+                ),
+            }
+        };
+        Item {
+            name,
+            lowercase_variants: attrs.lowercase_variants,
+            body,
+        }
+    }
+
+    fn variant_key(&self, variant: &str) -> String {
+        if self.lowercase_variants {
+            variant.to_lowercase()
+        } else {
+            variant.to_string()
+        }
+    }
+
+    // -- Serialize ---------------------------------------------------------
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(Fields::Named(fields)) => {
+                let mut out = String::from(
+                    "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for field in fields.iter().filter(|f| !f.skip) {
+                    let f = &field.name;
+                    out.push_str(&format!(
+                        "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                out.push_str("::serde::Value::Map(entries)");
+                out
+            }
+            Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Body::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+            Body::Enum(variants) => {
+                let mut arms = String::new();
+                for variant in variants {
+                    let v = &variant.name;
+                    let key = self.variant_key(v);
+                    match &variant.fields {
+                        Fields::Unit => arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n"
+                        )),
+                        Fields::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                                binders.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let binders: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{v} {{ {} }} => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                                binders.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        };
+        format!(
+            "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n    {body}\n  }}\n}}\n"
+        )
+    }
+
+    // -- Deserialize -------------------------------------------------------
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.body {
+            Body::Struct(Fields::Named(fields)) => {
+                let mut inits = String::new();
+                for field in fields {
+                    let f = &field.name;
+                    if field.skip {
+                        inits.push_str(&format!("{f}: ::std::default::Default::default(),\n"));
+                    } else if field.default {
+                        inits.push_str(&format!(
+                            "{f}: match value.get_field(\"{f}\") {{ Some(v) => ::serde::Deserialize::from_value(v)?, None => ::std::default::Default::default() }},\n"
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{f}: match value.get_field(\"{f}\") {{ Some(v) => ::serde::Deserialize::from_value(v)?, None => return Err(::serde::DeError::missing_field(\"{f}\")) }},\n"
+                        ));
+                    }
+                }
+                format!(
+                    "if value.as_map().is_none() {{ return Err(::serde::DeError::expected(\"object\", value)); }}\nOk({name} {{\n{inits}}})"
+                )
+            }
+            Body::Struct(Fields::Tuple(1)) => {
+                format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+            }
+            Body::Struct(Fields::Tuple(n)) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\nif items.len() != {n} {{ return Err(::serde::DeError::custom(format!(\"expected {n} elements, found {{}}\", items.len()))); }}\nOk({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Body::Struct(Fields::Unit) => format!("let _ = value;\nOk({name})"),
+            Body::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for variant in variants {
+                    let v = &variant.name;
+                    let key = self.variant_key(v);
+                    match &variant.fields {
+                        Fields::Unit => unit_arms.push_str(&format!("\"{key}\" => Ok({name}::{v}),\n")),
+                        Fields::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{key}\" => {{ let items = inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", inner))?; if items.len() != {n} {{ return Err(::serde::DeError::custom(\"wrong tuple arity\")); }} Ok({name}::{v}({})) }},\n",
+                                items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => {
+                            let mut inits = String::new();
+                            for field in fields {
+                                let f = &field.name;
+                                if field.skip {
+                                    inits.push_str(&format!(
+                                        "{f}: ::std::default::Default::default(),\n"
+                                    ));
+                                } else {
+                                    inits.push_str(&format!(
+                                        "{f}: match inner.get_field(\"{f}\") {{ Some(v) => ::serde::Deserialize::from_value(v)?, None => return Err(::serde::DeError::missing_field(\"{f}\")) }},\n"
+                                    ));
+                                }
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{v} {{\n{inits}}}),\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match value {{\n  ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}    other => Err(::serde::DeError::custom(format!(\"unknown variant {{other:?}}\"))),\n  }},\n  ::serde::Value::Map(entries) if entries.len() == 1 => {{\n    let (tag, inner) = &entries[0];\n    match tag.as_str() {{\n{data_arms}      other => Err(::serde::DeError::custom(format!(\"unknown variant {{other:?}}\"))),\n    }}\n  }}\n  other => Err(::serde::DeError::expected(\"enum\", other)),\n}}"
+                )
+            }
+        };
+        format!(
+            "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n  fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n    {body}\n  }}\n}}\n"
+        )
+    }
+}

@@ -8,20 +8,27 @@ use borderpatrol::core::policy::{Policy, PolicySet};
 use borderpatrol::types::EnforcementLevel;
 
 fn borderpatrol(policies: PolicySet) -> Testbed {
-    Testbed::new(Deployment::BorderPatrol { policies, config: EnforcerConfig::default() })
+    Testbed::new(Deployment::BorderPatrol {
+        policies,
+        config: EnforcerConfig::default(),
+    })
 }
 
 #[test]
 fn dropbox_upload_policy_end_to_end() {
     // Paper Snippet 1 Example 3: block the Dropbox UploadTask method.
-    let policy: Policy =
-        r#"{[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;->c"]}"#.parse().unwrap();
+    let policy: Policy = r#"{[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;->c"]}"#
+        .parse()
+        .unwrap();
     let mut testbed = borderpatrol(PolicySet::from_policies(vec![policy]));
     let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
 
     for functionality in ["auth", "browse", "download"] {
         let outcome = testbed.run(app, functionality).unwrap();
-        assert!(outcome.fully_delivered(), "{functionality} must keep working");
+        assert!(
+            outcome.fully_delivered(),
+            "{functionality} must keep working"
+        );
     }
     let upload = testbed.run(app, "upload").unwrap();
     assert!(upload.fully_blocked());
@@ -30,7 +37,10 @@ fn dropbox_upload_policy_end_to_end() {
     // The enforcer saw and dropped packets; the sanitizer cleaned the rest.
     let stats = testbed.enforcer_stats().unwrap();
     assert!(stats.dropped_by_policy >= 1);
-    assert_eq!(testbed.network.post_chain_capture().packets_with_context(), 0);
+    assert_eq!(
+        testbed.network.post_chain_capture().packets_with_context(),
+        0
+    );
 }
 
 #[test]
@@ -45,7 +55,8 @@ fn whitelist_by_hash_only_admits_the_corporate_app() {
         .map(|(tag, _)| tag.to_string())
         .unwrap();
 
-    let policies = PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Hash, dropbox_tag_hex)]);
+    let policies =
+        PolicySet::from_policies(vec![Policy::allow(EnforcementLevel::Hash, dropbox_tag_hex)]);
     let mut testbed = Testbed::new(Deployment::BorderPatrol {
         policies,
         config: EnforcerConfig::strict(),
@@ -54,7 +65,10 @@ fn whitelist_by_hash_only_admits_the_corporate_app() {
     let solcal = testbed.install_app(CorpusGenerator::solcalendar()).unwrap();
 
     assert!(testbed.run(dropbox, "browse").unwrap().fully_delivered());
-    assert!(testbed.run(solcal, "calendar-sync").unwrap().fully_blocked());
+    assert!(testbed
+        .run(solcal, "calendar-sync")
+        .unwrap()
+        .fully_blocked());
 }
 
 #[test]
@@ -76,8 +90,10 @@ fn strict_mode_drops_untagged_native_traffic() {
         testbed.host_address("api.dropbox.com").unwrap(),
         443,
     );
-    let invocation =
-        testbed.device.invoke_functionality_native(app, "browse", endpoint).unwrap();
+    let invocation = testbed
+        .device
+        .invoke_functionality_native(app, "browse", endpoint)
+        .unwrap();
     let device = testbed.device.id();
     let mut dropped = 0;
     for packet in invocation.packets {
@@ -85,7 +101,10 @@ fn strict_mode_drops_untagged_native_traffic() {
             dropped += 1;
         }
     }
-    assert!(dropped > 0, "untagged native traffic must be dropped in strict mode");
+    assert!(
+        dropped > 0,
+        "untagged native traffic must be dropped in strict mode"
+    );
     assert!(testbed.enforcer_stats().unwrap().dropped_untagged > 0);
 }
 
@@ -136,7 +155,10 @@ fn policy_reconfiguration_takes_effect_immediately() {
 #[test]
 fn multiple_apps_share_one_enforcer_without_crosstalk() {
     let policies = PolicySet::from_policies(vec![
-        Policy::deny(EnforcementLevel::Method, "Lcom/dropbox/android/taskqueue/UploadTask;->c"),
+        Policy::deny(
+            EnforcementLevel::Method,
+            "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+        ),
         Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"),
     ]);
     let mut testbed = borderpatrol(policies);

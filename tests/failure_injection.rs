@@ -21,14 +21,20 @@ fn missing_kernel_patch_disables_tagging_but_not_the_app() {
         config: EnforcerConfig::default(),
     });
     // Revert the device kernel to a stock configuration (no one-line patch).
-    testbed.device.kernel_mut().set_config(KernelConfig::default());
+    testbed
+        .device
+        .kernel_mut()
+        .set_config(KernelConfig::default());
 
     let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
     let outcome = testbed.run(app, "browse").unwrap();
     // Packets go out untagged (setsockopt fails with EPERM) but the app works
     // under the default (non-strict) enforcer configuration.
     assert!(outcome.fully_delivered());
-    assert_eq!(testbed.network.pre_chain_capture().packets_with_context(), 0);
+    assert_eq!(
+        testbed.network.pre_chain_capture().packets_with_context(),
+        0
+    );
     assert_eq!(testbed.device.kernel().stats().setsockopt_denied, 1);
 }
 
@@ -44,8 +50,12 @@ fn tag_replay_is_neutralised_by_the_hardened_kernel() {
     let app = device.install_app(spec, Profile::Work);
 
     let endpoint = Endpoint::new([198, 51, 100, 44], 443);
-    let benign = device.invoke_functionality(app, "browse", endpoint).unwrap();
-    let upload = device.invoke_functionality(app, "upload", endpoint).unwrap();
+    let benign = device
+        .invoke_functionality(app, "browse", endpoint)
+        .unwrap();
+    let upload = device
+        .invoke_functionality(app, "upload", endpoint)
+        .unwrap();
     assert!(benign.packets[0].has_context_option());
     assert!(upload.packets[0].has_context_option());
 
@@ -56,7 +66,10 @@ fn tag_replay_is_neutralised_by_the_hardened_kernel() {
         .kernel_mut()
         .replay_options(&creds, benign.socket, upload.socket)
         .unwrap_err();
-    assert!(matches!(err, borderpatrol::types::Error::InvalidState { .. }));
+    assert!(matches!(
+        err,
+        borderpatrol::types::Error::InvalidState { .. }
+    ));
 
     // The upload socket still carries its own (honest) context.
     let upload_options = device
@@ -83,7 +96,9 @@ fn stripped_debug_info_over_approximates_but_still_enforces() {
         policies,
         config: EnforcerConfig::default(),
     });
-    let app = testbed.install_app(CorpusGenerator::dropbox().without_debug_info()).unwrap();
+    let app = testbed
+        .install_app(CorpusGenerator::dropbox().without_debug_info())
+        .unwrap();
     assert!(testbed.run(app, "upload").unwrap().fully_blocked());
     assert!(testbed.run(app, "download").unwrap().fully_delivered());
 }
@@ -98,7 +113,9 @@ fn multidex_apps_are_enforced_with_wide_encoding() {
         policies,
         config: EnforcerConfig::default(),
     });
-    let app = testbed.install_app(CorpusGenerator::solcalendar().as_multidex()).unwrap();
+    let app = testbed
+        .install_app(CorpusGenerator::solcalendar().as_multidex())
+        .unwrap();
     assert!(testbed.run(app, "fb-analytics").unwrap().fully_blocked());
     assert!(testbed.run(app, "fb-login").unwrap().fully_delivered());
 }
@@ -139,7 +156,8 @@ fn unknown_app_traffic_is_dropped_by_default_config() {
         EnforcerConfig::default(),
     );
     let tag = apk.hash().tag();
-    let payload = borderpatrol::core::encoding::ContextEncoding::encode(tag, &[0, 1], false).unwrap();
+    let payload =
+        borderpatrol::core::encoding::ContextEncoding::encode(tag, &[0, 1], false).unwrap();
     let mut packet = borderpatrol::netsim::packet::Ipv4Packet::new(
         Endpoint::new([10, 0, 0, 9], 40000),
         Endpoint::new([198, 51, 100, 9], 443),
@@ -168,13 +186,18 @@ fn interface_down_blocks_all_egress() {
     let mut testbed = Testbed::new(Deployment::None);
     let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
     let device = testbed.device.id();
-    testbed.network.set_device_interface_mode(device, borderpatrol::netsim::iface::InterfaceMode::Tap);
+    testbed
+        .network
+        .set_device_interface_mode(device, borderpatrol::netsim::iface::InterfaceMode::Tap);
     // Take the interface down by replacing it: simplest path is transmitting
     // with the interface disabled through the public API.
     // (EnterpriseNetwork exposes the interface read-only; emulate the outage by
     // sending to an unregistered destination instead.)
     let endpoint = Endpoint::new([192, 0, 2, 123], 443);
-    let invocation = testbed.device.invoke_functionality(app, "browse", endpoint).unwrap();
+    let invocation = testbed
+        .device
+        .invoke_functionality(app, "browse", endpoint)
+        .unwrap();
     for packet in invocation.packets {
         let delivery = testbed.network.transmit(device, packet);
         assert!(!delivery.is_delivered());

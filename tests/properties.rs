@@ -20,7 +20,12 @@ fn package() -> impl Strategy<Value = String> {
 }
 
 fn signature() -> impl Strategy<Value = MethodSignature> {
-    (package(), "[A-Z][a-zA-Z0-9]{0,8}", identifier(), prop::sample::select(vec!["", "I", "Ljava/lang/String;", "IJ"]))
+    (
+        package(),
+        "[A-Z][a-zA-Z0-9]{0,8}",
+        identifier(),
+        prop::sample::select(vec!["", "I", "Ljava/lang/String;", "IJ"]),
+    )
         .prop_map(|(pkg, class, method, params)| {
             MethodSignature::new(pkg, class, method, params, "V")
         })
@@ -172,6 +177,73 @@ proptest! {
             bigger.push(extra);
             prop_assert!(!set.evaluate(tag, &bigger).is_allow());
         }
+    }
+
+    #[test]
+    fn compiled_policy_evaluation_agrees_with_interpretive(
+        stack in prop::collection::vec(signature(), 0..8),
+        seed in any::<u64>(),
+        rules in prop::collection::vec(
+            (any::<bool>(), 0u8..6, any::<u16>(), "[a-z][a-z0-9/]{0,20}"),
+            0..10,
+        ),
+    ) {
+        let tag = ApkHash::digest(&seed.to_le_bytes()).tag();
+        // Derive targets that sometimes hit the generated stack: library
+        // prefixes, qualified classes and descriptors of actual frames, the
+        // app tag itself, plus unrelated random targets.
+        let policies: Vec<Policy> = rules
+            .into_iter()
+            .map(|(allow, shape, pick, random_target)| {
+                let action = if allow { PolicyAction::Allow } else { PolicyAction::Deny };
+                let frame = (!stack.is_empty()).then(|| &stack[pick as usize % stack.len()]);
+                let (level, target) = match (shape, frame) {
+                    (0, Some(frame)) => {
+                        (EnforcementLevel::Library, frame.library_prefix(1 + pick as usize % 3))
+                    }
+                    (1, Some(frame)) => (EnforcementLevel::Class, frame.qualified_class()),
+                    (2, Some(frame)) => (EnforcementLevel::Method, frame.to_descriptor()),
+                    (3, Some(frame)) => (
+                        EnforcementLevel::Method,
+                        format!("L{};->{}", frame.qualified_class(), frame.method_name()),
+                    ),
+                    (4, _) => (EnforcementLevel::Hash, tag.to_hex()),
+                    (5, _) => (EnforcementLevel::Method, random_target.clone()),
+                    _ => (EnforcementLevel::Library, random_target.clone()),
+                };
+                let target = if target.is_empty() { random_target } else { target };
+                Policy::new(action, level, if target.is_empty() { "x".to_string() } else { target })
+            })
+            .collect();
+        let set = PolicySet::from_policies(policies);
+        let compiled = set.compile();
+        let interpreted = set.evaluate(tag, &stack);
+        let fast = compiled.evaluate(tag, &stack);
+        prop_assert_eq!(
+            interpreted.is_allow(), fast.is_allow(),
+            "set:\n{}\ninterpreted: {:?}\ncompiled: {:?}", set.to_text(), interpreted, fast
+        );
+    }
+
+    #[test]
+    fn compiled_single_policy_reproduces_full_decision(
+        stack in prop::collection::vec(signature(), 0..6),
+        seed in any::<u64>(),
+        allow in any::<bool>(),
+        level in prop::sample::select(vec![
+            EnforcementLevel::Hash,
+            EnforcementLevel::Library,
+            EnforcementLevel::Class,
+            EnforcementLevel::Method,
+        ]),
+        target in "[a-zA-Z][a-zA-Z0-9/;>()<-]{0,40}",
+    ) {
+        let tag = ApkHash::digest(&seed.to_le_bytes()).tag();
+        let action = if allow { PolicyAction::Allow } else { PolicyAction::Deny };
+        let set = PolicySet::from_policies(vec![Policy::new(action, level, target)]);
+        // A single policy leaves no attribution ambiguity: the compiled path
+        // must reproduce the exact Decision, reasons included.
+        prop_assert_eq!(set.evaluate(tag, &stack), set.compile().evaluate(tag, &stack));
     }
 
     #[test]
