@@ -305,6 +305,12 @@ impl Testbed {
             .invoke_functionality(app, functionality, endpoint)?;
         let device_id = self.device.id();
 
+        // Keep the enforcer's flow-table TTL clock in step with simulated
+        // time so long-idle flows expire instead of hitting forever.
+        if let Some(enforcer) = &self.enforcer {
+            enforcer.lock().set_now(self.network.now());
+        }
+
         let mut delivered = 0usize;
         let mut dropped = 0usize;
         let mut dropped_by = None;
@@ -425,6 +431,22 @@ mod tests {
         let stats = testbed.enforcer_stats().unwrap();
         assert!(stats.dropped_by_policy > 0);
         assert!(stats.packets_accepted > 0);
+    }
+
+    #[test]
+    fn enforcer_flow_cache_accelerates_multi_packet_invocations() {
+        let mut testbed = borderpatrol_testbed(PolicySet::new());
+        let app = testbed.install_app(CorpusGenerator::dropbox()).unwrap();
+        let outcome = testbed.run(app, "upload").unwrap();
+        assert!(outcome.packets_delivered > 1);
+
+        // All packets of the invocation share one flow and one context: the
+        // first misses, every later one is served from the flow table.
+        let stats = testbed.enforcer_stats().unwrap();
+        assert_eq!(stats.flow_misses, 1);
+        assert_eq!(stats.flow_hits, stats.packets_inspected - 1);
+        // Verdict replay is invisible in the outcome counters.
+        assert_eq!(stats.packets_accepted, stats.packets_inspected);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Throughput of the Policy Enforcer and Packet Sanitizer NFQUEUE consumers
 //! (packets per second through the network-side pipeline), comparing the
 //! legacy interpretive inspection path with the compiled data plane.
+//!
+//! The `compiled/*` rows drive the uncached pipeline so the legacy-vs-
+//! compiled comparison stays apples-to-apples; the flow-table verdict cache
+//! in front of it is measured separately by the `flow_cache` bench.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -36,7 +40,7 @@ fn bench_enforcer(c: &mut Criterion) {
         );
         b.iter(|| {
             let packet = allowed.clone();
-            black_box(enforcer.inspect(&packet))
+            black_box(enforcer.inspect_uncached(&packet))
         })
     });
     group.bench_function("legacy/inspect_denied_packet", |b| {
@@ -58,7 +62,7 @@ fn bench_enforcer(c: &mut Criterion) {
         );
         b.iter(|| {
             let packet = denied.clone();
-            black_box(enforcer.inspect(&packet))
+            black_box(enforcer.inspect_uncached(&packet))
         })
     });
     group.bench_function("sanitize_packet", |b| {

@@ -1,0 +1,98 @@
+//! Flow-table verdict caching on a repeated-flow workload: the cached accept
+//! path (one O(1) probe per packet after warm-up) vs the compiled uncached
+//! pipeline (full decode + resolve + evaluate per packet), single-shard and
+//! fanned across 1–8 shards.
+//!
+//! The workload models what the enforcer actually sees on a busy perimeter:
+//! a modest number of long-lived flows, each re-sending the same connect-time
+//! context on every packet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bp_bench::{analyzed_solcalendar, blacklist_policies, case_study_policies};
+use bp_core::enforcer::{EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer};
+use bp_core::policy::PolicySet;
+use bp_netsim::addr::Endpoint;
+use bp_netsim::options::{IpOption, IpOptionKind};
+use bp_netsim::packet::Ipv4Packet;
+
+const BATCH: usize = 1_024;
+const FLOWS: u16 = 64;
+
+/// A repeated-flow stream: `FLOWS` distinct 5-tuples, each packet carrying
+/// the same (conforming, accepted) context its flow always carries.
+fn repeated_flow_stream(login: &[u8]) -> Vec<Ipv4Packet> {
+    (0..BATCH as u16)
+        .map(|i| {
+            let flow = i % FLOWS;
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, (flow >> 8) as u8, flow as u8], 40_000 + flow),
+                Endpoint::new([31, 13, 71, 36], 443),
+                vec![0xA5; 256],
+            );
+            packet
+                .options_mut()
+                .push(IpOption::new(IpOptionKind::BorderPatrolContext, login.to_vec()).unwrap())
+                .unwrap();
+            packet
+        })
+        .collect()
+}
+
+/// One policy-set scenario: uncached compiled baseline vs the flow-cached
+/// facade vs `inspect_batch` over 1/2/4/8 shards, all on the same stream.
+fn bench_scenario(c: &mut Criterion, scenario: &str, policies: PolicySet) {
+    let app = analyzed_solcalendar();
+    let packets = repeated_flow_stream(&app.context_payload("fb-login"));
+
+    let mut group = c.benchmark_group(format!("flow_cache/{scenario}"));
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("uncached_compiled", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            policies.clone(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            for packet in &packets {
+                black_box(enforcer.inspect_uncached(packet));
+            }
+        })
+    });
+
+    group.bench_function("cached_facade", |b| {
+        let mut enforcer = PolicyEnforcer::new(
+            app.database.clone(),
+            policies.clone(),
+            EnforcerConfig::default(),
+        );
+        b.iter(|| {
+            for packet in &packets {
+                black_box(enforcer.inspect(packet));
+            }
+        })
+    });
+
+    let tables = EnforcementTables::shared(&app.database, &policies, EnforcerConfig::default());
+    for shards in [1usize, 2, 4, 8] {
+        let enforcer = ShardedEnforcer::new(tables.clone(), shards);
+        group.bench_with_input(
+            BenchmarkId::new("cached_sharded", shards),
+            &enforcer,
+            |b, enforcer| b.iter(|| black_box(enforcer.inspect_batch(&packets))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flow_cache(c: &mut Criterion) {
+    // Light rules: measures the pure pipeline-vs-probe delta.
+    bench_scenario(c, "case_study_policies", case_study_policies());
+    // Heavy rules: the 1,050-library blacklist makes each uncached
+    // evaluation expensive, which is exactly what the cache amortizes away.
+    bench_scenario(c, "blacklist_1050", blacklist_policies());
+}
+
+criterion_group!(benches, bench_flow_cache);
+criterion_main!(benches);

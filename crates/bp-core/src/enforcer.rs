@@ -23,21 +23,41 @@
 //! [`ShardedEnforcer`] fans packet batches across N shards with merged
 //! statistics.  On the accept path the compiled plane performs no signature
 //! parsing and no `String` allocation.
+//!
+//! # Flow-aware enforcement
+//!
+//! Every shard additionally owns a [`FlowTable`]: a bounded map from the
+//! 5-tuple flow key to the cached outcome of the last evaluation, versioned
+//! by a hash of the exact context-option payload and by the **epoch** of the
+//! compiled tables.  A packet whose flow and payload match hits an O(1)
+//! probe and skips decode/resolve/evaluate entirely; any context change
+//! re-evaluates, and [`PolicyEnforcer::set_policies`] / `set_database` (or
+//! [`ShardedEnforcer::set_tables`]) bump the epoch so entries cached before
+//! a hot swap are lazily invalidated instead of served stale.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
+use bp_netsim::clock::SimDuration;
 use bp_netsim::netfilter::{QueueHandler, Verdict};
 use bp_netsim::options::IpOptionKind;
 use bp_netsim::packet::Ipv4Packet;
 
 use crate::encoding::ContextEncoding;
+use crate::flow::{CachedOutcome, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
+
+/// Source of the monotonically increasing epoch stamped onto every
+/// [`EnforcementTables`] build.  Process-global so that *any* recompilation
+/// (policy swap, database swap, an independently built table set installed
+/// via [`ShardedEnforcer::set_tables`]) observes a fresh epoch and flow-table
+/// entries cached under older tables can never be mistaken for current.
+static NEXT_TABLE_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Configuration of the Policy Enforcer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,6 +121,16 @@ pub struct EnforcerStats {
     pub dropped_unknown_app: u64,
     /// Packets dropped because the context failed to decode.
     pub dropped_malformed: u64,
+    /// Packets dropped because they carried more than one context option
+    /// (the hardened kernel never emits duplicates, so a second option is a
+    /// spoofing attempt riding ahead of the kernel-injected context).
+    pub dropped_duplicate_context: u64,
+    /// Tagged packets whose verdict was served from the flow table.
+    pub flow_hits: u64,
+    /// Tagged packets that required a full decode/resolve/evaluate pass.
+    pub flow_misses: u64,
+    /// Flow-table entries evicted to admit new flows at capacity.
+    pub flow_evictions: u64,
 }
 
 impl EnforcerStats {
@@ -110,6 +140,7 @@ impl EnforcerStats {
             + self.dropped_untagged
             + self.dropped_unknown_app
             + self.dropped_malformed
+            + self.dropped_duplicate_context
     }
 
     /// Sum two snapshots (used when merging shards).
@@ -121,6 +152,23 @@ impl EnforcerStats {
             dropped_untagged: self.dropped_untagged + other.dropped_untagged,
             dropped_unknown_app: self.dropped_unknown_app + other.dropped_unknown_app,
             dropped_malformed: self.dropped_malformed + other.dropped_malformed,
+            dropped_duplicate_context: self.dropped_duplicate_context
+                + other.dropped_duplicate_context,
+            flow_hits: self.flow_hits + other.flow_hits,
+            flow_misses: self.flow_misses + other.flow_misses,
+            flow_evictions: self.flow_evictions + other.flow_evictions,
+        }
+    }
+
+    /// This snapshot with the flow-cache counters zeroed: the per-packet
+    /// outcome counts, which are what cached and uncached (or legacy)
+    /// pipelines must agree on regardless of how many probes hit.
+    pub fn without_flow_counters(&self) -> EnforcerStats {
+        EnforcerStats {
+            flow_hits: 0,
+            flow_misses: 0,
+            flow_evictions: 0,
+            ..*self
         }
     }
 }
@@ -134,6 +182,10 @@ pub struct AtomicEnforcerStats {
     untagged: AtomicU64,
     unknown_app: AtomicU64,
     malformed: AtomicU64,
+    duplicate_context: AtomicU64,
+    flow_hits: AtomicU64,
+    flow_misses: AtomicU64,
+    flow_evictions: AtomicU64,
 }
 
 impl AtomicEnforcerStats {
@@ -151,17 +203,38 @@ impl AtomicEnforcerStats {
             dropped_untagged: self.untagged.load(Ordering::Relaxed),
             dropped_unknown_app: self.unknown_app.load(Ordering::Relaxed),
             dropped_malformed: self.malformed.load(Ordering::Relaxed),
+            dropped_duplicate_context: self.duplicate_context.load(Ordering::Relaxed),
+            flow_hits: self.flow_hits.load(Ordering::Relaxed),
+            flow_misses: self.flow_misses.load(Ordering::Relaxed),
+            flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Overwrite every counter from a snapshot.
+    pub fn store(&self, stats: EnforcerStats) {
+        self.inspected
+            .store(stats.packets_inspected, Ordering::Relaxed);
+        self.accepted
+            .store(stats.packets_accepted, Ordering::Relaxed);
+        self.by_policy
+            .store(stats.dropped_by_policy, Ordering::Relaxed);
+        self.untagged
+            .store(stats.dropped_untagged, Ordering::Relaxed);
+        self.unknown_app
+            .store(stats.dropped_unknown_app, Ordering::Relaxed);
+        self.malformed
+            .store(stats.dropped_malformed, Ordering::Relaxed);
+        self.duplicate_context
+            .store(stats.dropped_duplicate_context, Ordering::Relaxed);
+        self.flow_hits.store(stats.flow_hits, Ordering::Relaxed);
+        self.flow_misses.store(stats.flow_misses, Ordering::Relaxed);
+        self.flow_evictions
+            .store(stats.flow_evictions, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
     pub fn reset(&self) {
-        self.inspected.store(0, Ordering::Relaxed);
-        self.accepted.store(0, Ordering::Relaxed);
-        self.by_policy.store(0, Ordering::Relaxed);
-        self.untagged.store(0, Ordering::Relaxed);
-        self.unknown_app.store(0, Ordering::Relaxed);
-        self.malformed.store(0, Ordering::Relaxed);
+        self.store(EnforcerStats::default());
     }
 }
 
@@ -242,10 +315,16 @@ pub struct EnforcementTables {
     database: CompiledSignatureDb,
     policies: CompiledPolicySet,
     config: EnforcerConfig,
+    /// Monotonically increasing build number (process-global).  Flow-table
+    /// entries record the epoch they were computed under; a probe against
+    /// tables with a different epoch misses, so hot-swapping policies or the
+    /// database under concurrent inspection never serves a stale verdict.
+    epoch: u64,
 }
 
 impl EnforcementTables {
-    /// Compile `database` and `policies` into enforcement-ready tables.
+    /// Compile `database` and `policies` into enforcement-ready tables,
+    /// stamping a fresh epoch.
     pub fn build(
         database: &SignatureDatabase,
         policies: &PolicySet,
@@ -255,6 +334,7 @@ impl EnforcementTables {
             database: CompiledSignatureDb::compile(database),
             policies: policies.compile(),
             config,
+            epoch: NEXT_TABLE_EPOCH.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -282,69 +362,35 @@ impl EnforcementTables {
         self.config
     }
 
-    /// Inspect one packet against the compiled tables (the three-stage
-    /// pipeline), charging counters to `stats`, drop reasons to `drop_log`
-    /// and reusing `scratch` for index decoding.
+    /// The epoch stamped onto this build (monotonically increasing across
+    /// recompilations; see [`EnforcementTables::build`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stage 2+3 of the pipeline: decode `payload` (into `scratch`), resolve
+    /// indexes against the signature database and evaluate the policy set.
     ///
-    /// On the accept path this performs no signature parsing and no `String`
-    /// allocation: extraction borrows the option payload, decoding refills
-    /// `scratch`, resolution is a `u64` map probe plus slice lookups, and
-    /// evaluation works on pre-split targets.
-    pub fn inspect_packet(
-        &self,
-        packet: &Ipv4Packet,
-        scratch: &mut Vec<u32>,
-        stats: &AtomicEnforcerStats,
-        drop_log: &mut DropLog,
-    ) -> Verdict {
-        stats.inspected.fetch_add(1, Ordering::Relaxed);
-
-        // Stage 1: extraction.
-        let Some(option) = packet.options().find(IpOptionKind::BorderPatrolContext) else {
-            if self.config.drop_untagged {
-                stats.untagged.fetch_add(1, Ordering::Relaxed);
-                return record_drop(
-                    drop_log,
-                    "packet carries no BorderPatrol context".to_string(),
-                );
-            }
-            stats.accepted.fetch_add(1, Ordering::Relaxed);
-            return Verdict::Accept;
-        };
-
-        // Stage 2: decoding (into the reusable scratch buffer).
-        let header = match ContextEncoding::decode_into(&option.data, scratch) {
+    /// The result is configuration-independent (how a [`CachedOutcome`] maps
+    /// to a verdict is decided by [`EnforcementTables::apply_outcome`]) and
+    /// depends only on the payload bytes and these tables — which is exactly
+    /// what makes it safe to cache per flow, keyed by exact payload and epoch.
+    fn evaluate_payload(&self, payload: &[u8], scratch: &mut Vec<u32>) -> CachedOutcome {
+        let header = match ContextEncoding::decode_into(payload, scratch) {
             Ok(header) => header,
-            Err(e) => {
-                if self.config.drop_malformed_context {
-                    stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    return record_drop(drop_log, format!("malformed context option: {e}"));
-                }
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
-                return Verdict::Accept;
-            }
+            Err(e) => return CachedOutcome::Malformed(format!("malformed context option: {e}")),
         };
         let Some(entry) = self.database.entry(header.app_tag) else {
-            if self.config.drop_unknown_apps {
-                stats.unknown_app.fetch_add(1, Ordering::Relaxed);
-                return record_drop(
-                    drop_log,
-                    format!("unknown application tag {}", header.app_tag),
-                );
-            }
-            stats.accepted.fetch_add(1, Ordering::Relaxed);
-            return Verdict::Accept;
+            return CachedOutcome::UnknownApp(format!(
+                "unknown application tag {}",
+                header.app_tag
+            ));
         };
         if let Err(e) = entry.validate_indexes(scratch) {
-            if self.config.drop_malformed_context {
-                stats.malformed.fetch_add(1, Ordering::Relaxed);
-                return record_drop(drop_log, format!("undecodable stack indexes: {e}"));
-            }
-            stats.accepted.fetch_add(1, Ordering::Relaxed);
-            return Verdict::Accept;
+            return CachedOutcome::Malformed(format!("undecodable stack indexes: {e}"));
         }
 
-        // Stage 3: enforcement over pre-parsed frames (index lookups only).
+        // Enforcement over pre-parsed frames (index lookups only).
         let frame = |i: usize| {
             entry
                 .signature(scratch[i])
@@ -354,12 +400,8 @@ impl EnforcementTables {
             .policies
             .evaluate_frames(header.app_tag, scratch.len(), frame)
         {
-            CompiledVerdict::Allow => {
-                stats.accepted.fetch_add(1, Ordering::Relaxed);
-                Verdict::Accept
-            }
+            CompiledVerdict::Allow => CachedOutcome::Accept,
             verdict @ CompiledVerdict::Deny { policy, .. } => {
-                stats.by_policy.fetch_add(1, Ordering::Relaxed);
                 let decision = self.policies.verdict_to_decision(verdict, frame);
                 let Decision::Deny { reason, .. } = decision else {
                     unreachable!("deny verdict renders to deny decision");
@@ -368,9 +410,173 @@ impl EnforcementTables {
                     Some(policy) => format!("policy {policy} violated: {reason}"),
                     None => reason,
                 };
-                record_drop(drop_log, detail)
+                CachedOutcome::Deny(detail)
             }
         }
+    }
+
+    /// Turn an evaluation outcome (fresh or cached) into a verdict, charging
+    /// the matching counter and drop-log entry.  Replaying a cached outcome
+    /// through this function is indistinguishable from a fresh evaluation.
+    fn apply_outcome(
+        &self,
+        outcome: &CachedOutcome,
+        stats: &AtomicEnforcerStats,
+        drop_log: &mut DropLog,
+    ) -> Verdict {
+        match outcome {
+            CachedOutcome::Accept => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Verdict::Accept
+            }
+            CachedOutcome::Malformed(reason) => {
+                if self.config.drop_malformed_context {
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    record_drop(drop_log, reason.clone())
+                } else {
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    Verdict::Accept
+                }
+            }
+            CachedOutcome::UnknownApp(reason) => {
+                if self.config.drop_unknown_apps {
+                    stats.unknown_app.fetch_add(1, Ordering::Relaxed);
+                    record_drop(drop_log, reason.clone())
+                } else {
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    Verdict::Accept
+                }
+            }
+            CachedOutcome::Deny(reason) => {
+                stats.by_policy.fetch_add(1, Ordering::Relaxed);
+                record_drop(drop_log, reason.clone())
+            }
+        }
+    }
+
+    /// Stage 0 + 1: §IV-A4 conformance checks and context extraction.
+    ///
+    /// Returns the single context option to enforce on, `Ok(None)` for
+    /// untagged packets, or the early verdict for non-conforming packets
+    /// (duplicate context options, covert data after End-of-List) and
+    /// untagged packets in strict deployments.
+    #[allow(clippy::type_complexity)]
+    fn extract_context<'p>(
+        &self,
+        packet: &'p Ipv4Packet,
+        stats: &AtomicEnforcerStats,
+        drop_log: &mut DropLog,
+    ) -> Result<Option<&'p bp_netsim::options::IpOption>, Verdict> {
+        // A second context option is a spoofing attempt: the hardened kernel
+        // emits exactly one, and enforcing on only the first would let the
+        // other ride through unchecked.  No legitimate deployment — however
+        // permissive — produces duplicates, and in permissive mode deny
+        // policies still apply, so this check is unconditional: gating it
+        // would hand permissive deployments the exact bypass back (an
+        // attacker prepending a benign option to mask a denied context).
+        if packet.options().count(IpOptionKind::BorderPatrolContext) > 1 {
+            stats.duplicate_context.fetch_add(1, Ordering::Relaxed);
+            return Err(record_drop(
+                drop_log,
+                "duplicate BorderPatrol context options".to_string(),
+            ));
+        }
+        // Non-zero bytes after End-of-List are a covert channel through the
+        // options area (paper §IV-A4): treat them as non-conforming.  Unlike
+        // duplicates this stays gated — trailing garbage does not change
+        // which context is enforced, the sanitizer scrubs it regardless, and
+        // permissive rollouts tolerate broken middlebox padding.
+        if self.config.drop_malformed_context && packet.options().has_trailing_data() {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return Err(record_drop(
+                drop_log,
+                "non-zero data after end-of-options-list".to_string(),
+            ));
+        }
+        let Some(option) = packet.options().find(IpOptionKind::BorderPatrolContext) else {
+            if self.config.drop_untagged {
+                stats.untagged.fetch_add(1, Ordering::Relaxed);
+                return Err(record_drop(
+                    drop_log,
+                    "packet carries no BorderPatrol context".to_string(),
+                ));
+            }
+            return Ok(None);
+        };
+        Ok(Some(option))
+    }
+
+    /// Inspect one packet against the compiled tables (the three-stage
+    /// pipeline), charging counters to `stats`, drop reasons to `drop_log`
+    /// and reusing `scratch` for index decoding.
+    ///
+    /// On the accept path this performs no signature parsing and no `String`
+    /// allocation: extraction borrows the option payload, decoding refills
+    /// `scratch`, resolution is a `u64` map probe plus slice lookups, and
+    /// evaluation works on pre-split targets.
+    ///
+    /// This is the *uncached* path — every packet pays the full pipeline.
+    /// [`EnforcementTables::inspect_flow_cached`] adds the per-flow verdict
+    /// cache in front of it.
+    pub fn inspect_packet(
+        &self,
+        packet: &Ipv4Packet,
+        scratch: &mut Vec<u32>,
+        stats: &AtomicEnforcerStats,
+        drop_log: &mut DropLog,
+    ) -> Verdict {
+        stats.inspected.fetch_add(1, Ordering::Relaxed);
+        let option = match self.extract_context(packet, stats, drop_log) {
+            Ok(Some(option)) => option,
+            Ok(None) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                return Verdict::Accept;
+            }
+            Err(verdict) => return verdict,
+        };
+        let outcome = self.evaluate_payload(&option.data, scratch);
+        self.apply_outcome(&outcome, stats, drop_log)
+    }
+
+    /// Inspect one packet with the per-flow verdict cache in front of the
+    /// pipeline.
+    ///
+    /// A packet whose flow **and** exact context payload were evaluated
+    /// before (under these tables' epoch, within `flow`'s TTL measured
+    /// against `now`) replays the cached outcome after one O(1) probe —
+    /// no decode, no database resolution, no policy evaluation.  Any context
+    /// change, epoch bump or expiry re-evaluates and refreshes the entry.
+    /// Verdicts, statistics outcome counters and drop-log entries are
+    /// byte-identical to [`EnforcementTables::inspect_packet`].
+    pub fn inspect_flow_cached(
+        &self,
+        packet: &Ipv4Packet,
+        flow: &mut FlowTable,
+        now: SimDuration,
+        scratch: &mut Vec<u32>,
+        stats: &AtomicEnforcerStats,
+        drop_log: &mut DropLog,
+    ) -> Verdict {
+        stats.inspected.fetch_add(1, Ordering::Relaxed);
+        let option = match self.extract_context(packet, stats, drop_log) {
+            Ok(Some(option)) => option,
+            Ok(None) => {
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
+                return Verdict::Accept;
+            }
+            Err(verdict) => return verdict,
+        };
+
+        let key = packet.flow_key();
+        if let Some(outcome) = flow.probe(&key, &option.data, self.epoch, now) {
+            stats.flow_hits.fetch_add(1, Ordering::Relaxed);
+            return self.apply_outcome(outcome, stats, drop_log);
+        }
+        stats.flow_misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.evaluate_payload(&option.data, scratch);
+        let evicted = flow.insert(key, &option.data, self.epoch, outcome.clone(), now);
+        stats.flow_evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.apply_outcome(&outcome, stats, drop_log)
     }
 }
 
@@ -407,41 +613,21 @@ pub struct PolicyEnforcer {
     stats: AtomicEnforcerStats,
     drop_log: DropLog,
     scratch: Vec<u32>,
+    flow: FlowTable,
+    now: SimDuration,
 }
 
 impl Clone for PolicyEnforcer {
     fn clone(&self) -> Self {
-        let mut clone = PolicyEnforcer::new(
+        let mut clone = PolicyEnforcer::with_flow_config(
             self.database.clone(),
             self.policies.clone(),
             self.tables.config(),
+            self.flow.config(),
         );
         clone.drop_log = self.drop_log.clone();
-        let stats = self.stats.snapshot();
-        clone
-            .stats
-            .inspected
-            .store(stats.packets_inspected, Ordering::Relaxed);
-        clone
-            .stats
-            .accepted
-            .store(stats.packets_accepted, Ordering::Relaxed);
-        clone
-            .stats
-            .by_policy
-            .store(stats.dropped_by_policy, Ordering::Relaxed);
-        clone
-            .stats
-            .untagged
-            .store(stats.dropped_untagged, Ordering::Relaxed);
-        clone
-            .stats
-            .unknown_app
-            .store(stats.dropped_unknown_app, Ordering::Relaxed);
-        clone
-            .stats
-            .malformed
-            .store(stats.dropped_malformed, Ordering::Relaxed);
+        clone.now = self.now;
+        clone.stats.store(self.stats.snapshot());
         clone
     }
 }
@@ -450,6 +636,16 @@ impl PolicyEnforcer {
     /// Create an enforcer with a signature database, a policy set and a
     /// configuration; compiles the enforcement tables once.
     pub fn new(database: SignatureDatabase, policies: PolicySet, config: EnforcerConfig) -> Self {
+        Self::with_flow_config(database, policies, config, FlowTableConfig::default())
+    }
+
+    /// Like [`PolicyEnforcer::new`] with explicit flow-table bounds.
+    pub fn with_flow_config(
+        database: SignatureDatabase,
+        policies: PolicySet,
+        config: EnforcerConfig,
+        flow: FlowTableConfig,
+    ) -> Self {
         let tables = EnforcementTables::shared(&database, &policies, config);
         PolicyEnforcer {
             database,
@@ -458,6 +654,8 @@ impl PolicyEnforcer {
             stats: AtomicEnforcerStats::new(),
             drop_log: DropLog::default(),
             scratch: Vec::with_capacity(ContextEncoding::max_frames(false)),
+            flow: FlowTable::new(flow),
+            now: SimDuration::ZERO,
         }
     }
 
@@ -506,14 +704,54 @@ impl PolicyEnforcer {
         self.drop_log.to_vec()
     }
 
-    /// Reset statistics and the drop log.
+    /// Reset statistics and the drop log (the flow cache is kept; see
+    /// [`PolicyEnforcer::clear_flow_cache`]).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
         self.drop_log.clear();
     }
 
-    /// Inspect one packet and produce a verdict through the compiled plane.
+    /// Advance the enforcer's view of simulated time, used for flow-table
+    /// TTL expiry.  Drivers with a clock (the testbed, the network) call
+    /// this; standalone users may leave it at zero, which keeps entries
+    /// fresh forever.
+    pub fn set_now(&mut self, now: SimDuration) {
+        self.now = now;
+    }
+
+    /// The enforcer's current view of simulated time.
+    pub fn now(&self) -> SimDuration {
+        self.now
+    }
+
+    /// Number of flows currently tracked by the verdict cache.
+    pub fn flow_cache_len(&self) -> usize {
+        self.flow.len()
+    }
+
+    /// Drop every cached flow verdict (statistics are kept).
+    pub fn clear_flow_cache(&mut self) {
+        self.flow.clear();
+    }
+
+    /// Inspect one packet through the compiled plane with the per-flow
+    /// verdict cache in front (see
+    /// [`EnforcementTables::inspect_flow_cached`]).
     pub fn inspect(&mut self, packet: &Ipv4Packet) -> Verdict {
+        self.tables.inspect_flow_cached(
+            packet,
+            &mut self.flow,
+            self.now,
+            &mut self.scratch,
+            &self.stats,
+            &mut self.drop_log,
+        )
+    }
+
+    /// Inspect one packet through the compiled plane *without* the flow
+    /// cache: every packet pays decode + resolution + evaluation.  This is
+    /// the baseline the `flow_cache` bench compares the cached path against.
+    pub fn inspect_uncached(&mut self, packet: &Ipv4Packet) -> Verdict {
         self.tables
             .inspect_packet(packet, &mut self.scratch, &self.stats, &mut self.drop_log)
     }
@@ -527,6 +765,24 @@ impl PolicyEnforcer {
     /// [`PolicyEnforcer::inspect`].
     pub fn inspect_legacy(&mut self, packet: &Ipv4Packet) -> Verdict {
         self.stats.inspected.fetch_add(1, Ordering::Relaxed);
+
+        // Stage 0: §IV-A4 conformance (mirrors the compiled plane's checks:
+        // the duplicate-option spoofing drop is unconditional, the trailing
+        // covert-data drop follows the malformed-context knob).
+        if packet.options().count(IpOptionKind::BorderPatrolContext) > 1 {
+            self.stats.duplicate_context.fetch_add(1, Ordering::Relaxed);
+            return record_drop(
+                &mut self.drop_log,
+                "duplicate BorderPatrol context options".to_string(),
+            );
+        }
+        if self.tables.config().drop_malformed_context && packet.options().has_trailing_data() {
+            self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return record_drop(
+                &mut self.drop_log,
+                "non-zero data after end-of-options-list".to_string(),
+            );
+        }
 
         // Stage 1: extraction.
         let Some(option) = packet.options().find(IpOptionKind::BorderPatrolContext) else {
@@ -613,12 +869,24 @@ impl QueueHandler for PolicyEnforcer {
     }
 }
 
-/// One worker shard: private counters, drop log and decode scratch.
+/// One worker shard: private counters, drop log, decode scratch and flow
+/// table.  Batch partitioning is by flow, so a flow's packets always land on
+/// the same shard and the flow table needs no cross-shard synchronization.
 #[derive(Debug, Default)]
 struct EnforcerShard {
     stats: AtomicEnforcerStats,
     drop_log: Mutex<DropLog>,
     scratch: Mutex<Vec<u32>>,
+    flow: Mutex<FlowTable>,
+}
+
+impl EnforcerShard {
+    fn with_flow_config(config: FlowTableConfig) -> Self {
+        EnforcerShard {
+            flow: Mutex::new(FlowTable::new(config)),
+            ..EnforcerShard::default()
+        }
+    }
 }
 
 /// A sharded Policy Enforcer: one set of compiled [`EnforcementTables`]
@@ -647,17 +915,46 @@ struct EnforcerShard {
 /// ```
 #[derive(Debug)]
 pub struct ShardedEnforcer {
-    tables: Arc<EnforcementTables>,
+    /// The active compiled tables.  Behind an `RwLock` so administrators can
+    /// hot-swap policies ([`ShardedEnforcer::set_tables`]) while workers are
+    /// mid-batch.  Workers do **not** take this lock per packet: they cache
+    /// the `Arc` and revalidate it against `tables_generation` (one relaxed
+    /// load of a rarely-written line per packet), re-reading the lock only
+    /// when a swap actually happened — so every packet inspected after
+    /// [`ShardedEnforcer::set_tables`] returns uses the new tables and the
+    /// new epoch, without cross-shard lock or refcount traffic in the hot
+    /// loop.
+    tables: RwLock<Arc<EnforcementTables>>,
+    /// Bumped (release) after each `set_tables` installation; workers watch
+    /// it (acquire) to notice swaps without touching the lock.
+    tables_generation: AtomicU64,
     shards: Vec<EnforcerShard>,
+    /// Simulated time in microseconds, advanced by the driving clock owner;
+    /// used for flow-table TTL expiry.
+    now_micros: AtomicU64,
 }
 
 impl ShardedEnforcer {
     /// Create an enforcer fanning out over `shards` workers (at least one).
     pub fn new(tables: Arc<EnforcementTables>, shards: usize) -> Self {
+        Self::with_flow_config(tables, shards, FlowTableConfig::default())
+    }
+
+    /// Like [`ShardedEnforcer::new`] with explicit per-shard flow-table
+    /// bounds.
+    pub fn with_flow_config(
+        tables: Arc<EnforcementTables>,
+        shards: usize,
+        flow: FlowTableConfig,
+    ) -> Self {
         let shards = shards.max(1);
         ShardedEnforcer {
-            tables,
-            shards: (0..shards).map(|_| EnforcerShard::default()).collect(),
+            tables: RwLock::new(tables),
+            tables_generation: AtomicU64::new(0),
+            shards: (0..shards)
+                .map(|_| EnforcerShard::with_flow_config(flow))
+                .collect(),
+            now_micros: AtomicU64::new(0),
         }
     }
 
@@ -679,9 +976,47 @@ impl ShardedEnforcer {
         self.shards.len()
     }
 
-    /// The shared compiled tables.
+    /// The currently active compiled tables.
     pub fn tables(&self) -> Arc<EnforcementTables> {
-        Arc::clone(&self.tables)
+        Arc::clone(&self.tables.read())
+    }
+
+    /// Hot-swap the compiled tables (the sharded equivalent of
+    /// [`PolicyEnforcer::set_policies`] / `set_database`).
+    ///
+    /// Safe under concurrent [`ShardedEnforcer::inspect_batch`]: once this
+    /// returns, every subsequently inspected packet is evaluated against
+    /// `tables`, and flow-table entries cached under the previous epoch can
+    /// no longer be served (their probes miss and re-evaluate).
+    pub fn set_tables(&self, tables: Arc<EnforcementTables>) {
+        *self.tables.write() = tables;
+        // Release-publish the swap *after* installation: a worker that
+        // observes the new generation (acquire) and re-reads the lock is
+        // guaranteed to see the new tables.
+        self.tables_generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// Advance the enforcer's view of simulated time (used for flow-table
+    /// TTL expiry).  Callable from the clock owner while workers run.
+    pub fn set_now(&self, now: SimDuration) {
+        self.now_micros.store(now.as_micros(), Ordering::Relaxed);
+    }
+
+    /// The enforcer's current view of simulated time.
+    pub fn now(&self) -> SimDuration {
+        SimDuration::from_micros(self.now_micros.load(Ordering::Relaxed))
+    }
+
+    /// Number of flows currently tracked across all shards' verdict caches.
+    pub fn flow_cache_len(&self) -> usize {
+        self.shards.iter().map(|s| s.flow.lock().len()).sum()
+    }
+
+    /// Drop every cached flow verdict on every shard (statistics are kept).
+    pub fn clear_flow_cache(&self) {
+        for shard in &self.shards {
+            shard.flow.lock().clear();
+        }
     }
 
     /// The shard a packet is routed to: flows stick to shards so per-flow
@@ -696,11 +1031,14 @@ impl ShardedEnforcer {
         (hashed >> 32) as usize % self.shards.len()
     }
 
-    /// Inspect one packet inline on its flow's shard.
+    /// Inspect one packet inline on its flow's shard (flow-cached).
     pub fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
+        let tables = self.tables();
         let shard = &self.shards[self.shard_for(packet)];
-        self.tables.inspect_packet(
+        tables.inspect_flow_cached(
             packet,
+            &mut shard.flow.lock(),
+            self.now(),
             &mut shard.scratch.lock(),
             &shard.stats,
             &mut shard.drop_log.lock(),
@@ -726,7 +1064,6 @@ impl ShardedEnforcer {
         }
 
         let mut verdicts: Vec<Option<Verdict>> = vec![None; packets.len()];
-        let tables = &self.tables;
         std::thread::scope(|scope| {
             let mut pending = Vec::new();
             for (shard, indexes) in self.shards.iter().zip(&partitions) {
@@ -736,11 +1073,27 @@ impl ShardedEnforcer {
                 pending.push(scope.spawn(move || {
                     let mut scratch = shard.scratch.lock();
                     let mut drop_log = shard.drop_log.lock();
+                    let mut flow = shard.flow.lock();
+                    // Snapshot the active tables once, then revalidate per
+                    // packet against the generation counter (one acquire
+                    // load, no lock/refcount traffic): a concurrent
+                    // `set_tables` still takes effect mid-batch, so once the
+                    // swap returns no later packet is evaluated (or served
+                    // from cache) under the old epoch.
+                    let mut generation = self.tables_generation.load(Ordering::Acquire);
+                    let mut tables = self.tables();
                     indexes
                         .iter()
                         .map(|&index| {
-                            let verdict = tables.inspect_packet(
+                            let current = self.tables_generation.load(Ordering::Acquire);
+                            if current != generation {
+                                generation = current;
+                                tables = self.tables();
+                            }
+                            let verdict = tables.inspect_flow_cached(
                                 packets[index],
+                                &mut flow,
+                                self.now(),
                                 &mut scratch,
                                 &shard.stats,
                                 &mut drop_log,
@@ -787,7 +1140,8 @@ impl ShardedEnforcer {
             .collect()
     }
 
-    /// Reset statistics and drop logs on every shard.
+    /// Reset statistics and drop logs on every shard (flow caches are kept;
+    /// see [`ShardedEnforcer::clear_flow_cache`]).
     pub fn reset_stats(&self) {
         for shard in &self.shards {
             shard.stats.reset();
@@ -975,14 +1329,16 @@ mod tests {
     #[test]
     fn stats_total_dropped_sums_reasons() {
         let stats = EnforcerStats {
-            packets_inspected: 10,
+            packets_inspected: 11,
             packets_accepted: 4,
             dropped_by_policy: 3,
             dropped_untagged: 1,
             dropped_unknown_app: 1,
             dropped_malformed: 1,
+            dropped_duplicate_context: 1,
+            ..EnforcerStats::default()
         };
-        assert_eq!(stats.total_dropped(), 6);
+        assert_eq!(stats.total_dropped(), 7);
     }
 
     #[test]
@@ -1005,7 +1361,13 @@ mod tests {
             compiled.inspect(&untagged),
             legacy.inspect_legacy(&untagged)
         );
-        assert_eq!(compiled.stats(), legacy.stats());
+        // Outcome counters must agree; the legacy pipeline has no flow cache,
+        // so the hit/miss bookkeeping is excluded from the comparison.
+        assert_eq!(
+            compiled.stats().without_flow_counters(),
+            legacy.stats().without_flow_counters()
+        );
+        assert_eq!(legacy.stats().flow_misses, 0);
         assert_eq!(compiled.drop_log(), legacy.drop_log());
     }
 
@@ -1094,6 +1456,264 @@ mod tests {
         sharded.reset_stats();
         assert_eq!(sharded.stats(), EnforcerStats::default());
         assert!(sharded.drop_log().is_empty());
+    }
+
+    #[test]
+    fn duplicate_context_options_are_dropped_as_spoofing() {
+        let (db, analytics_payload, login_payload) = solcalendar_fixture();
+        // The login context is benign; a second (spoofed) analytics context
+        // rides behind it.  Enforcing on only the first would accept.
+        let mut packet = tagged_packet(login_payload.clone());
+        packet
+            .options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, analytics_payload).unwrap())
+            .unwrap();
+
+        let mut enforcer = PolicyEnforcer::new(
+            db.clone(),
+            PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Class,
+                "com/facebook/appevents",
+            )]),
+            EnforcerConfig::default(),
+        );
+        let verdict = enforcer.inspect(&packet);
+        assert!(!verdict.is_accept());
+        let stats = enforcer.stats();
+        assert_eq!(stats.dropped_duplicate_context, 1);
+        assert_eq!(stats.total_dropped(), 1);
+        // Non-conforming packets never reach the flow cache.
+        assert_eq!(stats.flow_misses, 0);
+        assert_eq!(enforcer.flow_cache_len(), 0);
+        assert!(enforcer.drop_log()[0].contains("duplicate"));
+
+        // The legacy pipeline agrees.
+        let mut legacy =
+            PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        assert_eq!(legacy.inspect_legacy(&packet), verdict);
+        assert_eq!(legacy.stats().dropped_duplicate_context, 1);
+
+        // The drop is unconditional: even permissive deployments (which
+        // still apply deny policies) must not enforce on only the first
+        // option — that would reopen the bypass for them.
+        let mut permissive =
+            PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::permissive());
+        assert!(!permissive.inspect(&packet).is_accept());
+        assert_eq!(permissive.stats().dropped_duplicate_context, 1);
+        assert!(!permissive.inspect_legacy(&packet).is_accept());
+
+        // A single context option (the same first one) still passes.
+        let mut single = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        assert!(single.inspect(&tagged_packet(login_payload)).is_accept());
+    }
+
+    #[test]
+    fn trailing_covert_data_is_dropped_as_nonconforming() {
+        let (db, _, _) = solcalendar_fixture();
+        // Craft the wire form: a context option, End-of-List, then covert
+        // bytes riding the padding area.  The conformance check fires before
+        // any decoding, so a short payload suffices.
+        let mut packet = untagged_packet();
+        let mut wire = vec![IpOptionKind::BorderPatrolContext.type_byte(), 5, 1, 2, 3];
+        wire.push(IpOptionKind::EndOfList.type_byte());
+        wire.extend_from_slice(&[0xDE, 0xAD]);
+        let options = bp_netsim::options::IpOptions::parse(&wire).unwrap();
+        assert!(options.has_trailing_data());
+        *packet.options_mut() = options;
+
+        let mut enforcer =
+            PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        assert!(!enforcer.inspect(&packet).is_accept());
+        assert_eq!(enforcer.stats().dropped_malformed, 1);
+        assert!(enforcer.drop_log()[0].contains("end-of-options-list"));
+
+        let mut legacy =
+            PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        assert!(!legacy.inspect_legacy(&packet).is_accept());
+
+        // Permissive deployments (drop_malformed_context = false) still
+        // evaluate the context instead of dropping.
+        let mut permissive =
+            PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::permissive());
+        assert!(permissive.inspect(&packet).is_accept());
+        assert_eq!(permissive.stats().dropped_malformed, 0);
+    }
+
+    #[test]
+    fn flow_cache_replays_verdicts_and_counts_hits() {
+        let (db, analytics_payload, login_payload) = solcalendar_fixture();
+        let policies = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Class,
+            "com/facebook/appevents",
+        )]);
+        let mut cached =
+            PolicyEnforcer::new(db.clone(), policies.clone(), EnforcerConfig::default());
+        let mut uncached = PolicyEnforcer::new(db, policies, EnforcerConfig::default());
+
+        let accept_packet = tagged_packet(login_payload);
+        let deny_packet = tagged_packet(analytics_payload);
+        for _ in 0..5 {
+            assert_eq!(
+                cached.inspect(&accept_packet),
+                uncached.inspect_uncached(&accept_packet)
+            );
+            assert_eq!(
+                cached.inspect(&deny_packet),
+                uncached.inspect_uncached(&deny_packet)
+            );
+        }
+
+        // Identical outcome counters and drop logs, hit-accelerated.
+        assert_eq!(
+            cached.stats().without_flow_counters(),
+            uncached.stats().without_flow_counters()
+        );
+        assert_eq!(cached.drop_log(), uncached.drop_log());
+        let stats = cached.stats();
+        // Both packets share one flow (same 5-tuple) but alternate payloads,
+        // so every probe after the first is a payload mismatch: the
+        // cache re-evaluates instead of replaying the wrong verdict.
+        assert_eq!(stats.flow_hits, 0);
+        assert_eq!(stats.flow_misses, 10);
+
+        // On distinct flows the repeats hit.
+        cached.reset_stats();
+        cached.clear_flow_cache();
+        let mut packets = Vec::new();
+        for port in 0..4u16 {
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, 0, 4], 41_000 + port),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST /beacon HTTP/1.1".to_vec(),
+            );
+            packet
+                .options_mut()
+                .push(
+                    IpOption::new(
+                        IpOptionKind::BorderPatrolContext,
+                        cached_payload_for(port, &accept_packet, &deny_packet),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+            packets.push(packet);
+        }
+        for _ in 0..3 {
+            for packet in &packets {
+                cached.inspect(packet);
+            }
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.flow_misses, 4);
+        assert_eq!(stats.flow_hits, 8);
+        assert_eq!(cached.flow_cache_len(), 4);
+    }
+
+    /// Payload helper for the distinct-flow test above: alternate accept and
+    /// deny contexts across flows.
+    fn cached_payload_for(
+        port: u16,
+        accept_packet: &Ipv4Packet,
+        deny_packet: &Ipv4Packet,
+    ) -> Vec<u8> {
+        let source = if port % 2 == 0 {
+            accept_packet
+        } else {
+            deny_packet
+        };
+        source
+            .options()
+            .find(IpOptionKind::BorderPatrolContext)
+            .unwrap()
+            .data
+            .clone()
+    }
+
+    #[test]
+    fn policy_swap_bumps_epoch_and_invalidates_cached_verdicts() {
+        let (db, analytics_payload, _) = solcalendar_fixture();
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        let packet = tagged_packet(analytics_payload);
+
+        let epoch_before = enforcer.tables().epoch();
+        assert!(enforcer.inspect(&packet).is_accept());
+        assert!(enforcer.inspect(&packet).is_accept());
+        assert_eq!(enforcer.stats().flow_hits, 1);
+
+        enforcer.set_policies(PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Library,
+            "com/facebook",
+        )]));
+        assert!(enforcer.tables().epoch() > epoch_before);
+
+        // The cached accept was computed under the old epoch: it must not be
+        // served.  The probe misses, re-evaluates and drops.
+        assert!(!enforcer.inspect(&packet).is_accept());
+        let stats = enforcer.stats();
+        assert_eq!(stats.flow_hits, 1);
+        assert_eq!(stats.flow_misses, 2);
+        assert_eq!(stats.dropped_by_policy, 1);
+    }
+
+    #[test]
+    fn flow_cache_evictions_are_counted_and_bounded() {
+        let (db, analytics_payload, _) = solcalendar_fixture();
+        let mut enforcer = PolicyEnforcer::with_flow_config(
+            db,
+            PolicySet::new(),
+            EnforcerConfig::default(),
+            crate::flow::FlowTableConfig {
+                capacity: 8,
+                ttl: bp_netsim::clock::SimDuration::ZERO,
+            },
+        );
+        for port in 0..32u16 {
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, 0, 4], 42_000 + port),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST /beacon HTTP/1.1".to_vec(),
+            );
+            packet
+                .options_mut()
+                .push(
+                    IpOption::new(IpOptionKind::BorderPatrolContext, analytics_payload.clone())
+                        .unwrap(),
+                )
+                .unwrap();
+            enforcer.inspect(&packet);
+        }
+        assert_eq!(enforcer.flow_cache_len(), 8);
+        assert_eq!(enforcer.stats().flow_evictions, 24);
+        enforcer.clear_flow_cache();
+        assert_eq!(enforcer.flow_cache_len(), 0);
+    }
+
+    #[test]
+    fn sharded_set_tables_hot_swaps_without_stale_verdicts() {
+        let (db, analytics_payload, _) = solcalendar_fixture();
+        let sharded =
+            ShardedEnforcer::from_parts(&db, &PolicySet::new(), EnforcerConfig::default(), 4);
+        let packet = tagged_packet(analytics_payload);
+
+        // Warm the flow cache under the permissive tables.
+        assert!(sharded.inspect(&packet).is_accept());
+        assert!(sharded.inspect(&packet).is_accept());
+        assert_eq!(sharded.stats().flow_hits, 1);
+
+        let deny = EnforcementTables::shared(
+            &db,
+            &PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Library,
+                "com/facebook",
+            )]),
+            EnforcerConfig::default(),
+        );
+        sharded.set_tables(Arc::clone(&deny));
+        assert_eq!(sharded.tables().epoch(), deny.epoch());
+
+        // The swap bumped the epoch: the warmed entry cannot be replayed.
+        assert!(!sharded.inspect(&packet).is_accept());
+        assert_eq!(sharded.stats().dropped_by_policy, 1);
     }
 
     #[test]

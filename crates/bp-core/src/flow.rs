@@ -1,0 +1,519 @@
+//! Connection-tracking flow table with epoch-versioned verdict caching.
+//!
+//! The Policy Enforcer sits on the path of **every packet** (paper §IV-A3),
+//! yet the packets of a long-lived flow almost always carry the *same*
+//! context option: the stack is captured once per `connect` and re-injected
+//! verbatim on every packet of the socket.  Re-running context decode,
+//! signature resolution and policy evaluation for each of them is pure waste
+//! — Poise makes the same observation for in-network BYOD enforcement and
+//! keeps per-flow context state in the data plane to reach line rate.
+//!
+//! [`FlowTable`] is that state here: a bounded per-shard map from the 5-tuple
+//! [`FlowKey`] (the exact key `bp-netsim`'s network-side flow accounting
+//! uses, so the two planes agree on flow identity) to the cached outcome of
+//! the last evaluation, together with
+//!
+//! * the **exact context-option payload** that produced the outcome, stored
+//!   inline (RFC 791 bounds it to 38 bytes) and byte-compared on every probe
+//!   — any context change (new stack, new tag, tampered bytes) misses and
+//!   re-evaluates, and no hash-collision replay is possible; and
+//! * the **epoch** of the compiled [`EnforcementTables`] the outcome was
+//!   computed under — recompiling (policy or database hot-swap) bumps the
+//!   epoch, so entries cached before the swap are lazily invalidated on
+//!   their next probe and a stale verdict is never served.
+//!
+//! Eviction is LRU (lazy, via a touch queue) bounded by
+//! [`FlowTableConfig::capacity`], plus TTL on the simulated clock: entries
+//! idle longer than [`FlowTableConfig::ttl`] are treated as dead flows.
+//!
+//! Flow tables are *shard-local*. [`ShardedEnforcer`] partitions batches by
+//! flow, so a flow's packets always land on the same shard and the tables
+//! need no cross-shard synchronization.
+//!
+//! [`EnforcementTables`]: crate::enforcer::EnforcementTables
+//! [`ShardedEnforcer`]: crate::enforcer::ShardedEnforcer
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use bp_netsim::clock::SimDuration;
+use bp_netsim::packet::FlowKey;
+
+use crate::encoding::MAX_CONTEXT_PAYLOAD;
+
+/// Default bound on the number of flows one shard tracks.
+pub const DEFAULT_FLOW_CAPACITY: usize = 4_096;
+
+/// Default idle TTL after which a cached flow entry is considered dead.
+pub const DEFAULT_FLOW_TTL: SimDuration = SimDuration::from_millis(30_000);
+
+/// The Fx multiplier (a.k.a. the Firefox hasher constant).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Inline copy of a context-option payload.
+///
+/// RFC 791 bounds the payload to [`MAX_CONTEXT_PAYLOAD`] (38) bytes, so the
+/// cache stores the **exact** bytes and compares them on every probe — a
+/// 38-byte memcmp costs about as much as hashing would, and unlike a 64-bit
+/// payload hash it cannot be collided: an app that controls its own call
+/// chains could otherwise craft a *denied* context whose hash matches its
+/// cached *allowed* one and replay the stale accept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PayloadBuf {
+    len: u8,
+    bytes: [u8; MAX_CONTEXT_PAYLOAD],
+}
+
+impl PayloadBuf {
+    /// Copy `payload` inline; `None` if it exceeds the RFC 791 bound (such a
+    /// payload cannot come from a real options area, so it is not cached).
+    fn new(payload: &[u8]) -> Option<Self> {
+        if payload.len() > MAX_CONTEXT_PAYLOAD {
+            return None;
+        }
+        let mut bytes = [0u8; MAX_CONTEXT_PAYLOAD];
+        bytes[..payload.len()].copy_from_slice(payload);
+        Some(PayloadBuf {
+            len: payload.len() as u8,
+            bytes,
+        })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.bytes[..usize::from(self.len)]
+    }
+}
+
+/// Fx-style hasher for [`FlowKey`] map probes: the key is 13 bytes of
+/// already-well-distributed address material, so a multiply-rotate mix is
+/// plenty and roughly an order of magnitude cheaper than the default
+/// SipHash — the probe *is* the hot path the flow table exists to shorten.
+#[derive(Debug, Default)]
+pub struct FlowKeyHasher {
+    hash: u64,
+}
+
+impl Hasher for FlowKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(byte)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(value)).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u16(&mut self, value: u16) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(value)).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(value)).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ value).wrapping_mul(FX_SEED);
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FlowMap = HashMap<FlowKey, FlowEntry, BuildHasherDefault<FlowKeyHasher>>;
+
+/// The cacheable outcome of evaluating one context payload against the
+/// compiled tables.
+///
+/// This is the *configuration-independent* evaluation result: how it maps to
+/// an accept/drop verdict (and which statistics counter it charges) is
+/// decided by `EnforcementTables::apply_outcome`, so replaying a cached
+/// outcome produces byte-identical verdicts, statistics and drop-log entries
+/// to a fresh evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedOutcome {
+    /// No policy matched (or an allow won): the packet passes.
+    Accept,
+    /// The payload failed to decode or referenced indexes outside the app's
+    /// method table; the reason is the rendered diagnostic.
+    Malformed(String),
+    /// The app tag is not present in the signature database.
+    UnknownApp(String),
+    /// A deny policy matched; the reason is the fully rendered drop detail.
+    Deny(String),
+}
+
+/// Sizing and expiry knobs of a [`FlowTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTableConfig {
+    /// Maximum number of flows tracked; the least-recently-used entry is
+    /// evicted to admit a new flow at capacity.
+    pub capacity: usize,
+    /// Maximum idle age (on the simulated clock) before an entry is treated
+    /// as a dead flow and re-evaluated.  [`SimDuration::ZERO`] disables TTL
+    /// expiry, which is what standalone benches (no clock source) want.
+    pub ttl: SimDuration,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            capacity: DEFAULT_FLOW_CAPACITY,
+            ttl: DEFAULT_FLOW_TTL,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FlowEntry {
+    payload: PayloadBuf,
+    epoch: u64,
+    outcome: CachedOutcome,
+    last_seen: SimDuration,
+    /// Tick of this entry's most recent touch; queue entries with an older
+    /// tick are stale and skipped during eviction.
+    tick: u64,
+}
+
+/// A bounded per-shard flow table: [`FlowKey`] → cached verdict, versioned by
+/// exact payload bytes and tables epoch, with lazy-LRU + TTL eviction.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::flow::{CachedOutcome, FlowTable, FlowTableConfig};
+/// use bp_netsim::addr::Endpoint;
+/// use bp_netsim::clock::SimDuration;
+/// use bp_netsim::packet::Ipv4Packet;
+///
+/// let mut table = FlowTable::new(FlowTableConfig::default());
+/// let key = Ipv4Packet::new(
+///     Endpoint::new([10, 0, 0, 1], 40_000),
+///     Endpoint::new([1, 1, 1, 1], 443),
+///     vec![],
+/// )
+/// .flow_key();
+/// let now = SimDuration::ZERO;
+///
+/// assert!(table.probe(&key, b"payload", 1, now).is_none());
+/// table.insert(key, b"payload", 1, CachedOutcome::Accept, now);
+/// assert_eq!(
+///     table.probe(&key, b"payload", 1, now),
+///     Some(&CachedOutcome::Accept)
+/// );
+/// // A different payload or a bumped epoch misses (and drops the entry).
+/// assert!(table.probe(&key, b"payload", 2, now).is_none());
+/// ```
+#[derive(Debug)]
+pub struct FlowTable {
+    config: FlowTableConfig,
+    entries: FlowMap,
+    /// Lazy LRU order: every touch appends `(key, tick)`; entries whose tick
+    /// no longer matches the live entry are skipped (and compacted away once
+    /// the queue grows past a multiple of capacity).
+    order: VecDeque<(FlowKey, u64)>,
+    tick: u64,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable::new(FlowTableConfig::default())
+    }
+}
+
+impl FlowTable {
+    /// An empty table with the given bounds (capacity is clamped to ≥ 1).
+    pub fn new(config: FlowTableConfig) -> Self {
+        let config = FlowTableConfig {
+            capacity: config.capacity.max(1),
+            ..config
+        };
+        FlowTable {
+            config,
+            entries: FlowMap::with_capacity_and_hasher(
+                config.capacity.min(1_024),
+                BuildHasherDefault::default(),
+            ),
+            order: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> FlowTableConfig {
+        self.config
+    }
+
+    /// Number of flows currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every tracked flow.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Bound the touch queue: stale touches accumulate one per hit, so
+    /// compact once the queue outgrows a small multiple of capacity.  Called
+    /// before the map is borrowed so hit probes can return a reference
+    /// without re-probing.
+    fn maybe_compact(&mut self) {
+        if self.order.len() > self.config.capacity.saturating_mul(4).max(64) {
+            let entries = &self.entries;
+            self.order
+                .retain(|(key, tick)| entries.get(key).is_some_and(|e| e.tick == *tick));
+        }
+    }
+
+    /// Probe for a cached outcome: hits only when the flow is present, was
+    /// cached under the same `epoch`, carries **byte-identical** context
+    /// `payload`, and has not idled past the TTL.  A hit refreshes the
+    /// entry's LRU position and timestamp; any mismatch removes the stale
+    /// entry and reports a miss.
+    pub fn probe(
+        &mut self,
+        key: &FlowKey,
+        payload: &[u8],
+        epoch: u64,
+        now: SimDuration,
+    ) -> Option<&CachedOutcome> {
+        self.maybe_compact();
+        let ttl = self.config.ttl;
+        match self.entries.entry(*key) {
+            std::collections::hash_map::Entry::Vacant(_) => None,
+            std::collections::hash_map::Entry::Occupied(occupied) => {
+                let entry = occupied.get();
+                if entry.epoch != epoch
+                    || entry.payload.as_slice() != payload
+                    || (ttl > SimDuration::ZERO && now.saturating_sub(entry.last_seen) > ttl)
+                {
+                    occupied.remove();
+                    return None;
+                }
+                self.tick += 1;
+                let tick = self.tick;
+                self.order.push_back((*key, tick));
+                let entry = occupied.into_mut();
+                entry.last_seen = now;
+                entry.tick = tick;
+                Some(&entry.outcome)
+            }
+        }
+    }
+
+    /// Cache `outcome` for `key`, evicting least-recently-used entries if the
+    /// table is at capacity; returns how many entries were evicted.  Payloads
+    /// beyond the RFC 791 bound are not cached (no real options area can
+    /// produce them).
+    pub fn insert(
+        &mut self,
+        key: FlowKey,
+        payload: &[u8],
+        epoch: u64,
+        outcome: CachedOutcome,
+        now: SimDuration,
+    ) -> u64 {
+        let Some(payload) = PayloadBuf::new(payload) else {
+            return 0;
+        };
+        self.maybe_compact();
+        let mut evicted = 0;
+        if !self.entries.contains_key(&key) {
+            while self.entries.len() >= self.config.capacity {
+                if self.evict_lru() {
+                    evicted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.order.push_back((key, tick));
+        self.entries.insert(
+            key,
+            FlowEntry {
+                payload,
+                epoch,
+                outcome,
+                last_seen: now,
+                tick,
+            },
+        );
+        evicted
+    }
+
+    /// Remove the least-recently-used live entry; returns false only if the
+    /// table is empty.
+    fn evict_lru(&mut self) -> bool {
+        while let Some((key, tick)) = self.order.pop_front() {
+            if self.entries.get(&key).is_some_and(|e| e.tick == tick) {
+                self.entries.remove(&key);
+                return true;
+            }
+        }
+        // The touch queue always contains a live touch for every entry, so
+        // reaching here means the table is empty.
+        debug_assert!(self.entries.is_empty());
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_netsim::addr::Endpoint;
+    use bp_netsim::packet::Ipv4Packet;
+
+    fn key(port: u16) -> FlowKey {
+        Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 1], port),
+            Endpoint::new([1, 1, 1, 1], 443),
+            vec![],
+        )
+        .flow_key()
+    }
+
+    fn table(capacity: usize, ttl: SimDuration) -> FlowTable {
+        FlowTable::new(FlowTableConfig { capacity, ttl })
+    }
+
+    #[test]
+    fn payloads_are_compared_exactly_including_length() {
+        let mut t = table(8, SimDuration::ZERO);
+        let now = SimDuration::ZERO;
+        t.insert(key(1), &[0], 1, CachedOutcome::Accept, now);
+        // A zero-extended payload is a different context, not a hit.
+        assert!(t.probe(&key(1), &[0, 0], 1, now).is_none());
+
+        // Oversized payloads (impossible on a real options area) never cache.
+        assert_eq!(t.insert(key(2), &[7; 64], 1, CachedOutcome::Accept, now), 0);
+        assert!(t.probe(&key(2), &[7; 64], 1, now).is_none());
+    }
+
+    #[test]
+    fn probe_misses_on_payload_change_and_epoch_bump() {
+        let mut t = table(8, SimDuration::ZERO);
+        let now = SimDuration::ZERO;
+        t.insert(key(1), b"ctx-a", 1, CachedOutcome::Accept, now);
+        assert_eq!(
+            t.probe(&key(1), b"ctx-a", 1, now),
+            Some(&CachedOutcome::Accept)
+        );
+
+        // Context change: same flow, different payload bytes.
+        assert!(t.probe(&key(1), b"ctx-b", 1, now).is_none());
+        // The stale entry was dropped, so even the old payload now misses.
+        assert!(t.probe(&key(1), b"ctx-a", 1, now).is_none());
+
+        t.insert(key(1), b"ctx-a", 1, CachedOutcome::Accept, now);
+        // Epoch bump: tables were recompiled.
+        assert!(t.probe(&key(1), b"ctx-a", 2, now).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_idle_entries_on_the_sim_clock() {
+        let mut t = table(8, SimDuration::from_millis(10));
+        t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, SimDuration::ZERO);
+        // Within TTL (inclusive boundary): still live, and the hit refreshes.
+        assert!(t
+            .probe(&key(1), b"ctx", 1, SimDuration::from_millis(10))
+            .is_some());
+        assert!(t
+            .probe(&key(1), b"ctx", 1, SimDuration::from_millis(20))
+            .is_some());
+        // Past TTL since the refresh: dead flow.
+        assert!(t
+            .probe(&key(1), b"ctx", 1, SimDuration::from_millis(31))
+            .is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_the_coldest_flow() {
+        let mut t = table(2, SimDuration::ZERO);
+        let now = SimDuration::ZERO;
+        assert_eq!(t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, now), 0);
+        assert_eq!(t.insert(key(2), b"ctx", 1, CachedOutcome::Accept, now), 0);
+        // Touch flow 1 so flow 2 becomes the LRU victim.
+        assert!(t.probe(&key(1), b"ctx", 1, now).is_some());
+        assert_eq!(t.insert(key(3), b"ctx", 1, CachedOutcome::Accept, now), 1);
+        assert_eq!(t.len(), 2);
+        assert!(t.probe(&key(2), b"ctx", 1, now).is_none());
+        assert!(t.probe(&key(1), b"ctx", 1, now).is_some());
+        assert!(t.probe(&key(3), b"ctx", 1, now).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_flow_does_not_evict() {
+        let mut t = table(2, SimDuration::ZERO);
+        let now = SimDuration::ZERO;
+        t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, now);
+        t.insert(key(2), b"ctx", 1, CachedOutcome::Accept, now);
+        // Updating flow 1 in place must not evict flow 2.
+        assert_eq!(
+            t.insert(
+                key(1),
+                b"ctx2",
+                2,
+                CachedOutcome::Deny("re-eval".into()),
+                now
+            ),
+            0
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.probe(&key(1), b"ctx2", 2, now),
+            Some(&CachedOutcome::Deny("re-eval".into()))
+        );
+    }
+
+    #[test]
+    fn touch_queue_stays_bounded_under_sustained_hits() {
+        let mut t = table(4, SimDuration::ZERO);
+        let now = SimDuration::ZERO;
+        for p in 0..4u16 {
+            t.insert(key(p), b"ctx", 1, CachedOutcome::Accept, now);
+        }
+        for _ in 0..10_000 {
+            for p in 0..4u16 {
+                assert!(t.probe(&key(p), b"ctx", 1, now).is_some());
+            }
+        }
+        // Compaction triggers past max(4 * capacity, 64) touches; the queue
+        // never grows more than one touch beyond that threshold.
+        assert!(
+            t.order.len() <= t.config.capacity.saturating_mul(4).max(64) + 1,
+            "touch queue grew unboundedly: {}",
+            t.order.len()
+        );
+        // Eviction still works after heavy compaction.
+        t.insert(key(100), b"ctx", 1, CachedOutcome::Accept, now);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn capacity_is_clamped_and_clear_resets() {
+        let mut t = table(0, SimDuration::ZERO);
+        assert_eq!(t.config().capacity, 1);
+        t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, SimDuration::ZERO);
+        t.insert(key(2), b"ctx", 1, CachedOutcome::Accept, SimDuration::ZERO);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.probe(&key(2), b"ctx", 1, SimDuration::ZERO).is_none());
+    }
+}

@@ -19,6 +19,9 @@
 //!   evaluation semantics over decoded stack traces.
 //! * [`enforcer`] — the **Policy Enforcer**: an NFQUEUE consumer that extracts,
 //!   decodes and evaluates the context of every packet and drops violations.
+//! * [`flow`] — connection tracking for the enforcer: a bounded per-shard
+//!   flow table caching verdicts per (flow, context payload, tables epoch),
+//!   so the packets of a long-lived flow skip decode/resolve/evaluate.
 //! * [`sanitizer`] — the **Packet Sanitizer**: strips the context option from
 //!   conforming packets before they leave the enterprise perimeter.
 //! * [`policy_extractor`] — the differential profiling tool that helps
@@ -46,6 +49,7 @@
 pub mod context;
 pub mod encoding;
 pub mod enforcer;
+pub mod flow;
 pub mod offline;
 pub mod policy;
 pub mod policy_extractor;
@@ -57,6 +61,7 @@ pub use enforcer::{
     AtomicEnforcerStats, DropLog, EnforcementTables, EnforcerConfig, EnforcerStats, PolicyEnforcer,
     ShardedEnforcer,
 };
+pub use flow::{CachedOutcome, FlowTable, FlowTableConfig};
 pub use offline::{
     CompiledAppEntry, CompiledSignatureDb, OfflineAnalyzer, SignatureDatabase, TagCollision,
 };

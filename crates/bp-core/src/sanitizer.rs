@@ -21,6 +21,9 @@ pub struct SanitizerStats {
     pub options_stripped: u64,
     /// Packets that also carried a legacy security option that was removed.
     pub security_options_stripped: u64,
+    /// Packets whose options area carried non-zero bytes after End-of-List —
+    /// a covert channel (paper §IV-A4) — that were scrubbed.
+    pub trailing_data_scrubbed: u64,
 }
 
 /// The Packet Sanitizer NFQUEUE consumer.
@@ -68,7 +71,9 @@ impl PacketSanitizer {
         self.stats = SanitizerStats::default();
     }
 
-    /// Strip context (and optionally security) options from a packet in place.
+    /// Strip context (and optionally security) options from a packet in
+    /// place, and scrub any non-conforming data riding after the
+    /// End-of-List marker (a covert channel past the perimeter, §IV-A4).
     pub fn sanitize(&mut self, packet: &mut Ipv4Packet) {
         self.stats.packets_processed += 1;
         let removed = packet
@@ -83,6 +88,22 @@ impl PacketSanitizer {
                 self.stats.security_options_stripped += 1;
             }
         }
+        if packet.options_mut().clear_trailing_data() {
+            self.stats.trailing_data_scrubbed += 1;
+        }
+    }
+
+    /// Strip a whole batch in place.
+    ///
+    /// Equivalent to calling [`PacketSanitizer::sanitize`] on each packet in
+    /// order — same packets, same statistics — but reached through one
+    /// [`QueueHandler::handle_batch`] dispatch, so the batched filter chain
+    /// pays one queue delivery (and one handler lock) per batch instead of
+    /// per packet.
+    pub fn sanitize_batch(&mut self, packets: &mut [&mut Ipv4Packet]) {
+        for packet in packets {
+            self.sanitize(packet);
+        }
     }
 }
 
@@ -94,6 +115,11 @@ impl QueueHandler for PacketSanitizer {
     fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict {
         self.sanitize(packet);
         Verdict::Accept
+    }
+
+    fn handle_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
+        self.sanitize_batch(packets);
+        vec![Verdict::Accept; packets.len()]
     }
 }
 
@@ -184,6 +210,67 @@ mod tests {
         let mut packet = packet_with_options();
         assert!(sanitizer.handle(&mut packet).is_accept());
         assert_eq!(sanitizer.name(), "packet-sanitizer");
+    }
+
+    #[test]
+    fn batch_and_sequential_sanitization_agree_on_packets_and_stats() {
+        let make_batch = || -> Vec<Ipv4Packet> {
+            let mut packets = vec![
+                packet_with_options(),
+                Ipv4Packet::new(
+                    Endpoint::new([10, 0, 0, 3], 40001),
+                    Endpoint::new([2, 2, 2, 2], 443),
+                    b"untagged".to_vec(),
+                ),
+                packet_with_options(),
+            ];
+            // One packet with covert trailing data in the options area.
+            let mut covert = packet_with_options();
+            let mut wire = covert.options().to_bytes();
+            wire.push(0); // End-of-List
+            wire.push(0x5A);
+            *covert.options_mut() = bp_netsim::options::IpOptions::parse(&wire).unwrap();
+            packets.push(covert);
+            packets
+        };
+
+        let mut sequential = PacketSanitizer::new();
+        let mut expected = make_batch();
+        for packet in &mut expected {
+            sequential.sanitize(packet);
+        }
+
+        let mut batched = PacketSanitizer::new();
+        let mut packets = make_batch();
+        let mut refs: Vec<&mut Ipv4Packet> = packets.iter_mut().collect();
+        let verdicts = batched.handle_batch(&mut refs);
+
+        assert!(verdicts.iter().all(Verdict::is_accept));
+        assert_eq!(verdicts.len(), expected.len());
+        assert_eq!(packets, expected);
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.stats().packets_processed, 4);
+        assert_eq!(batched.stats().trailing_data_scrubbed, 1);
+    }
+
+    #[test]
+    fn trailing_covert_data_is_scrubbed() {
+        // A packet whose options area smuggles bytes after End-of-List.
+        let mut packet = packet_with_options();
+        let mut wire = packet.options().to_bytes();
+        wire.push(0); // End-of-List
+        wire.extend_from_slice(&[0xDE, 0xAD]);
+        *packet.options_mut() = bp_netsim::options::IpOptions::parse(&wire).unwrap();
+        assert!(packet.options().has_trailing_data());
+
+        let mut sanitizer = PacketSanitizer::new();
+        sanitizer.sanitize(&mut packet);
+        assert!(!packet.options().has_trailing_data());
+        assert_eq!(sanitizer.stats().trailing_data_scrubbed, 1);
+
+        // Idempotent: a second pass scrubs nothing further.
+        sanitizer.sanitize(&mut packet);
+        assert_eq!(sanitizer.stats().trailing_data_scrubbed, 1);
     }
 
     #[test]

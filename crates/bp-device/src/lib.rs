@@ -16,7 +16,7 @@
 //! * [`runtime`] — execution of an app functionality: building the Java call
 //!   stack, lazily creating and connecting the socket, invoking hooks, and
 //!   emitting the HTTP request packets.
-//! * [`device`] — the [`Device`](device::Device) façade tying kernel, profiles,
+//! * [`device`] — the [`device::Device`] façade tying kernel, profiles,
 //!   installed apps and hooks together.
 //!
 //! # Examples

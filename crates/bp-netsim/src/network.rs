@@ -230,6 +230,28 @@ impl EnterpriseNetwork {
         self.drops.clear();
     }
 
+    /// Record one egress packet against its flow's statistics, assigning a
+    /// fresh flow id on first sight.
+    ///
+    /// Flow identity is the 5-tuple [`FlowKey`] extracted by
+    /// [`Ipv4Packet::flow_key`] — the same key the enforcement plane's flow
+    /// table (`bp-core::flow`) caches verdicts under, so netsim accounting
+    /// and enforcer caching always agree on what "a flow" is.
+    fn account_flow(&mut self, packet: &Ipv4Packet) {
+        let key = packet.flow_key();
+        let next_id = self.next_flow_id;
+        let entry = self.flows.entry(key).or_insert_with(|| FlowStats {
+            id: next_id,
+            packets: 0,
+            bytes: 0,
+        });
+        if entry.packets == 0 {
+            self.next_flow_id += 1;
+        }
+        entry.packets += 1;
+        entry.bytes += packet.payload().len() as u64;
+    }
+
     /// Transmit one packet from `device` towards its destination.
     ///
     /// The packet traverses: device interface → pre-chain capture → filter
@@ -273,18 +295,7 @@ impl EnterpriseNetwork {
                 self.post_chain_capture.record(self.clock.now(), &packet);
 
                 // Flow accounting happens on what actually leaves the network.
-                let key = packet.flow_key();
-                let next_id = self.next_flow_id;
-                let entry = self.flows.entry(key).or_insert_with(|| FlowStats {
-                    id: next_id,
-                    packets: 0,
-                    bytes: 0,
-                });
-                if entry.packets == 0 {
-                    self.next_flow_id += 1;
-                }
-                entry.packets += 1;
-                entry.bytes += packet.payload().len() as u64;
+                self.account_flow(&packet);
 
                 // WAN delivery.
                 let dst = packet.destination().ip;
@@ -357,19 +368,7 @@ impl EnterpriseNetwork {
                         .nfqueue_roundtrip
                         .saturating_mul(queues_traversed as u64);
                     self.post_chain_capture.record(self.clock.now(), packet);
-
-                    let key = packet.flow_key();
-                    let next_id = self.next_flow_id;
-                    let entry = self.flows.entry(key).or_insert_with(|| FlowStats {
-                        id: next_id,
-                        packets: 0,
-                        bytes: 0,
-                    });
-                    if entry.packets == 0 {
-                        self.next_flow_id += 1;
-                    }
-                    entry.packets += 1;
-                    entry.bytes += packet.payload().len() as u64;
+                    self.account_flow(packet);
 
                     let dst = packet.destination().ip;
                     deliveries[index] = Some(if self.servers.contains_key(&dst) {

@@ -113,6 +113,15 @@ impl IpOption {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IpOptions {
     options: Vec<IpOption>,
+    /// Whether the parsed wire form carried non-zero bytes after the
+    /// End-of-List marker.  RFC 791 requires post-EOL padding to be zero, and
+    /// the hardened kernel never emits anything else — non-zero trailing bytes
+    /// are a covert channel riding the options area past the sanitizer
+    /// (paper §IV-A4), so parsing surfaces them instead of silently dropping
+    /// them.  Serialization ([`IpOptions::to_bytes`]) never emits such bytes,
+    /// so a serialize → parse round trip normalizes the flag to `false`.
+    #[serde(default)]
+    trailing_data: bool,
 }
 
 impl IpOptions {
@@ -167,6 +176,23 @@ impl IpOptions {
         self.options.iter().find(|o| o.kind == kind)
     }
 
+    /// Number of options of `kind` present.
+    pub fn count(&self, kind: IpOptionKind) -> usize {
+        self.options.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Whether the parsed wire form carried non-zero bytes after the
+    /// End-of-List marker (see the field documentation on [`IpOptions`]).
+    pub fn has_trailing_data(&self) -> bool {
+        self.trailing_data
+    }
+
+    /// Clear the trailing-data marker (the Packet Sanitizer does this when it
+    /// scrubs the options area); returns whether it was set.
+    pub fn clear_trailing_data(&mut self) -> bool {
+        std::mem::take(&mut self.trailing_data)
+    }
+
     /// Remove every option of `kind`, returning how many were removed.
     pub fn remove(&mut self, kind: IpOptionKind) -> usize {
         let before = self.options.len();
@@ -174,9 +200,10 @@ impl IpOptions {
         before - self.options.len()
     }
 
-    /// Remove all options.
+    /// Remove all options (and any trailing-data marker).
     pub fn clear(&mut self) {
         self.options.clear();
+        self.trailing_data = false;
     }
 
     /// Serialize the options area, padded with NOPs to a 4-byte boundary.
@@ -200,6 +227,12 @@ impl IpOptions {
 
     /// Parse an options area.
     ///
+    /// Bytes after an End-of-List marker are padding and must be zero
+    /// (RFC 791); non-zero trailers are preserved as a conformance signal via
+    /// [`IpOptions::has_trailing_data`] so the Policy Enforcer and Packet
+    /// Sanitizer can treat them as non-conforming rather than silently
+    /// letting data ride the options area (paper §IV-A4).
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Malformed`] if the area exceeds 40 bytes, an option
@@ -212,12 +245,16 @@ impl IpOptions {
             ));
         }
         let mut options = Vec::new();
+        let mut trailing_data = false;
         let mut pos = 0;
         while pos < data.len() {
             let type_byte = data[pos];
             let kind = IpOptionKind::from_type_byte(type_byte);
             match kind {
-                IpOptionKind::EndOfList => break,
+                IpOptionKind::EndOfList => {
+                    trailing_data = data[pos + 1..].iter().any(|&b| b != 0);
+                    break;
+                }
                 IpOptionKind::NoOp => {
                     pos += 1;
                 }
@@ -240,7 +277,10 @@ impl IpOptions {
                 }
             }
         }
-        Ok(IpOptions { options })
+        Ok(IpOptions {
+            options,
+            trailing_data,
+        })
     }
 }
 
@@ -248,6 +288,7 @@ impl FromIterator<IpOption> for IpOptions {
     fn from_iter<T: IntoIterator<Item = IpOption>>(iter: T) -> Self {
         IpOptions {
             options: iter.into_iter().collect(),
+            trailing_data: false,
         }
     }
 }
@@ -341,8 +382,47 @@ mod tests {
     fn parse_stops_at_end_of_list() {
         let bytes = [1, 1, 0, 0x9e];
         let parsed = IpOptions::parse(&bytes).unwrap();
-        // NOPs are skipped, EOL stops parsing, trailing garbage ignored.
+        // NOPs are skipped, EOL stops parsing, but non-zero trailing bytes
+        // are surfaced as a conformance violation rather than ignored.
         assert!(parsed.is_empty());
+        assert!(parsed.has_trailing_data());
+    }
+
+    #[test]
+    fn zero_padding_after_end_of_list_is_conforming() {
+        let bytes = [1, 0, 0, 0];
+        let parsed = IpOptions::parse(&bytes).unwrap();
+        assert!(parsed.is_empty());
+        assert!(!parsed.has_trailing_data());
+    }
+
+    #[test]
+    fn trailing_data_flag_clears_and_resets() {
+        let mut parsed = IpOptions::parse(&[0, 0xAB, 0xCD, 0]).unwrap();
+        assert!(parsed.has_trailing_data());
+        assert!(parsed.clear_trailing_data());
+        assert!(!parsed.has_trailing_data());
+        assert!(!parsed.clear_trailing_data());
+
+        let mut parsed = IpOptions::parse(&[0, 0xAB, 0, 0]).unwrap();
+        assert!(parsed.has_trailing_data());
+        parsed.clear();
+        assert!(!parsed.has_trailing_data());
+    }
+
+    #[test]
+    fn count_tallies_options_of_one_kind() {
+        let mut opts = IpOptions::new();
+        assert_eq!(opts.count(IpOptionKind::BorderPatrolContext), 0);
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2]).unwrap())
+            .unwrap();
+        opts.push(IpOption::new(IpOptionKind::Timestamp, vec![0; 4]).unwrap())
+            .unwrap();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![3]).unwrap())
+            .unwrap();
+        assert_eq!(opts.count(IpOptionKind::BorderPatrolContext), 2);
+        assert_eq!(opts.count(IpOptionKind::Timestamp), 1);
+        assert_eq!(opts.count(IpOptionKind::Security), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! Implements the subset of proptest this workspace uses: the [`strategy::Strategy`]
 //! trait with `prop_map`, tuple composition, integer-range and
 //! pattern-string strategies, `prop::collection::vec`, `prop::sample::select`,
 //! [`arbitrary::any`], and the `proptest!` / `prop_assert*` / `prop_assume!`
@@ -383,7 +383,7 @@ pub mod prop {
         use crate::test_runner::TestRng;
         use std::ops::{Range, RangeInclusive};
 
-        /// Size bounds accepted by [`vec`].
+        /// Size bounds accepted by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             min: usize,
@@ -423,7 +423,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy produced by [`vec`].
+        /// Strategy produced by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -1,0 +1,197 @@
+//! Flow-aware enforcement: integration tests for the per-shard flow table
+//! and epoch-versioned verdict caching (no stale verdicts across hot swaps).
+
+use std::sync::Arc;
+
+use borderpatrol::appsim::generator::CorpusGenerator;
+use borderpatrol::core::enforcer::{
+    EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer,
+};
+use borderpatrol::core::offline::{OfflineAnalyzer, SignatureDatabase};
+use borderpatrol::core::policy::{Policy, PolicySet};
+use borderpatrol::netsim::addr::Endpoint;
+use borderpatrol::netsim::options::{IpOption, IpOptionKind};
+use borderpatrol::netsim::packet::Ipv4Packet;
+use borderpatrol::types::EnforcementLevel;
+
+/// Analyzed SolCalendar fixture plus its Facebook-analytics context payload.
+fn fixture() -> (SignatureDatabase, Vec<u8>) {
+    let spec = CorpusGenerator::solcalendar();
+    let apk = spec.build_apk();
+    let mut db = SignatureDatabase::new();
+    OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+    let table = borderpatrol::dex::MethodTable::from_apk(&apk).unwrap();
+    let indexes: Vec<u32> = spec
+        .functionality("fb-analytics")
+        .unwrap()
+        .call_chain
+        .iter()
+        .rev()
+        .map(|sig| table.index_of(sig).unwrap())
+        .collect();
+    let payload =
+        borderpatrol::core::encoding::ContextEncoding::encode(apk.hash().tag(), &indexes, false)
+            .unwrap();
+    (db, payload)
+}
+
+/// A repeated-flow stream: `flows` distinct 5-tuples all carrying `payload`.
+fn stream(flows: u16, repeats: usize, payload: &[u8]) -> Vec<Ipv4Packet> {
+    let mut packets = Vec::with_capacity(flows as usize * repeats);
+    for _ in 0..repeats {
+        for flow in 0..flows {
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, (flow >> 8) as u8, flow as u8], 40_000 + flow),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST /beacon HTTP/1.1".to_vec(),
+            );
+            packet
+                .options_mut()
+                .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload.to_vec()).unwrap())
+                .unwrap();
+            packets.push(packet);
+        }
+    }
+    packets
+}
+
+#[test]
+fn table_epochs_increase_monotonically_across_builds() {
+    let db = SignatureDatabase::new();
+    let mut last = 0;
+    for _ in 0..4 {
+        let tables = EnforcementTables::build(&db, &PolicySet::new(), EnforcerConfig::default());
+        assert!(tables.epoch() > last, "epochs must strictly increase");
+        last = tables.epoch();
+    }
+}
+
+#[test]
+fn hot_swap_mid_inspect_batch_serves_no_stale_verdict_after_swap_returns() {
+    let (db, payload) = fixture();
+    let allow_tables = EnforcementTables::shared(&db, &PolicySet::new(), EnforcerConfig::default());
+    let deny_tables = EnforcementTables::shared(
+        &db,
+        &PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Library,
+            "com/facebook",
+        )]),
+        EnforcerConfig::default(),
+    );
+
+    let enforcer = ShardedEnforcer::new(Arc::clone(&allow_tables), 4);
+    let packets = stream(64, 8, &payload);
+
+    // Warm every flow's cache entry under the allow tables.
+    assert!(enforcer
+        .inspect_batch(&packets)
+        .iter()
+        .all(|verdict| verdict.is_accept()));
+    assert!(enforcer.stats().flow_hits > 0);
+
+    // Hammer inspect_batch from a worker while the main thread hot-swaps.
+    std::thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let mut accepts = 0usize;
+            let mut drops = 0usize;
+            for _ in 0..30 {
+                for verdict in enforcer.inspect_batch(&packets) {
+                    if verdict.is_accept() {
+                        accepts += 1;
+                    } else {
+                        drops += 1;
+                    }
+                }
+            }
+            (accepts, drops)
+        });
+
+        enforcer.set_tables(Arc::clone(&deny_tables));
+
+        // The swap has returned: every verdict from here on must reflect the
+        // deny tables — the flow entries warmed under the old epoch must
+        // miss, not replay their cached accepts.
+        let verdicts = enforcer.inspect_batch(&packets);
+        assert!(
+            verdicts.iter().all(|verdict| !verdict.is_accept()),
+            "stale accept served after set_tables returned"
+        );
+
+        let (accepts, drops) = worker.join().expect("worker batch panicked");
+        // The worker raced the swap, so it may have seen both regimes — but
+        // every packet received exactly one verdict.
+        assert_eq!(accepts + drops, 30 * packets.len());
+    });
+
+    // Statistics reconcile: every inspected packet was either accepted or
+    // dropped, and every tagged inspection either hit or missed the cache.
+    let stats = enforcer.stats();
+    assert_eq!(
+        stats.packets_inspected,
+        stats.packets_accepted + stats.total_dropped()
+    );
+    assert_eq!(stats.packets_inspected, stats.flow_hits + stats.flow_misses);
+}
+
+#[test]
+fn facade_policy_swap_is_equivalent_to_a_fresh_enforcer() {
+    let (db, payload) = fixture();
+    let deny = PolicySet::from_policies(vec![Policy::deny(
+        EnforcementLevel::Class,
+        "com/facebook/appevents",
+    )]);
+
+    let mut swapped = PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+    let packets = stream(16, 3, &payload);
+    for packet in &packets {
+        assert!(swapped.inspect(packet).is_accept());
+    }
+
+    // Swap policies on the warmed enforcer; a fresh enforcer compiled with
+    // the same policies is the ground truth.
+    swapped.set_policies(deny.clone());
+    let mut fresh = PolicyEnforcer::new(db, deny, EnforcerConfig::default());
+    for packet in &packets {
+        assert_eq!(swapped.inspect(packet), fresh.inspect_uncached(packet));
+    }
+    // Post-swap traffic re-evaluated (one miss per flow) then re-cached.
+    let stats = swapped.stats();
+    assert_eq!(stats.dropped_by_policy, packets.len() as u64);
+}
+
+#[test]
+fn flow_ttl_expires_on_the_sim_clock() {
+    use borderpatrol::netsim::clock::SimDuration;
+
+    let (db, payload) = fixture();
+    let mut enforcer = PolicyEnforcer::with_flow_config(
+        db,
+        PolicySet::new(),
+        EnforcerConfig::default(),
+        borderpatrol::core::flow::FlowTableConfig {
+            capacity: 64,
+            ttl: SimDuration::from_millis(5),
+        },
+    );
+    let packets = stream(4, 1, &payload);
+    for packet in &packets {
+        enforcer.inspect(packet);
+    }
+    assert_eq!(enforcer.stats().flow_misses, 4);
+
+    // Within the TTL: hits.
+    enforcer.set_now(SimDuration::from_millis(4));
+    for packet in &packets {
+        enforcer.inspect(packet);
+    }
+    assert_eq!(enforcer.stats().flow_hits, 4);
+
+    // Idle past the TTL: the flows are dead, the packets re-evaluate.
+    enforcer.set_now(SimDuration::from_millis(30));
+    for packet in &packets {
+        enforcer.inspect(packet);
+    }
+    let stats = enforcer.stats();
+    assert_eq!(stats.flow_hits, 4);
+    assert_eq!(stats.flow_misses, 8);
+}

@@ -1,8 +1,13 @@
 //! Property-based tests over the core data structures and wire formats.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
+use borderpatrol::appsim::generator::CorpusGenerator;
 use borderpatrol::core::encoding::ContextEncoding;
+use borderpatrol::core::enforcer::{EnforcerConfig, PolicyEnforcer};
+use borderpatrol::core::offline::{OfflineAnalyzer, SignatureDatabase};
 use borderpatrol::core::policy::{Policy, PolicyAction, PolicySet};
 use borderpatrol::core::sanitizer::PacketSanitizer;
 use borderpatrol::dex::{DexBuilder, DexFile, MethodTable};
@@ -13,6 +18,35 @@ use borderpatrol::types::{ApkHash, EnforcementLevel, MethodSignature};
 
 fn identifier() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
+}
+
+/// Analyzed SolCalendar fixture shared by the enforcement properties (built
+/// once per process: apk analysis is too slow to repeat per generated case).
+/// Returns the signature database plus the Facebook analytics and login
+/// context payloads.
+fn enforcement_fixture() -> &'static (SignatureDatabase, Vec<u8>, Vec<u8>) {
+    static FIXTURE: OnceLock<(SignatureDatabase, Vec<u8>, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = CorpusGenerator::solcalendar();
+        let apk = spec.build_apk();
+        let mut db = SignatureDatabase::new();
+        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
+        let table = MethodTable::from_apk(&apk).unwrap();
+        let indexes_for = |functionality: &str| -> Vec<u32> {
+            spec.functionality(functionality)
+                .unwrap()
+                .call_chain
+                .iter()
+                .rev()
+                .map(|sig| table.index_of(sig).unwrap())
+                .collect()
+        };
+        let analytics =
+            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-analytics"), false).unwrap();
+        let login =
+            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-login"), false).unwrap();
+        (db, analytics, login)
+    })
 }
 
 fn package() -> impl Strategy<Value = String> {
@@ -110,6 +144,34 @@ proptest! {
     #[test]
     fn context_decoder_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..60)) {
         let _ = ContextEncoding::decode(&data);
+    }
+
+    #[test]
+    fn decode_and_decode_into_agree_on_arbitrary_payloads(
+        data in prop::collection::vec(any::<u8>(), 0..60),
+        garbage in prop::collection::vec(any::<u32>(), 0..8),
+    ) {
+        // The scratch buffer starts pre-polluted: decode_into must clear it.
+        let mut scratch = garbage;
+        let owned = ContextEncoding::decode(&data);
+        let borrowed = ContextEncoding::decode_into(&data, &mut scratch);
+        match (owned, borrowed) {
+            (Ok(context), Ok(header)) => {
+                prop_assert_eq!(context.app_tag, header.app_tag);
+                prop_assert_eq!(context.wide, header.wide);
+                prop_assert_eq!(context.truncated, header.truncated);
+                prop_assert_eq!(context.frame_indexes, scratch);
+            }
+            (Err(owned_err), Err(borrowed_err)) => {
+                prop_assert_eq!(owned_err.to_string(), borrowed_err.to_string());
+            }
+            (owned, borrowed) => {
+                prop_assert!(
+                    false,
+                    "decode disagreement on {data:?}: owned {owned:?}, borrowed {borrowed:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -244,6 +306,83 @@ proptest! {
         // A single policy leaves no attribution ambiguity: the compiled path
         // must reproduce the exact Decision, reasons included.
         prop_assert_eq!(set.evaluate(tag, &stack), set.compile().evaluate(tag, &stack));
+    }
+
+    #[test]
+    fn flow_cached_enforcement_matches_uncached_across_hot_swaps(
+        // Each step: (flow selector, payload selector, swap selector).
+        // Swap: 0..=2 leave the tables alone, 3/4 install policy set A/B,
+        // 5 swaps the signature database (full ↔ empty).
+        steps in prop::collection::vec((0u16..6, 0u8..4, 0u8..6), 1..60),
+    ) {
+        let (db, analytics, login) = enforcement_fixture();
+        let policy_sets = [
+            PolicySet::new(),
+            PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Class,
+                "com/facebook/appevents",
+            )]),
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/facebook")]),
+        ];
+        let mut cached =
+            PolicyEnforcer::new(db.clone(), policy_sets[0].clone(), EnforcerConfig::default());
+        let mut uncached =
+            PolicyEnforcer::new(db.clone(), policy_sets[0].clone(), EnforcerConfig::default());
+        let mut database_installed = true;
+
+        for (flow, payload_choice, swap) in steps {
+            match swap {
+                3 | 4 => {
+                    let set = policy_sets[(swap - 2) as usize].clone();
+                    cached.set_policies(set.clone());
+                    uncached.set_policies(set);
+                }
+                5 => {
+                    database_installed = !database_installed;
+                    let next = if database_installed {
+                        db.clone()
+                    } else {
+                        SignatureDatabase::new()
+                    };
+                    cached.set_database(next.clone());
+                    uncached.set_database(next);
+                }
+                _ => {}
+            }
+
+            let payload = match payload_choice {
+                0 => analytics.clone(),
+                1 => login.clone(),
+                2 => vec![9, 9, 9], // malformed
+                _ => ContextEncoding::encode(
+                    ApkHash::digest(b"never-analyzed").tag(),
+                    &[0, 1],
+                    false,
+                )
+                .unwrap(), // unknown app
+            };
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, 0, 9], 43_000 + flow),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST / HTTP/1.1".to_vec(),
+            );
+            packet
+                .options_mut()
+                .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload).unwrap())
+                .unwrap();
+
+            // No stale verdict: after any swap above, the very next packet
+            // (and all later ones) must match a cache-free evaluation.
+            prop_assert_eq!(cached.inspect(&packet), uncached.inspect_uncached(&packet));
+        }
+
+        // Outcome counters and drop logs agree exactly; only the flow
+        // bookkeeping (hits/misses/evictions) differs between the paths.
+        prop_assert_eq!(
+            cached.stats().without_flow_counters(),
+            uncached.stats().without_flow_counters()
+        );
+        prop_assert_eq!(cached.drop_log(), uncached.drop_log());
     }
 
     #[test]
