@@ -1,0 +1,146 @@
+//! Adversarial fleet experiment (beyond-paper: §VI/§VII threat coverage).
+//!
+//! The paper validates enforcement against well-behaved traces; this
+//! experiment exercises the enforcement plane the way a hostile fleet would:
+//! a mixed fleet of devices where every
+//! [`AdversaryModel`](crate::scenario::AdversaryModel) compromises a
+//! slice of the fleet, plus a policy hot swap raced against live traffic.
+//! The headline result is the adversary table — every model's packets, how
+//! many were dropped, and which [`bp_core::enforcer::EnforcerStats`] counter
+//! they landed in.
+
+use serde::Serialize;
+
+use bp_core::policy::{Policy, PolicySet};
+use bp_types::{EnforcementLevel, Error};
+
+use crate::report::TextTable;
+use crate::scenario::{self, ScenarioReport, ScenarioSpec};
+
+/// Configuration of the adversarial fleet experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AdversarialConfig {
+    /// Fleet size in devices.
+    pub devices: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker shards of the enforcement plane.
+    pub shards: usize,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            devices: 1_000,
+            seed: 0xb0bde5,
+            shards: 4,
+        }
+    }
+}
+
+impl AdversarialConfig {
+    /// The acceptance-scale configuration: a 10,000-device fleet.
+    pub fn fleet_scale() -> Self {
+        AdversarialConfig {
+            devices: 10_000,
+            ..AdversarialConfig::default()
+        }
+    }
+}
+
+/// The adversarial fleet experiment result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AdversarialResult {
+    /// The standard adversarial scenario's report.
+    pub report: ScenarioReport,
+    /// The same fleet with a mid-run policy hot swap raced in.
+    pub hot_swap_report: ScenarioReport,
+}
+
+impl AdversarialResult {
+    /// Render the adversary table of the standard run.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!(
+                "Adversarial fleet — {} devices, {} shards, seed {}",
+                self.report.devices, self.report.shards, self.report.seed
+            ),
+            &["model", "paper", "emitted", "dropped", "expected counter"],
+        );
+        for outcome in &self.report.adversaries {
+            table.add_row(vec![
+                outcome.model.name().to_string(),
+                outcome.model.paper_section().to_string(),
+                outcome.emitted.to_string(),
+                outcome.dropped.to_string(),
+                outcome.expected_counter.clone(),
+            ]);
+        }
+        table
+    }
+
+    /// True if no adversarial packet of either run reached the WAN side.
+    pub fn airtight(&self) -> bool {
+        self.report.all_adversarial_traffic_dropped()
+            && self.hot_swap_report.all_adversarial_traffic_dropped()
+    }
+}
+
+/// Run the adversarial fleet experiment.
+///
+/// # Errors
+///
+/// Propagates scenario-engine failures.
+pub fn run(config: &AdversarialConfig) -> Result<AdversarialResult, Error> {
+    let spec = ScenarioSpec::adversarial_fleet(
+        "adversarial-fleet",
+        config.devices,
+        config.seed,
+        config.shards,
+    );
+    let report = scenario::run(&spec)?;
+
+    // Race a swap to a harsher policy set mid-run: nothing may be served a
+    // stale verdict, visible as a flow-miss wave and extra policy drops.
+    let swap_policies = PolicySet::from_policies(vec![
+        Policy::deny(EnforcementLevel::Library, "com/facebook"),
+        Policy::deny(EnforcementLevel::Library, "com/flurry"),
+        Policy::deny(
+            EnforcementLevel::Method,
+            "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+        ),
+    ]);
+    let swap_spec = ScenarioSpec {
+        name: "adversarial-fleet-hot-swap".to_string(),
+        ..spec
+    }
+    .with_hot_swap(2, swap_policies);
+    let hot_swap_report = scenario::run(&swap_spec)?;
+
+    Ok(AdversarialResult {
+        report,
+        hot_swap_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AdversaryModel;
+
+    #[test]
+    fn small_fleet_is_airtight_and_renders() {
+        let result = run(&AdversarialConfig {
+            devices: 120,
+            seed: 5,
+            shards: 2,
+        })
+        .unwrap();
+        assert!(result.airtight());
+        assert_eq!(result.report.adversaries.len(), AdversaryModel::ALL.len());
+        let rendered = result.to_table().render();
+        assert!(rendered.contains("context-replay"));
+        assert!(rendered.contains("dropped_context_switch"));
+        assert_eq!(result.hot_swap_report.hot_swaps, 1);
+    }
+}

@@ -15,8 +15,10 @@
 //! | [`scaling`] | §VI-D / §I — overhead when scaling to many connections |
 //! | [`hash_collision`] | §VII — truncated-hash collision analysis |
 //! | [`ablations`] | §VII design alternatives (set-once kernel, stripped debug info, multi-dex encoding) |
+//! | [`adversarial`] | beyond-paper — adversarial fleet coverage of the §VI/§VII threat discussion |
 
 pub mod ablations;
+pub mod adversarial;
 pub mod case_cloud;
 pub mod case_facebook;
 pub mod fig3;

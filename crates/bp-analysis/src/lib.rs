@@ -14,6 +14,12 @@
 //!   library validation, the Dropbox/Box and Facebook-SDK case studies, the
 //!   hash-collision analysis and the ablations) as a runnable experiment that
 //!   prints the same rows/series the paper reports;
+//! * [`scenario`] goes beyond the paper's happy-path traces: a
+//!   deterministic, seed-driven engine composing fleet specs (10k+ devices)
+//!   with adversary models (context spoofing, replay, repackaged apps,
+//!   options abuse, policy-hot-swap races) and driving them through the
+//!   sharded enforcement plane — the workload harness future evaluations
+//!   plug into;
 //! * [`report`] renders results as plain-text tables for EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
@@ -23,8 +29,12 @@ pub mod experiments;
 pub mod ioi;
 pub mod perf;
 pub mod report;
+pub mod scenario;
 pub mod testbed;
 
 pub use ioi::{IoiAnalysis, IoiHistogram};
 pub use report::TextTable;
-pub use testbed::{Deployment, RunOutcome, Testbed};
+pub use scenario::{
+    AdversaryModel, AdversaryProfile, ConnectRate, FleetSpec, ScenarioReport, ScenarioSpec,
+};
+pub use testbed::{CompromisedSession, Deployment, RunOutcome, Testbed};

@@ -1,0 +1,157 @@
+//! Fleet composition: how many devices, which apps, how often they connect.
+//!
+//! A [`FleetSpec`] describes the *shape* of a device fleet without storing
+//! any per-device state: devices are named by index (addressed through
+//! `bp-netsim`'s [`bp_netsim::fleet::FleetAddressing`]), the app mix is a
+//! weighted list each device draws from deterministically, and per-tick
+//! connect counts come from a [`ConnectRate`] distribution sampled on the
+//! scenario's seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use bp_appsim::app::AppSpec;
+use bp_appsim::generator::CorpusGenerator;
+use bp_appsim::monkey::weighted_index;
+
+/// How many packets one flow emits per scenario tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConnectRate {
+    /// Exactly `n` packets per flow per tick.
+    Constant(u32),
+    /// Uniformly distributed in `[min, max]` packets per flow per tick.
+    Uniform {
+        /// Minimum packets per tick.
+        min: u32,
+        /// Maximum packets per tick (inclusive).
+        max: u32,
+    },
+    /// Mostly idle with occasional bursts: with probability
+    /// `burst_probability` the flow emits `burst` packets, otherwise none —
+    /// the heavy-tailed pattern background-sync traffic produces.
+    Bursty {
+        /// Probability of a burst in any given tick.
+        burst_probability: f64,
+        /// Packets emitted when a burst fires.
+        burst: u32,
+    },
+}
+
+impl ConnectRate {
+    /// Sample one tick's packet count for one flow.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match *self {
+            ConnectRate::Constant(n) => n,
+            ConnectRate::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+            ConnectRate::Bursty {
+                burst_probability,
+                burst,
+            } => {
+                if rng.gen_bool(burst_probability.clamp(0.0, 1.0)) {
+                    burst
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// The shape of a simulated device fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Number of devices in the fleet.
+    pub devices: u32,
+    /// Long-lived sockets (flows) each device keeps open; each is bound to
+    /// one of its app's functionalities for the scenario's duration, so
+    /// repeated ticks exercise the enforcer's flow cache the way real
+    /// keep-alive connections do.
+    pub sockets_per_device: u16,
+    /// The apps devices run.  Each device is deterministically assigned one
+    /// app from this mix, weighted by the app's download count (the
+    /// popularity proxy the corpus generator already models).
+    pub app_mix: Vec<AppSpec>,
+    /// Packets each flow emits per tick.  Tick 0 is the connect wave: every
+    /// flow emits at least one packet regardless of the distribution, so
+    /// every flow's context is established before adversaries inject.
+    pub connect_rate: ConnectRate,
+}
+
+impl FleetSpec {
+    /// A mixed fleet of `devices` devices over the standard scenario app mix
+    /// (the three case-study apps plus a small seeded corpus), two sockets
+    /// per device, uniform 1–2 packets per flow per tick.
+    pub fn mixed(devices: u32, seed: u64) -> Self {
+        FleetSpec {
+            devices,
+            sockets_per_device: 2,
+            app_mix: CorpusGenerator::fleet_mix(seed, 2),
+            connect_rate: ConnectRate::Uniform { min: 1, max: 2 },
+        }
+    }
+
+    /// Total number of long-lived flows the fleet keeps open.
+    pub fn total_flows(&self) -> u64 {
+        u64::from(self.devices) * u64::from(self.sockets_per_device)
+    }
+
+    /// Assign every device an app index from the mix, weighted by download
+    /// count, drawing from `rng` in device order (deterministic per seed).
+    pub(crate) fn assign_apps(&self, rng: &mut StdRng) -> Vec<u16> {
+        let weights: Vec<u64> = self.app_mix.iter().map(|a| a.downloads.max(1)).collect();
+        (0..self.devices)
+            .map(|_| weighted_index(rng, &weights).unwrap_or(0) as u16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn connect_rates_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert_eq!(ConnectRate::Constant(3).sample(&mut rng), 3);
+            let u = ConnectRate::Uniform { min: 1, max: 4 }.sample(&mut rng);
+            assert!((1..=4).contains(&u));
+            let b = ConnectRate::Bursty {
+                burst_probability: 0.3,
+                burst: 7,
+            }
+            .sample(&mut rng);
+            assert!(b == 0 || b == 7);
+        }
+        // Degenerate uniform collapses to the minimum.
+        assert_eq!(ConnectRate::Uniform { min: 2, max: 2 }.sample(&mut rng), 2);
+    }
+
+    #[test]
+    fn app_assignment_is_deterministic_and_popularity_weighted() {
+        let fleet = FleetSpec::mixed(2_000, 7);
+        let a = fleet.assign_apps(&mut StdRng::seed_from_u64(7));
+        let b = fleet.assign_apps(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2_000);
+        assert!(a.iter().all(|&i| (i as usize) < fleet.app_mix.len()));
+
+        // Dropbox (500M downloads, index 0) dominates the mix.
+        let dropbox = a.iter().filter(|&&i| i == 0).count();
+        assert!(dropbox > 1_000, "only {dropbox} of 2000 devices on dropbox");
+    }
+
+    #[test]
+    fn mixed_fleet_counts_flows() {
+        let fleet = FleetSpec::mixed(100, 3);
+        assert_eq!(fleet.total_flows(), 200);
+        assert_eq!(fleet.app_mix.len(), 7);
+    }
+}

@@ -1,0 +1,850 @@
+//! The adversarial fleet-scale scenario engine.
+//!
+//! This is the workload harness every beyond-paper evaluation plugs into: a
+//! [`ScenarioSpec`] composes a **fleet** (N devices × app mix × connect-rate
+//! distribution on the simulated clock, see [`fleet::FleetSpec`]) with a set
+//! of **adversary models** (context spoofing, replay, repackaged apps,
+//! options abuse, … — see [`adversary::AdversaryModel`]) and drives the
+//! whole fleet through the sharded enforcement plane
+//! ([`ShardedEnforcer::inspect_batch`]), producing a [`ScenarioReport`].
+//!
+//! # Determinism
+//!
+//! Everything is seeded: the app mix, the device→app assignment, the
+//! flow→functionality binding, every per-tick connect-rate draw and every
+//! adversary's compromised-device set derive from [`ScenarioSpec::seed`]
+//! alone, and packet batches reach the enforcer in a fixed order.  Running
+//! the same spec twice yields **byte-identical** reports
+//! ([`ScenarioReport::render`]), regardless of shard count — which is what
+//! makes scenario reports diffable artifacts in regression tests.
+//!
+//! # Adversary → counter accounting
+//!
+//! The engine knows which packets it injected for which adversary model, and
+//! [`ShardedEnforcer::inspect_batch`] returns verdicts in input order, so
+//! every adversarial packet's fate is attributed exactly (no inference from
+//! aggregate counters).  Under the standard strict configuration every
+//! adversarial packet must be *dropped* and charged to the model's expected
+//! [`EnforcerStats`] counter; an accepted adversarial packet is an
+//! enforcement gap, and the integration tests fail on it.
+//!
+//! # Example
+//!
+//! ```
+//! use bp_analysis::scenario::{self, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::adversarial_fleet("smoke", 50, 7, 2);
+//! let report = scenario::run(&spec)?;
+//! assert_eq!(report.devices, 50);
+//! // Same seed ⇒ byte-identical report.
+//! assert_eq!(scenario::run(&spec)?.render(), report.render());
+//! # Ok::<(), bp_types::Error>(())
+//! ```
+
+pub mod adversary;
+pub mod fleet;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use bp_appsim::monkey::weighted_index;
+use bp_core::encoding::ContextEncoding;
+use bp_core::enforcer::{EnforcementTables, EnforcerConfig, EnforcerStats, ShardedEnforcer};
+use bp_core::flow::FlowTableConfig;
+use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
+use bp_core::policy::{Policy, PolicySet};
+use bp_dex::MethodTable;
+use bp_netsim::addr::Endpoint;
+use bp_netsim::clock::SimDuration;
+use bp_netsim::fleet::{trailing_data_options, PacketTemplate};
+use bp_netsim::packet::Ipv4Packet;
+use bp_types::{EnforcementLevel, Error};
+
+pub use adversary::{AdversaryModel, AdversaryProfile};
+pub use fleet::{ConnectRate, FleetSpec};
+
+/// A deterministic policy-hot-swap event raced against fleet traffic.
+///
+/// At the start of the given tick the scenario compiles a fresh
+/// [`EnforcementTables`] from the replacement policy set and installs it via
+/// [`ShardedEnforcer::set_tables`] while every flow's verdict is still
+/// cached under the old epoch — the epoch bump must lazily invalidate all of
+/// them (visible as a flow-miss wave in the report), and no packet of the
+/// swap tick may be served a stale verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotSwap {
+    /// Tick at whose start the swap is installed (0-based).
+    pub at_tick: u32,
+    /// The replacement policy set.
+    pub policies: PolicySet,
+}
+
+/// Complete description of one scenario run: fleet × adversaries × policies
+/// × enforcement plane shape.
+///
+/// This is the input half of the engine's public contract
+/// (`ScenarioSpec → ScenarioReport`); see [`run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (report heading).
+    pub name: String,
+    /// Master seed; every random draw in the run derives from it.
+    pub seed: u64,
+    /// The device fleet.
+    pub fleet: FleetSpec,
+    /// The adversaries deployed against the fleet (may be empty for a
+    /// clean-traffic baseline).
+    pub adversaries: Vec<AdversaryProfile>,
+    /// The policy set compiled into the enforcement tables.
+    pub policies: PolicySet,
+    /// Enforcer configuration; adversarial scenarios normally run
+    /// [`EnforcerConfig::strict`] so every model's packets are dropped.
+    pub config: EnforcerConfig,
+    /// Worker shards of the [`ShardedEnforcer`].
+    pub shards: usize,
+    /// Number of simulated ticks driven.
+    pub ticks: u32,
+    /// Simulated wall-clock length of one tick, in milliseconds (drives the
+    /// enforcer's flow-TTL clock).
+    pub tick_millis: u64,
+    /// Optional policy hot swap raced against the traffic.
+    pub hot_swap: Option<HotSwap>,
+}
+
+impl ScenarioSpec {
+    /// The standard adversarial scenario: a mixed fleet of `devices` devices
+    /// (case-study apps + seeded corpus), every adversary model at a 3%
+    /// compromise ratio, the case-study deny policies, strict enforcement,
+    /// three ticks of traffic.
+    pub fn adversarial_fleet(
+        name: impl Into<String>,
+        devices: u32,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            seed,
+            fleet: FleetSpec::mixed(devices, seed),
+            adversaries: AdversaryProfile::all_models(0.03),
+            policies: PolicySet::from_policies(vec![
+                Policy::deny(
+                    EnforcementLevel::Method,
+                    "Lcom/dropbox/android/taskqueue/UploadTask;->c",
+                ),
+                Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"),
+                Policy::deny(EnforcementLevel::Library, "com/flurry"),
+            ]),
+            config: EnforcerConfig::strict(),
+            shards,
+            ticks: 3,
+            tick_millis: 500,
+            hot_swap: None,
+        }
+    }
+
+    /// Race a policy hot swap at the start of `at_tick` (builder style).
+    pub fn with_hot_swap(mut self, at_tick: u32, policies: PolicySet) -> Self {
+        self.hot_swap = Some(HotSwap { at_tick, policies });
+        self
+    }
+}
+
+/// Per-adversary accounting in a [`ScenarioReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AdversaryOutcome {
+    /// The adversary model.
+    pub model: AdversaryModel,
+    /// Adversarial packets the engine injected for this model.
+    pub emitted: u64,
+    /// How many of them the enforcer dropped (attributed per packet from the
+    /// batch verdicts, not inferred from counters).
+    pub dropped: u64,
+    /// How many of them the enforcer accepted — any non-zero value here is
+    /// an enforcement gap.
+    pub accepted: u64,
+    /// Name of the [`EnforcerStats`] counter this model's packets must be
+    /// charged to.
+    pub expected_counter: String,
+    /// That counter's final value (shared by models mapping to the same
+    /// counter, e.g. spoofing and trailing data both land in
+    /// `dropped_malformed`).
+    pub counter_value: u64,
+}
+
+/// The output half of the engine's contract: everything a scenario run
+/// observed, renderable as a stable plain-text artifact.
+///
+/// Two runs of the same [`ScenarioSpec`] produce equal reports
+/// (`PartialEq`) and byte-identical [`ScenarioReport::render`] output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// The seed the run derived from.
+    pub seed: u64,
+    /// Fleet size in devices.
+    pub devices: u32,
+    /// Worker shards used.
+    pub shards: usize,
+    /// Ticks driven.
+    pub ticks: u32,
+    /// Long-lived flows the fleet kept open.
+    pub flows: u64,
+    /// Total packets driven through the enforcer.
+    pub packets: u64,
+    /// Packets emitted by well-behaved devices.
+    pub legit_packets: u64,
+    /// Legitimate packets accepted.
+    pub legit_accepted: u64,
+    /// Legitimate packets dropped (policy denials of the fleet's own
+    /// denied functionalities).
+    pub legit_dropped: u64,
+    /// Per-adversary accounting, in [`AdversaryModel::ALL`] order.
+    pub adversaries: Vec<AdversaryOutcome>,
+    /// Number of policy hot swaps installed mid-run.
+    pub hot_swaps: u32,
+    /// Final merged enforcer statistics.
+    pub stats: EnforcerStats,
+}
+
+impl ScenarioReport {
+    /// Render the report as stable plain text (two [`crate::report::TextTable`]s).
+    pub fn render(&self) -> String {
+        let mut summary = crate::report::TextTable::new(
+            format!("Scenario '{}' (seed {})", self.name, self.seed),
+            &[
+                "devices",
+                "shards",
+                "ticks",
+                "flows",
+                "packets",
+                "legit",
+                "accepted",
+                "dropped",
+                "hot swaps",
+            ],
+        );
+        summary.add_row(vec![
+            self.devices.to_string(),
+            self.shards.to_string(),
+            self.ticks.to_string(),
+            self.flows.to_string(),
+            self.packets.to_string(),
+            self.legit_packets.to_string(),
+            self.legit_accepted.to_string(),
+            self.legit_dropped.to_string(),
+            self.hot_swaps.to_string(),
+        ]);
+
+        let mut adversaries = crate::report::TextTable::new(
+            "Adversary models",
+            &[
+                "model",
+                "paper",
+                "emitted",
+                "dropped",
+                "accepted",
+                "expected counter",
+                "value",
+            ],
+        );
+        for outcome in &self.adversaries {
+            adversaries.add_row(vec![
+                outcome.model.name().to_string(),
+                outcome.model.paper_section().to_string(),
+                outcome.emitted.to_string(),
+                outcome.dropped.to_string(),
+                outcome.accepted.to_string(),
+                outcome.expected_counter.clone(),
+                outcome.counter_value.to_string(),
+            ]);
+        }
+
+        let s = &self.stats;
+        let mut stats = crate::report::TextTable::new("Enforcer statistics", &["counter", "value"]);
+        for (name, value) in [
+            ("packets_inspected", s.packets_inspected),
+            ("packets_accepted", s.packets_accepted),
+            ("dropped_by_policy", s.dropped_by_policy),
+            ("dropped_untagged", s.dropped_untagged),
+            ("dropped_unknown_app", s.dropped_unknown_app),
+            ("dropped_malformed", s.dropped_malformed),
+            ("dropped_duplicate_context", s.dropped_duplicate_context),
+            ("dropped_context_switch", s.dropped_context_switch),
+            ("flow_hits", s.flow_hits),
+            ("flow_misses", s.flow_misses),
+            ("flow_evictions", s.flow_evictions),
+            ("flow_context_switches", s.flow_context_switches),
+        ] {
+            stats.add_row(vec![name.to_string(), value.to_string()]);
+        }
+
+        format!("{summary}\n{adversaries}\n{stats}")
+    }
+
+    /// The accounting row of one adversary model, if it was deployed.
+    pub fn adversary(&self, model: AdversaryModel) -> Option<&AdversaryOutcome> {
+        self.adversaries.iter().find(|o| o.model == model)
+    }
+
+    /// True if every adversarial packet was dropped — the property the
+    /// strict configuration must deliver against all models.
+    pub fn all_adversarial_traffic_dropped(&self) -> bool {
+        self.adversaries.iter().all(|o| o.accepted == 0)
+    }
+}
+
+/// Pre-compiled traffic state for one app of the mix: legitimate templates
+/// per functionality plus one template per **deployed** adversarial packet
+/// shape, all built once so per-packet synthesis touches no encoder and no
+/// validator.  Models the spec does not deploy get no template — and none
+/// of their constraints (a context to replay, budget headroom for a second
+/// option) apply to the scenario.
+struct AppTraffic {
+    funcs: Vec<FuncTraffic>,
+    adversarial: BTreeMap<AdversaryModel, PacketTemplate>,
+}
+
+struct FuncTraffic {
+    template: PacketTemplate,
+    weight: u32,
+}
+
+const BODY: &[u8] = b"BP/fleet";
+
+/// One app's forged context payloads — spoofed indexes and repackaged tag —
+/// each present only when the matching adversary model is deployed.
+type ForgedPayloads = (Option<Vec<u8>>, Option<Vec<u8>>);
+
+/// Deterministic host → WAN address assignment (mirrors the testbed's).
+fn endpoint_for(hosts: &mut BTreeMap<String, Endpoint>, host: &str) -> Endpoint {
+    if let Some(&ep) = hosts.get(host) {
+        return ep;
+    }
+    let octet = hosts.len() as u16 + 1;
+    let ep = Endpoint::new([198, 51, (octet >> 8) as u8, (octet & 0xff) as u8], 443);
+    hosts.insert(host.to_string(), ep);
+    ep
+}
+
+fn analyze_mix(
+    spec: &ScenarioSpec,
+    db: &mut SignatureDatabase,
+    deployed: &BTreeSet<AdversaryModel>,
+) -> Result<Vec<AppTraffic>, Error> {
+    let mix = &spec.fleet.app_mix;
+    if mix.is_empty() {
+        return Err(Error::malformed("scenario spec", "empty app mix"));
+    }
+
+    let mut hosts = BTreeMap::new();
+    // First pass: per-app context payloads for every functionality, plus the
+    // forged payloads of the deployed payload-level adversaries.
+    let mut payloads: Vec<Vec<(Vec<u8>, Endpoint, u32)>> = Vec::with_capacity(mix.len());
+    let mut forged_payloads: Vec<ForgedPayloads> = Vec::with_capacity(mix.len());
+    for app in mix {
+        let apk = app.build_apk();
+        OfflineAnalyzer::new().analyze_into(&apk, db)?;
+        let table = MethodTable::from_apk(&apk)?;
+        let tag = apk.hash().tag();
+        let wide = apk.is_multidex();
+
+        let mut app_payloads = Vec::with_capacity(app.functionalities.len());
+        for func in &app.functionalities {
+            let indexes: Vec<u32> = func
+                .call_chain
+                .iter()
+                .rev()
+                .filter_map(|sig| table.index_of(sig))
+                .collect();
+            let payload = ContextEncoding::encode(tag, &indexes, wide)?;
+            let endpoint = endpoint_for(&mut hosts, &func.endpoint_host);
+            app_payloads.push((payload, endpoint, func.trigger_weight.max(1)));
+        }
+        if app_payloads.is_empty() {
+            return Err(Error::malformed(
+                "scenario spec",
+                format!("app {} has no functionalities", app.package_name),
+            ));
+        }
+        // The flow→functionality binding is stored as one byte per flow;
+        // wider apps would silently wrap the index.
+        if app_payloads.len() > 256 {
+            return Err(Error::capacity(
+                "functionalities per app",
+                app_payloads.len(),
+                256,
+            ));
+        }
+
+        // Forged indexes near the top of the encoding's index space: far
+        // beyond any synthetic app's method table, so decoding flags them as
+        // undecodable for this (known) tag.
+        let spoof = deployed
+            .contains(&AdversaryModel::ContextSpoofing)
+            .then(|| {
+                let forged = ContextEncoding::max_index(wide) - 7;
+                ContextEncoding::encode(tag, &[forged, forged - 1], wide)
+            })
+            .transpose()?;
+        // The repackaged build has identical code (same indexes) under a
+        // different MD5: its tag resolves nowhere.
+        let repack = deployed
+            .contains(&AdversaryModel::RepackagedApp)
+            .then(|| {
+                let repack_tag = app.build_repackaged_apk("scenario-repack").hash().tag();
+                let first_indexes: Vec<u32> = app.functionalities[0]
+                    .call_chain
+                    .iter()
+                    .rev()
+                    .filter_map(|sig| table.index_of(sig))
+                    .collect();
+                ContextEncoding::encode(repack_tag, &first_indexes, wide)
+            })
+            .transpose()?;
+        forged_payloads.push((spoof, repack));
+        payloads.push(app_payloads);
+    }
+
+    // Second pass: build templates (the replay model needs the payloads of
+    // *other* apps), one per deployed adversarial shape.
+    let mut apps = Vec::with_capacity(mix.len());
+    for (index, app_payloads) in payloads.iter().enumerate() {
+        let (primary_payload, primary_endpoint, _) = &app_payloads[0];
+        let (spoof_payload, repack_payload) = &forged_payloads[index];
+        let blank = || PacketTemplate::new(*primary_endpoint, BODY.to_vec());
+
+        let mut adversarial = BTreeMap::new();
+        for &model in deployed {
+            let template =
+                match model {
+                    AdversaryModel::ContextSpoofing => blank()
+                        .with_context(spoof_payload.as_ref().expect("built when deployed"))?,
+                    AdversaryModel::RepackagedApp => blank()
+                        .with_context(repack_payload.as_ref().expect("built when deployed"))?,
+                    AdversaryModel::DuplicateOption => {
+                        // A second, minimal context option rides behind the
+                        // legitimate one: the 9-byte payload header (flags +
+                        // app tag) alone decodes as an empty stack under the
+                        // app's own tag.
+                        blank()
+                            .with_context(primary_payload)?
+                            .with_context(&primary_payload[..9])?
+                    }
+                    AdversaryModel::TrailingData => {
+                        blank().with_raw_options(&trailing_data_options(primary_payload)?)?
+                    }
+                    AdversaryModel::UntaggedEgress => blank(),
+                    AdversaryModel::ContextReplay => {
+                        // The replayed context: another app's (first) context,
+                        // verbatim.  With a single-app mix fall back to another
+                        // functionality of the same app; either way the bytes
+                        // must differ from the flow's own.
+                        let replayed = if payloads.len() > 1 {
+                            &payloads[(index + 1) % payloads.len()][0].0
+                        } else if app_payloads.len() > 1 {
+                            &app_payloads[1].0
+                        } else {
+                            return Err(Error::malformed(
+                                "scenario spec",
+                                "context replay needs a second app or functionality \
+                             to steal context from",
+                            ));
+                        };
+                        blank().with_context(replayed)?
+                    }
+                };
+            adversarial.insert(model, template);
+        }
+
+        apps.push(AppTraffic {
+            funcs: app_payloads
+                .iter()
+                .map(|(payload, endpoint, weight)| {
+                    Ok(FuncTraffic {
+                        template: PacketTemplate::new(*endpoint, BODY.to_vec())
+                            .with_context(payload)?,
+                        weight: *weight,
+                    })
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+            adversarial,
+        });
+    }
+    Ok(apps)
+}
+
+/// Run a scenario: compile the mix, assemble the fleet, drive every tick's
+/// batch through [`ShardedEnforcer::inspect_batch`] and account the
+/// verdicts.
+///
+/// # Errors
+///
+/// Returns an error for invalid specs (empty mix, app without
+/// functionalities, replay with nothing to replay) and propagates apk
+/// analysis or encoding failures.  Enforcement drops are *results*, never
+/// errors.
+pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, Error> {
+    if spec.fleet.devices == 0 {
+        return Err(Error::malformed("scenario spec", "fleet has no devices"));
+    }
+    if spec.fleet.sockets_per_device == 0 {
+        return Err(Error::malformed(
+            "scenario spec",
+            "fleet devices need at least one socket",
+        ));
+    }
+
+    // The model is an adversary's identity throughout the engine (templates,
+    // attack sockets, compromise membership, report rows), so duplicate
+    // models would double-count every tally: reject them up front.
+    let mut models = BTreeSet::new();
+    for profile in &spec.adversaries {
+        if !models.insert(profile.model) {
+            return Err(Error::malformed(
+                "scenario spec",
+                format!("duplicate adversary model {}", profile.model),
+            ));
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut db = SignatureDatabase::new();
+    // Only adversaries that can actually emit packets constrain the mix
+    // (templates are built per deployed model).
+    let deployed: BTreeSet<AdversaryModel> = spec
+        .adversaries
+        .iter()
+        .filter(|p| p.packets_per_tick > 0 && p.device_ratio > 0.0)
+        .map(|p| p.model)
+        .collect();
+    let apps = analyze_mix(spec, &mut db, &deployed)?;
+
+    // Fleet assembly: device → app, flow → functionality.  Draw order is
+    // fixed (devices, then flows, then per-tick rates), so every run of the
+    // same seed sees identical traffic.
+    let device_apps = spec.fleet.assign_apps(&mut rng);
+    let sockets = spec.fleet.sockets_per_device;
+    // Socket 0 always carries the app's primary functionality (the main
+    // connection the replay adversary rides); further sockets draw from the
+    // app's functionalities weighted by trigger weight.
+    let flow_funcs: Vec<u8> = (0..spec.fleet.devices)
+        .flat_map(|device| {
+            let app = &apps[device_apps[device as usize] as usize];
+            let weights: Vec<u64> = app.funcs.iter().map(|f| u64::from(f.weight)).collect();
+            (0..sockets)
+                .map(|socket| {
+                    if socket == 0 {
+                        0
+                    } else {
+                        weighted_index(&mut rng, &weights).unwrap_or(0) as u8
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // The enforcement plane under test.  Flow capacity covers every
+    // long-lived flow plus the adversaries' injection flows so eviction
+    // noise never perturbs attribution.
+    let tables = EnforcementTables::shared(&db, &spec.policies, spec.config);
+    let total_flows = spec.fleet.total_flows();
+    let flow_config = FlowTableConfig {
+        capacity: (total_flows as usize * 2).max(4_096),
+        ..FlowTableConfig::default()
+    };
+    let enforcer = ShardedEnforcer::with_flow_config(tables, spec.shards, flow_config);
+
+    let mut legit_packets = 0u64;
+    let mut legit_accepted = 0u64;
+    let mut legit_dropped = 0u64;
+    let mut emitted: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
+    let mut dropped: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
+    let mut hot_swaps = 0u32;
+
+    let mut packets: Vec<Ipv4Packet> = Vec::new();
+    let mut origins: Vec<Option<AdversaryModel>> = Vec::new();
+
+    for tick in 0..spec.ticks {
+        enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
+        if let Some(swap) = &spec.hot_swap {
+            if swap.at_tick == tick {
+                enforcer.set_tables(EnforcementTables::shared(&db, &swap.policies, spec.config));
+                hot_swaps += 1;
+            }
+        }
+
+        packets.clear();
+        origins.clear();
+
+        // Legitimate fleet traffic: every long-lived flow re-sends its
+        // connect-time context.  Tick 0 is the connect wave — at least one
+        // packet per flow — so adversaries inject against live flows.
+        for device in 0..spec.fleet.devices {
+            let app = &apps[device_apps[device as usize] as usize];
+            for socket in 0..sockets {
+                let flow = device as usize * sockets as usize + socket as usize;
+                let mut count = spec.fleet.connect_rate.sample(&mut rng);
+                if tick == 0 {
+                    count = count.max(1);
+                }
+                let func = &app.funcs[flow_funcs[flow] as usize];
+                for _ in 0..count {
+                    packets.push(func.template.instantiate_from(device, socket));
+                    origins.push(None);
+                }
+            }
+        }
+
+        // Adversarial injections.  Every model gets its own attack socket
+        // (ports beyond the legitimate range) except replay, which by
+        // definition rides an established flow (socket 0).
+        for (ordinal, profile) in spec.adversaries.iter().enumerate() {
+            if profile.packets_per_tick == 0 {
+                continue;
+            }
+            // Replay targets the entry cached at tick 0.
+            if profile.model == AdversaryModel::ContextReplay && tick == 0 {
+                continue;
+            }
+            for device in 0..spec.fleet.devices {
+                if !profile.compromises(spec.seed, device) {
+                    continue;
+                }
+                let app = &apps[device_apps[device as usize] as usize];
+                let template = app
+                    .adversarial
+                    .get(&profile.model)
+                    .expect("template built for every deployed model");
+                let socket = if profile.model == AdversaryModel::ContextReplay {
+                    0
+                } else {
+                    sockets + ordinal as u16
+                };
+                for _ in 0..profile.packets_per_tick {
+                    packets.push(template.instantiate_from(device, socket));
+                    origins.push(Some(profile.model));
+                }
+            }
+        }
+
+        let verdicts = enforcer.inspect_batch(&packets);
+        for (origin, verdict) in origins.iter().zip(&verdicts) {
+            match origin {
+                None => {
+                    legit_packets += 1;
+                    if verdict.is_accept() {
+                        legit_accepted += 1;
+                    } else {
+                        legit_dropped += 1;
+                    }
+                }
+                Some(model) => {
+                    *emitted.entry(*model).or_default() += 1;
+                    if !verdict.is_accept() {
+                        *dropped.entry(*model).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let stats = enforcer.stats();
+    let adversaries = spec
+        .adversaries
+        .iter()
+        .map(|profile| {
+            let emitted = emitted.get(&profile.model).copied().unwrap_or(0);
+            let dropped = dropped.get(&profile.model).copied().unwrap_or(0);
+            AdversaryOutcome {
+                model: profile.model,
+                emitted,
+                dropped,
+                accepted: emitted - dropped,
+                expected_counter: profile.model.expected_counter().to_string(),
+                counter_value: profile.model.counter_value(&stats),
+            }
+        })
+        .collect();
+
+    Ok(ScenarioReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        devices: spec.fleet.devices,
+        shards: spec.shards.max(1),
+        ticks: spec.ticks,
+        flows: total_flows,
+        packets: stats.packets_inspected,
+        legit_packets,
+        legit_accepted,
+        legit_dropped,
+        adversaries,
+        hot_swaps,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(shards: usize) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::adversarial_fleet("unit", 64, 11, shards);
+        // Compromise aggressively so every model fires even on a tiny fleet.
+        spec.adversaries = AdversaryProfile::all_models(0.5);
+        spec
+    }
+
+    #[test]
+    fn reports_are_byte_identical_per_seed() {
+        let spec = small_spec(2);
+        let a = run(&spec).unwrap();
+        let b = run(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+
+        let mut reseeded = spec;
+        reseeded.seed = 12;
+        assert_ne!(run(&reseeded).unwrap(), a);
+    }
+
+    #[test]
+    fn every_adversary_model_fires_and_is_fully_dropped() {
+        let report = run(&small_spec(2)).unwrap();
+        assert_eq!(report.adversaries.len(), AdversaryModel::ALL.len());
+        for outcome in &report.adversaries {
+            assert!(outcome.emitted > 0, "{} never fired", outcome.model);
+            assert_eq!(
+                outcome.dropped, outcome.emitted,
+                "{} packets leaked past the enforcer",
+                outcome.model
+            );
+            assert!(outcome.counter_value >= outcome.emitted);
+        }
+        assert!(report.all_adversarial_traffic_dropped());
+        // Legitimate traffic flows (minus the fleet's own policy denials).
+        assert!(report.legit_accepted > 0);
+    }
+
+    #[test]
+    fn counters_reconcile_exactly_with_injected_packets() {
+        let report = run(&small_spec(1)).unwrap();
+        let by_model = |m: AdversaryModel| report.adversary(m).unwrap().emitted;
+        let s = &report.stats;
+        assert_eq!(
+            s.dropped_malformed,
+            by_model(AdversaryModel::ContextSpoofing) + by_model(AdversaryModel::TrailingData)
+        );
+        assert_eq!(
+            s.dropped_unknown_app,
+            by_model(AdversaryModel::RepackagedApp)
+        );
+        assert_eq!(
+            s.dropped_context_switch,
+            by_model(AdversaryModel::ContextReplay)
+        );
+        assert_eq!(
+            s.dropped_duplicate_context,
+            by_model(AdversaryModel::DuplicateOption)
+        );
+        assert_eq!(s.dropped_untagged, by_model(AdversaryModel::UntaggedEgress));
+        // Full conservation: every packet is accounted exactly once.
+        assert_eq!(s.packets_inspected, s.packets_accepted + s.total_dropped());
+        assert_eq!(
+            s.packets_inspected,
+            report.legit_packets + report.adversaries.iter().map(|o| o.emitted).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn outcome_counters_are_shard_invariant() {
+        let one = run(&small_spec(1)).unwrap();
+        let four = run(&small_spec(4)).unwrap();
+        assert_eq!(one.stats, four.stats);
+        assert_eq!(one.adversaries, four.adversaries);
+        assert_eq!(one.legit_accepted, four.legit_accepted);
+    }
+
+    #[test]
+    fn hot_swap_invalidates_every_cached_flow_without_stale_verdicts() {
+        let deny_everything =
+            PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com")]);
+        let spec = small_spec(2).with_hot_swap(2, deny_everything);
+        let baseline = run(&small_spec(2)).unwrap();
+        let swapped = run(&spec).unwrap();
+        assert_eq!(swapped.hot_swaps, 1);
+        // The swap denies all fleet traffic from tick 2 on: strictly more
+        // policy drops than the baseline, and a flow-miss wave as every
+        // cached verdict re-evaluates under the new epoch.
+        assert!(swapped.stats.dropped_by_policy > baseline.stats.dropped_by_policy);
+        assert!(swapped.stats.flow_misses > baseline.stats.flow_misses);
+        assert_eq!(
+            swapped.stats.packets_inspected,
+            swapped.stats.packets_accepted + swapped.stats.total_dropped()
+        );
+    }
+
+    #[test]
+    fn clean_fleet_baseline_has_no_adversarial_counters() {
+        let mut spec = ScenarioSpec::adversarial_fleet("clean", 32, 3, 2);
+        spec.adversaries.clear();
+        let report = run(&spec).unwrap();
+        assert!(report.adversaries.is_empty());
+        let s = &report.stats;
+        assert_eq!(s.dropped_untagged, 0);
+        assert_eq!(s.dropped_unknown_app, 0);
+        assert_eq!(s.dropped_malformed, 0);
+        assert_eq!(s.dropped_duplicate_context, 0);
+        assert_eq!(s.dropped_context_switch, 0);
+        assert_eq!(s.flow_context_switches, 0);
+        // Long-lived flows hit the cache from tick 1 on.
+        assert!(s.flow_hits > 0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut no_devices = small_spec(1);
+        no_devices.fleet.devices = 0;
+        assert!(run(&no_devices).is_err());
+
+        let mut no_sockets = small_spec(1);
+        no_sockets.fleet.sockets_per_device = 0;
+        assert!(run(&no_sockets).is_err());
+
+        let mut no_apps = small_spec(1);
+        no_apps.fleet.app_mix.clear();
+        assert!(run(&no_apps).is_err());
+
+        // A model is an adversary's identity: two profiles of one model
+        // would double-count every tally, so the spec is rejected.
+        let mut duplicated = small_spec(1);
+        duplicated.adversaries = vec![
+            AdversaryProfile::new(AdversaryModel::ContextReplay, 0.1),
+            AdversaryProfile::new(AdversaryModel::ContextReplay, 0.5),
+        ];
+        assert!(run(&duplicated).is_err());
+    }
+
+    #[test]
+    fn undeployed_models_impose_no_constraints_on_the_mix() {
+        // A single app with a single functionality: nothing to replay and
+        // no guarantee of options-budget headroom — but a clean baseline
+        // (no adversaries) must still run.
+        let mut spec = ScenarioSpec::adversarial_fleet("minimal", 16, 9, 1);
+        spec.fleet.app_mix = vec![bp_appsim::generator::CorpusGenerator::stress_test_app()];
+        spec.adversaries.clear();
+        let report = run(&spec).unwrap();
+        assert!(report.adversaries.is_empty());
+        assert!(report.legit_accepted > 0);
+
+        // Deploying replay against that mix is what errors — and only that.
+        let mut with_replay = ScenarioSpec::adversarial_fleet("minimal-replay", 16, 9, 1);
+        with_replay.fleet.app_mix = vec![bp_appsim::generator::CorpusGenerator::stress_test_app()];
+        with_replay.adversaries = vec![AdversaryProfile::new(AdversaryModel::ContextReplay, 1.0)];
+        assert!(run(&with_replay).is_err());
+    }
+}

@@ -353,6 +353,22 @@ impl Testbed {
         Ok(outcome)
     }
 
+    /// Inject one **raw** packet from the device's egress, bypassing the
+    /// Context Manager and the hardened kernel entirely — the way a
+    /// compromised device emits forged, replayed or non-conforming traffic
+    /// (the packet shapes `scenario`'s adversary models synthesize).
+    ///
+    /// The packet traverses the full Figure-1 path: interface → filter chain
+    /// (Policy Enforcer + Packet Sanitizer queues) → WAN delivery, so tests
+    /// can assert both the enforcer verdict and what, if anything, reached
+    /// the WAN side.
+    pub fn inject_raw_packet(&mut self, packet: bp_netsim::packet::Ipv4Packet) -> Delivery {
+        if let Some(enforcer) = &self.enforcer {
+            enforcer.lock().set_now(self.network.now());
+        }
+        self.network.transmit(self.device.id(), packet)
+    }
+
     /// Exercise an app with `events` monkey events (seeded) and run every
     /// triggered functionality end to end.  Returns the outcomes of the
     /// network-relevant events.
@@ -366,6 +382,28 @@ impl Testbed {
         events: usize,
         seed: u64,
     ) -> Result<Vec<RunOutcome>, Error> {
+        Ok(self
+            .compromised_monkey_session(app, events, seed, 0.0)?
+            .outcomes)
+    }
+
+    /// Exercise a **compromised** app: like [`Testbed::monkey_session`], but
+    /// events marked adversarial by [`Monkey::exercise_adversarial`] forge
+    /// their context (an undecodable payload injected raw, bypassing the
+    /// Context Manager) instead of running through the hooks.  Returns the
+    /// legitimate outcomes plus the fate of every forged packet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution error (enforcement drops — of forged
+    /// *or* legitimate packets — are not errors).
+    pub fn compromised_monkey_session(
+        &mut self,
+        app: AppId,
+        events: usize,
+        seed: u64,
+        adversarial_probability: f64,
+    ) -> Result<CompromisedSession, Error> {
         let spec = self
             .device
             .app(app)
@@ -373,14 +411,56 @@ impl Testbed {
             .spec
             .clone();
         let mut monkey = Monkey::new(seed);
-        let mut outcomes = Vec::new();
-        for event in monkey.exercise(&spec, events) {
-            if let Some(functionality) = event.triggered {
-                outcomes.push(self.run(app, &functionality)?);
+        let mut session = CompromisedSession::default();
+        for event in monkey.exercise_adversarial(&spec, events, adversarial_probability) {
+            let Some(functionality) = event.triggered else {
+                continue;
+            };
+            if !event.adversarial {
+                session.outcomes.push(self.run(app, &functionality)?);
+                continue;
+            }
+            // The compromised app rides this connect with forged context: a
+            // payload too short to decode, set directly on the packet (the
+            // hardened kernel is bypassed, so no hook fixes it up).
+            let host = spec
+                .functionality(&functionality)
+                .ok_or_else(|| Error::not_found("functionality", functionality.clone()))?
+                .endpoint_host
+                .clone();
+            let destination = self
+                .host_address(&host)
+                .ok_or_else(|| Error::not_found("registered host", host))?;
+            let mut packet = bp_netsim::packet::Ipv4Packet::new(
+                Endpoint::new([10, 0, 0, 66], 47_000 + session.forged_packets as u16),
+                Endpoint::from_ip(destination, 443),
+                b"forged".to_vec(),
+            );
+            let forged_option = bp_netsim::options::IpOption::new(
+                bp_netsim::options::IpOptionKind::BorderPatrolContext,
+                vec![0xBA, 0xD0],
+            )?;
+            packet.options_mut().push(forged_option)?;
+            session.forged_packets += 1;
+            if !self.inject_raw_packet(packet).is_delivered() {
+                session.forged_dropped += 1;
             }
         }
-        Ok(outcomes)
+        Ok(session)
     }
+}
+
+/// What a [`Testbed::compromised_monkey_session`] produced: the well-behaved
+/// outcomes plus the fate of the forged injections.
+#[derive(Debug, Clone, Default)]
+pub struct CompromisedSession {
+    /// Outcomes of the legitimately executed functionalities.
+    pub outcomes: Vec<RunOutcome>,
+    /// Forged packets the compromised app injected.
+    pub forged_packets: u64,
+    /// How many of them the network dropped (all, if the Policy Enforcer is
+    /// deployed with malformed-context drops enabled).
+    pub forged_dropped: u64,
 }
 
 #[cfg(test)]
@@ -485,6 +565,64 @@ mod tests {
         assert_eq!(outcomes.len(), testbed.outcomes().len());
         testbed.reset_observations();
         assert!(testbed.outcomes().is_empty());
+    }
+
+    #[test]
+    fn compromised_monkey_session_forges_context_that_the_enforcer_drops() {
+        let mut testbed = borderpatrol_testbed(PolicySet::new());
+        let app = testbed.install_app(CorpusGenerator::box_app()).unwrap();
+        let session = testbed
+            .compromised_monkey_session(app, 1_500, 21, 0.4)
+            .unwrap();
+        // The compromised app still does legitimate work …
+        assert!(!session.outcomes.is_empty());
+        // … but every forged-context injection dies at the enforcer.
+        assert!(session.forged_packets > 0);
+        assert_eq!(session.forged_dropped, session.forged_packets);
+        assert_eq!(
+            testbed.enforcer_stats().unwrap().dropped_malformed,
+            session.forged_packets
+        );
+
+        // Probability zero degrades to the plain monkey session.
+        let clean = testbed
+            .compromised_monkey_session(app, 500, 7, 0.0)
+            .unwrap();
+        assert_eq!(clean.forged_packets, 0);
+    }
+
+    #[test]
+    fn injected_adversarial_packets_die_at_the_enforcer() {
+        use bp_netsim::fleet::{trailing_data_options, PacketTemplate};
+
+        let mut testbed = Testbed::new(Deployment::BorderPatrol {
+            policies: PolicySet::new(),
+            config: EnforcerConfig::strict(),
+        });
+        let app = testbed.install_app(CorpusGenerator::solcalendar()).unwrap();
+        // A legitimate run first, so the WAN baseline is non-empty.
+        assert!(testbed.run(app, "fb-login").unwrap().fully_delivered());
+        let wan_before = testbed.network.egress_packet_count();
+        let graph = testbed.host_address("graph.facebook.com").unwrap();
+        let destination = bp_netsim::addr::Endpoint::from_ip(graph, 443);
+
+        // Untagged injection (strict deployment) and a covert trailing-data
+        // injection: both must be dropped by the enforcer, so nothing new
+        // reaches the WAN-side capture.
+        let untagged = PacketTemplate::new(destination, b"smuggle".to_vec());
+        let delivery = testbed.inject_raw_packet(untagged.instantiate_from(99, 0));
+        assert!(!delivery.is_delivered());
+
+        let trailing = PacketTemplate::new(destination, b"covert".to_vec())
+            .with_raw_options(&trailing_data_options(&[0x00; 12]).unwrap())
+            .unwrap();
+        let delivery = testbed.inject_raw_packet(trailing.instantiate_from(99, 1));
+        assert!(!delivery.is_delivered());
+
+        let stats = testbed.enforcer_stats().unwrap();
+        assert_eq!(stats.dropped_untagged, 1);
+        assert_eq!(stats.dropped_malformed, 1);
+        assert_eq!(testbed.network.egress_packet_count(), wan_before);
     }
 
     #[test]

@@ -177,6 +177,26 @@ impl AppSpec {
     /// per class for bulk.  Multi-dex apps split their methods across two dex
     /// files.
     pub fn build_apk(&self) -> ApkFile {
+        self.apk_builder().build()
+    }
+
+    /// Build a **repackaged** variant of this app's apk (paper §VII,
+    /// "Repackaged applications"): the dex code — and therefore the method
+    /// table and every call chain — is byte-identical to
+    /// [`Self::build_apk`], but an extra non-code entry salted with `salt`
+    /// changes the package MD5.  The repackaged build's truncated tag is
+    /// unknown to any signature database built from the original, so its
+    /// traffic must land in the enforcer's unknown-app counter.
+    pub fn build_repackaged_apk(&self, salt: &str) -> ApkFile {
+        self.apk_builder()
+            .add_entry(
+                "assets/repack.txt",
+                format!("repackaged:{salt}").into_bytes(),
+            )
+            .build()
+    }
+
+    fn apk_builder(&self) -> ApkBuilder {
         let windows = self.line_windows();
         let signatures = self.all_signatures();
 
@@ -245,7 +265,6 @@ impl AppSpec {
             )
             .into_bytes(),
         )
-        .build()
     }
 }
 
@@ -362,6 +381,29 @@ mod tests {
         let apk = app.build_apk();
         let total = apk.total_method_count().unwrap();
         assert!(total > app.all_signatures().len());
+    }
+
+    #[test]
+    fn repackaged_apk_changes_hash_but_not_code() {
+        let app = sample_app();
+        let original = app.build_apk();
+        let repack = app.build_repackaged_apk("evil-market");
+        // Different package MD5 → different truncated tag …
+        assert_ne!(original.hash(), repack.hash());
+        assert_ne!(original.hash().tag(), repack.hash().tag());
+        // … but byte-identical dex code: same method table, same indexes.
+        let original_table = MethodTable::from_apk(&original).unwrap();
+        let repack_table = MethodTable::from_apk(&repack).unwrap();
+        for sig in app.all_signatures() {
+            assert_eq!(original_table.index_of(&sig), repack_table.index_of(&sig));
+        }
+        // Determinism: the same salt rebuilds the same repackaged hash, a
+        // different salt yields yet another tag.
+        assert_eq!(
+            repack.hash(),
+            app.build_repackaged_apk("evil-market").hash()
+        );
+        assert_ne!(repack.hash(), app.build_repackaged_apk("other").hash());
     }
 
     #[test]

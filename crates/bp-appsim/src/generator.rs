@@ -501,6 +501,16 @@ impl CorpusGenerator {
     pub fn case_study_apps() -> Vec<AppSpec> {
         vec![Self::dropbox(), Self::box_app(), Self::solcalendar()]
     }
+
+    /// The default app mix for fleet-scale scenarios: the three case-study
+    /// apps (known call chains, known policies to violate) padded with
+    /// `per_category` seeded corpus apps per Play-store category for
+    /// heterogeneity.  Deterministic per seed, like [`Self::generate`].
+    pub fn fleet_mix(seed: u64, per_category: usize) -> Vec<AppSpec> {
+        let mut apps = Self::case_study_apps();
+        apps.extend(Self::generate(&CorpusConfig::small(seed, per_category)));
+        apps
+    }
 }
 
 fn core_fetch(main_package: &str, host: &str) -> Functionality {
@@ -764,6 +774,15 @@ mod tests {
             );
             assert_eq!(apk.package_name(), app.package_name);
         }
+    }
+
+    #[test]
+    fn fleet_mix_is_case_studies_plus_seeded_corpus() {
+        let mix = CorpusGenerator::fleet_mix(5, 2);
+        assert_eq!(mix.len(), 3 + 4);
+        assert_eq!(mix[0].package_name, "com.dropbox.android");
+        assert_eq!(CorpusGenerator::fleet_mix(5, 2), mix);
+        assert_ne!(CorpusGenerator::fleet_mix(6, 2), mix);
     }
 
     #[test]

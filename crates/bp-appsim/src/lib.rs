@@ -43,4 +43,4 @@ pub use app::{AppCategory, AppSpec};
 pub use catalog::{LibraryCatalog, LibraryCategory, LibraryInfo};
 pub use functionality::{Functionality, FunctionalityKind, RequestKind};
 pub use generator::{CorpusConfig, CorpusGenerator};
-pub use monkey::{Monkey, MonkeyEvent};
+pub use monkey::{weighted_index, Monkey, MonkeyEvent};

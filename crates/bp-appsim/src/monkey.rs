@@ -6,6 +6,17 @@
 //! a fraction of which land on UI elements that trigger one of the app's
 //! functionalities (weighted by the functionality's trigger weight); the rest
 //! are inert scrolls/taps that generate no network traffic.
+//!
+//! For adversarial workloads ([`Monkey::exercise_adversarial`]) the monkey
+//! models a **compromised app**: a seeded fraction of the network-relevant
+//! events are marked [`MonkeyEvent::adversarial`], meaning the malicious
+//! payload rides that connect (forged context, replayed context, duplicate
+//! options, …) instead of the context the hooks would legitimately inject.
+//! What the adversarial mutation *is* — and which enforcer counter it must
+//! land in — is decided by the harness consuming the event stream
+//! (`bp-analysis`'s `Testbed::compromised_monkey_session` forges undecodable
+//! context for marked events; the fleet-scale scenario engine models richer
+//! per-packet adversaries directly).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +35,12 @@ pub struct MonkeyEvent {
     /// The functionality the event triggered, if any; `None` for inert UI
     /// events (scrolls, taps on static views, back presses, …).
     pub triggered: Option<String>,
+    /// True if a compromised app rode this connect with a malicious payload
+    /// instead of the legitimately injected context (only ever set on
+    /// network-relevant events, and only by
+    /// [`Monkey::exercise_adversarial`]).
+    #[serde(default)]
+    pub adversarial: bool,
 }
 
 impl MonkeyEvent {
@@ -59,32 +76,51 @@ impl Monkey {
 
     /// Exercise `app` with `events` random events and return the event stream.
     pub fn exercise(&mut self, app: &AppSpec, events: usize) -> Vec<MonkeyEvent> {
-        let weights: Vec<(String, u32)> = app
+        self.exercise_with_adversary(app, events, 0.0)
+    }
+
+    /// Exercise a **compromised** `app`: like [`Monkey::exercise`], but each
+    /// network-relevant event is independently marked adversarial with
+    /// probability `adversarial_probability` (clamped to `[0, 1]`) — the
+    /// malicious payload rides that connect instead of the legitimate
+    /// context.  Deterministic per seed, like every other monkey stream.
+    pub fn exercise_adversarial(
+        &mut self,
+        app: &AppSpec,
+        events: usize,
+        adversarial_probability: f64,
+    ) -> Vec<MonkeyEvent> {
+        self.exercise_with_adversary(app, events, adversarial_probability.clamp(0.0, 1.0))
+    }
+
+    fn exercise_with_adversary(
+        &mut self,
+        app: &AppSpec,
+        events: usize,
+        adversarial_probability: f64,
+    ) -> Vec<MonkeyEvent> {
+        let weights: Vec<u64> = app
             .functionalities
             .iter()
-            .map(|f| (f.name.clone(), f.trigger_weight.max(1)))
+            .map(|f| u64::from(f.trigger_weight.max(1)))
             .collect();
-        let total_weight: u64 = weights.iter().map(|(_, w)| u64::from(*w)).sum();
 
         (0..events)
             .map(|sequence| {
-                let triggered = if total_weight > 0 && self.rng.gen_bool(self.trigger_probability) {
-                    let mut pick = self.rng.gen_range(0..total_weight);
-                    let mut chosen = None;
-                    for (name, weight) in &weights {
-                        if pick < u64::from(*weight) {
-                            chosen = Some(name.clone());
-                            break;
-                        }
-                        pick -= u64::from(*weight);
-                    }
-                    chosen
-                } else {
-                    None
-                };
+                let triggered =
+                    if !weights.is_empty() && self.rng.gen_bool(self.trigger_probability) {
+                        weighted_index(&mut self.rng, &weights)
+                            .map(|i| app.functionalities[i].name.clone())
+                    } else {
+                        None
+                    };
+                let adversarial = triggered.is_some()
+                    && adversarial_probability > 0.0
+                    && self.rng.gen_bool(adversarial_probability);
                 MonkeyEvent {
                     sequence,
                     triggered,
+                    adversarial,
                 }
             })
             .collect()
@@ -94,6 +130,25 @@ impl Monkey {
     pub fn exercise_paper_scale(&mut self, app: &AppSpec) -> Vec<MonkeyEvent> {
         self.exercise(app, PAPER_EVENT_COUNT)
     }
+}
+
+/// Sample an index proportionally to `weights` with one uniform draw (the
+/// weighted pick the monkey, the fleet's device→app assignment and the
+/// scenario engine's flow→functionality binding all share).  Returns `None`
+/// if the weights are empty or sum to zero.
+pub fn weighted_index<R: rand::Rng>(rng: &mut R, weights: &[u64]) -> Option<usize> {
+    let total: u64 = weights.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut pick = rng.gen_range(0..total);
+    for (index, &weight) in weights.iter().enumerate() {
+        if pick < weight {
+            return Some(index);
+        }
+        pick -= weight;
+    }
+    unreachable!("pick is bounded by the sum of weights")
 }
 
 #[cfg(test)]
@@ -164,6 +219,43 @@ mod tests {
             .with_trigger_probability(1.0)
             .exercise(&app, 100);
         assert!(events.iter().all(|e| !e.is_network_event()));
+    }
+
+    #[test]
+    fn adversarial_marks_only_network_events_and_is_deterministic() {
+        let app = CorpusGenerator::solcalendar();
+        let a = Monkey::new(21).exercise_adversarial(&app, 5_000, 0.4);
+        let b = Monkey::new(21).exercise_adversarial(&app, 5_000, 0.4);
+        assert_eq!(a, b);
+
+        let adversarial: Vec<_> = a.iter().filter(|e| e.adversarial).collect();
+        assert!(!adversarial.is_empty());
+        assert!(adversarial.iter().all(|e| e.is_network_event()));
+        // Some compromised connects still carry the legitimate context.
+        assert!(a.iter().any(|e| e.is_network_event() && !e.adversarial));
+    }
+
+    #[test]
+    fn zero_adversary_probability_matches_the_clean_stream() {
+        let app = CorpusGenerator::box_app();
+        let clean = Monkey::new(9).exercise(&app, 2_000);
+        let marked = Monkey::new(9).exercise_adversarial(&app, 2_000, 0.0);
+        assert_eq!(clean, marked);
+        assert!(clean.iter().all(|e| !e.adversarial));
+    }
+
+    #[test]
+    fn weighted_index_respects_weights_and_degenerate_inputs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        assert_eq!(weighted_index(&mut rng, &[]), None);
+        assert_eq!(weighted_index(&mut rng, &[0, 0]), None);
+        assert_eq!(weighted_index(&mut rng, &[0, 5, 0]), Some(1));
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut rng, &[1, 9]).unwrap()] += 1;
+        }
+        assert!(counts[1] > counts[0] * 4, "{counts:?}");
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Fleet-scale scenario throughput: a 10,000-device mixed fleet — every
+//! adversary model compromising a slice of it — driven through the sharded
+//! enforcement plane on 1–8 shards.
+//!
+//! Each iteration runs the *entire* scenario (fleet assembly is amortised by
+//! the engine's template precomputation; per-packet work dominates), so the
+//! rows compare end-to-end scenario wall-clock as the shard count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bp_analysis::scenario::{self, ScenarioSpec};
+
+const DEVICES: u32 = 10_000;
+const SEED: u64 = 0xb0bde5;
+
+fn bench_fleet_scale(c: &mut Criterion) {
+    // One probe run to size the throughput axis (the engine is
+    // deterministic, so every run drives the same packet count).
+    let packets = scenario::run(&ScenarioSpec::adversarial_fleet(
+        "fleet-probe",
+        DEVICES,
+        SEED,
+        1,
+    ))
+    .expect("probe scenario runs")
+    .packets;
+
+    let mut group = c.benchmark_group("fleet_scale/10k_devices");
+    group.throughput(Throughput::Elements(packets));
+    for shards in [1usize, 2, 4, 8] {
+        let spec = ScenarioSpec::adversarial_fleet("fleet-bench", DEVICES, SEED, shards);
+        group.bench_with_input(BenchmarkId::new("shards", shards), &spec, |b, spec| {
+            b.iter(|| black_box(scenario::run(spec).expect("scenario runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_scale);
+criterion_main!(benches);

@@ -34,6 +34,13 @@
 //! re-evaluates, and [`PolicyEnforcer::set_policies`] / `set_database` (or
 //! [`ShardedEnforcer::set_tables`]) bump the epoch so entries cached before
 //! a hot swap are lazily invalidated instead of served stale.
+//!
+//! The flow table doubles as a **replay detector**: the set-once hardened
+//! kernel injects the context exactly once per socket, so a payload change
+//! on a live flow can only be replayed or injected context.  Such mid-flow
+//! context switches are counted ([`EnforcerStats::flow_context_switches`])
+//! and, under [`EnforcerConfig::drop_context_switch`], dropped while the
+//! flow's legitimate cached context is retained.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,7 +55,7 @@ use bp_netsim::options::IpOptionKind;
 use bp_netsim::packet::Ipv4Packet;
 
 use crate::encoding::ContextEncoding;
-use crate::flow::{CachedOutcome, FlowTable, FlowTableConfig};
+use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
 
@@ -74,6 +81,22 @@ pub struct EnforcerConfig {
     pub drop_unknown_apps: bool,
     /// Drop packets whose context option fails to decode.
     pub drop_malformed_context: bool,
+    /// Drop packets whose context payload differs from the one already
+    /// cached for their (live, same-epoch) flow.
+    ///
+    /// The hardened kernel injects the context once per socket (set-once
+    /// `setsockopt`, §IV-A2/§VII), so the packets of a live flow can never
+    /// legitimately change their context: a mid-flow change is the signature
+    /// of verbatim context **replay** or injection riding an established
+    /// flow.  Detection requires connection tracking, so it fires only on
+    /// the flow-cached path ([`PolicyEnforcer::inspect`] /
+    /// [`ShardedEnforcer::inspect_batch`]); the uncached and legacy
+    /// baselines have no flow state and cannot observe switches.  Off by
+    /// default (a switch is then counted in
+    /// [`EnforcerStats::flow_context_switches`] and re-evaluated); enabled
+    /// in [`EnforcerConfig::strict`] deployments.
+    #[serde(default)]
+    pub drop_context_switch: bool,
 }
 
 impl Default for EnforcerConfig {
@@ -82,17 +105,21 @@ impl Default for EnforcerConfig {
             drop_untagged: false,
             drop_unknown_apps: true,
             drop_malformed_context: true,
+            drop_context_switch: false,
         }
     }
 }
 
 impl EnforcerConfig {
-    /// The strict deployment described in §VII: untagged packets are dropped.
+    /// The strict deployment described in §VII: untagged packets are dropped,
+    /// and so are mid-flow context switches (replayed/injected context on a
+    /// live flow).
     pub fn strict() -> Self {
         EnforcerConfig {
             drop_untagged: true,
             drop_unknown_apps: true,
             drop_malformed_context: true,
+            drop_context_switch: true,
         }
     }
 
@@ -102,6 +129,7 @@ impl EnforcerConfig {
             drop_untagged: false,
             drop_unknown_apps: false,
             drop_malformed_context: false,
+            drop_context_switch: false,
         }
     }
 }
@@ -125,12 +153,22 @@ pub struct EnforcerStats {
     /// (the hardened kernel never emits duplicates, so a second option is a
     /// spoofing attempt riding ahead of the kernel-injected context).
     pub dropped_duplicate_context: u64,
+    /// Packets dropped because their context payload differed from the one
+    /// cached for their live flow (mid-flow context switch = replayed or
+    /// injected context; only charged when
+    /// [`EnforcerConfig::drop_context_switch`] is enabled).
+    pub dropped_context_switch: u64,
     /// Tagged packets whose verdict was served from the flow table.
     pub flow_hits: u64,
     /// Tagged packets that required a full decode/resolve/evaluate pass.
     pub flow_misses: u64,
     /// Flow-table entries evicted to admit new flows at capacity.
     pub flow_evictions: u64,
+    /// Mid-flow context changes observed by the flow table (counted whether
+    /// or not [`EnforcerConfig::drop_context_switch`] turns them into
+    /// drops): a live, unexpired flow entry saw a packet with different
+    /// context payload bytes under the same tables epoch.
+    pub flow_context_switches: u64,
 }
 
 impl EnforcerStats {
@@ -141,6 +179,7 @@ impl EnforcerStats {
             + self.dropped_unknown_app
             + self.dropped_malformed
             + self.dropped_duplicate_context
+            + self.dropped_context_switch
     }
 
     /// Sum two snapshots (used when merging shards).
@@ -154,20 +193,29 @@ impl EnforcerStats {
             dropped_malformed: self.dropped_malformed + other.dropped_malformed,
             dropped_duplicate_context: self.dropped_duplicate_context
                 + other.dropped_duplicate_context,
+            dropped_context_switch: self.dropped_context_switch + other.dropped_context_switch,
             flow_hits: self.flow_hits + other.flow_hits,
             flow_misses: self.flow_misses + other.flow_misses,
             flow_evictions: self.flow_evictions + other.flow_evictions,
+            flow_context_switches: self.flow_context_switches + other.flow_context_switches,
         }
     }
 
-    /// This snapshot with the flow-cache counters zeroed: the per-packet
-    /// outcome counts, which are what cached and uncached (or legacy)
-    /// pipelines must agree on regardless of how many probes hit.
+    /// This snapshot with the flow-cache bookkeeping counters zeroed: the
+    /// per-packet outcome counts, which are what cached and uncached (or
+    /// legacy) pipelines must agree on regardless of how many probes hit.
+    ///
+    /// [`EnforcerStats::dropped_context_switch`] is an *outcome* counter and
+    /// is **not** zeroed: with [`EnforcerConfig::drop_context_switch`]
+    /// enabled the flow-cached path is intentionally stricter than the
+    /// stateless baselines (which cannot observe switches), so the
+    /// comparison is only meaningful with the knob off.
     pub fn without_flow_counters(&self) -> EnforcerStats {
         EnforcerStats {
             flow_hits: 0,
             flow_misses: 0,
             flow_evictions: 0,
+            flow_context_switches: 0,
             ..*self
         }
     }
@@ -183,9 +231,11 @@ pub struct AtomicEnforcerStats {
     unknown_app: AtomicU64,
     malformed: AtomicU64,
     duplicate_context: AtomicU64,
+    context_switch: AtomicU64,
     flow_hits: AtomicU64,
     flow_misses: AtomicU64,
     flow_evictions: AtomicU64,
+    flow_context_switches: AtomicU64,
 }
 
 impl AtomicEnforcerStats {
@@ -204,9 +254,11 @@ impl AtomicEnforcerStats {
             dropped_unknown_app: self.unknown_app.load(Ordering::Relaxed),
             dropped_malformed: self.malformed.load(Ordering::Relaxed),
             dropped_duplicate_context: self.duplicate_context.load(Ordering::Relaxed),
+            dropped_context_switch: self.context_switch.load(Ordering::Relaxed),
             flow_hits: self.flow_hits.load(Ordering::Relaxed),
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
             flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
+            flow_context_switches: self.flow_context_switches.load(Ordering::Relaxed),
         }
     }
 
@@ -226,10 +278,14 @@ impl AtomicEnforcerStats {
             .store(stats.dropped_malformed, Ordering::Relaxed);
         self.duplicate_context
             .store(stats.dropped_duplicate_context, Ordering::Relaxed);
+        self.context_switch
+            .store(stats.dropped_context_switch, Ordering::Relaxed);
         self.flow_hits.store(stats.flow_hits, Ordering::Relaxed);
         self.flow_misses.store(stats.flow_misses, Ordering::Relaxed);
         self.flow_evictions
             .store(stats.flow_evictions, Ordering::Relaxed);
+        self.flow_context_switches
+            .store(stats.flow_context_switches, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
@@ -544,10 +600,21 @@ impl EnforcementTables {
     /// A packet whose flow **and** exact context payload were evaluated
     /// before (under these tables' epoch, within `flow`'s TTL measured
     /// against `now`) replays the cached outcome after one O(1) probe —
-    /// no decode, no database resolution, no policy evaluation.  Any context
-    /// change, epoch bump or expiry re-evaluates and refreshes the entry.
-    /// Verdicts, statistics outcome counters and drop-log entries are
-    /// byte-identical to [`EnforcementTables::inspect_packet`].
+    /// no decode, no database resolution, no policy evaluation.  An epoch
+    /// bump or expiry re-evaluates and refreshes the entry.
+    ///
+    /// A **context change on a live flow** (the probe reports a
+    /// [`FlowProbe::ContextSwitch`]) is counted in
+    /// [`EnforcerStats::flow_context_switches`]: the set-once kernel never
+    /// re-tags a socket, so a mid-flow change is replayed or injected
+    /// context.  With [`EnforcerConfig::drop_context_switch`] enabled the
+    /// packet is dropped and the flow's original entry is *kept* (injection
+    /// cannot evict the legitimate context); otherwise the packet is
+    /// re-evaluated like a miss and the entry is overwritten.
+    ///
+    /// With `drop_context_switch` off, verdicts, statistics outcome counters
+    /// and drop-log entries are byte-identical to
+    /// [`EnforcementTables::inspect_packet`].
     pub fn inspect_flow_cached(
         &self,
         packet: &Ipv4Packet,
@@ -568,9 +635,22 @@ impl EnforcementTables {
         };
 
         let key = packet.flow_key();
-        if let Some(outcome) = flow.probe(&key, &option.data, self.epoch, now) {
-            stats.flow_hits.fetch_add(1, Ordering::Relaxed);
-            return self.apply_outcome(outcome, stats, drop_log);
+        match flow.probe(&key, &option.data, self.epoch, now) {
+            FlowProbe::Hit(outcome) => {
+                stats.flow_hits.fetch_add(1, Ordering::Relaxed);
+                return self.apply_outcome(outcome, stats, drop_log);
+            }
+            FlowProbe::ContextSwitch => {
+                stats.flow_context_switches.fetch_add(1, Ordering::Relaxed);
+                if self.config.drop_context_switch {
+                    stats.context_switch.fetch_add(1, Ordering::Relaxed);
+                    return record_drop(
+                        drop_log,
+                        "mid-flow context change (replayed or injected context)".to_string(),
+                    );
+                }
+            }
+            FlowProbe::Miss => {}
         }
         stats.flow_misses.fetch_add(1, Ordering::Relaxed);
         let outcome = self.evaluate_payload(&option.data, scratch);
@@ -1329,16 +1409,17 @@ mod tests {
     #[test]
     fn stats_total_dropped_sums_reasons() {
         let stats = EnforcerStats {
-            packets_inspected: 11,
+            packets_inspected: 12,
             packets_accepted: 4,
             dropped_by_policy: 3,
             dropped_untagged: 1,
             dropped_unknown_app: 1,
             dropped_malformed: 1,
             dropped_duplicate_context: 1,
+            dropped_context_switch: 1,
             ..EnforcerStats::default()
         };
-        assert_eq!(stats.total_dropped(), 7);
+        assert_eq!(stats.total_dropped(), 8);
     }
 
     #[test]
@@ -1369,6 +1450,67 @@ mod tests {
         );
         assert_eq!(legacy.stats().flow_misses, 0);
         assert_eq!(compiled.drop_log(), legacy.drop_log());
+    }
+
+    #[test]
+    fn mid_flow_context_switch_is_counted_and_reevaluated_by_default() {
+        let (db, analytics_payload, login_payload) = solcalendar_fixture();
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+
+        // Same 5-tuple, two different payloads: the second is flagged as a
+        // mid-flow switch but — with the knob off — still re-evaluated.
+        assert!(enforcer
+            .inspect(&tagged_packet(analytics_payload.clone()))
+            .is_accept());
+        assert!(enforcer
+            .inspect(&tagged_packet(login_payload.clone()))
+            .is_accept());
+        let stats = enforcer.stats();
+        assert_eq!(stats.flow_context_switches, 1);
+        assert_eq!(stats.dropped_context_switch, 0);
+        assert_eq!(stats.flow_misses, 2);
+        assert_eq!(stats.packets_accepted, 2);
+
+        // The switch overwrote the entry: the new payload now hits.
+        assert!(enforcer.inspect(&tagged_packet(login_payload)).is_accept());
+        assert_eq!(enforcer.stats().flow_hits, 1);
+    }
+
+    #[test]
+    fn context_switch_drop_keeps_the_original_flow_entry() {
+        let (db, analytics_payload, login_payload) = solcalendar_fixture();
+        let config = EnforcerConfig {
+            drop_context_switch: true,
+            ..EnforcerConfig::default()
+        };
+        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), config);
+
+        assert!(enforcer
+            .inspect(&tagged_packet(analytics_payload.clone()))
+            .is_accept());
+        // Replayed context on the live flow: dropped, attributed to the
+        // context-switch counter, and logged.
+        let verdict = enforcer.inspect(&tagged_packet(login_payload));
+        assert!(!verdict.is_accept());
+        let stats = enforcer.stats();
+        assert_eq!(stats.dropped_context_switch, 1);
+        assert_eq!(stats.flow_context_switches, 1);
+        assert!(enforcer.drop_log()[0].contains("mid-flow context change"));
+
+        // The legitimate context was not evicted by the injection: the
+        // flow's original payload still replays from the cache.
+        assert!(enforcer
+            .inspect(&tagged_packet(analytics_payload))
+            .is_accept());
+        assert_eq!(enforcer.stats().flow_hits, 1);
+        assert_eq!(enforcer.stats().flow_misses, 1);
+    }
+
+    #[test]
+    fn strict_config_enables_context_switch_drops() {
+        assert!(EnforcerConfig::strict().drop_context_switch);
+        assert!(!EnforcerConfig::default().drop_context_switch);
+        assert!(!EnforcerConfig::permissive().drop_context_switch);
     }
 
     #[test]

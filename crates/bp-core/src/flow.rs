@@ -15,8 +15,11 @@
 //!
 //! * the **exact context-option payload** that produced the outcome, stored
 //!   inline (RFC 791 bounds it to 38 bytes) and byte-compared on every probe
-//!   — any context change (new stack, new tag, tampered bytes) misses and
-//!   re-evaluates, and no hash-collision replay is possible; and
+//!   — any context change (new stack, new tag, tampered bytes) on a live
+//!   flow is surfaced as a [`FlowProbe::ContextSwitch`] (the set-once kernel
+//!   never re-tags a socket, so a mid-flow change is the signature of
+//!   context replay or injection), and no hash-collision replay is possible;
+//!   and
 //! * the **epoch** of the compiled [`EnforcementTables`] the outcome was
 //!   computed under — recompiling (policy or database hot-swap) bumps the
 //!   epoch, so entries cached before the swap are lazily invalidated on
@@ -148,6 +151,50 @@ pub enum CachedOutcome {
     Deny(String),
 }
 
+/// The result of one [`FlowTable::probe`].
+///
+/// Distinguishing a plain miss from a **context switch** matters for
+/// enforcement: the hardened kernel injects the context once per socket
+/// (set-once `setsockopt`, paper §IV-A2/§VII), so the packets of a live flow
+/// can never legitimately change their context payload.  A live, same-epoch
+/// entry whose payload no longer matches is therefore the signature of
+/// context replay or injection riding an established flow, and the enforcer
+/// surfaces it in its own statistics counter (and, when configured, drops
+/// the packet) instead of silently re-evaluating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowProbe<'a> {
+    /// A live entry matched flow, epoch and exact payload bytes; the cached
+    /// outcome can be replayed.
+    Hit(&'a CachedOutcome),
+    /// No usable entry: the flow is untracked, its entry expired (dead flow —
+    /// the 5-tuple may be legitimately reused by a new socket), or it was
+    /// cached under an older tables epoch.  Stale entries are dropped.
+    Miss,
+    /// A live, same-epoch entry carries **different** payload bytes: the
+    /// flow's context changed mid-flow, which the set-once kernel never
+    /// produces.  The existing entry is *kept* so that an enforcer
+    /// configured to drop such packets keeps serving the flow's original
+    /// context (an attacker must not be able to evict the legitimate entry
+    /// by injection); callers that re-evaluate instead simply overwrite it
+    /// via [`FlowTable::insert`].
+    ContextSwitch,
+}
+
+impl<'a> FlowProbe<'a> {
+    /// True if the probe found a replayable cached outcome.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, FlowProbe::Hit(_))
+    }
+
+    /// The cached outcome, if the probe hit.
+    pub fn outcome(&self) -> Option<&'a CachedOutcome> {
+        match self {
+            FlowProbe::Hit(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
 /// Sizing and expiry knobs of a [`FlowTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowTableConfig {
@@ -186,7 +233,7 @@ struct FlowEntry {
 /// # Examples
 ///
 /// ```
-/// use bp_core::flow::{CachedOutcome, FlowTable, FlowTableConfig};
+/// use bp_core::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 /// use bp_netsim::addr::Endpoint;
 /// use bp_netsim::clock::SimDuration;
 /// use bp_netsim::packet::Ipv4Packet;
@@ -200,14 +247,21 @@ struct FlowEntry {
 /// .flow_key();
 /// let now = SimDuration::ZERO;
 ///
-/// assert!(table.probe(&key, b"payload", 1, now).is_none());
+/// assert_eq!(table.probe(&key, b"payload", 1, now), FlowProbe::Miss);
 /// table.insert(key, b"payload", 1, CachedOutcome::Accept, now);
 /// assert_eq!(
 ///     table.probe(&key, b"payload", 1, now),
-///     Some(&CachedOutcome::Accept)
+///     FlowProbe::Hit(&CachedOutcome::Accept)
 /// );
-/// // A different payload or a bumped epoch misses (and drops the entry).
-/// assert!(table.probe(&key, b"payload", 2, now).is_none());
+/// // A bumped epoch misses (and drops the stale entry) …
+/// assert_eq!(table.probe(&key, b"payload", 2, now), FlowProbe::Miss);
+/// // … while a payload change on a *live* entry is a mid-flow context
+/// // switch, which the set-once kernel never produces.
+/// table.insert(key, b"payload", 2, CachedOutcome::Accept, now);
+/// assert_eq!(
+///     table.probe(&key, b"other", 2, now),
+///     FlowProbe::ContextSwitch
+/// );
 /// ```
 #[derive(Debug)]
 pub struct FlowTable {
@@ -277,30 +331,35 @@ impl FlowTable {
         }
     }
 
-    /// Probe for a cached outcome: hits only when the flow is present, was
-    /// cached under the same `epoch`, carries **byte-identical** context
-    /// `payload`, and has not idled past the TTL.  A hit refreshes the
-    /// entry's LRU position and timestamp; any mismatch removes the stale
-    /// entry and reports a miss.
+    /// Probe for a cached outcome: [`FlowProbe::Hit`] only when the flow is
+    /// present, was cached under the same `epoch`, carries **byte-identical**
+    /// context `payload`, and has not idled past the TTL.  A hit refreshes
+    /// the entry's LRU position and timestamp.  An entry cached under an
+    /// older epoch or idle past the TTL is removed and reported as a
+    /// [`FlowProbe::Miss`]; a *live* same-epoch entry whose payload differs
+    /// is reported as a [`FlowProbe::ContextSwitch`] and **kept** (see the
+    /// variant documentation for why).
     pub fn probe(
         &mut self,
         key: &FlowKey,
         payload: &[u8],
         epoch: u64,
         now: SimDuration,
-    ) -> Option<&CachedOutcome> {
+    ) -> FlowProbe<'_> {
         self.maybe_compact();
         let ttl = self.config.ttl;
         match self.entries.entry(*key) {
-            std::collections::hash_map::Entry::Vacant(_) => None,
+            std::collections::hash_map::Entry::Vacant(_) => FlowProbe::Miss,
             std::collections::hash_map::Entry::Occupied(occupied) => {
                 let entry = occupied.get();
                 if entry.epoch != epoch
-                    || entry.payload.as_slice() != payload
                     || (ttl > SimDuration::ZERO && now.saturating_sub(entry.last_seen) > ttl)
                 {
                     occupied.remove();
-                    return None;
+                    return FlowProbe::Miss;
+                }
+                if entry.payload.as_slice() != payload {
+                    return FlowProbe::ContextSwitch;
                 }
                 self.tick += 1;
                 let tick = self.tick;
@@ -308,7 +367,7 @@ impl FlowTable {
                 let entry = occupied.into_mut();
                 entry.last_seen = now;
                 entry.tick = tick;
-                Some(&entry.outcome)
+                FlowProbe::Hit(&entry.outcome)
             }
         }
     }
@@ -396,32 +455,36 @@ mod tests {
         let now = SimDuration::ZERO;
         t.insert(key(1), &[0], 1, CachedOutcome::Accept, now);
         // A zero-extended payload is a different context, not a hit.
-        assert!(t.probe(&key(1), &[0, 0], 1, now).is_none());
+        assert_eq!(t.probe(&key(1), &[0, 0], 1, now), FlowProbe::ContextSwitch);
 
         // Oversized payloads (impossible on a real options area) never cache.
         assert_eq!(t.insert(key(2), &[7; 64], 1, CachedOutcome::Accept, now), 0);
-        assert!(t.probe(&key(2), &[7; 64], 1, now).is_none());
+        assert_eq!(t.probe(&key(2), &[7; 64], 1, now), FlowProbe::Miss);
     }
 
     #[test]
-    fn probe_misses_on_payload_change_and_epoch_bump() {
+    fn probe_flags_payload_change_and_misses_on_epoch_bump() {
         let mut t = table(8, SimDuration::ZERO);
         let now = SimDuration::ZERO;
         t.insert(key(1), b"ctx-a", 1, CachedOutcome::Accept, now);
         assert_eq!(
             t.probe(&key(1), b"ctx-a", 1, now),
-            Some(&CachedOutcome::Accept)
+            FlowProbe::Hit(&CachedOutcome::Accept)
         );
 
-        // Context change: same flow, different payload bytes.
-        assert!(t.probe(&key(1), b"ctx-b", 1, now).is_none());
-        // The stale entry was dropped, so even the old payload now misses.
-        assert!(t.probe(&key(1), b"ctx-a", 1, now).is_none());
+        // Context change: same flow, different payload bytes on a live
+        // entry — the signature of mid-flow context replay/injection.
+        assert_eq!(t.probe(&key(1), b"ctx-b", 1, now), FlowProbe::ContextSwitch);
+        // The legitimate entry is kept: the original payload still hits, so
+        // an attacker cannot evict the flow's real context by injection.
+        assert!(t.probe(&key(1), b"ctx-a", 1, now).is_hit());
 
-        t.insert(key(1), b"ctx-a", 1, CachedOutcome::Accept, now);
-        // Epoch bump: tables were recompiled.
-        assert!(t.probe(&key(1), b"ctx-a", 2, now).is_none());
+        // Epoch bump: tables were recompiled; the stale entry is dropped.
+        assert_eq!(t.probe(&key(1), b"ctx-a", 2, now), FlowProbe::Miss);
         assert!(t.is_empty());
+        // With no live entry, a different payload is a plain miss, not a
+        // context switch.
+        assert_eq!(t.probe(&key(1), b"ctx-b", 2, now), FlowProbe::Miss);
     }
 
     #[test]
@@ -431,15 +494,23 @@ mod tests {
         // Within TTL (inclusive boundary): still live, and the hit refreshes.
         assert!(t
             .probe(&key(1), b"ctx", 1, SimDuration::from_millis(10))
-            .is_some());
+            .is_hit());
         assert!(t
             .probe(&key(1), b"ctx", 1, SimDuration::from_millis(20))
-            .is_some());
+            .is_hit());
         // Past TTL since the refresh: dead flow.
-        assert!(t
-            .probe(&key(1), b"ctx", 1, SimDuration::from_millis(31))
-            .is_none());
+        assert_eq!(
+            t.probe(&key(1), b"ctx", 1, SimDuration::from_millis(31)),
+            FlowProbe::Miss
+        );
         assert!(t.is_empty());
+        // Port reuse after expiry is legitimate: a different payload on the
+        // reused 5-tuple is a plain miss, not a context switch.
+        t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, SimDuration::ZERO);
+        assert_eq!(
+            t.probe(&key(1), b"ctx2", 1, SimDuration::from_millis(40)),
+            FlowProbe::Miss
+        );
     }
 
     #[test]
@@ -449,12 +520,12 @@ mod tests {
         assert_eq!(t.insert(key(1), b"ctx", 1, CachedOutcome::Accept, now), 0);
         assert_eq!(t.insert(key(2), b"ctx", 1, CachedOutcome::Accept, now), 0);
         // Touch flow 1 so flow 2 becomes the LRU victim.
-        assert!(t.probe(&key(1), b"ctx", 1, now).is_some());
+        assert!(t.probe(&key(1), b"ctx", 1, now).is_hit());
         assert_eq!(t.insert(key(3), b"ctx", 1, CachedOutcome::Accept, now), 1);
         assert_eq!(t.len(), 2);
-        assert!(t.probe(&key(2), b"ctx", 1, now).is_none());
-        assert!(t.probe(&key(1), b"ctx", 1, now).is_some());
-        assert!(t.probe(&key(3), b"ctx", 1, now).is_some());
+        assert_eq!(t.probe(&key(2), b"ctx", 1, now), FlowProbe::Miss);
+        assert!(t.probe(&key(1), b"ctx", 1, now).is_hit());
+        assert!(t.probe(&key(3), b"ctx", 1, now).is_hit());
     }
 
     #[test]
@@ -477,6 +548,10 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(
             t.probe(&key(1), b"ctx2", 2, now),
+            FlowProbe::Hit(&CachedOutcome::Deny("re-eval".into()))
+        );
+        assert_eq!(
+            t.probe(&key(1), b"ctx2", 2, now).outcome(),
             Some(&CachedOutcome::Deny("re-eval".into()))
         );
     }
@@ -490,7 +565,7 @@ mod tests {
         }
         for _ in 0..10_000 {
             for p in 0..4u16 {
-                assert!(t.probe(&key(p), b"ctx", 1, now).is_some());
+                assert!(t.probe(&key(p), b"ctx", 1, now).is_hit());
             }
         }
         // Compaction triggers past max(4 * capacity, 64) touches; the queue
@@ -514,6 +589,9 @@ mod tests {
         assert_eq!(t.len(), 1);
         t.clear();
         assert!(t.is_empty());
-        assert!(t.probe(&key(2), b"ctx", 1, SimDuration::ZERO).is_none());
+        assert_eq!(
+            t.probe(&key(2), b"ctx", 1, SimDuration::ZERO),
+            FlowProbe::Miss
+        );
     }
 }

@@ -44,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod context;
 pub mod encoding;
@@ -61,7 +61,7 @@ pub use enforcer::{
     AtomicEnforcerStats, DropLog, EnforcementTables, EnforcerConfig, EnforcerStats, PolicyEnforcer,
     ShardedEnforcer,
 };
-pub use flow::{CachedOutcome, FlowTable, FlowTableConfig};
+pub use flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 pub use offline::{
     CompiledAppEntry, CompiledSignatureDb, OfflineAnalyzer, SignatureDatabase, TagCollision,
 };

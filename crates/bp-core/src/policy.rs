@@ -238,6 +238,25 @@ impl PolicySet {
     /// Parse a policy file: one policy per line, `//` comments and blank lines
     /// ignored.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bp_core::policy::PolicySet;
+    ///
+    /// // Paper Snippet 1: administrators write `{[action][level][target]}`.
+    /// let set = PolicySet::parse(
+    ///     r#"
+    ///     // Example 1: no ad-library connections.
+    ///     {[deny][library]["com/flurry"]}
+    ///     // Example 3: no uploads from the Dropbox task queue.
+    ///     {[deny][method]["Lcom/dropbox/android/taskqueue/UploadTask;->c"]}
+    ///     "#,
+    /// )?;
+    /// assert_eq!(set.len(), 2);
+    /// assert!(!set.has_whitelist());
+    /// # Ok::<(), bp_types::Error>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns the first parse error encountered.

@@ -1,0 +1,274 @@
+//! Fleet-scale packet synthesis: deterministic addressing and templates.
+//!
+//! Driving the enforcement plane against thousands of devices must not cost
+//! per-device state: a fleet of 10,000 BYOD devices is addressed by *index*
+//! through [`FleetAddressing`] (a pure function from device/socket index to
+//! [`Endpoint`], no table), and its traffic is stamped out of
+//! [`PacketTemplate`]s — pre-validated packet prototypes (destination,
+//! payload, options area including the BorderPatrol context option) that are
+//! built once per `(app, functionality)` pair and instantiated per packet
+//! with nothing but the source endpoint varying.
+//!
+//! Templates can also encode the *non-conforming* packet shapes adversarial
+//! workloads need — duplicate context options and non-zero bytes trailing
+//! the End-of-List marker — which the normal injection path
+//! (`bp-core`'s Context Manager) can never produce.
+
+use std::net::Ipv4Addr;
+
+use bp_types::Error;
+
+use crate::addr::Endpoint;
+use crate::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN};
+use crate::packet::Ipv4Packet;
+
+/// Deterministic device-index → address mapping for simulated fleets.
+///
+/// Device `d` lives at `10.(d >> 16).(d >> 8).(d)` (all octets masked to 8
+/// bits), giving a collision-free /8 for up to [`FleetAddressing::MAX_DEVICES`]
+/// devices without any allocation or lookup table.  Each device owns a range
+/// of ephemeral source ports, one per concurrently open socket, so every
+/// `(device, socket)` pair names a distinct flow.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::fleet::FleetAddressing;
+///
+/// let a = FleetAddressing::endpoint(0, 0);
+/// let b = FleetAddressing::endpoint(9_999, 3);
+/// assert_ne!(a, b);
+/// assert_eq!(a, FleetAddressing::endpoint(0, 0)); // pure function
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetAddressing;
+
+impl FleetAddressing {
+    /// Number of distinct device addresses the 10/8 mapping can name.
+    pub const MAX_DEVICES: u32 = 1 << 24;
+
+    /// First ephemeral source port assigned to a device's sockets.
+    pub const BASE_PORT: u16 = 32_768;
+
+    /// The address of device `device` (wrapping past
+    /// [`FleetAddressing::MAX_DEVICES`]).
+    pub fn device_ip(device: u32) -> Ipv4Addr {
+        Ipv4Addr::new(10, (device >> 16) as u8, (device >> 8) as u8, device as u8)
+    }
+
+    /// The ephemeral source port of a device's `socket`-th concurrently open
+    /// socket.
+    pub fn source_port(socket: u16) -> u16 {
+        Self::BASE_PORT.wrapping_add(socket)
+    }
+
+    /// The source endpoint of `(device, socket)`.
+    pub fn endpoint(device: u32, socket: u16) -> Endpoint {
+        Endpoint::from_ip(Self::device_ip(device), Self::source_port(socket))
+    }
+}
+
+/// A pre-validated packet prototype: destination, payload and a fully built
+/// options area, stamped per packet with only the source endpoint varying.
+///
+/// Building the template runs every fallible check once (option sizes, the
+/// 40-byte options budget), so [`PacketTemplate::instantiate`] is
+/// infallible and allocation-minimal on the synthesis hot path: one payload
+/// clone and one options clone per packet, no encoding, no validation.
+///
+/// # Examples
+///
+/// ```
+/// use bp_netsim::addr::Endpoint;
+/// use bp_netsim::fleet::{FleetAddressing, PacketTemplate};
+///
+/// let template = PacketTemplate::new(
+///     Endpoint::new([198, 51, 100, 7], 443),
+///     b"POST /beacon HTTP/1.1".to_vec(),
+/// )
+/// .with_context(&[0x00; 12])?;
+/// let packet = template.instantiate(FleetAddressing::endpoint(7, 0));
+/// assert!(packet.has_context_option());
+/// # Ok::<(), bp_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTemplate {
+    destination: Endpoint,
+    payload: Vec<u8>,
+    options: IpOptions,
+}
+
+impl PacketTemplate {
+    /// A template with no options (untagged traffic).
+    pub fn new(destination: Endpoint, payload: Vec<u8>) -> Self {
+        PacketTemplate {
+            destination,
+            payload,
+            options: IpOptions::new(),
+        }
+    }
+
+    /// Append a BorderPatrol context option carrying `context_payload`.
+    ///
+    /// Calling this twice builds the *duplicate-option* adversarial shape
+    /// the hardened kernel can never emit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if the option does not fit the
+    /// remaining RFC 791 budget.
+    pub fn with_context(self, context_payload: &[u8]) -> Result<Self, Error> {
+        self.with_option(IpOption::new(
+            IpOptionKind::BorderPatrolContext,
+            context_payload.to_vec(),
+        )?)
+    }
+
+    /// Append an arbitrary pre-built option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] if the option does not fit the
+    /// remaining RFC 791 budget.
+    pub fn with_option(mut self, option: IpOption) -> Result<Self, Error> {
+        self.options.push(option)?;
+        Ok(self)
+    }
+
+    /// Replace the options area with one parsed from raw wire bytes.
+    ///
+    /// This is the escape hatch for non-conforming shapes the typed builder
+    /// cannot express — most importantly non-zero bytes after the
+    /// End-of-List marker (a covert channel, paper §IV-A4), which
+    /// [`IpOptions::parse`] preserves as the trailing-data conformance flag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IpOptions::parse`] failures.
+    pub fn with_raw_options(mut self, bytes: &[u8]) -> Result<Self, Error> {
+        self.options = IpOptions::parse(bytes)?;
+        Ok(self)
+    }
+
+    /// The destination every instantiated packet is addressed to.
+    pub fn destination(&self) -> Endpoint {
+        self.destination
+    }
+
+    /// The options area stamped onto every instantiated packet.
+    pub fn options(&self) -> &IpOptions {
+        &self.options
+    }
+
+    /// Total on-wire size of one instantiated packet, in bytes.
+    pub fn packet_len(&self) -> usize {
+        Ipv4Packet::BASE_HEADER_LEN + self.options.padded_len() + self.payload.len()
+    }
+
+    /// Stamp one packet from `source` to the template's destination.
+    pub fn instantiate(&self, source: Endpoint) -> Ipv4Packet {
+        let mut packet = Ipv4Packet::new(source, self.destination, self.payload.clone());
+        *packet.options_mut() = self.options.clone();
+        packet
+    }
+
+    /// Stamp one packet sourced from fleet device `(device, socket)`.
+    pub fn instantiate_from(&self, device: u32, socket: u16) -> Ipv4Packet {
+        self.instantiate(FleetAddressing::endpoint(device, socket))
+    }
+}
+
+/// Build the raw options-area bytes of a context option followed by an
+/// End-of-List marker and a non-zero trailing byte — the §IV-A4 covert
+/// channel shape, for use with [`PacketTemplate::with_raw_options`].
+///
+/// # Errors
+///
+/// Returns [`Error::CapacityExceeded`] if option + marker + trailer exceed
+/// the 40-byte options budget.
+pub fn trailing_data_options(context_payload: &[u8]) -> Result<Vec<u8>, Error> {
+    let needed = 2 + context_payload.len() + 2;
+    if needed > MAX_OPTIONS_LEN {
+        return Err(Error::capacity("ip options", needed, MAX_OPTIONS_LEN));
+    }
+    let mut bytes = Vec::with_capacity(needed);
+    bytes.push(IpOptionKind::BorderPatrolContext.type_byte());
+    bytes.push((context_payload.len() + 2) as u8);
+    bytes.extend_from_slice(context_payload);
+    bytes.push(IpOptionKind::EndOfList.type_byte());
+    bytes.push(0xBE); // non-zero covert byte riding after End-of-List
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_is_distinct_and_pure() {
+        let mut seen = std::collections::BTreeSet::new();
+        for device in 0..1_000u32 {
+            for socket in 0..4u16 {
+                assert!(seen.insert(FleetAddressing::endpoint(device, socket)));
+            }
+        }
+        assert_eq!(
+            FleetAddressing::device_ip(0x01_02_03),
+            Ipv4Addr::new(10, 1, 2, 3)
+        );
+        assert_eq!(FleetAddressing::source_port(0), 32_768);
+    }
+
+    #[test]
+    fn template_stamps_identical_packets_up_to_source() {
+        let template =
+            PacketTemplate::new(Endpoint::new([198, 51, 100, 7], 443), b"payload".to_vec())
+                .with_context(&[1, 2, 3, 4])
+                .unwrap();
+
+        let a = template.instantiate_from(1, 0);
+        let b = template.instantiate_from(2, 0);
+        assert_ne!(a.source(), b.source());
+        assert_eq!(a.destination(), b.destination());
+        assert_eq!(a.payload(), b.payload());
+        assert_eq!(a.options(), b.options());
+        assert!(a.has_context_option());
+        assert_eq!(a.total_len(), template.packet_len());
+    }
+
+    #[test]
+    fn duplicate_context_shape_is_expressible() {
+        let template = PacketTemplate::new(Endpoint::new([198, 51, 100, 7], 443), vec![])
+            .with_context(&[1, 2, 3])
+            .unwrap()
+            .with_context(&[9, 9])
+            .unwrap();
+        let packet = template.instantiate_from(0, 0);
+        assert_eq!(packet.options().count(IpOptionKind::BorderPatrolContext), 2);
+    }
+
+    #[test]
+    fn trailing_data_shape_survives_template_instantiation() {
+        let raw = trailing_data_options(&[5; 12]).unwrap();
+        let template = PacketTemplate::new(Endpoint::new([198, 51, 100, 7], 443), vec![])
+            .with_raw_options(&raw)
+            .unwrap();
+        let packet = template.instantiate_from(3, 1);
+        assert!(packet.options().has_trailing_data());
+        assert!(packet.has_context_option());
+    }
+
+    #[test]
+    fn template_enforces_the_options_budget() {
+        let base = PacketTemplate::new(Endpoint::new([198, 51, 100, 7], 443), vec![]);
+        assert!(base.clone().with_context(&[0; 38]).is_ok());
+        assert!(base
+            .clone()
+            .with_context(&[0; 20])
+            .unwrap()
+            .with_context(&[0; 20])
+            .is_err());
+        assert!(trailing_data_options(&[0; 38]).is_err());
+        assert!(base.with_raw_options(&[0x9e, 1]).is_err());
+    }
+}

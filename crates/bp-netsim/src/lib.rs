@@ -18,6 +18,8 @@
 //! * [`netfilter`] — iptables-like rules, NFQUEUE verdict handlers and filter
 //!   chains.
 //! * [`iface`] — SLIRP vs TAP interface latency models (the Fig. 4 axis).
+//! * [`fleet`] — deterministic device-index addressing and packet templates
+//!   for fleet-scale traffic synthesis without per-device state.
 //! * [`http`] — a minimal HTTP request/response model plus the 297-byte static
 //!   page server used by the performance stress test.
 //! * [`network`] — the enterprise network tying device egress, filter chains,
@@ -47,6 +49,7 @@
 pub mod addr;
 pub mod capture;
 pub mod clock;
+pub mod fleet;
 pub mod http;
 pub mod iface;
 pub mod kernel;
@@ -59,6 +62,7 @@ pub mod socket;
 pub use addr::{DnsTable, Endpoint};
 pub use capture::PacketCapture;
 pub use clock::{LatencyModel, SimClock, SimDuration};
+pub use fleet::{FleetAddressing, PacketTemplate};
 pub use iface::{InterfaceMode, NetworkInterface};
 pub use kernel::{Capability, KernelConfig, KernelNetStack, ProcessCredentials};
 pub use netfilter::{FilterChain, NfQueue, QueueHandler, Verdict};

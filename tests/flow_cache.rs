@@ -159,6 +159,77 @@ fn facade_policy_swap_is_equivalent_to_a_fresh_enforcer() {
     assert_eq!(stats.dropped_by_policy, packets.len() as u64);
 }
 
+/// Flow-cache replays interleaved with fresh evaluations in one batch must
+/// charge the same outcome counters *and* the same drop-log lines, in the
+/// same order, as an uncached enforcer seeing the identical stream.
+#[test]
+fn interleaved_replays_and_fresh_evaluations_keep_drop_log_order_and_stats_parity() {
+    let (db, denied_payload) = fixture();
+    let deny = PolicySet::from_policies(vec![Policy::deny(
+        EnforcementLevel::Class,
+        "com/facebook/appevents",
+    )]);
+
+    // One batch interleaving: repeated flows (whose denied verdict replays
+    // from the cache after the first packet) with never-seen-before flows
+    // (fresh evaluations), in a shuffled but deterministic order.
+    let mut packets = Vec::new();
+    let hot = stream(4, 1, &denied_payload); // flows 0..4, cached after first sight
+    for round in 0..5u16 {
+        for packet in &hot {
+            packets.push(packet.clone());
+        }
+        // Two fresh flows per round, interleaved between the replays.
+        for i in 0..2u16 {
+            let mut fresh = Ipv4Packet::new(
+                Endpoint::new([10, 9, 0, round as u8], 50_000 + i),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST /beacon HTTP/1.1".to_vec(),
+            );
+            fresh
+                .options_mut()
+                .push(
+                    IpOption::new(IpOptionKind::BorderPatrolContext, denied_payload.clone())
+                        .unwrap(),
+                )
+                .unwrap();
+            packets.push(fresh);
+        }
+    }
+
+    // Single shard so the drop log is one totally ordered sequence.
+    let tables = EnforcementTables::shared(&db, &deny, EnforcerConfig::default());
+    let cached = ShardedEnforcer::new(Arc::clone(&tables), 1);
+    let cached_verdicts = cached.inspect_batch(&packets);
+
+    let mut uncached = PolicyEnforcer::new(db, deny, EnforcerConfig::default());
+    let uncached_verdicts: Vec<_> = packets
+        .iter()
+        .map(|packet| uncached.inspect_uncached(packet))
+        .collect();
+
+    assert_eq!(cached_verdicts, uncached_verdicts);
+    assert!(cached_verdicts.iter().all(|v| !v.is_accept()));
+
+    // Outcome parity: identical per-packet counters; the cached run did
+    // replay (flow hits) while the uncached run never probed.
+    let cached_stats = cached.stats();
+    assert_eq!(
+        cached_stats.without_flow_counters(),
+        uncached.stats().without_flow_counters()
+    );
+    assert!(cached_stats.flow_hits > 0);
+    assert_eq!(
+        cached_stats.flow_hits + cached_stats.flow_misses,
+        cached_stats.packets_inspected
+    );
+
+    // Drop-log parity: same lines, same order — replayed verdicts append
+    // their drop reasons exactly where a fresh evaluation would have.
+    assert_eq!(cached.drop_log(), uncached.drop_log());
+    assert_eq!(cached.drop_log().len(), packets.len());
+}
+
 #[test]
 fn flow_ttl_expires_on_the_sim_clock() {
     use borderpatrol::netsim::clock::SimDuration;
