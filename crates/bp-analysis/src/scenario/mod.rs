@@ -50,9 +50,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
+use std::sync::Arc;
+
 use bp_appsim::monkey::weighted_index;
+use bp_core::control::{ControlPlane, EnforcementEndpoint};
 use bp_core::encoding::ContextEncoding;
-use bp_core::enforcer::{EnforcementTables, EnforcerConfig, EnforcerStats, ShardedEnforcer};
+use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
 use bp_core::policy::{Policy, PolicySet};
@@ -68,12 +71,14 @@ pub use fleet::{ConnectRate, FleetSpec};
 
 /// A deterministic policy-hot-swap event raced against fleet traffic.
 ///
-/// At the start of the given tick the scenario compiles a fresh
-/// [`EnforcementTables`] from the replacement policy set and installs it via
-/// [`ShardedEnforcer::set_tables`] while every flow's verdict is still
-/// cached under the old epoch — the epoch bump must lazily invalidate all of
-/// them (visible as a flow-miss wave in the report), and no packet of the
-/// swap tick may be served a stale verdict.
+/// At the start of the given tick the scenario commits a control-plane
+/// transaction replacing the policy set: the commit compiles fresh tables
+/// (one epoch bump) and hot-swaps the registered enforcer while every flow's
+/// verdict is still cached under the old epoch — the bump must lazily
+/// invalidate all of them (visible as a flow-miss wave in the report), and
+/// no packet of the swap tick may be served a stale verdict.  A replacement
+/// set equal to the active one commits as a no-op (no rebuild, no
+/// invalidation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HotSwap {
     /// Tick at whose start the swap is installed (0-based).
@@ -548,16 +553,23 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, Error> {
         })
         .collect();
 
-    // The enforcement plane under test.  Flow capacity covers every
-    // long-lived flow plus the adversaries' injection flows so eviction
-    // noise never perturbs attribution.
-    let tables = EnforcementTables::shared(&db, &spec.policies, spec.config);
+    // The enforcement plane under test: a sharded enforcer registered as the
+    // endpoint of a control plane, which owns the authoritative state and
+    // drives the hot swap.  Flow capacity covers every long-lived flow plus
+    // the adversaries' injection flows so eviction noise never perturbs
+    // attribution.
+    let mut control = ControlPlane::new(db.clone(), spec.policies.clone(), spec.config);
     let total_flows = spec.fleet.total_flows();
     let flow_config = FlowTableConfig {
         capacity: (total_flows as usize * 2).max(4_096),
         ..FlowTableConfig::default()
     };
-    let enforcer = ShardedEnforcer::with_flow_config(tables, spec.shards, flow_config);
+    let enforcer = Arc::new(ShardedEnforcer::with_flow_config(
+        control.tables(),
+        spec.shards,
+        flow_config,
+    ));
+    control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
 
     let mut legit_packets = 0u64;
     let mut legit_accepted = 0u64;
@@ -573,7 +585,10 @@ pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, Error> {
         enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
         if let Some(swap) = &spec.hot_swap {
             if swap.at_tick == tick {
-                enforcer.set_tables(EnforcementTables::shared(&db, &swap.policies, spec.config));
+                control
+                    .begin()
+                    .replace_policies(swap.policies.clone())
+                    .commit()?;
                 hot_swaps += 1;
             }
         }

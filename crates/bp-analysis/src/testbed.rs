@@ -19,6 +19,7 @@ use bp_appsim::app::AppSpec;
 use bp_appsim::monkey::Monkey;
 use bp_baseline::{FlowSizeThreshold, IpBlocklist};
 use bp_core::context::{ContextManager, SharedContextManager};
+use bp_core::control::{ControlPlane, EnforcementEndpoint};
 use bp_core::enforcer::{EnforcerConfig, EnforcerStats, PolicyEnforcer};
 use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
 use bp_core::policy::PolicySet;
@@ -95,6 +96,9 @@ pub struct Testbed {
     database: SignatureDatabase,
     context_manager: Option<Arc<Mutex<ContextManager>>>,
     enforcer: Option<Arc<Mutex<PolicyEnforcer>>>,
+    /// Control plane owning the enforcer's authoritative state (BorderPatrol
+    /// deployments only); every policy/database mutation is a transaction.
+    control: Option<ControlPlane>,
     sanitizer: Option<Arc<Mutex<PacketSanitizer>>>,
     host_addresses: BTreeMap<String, Ipv4Addr>,
     next_host_octet: u16,
@@ -127,6 +131,7 @@ impl Testbed {
             database: SignatureDatabase::new(),
             context_manager: None,
             enforcer: None,
+            control: None,
             sanitizer: None,
             host_addresses: BTreeMap::new(),
             next_host_octet: 1,
@@ -145,11 +150,16 @@ impl Testbed {
                     .install_hook(Box::new(SharedContextManager(Arc::clone(&context))));
                 self.context_manager = Some(context);
 
+                // The control plane owns the authoritative state; registering
+                // the enforcer installs the initial generation into it.
+                let mut control = ControlPlane::new(SignatureDatabase::new(), policies, config);
                 let enforcer = Arc::new(Mutex::new(PolicyEnforcer::new(
                     SignatureDatabase::new(),
-                    policies,
+                    PolicySet::new(),
                     config,
                 )));
+                control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+                self.control = Some(control);
                 let sanitizer = Arc::new(Mutex::new(PacketSanitizer::new()));
                 let chain = self.network.chain_mut();
                 chain.add_rule(IptablesRule {
@@ -192,11 +202,23 @@ impl Testbed {
         }
     }
 
-    /// Replace the enforcer's policy set (BorderPatrol deployments only).
-    pub fn set_policies(&mut self, policies: PolicySet) {
-        if let Some(enforcer) = &self.enforcer {
-            enforcer.lock().set_policies(policies);
+    /// Replace the enforcer's policy set through a one-shot control-plane
+    /// transaction (BorderPatrol deployments only).
+    pub fn install_policies(&mut self, policies: PolicySet) {
+        if let Some(control) = &mut self.control {
+            control
+                .begin()
+                .replace_policies(policies)
+                .commit()
+                .expect("typed policy replacement cannot be rejected");
         }
+    }
+
+    /// The control plane of a BorderPatrol deployment, for staging richer
+    /// transactions (validation dry-runs, rollbacks) than
+    /// [`Testbed::install_policies`] offers.
+    pub fn control_plane(&mut self) -> Option<&mut ControlPlane> {
+        self.control.as_mut()
     }
 
     /// The enforcer's statistics, if BorderPatrol is deployed.
@@ -217,9 +239,15 @@ impl Testbed {
         self.sanitizer.as_ref().map(|s| s.lock().stats())
     }
 
-    /// The signature database built by the offline analyzer for installed apps.
+    /// The signature database built by the offline analyzer for installed
+    /// apps.  With BorderPatrol deployed this is the control plane's
+    /// authoritative database, so out-of-band
+    /// [`Testbed::control_plane`] transactions are always reflected here.
     pub fn database(&self) -> &SignatureDatabase {
-        &self.database
+        match &self.control {
+            Some(control) => control.database(),
+            None => &self.database,
+        }
     }
 
     /// All recorded run outcomes.
@@ -262,9 +290,16 @@ impl Testbed {
         }
 
         let apk = spec.build_apk();
-        OfflineAnalyzer::new().analyze_into(&apk, &mut self.database)?;
-        if let Some(enforcer) = &self.enforcer {
-            enforcer.lock().set_database(self.database.clone());
+        if let Some(control) = &mut self.control {
+            // Stage on top of the control plane's *authoritative* database —
+            // not the testbed's private copy — so entries installed through
+            // `Testbed::control_plane` transactions survive later installs
+            // (and `Testbed::database` reads the control plane's state).
+            let mut staged = control.database().clone();
+            OfflineAnalyzer::new().analyze_into(&apk, &mut staged)?;
+            control.begin().swap_database(staged).commit()?;
+        } else {
+            OfflineAnalyzer::new().analyze_into(&apk, &mut self.database)?;
         }
         if let Some(context) = &self.context_manager {
             context.lock().register_app(&apk)?;
@@ -527,6 +562,30 @@ mod tests {
         assert_eq!(stats.flow_hits, stats.packets_inspected - 1);
         // Verdict replay is invisible in the outcome counters.
         assert_eq!(stats.packets_accepted, stats.packets_inspected);
+    }
+
+    #[test]
+    fn control_plane_database_swaps_survive_later_installs() {
+        let mut testbed = borderpatrol_testbed(PolicySet::new());
+        // Stage an out-of-band analyzed entry directly through the control
+        // plane (the documented path for richer transactions).
+        let hash = bp_types::ApkHash::digest(b"out-of-band-analysis");
+        let mut custom = testbed.control_plane().unwrap().database().clone();
+        custom.insert(hash, "com.custom.oob", false, Vec::new());
+        testbed
+            .control_plane()
+            .unwrap()
+            .begin()
+            .swap_database(custom)
+            .commit()
+            .unwrap();
+
+        // A later install stages on top of the authoritative database, so
+        // the out-of-band entry survives alongside the new app's.
+        testbed.install_app(CorpusGenerator::dropbox()).unwrap();
+        let control = testbed.control_plane().unwrap();
+        assert!(control.database().contains(hash.tag()));
+        assert_eq!(control.database().len(), 2);
     }
 
     #[test]

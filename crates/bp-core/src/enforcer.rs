@@ -31,9 +31,10 @@
 //! by a hash of the exact context-option payload and by the **epoch** of the
 //! compiled tables.  A packet whose flow and payload match hits an O(1)
 //! probe and skips decode/resolve/evaluate entirely; any context change
-//! re-evaluates, and [`PolicyEnforcer::set_policies`] / `set_database` (or
-//! [`ShardedEnforcer::set_tables`]) bump the epoch so entries cached before
-//! a hot swap are lazily invalidated instead of served stale.
+//! re-evaluates, and every table rebuild — a committed
+//! [`ControlPlane`](crate::control::ControlPlane) transaction, or one of the
+//! deprecated direct mutators it wraps — bumps the epoch so entries cached
+//! before a hot swap are lazily invalidated instead of served stale.
 //!
 //! The flow table doubles as a **replay detector**: the set-once hardened
 //! kernel injects the context exactly once per socket, so a payload change
@@ -61,9 +62,9 @@ use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
 
 /// Source of the monotonically increasing epoch stamped onto every
 /// [`EnforcementTables`] build.  Process-global so that *any* recompilation
-/// (policy swap, database swap, an independently built table set installed
-/// via [`ShardedEnforcer::set_tables`]) observes a fresh epoch and flow-table
-/// entries cached under older tables can never be mistaken for current.
+/// (a control-plane commit, a policy or database swap, an independently
+/// built table set) observes a fresh epoch and flow-table entries cached
+/// under older tables can never be mistaken for current.
 static NEXT_TABLE_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Configuration of the Policy Enforcer.
@@ -744,9 +745,21 @@ impl PolicyEnforcer {
         &self.policies
     }
 
-    /// Replace the policy set and recompile the tables (administrators
-    /// reconfigure policies centrally; this is the "Reconfigurability" design
-    /// goal of §IV).
+    /// Replace the policy set and recompile the tables.
+    ///
+    /// Deprecated: equivalent to a one-shot
+    /// [`ControlPlane`](crate::control::ControlPlane) transaction touching
+    /// only the policies — but a *paired* `set_policies` + `set_database`
+    /// update rebuilds the tables (and bumps the flow-cache epoch) twice,
+    /// which a single transaction commit does exactly once.  Administrators
+    /// reconfigure centrally (§IV "Reconfigurability"); stage changes through
+    /// `control.begin()…commit()` instead.
+    ///
+    /// One behavioural difference: this wrapper always recompiles, even when
+    /// the new state equals the current one, whereas a transaction staging
+    /// identical state commits as a no-op (no rebuild, no epoch bump, no
+    /// flow-cache invalidation).
+    #[deprecated(note = "stage changes through a bp_core::control::ControlPlane transaction")]
     pub fn set_policies(&mut self, policies: PolicySet) {
         self.policies = policies;
         self.recompile();
@@ -754,6 +767,10 @@ impl PolicyEnforcer {
 
     /// Replace the signature database (e.g. after new apps are analyzed) and
     /// recompile the tables.
+    ///
+    /// Deprecated: see [`PolicyEnforcer::set_policies`] — stage changes
+    /// through a [`ControlPlane`](crate::control::ControlPlane) transaction.
+    #[deprecated(note = "stage changes through a bp_core::control::ControlPlane transaction")]
     pub fn set_database(&mut self, database: SignatureDatabase) {
         self.database = database;
         self.recompile();
@@ -762,6 +779,21 @@ impl PolicyEnforcer {
     fn recompile(&mut self) {
         self.tables =
             EnforcementTables::shared(&self.database, &self.policies, self.tables.config());
+    }
+
+    /// Adopt a control-plane build: interchange state and pre-compiled
+    /// tables together, with no recompilation here.  The control plane is
+    /// the only caller — this is how a commit or rollback installs a
+    /// generation into the single-shard facade.
+    pub(crate) fn adopt(
+        &mut self,
+        database: SignatureDatabase,
+        policies: PolicySet,
+        tables: Arc<EnforcementTables>,
+    ) {
+        self.database = database;
+        self.policies = policies;
+        self.tables = tables;
     }
 
     /// The signature database (interchange form).
@@ -996,17 +1028,17 @@ impl EnforcerShard {
 #[derive(Debug)]
 pub struct ShardedEnforcer {
     /// The active compiled tables.  Behind an `RwLock` so administrators can
-    /// hot-swap policies ([`ShardedEnforcer::set_tables`]) while workers are
-    /// mid-batch.  Workers do **not** take this lock per packet: they cache
-    /// the `Arc` and revalidate it against `tables_generation` (one relaxed
-    /// load of a rarely-written line per packet), re-reading the lock only
-    /// when a swap actually happened — so every packet inspected after
-    /// [`ShardedEnforcer::set_tables`] returns uses the new tables and the
-    /// new epoch, without cross-shard lock or refcount traffic in the hot
-    /// loop.
+    /// hot-swap policies (a control-plane commit installing a new
+    /// generation) while workers are mid-batch.  Workers do **not** take
+    /// this lock per packet: they cache the `Arc` and revalidate it against
+    /// `tables_generation` (one relaxed load of a rarely-written line per
+    /// packet), re-reading the lock only when a swap actually happened — so
+    /// every packet inspected after the installation returns uses the new
+    /// tables and the new epoch, without cross-shard lock or refcount
+    /// traffic in the hot loop.
     tables: RwLock<Arc<EnforcementTables>>,
-    /// Bumped (release) after each `set_tables` installation; workers watch
-    /// it (acquire) to notice swaps without touching the lock.
+    /// Bumped (release) after each table installation; workers watch it
+    /// (acquire) to notice swaps without touching the lock.
     tables_generation: AtomicU64,
     shards: Vec<EnforcerShard>,
     /// Simulated time in microseconds, advanced by the driving clock owner;
@@ -1061,14 +1093,28 @@ impl ShardedEnforcer {
         Arc::clone(&self.tables.read())
     }
 
-    /// Hot-swap the compiled tables (the sharded equivalent of
-    /// [`PolicyEnforcer::set_policies`] / `set_database`).
+    /// Hot-swap the compiled tables.
+    ///
+    /// Deprecated: register the enforcer as an
+    /// [`EnforcementEndpoint`](crate::control::EnforcementEndpoint) of a
+    /// [`ControlPlane`](crate::control::ControlPlane) and commit transactions
+    /// instead — the control plane builds tables exactly once per commit and
+    /// keeps every registered endpoint on the same generation.  Note that a
+    /// transaction staging state identical to the current generation commits
+    /// as a no-op, while this wrapper unconditionally installs `tables` (and
+    /// with them whatever fresh epoch they were built under).
+    #[deprecated(note = "register with a bp_core::control::ControlPlane and commit transactions")]
+    pub fn set_tables(&self, tables: Arc<EnforcementTables>) {
+        self.install_tables(tables);
+    }
+
+    /// The swap primitive behind the control plane's endpoint installation.
     ///
     /// Safe under concurrent [`ShardedEnforcer::inspect_batch`]: once this
     /// returns, every subsequently inspected packet is evaluated against
     /// `tables`, and flow-table entries cached under the previous epoch can
     /// no longer be served (their probes miss and re-evaluate).
-    pub fn set_tables(&self, tables: Arc<EnforcementTables>) {
+    pub(crate) fn install_tables(&self, tables: Arc<EnforcementTables>) {
         *self.tables.write() = tables;
         // Release-publish the swap *after* installation: a worker that
         // observes the new generation (acquire) and re-reads the lock is
@@ -1156,8 +1202,8 @@ impl ShardedEnforcer {
                     let mut flow = shard.flow.lock();
                     // Snapshot the active tables once, then revalidate per
                     // packet against the generation counter (one acquire
-                    // load, no lock/refcount traffic): a concurrent
-                    // `set_tables` still takes effect mid-batch, so once the
+                    // load, no lock/refcount traffic): a concurrent table
+                    // installation still takes effect mid-batch, so once the
                     // swap returns no later packet is evaluated (or served
                     // from cache) under the old epoch.
                     let mut generation = self.tables_generation.load(Ordering::Acquire);
@@ -1387,6 +1433,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // covers the legacy one-shot wrapper
     fn reconfiguration_changes_behaviour_without_rebuilding() {
         let (db, analytics_payload, _) = solcalendar_fixture();
         let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
@@ -1772,6 +1819,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // covers the legacy one-shot wrapper
     fn policy_swap_bumps_epoch_and_invalidates_cached_verdicts() {
         let (db, analytics_payload, _) = solcalendar_fixture();
         let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
@@ -1831,6 +1879,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // covers the legacy direct-swap wrapper
     fn sharded_set_tables_hot_swaps_without_stale_verdicts() {
         let (db, analytics_payload, _) = solcalendar_fixture();
         let sharded =

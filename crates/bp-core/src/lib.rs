@@ -19,6 +19,9 @@
 //!   evaluation semantics over decoded stack traces.
 //! * [`enforcer`] — the **Policy Enforcer**: an NFQUEUE consumer that extracts,
 //!   decodes and evaluates the context of every packet and drops violations.
+//! * [`control`] — the transactional control plane: staged policy/database
+//!   rollout with dry-run validation, atomic hot-swap of every registered
+//!   enforcement endpoint, and generation-based rollback.
 //! * [`flow`] — connection tracking for the enforcer: a bounded per-shard
 //!   flow table caching verdicts per (flow, context payload, tables epoch),
 //!   so the packets of a long-lived flow skip decode/resolve/evaluate.
@@ -47,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub mod context;
+pub mod control;
 pub mod encoding;
 pub mod enforcer;
 pub mod flow;
@@ -56,6 +60,10 @@ pub mod policy_extractor;
 pub mod sanitizer;
 
 pub use context::{ContextManager, ContextManagerConfig};
+pub use control::{
+    ControlPlane, EnforcementEndpoint, GenerationId, GenerationRecord, RolloutError, RolloutPlan,
+    RolloutValidation, RolloutWarning, Transaction,
+};
 pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_PAYLOAD};
 pub use enforcer::{
     AtomicEnforcerStats, DropLog, EnforcementTables, EnforcerConfig, EnforcerStats, PolicyEnforcer,

@@ -1,0 +1,115 @@
+//! Policy rollout: stage, dry-run, commit, roll back — the operator loop.
+//!
+//! This example drives the transactional control plane the way the paper's
+//! deployment story assumes an administrator would: analyze apps into a
+//! signature database, stage a policy change in a transaction, review the
+//! typed dry-run plan (validation findings included), commit it atomically
+//! into the running data plane, and finally roll the generation back.
+//!
+//! Run with: `cargo run --example policy_rollout`
+
+use borderpatrol::appsim::generator::CorpusGenerator;
+use borderpatrol::core::encoding::ContextEncoding;
+use borderpatrol::core::offline::{OfflineAnalyzer, SignatureDatabase};
+use borderpatrol::core::policy::Policy;
+use borderpatrol::dex::MethodTable;
+use borderpatrol::netsim::addr::Endpoint;
+use borderpatrol::netsim::options::{IpOption, IpOptionKind};
+use borderpatrol::netsim::packet::Ipv4Packet;
+use borderpatrol::types::EnforcementLevel;
+use borderpatrol::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline analysis: two case-study apps into one signature database.
+    let solcalendar = CorpusGenerator::solcalendar();
+    let apk = solcalendar.build_apk();
+    let mut database = SignatureDatabase::new();
+    let analyzer = OfflineAnalyzer::new();
+    analyzer.analyze_into(&apk, &mut database)?;
+    analyzer.analyze_into(&CorpusGenerator::dropbox().build_apk(), &mut database)?;
+
+    // The engine: a 4-shard data plane wired to the control plane, with no
+    // policies installed yet.
+    let mut engine = Engine::builder().shards(4).database(database).build();
+    println!(
+        "engine up: generation {}, {} shard(s), {} app(s) in the database\n",
+        engine.generation(),
+        engine.data_plane().shard_count(),
+        engine.control().database().len(),
+    );
+
+    // A packet the SolCalendar analytics functionality would emit.
+    let table = MethodTable::from_apk(&apk)?;
+    let indexes: Vec<u32> = solcalendar
+        .functionality("fb-analytics")
+        .expect("case-study functionality")
+        .call_chain
+        .iter()
+        .rev()
+        .filter_map(|sig| table.index_of(sig))
+        .collect();
+    let payload = ContextEncoding::encode(apk.hash().tag(), &indexes, apk.is_multidex())?;
+    let mut packet = Ipv4Packet::new(
+        Endpoint::new([10, 0, 0, 7], 40_001),
+        Endpoint::new([31, 13, 71, 36], 443),
+        b"POST /activities HTTP/1.1".to_vec(),
+    );
+    packet
+        .options_mut()
+        .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload)?)?;
+
+    let verdicts = engine.data_plane().inspect_batch(&[packet.clone()]);
+    println!(
+        "before rollout: analytics packet accept = {}",
+        verdicts[0].is_accept()
+    );
+
+    // Stage the rollout: one live rule, one rule whose target matches
+    // nothing in the database (a typo'd library path), plus a config tweak.
+    let baseline = engine.generation();
+    let tx = engine
+        .control()
+        .begin()
+        .add_policy(Policy::deny(
+            EnforcementLevel::Class,
+            "com/facebook/appevents",
+        ))
+        .add_policy_text(r#"{[deny][library]["com/flurry/sdkk"]}"#);
+
+    // Dry-run first: the typed plan (validation findings included) is the
+    // review artifact.
+    let plan = tx.diff();
+    println!(
+        "\ndry-run: deployable = {}\n\n{plan}",
+        plan.validation.is_deployable()
+    );
+
+    // Commit: one table build, one epoch bump, every endpoint hot-swapped.
+    let generation = tx.commit()?;
+    println!("committed generation {generation}");
+    let verdicts = engine.data_plane().inspect_batch(&[packet.clone()]);
+    println!(
+        "after rollout:  analytics packet accept = {}",
+        verdicts[0].is_accept()
+    );
+    assert!(!verdicts[0].is_accept());
+
+    // Roll the whole generation back.
+    engine.control().rollback(baseline)?;
+    let verdicts = engine.data_plane().inspect_batch(&[packet]);
+    println!(
+        "after rollback to {baseline}: analytics packet accept = {}",
+        verdicts[0].is_accept()
+    );
+    assert!(verdicts[0].is_accept());
+
+    // A transaction with an unparseable policy never reaches the data plane.
+    let rejected = engine
+        .control()
+        .begin()
+        .add_policy_text("{[deny][library]}")
+        .commit();
+    println!("\nbroken rollout rejected: {}", rejected.unwrap_err());
+    println!("\npolicy_rollout succeeded: staged, reviewed, committed, rolled back.");
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! The top-level BorderPatrol engine: one object wiring the sharded data
+//! plane to the transactional control plane.
+//!
+//! [`Engine`] is the recommended entry point for embedding BorderPatrol:
+//! [`Engine::builder`] assembles the initial state (shards, configuration,
+//! policies, signature database), `build()` compiles the first generation
+//! exactly once, and afterwards
+//!
+//! * [`Engine::data_plane`] is the packet path — hand batches to
+//!   [`ShardedEnforcer::inspect_batch`] from as many threads as you like;
+//! * [`Engine::control`] is the operator path — stage policy/database/config
+//!   changes in a [`Transaction`](bp_core::control::Transaction), dry-run
+//!   them, commit them atomically, roll them back by generation.
+//!
+//! ```
+//! use borderpatrol::Engine;
+//! use borderpatrol::core::policy::Policy;
+//! use borderpatrol::types::EnforcementLevel;
+//!
+//! let mut engine = Engine::builder()
+//!     .shards(4)
+//!     .strict()
+//!     .policy(r#"{[deny][library]["com/flurry"]}"#.parse::<Policy>()?)
+//!     .build();
+//!
+//! let first = engine.generation();
+//! let next = engine
+//!     .control()
+//!     .begin()
+//!     .add_policy(Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"))
+//!     .commit()?;
+//! assert!(next > first);
+//! assert_eq!(engine.data_plane().shard_count(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::Arc;
+
+use bp_core::control::{ControlPlane, EnforcementEndpoint, GenerationId, DEFAULT_RETAIN};
+use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
+use bp_core::flow::FlowTableConfig;
+use bp_core::offline::SignatureDatabase;
+use bp_core::policy::{Policy, PolicySet};
+
+/// A complete BorderPatrol enforcement engine: a [`ShardedEnforcer`] data
+/// plane registered as an endpoint of a [`ControlPlane`].
+#[derive(Debug)]
+pub struct Engine {
+    control: ControlPlane,
+    data_plane: Arc<ShardedEnforcer>,
+}
+
+impl Engine {
+    /// Start assembling an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The packet path: share this [`ShardedEnforcer`] with every ingest
+    /// thread and drive [`ShardedEnforcer::inspect_batch`].
+    pub fn data_plane(&self) -> &Arc<ShardedEnforcer> {
+        &self.data_plane
+    }
+
+    /// The operator path: stage, validate, commit and roll back enforcement
+    /// state through control-plane transactions.
+    pub fn control(&mut self) -> &mut ControlPlane {
+        &mut self.control
+    }
+
+    /// The currently installed control-plane generation.
+    pub fn generation(&self) -> GenerationId {
+        self.control.generation()
+    }
+
+    /// Merged data-plane statistics.
+    pub fn stats(&self) -> EnforcerStats {
+        self.data_plane.stats()
+    }
+}
+
+/// Builder for [`Engine`] (see [`Engine::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    shards: usize,
+    config: EnforcerConfig,
+    policies: PolicySet,
+    database: SignatureDatabase,
+    flow: FlowTableConfig,
+    retain: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            shards: 1,
+            config: EnforcerConfig::default(),
+            policies: PolicySet::new(),
+            database: SignatureDatabase::new(),
+            flow: FlowTableConfig::default(),
+            retain: DEFAULT_RETAIN,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Number of data-plane worker shards (at least one).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Use the strict deployment configuration
+    /// ([`EnforcerConfig::strict`]).
+    pub fn strict(mut self) -> Self {
+        self.config = EnforcerConfig::strict();
+        self
+    }
+
+    /// Use the permissive deployment configuration
+    /// ([`EnforcerConfig::permissive`]).
+    pub fn permissive(mut self) -> Self {
+        self.config = EnforcerConfig::permissive();
+        self
+    }
+
+    /// Use an explicit enforcer configuration.
+    pub fn config(mut self, config: EnforcerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The initial policy set.
+    pub fn policies(mut self, policies: PolicySet) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Append one policy to the initial set.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// The initial signature database.
+    pub fn database(mut self, database: SignatureDatabase) -> Self {
+        self.database = database;
+        self
+    }
+
+    /// Per-shard flow-table bounds.
+    pub fn flow_config(mut self, flow: FlowTableConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// How many previous generations the control plane retains for
+    /// rollback.
+    pub fn retain(mut self, retain: usize) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Compile the initial generation (one table build) and wire the data
+    /// plane to the control plane.
+    pub fn build(self) -> Engine {
+        let mut control =
+            ControlPlane::with_retain(self.database, self.policies, self.config, self.retain);
+        let data_plane = Arc::new(ShardedEnforcer::with_flow_config(
+            control.tables(),
+            self.shards,
+            self.flow,
+        ));
+        control.register(Arc::clone(&data_plane) as Arc<dyn EnforcementEndpoint>);
+        Engine {
+            control,
+            data_plane,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_types::EnforcementLevel;
+
+    #[test]
+    fn builder_wires_data_plane_to_control_plane() {
+        let mut engine = Engine::builder()
+            .shards(3)
+            .strict()
+            .policy(Policy::deny(EnforcementLevel::Library, "com/flurry"))
+            .build();
+        assert_eq!(engine.data_plane().shard_count(), 3);
+        assert!(engine.data_plane().tables().config().drop_untagged);
+        assert_eq!(
+            engine.data_plane().tables().epoch(),
+            engine.control().tables().epoch()
+        );
+
+        let first = engine.generation();
+        let next = engine
+            .control()
+            .begin()
+            .add_policy(Policy::deny(
+                EnforcementLevel::Class,
+                "com/facebook/appevents",
+            ))
+            .commit()
+            .unwrap();
+        assert!(next > first);
+        assert_eq!(
+            engine.data_plane().tables().epoch(),
+            engine.control().tables().epoch()
+        );
+        assert_eq!(engine.stats().packets_inspected, 0);
+    }
+}

@@ -18,17 +18,33 @@
 //!
 //! # Quickstart
 //!
+//! Assemble an [`Engine`]: the sharded data plane serves
+//! `inspect_batch`, and every mutation — rollout, hot-swap, rollback —
+//! flows through the transactional control plane.
+//!
 //! ```
-//! use borderpatrol::core::policy::{Policy, PolicySet};
+//! use borderpatrol::Engine;
+//! use borderpatrol::core::policy::Policy;
 //!
 //! // Paper Snippet 1, Example 1: prevent ad library connections.
 //! let policy: Policy = r#"{[deny][library]["com/flurry"]}"#.parse()?;
-//! let set = PolicySet::from_policies(vec![policy]);
-//! assert_eq!(set.len(), 1);
+//! let mut engine = Engine::builder().shards(2).policy(policy).build();
+//!
+//! // Stage further changes transactionally: dry-run, then commit.
+//! let tx = engine.control().begin().add_policy_text(
+//!     r#"{[deny][class]["com/facebook/appevents"]}"#,
+//! );
+//! assert!(tx.validate().is_deployable());
+//! let generation = tx.commit()?;
+//! assert_eq!(generation.as_u64(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
+
+pub mod engine;
+
+pub use engine::{Engine, EngineBuilder};
 
 /// Shared vocabulary types ([`bp_types`]).
 pub use bp_types as types;

@@ -144,7 +144,7 @@ fn policy_reconfiguration_takes_effect_immediately() {
     let app = testbed.install_app(CorpusGenerator::solcalendar()).unwrap();
     assert!(testbed.run(app, "fb-analytics").unwrap().fully_delivered());
 
-    testbed.set_policies(PolicySet::from_policies(vec![Policy::deny(
+    testbed.install_policies(PolicySet::from_policies(vec![Policy::deny(
         EnforcementLevel::Class,
         "com/facebook/appevents",
     )]));

@@ -131,7 +131,7 @@ fn unknown_app_traffic_is_dropped_by_default_config() {
     // Install normally (registers everything), then swap the enforcer's
     // database for an empty one to simulate the missing analysis.
     let app = testbed.install_app(CorpusGenerator::box_app()).unwrap();
-    testbed.set_policies(PolicySet::new());
+    testbed.install_policies(PolicySet::new());
     // Reach into the deployment: replace the database via a fresh testbed is
     // simpler — here we assert on the unknown-tag path directly through the
     // enforcer statistics after clearing the database.

@@ -3,56 +3,25 @@
 
 use std::sync::Arc;
 
-use borderpatrol::appsim::generator::CorpusGenerator;
+use borderpatrol::core::control::{ControlPlane, EnforcementEndpoint};
 use borderpatrol::core::enforcer::{
     EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer,
 };
-use borderpatrol::core::offline::{OfflineAnalyzer, SignatureDatabase};
+use borderpatrol::core::offline::SignatureDatabase;
 use borderpatrol::core::policy::{Policy, PolicySet};
 use borderpatrol::netsim::addr::Endpoint;
 use borderpatrol::netsim::options::{IpOption, IpOptionKind};
 use borderpatrol::netsim::packet::Ipv4Packet;
 use borderpatrol::types::EnforcementLevel;
+use parking_lot::Mutex;
+
+mod common;
+use common::stream;
 
 /// Analyzed SolCalendar fixture plus its Facebook-analytics context payload.
 fn fixture() -> (SignatureDatabase, Vec<u8>) {
-    let spec = CorpusGenerator::solcalendar();
-    let apk = spec.build_apk();
-    let mut db = SignatureDatabase::new();
-    OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
-    let table = borderpatrol::dex::MethodTable::from_apk(&apk).unwrap();
-    let indexes: Vec<u32> = spec
-        .functionality("fb-analytics")
-        .unwrap()
-        .call_chain
-        .iter()
-        .rev()
-        .map(|sig| table.index_of(sig).unwrap())
-        .collect();
-    let payload =
-        borderpatrol::core::encoding::ContextEncoding::encode(apk.hash().tag(), &indexes, false)
-            .unwrap();
-    (db, payload)
-}
-
-/// A repeated-flow stream: `flows` distinct 5-tuples all carrying `payload`.
-fn stream(flows: u16, repeats: usize, payload: &[u8]) -> Vec<Ipv4Packet> {
-    let mut packets = Vec::with_capacity(flows as usize * repeats);
-    for _ in 0..repeats {
-        for flow in 0..flows {
-            let mut packet = Ipv4Packet::new(
-                Endpoint::new([10, 0, (flow >> 8) as u8, flow as u8], 40_000 + flow),
-                Endpoint::new([31, 13, 71, 36], 443),
-                b"POST /beacon HTTP/1.1".to_vec(),
-            );
-            packet
-                .options_mut()
-                .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload.to_vec()).unwrap())
-                .unwrap();
-            packets.push(packet);
-        }
-    }
-    packets
+    let (db, analytics, _) = common::solcalendar_fixture();
+    (db.clone(), analytics.clone())
 }
 
 #[test]
@@ -69,17 +38,9 @@ fn table_epochs_increase_monotonically_across_builds() {
 #[test]
 fn hot_swap_mid_inspect_batch_serves_no_stale_verdict_after_swap_returns() {
     let (db, payload) = fixture();
-    let allow_tables = EnforcementTables::shared(&db, &PolicySet::new(), EnforcerConfig::default());
-    let deny_tables = EnforcementTables::shared(
-        &db,
-        &PolicySet::from_policies(vec![Policy::deny(
-            EnforcementLevel::Library,
-            "com/facebook",
-        )]),
-        EnforcerConfig::default(),
-    );
-
-    let enforcer = ShardedEnforcer::new(Arc::clone(&allow_tables), 4);
+    let mut control = ControlPlane::new(db, PolicySet::new(), EnforcerConfig::default());
+    let enforcer = Arc::new(ShardedEnforcer::new(control.tables(), 4));
+    control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
     let packets = stream(64, 8, &payload);
 
     // Warm every flow's cache entry under the allow tables.
@@ -89,7 +50,8 @@ fn hot_swap_mid_inspect_batch_serves_no_stale_verdict_after_swap_returns() {
         .all(|verdict| verdict.is_accept()));
     assert!(enforcer.stats().flow_hits > 0);
 
-    // Hammer inspect_batch from a worker while the main thread hot-swaps.
+    // Hammer inspect_batch from a worker while the main thread commits a
+    // control-plane transaction replacing the policies.
     std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
             let mut accepts = 0usize;
@@ -106,15 +68,22 @@ fn hot_swap_mid_inspect_batch_serves_no_stale_verdict_after_swap_returns() {
             (accepts, drops)
         });
 
-        enforcer.set_tables(Arc::clone(&deny_tables));
+        control
+            .begin()
+            .replace_policies(PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Library,
+                "com/facebook",
+            )]))
+            .commit()
+            .expect("hot swap commit");
 
-        // The swap has returned: every verdict from here on must reflect the
-        // deny tables — the flow entries warmed under the old epoch must
+        // The commit has returned: every verdict from here on must reflect
+        // the deny tables — the flow entries warmed under the old epoch must
         // miss, not replay their cached accepts.
         let verdicts = enforcer.inspect_batch(&packets);
         assert!(
             verdicts.iter().all(|verdict| !verdict.is_accept()),
-            "stale accept served after set_tables returned"
+            "stale accept served after the commit returned"
         );
 
         let (accepts, drops) = worker.join().expect("worker batch panicked");
@@ -141,21 +110,37 @@ fn facade_policy_swap_is_equivalent_to_a_fresh_enforcer() {
         "com/facebook/appevents",
     )]);
 
-    let mut swapped = PolicyEnforcer::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+    // The warmed enforcer is a registered endpoint of a control plane; the
+    // swap is a committed transaction.
+    let mut control = ControlPlane::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+    // Constructed empty: registration installs the control plane's build.
+    let swapped = Arc::new(Mutex::new(PolicyEnforcer::new(
+        SignatureDatabase::new(),
+        PolicySet::new(),
+        EnforcerConfig::default(),
+    )));
+    control.register(Arc::clone(&swapped) as Arc<dyn EnforcementEndpoint>);
     let packets = stream(16, 3, &payload);
     for packet in &packets {
-        assert!(swapped.inspect(packet).is_accept());
+        assert!(swapped.lock().inspect(packet).is_accept());
     }
 
     // Swap policies on the warmed enforcer; a fresh enforcer compiled with
     // the same policies is the ground truth.
-    swapped.set_policies(deny.clone());
+    control
+        .begin()
+        .replace_policies(deny.clone())
+        .commit()
+        .expect("policy swap commit");
     let mut fresh = PolicyEnforcer::new(db, deny, EnforcerConfig::default());
     for packet in &packets {
-        assert_eq!(swapped.inspect(packet), fresh.inspect_uncached(packet));
+        assert_eq!(
+            swapped.lock().inspect(packet),
+            fresh.inspect_uncached(packet)
+        );
     }
     // Post-swap traffic re-evaluated (one miss per flow) then re-cached.
-    let stats = swapped.stats();
+    let stats = swapped.lock().stats();
     assert_eq!(stats.dropped_by_policy, packets.len() as u64);
 }
 

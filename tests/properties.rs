@@ -1,13 +1,16 @@
 //! Property-based tests over the core data structures and wire formats.
 
-use std::sync::OnceLock;
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use proptest::prelude::*;
 
-use borderpatrol::appsim::generator::CorpusGenerator;
+use borderpatrol::core::control::{ControlPlane, EnforcementEndpoint};
 use borderpatrol::core::encoding::ContextEncoding;
 use borderpatrol::core::enforcer::{EnforcerConfig, PolicyEnforcer};
-use borderpatrol::core::offline::{OfflineAnalyzer, SignatureDatabase};
+
+mod common;
+use borderpatrol::core::offline::SignatureDatabase;
 use borderpatrol::core::policy::{Policy, PolicyAction, PolicySet};
 use borderpatrol::core::sanitizer::PacketSanitizer;
 use borderpatrol::dex::{DexBuilder, DexFile, MethodTable};
@@ -15,38 +18,10 @@ use borderpatrol::netsim::addr::Endpoint;
 use borderpatrol::netsim::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN};
 use borderpatrol::netsim::packet::Ipv4Packet;
 use borderpatrol::types::{ApkHash, EnforcementLevel, MethodSignature};
+use common::solcalendar_fixture as enforcement_fixture;
 
 fn identifier() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
-}
-
-/// Analyzed SolCalendar fixture shared by the enforcement properties (built
-/// once per process: apk analysis is too slow to repeat per generated case).
-/// Returns the signature database plus the Facebook analytics and login
-/// context payloads.
-fn enforcement_fixture() -> &'static (SignatureDatabase, Vec<u8>, Vec<u8>) {
-    static FIXTURE: OnceLock<(SignatureDatabase, Vec<u8>, Vec<u8>)> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
-        let spec = CorpusGenerator::solcalendar();
-        let apk = spec.build_apk();
-        let mut db = SignatureDatabase::new();
-        OfflineAnalyzer::new().analyze_into(&apk, &mut db).unwrap();
-        let table = MethodTable::from_apk(&apk).unwrap();
-        let indexes_for = |functionality: &str| -> Vec<u32> {
-            spec.functionality(functionality)
-                .unwrap()
-                .call_chain
-                .iter()
-                .rev()
-                .map(|sig| table.index_of(sig).unwrap())
-                .collect()
-        };
-        let analytics =
-            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-analytics"), false).unwrap();
-        let login =
-            ContextEncoding::encode(apk.hash().tag(), &indexes_for("fb-login"), false).unwrap();
-        (db, analytics, login)
-    })
 }
 
 fn package() -> impl Strategy<Value = String> {
@@ -324,18 +299,35 @@ proptest! {
             )]),
             PolicySet::from_policies(vec![Policy::deny(EnforcementLevel::Library, "com/facebook")]),
         ];
-        let mut cached =
-            PolicyEnforcer::new(db.clone(), policy_sets[0].clone(), EnforcerConfig::default());
-        let mut uncached =
-            PolicyEnforcer::new(db.clone(), policy_sets[0].clone(), EnforcerConfig::default());
+        // One control plane drives both enforcers: a committed transaction
+        // must leave every registered endpoint on the same generation.
+        let mut control = ControlPlane::new(
+            db.clone(),
+            policy_sets[0].clone(),
+            EnforcerConfig::default(),
+        );
+        // Endpoints start empty: registration installs the control plane's
+        // current build, so seeding them with real state would only compile
+        // throwaway tables.
+        let cached = Arc::new(Mutex::new(PolicyEnforcer::new(
+            SignatureDatabase::new(),
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        )));
+        let uncached = Arc::new(Mutex::new(PolicyEnforcer::new(
+            SignatureDatabase::new(),
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        )));
+        control.register(Arc::clone(&cached) as Arc<dyn EnforcementEndpoint>);
+        control.register(Arc::clone(&uncached) as Arc<dyn EnforcementEndpoint>);
         let mut database_installed = true;
 
         for (flow, payload_choice, swap) in steps {
             match swap {
                 3 | 4 => {
                     let set = policy_sets[(swap - 2) as usize].clone();
-                    cached.set_policies(set.clone());
-                    uncached.set_policies(set);
+                    control.begin().replace_policies(set).commit().unwrap();
                 }
                 5 => {
                     database_installed = !database_installed;
@@ -344,8 +336,7 @@ proptest! {
                     } else {
                         SignatureDatabase::new()
                     };
-                    cached.set_database(next.clone());
-                    uncached.set_database(next);
+                    control.begin().swap_database(next).commit().unwrap();
                 }
                 _ => {}
             }
@@ -373,16 +364,19 @@ proptest! {
 
             // No stale verdict: after any swap above, the very next packet
             // (and all later ones) must match a cache-free evaluation.
-            prop_assert_eq!(cached.inspect(&packet), uncached.inspect_uncached(&packet));
+            prop_assert_eq!(
+                cached.lock().inspect(&packet),
+                uncached.lock().inspect_uncached(&packet)
+            );
         }
 
         // Outcome counters and drop logs agree exactly; only the flow
         // bookkeeping (hits/misses/evictions) differs between the paths.
         prop_assert_eq!(
-            cached.stats().without_flow_counters(),
-            uncached.stats().without_flow_counters()
+            cached.lock().stats().without_flow_counters(),
+            uncached.lock().stats().without_flow_counters()
         );
-        prop_assert_eq!(cached.drop_log(), uncached.drop_log());
+        prop_assert_eq!(cached.lock().drop_log(), uncached.lock().drop_log());
     }
 
     #[test]
