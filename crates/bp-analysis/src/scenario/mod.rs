@@ -59,6 +59,7 @@ use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
 use bp_core::policy::{Policy, PolicySet};
+use bp_core::runtime::BatchRuntime;
 use bp_dex::MethodTable;
 use bp_netsim::addr::Endpoint;
 use bp_netsim::clock::SimDuration;
@@ -110,6 +111,10 @@ pub struct ScenarioSpec {
     pub config: EnforcerConfig,
     /// Worker shards of the [`ShardedEnforcer`].
     pub shards: usize,
+    /// Batch runtime of the [`ShardedEnforcer`] (persistent worker pool by
+    /// default; [`BatchRuntime::Scoped`] re-enables the spawn-per-batch
+    /// baseline for runtime-delta measurements).
+    pub runtime: BatchRuntime,
     /// Number of simulated ticks driven.
     pub ticks: u32,
     /// Simulated wall-clock length of one tick, in milliseconds (drives the
@@ -145,6 +150,7 @@ impl ScenarioSpec {
             ]),
             config: EnforcerConfig::strict(),
             shards,
+            runtime: BatchRuntime::default(),
             ticks: 3,
             tick_millis: 500,
             hot_swap: None,
@@ -483,9 +489,295 @@ fn analyze_mix(
     Ok(apps)
 }
 
+/// A scenario with its expensive, enforcement-independent state built once:
+/// the analyzed app mix (apk builds + offline analysis), the packet
+/// templates and the fleet assembly.
+///
+/// [`PreparedScenario::run`] then drives the tick loop against a **fresh**
+/// control plane + sharded enforcer, so callers measuring the enforcement
+/// plane (the `fleet_scale` bench, repeated-run experiments) amortize the
+/// preparation instead of re-analyzing the mix on every run.  Repeated runs
+/// of one prepared scenario are byte-identical to each other and to
+/// [`run`] on the same spec: the post-assembly RNG state is snapshotted at
+/// preparation time and every run resumes from a copy of it.
+pub struct PreparedScenario {
+    spec: ScenarioSpec,
+    db: SignatureDatabase,
+    apps: Vec<AppTraffic>,
+    device_apps: Vec<u16>,
+    flow_funcs: Vec<u8>,
+    total_flows: u64,
+    /// RNG state after fleet assembly; the per-tick connect-rate draws of
+    /// every run resume from a clone of this.
+    traffic_rng: StdRng,
+}
+
+impl PreparedScenario {
+    /// Validate `spec`, analyze its app mix and assemble the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid specs (empty mix, app without
+    /// functionalities, replay with nothing to replay) and propagates apk
+    /// analysis or encoding failures.
+    pub fn prepare(spec: &ScenarioSpec) -> Result<Self, Error> {
+        if spec.fleet.devices == 0 {
+            return Err(Error::malformed("scenario spec", "fleet has no devices"));
+        }
+        if spec.fleet.sockets_per_device == 0 {
+            return Err(Error::malformed(
+                "scenario spec",
+                "fleet devices need at least one socket",
+            ));
+        }
+
+        // The model is an adversary's identity throughout the engine
+        // (templates, attack sockets, compromise membership, report rows),
+        // so duplicate models would double-count every tally: reject them up
+        // front.
+        let mut models = BTreeSet::new();
+        for profile in &spec.adversaries {
+            if !models.insert(profile.model) {
+                return Err(Error::malformed(
+                    "scenario spec",
+                    format!("duplicate adversary model {}", profile.model),
+                ));
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut db = SignatureDatabase::new();
+        // Only adversaries that can actually emit packets constrain the mix
+        // (templates are built per deployed model).
+        let deployed: BTreeSet<AdversaryModel> = spec
+            .adversaries
+            .iter()
+            .filter(|p| p.packets_per_tick > 0 && p.device_ratio > 0.0)
+            .map(|p| p.model)
+            .collect();
+        let apps = analyze_mix(spec, &mut db, &deployed)?;
+
+        // Fleet assembly: device → app, flow → functionality.  Draw order is
+        // fixed (devices, then flows, then per-tick rates), so every run of
+        // the same seed sees identical traffic.
+        let device_apps = spec.fleet.assign_apps(&mut rng);
+        let sockets = spec.fleet.sockets_per_device;
+        // Socket 0 always carries the app's primary functionality (the main
+        // connection the replay adversary rides); further sockets draw from
+        // the app's functionalities weighted by trigger weight.
+        let flow_funcs: Vec<u8> = (0..spec.fleet.devices)
+            .flat_map(|device| {
+                let app = &apps[device_apps[device as usize] as usize];
+                let weights: Vec<u64> = app.funcs.iter().map(|f| u64::from(f.weight)).collect();
+                (0..sockets)
+                    .map(|socket| {
+                        if socket == 0 {
+                            0
+                        } else {
+                            weighted_index(&mut rng, &weights).unwrap_or(0) as u8
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        Ok(PreparedScenario {
+            spec: spec.clone(),
+            db,
+            apps,
+            device_apps,
+            flow_funcs,
+            total_flows: spec.fleet.total_flows(),
+            traffic_rng: rng,
+        })
+    }
+
+    /// The spec this scenario was prepared from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Drive the tick loop against a fresh control plane + sharded enforcer
+    /// and account the verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hot-swap commit failures.  Enforcement drops are
+    /// *results*, never errors.
+    pub fn run(&self) -> Result<ScenarioReport, Error> {
+        self.run_with_runtime(self.spec.runtime)
+    }
+
+    /// Like [`PreparedScenario::run`] with the batch runtime overridden for
+    /// this run only — the spawn-vs-pool comparison of the `fleet_scale`
+    /// bench drives one prepared scenario under both runtimes.  The report
+    /// does not depend on the runtime (both produce identical verdicts).
+    pub fn run_with_runtime(&self, runtime: BatchRuntime) -> Result<ScenarioReport, Error> {
+        let spec = &self.spec;
+        let apps = &self.apps;
+        let device_apps = &self.device_apps;
+        let sockets = spec.fleet.sockets_per_device;
+        let mut rng = self.traffic_rng.clone();
+
+        // The enforcement plane under test: a sharded enforcer registered as
+        // the endpoint of a control plane, which owns the authoritative
+        // state and drives the hot swap.  Flow capacity covers every
+        // long-lived flow plus the adversaries' injection flows so eviction
+        // noise never perturbs attribution.
+        let mut control = ControlPlane::new(self.db.clone(), spec.policies.clone(), spec.config);
+        let total_flows = self.total_flows;
+        let flow_config = FlowTableConfig {
+            capacity: (total_flows as usize * 2).max(4_096),
+            ..FlowTableConfig::default()
+        };
+        let enforcer = Arc::new(ShardedEnforcer::with_runtime(
+            control.tables(),
+            spec.shards,
+            flow_config,
+            runtime,
+        ));
+        control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+
+        let mut legit_packets = 0u64;
+        let mut legit_accepted = 0u64;
+        let mut legit_dropped = 0u64;
+        let mut emitted: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
+        let mut dropped: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
+        let mut hot_swaps = 0u32;
+
+        let mut packets: Vec<Ipv4Packet> = Vec::new();
+        let mut origins: Vec<Option<AdversaryModel>> = Vec::new();
+        let mut verdicts: Vec<bp_netsim::netfilter::Verdict> = Vec::new();
+
+        for tick in 0..spec.ticks {
+            enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
+            if let Some(swap) = &spec.hot_swap {
+                if swap.at_tick == tick {
+                    control
+                        .begin()
+                        .replace_policies(swap.policies.clone())
+                        .commit()?;
+                    hot_swaps += 1;
+                }
+            }
+
+            packets.clear();
+            origins.clear();
+
+            // Legitimate fleet traffic: every long-lived flow re-sends its
+            // connect-time context.  Tick 0 is the connect wave — at least one
+            // packet per flow — so adversaries inject against live flows.
+            for device in 0..spec.fleet.devices {
+                let app = &apps[device_apps[device as usize] as usize];
+                for socket in 0..sockets {
+                    let flow = device as usize * sockets as usize + socket as usize;
+                    let mut count = spec.fleet.connect_rate.sample(&mut rng);
+                    if tick == 0 {
+                        count = count.max(1);
+                    }
+                    let func = &app.funcs[self.flow_funcs[flow] as usize];
+                    for _ in 0..count {
+                        packets.push(func.template.instantiate_from(device, socket));
+                        origins.push(None);
+                    }
+                }
+            }
+
+            // Adversarial injections.  Every model gets its own attack socket
+            // (ports beyond the legitimate range) except replay, which by
+            // definition rides an established flow (socket 0).
+            for (ordinal, profile) in spec.adversaries.iter().enumerate() {
+                if profile.packets_per_tick == 0 {
+                    continue;
+                }
+                // Replay targets the entry cached at tick 0.
+                if profile.model == AdversaryModel::ContextReplay && tick == 0 {
+                    continue;
+                }
+                for device in 0..spec.fleet.devices {
+                    if !profile.compromises(spec.seed, device) {
+                        continue;
+                    }
+                    let app = &apps[device_apps[device as usize] as usize];
+                    let template = app
+                        .adversarial
+                        .get(&profile.model)
+                        .expect("template built for every deployed model");
+                    let socket = if profile.model == AdversaryModel::ContextReplay {
+                        0
+                    } else {
+                        sockets + ordinal as u16
+                    };
+                    for _ in 0..profile.packets_per_tick {
+                        packets.push(template.instantiate_from(device, socket));
+                        origins.push(Some(profile.model));
+                    }
+                }
+            }
+
+            // Reuse the verdict buffer: the all-accept path of a tick is then
+            // allocation-free on the enforcement side.
+            enforcer.inspect_batch_into(&packets, &mut verdicts);
+            for (origin, verdict) in origins.iter().zip(&verdicts) {
+                match origin {
+                    None => {
+                        legit_packets += 1;
+                        if verdict.is_accept() {
+                            legit_accepted += 1;
+                        } else {
+                            legit_dropped += 1;
+                        }
+                    }
+                    Some(model) => {
+                        *emitted.entry(*model).or_default() += 1;
+                        if !verdict.is_accept() {
+                            *dropped.entry(*model).or_default() += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let stats = enforcer.stats();
+        let adversaries = spec
+            .adversaries
+            .iter()
+            .map(|profile| {
+                let emitted = emitted.get(&profile.model).copied().unwrap_or(0);
+                let dropped = dropped.get(&profile.model).copied().unwrap_or(0);
+                AdversaryOutcome {
+                    model: profile.model,
+                    emitted,
+                    dropped,
+                    accepted: emitted - dropped,
+                    expected_counter: profile.model.expected_counter().to_string(),
+                    counter_value: profile.model.counter_value(&stats),
+                }
+            })
+            .collect();
+
+        Ok(ScenarioReport {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            devices: spec.fleet.devices,
+            shards: spec.shards.max(1),
+            ticks: spec.ticks,
+            flows: total_flows,
+            packets: stats.packets_inspected,
+            legit_packets,
+            legit_accepted,
+            legit_dropped,
+            adversaries,
+            hot_swaps,
+            stats,
+        })
+    }
+}
+
 /// Run a scenario: compile the mix, assemble the fleet, drive every tick's
 /// batch through [`ShardedEnforcer::inspect_batch`] and account the
-/// verdicts.
+/// verdicts.  One-shot form of [`PreparedScenario::prepare`] +
+/// [`PreparedScenario::run`]; repeated runs should prepare once.
 ///
 /// # Errors
 ///
@@ -494,213 +786,7 @@ fn analyze_mix(
 /// analysis or encoding failures.  Enforcement drops are *results*, never
 /// errors.
 pub fn run(spec: &ScenarioSpec) -> Result<ScenarioReport, Error> {
-    if spec.fleet.devices == 0 {
-        return Err(Error::malformed("scenario spec", "fleet has no devices"));
-    }
-    if spec.fleet.sockets_per_device == 0 {
-        return Err(Error::malformed(
-            "scenario spec",
-            "fleet devices need at least one socket",
-        ));
-    }
-
-    // The model is an adversary's identity throughout the engine (templates,
-    // attack sockets, compromise membership, report rows), so duplicate
-    // models would double-count every tally: reject them up front.
-    let mut models = BTreeSet::new();
-    for profile in &spec.adversaries {
-        if !models.insert(profile.model) {
-            return Err(Error::malformed(
-                "scenario spec",
-                format!("duplicate adversary model {}", profile.model),
-            ));
-        }
-    }
-
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut db = SignatureDatabase::new();
-    // Only adversaries that can actually emit packets constrain the mix
-    // (templates are built per deployed model).
-    let deployed: BTreeSet<AdversaryModel> = spec
-        .adversaries
-        .iter()
-        .filter(|p| p.packets_per_tick > 0 && p.device_ratio > 0.0)
-        .map(|p| p.model)
-        .collect();
-    let apps = analyze_mix(spec, &mut db, &deployed)?;
-
-    // Fleet assembly: device → app, flow → functionality.  Draw order is
-    // fixed (devices, then flows, then per-tick rates), so every run of the
-    // same seed sees identical traffic.
-    let device_apps = spec.fleet.assign_apps(&mut rng);
-    let sockets = spec.fleet.sockets_per_device;
-    // Socket 0 always carries the app's primary functionality (the main
-    // connection the replay adversary rides); further sockets draw from the
-    // app's functionalities weighted by trigger weight.
-    let flow_funcs: Vec<u8> = (0..spec.fleet.devices)
-        .flat_map(|device| {
-            let app = &apps[device_apps[device as usize] as usize];
-            let weights: Vec<u64> = app.funcs.iter().map(|f| u64::from(f.weight)).collect();
-            (0..sockets)
-                .map(|socket| {
-                    if socket == 0 {
-                        0
-                    } else {
-                        weighted_index(&mut rng, &weights).unwrap_or(0) as u8
-                    }
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
-
-    // The enforcement plane under test: a sharded enforcer registered as the
-    // endpoint of a control plane, which owns the authoritative state and
-    // drives the hot swap.  Flow capacity covers every long-lived flow plus
-    // the adversaries' injection flows so eviction noise never perturbs
-    // attribution.
-    let mut control = ControlPlane::new(db.clone(), spec.policies.clone(), spec.config);
-    let total_flows = spec.fleet.total_flows();
-    let flow_config = FlowTableConfig {
-        capacity: (total_flows as usize * 2).max(4_096),
-        ..FlowTableConfig::default()
-    };
-    let enforcer = Arc::new(ShardedEnforcer::with_flow_config(
-        control.tables(),
-        spec.shards,
-        flow_config,
-    ));
-    control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
-
-    let mut legit_packets = 0u64;
-    let mut legit_accepted = 0u64;
-    let mut legit_dropped = 0u64;
-    let mut emitted: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
-    let mut dropped: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
-    let mut hot_swaps = 0u32;
-
-    let mut packets: Vec<Ipv4Packet> = Vec::new();
-    let mut origins: Vec<Option<AdversaryModel>> = Vec::new();
-
-    for tick in 0..spec.ticks {
-        enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
-        if let Some(swap) = &spec.hot_swap {
-            if swap.at_tick == tick {
-                control
-                    .begin()
-                    .replace_policies(swap.policies.clone())
-                    .commit()?;
-                hot_swaps += 1;
-            }
-        }
-
-        packets.clear();
-        origins.clear();
-
-        // Legitimate fleet traffic: every long-lived flow re-sends its
-        // connect-time context.  Tick 0 is the connect wave — at least one
-        // packet per flow — so adversaries inject against live flows.
-        for device in 0..spec.fleet.devices {
-            let app = &apps[device_apps[device as usize] as usize];
-            for socket in 0..sockets {
-                let flow = device as usize * sockets as usize + socket as usize;
-                let mut count = spec.fleet.connect_rate.sample(&mut rng);
-                if tick == 0 {
-                    count = count.max(1);
-                }
-                let func = &app.funcs[flow_funcs[flow] as usize];
-                for _ in 0..count {
-                    packets.push(func.template.instantiate_from(device, socket));
-                    origins.push(None);
-                }
-            }
-        }
-
-        // Adversarial injections.  Every model gets its own attack socket
-        // (ports beyond the legitimate range) except replay, which by
-        // definition rides an established flow (socket 0).
-        for (ordinal, profile) in spec.adversaries.iter().enumerate() {
-            if profile.packets_per_tick == 0 {
-                continue;
-            }
-            // Replay targets the entry cached at tick 0.
-            if profile.model == AdversaryModel::ContextReplay && tick == 0 {
-                continue;
-            }
-            for device in 0..spec.fleet.devices {
-                if !profile.compromises(spec.seed, device) {
-                    continue;
-                }
-                let app = &apps[device_apps[device as usize] as usize];
-                let template = app
-                    .adversarial
-                    .get(&profile.model)
-                    .expect("template built for every deployed model");
-                let socket = if profile.model == AdversaryModel::ContextReplay {
-                    0
-                } else {
-                    sockets + ordinal as u16
-                };
-                for _ in 0..profile.packets_per_tick {
-                    packets.push(template.instantiate_from(device, socket));
-                    origins.push(Some(profile.model));
-                }
-            }
-        }
-
-        let verdicts = enforcer.inspect_batch(&packets);
-        for (origin, verdict) in origins.iter().zip(&verdicts) {
-            match origin {
-                None => {
-                    legit_packets += 1;
-                    if verdict.is_accept() {
-                        legit_accepted += 1;
-                    } else {
-                        legit_dropped += 1;
-                    }
-                }
-                Some(model) => {
-                    *emitted.entry(*model).or_default() += 1;
-                    if !verdict.is_accept() {
-                        *dropped.entry(*model).or_default() += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    let stats = enforcer.stats();
-    let adversaries = spec
-        .adversaries
-        .iter()
-        .map(|profile| {
-            let emitted = emitted.get(&profile.model).copied().unwrap_or(0);
-            let dropped = dropped.get(&profile.model).copied().unwrap_or(0);
-            AdversaryOutcome {
-                model: profile.model,
-                emitted,
-                dropped,
-                accepted: emitted - dropped,
-                expected_counter: profile.model.expected_counter().to_string(),
-                counter_value: profile.model.counter_value(&stats),
-            }
-        })
-        .collect();
-
-    Ok(ScenarioReport {
-        name: spec.name.clone(),
-        seed: spec.seed,
-        devices: spec.fleet.devices,
-        shards: spec.shards.max(1),
-        ticks: spec.ticks,
-        flows: total_flows,
-        packets: stats.packets_inspected,
-        legit_packets,
-        legit_accepted,
-        legit_dropped,
-        adversaries,
-        hot_swaps,
-        stats,
-    })
+    PreparedScenario::prepare(spec)?.run()
 }
 
 #[cfg(test)]

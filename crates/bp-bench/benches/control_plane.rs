@@ -12,12 +12,15 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{black_box, criterion_group, Criterion, Throughput};
 
+use bp_bench::quick::{json_mode, QuickBench};
 use bp_bench::{analyzed_solcalendar, blacklist_policies, case_study_policies};
 use bp_core::control::{ControlPlane, EnforcementEndpoint};
 use bp_core::enforcer::{EnforcerConfig, ShardedEnforcer};
+use bp_core::flow::FlowTableConfig;
 use bp_core::policy::PolicySet;
+use bp_core::runtime::BatchRuntime;
 use bp_netsim::addr::Endpoint;
 use bp_netsim::options::{IpOption, IpOptionKind};
 use bp_netsim::packet::Ipv4Packet;
@@ -174,5 +177,83 @@ fn benches_all(c: &mut Criterion) {
     bench_throughput_under_storm(c);
 }
 
+/// `--json` quick sweep, merged into `BENCH_5.json`: commit/rollback
+/// latencies (batch = policy count, elements = commits) plus the quiet
+/// data-plane batch throughput under both batch runtimes.
+fn json_sweep() {
+    let app = analyzed_solcalendar();
+    let mut quick = QuickBench::new("control_plane");
+
+    for (case, policy_sets) in [
+        (
+            "commit_3_policies",
+            [case_study_policies(), PolicySet::new()],
+        ),
+        (
+            "commit_1050_policies",
+            [blacklist_policies(), PolicySet::new()],
+        ),
+    ] {
+        let mut control = ControlPlane::new(
+            app.database.clone(),
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        );
+        let enforcer = Arc::new(ShardedEnforcer::new(control.tables(), SHARDS));
+        control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+        let mut flip = 0usize;
+        let rules = policy_sets[0].len();
+        // Commit rows measure the control plane, not a batch runtime:
+        // runtime is "n/a" (so pool-vs-scoped aggregation skips them) and
+        // "pkts_per_sec" carries commits/sec (elements = 1 commit).
+        quick.measure(case, SHARDS, rules, "n/a", 1, || {
+            flip ^= 1;
+            criterion::black_box(
+                control
+                    .begin()
+                    .replace_policies(policy_sets[flip].clone())
+                    .commit()
+                    .unwrap(),
+            );
+        });
+    }
+
+    let packets = repeated_flow_stream(&app.context_payload("fb-login"));
+    for runtime in [BatchRuntime::Scoped, BatchRuntime::Pool] {
+        let mut control = ControlPlane::new(
+            app.database.clone(),
+            case_study_policies(),
+            EnforcerConfig::default(),
+        );
+        let enforcer = Arc::new(ShardedEnforcer::with_runtime(
+            control.tables(),
+            SHARDS,
+            FlowTableConfig::default(),
+            runtime,
+        ));
+        control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+        let mut verdicts = Vec::with_capacity(BATCH);
+        quick.measure(
+            "inspect_batch_quiet",
+            SHARDS,
+            BATCH,
+            runtime.label(),
+            BATCH as u64,
+            || {
+                enforcer.inspect_batch_into(&packets, &mut verdicts);
+                criterion::black_box(verdicts.len());
+            },
+        );
+    }
+    quick.finish();
+}
+
 criterion_group!(benches, benches_all);
-criterion_main!(benches);
+
+fn main() {
+    if json_mode() {
+        json_sweep();
+    } else {
+        benches();
+    }
+}

@@ -1,12 +1,22 @@
 //! Batch throughput of the sharded Policy Enforcer: one compiled table set
 //! shared across N worker shards, inspecting a mixed multi-flow packet
 //! stream, vs the single-shard facade inspecting the same stream inline.
+//!
+//! Each `inspect_batch` row runs under both batch runtimes — the persistent
+//! worker pool (default) and the scoped spawn-per-batch baseline — so the
+//! spawn-vs-pool delta is visible per shard count.  `--json` switches to the
+//! quick sweep (batch sizes 8/64/1024 × shards × runtimes) that feeds
+//! `BENCH_5.json`; in the small-batch regime the spawn/join cost dominates
+//! the scoped rows, which is exactly what the pool eliminates.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
 
+use bp_bench::quick::{json_mode, QuickBench};
 use bp_bench::{analyzed_solcalendar, blacklist_policies, case_study_policies};
 use bp_core::enforcer::{EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer};
+use bp_core::flow::FlowTableConfig;
 use bp_core::policy::PolicySet;
+use bp_core::runtime::BatchRuntime;
 use bp_netsim::addr::Endpoint;
 use bp_netsim::options::{IpOption, IpOptionKind};
 use bp_netsim::packet::Ipv4Packet;
@@ -15,8 +25,8 @@ const BATCH: usize = 1_024;
 
 /// A mixed stream: many flows (distinct source endpoints), mostly conforming
 /// traffic with some policy violations sprinkled in.
-fn packet_stream(login: &[u8], analytics: &[u8]) -> Vec<Ipv4Packet> {
-    (0..BATCH as u16)
+fn packet_stream(login: &[u8], analytics: &[u8], batch: usize) -> Vec<Ipv4Packet> {
+    (0..batch as u16)
         .map(|i| {
             let mut packet = Ipv4Packet::new(
                 Endpoint::new([10, 0, (i >> 8) as u8, i as u8], 40_000 + i),
@@ -38,12 +48,13 @@ fn packet_stream(login: &[u8], analytics: &[u8]) -> Vec<Ipv4Packet> {
 }
 
 /// One policy-set scenario: the single-shard facade inline vs `inspect_batch`
-/// fanned over 1/2/4/8 shards.
+/// fanned over 1/2/4/8 shards under each batch runtime.
 fn bench_scenario(c: &mut Criterion, scenario: &str, policies: PolicySet) {
     let app = analyzed_solcalendar();
     let packets = packet_stream(
         &app.context_payload("fb-login"),
         &app.context_payload("fb-analytics"),
+        BATCH,
     );
 
     let mut group = c.benchmark_group(format!("sharded_throughput/{scenario}"));
@@ -63,13 +74,26 @@ fn bench_scenario(c: &mut Criterion, scenario: &str, policies: PolicySet) {
     });
 
     let tables = EnforcementTables::shared(&app.database, &policies, EnforcerConfig::default());
-    for shards in [1usize, 2, 4, 8] {
-        let enforcer = ShardedEnforcer::new(tables.clone(), shards);
-        group.bench_with_input(
-            BenchmarkId::new("inspect_batch", shards),
-            &enforcer,
-            |b, enforcer| b.iter(|| black_box(enforcer.inspect_batch(&packets))),
-        );
+    for runtime in [BatchRuntime::Pool, BatchRuntime::Scoped] {
+        for shards in [1usize, 2, 4, 8] {
+            let enforcer = ShardedEnforcer::with_runtime(
+                tables.clone(),
+                shards,
+                FlowTableConfig::default(),
+                runtime,
+            );
+            let mut verdicts = Vec::with_capacity(BATCH);
+            group.bench_with_input(
+                BenchmarkId::new(format!("inspect_batch/{}", runtime.label()), shards),
+                &enforcer,
+                |b, enforcer| {
+                    b.iter(|| {
+                        enforcer.inspect_batch_into(&packets, &mut verdicts);
+                        black_box(verdicts.len())
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -82,5 +106,50 @@ fn bench_sharded(c: &mut Criterion) {
     bench_scenario(c, "blacklist_1050", blacklist_policies());
 }
 
+/// `--json` quick sweep: pkts/sec per (batch size, shards, runtime) on the
+/// case-study policy set, merged into `BENCH_5.json`.
+fn json_sweep() {
+    let app = analyzed_solcalendar();
+    let policies = case_study_policies();
+    let tables = EnforcementTables::shared(&app.database, &policies, EnforcerConfig::default());
+    let login = app.context_payload("fb-login");
+    let analytics = app.context_payload("fb-analytics");
+
+    let mut quick = QuickBench::new("sharded_throughput");
+    for batch in [8usize, 64, 1024] {
+        let packets = packet_stream(&login, &analytics, batch);
+        for shards in [1usize, 2, 4, 8] {
+            for runtime in [BatchRuntime::Scoped, BatchRuntime::Pool] {
+                let enforcer = ShardedEnforcer::with_runtime(
+                    tables.clone(),
+                    shards,
+                    FlowTableConfig::default(),
+                    runtime,
+                );
+                let mut verdicts = Vec::with_capacity(batch);
+                quick.measure(
+                    "case_study_policies",
+                    shards,
+                    batch,
+                    runtime.label(),
+                    batch as u64,
+                    || {
+                        enforcer.inspect_batch_into(&packets, &mut verdicts);
+                        black_box(verdicts.len());
+                    },
+                );
+            }
+        }
+    }
+    quick.finish();
+}
+
 criterion_group!(benches, bench_sharded);
-criterion_main!(benches);
+
+fn main() {
+    if json_mode() {
+        json_sweep();
+    } else {
+        benches();
+    }
+}

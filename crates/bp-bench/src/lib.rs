@@ -103,6 +103,8 @@ impl AnalyzedApp {
     }
 }
 
+pub mod quick;
+
 /// The validation blacklist (one library-level deny per exfiltrating library).
 pub fn blacklist_policies() -> PolicySet {
     let catalog = bp_appsim::catalog::LibraryCatalog::builtin();

@@ -44,8 +44,9 @@
 //! flow's legitimate cached context is retained.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,7 @@ use crate::encoding::ContextEncoding;
 use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
+use crate::runtime::{BatchRuntime, PacketSource, VerdictSlots, WorkerPool};
 
 /// Source of the monotonically increasing epoch stamped onto every
 /// [`EnforcementTables`] build.  Process-global so that *any* recompilation
@@ -298,15 +300,71 @@ impl AtomicEnforcerStats {
 /// Default capacity of the drop log ring buffer.
 pub const DROP_LOG_CAPACITY: usize = 10_000;
 
+/// Why a packet was dropped, as retained by the [`DropLog`].
+///
+/// The log used to store `String`s, which made every drop clone the reason
+/// twice (once into the log, once into the returned
+/// [`Verdict::Drop`]).  A `DropReason` is either a `'static` conformance
+/// diagnostic (appending it is a pointer copy) or an evaluation diagnostic
+/// shared with the flow cache's [`CachedOutcome`] behind an `Arc`
+/// (appending it is a refcount bump) — logging never copies string bytes.
+/// The human-readable text, rendered on demand by
+/// [`DropReason::as_str`] / [`DropLog::to_vec`], is byte-identical to what
+/// the `String` log recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// A fixed conformance diagnostic (§IV-A4 checks, strict-mode untagged
+    /// drops, mid-flow context switches).
+    Static(&'static str),
+    /// A diagnostic rendered during evaluation (malformed context, unknown
+    /// app, policy denial), shared with the cached outcome that produced it.
+    Rendered(Arc<str>),
+}
+
+impl DropReason {
+    /// The reason text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            DropReason::Static(reason) => reason,
+            DropReason::Rendered(reason) => reason,
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&'static str> for DropReason {
+    fn from(reason: &'static str) -> Self {
+        DropReason::Static(reason)
+    }
+}
+
+impl From<String> for DropReason {
+    fn from(reason: String) -> Self {
+        DropReason::Rendered(reason.into())
+    }
+}
+
+impl From<&Arc<str>> for DropReason {
+    fn from(reason: &Arc<str>) -> Self {
+        DropReason::Rendered(Arc::clone(reason))
+    }
+}
+
 /// Bounded log of drop reasons (most recent last).
 ///
 /// Backed by a `VecDeque` ring buffer: hitting the capacity evicts the oldest
 /// entry in O(1), unlike the `Vec::remove(0)` eviction the interpretive
 /// prototype used, which shifted the remaining 10,000 entries on every drop
-/// past capacity.
+/// past capacity.  Entries are [`DropReason`]s, so recording a drop never
+/// copies the reason text.
 #[derive(Debug, Clone)]
 pub struct DropLog {
-    entries: VecDeque<String>,
+    entries: VecDeque<DropReason>,
     capacity: usize,
 }
 
@@ -326,11 +384,11 @@ impl DropLog {
     }
 
     /// Append a reason, evicting the oldest entry if the log is full.
-    pub fn push(&mut self, reason: String) {
+    pub fn push(&mut self, reason: impl Into<DropReason>) {
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
         }
-        self.entries.push_back(reason);
+        self.entries.push_back(reason.into());
     }
 
     /// Number of retained entries.
@@ -350,12 +408,15 @@ impl DropLog {
 
     /// Iterate over retained reasons, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.entries.iter().map(String::as_str)
+        self.entries.iter().map(DropReason::as_str)
     }
 
-    /// Copy the retained reasons into a vector, oldest first.
+    /// Render the retained reasons into a vector, oldest first.
     pub fn to_vec(&self) -> Vec<String> {
-        self.entries.iter().cloned().collect()
+        self.entries
+            .iter()
+            .map(|reason| reason.as_str().to_owned())
+            .collect()
     }
 
     /// Discard all entries.
@@ -435,16 +496,17 @@ impl EnforcementTables {
     fn evaluate_payload(&self, payload: &[u8], scratch: &mut Vec<u32>) -> CachedOutcome {
         let header = match ContextEncoding::decode_into(payload, scratch) {
             Ok(header) => header,
-            Err(e) => return CachedOutcome::Malformed(format!("malformed context option: {e}")),
+            Err(e) => {
+                return CachedOutcome::Malformed(format!("malformed context option: {e}").into())
+            }
         };
         let Some(entry) = self.database.entry(header.app_tag) else {
-            return CachedOutcome::UnknownApp(format!(
-                "unknown application tag {}",
-                header.app_tag
-            ));
+            return CachedOutcome::UnknownApp(
+                format!("unknown application tag {}", header.app_tag).into(),
+            );
         };
         if let Err(e) = entry.validate_indexes(scratch) {
-            return CachedOutcome::Malformed(format!("undecodable stack indexes: {e}"));
+            return CachedOutcome::Malformed(format!("undecodable stack indexes: {e}").into());
         }
 
         // Enforcement over pre-parsed frames (index lookups only).
@@ -467,7 +529,7 @@ impl EnforcementTables {
                     Some(policy) => format!("policy {policy} violated: {reason}"),
                     None => reason,
                 };
-                CachedOutcome::Deny(detail)
+                CachedOutcome::Deny(detail.into())
             }
         }
     }
@@ -489,7 +551,7 @@ impl EnforcementTables {
             CachedOutcome::Malformed(reason) => {
                 if self.config.drop_malformed_context {
                     stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    record_drop(drop_log, reason.clone())
+                    record_drop(drop_log, reason.into())
                 } else {
                     stats.accepted.fetch_add(1, Ordering::Relaxed);
                     Verdict::Accept
@@ -498,7 +560,7 @@ impl EnforcementTables {
             CachedOutcome::UnknownApp(reason) => {
                 if self.config.drop_unknown_apps {
                     stats.unknown_app.fetch_add(1, Ordering::Relaxed);
-                    record_drop(drop_log, reason.clone())
+                    record_drop(drop_log, reason.into())
                 } else {
                     stats.accepted.fetch_add(1, Ordering::Relaxed);
                     Verdict::Accept
@@ -506,7 +568,7 @@ impl EnforcementTables {
             }
             CachedOutcome::Deny(reason) => {
                 stats.by_policy.fetch_add(1, Ordering::Relaxed);
-                record_drop(drop_log, reason.clone())
+                record_drop(drop_log, reason.into())
             }
         }
     }
@@ -535,7 +597,7 @@ impl EnforcementTables {
             stats.duplicate_context.fetch_add(1, Ordering::Relaxed);
             return Err(record_drop(
                 drop_log,
-                "duplicate BorderPatrol context options".to_string(),
+                DropReason::Static("duplicate BorderPatrol context options"),
             ));
         }
         // Non-zero bytes after End-of-List are a covert channel through the
@@ -547,7 +609,7 @@ impl EnforcementTables {
             stats.malformed.fetch_add(1, Ordering::Relaxed);
             return Err(record_drop(
                 drop_log,
-                "non-zero data after end-of-options-list".to_string(),
+                DropReason::Static("non-zero data after end-of-options-list"),
             ));
         }
         let Some(option) = packet.options().find(IpOptionKind::BorderPatrolContext) else {
@@ -555,7 +617,7 @@ impl EnforcementTables {
                 stats.untagged.fetch_add(1, Ordering::Relaxed);
                 return Err(record_drop(
                     drop_log,
-                    "packet carries no BorderPatrol context".to_string(),
+                    DropReason::Static("packet carries no BorderPatrol context"),
                 ));
             }
             return Ok(None);
@@ -647,7 +709,9 @@ impl EnforcementTables {
                     stats.context_switch.fetch_add(1, Ordering::Relaxed);
                     return record_drop(
                         drop_log,
-                        "mid-flow context change (replayed or injected context)".to_string(),
+                        DropReason::Static(
+                            "mid-flow context change (replayed or injected context)",
+                        ),
                     );
                 }
             }
@@ -661,9 +725,18 @@ impl EnforcementTables {
     }
 }
 
-fn record_drop(drop_log: &mut DropLog, reason: String) -> Verdict {
-    drop_log.push(reason.clone());
-    Verdict::Drop { reason }
+/// Log `reason` and return the matching drop verdict.
+///
+/// The log entry is appended by pointer copy or refcount bump (see
+/// [`DropReason`]); the only string the drop path still allocates is the
+/// rendering carried by the returned [`Verdict::Drop`] itself — the old
+/// `String` log paid that allocation *plus* two clones of the reason.
+fn record_drop(drop_log: &mut DropLog, reason: DropReason) -> Verdict {
+    let verdict = Verdict::Drop {
+        reason: reason.as_str().to_owned(),
+    };
+    drop_log.push(reason);
+    verdict
 }
 
 /// The Policy Enforcer NFQUEUE consumer — the single-shard facade over the
@@ -885,14 +958,14 @@ impl PolicyEnforcer {
             self.stats.duplicate_context.fetch_add(1, Ordering::Relaxed);
             return record_drop(
                 &mut self.drop_log,
-                "duplicate BorderPatrol context options".to_string(),
+                DropReason::Static("duplicate BorderPatrol context options"),
             );
         }
         if self.tables.config().drop_malformed_context && packet.options().has_trailing_data() {
             self.stats.malformed.fetch_add(1, Ordering::Relaxed);
             return record_drop(
                 &mut self.drop_log,
-                "non-zero data after end-of-options-list".to_string(),
+                DropReason::Static("non-zero data after end-of-options-list"),
             );
         }
 
@@ -902,7 +975,7 @@ impl PolicyEnforcer {
                 self.stats.untagged.fetch_add(1, Ordering::Relaxed);
                 return record_drop(
                     &mut self.drop_log,
-                    "packet carries no BorderPatrol context".to_string(),
+                    DropReason::Static("packet carries no BorderPatrol context"),
                 );
             }
             self.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -917,7 +990,7 @@ impl PolicyEnforcer {
                     self.stats.malformed.fetch_add(1, Ordering::Relaxed);
                     return record_drop(
                         &mut self.drop_log,
-                        format!("malformed context option: {e}"),
+                        format!("malformed context option: {e}").into(),
                     );
                 }
                 self.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -934,7 +1007,7 @@ impl PolicyEnforcer {
                     self.stats.unknown_app.fetch_add(1, Ordering::Relaxed);
                     return record_drop(
                         &mut self.drop_log,
-                        format!("unknown application tag {}", decoded.app_tag),
+                        format!("unknown application tag {}", decoded.app_tag).into(),
                     );
                 }
                 self.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -945,7 +1018,7 @@ impl PolicyEnforcer {
                     self.stats.malformed.fetch_add(1, Ordering::Relaxed);
                     return record_drop(
                         &mut self.drop_log,
-                        format!("undecodable stack indexes: {e}"),
+                        format!("undecodable stack indexes: {e}").into(),
                     );
                 }
                 self.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -965,7 +1038,7 @@ impl PolicyEnforcer {
                     Some(policy) => format!("policy {policy} violated: {reason}"),
                     None => reason,
                 };
-                record_drop(&mut self.drop_log, detail)
+                record_drop(&mut self.drop_log, detail.into())
             }
         }
     }
@@ -984,6 +1057,12 @@ impl QueueHandler for PolicyEnforcer {
 /// One worker shard: private counters, drop log, decode scratch and flow
 /// table.  Batch partitioning is by flow, so a flow's packets always land on
 /// the same shard and the flow table needs no cross-shard synchronization.
+///
+/// **Lock order**: every path that takes more than one of these mutexes
+/// must acquire them as `scratch` → `drop_log` → `flow` (see
+/// [`EnforcerCore::run_partition`] and [`EnforcerCore::inspect`]).  An
+/// inline `inspect` and a batch worker routinely contend for the same
+/// shard; inconsistent ordering deadlocks them.
 #[derive(Debug, Default)]
 struct EnforcerShard {
     stats: AtomicEnforcerStats,
@@ -1001,32 +1080,14 @@ impl EnforcerShard {
     }
 }
 
-/// A sharded Policy Enforcer: one set of compiled [`EnforcementTables`]
-/// shared by `N` worker shards, each with private mutable state.
+/// The shared half of a [`ShardedEnforcer`]: the hot-swappable tables, the
+/// per-shard mutable state and the simulated clock.
 ///
-/// [`ShardedEnforcer::inspect_batch`] partitions a batch by flow (source
-/// endpoint), inspects each partition on its own OS thread and returns
-/// per-packet verdicts in input order.  Statistics merge across shards
-/// without stopping the workers.
-///
-/// # Examples
-///
-/// ```
-/// use bp_core::enforcer::{EnforcerConfig, EnforcementTables, ShardedEnforcer};
-/// use bp_core::offline::SignatureDatabase;
-/// use bp_core::policy::PolicySet;
-///
-/// let tables = EnforcementTables::shared(
-///     &SignatureDatabase::new(),
-///     &PolicySet::new(),
-///     EnforcerConfig::default(),
-/// );
-/// let enforcer = ShardedEnforcer::new(tables, 4);
-/// assert_eq!(enforcer.shard_count(), 4);
-/// assert_eq!(enforcer.stats().packets_inspected, 0);
-/// ```
+/// Split out behind an `Arc` so the persistent worker threads of the
+/// [`WorkerPool`](crate::runtime) can hold it across batches — the pool's
+/// shutdown join (on enforcer drop) releases the last worker references.
 #[derive(Debug)]
-pub struct ShardedEnforcer {
+pub(crate) struct EnforcerCore {
     /// The active compiled tables.  Behind an `RwLock` so administrators can
     /// hot-swap policies (a control-plane commit installing a new
     /// generation) while workers are mid-batch.  Workers do **not** take
@@ -1046,6 +1107,174 @@ pub struct ShardedEnforcer {
     now_micros: AtomicU64,
 }
 
+impl EnforcerCore {
+    /// Number of worker shards.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The currently active compiled tables.
+    fn tables(&self) -> Arc<EnforcementTables> {
+        Arc::clone(&self.tables.read())
+    }
+
+    /// The enforcer's current view of simulated time.
+    fn now(&self) -> SimDuration {
+        SimDuration::from_micros(self.now_micros.load(Ordering::Relaxed))
+    }
+
+    /// The shard a packet is routed to: flows stick to shards so per-flow
+    /// packet order is preserved within a shard.
+    pub(crate) fn shard_for(&self, packet: &Ipv4Packet) -> usize {
+        let source = packet.source();
+        let octets = source.ip.octets();
+        let mut key = u64::from(u32::from_be_bytes(octets));
+        key = (key << 16) | u64::from(source.port);
+        // Fibonacci hashing spreads sequential addresses across shards.
+        let hashed = key.wrapping_mul(0x9E3779B97F4A7C15);
+        (hashed >> 32) as usize % self.shards.len()
+    }
+
+    /// Inspect one packet inline on its flow's shard (flow-cached).
+    fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
+        let tables = self.tables();
+        let shard = &self.shards[self.shard_for(packet)];
+        // Shard lock order: scratch → drop_log → flow, matching
+        // `run_partition` — an inline inspect and a batch worker contending
+        // for the same shard must never interleave acquisition.
+        let mut scratch = shard.scratch.lock();
+        let mut drop_log = shard.drop_log.lock();
+        let mut flow = shard.flow.lock();
+        tables.inspect_flow_cached(
+            packet,
+            &mut flow,
+            self.now(),
+            &mut scratch,
+            &shard.stats,
+            &mut drop_log,
+        )
+    }
+
+    /// Inspect one shard's partition of a batch, writing each packet's
+    /// verdict into its slot.  This is the shared inner loop of the pool
+    /// workers, the scoped-spawn baseline and the submitter's inline
+    /// partition.
+    ///
+    /// The shard's state is locked once per partition; the active tables are
+    /// snapshotted once and revalidated per packet against the generation
+    /// counter (one acquire load, no lock/refcount traffic), so a concurrent
+    /// table installation still takes effect mid-batch — once the swap
+    /// returns, no later packet is evaluated (or served from cache) under
+    /// the old epoch.
+    ///
+    /// # Safety
+    ///
+    /// Every index must be `< source.len()`, the batch behind `source` must
+    /// outlive the call, `slots` must point at `source.len()` initialized
+    /// verdicts, and no other thread may write the slots of these indexes.
+    #[allow(unsafe_code)]
+    pub(crate) unsafe fn run_partition(
+        &self,
+        shard: usize,
+        source: PacketSource,
+        indexes: &[u32],
+        slots: VerdictSlots,
+    ) {
+        let shard = &self.shards[shard];
+        let mut scratch = shard.scratch.lock();
+        let mut drop_log = shard.drop_log.lock();
+        let mut flow = shard.flow.lock();
+        let mut generation = self.tables_generation.load(Ordering::Acquire);
+        let mut tables = self.tables();
+        for &index in indexes {
+            let current = self.tables_generation.load(Ordering::Acquire);
+            if current != generation {
+                generation = current;
+                tables = self.tables();
+            }
+            let verdict = tables.inspect_flow_cached(
+                source.get(index as usize),
+                &mut flow,
+                self.now(),
+                &mut scratch,
+                &shard.stats,
+                &mut drop_log,
+            );
+            slots.set(index as usize, verdict);
+        }
+    }
+
+    /// The scoped-spawn batch baseline: partition by flow, spawn one scoped
+    /// OS thread per busy shard, join.  Pays a thread spawn/join and fresh
+    /// partition allocations on every batch — exactly the costs the
+    /// [`BatchRuntime::Pool`] runtime eliminates — and is retained for
+    /// equivalence testing and as the bench baseline.
+    #[allow(unsafe_code)]
+    fn inspect_scoped(&self, source: PacketSource, out: &mut [Verdict]) {
+        let shard_count = self.shards.len();
+        let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        for index in 0..source.len() {
+            // SAFETY: `index < len` and the batch outlives this call.
+            let packet = unsafe { source.get(index) };
+            partitions[self.shard_for(packet)].push(index as u32);
+        }
+        let slots = VerdictSlots(out.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for (shard, indexes) in partitions.iter().enumerate() {
+                if indexes.is_empty() {
+                    continue;
+                }
+                let slots = &slots;
+                scope.spawn(move || {
+                    // SAFETY: indexes are in bounds by construction, the
+                    // batch outlives the scope, and partitions are disjoint
+                    // so no slot is written twice.
+                    unsafe { self.run_partition(shard, source, indexes, *slots) };
+                });
+            }
+        });
+    }
+}
+
+/// A sharded Policy Enforcer: one set of compiled [`EnforcementTables`]
+/// shared by `N` worker shards, each with private mutable state.
+///
+/// [`ShardedEnforcer::inspect_batch`] partitions a batch by flow (source
+/// endpoint), inspects each partition on a worker owned by that shard and
+/// returns per-packet verdicts in input order.  By default the workers are
+/// the **persistent threads** of a [`BatchRuntime::Pool`] (spawned lazily on
+/// the first multi-shard batch, parked when idle, joined on drop); the
+/// original spawn-per-batch model remains available as
+/// [`BatchRuntime::Scoped`].  Statistics merge across shards without
+/// stopping the workers.
+///
+/// # Examples
+///
+/// ```
+/// use bp_core::enforcer::{EnforcerConfig, EnforcementTables, ShardedEnforcer};
+/// use bp_core::offline::SignatureDatabase;
+/// use bp_core::policy::PolicySet;
+///
+/// let tables = EnforcementTables::shared(
+///     &SignatureDatabase::new(),
+///     &PolicySet::new(),
+///     EnforcerConfig::default(),
+/// );
+/// let enforcer = ShardedEnforcer::new(tables, 4);
+/// assert_eq!(enforcer.shard_count(), 4);
+/// assert_eq!(enforcer.stats().packets_inspected, 0);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEnforcer {
+    core: Arc<EnforcerCore>,
+    runtime: BatchRuntime,
+    /// The persistent worker pool, spawned on the first pooled multi-shard
+    /// batch so enforcers that never batch (or run [`BatchRuntime::Scoped`])
+    /// cost no threads.  Dropped — shutdown messages, workers joined — with
+    /// the enforcer.
+    pool: OnceLock<WorkerPool>,
+}
+
 impl ShardedEnforcer {
     /// Create an enforcer fanning out over `shards` workers (at least one).
     pub fn new(tables: Arc<EnforcementTables>, shards: usize) -> Self {
@@ -1059,14 +1288,29 @@ impl ShardedEnforcer {
         shards: usize,
         flow: FlowTableConfig,
     ) -> Self {
+        Self::with_runtime(tables, shards, flow, BatchRuntime::default())
+    }
+
+    /// Like [`ShardedEnforcer::with_flow_config`] with an explicit batch
+    /// runtime (see [`BatchRuntime`]).
+    pub fn with_runtime(
+        tables: Arc<EnforcementTables>,
+        shards: usize,
+        flow: FlowTableConfig,
+        runtime: BatchRuntime,
+    ) -> Self {
         let shards = shards.max(1);
         ShardedEnforcer {
-            tables: RwLock::new(tables),
-            tables_generation: AtomicU64::new(0),
-            shards: (0..shards)
-                .map(|_| EnforcerShard::with_flow_config(flow))
-                .collect(),
-            now_micros: AtomicU64::new(0),
+            core: Arc::new(EnforcerCore {
+                tables: RwLock::new(tables),
+                tables_generation: AtomicU64::new(0),
+                shards: (0..shards)
+                    .map(|_| EnforcerShard::with_flow_config(flow))
+                    .collect(),
+                now_micros: AtomicU64::new(0),
+            }),
+            runtime,
+            pool: OnceLock::new(),
         }
     }
 
@@ -1085,12 +1329,17 @@ impl ShardedEnforcer {
 
     /// Number of worker shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shard_count()
+    }
+
+    /// The batch runtime this enforcer fans out with.
+    pub fn runtime(&self) -> BatchRuntime {
+        self.runtime
     }
 
     /// The currently active compiled tables.
     pub fn tables(&self) -> Arc<EnforcementTables> {
-        Arc::clone(&self.tables.read())
+        self.core.tables()
     }
 
     /// Hot-swap the compiled tables.
@@ -1113,34 +1362,38 @@ impl ShardedEnforcer {
     /// Safe under concurrent [`ShardedEnforcer::inspect_batch`]: once this
     /// returns, every subsequently inspected packet is evaluated against
     /// `tables`, and flow-table entries cached under the previous epoch can
-    /// no longer be served (their probes miss and re-evaluate).
+    /// no longer be served (their probes miss and re-evaluate).  Pool
+    /// workers and scoped workers alike observe the swap through the
+    /// generation counter they revalidate per packet.
     pub(crate) fn install_tables(&self, tables: Arc<EnforcementTables>) {
-        *self.tables.write() = tables;
+        *self.core.tables.write() = tables;
         // Release-publish the swap *after* installation: a worker that
         // observes the new generation (acquire) and re-reads the lock is
         // guaranteed to see the new tables.
-        self.tables_generation.fetch_add(1, Ordering::Release);
+        self.core.tables_generation.fetch_add(1, Ordering::Release);
     }
 
     /// Advance the enforcer's view of simulated time (used for flow-table
     /// TTL expiry).  Callable from the clock owner while workers run.
     pub fn set_now(&self, now: SimDuration) {
-        self.now_micros.store(now.as_micros(), Ordering::Relaxed);
+        self.core
+            .now_micros
+            .store(now.as_micros(), Ordering::Relaxed);
     }
 
     /// The enforcer's current view of simulated time.
     pub fn now(&self) -> SimDuration {
-        SimDuration::from_micros(self.now_micros.load(Ordering::Relaxed))
+        self.core.now()
     }
 
     /// Number of flows currently tracked across all shards' verdict caches.
     pub fn flow_cache_len(&self) -> usize {
-        self.shards.iter().map(|s| s.flow.lock().len()).sum()
+        self.core.shards.iter().map(|s| s.flow.lock().len()).sum()
     }
 
     /// Drop every cached flow verdict on every shard (statistics are kept).
     pub fn clear_flow_cache(&self) {
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             shard.flow.lock().clear();
         }
     }
@@ -1148,102 +1401,80 @@ impl ShardedEnforcer {
     /// The shard a packet is routed to: flows stick to shards so per-flow
     /// packet order is preserved within a shard.
     pub fn shard_for(&self, packet: &Ipv4Packet) -> usize {
-        let source = packet.source();
-        let octets = source.ip.octets();
-        let mut key = u64::from(u32::from_be_bytes(octets));
-        key = (key << 16) | u64::from(source.port);
-        // Fibonacci hashing spreads sequential addresses across shards.
-        let hashed = key.wrapping_mul(0x9E3779B97F4A7C15);
-        (hashed >> 32) as usize % self.shards.len()
+        self.core.shard_for(packet)
     }
 
     /// Inspect one packet inline on its flow's shard (flow-cached).
     pub fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
-        let tables = self.tables();
-        let shard = &self.shards[self.shard_for(packet)];
-        tables.inspect_flow_cached(
-            packet,
-            &mut shard.flow.lock(),
-            self.now(),
-            &mut shard.scratch.lock(),
-            &shard.stats,
-            &mut shard.drop_log.lock(),
-        )
+        self.core.inspect(packet)
     }
 
     /// Inspect a batch of packets, fanning partitions across the shards'
-    /// worker threads, and return verdicts in input order.
+    /// workers, and return verdicts in input order.
+    ///
+    /// Allocates the returned vector; hot loops that inspect batch after
+    /// batch should reuse a buffer through
+    /// [`ShardedEnforcer::inspect_batch_into`], which allocates nothing on
+    /// the all-accept path.
     pub fn inspect_batch(&self, packets: &[Ipv4Packet]) -> Vec<Verdict> {
-        let refs: Vec<&Ipv4Packet> = packets.iter().collect();
-        self.inspect_batch_refs(&refs)
+        let mut verdicts = Vec::with_capacity(packets.len());
+        self.inspect_batch_into(packets, &mut verdicts);
+        verdicts
     }
 
-    fn inspect_batch_refs(&self, packets: &[&Ipv4Packet]) -> Vec<Verdict> {
-        let shard_count = self.shards.len();
-        if shard_count == 1 || packets.len() <= 1 {
-            return packets.iter().map(|packet| self.inspect(packet)).collect();
-        }
+    /// Inspect a batch of packets, writing verdicts (input order, one per
+    /// packet) into `verdicts`, which is cleared first.
+    ///
+    /// With a reused `verdicts` buffer and the [`BatchRuntime::Pool`]
+    /// runtime this performs **zero allocations** per batch on the
+    /// all-accept path: partitions land in the pool's reused index buffers,
+    /// jobs travel through fixed ring slots, and each verdict is written in
+    /// place into its slot.
+    pub fn inspect_batch_into(&self, packets: &[Ipv4Packet], verdicts: &mut Vec<Verdict>) {
+        self.inspect_source_into(PacketSource::slice(packets), verdicts);
+    }
 
-        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
-        for (index, packet) in packets.iter().enumerate() {
-            partitions[self.shard_for(packet)].push(index);
+    /// Shared batch implementation over either batch shape (owned slice or
+    /// NFQUEUE reference batch).
+    fn inspect_source_into(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        let len = source.len();
+        if self.core.shard_count() == 1 || len <= 1 {
+            verdicts.reserve(len);
+            for index in 0..len {
+                // SAFETY: `index < len` and the caller's batch outlives this
+                // call.
+                #[allow(unsafe_code)]
+                let packet = unsafe { source.get(index) };
+                verdicts.push(self.core.inspect(packet));
+            }
+            return;
         }
-
-        let mut verdicts: Vec<Option<Verdict>> = vec![None; packets.len()];
-        std::thread::scope(|scope| {
-            let mut pending = Vec::new();
-            for (shard, indexes) in self.shards.iter().zip(&partitions) {
-                if indexes.is_empty() {
-                    continue;
-                }
-                pending.push(scope.spawn(move || {
-                    let mut scratch = shard.scratch.lock();
-                    let mut drop_log = shard.drop_log.lock();
-                    let mut flow = shard.flow.lock();
-                    // Snapshot the active tables once, then revalidate per
-                    // packet against the generation counter (one acquire
-                    // load, no lock/refcount traffic): a concurrent table
-                    // installation still takes effect mid-batch, so once the
-                    // swap returns no later packet is evaluated (or served
-                    // from cache) under the old epoch.
-                    let mut generation = self.tables_generation.load(Ordering::Acquire);
-                    let mut tables = self.tables();
-                    indexes
-                        .iter()
-                        .map(|&index| {
-                            let current = self.tables_generation.load(Ordering::Acquire);
-                            if current != generation {
-                                generation = current;
-                                tables = self.tables();
-                            }
-                            let verdict = tables.inspect_flow_cached(
-                                packets[index],
-                                &mut flow,
-                                self.now(),
-                                &mut scratch,
-                                &shard.stats,
-                                &mut drop_log,
-                            );
-                            (index, verdict)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for worker in pending {
-                for (index, verdict) in worker.join().expect("enforcer shard panicked") {
-                    verdicts[index] = Some(verdict);
-                }
-            }
-        });
-        verdicts
-            .into_iter()
-            .map(|verdict| verdict.expect("every packet was partitioned to a shard"))
-            .collect()
+        // Pre-size the slot array with **fail-closed** placeholders: every
+        // slot is overwritten by exactly one worker on the normal path, and
+        // a partition that panics mid-batch leaves its uninspected packets
+        // reading as drops — never as silent accepts — should a caller
+        // catch the re-raised panic and consult the buffer.  An empty
+        // `String` owns no heap, so the resize allocates nothing.
+        verdicts.resize(
+            len,
+            Verdict::Drop {
+                reason: String::new(),
+            },
+        );
+        match self.runtime {
+            BatchRuntime::Scoped => self.core.inspect_scoped(source, verdicts),
+            BatchRuntime::Pool => self
+                .pool
+                .get_or_init(|| WorkerPool::spawn(&self.core))
+                .inspect(&self.core, source, verdicts),
+        }
     }
 
     /// Merged statistics across all shards.
     pub fn stats(&self) -> EnforcerStats {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|shard| shard.stats.snapshot())
             .fold(EnforcerStats::default(), |acc, shard| acc.merged(&shard))
@@ -1251,7 +1482,8 @@ impl ShardedEnforcer {
 
     /// Per-shard statistics snapshots.
     pub fn shard_stats(&self) -> Vec<EnforcerStats> {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|shard| shard.stats.snapshot())
             .collect()
@@ -1260,7 +1492,8 @@ impl ShardedEnforcer {
     /// Drop reasons across all shards (grouped by shard, oldest first within
     /// each shard).
     pub fn drop_log(&self) -> Vec<String> {
-        self.shards
+        self.core
+            .shards
             .iter()
             .flat_map(|shard| shard.drop_log.lock().to_vec())
             .collect()
@@ -1269,7 +1502,7 @@ impl ShardedEnforcer {
     /// Reset statistics and drop logs on every shard (flow caches are kept;
     /// see [`ShardedEnforcer::clear_flow_cache`]).
     pub fn reset_stats(&self) {
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             shard.stats.reset();
             shard.drop_log.lock().clear();
         }
@@ -1285,11 +1518,10 @@ impl QueueHandler for ShardedEnforcer {
         ShardedEnforcer::inspect(self, packet)
     }
 
-    fn handle_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
-        // The enforcer only reads packets; reborrow the batch immutably so
-        // the partitions can be inspected concurrently.
-        let refs: Vec<&Ipv4Packet> = packets.iter().map(|packet| &**packet).collect();
-        self.inspect_batch_refs(&refs)
+    fn handle_batch_into(&mut self, packets: &mut [&mut Ipv4Packet], verdicts: &mut Vec<Verdict>) {
+        // The enforcer only reads packets; view the reference batch directly
+        // instead of collecting an intermediate `Vec<&Ipv4Packet>`.
+        self.inspect_source_into(PacketSource::refs(packets), verdicts);
     }
 }
 
@@ -1917,5 +2149,227 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(sharded.shard_for(&packet), shard);
         }
+    }
+
+    /// A multi-flow stream mixing accepted, denied, malformed and untagged
+    /// packets.
+    fn mixed_stream(analytics: &[u8], login: &[u8], count: u16) -> Vec<Ipv4Packet> {
+        (0..count)
+            .map(|i| {
+                let mut packet = Ipv4Packet::new(
+                    Endpoint::new([10, 0, (i >> 8) as u8, i as u8], 40_000 + i),
+                    Endpoint::new([31, 13, 71, 36], 443),
+                    b"POST /beacon HTTP/1.1".to_vec(),
+                );
+                let payload = match i % 4 {
+                    0 => Some(analytics.to_vec()),
+                    1 => Some(login.to_vec()),
+                    2 => Some(vec![9, 9, 9]),
+                    _ => None,
+                };
+                if let Some(payload) = payload {
+                    packet
+                        .options_mut()
+                        .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload).unwrap())
+                        .unwrap();
+                }
+                packet
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_and_scoped_runtimes_agree_on_a_mixed_stream() {
+        let (db, analytics, login) = solcalendar_fixture();
+        let policies = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Class,
+            "com/facebook/appevents",
+        )]);
+        let tables = EnforcementTables::shared(&db, &policies, EnforcerConfig::default());
+        let packets = mixed_stream(&analytics, &login, 256);
+
+        for shards in [2usize, 4, 8] {
+            let pool = ShardedEnforcer::with_runtime(
+                Arc::clone(&tables),
+                shards,
+                FlowTableConfig::default(),
+                BatchRuntime::Pool,
+            );
+            let scoped = ShardedEnforcer::with_runtime(
+                Arc::clone(&tables),
+                shards,
+                FlowTableConfig::default(),
+                BatchRuntime::Scoped,
+            );
+            assert_eq!(pool.runtime(), BatchRuntime::Pool);
+            assert_eq!(scoped.runtime(), BatchRuntime::Scoped);
+            // Several batches so the second round replays from the flow
+            // caches on both runtimes.
+            for _ in 0..3 {
+                assert_eq!(pool.inspect_batch(&packets), scoped.inspect_batch(&packets));
+            }
+            assert_eq!(pool.stats(), scoped.stats());
+            let mut pool_log = pool.drop_log();
+            let mut scoped_log = scoped.drop_log();
+            pool_log.sort();
+            scoped_log.sort();
+            assert_eq!(pool_log, scoped_log);
+        }
+    }
+
+    #[test]
+    fn inspect_batch_into_reuses_the_buffer_and_matches_inspect_batch() {
+        let (db, analytics, login) = solcalendar_fixture();
+        let sharded =
+            ShardedEnforcer::from_parts(&db, &PolicySet::new(), EnforcerConfig::default(), 4);
+        let packets = mixed_stream(&analytics, &login, 64);
+        let mut reused = Vec::new();
+        for _ in 0..3 {
+            sharded.inspect_batch_into(&packets, &mut reused);
+            assert_eq!(reused.len(), packets.len());
+        }
+        let fresh = sharded.inspect_batch(&packets);
+        sharded.inspect_batch_into(&packets, &mut reused);
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn dropping_the_enforcer_shuts_down_and_joins_all_pool_workers() {
+        let (db, analytics, login) = solcalendar_fixture();
+        let sharded =
+            ShardedEnforcer::from_parts(&db, &PolicySet::new(), EnforcerConfig::strict(), 4);
+        let packets = mixed_stream(&analytics, &login, 64);
+        // Force the pool to spawn, then watch its workers and the shared
+        // core across the enforcer's drop.
+        let verdicts = sharded.inspect_batch(&packets);
+        assert_eq!(verdicts.len(), packets.len());
+        let pool = sharded.pool.get().expect("pool spawned by the batch");
+        let live = pool.live_workers();
+        assert_eq!(live.load(Ordering::Relaxed), 4);
+        let core = Arc::downgrade(&sharded.core);
+
+        drop(sharded);
+
+        // Drop joined every worker (no detached threads), and with the
+        // workers gone nothing still references the shared core (no leaked
+        // flow tables, stats or table snapshots).
+        assert_eq!(live.load(Ordering::Acquire), 0);
+        assert!(
+            core.upgrade().is_none(),
+            "enforcer core leaked past drop (a worker still holds it)"
+        );
+    }
+
+    #[test]
+    fn an_unbatched_enforcer_spawns_no_pool_threads() {
+        let (db, analytics, _) = solcalendar_fixture();
+        let sharded =
+            ShardedEnforcer::from_parts(&db, &PolicySet::new(), EnforcerConfig::default(), 4);
+        // Inline single-packet inspection and single-packet "batches" never
+        // touch the pool.
+        assert!(sharded
+            .inspect(&tagged_packet(analytics.clone()))
+            .is_accept());
+        let _ = sharded.inspect_batch(&[tagged_packet(analytics)]);
+        assert!(
+            sharded.pool.get().is_none(),
+            "quiet enforcer spawned threads"
+        );
+    }
+
+    /// Drop-log regression: the rendered text must be byte-identical to what
+    /// the `String`-based log recorded before [`DropReason`] (operator
+    /// tooling greps these lines).
+    #[test]
+    fn drop_log_text_is_byte_identical_to_the_string_log() {
+        let (db, analytics, _) = solcalendar_fixture();
+        let policies = PolicySet::from_policies(vec![Policy::deny(
+            EnforcementLevel::Class,
+            "com/facebook/appevents",
+        )]);
+        let config = EnforcerConfig {
+            drop_untagged: true,
+            drop_context_switch: true,
+            ..EnforcerConfig::default()
+        };
+        let mut enforcer = PolicyEnforcer::new(db, policies, config);
+
+        // One distinct flow per case so the flow cache never reroutes a
+        // later case into a mid-flow context switch.
+        let flow_packet = |port: u16, payload: Option<Vec<u8>>| {
+            let mut packet = Ipv4Packet::new(
+                Endpoint::new([10, 0, 0, 4], port),
+                Endpoint::new([31, 13, 71, 36], 443),
+                b"POST /beacon HTTP/1.1".to_vec(),
+            );
+            if let Some(payload) = payload {
+                packet
+                    .options_mut()
+                    .push(IpOption::new(IpOptionKind::BorderPatrolContext, payload).unwrap())
+                    .unwrap();
+            }
+            packet
+        };
+
+        // Untagged.
+        enforcer.inspect(&flow_packet(50_000, None));
+        // Malformed (short payload).
+        enforcer.inspect(&flow_packet(50_001, Some(vec![1, 2, 3])));
+        // Unknown app.
+        let bogus = ContextEncoding::encode(
+            bp_types::ApkHash::digest(b"never-analyzed").tag(),
+            &[0],
+            false,
+        )
+        .unwrap();
+        enforcer.inspect(&flow_packet(50_002, Some(bogus)));
+        // Duplicate options.
+        let mut duplicate = flow_packet(50_003, Some(analytics.clone()));
+        duplicate
+            .options_mut()
+            .push(IpOption::new(IpOptionKind::BorderPatrolContext, analytics.clone()).unwrap())
+            .unwrap();
+        enforcer.inspect(&duplicate);
+        // Policy deny, then a mid-flow switch on the same live flow.
+        enforcer.inspect(&flow_packet(50_004, Some(analytics)));
+        enforcer.inspect(&flow_packet(50_004, Some(vec![7; 12])));
+
+        let log = enforcer.drop_log();
+        assert_eq!(log[0], "packet carries no BorderPatrol context");
+        assert!(
+            log[1].starts_with("malformed context option: "),
+            "unexpected malformed rendering: {}",
+            log[1]
+        );
+        assert!(
+            log[2].starts_with("unknown application tag "),
+            "unexpected unknown-app rendering: {}",
+            log[2]
+        );
+        assert_eq!(log[3], "duplicate BorderPatrol context options");
+        assert!(
+            log[4].starts_with("policy ")
+                && log[4].contains("violated: ")
+                && log[4].contains("com/facebook/appevents"),
+            "unexpected deny rendering: {}",
+            log[4]
+        );
+        assert_eq!(
+            log[5],
+            "mid-flow context change (replayed or injected context)"
+        );
+        // Every drop verdict's reason equals its log line.
+        assert_eq!(enforcer.stats().total_dropped(), log.len() as u64);
+    }
+
+    #[test]
+    fn drop_reason_renders_and_converts() {
+        assert_eq!(DropReason::Static("static").as_str(), "static");
+        assert_eq!(DropReason::from("static"), DropReason::Static("static"));
+        let rendered = DropReason::from(String::from("rendered"));
+        assert_eq!(rendered.as_str(), "rendered");
+        assert_eq!(rendered.to_string(), "rendered");
+        let shared: Arc<str> = "shared".into();
+        assert_eq!(DropReason::from(&shared).as_str(), "shared");
     }
 }

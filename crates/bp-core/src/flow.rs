@@ -38,6 +38,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
 use bp_netsim::clock::SimDuration;
 use bp_netsim::packet::FlowKey;
@@ -138,17 +139,22 @@ type FlowMap = HashMap<FlowKey, FlowEntry, BuildHasherDefault<FlowKeyHasher>>;
 /// decided by `EnforcementTables::apply_outcome`, so replaying a cached
 /// outcome produces byte-identical verdicts, statistics and drop-log entries
 /// to a fresh evaluation.
+///
+/// Diagnostics are carried as `Arc<str>`: cloning an outcome into (or out
+/// of) the flow table, and appending its reason to the drop log, bumps a
+/// refcount instead of copying string bytes — the rendering is paid once,
+/// at evaluation time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CachedOutcome {
     /// No policy matched (or an allow won): the packet passes.
     Accept,
     /// The payload failed to decode or referenced indexes outside the app's
     /// method table; the reason is the rendered diagnostic.
-    Malformed(String),
+    Malformed(Arc<str>),
     /// The app tag is not present in the signature database.
-    UnknownApp(String),
+    UnknownApp(Arc<str>),
     /// A deny policy matched; the reason is the fully rendered drop detail.
-    Deny(String),
+    Deny(Arc<str>),
 }
 
 /// The result of one [`FlowTable::probe`].

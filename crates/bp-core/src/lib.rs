@@ -25,6 +25,10 @@
 //! * [`flow`] — connection tracking for the enforcer: a bounded per-shard
 //!   flow table caching verdicts per (flow, context payload, tables epoch),
 //!   so the packets of a long-lived flow skip decode/resolve/evaluate.
+//! * [`runtime`] — the data-plane worker runtime: a persistent per-shard
+//!   worker pool fed through bounded SPSC rings, replacing the
+//!   spawn-per-batch model so small batches cost a wake/park handshake
+//!   instead of OS thread creation.
 //! * [`sanitizer`] — the **Packet Sanitizer**: strips the context option from
 //!   conforming packets before they leave the enterprise perimeter.
 //! * [`policy_extractor`] — the differential profiling tool that helps
@@ -46,7 +50,10 @@
 //! # Ok::<(), bp_types::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide rather than forbidden: the data-plane worker
+// runtime ([`runtime`]) opts back in for one audited borrowed-batch handoff
+// protocol (see its module docs); every other module remains unsafe-free.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod context;
@@ -57,6 +64,7 @@ pub mod flow;
 pub mod offline;
 pub mod policy;
 pub mod policy_extractor;
+pub mod runtime;
 pub mod sanitizer;
 
 pub use context::{ContextManager, ContextManagerConfig};
@@ -66,8 +74,8 @@ pub use control::{
 };
 pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_PAYLOAD};
 pub use enforcer::{
-    AtomicEnforcerStats, DropLog, EnforcementTables, EnforcerConfig, EnforcerStats, PolicyEnforcer,
-    ShardedEnforcer,
+    AtomicEnforcerStats, DropLog, DropReason, EnforcementTables, EnforcerConfig, EnforcerStats,
+    PolicyEnforcer, ShardedEnforcer,
 };
 pub use flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 pub use offline::{
@@ -75,4 +83,5 @@ pub use offline::{
 };
 pub use policy::{CompiledPolicySet, CompiledVerdict, Decision, Policy, PolicyAction, PolicySet};
 pub use policy_extractor::{PolicyExtractor, ProfileRun};
+pub use runtime::BatchRuntime;
 pub use sanitizer::PacketSanitizer;

@@ -97,9 +97,9 @@ impl PacketSanitizer {
     ///
     /// Equivalent to calling [`PacketSanitizer::sanitize`] on each packet in
     /// order — same packets, same statistics — but reached through one
-    /// [`QueueHandler::handle_batch`] dispatch, so the batched filter chain
-    /// pays one queue delivery (and one handler lock) per batch instead of
-    /// per packet.
+    /// [`QueueHandler::handle_batch_into`] dispatch, so the batched filter
+    /// chain pays one queue delivery (and one handler lock) per batch
+    /// instead of per packet.
     pub fn sanitize_batch(&mut self, packets: &mut [&mut Ipv4Packet]) {
         for packet in packets {
             self.sanitize(packet);
@@ -117,9 +117,10 @@ impl QueueHandler for PacketSanitizer {
         Verdict::Accept
     }
 
-    fn handle_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
+    fn handle_batch_into(&mut self, packets: &mut [&mut Ipv4Packet], verdicts: &mut Vec<Verdict>) {
         self.sanitize_batch(packets);
-        vec![Verdict::Accept; packets.len()]
+        verdicts.clear();
+        verdicts.resize(packets.len(), Verdict::Accept);
     }
 }
 
@@ -243,7 +244,8 @@ mod tests {
         let mut batched = PacketSanitizer::new();
         let mut packets = make_batch();
         let mut refs: Vec<&mut Ipv4Packet> = packets.iter_mut().collect();
-        let verdicts = batched.handle_batch(&mut refs);
+        let mut verdicts = Vec::new();
+        batched.handle_batch_into(&mut refs, &mut verdicts);
 
         assert!(verdicts.iter().all(Verdict::is_accept));
         assert_eq!(verdicts.len(), expected.len());

@@ -60,16 +60,22 @@ pub trait QueueHandler: Send {
     /// (the Packet Sanitizer strips options here).
     fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict;
 
-    /// Inspect a batch of packets, returning one verdict per packet in input
-    /// order.  [`FilterChain::process_batch`] drains queues through this
-    /// entry point, so handlers that can parallelize or amortize per-packet
-    /// work (e.g. a sharded Policy Enforcer) override it; the default simply
-    /// loops over [`QueueHandler::handle`].
-    fn handle_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
-        packets
-            .iter_mut()
-            .map(|packet| self.handle(packet))
-            .collect()
+    /// Inspect a batch of packets, writing one verdict per packet (input
+    /// order) into `verdicts`, which is cleared first.
+    ///
+    /// This is the primary batch entry point:
+    /// [`FilterChain::process_batch`] drains queues through it, so handlers
+    /// that can parallelize or amortize per-packet work (e.g. a sharded
+    /// Policy Enforcer with its persistent worker pool) override **this**
+    /// method; the default simply loops over [`QueueHandler::handle`].
+    /// Taking the caller's buffer lets such handlers run allocation-free on
+    /// the accept path.
+    fn handle_batch_into(&mut self, packets: &mut [&mut Ipv4Packet], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(packets.len());
+        for packet in packets.iter_mut() {
+            verdicts.push(self.handle(packet));
+        }
     }
 }
 
@@ -215,23 +221,37 @@ impl NfQueue {
         verdict
     }
 
-    /// Deliver a batch to the handler's [`QueueHandler::handle_batch`] entry
-    /// point and return per-packet verdicts in input order.
+    /// Deliver a batch to the handler's batch entry point and return
+    /// per-packet verdicts in input order.
     pub fn deliver_batch(&mut self, packets: &mut [&mut Ipv4Packet]) -> Vec<Verdict> {
+        let mut verdicts = Vec::with_capacity(packets.len());
+        self.deliver_batch_into(packets, &mut verdicts);
+        verdicts
+    }
+
+    /// Deliver a batch to the handler's
+    /// [`QueueHandler::handle_batch_into`] entry point, writing per-packet
+    /// verdicts (input order) into `verdicts`, which is cleared first.
+    /// Reusing the buffer across deliveries keeps the queue → handler path
+    /// allocation-free.
+    pub fn deliver_batch_into(
+        &mut self,
+        packets: &mut [&mut Ipv4Packet],
+        verdicts: &mut Vec<Verdict>,
+    ) {
         self.stats.received += packets.len() as u64;
-        let verdicts = self.handler.lock().handle_batch(packets);
+        self.handler.lock().handle_batch_into(packets, verdicts);
         debug_assert_eq!(
             verdicts.len(),
             packets.len(),
             "handler returned wrong verdict count"
         );
-        for verdict in &verdicts {
+        for verdict in verdicts.iter() {
             match verdict {
                 Verdict::Accept => self.stats.accepted += 1,
                 Verdict::Drop { .. } => self.stats.dropped += 1,
             }
         }
-        verdicts
     }
 }
 
@@ -300,7 +320,7 @@ impl FilterChain {
     }
 
     /// Push a batch of packets through the chain, draining each NFQUEUE with
-    /// its handler's batch entry point ([`QueueHandler::handle_batch`]).
+    /// its handler's batch entry point ([`QueueHandler::handle_batch_into`]).
     ///
     /// Outcomes are returned in input order and match what per-packet
     /// [`FilterChain::process`] calls would produce: rules are evaluated in
@@ -310,6 +330,7 @@ impl FilterChain {
         let mut outcomes: Vec<Option<ChainOutcome>> = vec![None; packets.len()];
         let mut queues_traversed = vec![0usize; packets.len()];
         let mut alive: Vec<usize> = (0..packets.len()).collect();
+        let mut verdicts: Vec<Verdict> = Vec::new();
 
         for rule in &self.rules {
             if alive.is_empty() {
@@ -360,10 +381,10 @@ impl FilterChain {
                         .enumerate()
                         .filter_map(|(index, packet)| in_matching[index].then_some(packet))
                         .collect();
-                    let verdicts = queue.deliver_batch(&mut batch);
+                    queue.deliver_batch_into(&mut batch, &mut verdicts);
                     let by = queue.handler.lock().name().to_string();
                     let mut survivors = Vec::with_capacity(matching.len());
-                    for (index, verdict) in matching.iter().zip(verdicts) {
+                    for (index, verdict) in matching.iter().zip(verdicts.drain(..)) {
                         match verdict {
                             Verdict::Accept => survivors.push(*index),
                             Verdict::Drop { reason } => {
@@ -659,13 +680,14 @@ mod tests {
     }
 
     #[test]
-    fn default_handle_batch_loops_over_handle() {
+    fn default_handle_batch_into_loops_over_handle() {
         let mut handler = DropOdd { seen: 0 };
         let mut a = packet_to([1, 1, 1, 1], 80);
         let mut b = packet_to([1, 1, 1, 1], 81);
         let mut c = packet_to([1, 1, 1, 1], 82);
         let mut batch: Vec<&mut Ipv4Packet> = vec![&mut a, &mut b, &mut c];
-        let verdicts = handler.handle_batch(&mut batch);
+        let mut verdicts = vec![Verdict::Accept];
+        handler.handle_batch_into(&mut batch, &mut verdicts);
         assert_eq!(verdicts.len(), 3);
         assert!(!verdicts[0].is_accept());
         assert!(verdicts[1].is_accept());

@@ -1,14 +1,75 @@
-//! Performance sweep: regenerate Fig. 4 and the connection-scaling series.
+//! Performance sweep: regenerate Fig. 4 and the connection-scaling series,
+//! then compare the data plane's batch runtimes.
 //!
 //! Replays the paper's stress test (repeated HTTP GETs for a 297-byte page)
 //! across the six stack configurations of Fig. 4 and prints the mean latency
 //! per configuration, the two deltas the paper highlights (NFQUEUE consumer
 //! and `getStackTrace`), and the per-connection overhead as the number of
-//! connections grows into the thousands.
+//! connections grows into the thousands.  The final section times
+//! `inspect_batch` under the persistent worker pool vs the scoped
+//! spawn-per-batch baseline across batch sizes — the small-batch regime is
+//! where per-batch thread spawns dominate and the pool pays off.
 //!
 //! Run with: `cargo run --release --example perf_sweep`
 
+use std::time::Instant;
+
 use borderpatrol::analysis::experiments::{fig4, scaling};
+use borderpatrol::core::policy::Policy;
+use borderpatrol::netsim::addr::Endpoint;
+use borderpatrol::netsim::options::{IpOption, IpOptionKind};
+use borderpatrol::netsim::packet::Ipv4Packet;
+use borderpatrol::types::EnforcementLevel;
+use borderpatrol::{BatchRuntime, Engine};
+
+/// Time `inspect_batch` on a fresh 4-shard engine under `runtime`,
+/// returning packets/second over ~100 ms of batches.
+fn batch_throughput(runtime: BatchRuntime, packets: &[Ipv4Packet]) -> f64 {
+    let engine = Engine::builder()
+        .shards(4)
+        .batch_runtime(runtime)
+        .policy(Policy::deny(EnforcementLevel::Library, "com/flurry"))
+        .build();
+    let data_plane = engine.data_plane();
+    let mut verdicts = Vec::with_capacity(packets.len());
+    data_plane.inspect_batch_into(packets, &mut verdicts);
+    let start = Instant::now();
+    let mut batches = 0u64;
+    while start.elapsed().as_millis() < 100 {
+        data_plane.inspect_batch_into(packets, &mut verdicts);
+        batches += 1;
+    }
+    batches as f64 * packets.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn batch_runtime_sweep() {
+    println!("Batch runtime: persistent worker pool vs scoped spawn-per-batch (4 shards)");
+    for batch in [8usize, 64, 1024] {
+        let packets: Vec<Ipv4Packet> = (0..batch as u16)
+            .map(|i| {
+                let mut packet = Ipv4Packet::new(
+                    Endpoint::new([10, 0, (i >> 8) as u8, i as u8], 40_000 + i),
+                    Endpoint::new([198, 51, 100, 7], 443),
+                    vec![0xA5; 64],
+                );
+                packet
+                    .options_mut()
+                    .push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 9]).unwrap())
+                    .unwrap();
+                packet
+            })
+            .collect();
+        let pool = batch_throughput(BatchRuntime::Pool, &packets);
+        let scoped = batch_throughput(BatchRuntime::Scoped, &packets);
+        println!(
+            "  batch {batch:>5}: pool {:>12.0} pkts/s   scoped {:>12.0} pkts/s   ({:.1}x)",
+            pool,
+            scoped,
+            pool / scoped
+        );
+    }
+    println!();
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fig4_result = fig4::run(&fig4::Fig4Config { iterations: 1_000 })?;
@@ -30,6 +91,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!("{}", scaling_result.to_table());
     assert!(scaling_result.per_connection_cost_is_flat(100));
-    println!("Per-connection overhead stays flat out to thousands of connections.");
+    println!("Per-connection overhead stays flat out to thousands of connections.\n");
+
+    batch_runtime_sweep();
     Ok(())
 }

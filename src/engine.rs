@@ -41,6 +41,7 @@ use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::SignatureDatabase;
 use bp_core::policy::{Policy, PolicySet};
+use bp_core::runtime::BatchRuntime;
 
 /// A complete BorderPatrol enforcement engine: a [`ShardedEnforcer`] data
 /// plane registered as an endpoint of a [`ControlPlane`].
@@ -87,6 +88,7 @@ pub struct EngineBuilder {
     policies: PolicySet,
     database: SignatureDatabase,
     flow: FlowTableConfig,
+    runtime: BatchRuntime,
     retain: usize,
 }
 
@@ -98,6 +100,7 @@ impl Default for EngineBuilder {
             policies: PolicySet::new(),
             database: SignatureDatabase::new(),
             flow: FlowTableConfig::default(),
+            runtime: BatchRuntime::default(),
             retain: DEFAULT_RETAIN,
         }
     }
@@ -154,6 +157,13 @@ impl EngineBuilder {
         self
     }
 
+    /// The data plane's batch runtime: the persistent per-shard worker pool
+    /// (default) or the scoped spawn-per-batch baseline.
+    pub fn batch_runtime(mut self, runtime: BatchRuntime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
     /// How many previous generations the control plane retains for
     /// rollback.
     pub fn retain(mut self, retain: usize) -> Self {
@@ -166,10 +176,11 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         let mut control =
             ControlPlane::with_retain(self.database, self.policies, self.config, self.retain);
-        let data_plane = Arc::new(ShardedEnforcer::with_flow_config(
+        let data_plane = Arc::new(ShardedEnforcer::with_runtime(
             control.tables(),
             self.shards,
             self.flow,
+            self.runtime,
         ));
         control.register(Arc::clone(&data_plane) as Arc<dyn EnforcementEndpoint>);
         Engine {
@@ -189,6 +200,7 @@ mod tests {
         let mut engine = Engine::builder()
             .shards(3)
             .strict()
+            .batch_runtime(BatchRuntime::Pool)
             .policy(Policy::deny(EnforcementLevel::Library, "com/flurry"))
             .build();
         assert_eq!(engine.data_plane().shard_count(), 3);

@@ -44,6 +44,7 @@
 
 pub mod engine;
 
+pub use bp_core::runtime::BatchRuntime;
 pub use engine::{Engine, EngineBuilder};
 
 /// Shared vocabulary types ([`bp_types`]).

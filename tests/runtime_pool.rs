@@ -1,0 +1,274 @@
+//! The persistent per-shard worker runtime: integration tests proving the
+//! pool fans batches out exactly like the scoped-spawn baseline — same
+//! verdicts, same statistics, same drop-log multiset — on 1, 4 and 8
+//! shards, including under a mid-batch control-plane hot swap, and that an
+//! engine owning a pool shuts down cleanly.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use borderpatrol::core::control::{ControlPlane, EnforcementEndpoint};
+use borderpatrol::core::enforcer::{EnforcementTables, EnforcerConfig, ShardedEnforcer};
+use borderpatrol::core::flow::FlowTableConfig;
+use borderpatrol::core::policy::{Policy, PolicySet};
+use borderpatrol::core::runtime::BatchRuntime;
+use borderpatrol::netsim::addr::Endpoint;
+use borderpatrol::netsim::netfilter::Verdict;
+use borderpatrol::netsim::packet::Ipv4Packet;
+use borderpatrol::types::EnforcementLevel;
+use borderpatrol::Engine;
+
+mod common;
+use common::{solcalendar_fixture, stream, tagged_packet};
+
+/// The deny policies every equivalence run enforces.
+fn deny_policies() -> PolicySet {
+    PolicySet::from_policies(vec![
+        Policy::deny(EnforcementLevel::Class, "com/facebook/appevents"),
+        Policy::deny(EnforcementLevel::Library, "com/flurry"),
+    ])
+}
+
+/// A pool enforcer and a scoped enforcer sharing one compiled table set.
+fn runtime_pair(shards: usize) -> (ShardedEnforcer, ShardedEnforcer) {
+    let (db, _, _) = solcalendar_fixture();
+    let tables = EnforcementTables::shared(db, &deny_policies(), EnforcerConfig::default());
+    let build = |runtime| {
+        ShardedEnforcer::with_runtime(
+            Arc::clone(&tables),
+            shards,
+            FlowTableConfig::default(),
+            runtime,
+        )
+    };
+    (build(BatchRuntime::Pool), build(BatchRuntime::Scoped))
+}
+
+/// Assert both enforcers produced identical verdicts, statistics and
+/// drop-log multisets (logs are compared as sorted multisets because shard
+/// interleaving — not packet order within a flow — is nondeterministic
+/// across runtimes).
+fn assert_equivalent(pool: &ShardedEnforcer, scoped: &ShardedEnforcer) {
+    assert_eq!(pool.stats(), scoped.stats());
+    let mut pool_log = pool.drop_log();
+    let mut scoped_log = scoped.drop_log();
+    pool_log.sort();
+    scoped_log.sort();
+    assert_eq!(pool_log, scoped_log);
+}
+
+/// The packet shapes the randomized stream draws from: an accepted context,
+/// a denied context, a malformed payload and an untagged packet.
+fn shaped_packet(flow: u16, shape: usize) -> Ipv4Packet {
+    let (_, analytics, login) = solcalendar_fixture();
+    match shape {
+        0 => tagged_packet(flow, login),
+        1 => tagged_packet(flow, analytics),
+        2 => tagged_packet(flow, &[9, 9, 9]),
+        _ => Ipv4Packet::new(
+            Endpoint::new([10, 0, (flow >> 8) as u8, flow as u8], 40_000 + flow),
+            Endpoint::new([31, 13, 71, 36], 443),
+            b"GET / HTTP/1.1".to_vec(),
+        ),
+    }
+}
+
+#[test]
+fn pool_matches_scoped_verdicts_stats_and_drops_across_shard_counts() {
+    for shards in [1usize, 4, 8] {
+        let (pool, scoped) = runtime_pair(shards);
+        // Three rounds over a 96-flow mixed stream: round one populates the
+        // flow caches, later rounds replay from them on both runtimes.
+        let packets: Vec<Ipv4Packet> = (0..96u16)
+            .map(|i| shaped_packet(i, usize::from(i) % 4))
+            .collect();
+        for _ in 0..3 {
+            let pool_verdicts = pool.inspect_batch(&packets);
+            let scoped_verdicts = scoped.inspect_batch(&packets);
+            assert_eq!(pool_verdicts, scoped_verdicts, "{shards} shards");
+        }
+        assert_equivalent(&pool, &scoped);
+        assert!(pool.stats().flow_hits > 0, "caches never warmed");
+    }
+}
+
+#[test]
+fn pool_handles_empty_and_tiny_batches() {
+    let (pool, scoped) = runtime_pair(4);
+    assert_eq!(pool.inspect_batch(&[]), Vec::<Verdict>::new());
+    let (_, _, login) = solcalendar_fixture();
+    let single = vec![tagged_packet(7, login)];
+    assert_eq!(pool.inspect_batch(&single), scoped.inspect_batch(&single));
+    let pair = vec![tagged_packet(7, login), tagged_packet(8, login)];
+    assert_eq!(pool.inspect_batch(&pair), scoped.inspect_batch(&pair));
+    assert_equivalent(&pool, &scoped);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed streams, random batch sizes: the pool and the scoped
+    /// baseline agree packet-for-packet on 1, 4 and 8 shards.
+    #[test]
+    fn pool_and_scoped_agree_on_random_streams(
+        shapes in prop::collection::vec((0usize..4, 0u16..48), 1..160),
+        shards in prop::sample::select(vec![1usize, 4, 8]),
+        split in 1usize..160,
+    ) {
+        let (pool, scoped) = runtime_pair(shards);
+        let packets: Vec<Ipv4Packet> = shapes
+            .iter()
+            .map(|&(shape, flow)| shaped_packet(flow, shape))
+            .collect();
+        // Drive the stream as two batches so cache state created by the
+        // first influences the second, at a random split point.
+        let split = split.min(packets.len());
+        let (first, second) = packets.split_at(split);
+        prop_assert_eq!(pool.inspect_batch(first), scoped.inspect_batch(first));
+        prop_assert_eq!(pool.inspect_batch(second), scoped.inspect_batch(second));
+        prop_assert_eq!(pool.stats(), scoped.stats());
+        let mut pool_log = pool.drop_log();
+        let mut scoped_log = scoped.drop_log();
+        pool_log.sort();
+        scoped_log.sort();
+        prop_assert_eq!(pool_log, scoped_log);
+    }
+}
+
+/// Deadlock regression: an inline `inspect` and a batch worker contend for
+/// the same shard's mutexes; they must acquire them in one global order
+/// (scratch → drop_log → flow).  Before that ordering was enforced, this
+/// interleaving wedged reliably within a few iterations — the test passing
+/// (i.e. terminating) is the assertion.
+#[test]
+fn inline_inspect_and_pool_batches_interleave_without_deadlock() {
+    let (pool, _) = runtime_pair(4);
+    let (_, analytics, login) = solcalendar_fixture();
+    let packets: Vec<Ipv4Packet> = (0..64u16).map(|i| tagged_packet(i, login)).collect();
+    std::thread::scope(|scope| {
+        let batcher = scope.spawn(|| {
+            let mut verdicts = Vec::new();
+            for _ in 0..400 {
+                pool.inspect_batch_into(&packets, &mut verdicts);
+            }
+        });
+        // Inline inspections hit the same shards (same flows) concurrently.
+        for round in 0..400 {
+            let flow = (round % 64) as u16;
+            pool.inspect(&tagged_packet(flow, analytics));
+        }
+        batcher.join().unwrap();
+    });
+    assert_eq!(
+        pool.stats().packets_inspected,
+        400 * 64 + 400,
+        "every inline and batched packet accounted"
+    );
+}
+
+/// Commit atomicity through the pool: while a worker thread hammers
+/// `inspect_batch` on the persistent runtime, the control plane commits a
+/// generation that flips every verdict.  Nothing torn mid-batch, and once
+/// `commit` returns only generation-2 verdicts appear.
+#[test]
+fn mid_batch_commit_hot_swaps_the_pool_runtime() {
+    let (db, analytics, _) = solcalendar_fixture();
+    for shards in [1usize, 4, 8] {
+        let mut control =
+            ControlPlane::new(db.clone(), PolicySet::new(), EnforcerConfig::default());
+        let enforcer = Arc::new(ShardedEnforcer::with_runtime(
+            control.tables(),
+            shards,
+            FlowTableConfig::default(),
+            BatchRuntime::Pool,
+        ));
+        control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+        let packets = stream(64, 4, analytics);
+
+        // Warm every flow under generation 1 (no policies: all accept).
+        assert!(enforcer
+            .inspect_batch(&packets)
+            .iter()
+            .all(Verdict::is_accept));
+
+        let generation_of = |verdict: &Verdict| match verdict {
+            Verdict::Accept => 1u64,
+            Verdict::Drop { reason } => {
+                assert!(
+                    reason.contains("com/facebook"),
+                    "verdict attributable to neither generation: {reason}"
+                );
+                2
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let hammer = scope.spawn(|| {
+                let mut verdicts = Vec::new();
+                let mut per_generation = [0usize; 2];
+                for _ in 0..20 {
+                    enforcer.inspect_batch_into(&packets, &mut verdicts);
+                    for verdict in &verdicts {
+                        per_generation[generation_of(verdict) as usize - 1] += 1;
+                    }
+                }
+                per_generation
+            });
+
+            control
+                .begin()
+                .add_policy(Policy::deny(EnforcementLevel::Library, "com/facebook"))
+                .commit()
+                .unwrap();
+
+            // The commit returned: generation 2 everywhere, immediately.
+            for verdict in enforcer.inspect_batch(&packets) {
+                assert_eq!(
+                    generation_of(&verdict),
+                    2,
+                    "stale generation-1 verdict after commit returned ({shards} shards)"
+                );
+            }
+
+            let per_generation = hammer.join().unwrap();
+            assert_eq!(
+                per_generation[0] + per_generation[1],
+                packets.len() * 20,
+                "every hammered packet attributed to exactly one generation"
+            );
+        });
+    }
+}
+
+/// An engine owning a pooled data plane — registered as a control-plane
+/// endpoint, batches in flight beforehand — drops cleanly: the pool's
+/// shutdown joins its workers, so this test finishing (rather than hanging
+/// on a leaked thread) is the assertion.
+#[test]
+fn engine_drop_shuts_down_the_pool() {
+    let (db, analytics, _) = solcalendar_fixture();
+    let mut engine = Engine::builder()
+        .shards(4)
+        .batch_runtime(BatchRuntime::Pool)
+        .database(db.clone())
+        .build();
+    let packets = stream(32, 2, analytics);
+    assert!(engine
+        .data_plane()
+        .inspect_batch(&packets)
+        .iter()
+        .all(Verdict::is_accept));
+    engine
+        .control()
+        .begin()
+        .add_policy(Policy::deny(EnforcementLevel::Library, "com/facebook"))
+        .commit()
+        .unwrap();
+    assert!(engine
+        .data_plane()
+        .inspect_batch(&packets)
+        .iter()
+        .all(|verdict| !verdict.is_accept()));
+    drop(engine);
+}
