@@ -18,7 +18,7 @@ use bp_dex::{ApkFile, MethodTable};
 use bp_netsim::addr::Endpoint;
 use bp_netsim::options::{IpOption, IpOptionKind};
 use bp_netsim::packet::Ipv4Packet;
-use bp_types::EnforcementLevel;
+use bp_types::{ApkHash, EnforcementLevel};
 
 /// A fully analyzed application fixture.
 pub struct AnalyzedApp {
@@ -113,6 +113,68 @@ pub fn blacklist_policies() -> PolicySet {
         .into_iter()
         .map(|prefix| Policy::deny(EnforcementLevel::Library, prefix))
         .collect()
+}
+
+/// What the bulk of a synthetic rule set targets — the axis the
+/// `rule_scale` bench sweeps to show the indexed evaluator stays flat in
+/// rule count on every table it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleShape {
+    /// Hash-level deny rules on synthetic app tags: the workload probes the
+    /// exact-match tag table.
+    TagHeavy,
+    /// Library/class/method deny rules on synthetic package prefixes: the
+    /// workload probes the sorted-prefix index and the method chains.
+    StackHeavy,
+    /// Alternating tag and stack rules.
+    Mixed,
+}
+
+impl RuleShape {
+    /// Row label for bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleShape::TagHeavy => "tag_heavy",
+            RuleShape::StackHeavy => "stack_heavy",
+            RuleShape::Mixed => "mixed",
+        }
+    }
+}
+
+/// One rule of a synthetic set; distinct `i` produce distinct targets, and
+/// none of them match the case-study workloads — evaluation always runs to
+/// completion, the worst case the indexed tables have to keep flat.
+pub fn synthetic_rule(i: usize, shape: RuleShape) -> Policy {
+    let tag_rule = |i: usize| {
+        Policy::deny(
+            EnforcementLevel::Hash,
+            ApkHash::digest(&(i as u64).to_le_bytes()).tag().to_hex(),
+        )
+    };
+    let stack_rule = |i: usize| match i % 3 {
+        0 => Policy::deny(EnforcementLevel::Library, format!("gen/v{i:06}")),
+        1 => Policy::deny(EnforcementLevel::Class, format!("gen/v{i:06}/Widget")),
+        _ => Policy::deny(
+            EnforcementLevel::Method,
+            format!("Lgen/v{i:06}/Widget;->run()V"),
+        ),
+    };
+    match shape {
+        RuleShape::TagHeavy => tag_rule(i),
+        RuleShape::StackHeavy => stack_rule(i),
+        RuleShape::Mixed => {
+            if i % 2 == 0 {
+                tag_rule(i / 2)
+            } else {
+                stack_rule(i / 2)
+            }
+        }
+    }
+}
+
+/// A synthetic `n`-rule deny set of the given shape (see [`synthetic_rule`]).
+pub fn synthetic_rule_set(n: usize, shape: RuleShape) -> PolicySet {
+    (0..n).map(|i| synthetic_rule(i, shape)).collect()
 }
 
 /// A small, targeted policy set (the case-study policies).

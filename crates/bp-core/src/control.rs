@@ -35,7 +35,7 @@
 //! touching a single piece of state; paired calls rebuild twice, which is
 //! exactly the waste a single transaction avoids.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -43,7 +43,9 @@ use parking_lot::Mutex;
 
 use bp_types::{AppTag, MethodSignature};
 
-use crate::enforcer::{EnforcementTables, EnforcerConfig, PolicyEnforcer, ShardedEnforcer};
+use crate::enforcer::{
+    EnforcementTables, EnforcerConfig, PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer,
+};
 use crate::offline::{SignatureDatabase, TagCollision};
 use crate::policy::{Policy, PolicySet};
 
@@ -375,6 +377,12 @@ pub struct ControlPlane {
     retain: usize,
     next_generation: u64,
     builds: u64,
+    /// Commits whose compiled policy tables were shared or incrementally
+    /// extended from the previous generation instead of rebuilt from scratch.
+    policy_reuses: u64,
+    /// Commits that shared the previous generation's compiled signature
+    /// database instead of recompiling it.
+    database_reuses: u64,
 }
 
 impl fmt::Debug for dyn EnforcementEndpoint {
@@ -413,6 +421,8 @@ impl ControlPlane {
             retain: retain.max(1),
             next_generation: 1,
             builds: 1,
+            policy_reuses: 0,
+            database_reuses: 0,
         }
     }
 
@@ -513,14 +523,46 @@ impl ControlPlane {
         self.builds
     }
 
-    /// Compile and install a fresh generation from the given state.
+    /// Commits that reused the previous generation's compiled policy index —
+    /// either shared outright (policies unchanged) or incrementally extended
+    /// (an append-only delta compiled on top of the retained structure)
+    /// instead of recompiling every rule from scratch.
+    pub fn policy_index_reuses(&self) -> u64 {
+        self.policy_reuses
+    }
+
+    /// Commits that shared the previous generation's compiled signature
+    /// database instead of recompiling it.
+    pub fn database_reuses(&self) -> u64 {
+        self.database_reuses
+    }
+
+    /// Compile and install a fresh generation from the given state, reusing
+    /// the previous generation's compiled artifacts where the staged delta
+    /// permits (see [`EnforcementTables::next_generation`]).
     fn commit_state(
         &mut self,
         database: SignatureDatabase,
+        database_changed: bool,
         policies: PolicySet,
+        delta: PolicyDelta,
         config: EnforcerConfig,
     ) -> GenerationId {
-        let tables = EnforcementTables::shared(&database, &policies, config);
+        let (tables, reuse) = EnforcementTables::next_generation(
+            &self.current.tables,
+            &database,
+            database_changed,
+            &policies,
+            delta,
+            config,
+        );
+        match reuse.policy {
+            PolicyReuse::Shared | PolicyReuse::Incremental { .. } => self.policy_reuses += 1,
+            PolicyReuse::Full => {}
+        }
+        if reuse.database_reused {
+            self.database_reuses += 1;
+        }
         self.builds += 1;
         self.next_generation += 1;
         let record = Arc::new(GenerationRecord {
@@ -631,7 +673,11 @@ impl Transaction<'_> {
     /// first.
     fn staged_policies(&self) -> (PolicySet, Vec<RolloutError>) {
         let mut errors = Vec::new();
-        let mut policies: Vec<Policy> = self.plane.policies().iter().cloned().collect();
+        // Start from a cheap clone of the installed set: `PolicySet` shares
+        // its compiled-against base chunk on clone, so an append-only
+        // transaction against a 100k-rule set copies pointers — and commit
+        // can detect the append and extend the previous index in place.
+        let mut policies = self.plane.policies().clone();
         for op in &self.policy_ops {
             match op {
                 PolicyOp::Add(policy) => policies.push(policy.clone()),
@@ -642,14 +688,20 @@ impl Transaction<'_> {
                         reason: e.to_string(),
                     }),
                 },
-                PolicyOp::Remove(removed) => policies.retain(|p| p != removed),
-                PolicyOp::Replace(set) => {
-                    policies.clear();
-                    policies.extend(set.iter().cloned());
+                PolicyOp::Remove(removed) => {
+                    // Rebuild (losing base sharing) only when something is
+                    // actually removed; a no-op removal keeps the append-only
+                    // fast path available.
+                    if policies.iter().any(|p| p == removed) {
+                        policies = PolicySet::from_policies(
+                            policies.iter().filter(|p| *p != removed).cloned().collect(),
+                        );
+                    }
                 }
+                PolicyOp::Replace(set) => policies = set.clone(),
             }
         }
-        (PolicySet::from_policies(policies), errors)
+        (policies, errors)
     }
 
     fn staged_database(&self) -> &SignatureDatabase {
@@ -770,6 +822,18 @@ impl Transaction<'_> {
         if !self.stages_a_change(&policies) {
             return Ok(self.plane.current.id);
         }
+        // Classify the staged policy change for the incremental compiler:
+        // an append-only delta lets commit extend the previous generation's
+        // index instead of recompiling every rule.
+        let delta = match policies.append_split(self.plane.policies()) {
+            Some(split) if split == policies.len() => PolicyDelta::Unchanged,
+            Some(split) => PolicyDelta::Appended { split },
+            None => PolicyDelta::Changed,
+        };
+        let database_changed = self
+            .database
+            .as_ref()
+            .is_some_and(|db| *db != *self.plane.database());
         let config = self.staged_config();
         // The transaction owns a staged database: move it instead of
         // deep-cloning the whole thing (fall back to cloning the current one
@@ -778,23 +842,35 @@ impl Transaction<'_> {
             .database
             .take()
             .unwrap_or_else(|| self.plane.database().clone());
-        Ok(self.plane.commit_state(database, policies, config))
+        Ok(self
+            .plane
+            .commit_state(database, database_changed, policies, delta, config))
     }
 }
 
 /// Multiset difference of two policy sets, rendered for display: policies in
 /// `staged` but not `current` (added) and vice versa (removed).
 fn diff_policies(current: &PolicySet, staged: &PolicySet) -> (Vec<String>, Vec<String>) {
-    let mut remaining: Vec<&Policy> = current.iter().collect();
+    let mut remaining: HashMap<&Policy, usize> = HashMap::new();
+    for policy in current.iter() {
+        *remaining.entry(policy).or_insert(0) += 1;
+    }
     let mut added = Vec::new();
     for policy in staged.iter() {
-        if let Some(i) = remaining.iter().position(|p| *p == policy) {
-            remaining.swap_remove(i);
-        } else {
-            added.push(policy.to_string());
+        match remaining.get_mut(policy) {
+            Some(count) if *count > 0 => *count -= 1,
+            _ => added.push(policy.to_string()),
         }
     }
-    let removed = remaining.iter().map(|p| p.to_string()).collect();
+    let mut removed = Vec::new();
+    for policy in current.iter() {
+        if let Some(count) = remaining.get_mut(policy) {
+            if *count > 0 {
+                *count -= 1;
+                removed.push(policy.to_string());
+            }
+        }
+    }
     (added, removed)
 }
 

@@ -425,13 +425,60 @@ impl DropLog {
     }
 }
 
+/// How the compiled policy half of a generation was obtained — what
+/// [`EnforcementTables::next_generation`] reports back to the control plane
+/// (and through it to the reuse counters the regression tests observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyReuse {
+    /// The previous generation's compiled set was shared unchanged.
+    Shared,
+    /// The previous tables were extended in place-sharing fashion.
+    Incremental {
+        /// Compiled rules carried over without recompilation.
+        reused: usize,
+        /// Newly compiled rules appended to the tables.
+        appended: usize,
+    },
+    /// The set was recompiled from scratch.
+    Full,
+}
+
+/// What [`EnforcementTables::next_generation`] reused from the previous
+/// generation's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableReuse {
+    /// The compiled signature database was shared rather than recompiled.
+    pub database_reused: bool,
+    /// How the compiled policy set was obtained.
+    pub policy: PolicyReuse,
+}
+
+/// The control plane's description of how a staged policy set relates to the
+/// previously committed one, steering [`EnforcementTables::next_generation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyDelta {
+    /// The staged set is identical to the committed one.
+    Unchanged,
+    /// The staged set equals the committed one plus appended policies.
+    Appended {
+        /// Position of the first appended policy (= previous set length).
+        split: usize,
+    },
+    /// The staged set removed, replaced or reordered policies.
+    Changed,
+}
+
 /// The immutable, compiled half of the enforcement plane: compiled signature
 /// database + compiled policy set + configuration.  Built once from the
 /// interchange forms and shared (via [`Arc`]) by every shard and facade.
+///
+/// Both compiled halves are individually [`Arc`]-shared so a generation that
+/// changes only one of them (or neither — a config-only swap) can reuse the
+/// other wholesale; see [`EnforcementTables::next_generation`].
 #[derive(Debug, Clone)]
 pub struct EnforcementTables {
-    database: CompiledSignatureDb,
-    policies: CompiledPolicySet,
+    database: Arc<CompiledSignatureDb>,
+    policies: Arc<CompiledPolicySet>,
     config: EnforcerConfig,
     /// Monotonically increasing build number (process-global).  Flow-table
     /// entries record the epoch they were computed under; a probe against
@@ -449,8 +496,8 @@ impl EnforcementTables {
         config: EnforcerConfig,
     ) -> Self {
         EnforcementTables {
-            database: CompiledSignatureDb::compile(database),
-            policies: policies.compile(),
+            database: Arc::new(CompiledSignatureDb::compile(database)),
+            policies: Arc::new(policies.compile()),
             config,
             epoch: NEXT_TABLE_EPOCH.fetch_add(1, Ordering::Relaxed),
         }
@@ -463,6 +510,61 @@ impl EnforcementTables {
         config: EnforcerConfig,
     ) -> Arc<Self> {
         Arc::new(Self::build(database, policies, config))
+    }
+
+    /// Build the tables for the next control-plane generation, reusing
+    /// whatever `prev` already compiled: the signature database is shared
+    /// when `database_changed` is false, and the compiled policy set is
+    /// shared (delta [`PolicyDelta::Unchanged`]) or extended incrementally
+    /// (delta [`PolicyDelta::Appended`], falling back to a full compile when
+    /// the accumulated delta grows too large) rather than recompiled.
+    ///
+    /// A fresh epoch is always stamped, so flow-cache entries from the
+    /// previous generation can never satisfy probes against the new one —
+    /// reuse changes compile cost, not invalidation semantics.
+    pub fn next_generation(
+        prev: &EnforcementTables,
+        database: &SignatureDatabase,
+        database_changed: bool,
+        policies: &PolicySet,
+        delta: PolicyDelta,
+        config: EnforcerConfig,
+    ) -> (Arc<Self>, TableReuse) {
+        let compiled_db = if database_changed {
+            Arc::new(CompiledSignatureDb::compile(database))
+        } else {
+            Arc::clone(&prev.database)
+        };
+        let (compiled_policies, policy_reuse) = match delta {
+            PolicyDelta::Unchanged => (Arc::clone(&prev.policies), PolicyReuse::Shared),
+            PolicyDelta::Appended { split } => {
+                match CompiledPolicySet::extend_compile(&prev.policies, policies, split) {
+                    Some(extended) => {
+                        let appended = extended.len() - split;
+                        (
+                            Arc::new(extended),
+                            PolicyReuse::Incremental {
+                                reused: split,
+                                appended,
+                            },
+                        )
+                    }
+                    None => (Arc::new(policies.compile()), PolicyReuse::Full),
+                }
+            }
+            PolicyDelta::Changed => (Arc::new(policies.compile()), PolicyReuse::Full),
+        };
+        let tables = Arc::new(EnforcementTables {
+            database: compiled_db,
+            policies: compiled_policies,
+            config,
+            epoch: NEXT_TABLE_EPOCH.fetch_add(1, Ordering::Relaxed),
+        });
+        let reuse = TableReuse {
+            database_reused: !database_changed,
+            policy: policy_reuse,
+        };
+        (tables, reuse)
     }
 
     /// The compiled signature database.

@@ -23,7 +23,12 @@
 //! * the **epoch** of the compiled [`EnforcementTables`] the outcome was
 //!   computed under — recompiling (policy or database hot-swap) bumps the
 //!   epoch, so entries cached before the swap are lazily invalidated on
-//!   their next probe and a stale verdict is never served.
+//!   their next probe and a stale verdict is never served.  This holds even
+//!   when the control plane compiles a generation *incrementally* (an
+//!   append-only policy delta extends the previous generation's index
+//!   instead of rebuilding it): every committed generation is stamped with a
+//!   fresh epoch regardless of how much compiled structure it reuses, so
+//!   reuse changes compile cost only, never cache-coherence semantics.
 //!
 //! Eviction is LRU (lazy, via a touch queue) bounded by
 //! [`FlowTableConfig::capacity`], plus TTL on the simulated clock: entries

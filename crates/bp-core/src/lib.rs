@@ -64,6 +64,7 @@ pub mod flow;
 pub mod offline;
 pub mod policy;
 pub mod policy_extractor;
+mod policy_index;
 pub mod runtime;
 pub mod sanitizer;
 
@@ -75,7 +76,7 @@ pub use control::{
 pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_PAYLOAD};
 pub use enforcer::{
     AtomicEnforcerStats, DropLog, DropReason, EnforcementTables, EnforcerConfig, EnforcerStats,
-    PolicyEnforcer, ShardedEnforcer,
+    PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer, TableReuse,
 };
 pub use flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 pub use offline::{

@@ -22,10 +22,13 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use bp_types::{AppTag, EnforcementLevel, Error, MethodSignature};
+
+use crate::policy_index::{PolicyIndex, NO_RULE};
 
 /// The decision a policy prescribes for matching packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -218,10 +221,87 @@ impl Decision {
     }
 }
 
+/// Copy-on-append storage: an `Arc`-shared base chunk plus a small owned
+/// tail.  Cloning shares the base, so staging a transaction against a
+/// 100k-policy set copies pointers, not policies — the property the control
+/// plane's incremental commit path is built on.
+#[derive(Debug, Clone)]
+pub(crate) struct Chunked<T> {
+    base: Arc<[T]>,
+    tail: Vec<T>,
+}
+
+impl<T> Default for Chunked<T> {
+    fn default() -> Self {
+        Chunked {
+            base: Vec::new().into(),
+            tail: Vec::new(),
+        }
+    }
+}
+
+impl<T> Chunked<T> {
+    pub(crate) fn from_vec(items: Vec<T>) -> Self {
+        Chunked {
+            base: items.into(),
+            tail: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.base.len() + self.tail.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.tail.is_empty()
+    }
+
+    pub(crate) fn get(&self, index: usize) -> Option<&T> {
+        if index < self.base.len() {
+            self.base.get(index)
+        } else {
+            self.tail.get(index - self.base.len())
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.base.iter().chain(self.tail.iter())
+    }
+
+    /// Iterate items from position `start` on.
+    pub(crate) fn iter_from(&self, start: usize) -> impl Iterator<Item = &T> {
+        let b = start.min(self.base.len());
+        let t = (start - b).min(self.tail.len());
+        self.base[b..].iter().chain(self.tail[t..].iter())
+    }
+
+    pub(crate) fn push(&mut self, item: T) {
+        self.tail.push(item);
+    }
+
+    /// A copy with the tail folded into the shared base (so future clones
+    /// share everything).
+    pub(crate) fn compacted(&self) -> Self
+    where
+        T: Clone,
+    {
+        if self.tail.is_empty() {
+            self.clone()
+        } else {
+            Chunked::from_vec(self.iter().cloned().collect())
+        }
+    }
+}
+
 /// An ordered collection of policies evaluated together.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Internally the set is copy-on-append (`Chunked`): cloning shares the
+/// bulk of the policies, and appending stages only the new ones.  Equality,
+/// serialization and iteration all observe the flat logical list, so the
+/// representation is invisible to callers.
+#[derive(Debug, Clone, Default)]
 pub struct PolicySet {
-    policies: Vec<Policy>,
+    policies: Chunked<Policy>,
 }
 
 impl PolicySet {
@@ -232,7 +312,9 @@ impl PolicySet {
 
     /// Build a set from a list of policies.
     pub fn from_policies(policies: Vec<Policy>) -> Self {
-        PolicySet { policies }
+        PolicySet {
+            policies: Chunked::from_vec(policies),
+        }
     }
 
     /// Parse a policy file: one policy per line, `//` comments and blank lines
@@ -269,7 +351,7 @@ impl PolicySet {
             }
             policies.push(line.parse()?);
         }
-        Ok(PolicySet { policies })
+        Ok(PolicySet::from_policies(policies))
     }
 
     /// Add a policy.
@@ -290,6 +372,44 @@ impl PolicySet {
     /// Iterate over the policies.
     pub fn iter(&self) -> impl Iterator<Item = &Policy> {
         self.policies.iter()
+    }
+
+    /// The policy at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&Policy> {
+        self.policies.get(index)
+    }
+
+    /// If `self` equals `base` plus zero or more appended policies, return
+    /// the split position (`base.len()`); otherwise `None`.
+    ///
+    /// The fast path recognizes sets staged by cloning `base` and pushing —
+    /// shared base chunk, extended tail — in O(tail); the fallback compares
+    /// the first `base.len()` policies logically.
+    pub(crate) fn append_split(&self, base: &PolicySet) -> Option<usize> {
+        let base_len = base.len();
+        if self.len() < base_len {
+            return None;
+        }
+        let shared = Arc::ptr_eq(&self.policies.base, &base.policies.base)
+            && self.policies.tail.len() >= base.policies.tail.len()
+            && self.policies.tail[..base.policies.tail.len()] == base.policies.tail[..];
+        if shared || self.iter().zip(base.iter()).all(|(a, b)| a == b) {
+            Some(base_len)
+        } else {
+            None
+        }
+    }
+
+    /// A copy whose storage is one shared chunk (cheap to clone wholesale).
+    pub(crate) fn compacted(&self) -> PolicySet {
+        PolicySet {
+            policies: self.policies.compacted(),
+        }
+    }
+
+    /// Iterate policies from position `start` on.
+    pub(crate) fn iter_from(&self, start: usize) -> impl Iterator<Item = &Policy> {
+        self.policies.iter_from(start)
     }
 
     /// Whether the set contains any allow (whitelist) policies.
@@ -369,9 +489,47 @@ impl PolicySet {
 
 impl FromIterator<Policy> for PolicySet {
     fn from_iter<T: IntoIterator<Item = Policy>>(iter: T) -> Self {
-        PolicySet {
-            policies: iter.into_iter().collect(),
+        PolicySet::from_policies(iter.into_iter().collect())
+    }
+}
+
+// Equality, hashing-free: logical comparison of the flat policy lists, with
+// a pointer fast path for clones sharing the same base chunk.
+impl PartialEq for PolicySet {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.policies.base, &other.policies.base) {
+            return self.policies.tail == other.policies.tail;
         }
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for PolicySet {}
+
+// Manual serde impls preserving the `{"policies": [...]}` shape the derived
+// form produced before the storage became chunked.
+impl Serialize for PolicySet {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![(
+            "policies".to_string(),
+            Value::Seq(self.iter().map(Serialize::to_value).collect()),
+        )])
+    }
+}
+
+impl Deserialize for PolicySet {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let field = value
+            .get_field("policies")
+            .ok_or_else(|| DeError::missing_field("policies"))?;
+        let items = field
+            .as_seq()
+            .ok_or_else(|| DeError::expected("array", field))?;
+        let policies = items
+            .iter()
+            .map(Policy::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PolicySet::from_policies(policies))
     }
 }
 
@@ -386,8 +544,10 @@ use bp_types::signature::{normalize_package, segment_prefix};
 
 /// A policy target pre-split into the comparisons `evaluate` performs, so the
 /// per-packet work is slice/prefix comparisons with no string building.
+/// Crate-visible so [`crate::policy_index`] can lower matchers into its
+/// flat tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum CompiledMatcher {
+pub(crate) enum CompiledMatcher {
     /// Hash-level rule: the target's first 16 hex characters, pre-decoded to
     /// tag bytes.  `None` when the target can never match any tag.
     Hash(Option<AppTag>),
@@ -543,12 +703,25 @@ fn class_matches(signature: &MethodSignature, target: &str) -> bool {
     target.len() == package.len() && package == target
 }
 
-/// A compiled rule: the original policy's position plus its pre-split target.
+/// A compiled rule kept in policy order: the pre-split target plus the two
+/// classification bits evaluation branches on.  The rule's position *is* the
+/// policy index, so no per-rule attribution field is needed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct CompiledRule {
-    /// Index into the originating [`PolicySet`], for attribution.
-    policy: usize,
+struct LinearRule {
+    action: PolicyAction,
+    /// Hash-level rules match the app tag; all other levels match frames.
+    tag_level: bool,
     matcher: CompiledMatcher,
+}
+
+impl LinearRule {
+    fn compile(policy: &Policy) -> LinearRule {
+        LinearRule {
+            action: policy.action(),
+            tag_level: policy.level() == EnforcementLevel::Hash,
+            matcher: CompiledMatcher::compile(policy.level(), policy.target()),
+        }
+    }
 }
 
 /// The verdict of the compiled evaluator, free of allocation: policies and
@@ -577,17 +750,25 @@ impl CompiledVerdict {
 
 /// The compiled, evaluation-ready form of a [`PolicySet`].
 ///
-/// Compilation pre-buckets rules by action and by whether they match the app
-/// tag (hash level) or the stack (library/class/method levels), and pre-splits
-/// every target (normalized package prefix, class path, descriptor
-/// components, decoded tag bytes) so `evaluate` performs only slice and
-/// prefix comparisons — no normalization, no descriptor rendering and no
-/// allocation per packet.
+/// Compilation pre-splits every target (normalized package prefix, class
+/// path, descriptor components, decoded tag bytes) and lowers the rule list
+/// into the flat match-action tables of the private `policy_index` module: an
+/// open-addressed tag table for hash-level rules and a hash-accelerated
+/// prefix table (plus method arena) for stack-level rules.  Per-packet cost
+/// is therefore a function of the packet's stack depth, not of the rule
+/// count — the curve stays flat from 3 to 100k rules.
 ///
-/// Deny evaluation checks tag-level rules before stack-level rules (each
-/// bucket in insertion order); since any matching deny rule drops the packet,
-/// this only affects which policy a drop is *attributed* to when several
-/// match, not the decision itself.
+/// Deny evaluation checks tag-level rules before stack-level rules (each in
+/// policy order); since any matching deny rule drops the packet, this only
+/// affects which policy a drop is *attributed* to when several match, not
+/// the decision itself.  The pre-table linear scan is retained as
+/// [`CompiledPolicySet::evaluate_frames_linear`], an equivalence oracle the
+/// property tests drive against the indexed path.
+///
+/// Compilation is incremental where possible: when a new set extends a
+/// previously compiled one (the common control-plane delta), the compiled
+/// matchers and index rows of the unchanged prefix are reused rather than
+/// recompiled (the private `extend_compile` path).
 ///
 /// # Examples
 ///
@@ -604,55 +785,113 @@ impl CompiledVerdict {
 /// let tag = ApkHash::digest(b"app").tag();
 /// assert!(!compiled.evaluate(tag, &stack).is_allow());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CompiledPolicySet {
     /// The original policies, for attribution and reporting.
-    policies: Vec<Policy>,
-    deny_tag: Vec<CompiledRule>,
-    deny_stack: Vec<CompiledRule>,
-    allow_tag: Vec<CompiledRule>,
-    allow_stack: Vec<CompiledRule>,
+    policies: PolicySet,
+    /// One compiled rule per policy, same position: the equivalence oracle
+    /// and the linear fallback for inputs outside the index's assumptions.
+    rules: Chunked<LinearRule>,
+    /// The flat match-action tables the hot path evaluates.
+    index: PolicyIndex,
+    /// Rule count at the last full (non-incremental) build.
+    base_len: usize,
+    /// Rules reused from the previous generation by the last
+    /// [`CompiledPolicySet::extend_compile`] (0 after a full build).
+    reused: usize,
 }
 
+// Compilation is deterministic in the policy list, so logical equality of
+// the policies is equality of the compiled sets (the index layout may differ
+// between full and incremental builds without observable effect).
+impl PartialEq for CompiledPolicySet {
+    fn eq(&self, other: &Self) -> bool {
+        self.policies == other.policies
+    }
+}
+
+impl Eq for CompiledPolicySet {}
+
 impl CompiledPolicySet {
-    /// Compile `set` (see the type-level documentation).
+    /// Compile `set` from scratch (see the type-level documentation).
     pub fn compile(set: &PolicySet) -> Self {
-        let mut compiled = CompiledPolicySet {
-            policies: set.policies.clone(),
-            deny_tag: Vec::new(),
-            deny_stack: Vec::new(),
-            allow_tag: Vec::new(),
-            allow_stack: Vec::new(),
-        };
-        for (index, policy) in set.policies.iter().enumerate() {
-            let rule = CompiledRule {
-                policy: index,
-                matcher: CompiledMatcher::compile(policy.level(), policy.target()),
-            };
-            let bucket = match (policy.action(), policy.level()) {
-                (PolicyAction::Deny, EnforcementLevel::Hash) => &mut compiled.deny_tag,
-                (PolicyAction::Deny, _) => &mut compiled.deny_stack,
-                (PolicyAction::Allow, EnforcementLevel::Hash) => &mut compiled.allow_tag,
-                (PolicyAction::Allow, _) => &mut compiled.allow_stack,
-            };
-            bucket.push(rule);
+        assert!(
+            set.len() < u32::MAX as usize,
+            "policy set too large to index"
+        );
+        let policies = set.compacted();
+        let rules: Vec<LinearRule> = policies.iter().map(LinearRule::compile).collect();
+        let index = PolicyIndex::build(
+            rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as u32, r.action, &r.matcher)),
+        );
+        let base_len = rules.len();
+        CompiledPolicySet {
+            policies,
+            rules: Chunked::from_vec(rules),
+            index,
+            base_len,
+            reused: 0,
         }
-        compiled
+    }
+
+    /// Compile `set` by extending `prev`'s tables, given that `set` equals
+    /// `prev`'s policies plus the tail from position `split` on (as
+    /// established by [`PolicySet::append_split`]).  Only the appended
+    /// policies are compiled; everything else is reused structurally.
+    ///
+    /// Returns `None` — caller should fall back to a full
+    /// [`CompiledPolicySet::compile`] — when the accumulated delta since the
+    /// last full build grows past an eighth of its size (keeping lookup
+    /// structures compact and re-amortizing the shared base).
+    pub(crate) fn extend_compile(
+        prev: &CompiledPolicySet,
+        set: &PolicySet,
+        split: usize,
+    ) -> Option<Self> {
+        debug_assert_eq!(split, prev.policies.len());
+        if set.len() >= u32::MAX as usize {
+            return None;
+        }
+        let accumulated = set.len() - prev.base_len;
+        if accumulated > 256.max(prev.base_len / 8) {
+            return None;
+        }
+        let appended: Vec<LinearRule> = set.iter_from(split).map(LinearRule::compile).collect();
+        let index = prev.index.extend(
+            appended
+                .iter()
+                .enumerate()
+                .map(|(k, r)| ((split + k) as u32, r.action, &r.matcher)),
+        );
+        let mut rules = prev.rules.clone();
+        for rule in appended {
+            rules.push(rule);
+        }
+        Some(CompiledPolicySet {
+            policies: set.clone(),
+            rules,
+            index,
+            base_len: prev.base_len,
+            reused: split,
+        })
     }
 
     /// Number of compiled rules.
     pub fn len(&self) -> usize {
-        self.policies.len()
+        self.rules.len()
     }
 
     /// True if the set has no rules.
     pub fn is_empty(&self) -> bool {
-        self.policies.is_empty()
+        self.rules.is_empty()
     }
 
     /// Whether the set contains any allow (whitelist) rules.
     pub fn has_whitelist(&self) -> bool {
-        !self.allow_tag.is_empty() || !self.allow_stack.is_empty()
+        self.index.allow_rule_count() > 0
     }
 
     /// The original policy at `index` (as reported by [`CompiledVerdict`]).
@@ -660,9 +899,22 @@ impl CompiledPolicySet {
         self.policies.get(index)
     }
 
+    /// Number of compiled rules carried over from the previous generation by
+    /// the incremental compile path; 0 after a full build.  Exposed so the
+    /// control plane (and its regression tests) can observe that a delta
+    /// commit did not rebuild unchanged index structure.
+    pub fn reused_rule_count(&self) -> usize {
+        self.reused
+    }
+
     /// Evaluate against stack frames provided by index — the allocation-free
     /// core shared by the slice and enforcer entry points.  `frame(i)` must
     /// return the `i`-th innermost frame for `i < frame_count`.
+    ///
+    /// This is the indexed path: one tag-table probe plus
+    /// `O(stack depth × package segments × log keys)` prefix probes,
+    /// independent of the rule count.  Equivalent — verdict *and*
+    /// attribution — to [`CompiledPolicySet::evaluate_frames_linear`].
     pub fn evaluate_frames<'s, F>(
         &self,
         app_tag: AppTag,
@@ -672,49 +924,127 @@ impl CompiledPolicySet {
     where
         F: Fn(usize) -> &'s MethodSignature,
     {
-        // 1. Deny rules: ∃ matching rule ⇒ drop (tag bucket first).
-        for rule in &self.deny_tag {
-            if rule.matcher.matches_tag(app_tag) {
-                return CompiledVerdict::Deny {
-                    policy: Some(rule.policy),
-                    frame: None,
-                };
+        // 1. Deny rules: ∃ matching rule ⇒ drop.  Tag rules attribute first;
+        //    stack attribution is (minimum matching rule, its first frame),
+        //    identical to the linear rule-outer/frame-inner scan order.
+        let (tag_deny, tag_allow) = self.index.tag_lookup(app_tag.as_u64());
+        if tag_deny != NO_RULE {
+            return CompiledVerdict::Deny {
+                policy: Some(tag_deny as usize),
+                frame: None,
+            };
+        }
+        let mut best = NO_RULE;
+        let mut best_frame = 0usize;
+        for i in 0..frame_count {
+            let m = self.index.frame_deny_min(frame(i));
+            if m < best {
+                best = m;
+                best_frame = i;
             }
         }
-        for rule in &self.deny_stack {
-            if let Some(hit) = (0..frame_count).find(|&i| rule.matcher.matches_signature(frame(i)))
-            {
-                return CompiledVerdict::Deny {
-                    policy: Some(rule.policy),
-                    frame: Some(hit),
-                };
-            }
+        if best != NO_RULE {
+            return CompiledVerdict::Deny {
+                policy: Some(best as usize),
+                frame: Some(best_frame),
+            };
         }
 
         // 2. Allow (whitelist) rules: if any exist, at least one must be
         //    satisfied — tag rules by the tag, stack rules by *every* frame.
-        if self.allow_tag.is_empty() && self.allow_stack.is_empty() {
+        if self.index.allow_rule_count() == 0 {
             return CompiledVerdict::Allow;
         }
-        if self
-            .allow_tag
-            .iter()
-            .any(|rule| rule.matcher.matches_tag(app_tag))
-        {
+        if tag_allow {
             return CompiledVerdict::Allow;
         }
-        if frame_count > 0
-            && self
-                .allow_stack
-                .iter()
-                .any(|rule| (0..frame_count).all(|i| rule.matcher.matches_signature(frame(i))))
-        {
+        if frame_count > 0 {
+            // The whitelist fold assumes class names contain no `/` (true of
+            // every parsed signature); hand-built outliers take the linear
+            // allow pass so the indexed path never diverges from the oracle.
+            let allowed = if PolicyIndex::frames_need_linear_allow(frame_count, &frame) {
+                self.linear_stack_allowed(frame_count, &frame)
+            } else {
+                self.index.stack_allowed(frame_count, &frame)
+            };
+            if allowed {
+                return CompiledVerdict::Allow;
+            }
+        }
+        CompiledVerdict::Deny {
+            policy: None,
+            frame: None,
+        }
+    }
+
+    /// The pre-index linear scan over the rule list, retained verbatim as an
+    /// equivalence oracle: same verdict and same policy/frame attribution as
+    /// [`CompiledPolicySet::evaluate_frames`] on every input.
+    pub fn evaluate_frames_linear<'s, F>(
+        &self,
+        app_tag: AppTag,
+        frame_count: usize,
+        frame: F,
+    ) -> CompiledVerdict
+    where
+        F: Fn(usize) -> &'s MethodSignature,
+    {
+        // 1. Deny rules: ∃ matching rule ⇒ drop (tag bucket first).
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.action == PolicyAction::Deny
+                && rule.tag_level
+                && rule.matcher.matches_tag(app_tag)
+            {
+                return CompiledVerdict::Deny {
+                    policy: Some(i),
+                    frame: None,
+                };
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.action == PolicyAction::Deny && !rule.tag_level {
+                if let Some(hit) =
+                    (0..frame_count).find(|&f| rule.matcher.matches_signature(frame(f)))
+                {
+                    return CompiledVerdict::Deny {
+                        policy: Some(i),
+                        frame: Some(hit),
+                    };
+                }
+            }
+        }
+
+        // 2. Allow (whitelist) rules.
+        if !self.rules.iter().any(|r| r.action == PolicyAction::Allow) {
+            return CompiledVerdict::Allow;
+        }
+        if self.rules.iter().any(|rule| {
+            rule.action == PolicyAction::Allow
+                && rule.tag_level
+                && rule.matcher.matches_tag(app_tag)
+        }) {
+            return CompiledVerdict::Allow;
+        }
+        if frame_count > 0 && self.linear_stack_allowed(frame_count, &frame) {
             return CompiledVerdict::Allow;
         }
         CompiledVerdict::Deny {
             policy: None,
             frame: None,
         }
+    }
+
+    /// Linear form of the whitelist stack pass: some stack-level allow rule
+    /// is matched by every frame.
+    fn linear_stack_allowed<'s, F>(&self, frame_count: usize, frame: &F) -> bool
+    where
+        F: Fn(usize) -> &'s MethodSignature,
+    {
+        self.rules.iter().any(|rule| {
+            rule.action == PolicyAction::Allow
+                && !rule.tag_level
+                && (0..frame_count).all(|f| rule.matcher.matches_signature(frame(f)))
+        })
     }
 
     /// Evaluate a decoded stack slice; same semantics as
@@ -736,7 +1066,10 @@ impl CompiledPolicySet {
                 policy: Some(index),
                 frame: hit,
             } => {
-                let policy = &self.policies[index];
+                let policy = self
+                    .policies
+                    .get(index)
+                    .expect("verdict policy index in range");
                 let reason = match hit {
                     Some(i) => format!("stack frame {} matches denied target", frame(i)),
                     None => "application hash is blacklisted".to_string(),

@@ -74,6 +74,15 @@ impl Engine {
         self.control.generation()
     }
 
+    /// Commits that reused the previous generation's compiled policy index
+    /// (shared outright or incrementally extended) instead of recompiling
+    /// every rule — the control plane's incremental-compilation counter.
+    /// Append-only policy transactions take this path, so hot-adding one
+    /// rule to a 100k-rule deployment stays near-constant-time.
+    pub fn policy_index_reuses(&self) -> u64 {
+        self.control.policy_index_reuses()
+    }
+
     /// Merged data-plane statistics.
     pub fn stats(&self) -> EnforcerStats {
         self.data_plane.stats()
@@ -225,6 +234,9 @@ mod tests {
             engine.data_plane().tables().epoch(),
             engine.control().tables().epoch()
         );
+        // The add-policy commit is append-only, so it extends the previous
+        // generation's policy index instead of recompiling it.
+        assert_eq!(engine.policy_index_reuses(), 1);
         assert_eq!(engine.stats().packets_inspected, 0);
     }
 }

@@ -70,6 +70,68 @@ fn paired_policy_and_database_update_bumps_the_epoch_exactly_once() {
     assert_eq!(stats.flow_hits, 2);
 }
 
+/// Regression for the BENCH_5 wart: `commit_1050` paid a full ~133µs
+/// recompilation for a one-rule change.  A 1-policy delta commit on a large
+/// rule set must *extend* the previous generation's compiled index instead
+/// of rebuilding it — every pre-existing rule's compiled form reused, one
+/// build (one epoch bump) still accounted, and the appended rule live.
+#[test]
+fn one_rule_delta_commit_reuses_the_large_compiled_index() {
+    // 100k rules exercises the real scale; debug builds get 20k so the
+    // assertion suite stays interactive.
+    let rule_count: usize = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        100_000
+    };
+    let rules: Vec<Policy> = (0..rule_count)
+        .map(|i| Policy::deny(EnforcementLevel::Library, format!("gen/a{:06}", i)))
+        .collect();
+    let mut control = ControlPlane::new(
+        SignatureDatabase::new(),
+        PolicySet::from_policies(rules),
+        EnforcerConfig::default(),
+    );
+    assert_eq!(control.policy_index_reuses(), 0);
+    assert_eq!(control.tables().policies().reused_rule_count(), 0);
+    let builds_before = control.builds();
+    let epoch_before = control.tables().epoch();
+
+    control
+        .begin()
+        .add_policy(Policy::deny(EnforcementLevel::Library, "com/flurry"))
+        .commit()
+        .unwrap();
+
+    // The commit reused the whole pre-existing index rather than rebuilding
+    // it: all `rule_count` compiled rules carried over, only the appended
+    // rule was compiled fresh.
+    assert_eq!(control.policy_index_reuses(), 1);
+    assert_eq!(control.tables().policies().reused_rule_count(), rule_count);
+    assert_eq!(control.tables().policies().len(), rule_count + 1);
+    // Still exactly one accounted build and one epoch bump — incremental
+    // compilation changes cost, not the invalidation contract.
+    assert_eq!(control.builds() - builds_before, 1);
+    assert!(control.tables().epoch() > epoch_before);
+    // The appended rule is live in the extended index.
+    let sig: borderpatrol::types::MethodSignature =
+        "Lcom/flurry/sdk/Agent;->report(Ljava/lang/String;)V"
+            .parse()
+            .unwrap();
+    let tag = borderpatrol::types::ApkHash::digest(b"delta").tag();
+    let verdict = control
+        .tables()
+        .policies()
+        .evaluate_frames(tag, 1, |_| &sig);
+    assert_eq!(
+        verdict,
+        borderpatrol::core::policy::CompiledVerdict::Deny {
+            policy: Some(rule_count),
+            frame: Some(0),
+        }
+    );
+}
+
 /// Commit atomicity under fire, on 1, 4 and 8 shards: while a worker hammers
 /// `inspect_batch`, the control plane commits a generation that flips every
 /// verdict.  Every packet's verdict must be attributable to exactly one

@@ -17,8 +17,9 @@ use borderpatrol::dex::{DexBuilder, DexFile, MethodTable};
 use borderpatrol::netsim::addr::Endpoint;
 use borderpatrol::netsim::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN};
 use borderpatrol::netsim::packet::Ipv4Packet;
-use borderpatrol::types::{ApkHash, EnforcementLevel, MethodSignature};
+use borderpatrol::types::{ApkHash, AppTag, EnforcementLevel, MethodSignature};
 use common::solcalendar_fixture as enforcement_fixture;
+use common::tagged_packet;
 
 fn identifier() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9]{0,8}".prop_map(|s| s)
@@ -26,6 +27,88 @@ fn identifier() -> impl Strategy<Value = String> {
 
 fn package() -> impl Strategy<Value = String> {
     prop::collection::vec(identifier(), 1..4).prop_map(|segments| segments.join("/"))
+}
+
+/// Signatures drawn from a small shared segment pool, so independently
+/// generated frames and rule targets collide on nested and sibling package
+/// prefixes — the cases the compiled prefix index has to rank exactly like
+/// the linear scan.
+fn overlapping_signature() -> impl Strategy<Value = MethodSignature> {
+    (
+        prop::collection::vec(
+            prop::sample::select(vec!["com", "a", "ab", "b", "org", "x", "y"]),
+            1..4,
+        ),
+        prop::sample::select(vec!["A", "B", "Ab"]),
+        prop::sample::select(vec!["run", "get"]),
+        prop::sample::select(vec!["", "I", "IJ"]),
+    )
+        .prop_map(|(segments, class, method, params)| {
+            MethodSignature::new(segments.join("/"), class, method, params, "V")
+        })
+}
+
+/// The app-tag pool shared by rules and evaluations, small enough that hash
+/// rules and probed tags collide often.
+fn tag_pool() -> Vec<AppTag> {
+    (0u64..3)
+        .map(|i| ApkHash::digest(&i.to_le_bytes()).tag())
+        .collect()
+}
+
+/// Materialize one synthetic rule tuple into a policy whose target is drawn
+/// from the generated stack (so matches happen), from a fixed pool of
+/// overlapping `/`-separated prefixes (so the prefix index holds nested and
+/// sibling keys), or from the tag pool (so the tag table holds entries for
+/// both probed and unprobed tags).
+fn synthetic_policy(
+    stack: &[MethodSignature],
+    tags: &[AppTag],
+    (allow, shape, pick, rule_tag): (bool, u8, u16, u8),
+) -> Policy {
+    const OVERLAPPING: &[&str] = &[
+        "com", "com/a", "com/a/b", "com/ab", "com/ab/c", "org", "org/x/y",
+    ];
+    let action = if allow {
+        PolicyAction::Allow
+    } else {
+        PolicyAction::Deny
+    };
+    let frame = (!stack.is_empty()).then(|| &stack[pick as usize % stack.len()]);
+    let (level, target) = match (shape, frame) {
+        (0, Some(f)) => (
+            EnforcementLevel::Library,
+            f.library_prefix(1 + pick as usize % 3),
+        ),
+        (1, Some(f)) => (EnforcementLevel::Class, f.qualified_class()),
+        (2, Some(f)) => (EnforcementLevel::Method, f.to_descriptor()),
+        (3, Some(f)) => (
+            EnforcementLevel::Method,
+            format!("L{};->{}", f.qualified_class(), f.method_name()),
+        ),
+        (4, _) => (
+            EnforcementLevel::Hash,
+            tags[rule_tag as usize % tags.len()].to_hex(),
+        ),
+        (5, _) => (
+            EnforcementLevel::Library,
+            OVERLAPPING[pick as usize % OVERLAPPING.len()].to_string(),
+        ),
+        (6, _) => (
+            EnforcementLevel::Class,
+            OVERLAPPING[pick as usize % OVERLAPPING.len()].to_string(),
+        ),
+        _ => (
+            EnforcementLevel::Method,
+            OVERLAPPING[pick as usize % OVERLAPPING.len()].to_string(),
+        ),
+    };
+    let target = if target.is_empty() {
+        "com".to_string()
+    } else {
+        target
+    };
+    Policy::new(action, level, target)
 }
 
 fn signature() -> impl Strategy<Value = MethodSignature> {
@@ -380,6 +463,84 @@ proptest! {
     }
 
     #[test]
+    fn indexed_policy_evaluation_matches_linear_oracle(
+        stack in prop::collection::vec(overlapping_signature(), 0..8),
+        tag_pick in 0u8..3,
+        rules in prop::collection::vec(
+            (any::<bool>(), 0u8..8, any::<u16>(), 0u8..3),
+            0..24,
+        ),
+    ) {
+        // The indexed evaluator (tag table + prefix index) must agree with
+        // the retained linear scan on the full verdict — policy and frame
+        // attribution included, not just allow/deny — over rule sets dense
+        // in overlapping prefixes, colliding tags, mixed allow/deny and
+        // empty stacks.
+        let tags = tag_pool();
+        let tag = tags[tag_pick as usize % tags.len()];
+        let set = PolicySet::from_policies(
+            rules
+                .into_iter()
+                .map(|rule| synthetic_policy(&stack, &tags, rule))
+                .collect(),
+        );
+        let compiled = set.compile();
+        let indexed = compiled.evaluate_frames(tag, stack.len(), |i| &stack[i]);
+        let linear = compiled.evaluate_frames_linear(tag, stack.len(), |i| &stack[i]);
+        prop_assert_eq!(
+            indexed, linear,
+            "indexed/linear divergence\nset:\n{}\nstack: {:?}", set.to_text(), stack
+        );
+    }
+
+    #[test]
+    fn incremental_commit_matches_full_recompilation(
+        stack in prop::collection::vec(overlapping_signature(), 0..6),
+        base in prop::collection::vec(
+            (any::<bool>(), 0u8..8, any::<u16>(), 0u8..3),
+            1..16,
+        ),
+        delta in prop::collection::vec(
+            (any::<bool>(), 0u8..8, any::<u16>(), 0u8..3),
+            1..6,
+        ),
+    ) {
+        let tags = tag_pool();
+        let base_policies: Vec<Policy> = base
+            .into_iter()
+            .map(|rule| synthetic_policy(&stack, &tags, rule))
+            .collect();
+        let base_len = base_policies.len();
+        let mut control = ControlPlane::new(
+            SignatureDatabase::new(),
+            PolicySet::from_policies(base_policies),
+            EnforcerConfig::default(),
+        );
+        let mut tx = control.begin();
+        for rule in delta {
+            tx = tx.add_policy(synthetic_policy(&stack, &tags, rule));
+        }
+        tx.commit().unwrap();
+        // The append-only commit must take the incremental path, reusing
+        // every base rule's compiled form...
+        prop_assert_eq!(control.policy_index_reuses(), 1);
+        let incremental = control.tables().policies().clone();
+        prop_assert_eq!(incremental.reused_rule_count(), base_len);
+        // ...and still agree everywhere with a from-scratch compilation of
+        // the same final set, on both the indexed and linear-oracle paths.
+        let full = control.policies().compile();
+        prop_assert_eq!(full.reused_rule_count(), 0);
+        for probe_tag in &tags {
+            let inc = incremental.evaluate_frames(*probe_tag, stack.len(), |i| &stack[i]);
+            let refull = full.evaluate_frames(*probe_tag, stack.len(), |i| &stack[i]);
+            let oracle =
+                incremental.evaluate_frames_linear(*probe_tag, stack.len(), |i| &stack[i]);
+            prop_assert_eq!(inc, refull, "incremental vs full-recompile divergence");
+            prop_assert_eq!(inc, oracle, "incremental vs linear-oracle divergence");
+        }
+    }
+
+    #[test]
     fn sanitizer_removes_every_context_option_and_is_idempotent(
         option_data in prop::collection::vec(any::<u8>(), 1..30),
         payload in prop::collection::vec(any::<u8>(), 0..100),
@@ -400,4 +561,75 @@ proptest! {
         sanitizer.sanitize(&mut packet);
         prop_assert_eq!(packet, snapshot);
     }
+}
+
+/// Flow-cache parity across commits of a large rule set: cached verdicts
+/// must match cache-free evaluation before and after both an incremental
+/// (append-only) and a full (removal-forced) recompilation of a 3k-rule
+/// policy set — incremental compilation reuses index structure but must
+/// still invalidate every cached verdict through the fresh epoch.
+#[test]
+fn flow_cache_parity_across_large_rule_set_commits() {
+    let (db, analytics, login) = enforcement_fixture();
+    let mut rules: Vec<Policy> = (0..3_000)
+        .map(|i| Policy::deny(EnforcementLevel::Library, format!("gen/lib{i:04}")))
+        .collect();
+    rules.push(Policy::deny(
+        EnforcementLevel::Class,
+        "com/facebook/appevents",
+    ));
+    let mut control = ControlPlane::new(
+        db.clone(),
+        PolicySet::from_policies(rules),
+        EnforcerConfig::default(),
+    );
+    let cached = Arc::new(Mutex::new(PolicyEnforcer::new(
+        SignatureDatabase::new(),
+        PolicySet::new(),
+        EnforcerConfig::default(),
+    )));
+    let uncached = Arc::new(Mutex::new(PolicyEnforcer::new(
+        SignatureDatabase::new(),
+        PolicySet::new(),
+        EnforcerConfig::default(),
+    )));
+    control.register(Arc::clone(&cached) as Arc<dyn EnforcementEndpoint>);
+    control.register(Arc::clone(&uncached) as Arc<dyn EnforcementEndpoint>);
+
+    let check = |label: &str| {
+        for flow in 0..4u16 {
+            for payload in [analytics.as_slice(), login.as_slice()] {
+                // Twice per flow: the second inspect is a cache hit.
+                for _ in 0..2 {
+                    let packet = tagged_packet(flow, payload);
+                    assert_eq!(
+                        cached.lock().inspect(&packet),
+                        uncached.lock().inspect_uncached(&packet),
+                        "cached/uncached divergence after {label}",
+                    );
+                }
+            }
+        }
+    };
+    check("initial compile");
+
+    // Append-only delta: extends the previous generation's index instead of
+    // rebuilding it, yet cached verdicts must still be invalidated.
+    control
+        .begin()
+        .add_policy(Policy::deny(EnforcementLevel::Library, "com/facebook"))
+        .commit()
+        .unwrap();
+    assert_eq!(control.policy_index_reuses(), 1);
+    check("incremental commit");
+
+    // Removal of a mid-set rule cannot be expressed as an append: this
+    // commit recompiles the whole set from scratch.
+    control
+        .begin()
+        .remove_policy(&Policy::deny(EnforcementLevel::Library, "com/facebook"))
+        .commit()
+        .unwrap();
+    assert_eq!(control.policy_index_reuses(), 1);
+    check("full recompilation");
 }
