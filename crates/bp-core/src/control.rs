@@ -29,11 +29,12 @@
 //! that generation's epoch become servable again — rolling back is
 //! behaviourally equivalent to never having committed.
 //!
-//! The legacy mutators ([`PolicyEnforcer::set_policies`] /
-//! [`PolicyEnforcer::set_database`] / [`ShardedEnforcer::set_tables`]) remain
-//! as deprecated thin wrappers, each equivalent to a one-shot transaction
-//! touching a single piece of state; paired calls rebuild twice, which is
-//! exactly the waste a single transaction avoids.
+//! Transactions are the **only** mutation surface.  The legacy one-shot
+//! mutators (`set_policies` / `set_database` / `set_tables`) are gone: each
+//! was equivalent to a transaction touching a single piece of state, and
+//! paired calls rebuilt the tables twice — exactly the waste a single
+//! commit avoids.  Tests and embedders that want a direct swap go through a
+//! one-transaction control plane, same as production.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;

@@ -32,9 +32,9 @@
 //! compiled tables.  A packet whose flow and payload match hits an O(1)
 //! probe and skips decode/resolve/evaluate entirely; any context change
 //! re-evaluates, and every table rebuild — a committed
-//! [`ControlPlane`](crate::control::ControlPlane) transaction, or one of the
-//! deprecated direct mutators it wraps — bumps the epoch so entries cached
-//! before a hot swap are lazily invalidated instead of served stale.
+//! [`ControlPlane`](crate::control::ControlPlane) transaction installing a
+//! new generation — bumps the epoch so entries cached before a hot swap are
+//! lazily invalidated instead of served stale.
 //!
 //! The flow table doubles as a **replay detector**: the set-once hardened
 //! kernel injects the context exactly once per socket, so a payload change
@@ -60,7 +60,7 @@ use crate::encoding::ContextEncoding;
 use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
-use crate::runtime::{BatchRuntime, PacketSource, VerdictSlots, WorkerPool};
+use crate::runtime::{BatchRuntime, PacketSource, WorkerPool};
 
 /// Source of the monotonically increasing epoch stamped onto every
 /// [`EnforcementTables`] build.  Process-global so that *any* recompilation
@@ -920,42 +920,6 @@ impl PolicyEnforcer {
         &self.policies
     }
 
-    /// Replace the policy set and recompile the tables.
-    ///
-    /// Deprecated: equivalent to a one-shot
-    /// [`ControlPlane`](crate::control::ControlPlane) transaction touching
-    /// only the policies — but a *paired* `set_policies` + `set_database`
-    /// update rebuilds the tables (and bumps the flow-cache epoch) twice,
-    /// which a single transaction commit does exactly once.  Administrators
-    /// reconfigure centrally (§IV "Reconfigurability"); stage changes through
-    /// `control.begin()…commit()` instead.
-    ///
-    /// One behavioural difference: this wrapper always recompiles, even when
-    /// the new state equals the current one, whereas a transaction staging
-    /// identical state commits as a no-op (no rebuild, no epoch bump, no
-    /// flow-cache invalidation).
-    #[deprecated(note = "stage changes through a bp_core::control::ControlPlane transaction")]
-    pub fn set_policies(&mut self, policies: PolicySet) {
-        self.policies = policies;
-        self.recompile();
-    }
-
-    /// Replace the signature database (e.g. after new apps are analyzed) and
-    /// recompile the tables.
-    ///
-    /// Deprecated: see [`PolicyEnforcer::set_policies`] — stage changes
-    /// through a [`ControlPlane`](crate::control::ControlPlane) transaction.
-    #[deprecated(note = "stage changes through a bp_core::control::ControlPlane transaction")]
-    pub fn set_database(&mut self, database: SignatureDatabase) {
-        self.database = database;
-        self.recompile();
-    }
-
-    fn recompile(&mut self) {
-        self.tables =
-            EnforcementTables::shared(&self.database, &self.policies, self.tables.config());
-    }
-
     /// Adopt a control-plane build: interchange state and pre-compiled
     /// tables together, with no recompilation here.  The control plane is
     /// the only caller — this is how a commit or rollback installs a
@@ -1166,11 +1130,11 @@ impl QueueHandler for PolicyEnforcer {
 /// inline `inspect` and a batch worker routinely contend for the same
 /// shard; inconsistent ordering deadlocks them.
 #[derive(Debug, Default)]
-struct EnforcerShard {
-    stats: AtomicEnforcerStats,
-    drop_log: Mutex<DropLog>,
-    scratch: Mutex<Vec<u32>>,
-    flow: Mutex<FlowTable>,
+pub(crate) struct EnforcerShard {
+    pub(crate) stats: AtomicEnforcerStats,
+    pub(crate) drop_log: Mutex<DropLog>,
+    pub(crate) scratch: Mutex<Vec<u32>>,
+    pub(crate) flow: Mutex<FlowTable>,
 }
 
 impl EnforcerShard {
@@ -1202,8 +1166,8 @@ pub(crate) struct EnforcerCore {
     tables: RwLock<Arc<EnforcementTables>>,
     /// Bumped (release) after each table installation; workers watch it
     /// (acquire) to notice swaps without touching the lock.
-    tables_generation: AtomicU64,
-    shards: Vec<EnforcerShard>,
+    pub(crate) tables_generation: AtomicU64,
+    pub(crate) shards: Vec<EnforcerShard>,
     /// Simulated time in microseconds, advanced by the driving clock owner;
     /// used for flow-table TTL expiry.
     now_micros: AtomicU64,
@@ -1216,12 +1180,12 @@ impl EnforcerCore {
     }
 
     /// The currently active compiled tables.
-    fn tables(&self) -> Arc<EnforcementTables> {
+    pub(crate) fn tables(&self) -> Arc<EnforcementTables> {
         Arc::clone(&self.tables.read())
     }
 
     /// The enforcer's current view of simulated time.
-    fn now(&self) -> SimDuration {
+    pub(crate) fn now(&self) -> SimDuration {
         SimDuration::from_micros(self.now_micros.load(Ordering::Relaxed))
     }
 
@@ -1238,7 +1202,7 @@ impl EnforcerCore {
     }
 
     /// Inspect one packet inline on its flow's shard (flow-cached).
-    fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
+    pub(crate) fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
         let tables = self.tables();
         let shard = &self.shards[self.shard_for(packet)];
         // Shard lock order: scratch → drop_log → flow, matching
@@ -1257,85 +1221,9 @@ impl EnforcerCore {
         )
     }
 
-    /// Inspect one shard's partition of a batch, writing each packet's
-    /// verdict into its slot.  This is the shared inner loop of the pool
-    /// workers, the scoped-spawn baseline and the submitter's inline
-    /// partition.
-    ///
-    /// The shard's state is locked once per partition; the active tables are
-    /// snapshotted once and revalidated per packet against the generation
-    /// counter (one acquire load, no lock/refcount traffic), so a concurrent
-    /// table installation still takes effect mid-batch — once the swap
-    /// returns, no later packet is evaluated (or served from cache) under
-    /// the old epoch.
-    ///
-    /// # Safety
-    ///
-    /// Every index must be `< source.len()`, the batch behind `source` must
-    /// outlive the call, `slots` must point at `source.len()` initialized
-    /// verdicts, and no other thread may write the slots of these indexes.
-    #[allow(unsafe_code)]
-    pub(crate) unsafe fn run_partition(
-        &self,
-        shard: usize,
-        source: PacketSource,
-        indexes: &[u32],
-        slots: VerdictSlots,
-    ) {
-        let shard = &self.shards[shard];
-        let mut scratch = shard.scratch.lock();
-        let mut drop_log = shard.drop_log.lock();
-        let mut flow = shard.flow.lock();
-        let mut generation = self.tables_generation.load(Ordering::Acquire);
-        let mut tables = self.tables();
-        for &index in indexes {
-            let current = self.tables_generation.load(Ordering::Acquire);
-            if current != generation {
-                generation = current;
-                tables = self.tables();
-            }
-            let verdict = tables.inspect_flow_cached(
-                source.get(index as usize),
-                &mut flow,
-                self.now(),
-                &mut scratch,
-                &shard.stats,
-                &mut drop_log,
-            );
-            slots.set(index as usize, verdict);
-        }
-    }
-
-    /// The scoped-spawn batch baseline: partition by flow, spawn one scoped
-    /// OS thread per busy shard, join.  Pays a thread spawn/join and fresh
-    /// partition allocations on every batch — exactly the costs the
-    /// [`BatchRuntime::Pool`] runtime eliminates — and is retained for
-    /// equivalence testing and as the bench baseline.
-    #[allow(unsafe_code)]
-    fn inspect_scoped(&self, source: PacketSource, out: &mut [Verdict]) {
-        let shard_count = self.shards.len();
-        let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
-        for index in 0..source.len() {
-            // SAFETY: `index < len` and the batch outlives this call.
-            let packet = unsafe { source.get(index) };
-            partitions[self.shard_for(packet)].push(index as u32);
-        }
-        let slots = VerdictSlots(out.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for (shard, indexes) in partitions.iter().enumerate() {
-                if indexes.is_empty() {
-                    continue;
-                }
-                let slots = &slots;
-                scope.spawn(move || {
-                    // SAFETY: indexes are in bounds by construction, the
-                    // batch outlives the scope, and partitions are disjoint
-                    // so no slot is written twice.
-                    unsafe { self.run_partition(shard, source, indexes, *slots) };
-                });
-            }
-        });
-    }
+    // The batch entry points that dereference borrowed-batch raw pointers —
+    // `run_partition`, `inspect_scoped` and `inspect_sequential` — live in
+    // `crate::runtime`, the one module allowed to contain `unsafe`.
 }
 
 /// A sharded Policy Enforcer: one set of compiled [`EnforcementTables`]
@@ -1444,21 +1332,6 @@ impl ShardedEnforcer {
         self.core.tables()
     }
 
-    /// Hot-swap the compiled tables.
-    ///
-    /// Deprecated: register the enforcer as an
-    /// [`EnforcementEndpoint`](crate::control::EnforcementEndpoint) of a
-    /// [`ControlPlane`](crate::control::ControlPlane) and commit transactions
-    /// instead — the control plane builds tables exactly once per commit and
-    /// keeps every registered endpoint on the same generation.  Note that a
-    /// transaction staging state identical to the current generation commits
-    /// as a no-op, while this wrapper unconditionally installs `tables` (and
-    /// with them whatever fresh epoch they were built under).
-    #[deprecated(note = "register with a bp_core::control::ControlPlane and commit transactions")]
-    pub fn set_tables(&self, tables: Arc<EnforcementTables>) {
-        self.install_tables(tables);
-    }
-
     /// The swap primitive behind the control plane's endpoint installation.
     ///
     /// Safe under concurrent [`ShardedEnforcer::inspect_batch`]: once this
@@ -1542,14 +1415,7 @@ impl ShardedEnforcer {
         verdicts.clear();
         let len = source.len();
         if self.core.shard_count() == 1 || len <= 1 {
-            verdicts.reserve(len);
-            for index in 0..len {
-                // SAFETY: `index < len` and the caller's batch outlives this
-                // call.
-                #[allow(unsafe_code)]
-                let packet = unsafe { source.get(index) };
-                verdicts.push(self.core.inspect(packet));
-            }
+            self.core.inspect_sequential(source, verdicts);
             return;
         }
         // Pre-size the slot array with **fail-closed** placeholders: every
@@ -1767,24 +1633,39 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // covers the legacy one-shot wrapper
     fn reconfiguration_changes_behaviour_without_rebuilding() {
         let (db, analytics_payload, _) = solcalendar_fixture();
-        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        let mut control = crate::control::ControlPlane::new(
+            db.clone(),
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        );
+        let enforcer = Arc::new(Mutex::new(PolicyEnforcer::new(
+            db,
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        )));
+        control.register(Arc::clone(&enforcer) as _);
         assert!(enforcer
+            .lock()
             .inspect(&tagged_packet(analytics_payload.clone()))
             .is_accept());
 
-        enforcer.set_policies(PolicySet::from_policies(vec![Policy::deny(
-            EnforcementLevel::Library,
-            "com/facebook",
-        )]));
+        control
+            .begin()
+            .replace_policies(PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Library,
+                "com/facebook",
+            )]))
+            .commit()
+            .unwrap();
         assert!(!enforcer
+            .lock()
             .inspect(&tagged_packet(analytics_payload))
             .is_accept());
-        enforcer.reset_stats();
-        assert_eq!(enforcer.stats().packets_inspected, 0);
-        assert!(enforcer.drop_log().is_empty());
+        enforcer.lock().reset_stats();
+        assert_eq!(enforcer.lock().stats().packets_inspected, 0);
+        assert!(enforcer.lock().drop_log().is_empty());
     }
 
     #[test]
@@ -2153,27 +2034,40 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // covers the legacy one-shot wrapper
     fn policy_swap_bumps_epoch_and_invalidates_cached_verdicts() {
         let (db, analytics_payload, _) = solcalendar_fixture();
-        let mut enforcer = PolicyEnforcer::new(db, PolicySet::new(), EnforcerConfig::default());
+        let mut control = crate::control::ControlPlane::new(
+            db.clone(),
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        );
+        let enforcer = Arc::new(Mutex::new(PolicyEnforcer::new(
+            db,
+            PolicySet::new(),
+            EnforcerConfig::default(),
+        )));
+        control.register(Arc::clone(&enforcer) as _);
         let packet = tagged_packet(analytics_payload);
 
-        let epoch_before = enforcer.tables().epoch();
-        assert!(enforcer.inspect(&packet).is_accept());
-        assert!(enforcer.inspect(&packet).is_accept());
-        assert_eq!(enforcer.stats().flow_hits, 1);
+        let epoch_before = enforcer.lock().tables().epoch();
+        assert!(enforcer.lock().inspect(&packet).is_accept());
+        assert!(enforcer.lock().inspect(&packet).is_accept());
+        assert_eq!(enforcer.lock().stats().flow_hits, 1);
 
-        enforcer.set_policies(PolicySet::from_policies(vec![Policy::deny(
-            EnforcementLevel::Library,
-            "com/facebook",
-        )]));
-        assert!(enforcer.tables().epoch() > epoch_before);
+        control
+            .begin()
+            .replace_policies(PolicySet::from_policies(vec![Policy::deny(
+                EnforcementLevel::Library,
+                "com/facebook",
+            )]))
+            .commit()
+            .unwrap();
+        assert!(enforcer.lock().tables().epoch() > epoch_before);
 
         // The cached accept was computed under the old epoch: it must not be
         // served.  The probe misses, re-evaluates and drops.
-        assert!(!enforcer.inspect(&packet).is_accept());
-        let stats = enforcer.stats();
+        assert!(!enforcer.lock().inspect(&packet).is_accept());
+        let stats = enforcer.lock().stats();
         assert_eq!(stats.flow_hits, 1);
         assert_eq!(stats.flow_misses, 2);
         assert_eq!(stats.dropped_by_policy, 1);
@@ -2213,8 +2107,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // covers the legacy direct-swap wrapper
-    fn sharded_set_tables_hot_swaps_without_stale_verdicts() {
+    fn sharded_install_tables_hot_swaps_without_stale_verdicts() {
         let (db, analytics_payload, _) = solcalendar_fixture();
         let sharded =
             ShardedEnforcer::from_parts(&db, &PolicySet::new(), EnforcerConfig::default(), 4);
@@ -2233,7 +2126,7 @@ mod tests {
             )]),
             EnforcerConfig::default(),
         );
-        sharded.set_tables(Arc::clone(&deny));
+        sharded.install_tables(Arc::clone(&deny));
         assert_eq!(sharded.tables().epoch(), deny.epoch());
 
         // The swap bumped the epoch: the warmed entry cannot be replayed.

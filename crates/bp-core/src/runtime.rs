@@ -127,6 +127,8 @@ struct RingShared<T> {
 // taking `&mut self`), so sharing the storage across those two threads is
 // sound for any `T: Send`.
 unsafe impl<T: Send> Send for RingShared<T> {}
+// SAFETY: same argument as Send above — the unique handles make all slot
+// accesses exclusive even through a shared reference.
 unsafe impl<T: Send> Sync for RingShared<T> {}
 
 impl<T> RingShared<T> {
@@ -314,6 +316,8 @@ pub(crate) enum PacketSource {
 // submission protocol keeps them alive and unmutated for the lifetime of the
 // batch; sharing the raw pointers across worker threads is therefore sound.
 unsafe impl Send for PacketSource {}
+// SAFETY: same argument as Send above — the view is read-only, so shared
+// references add no new hazards.
 unsafe impl Sync for PacketSource {}
 
 impl PacketSource {
@@ -369,6 +373,8 @@ pub(crate) struct VerdictSlots(pub(crate) *mut Verdict);
 // one shard partition) and the submitter does not read them until every
 // worker has counted down.
 unsafe impl Send for VerdictSlots {}
+// SAFETY: same argument as Send above — partition disjointness, not
+// reference uniqueness, is what prevents racing writes.
 unsafe impl Sync for VerdictSlots {}
 
 impl VerdictSlots {
@@ -381,6 +387,110 @@ impl VerdictSlots {
     /// other thread may write the same `index`.
     pub(crate) unsafe fn set(&self, index: usize, verdict: Verdict) {
         *self.0.add(index) = verdict;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EnforcerCore batch entry points
+// ---------------------------------------------------------------------------
+//
+// The batch loops that dereference borrowed-batch raw pointers live here —
+// with the rest of the handoff protocol — rather than in `enforcer.rs`,
+// keeping every `unsafe` in the crate inside this one audited module.
+
+impl EnforcerCore {
+    /// Inspect one shard's partition of a batch, writing each packet's
+    /// verdict into its slot.  This is the shared inner loop of the pool
+    /// workers, the scoped-spawn baseline and the submitter's inline
+    /// partition.
+    ///
+    /// The shard's state is locked once per partition; the active tables are
+    /// snapshotted once and revalidated per packet against the generation
+    /// counter (one acquire load, no lock/refcount traffic), so a concurrent
+    /// table installation still takes effect mid-batch — once the swap
+    /// returns, no later packet is evaluated (or served from cache) under
+    /// the old epoch.
+    ///
+    /// # Safety
+    ///
+    /// Every index must be `< source.len()`, the batch behind `source` must
+    /// outlive the call, `slots` must point at `source.len()` initialized
+    /// verdicts, and no other thread may write the slots of these indexes.
+    pub(crate) unsafe fn run_partition(
+        &self,
+        shard: usize,
+        source: PacketSource,
+        indexes: &[u32],
+        slots: VerdictSlots,
+    ) {
+        let shard = &self.shards[shard];
+        // Shard lock order: scratch → drop_log → flow, matching
+        // `EnforcerCore::inspect` — an inline inspect and a batch worker
+        // contending for the same shard must never interleave acquisition.
+        let mut scratch = shard.scratch.lock();
+        let mut drop_log = shard.drop_log.lock();
+        let mut flow = shard.flow.lock();
+        let mut generation = self.tables_generation.load(Ordering::Acquire);
+        let mut tables = self.tables();
+        for &index in indexes {
+            let current = self.tables_generation.load(Ordering::Acquire);
+            if current != generation {
+                generation = current;
+                tables = self.tables();
+            }
+            let verdict = tables.inspect_flow_cached(
+                source.get(index as usize),
+                &mut flow,
+                self.now(),
+                &mut scratch,
+                &shard.stats,
+                &mut drop_log,
+            );
+            slots.set(index as usize, verdict);
+        }
+    }
+
+    /// The scoped-spawn batch baseline: partition by flow, spawn one scoped
+    /// OS thread per busy shard, join.  Pays a thread spawn/join and fresh
+    /// partition allocations on every batch — exactly the costs the
+    /// [`BatchRuntime::Pool`] runtime eliminates — and is retained for
+    /// equivalence testing and as the bench baseline.
+    pub(crate) fn inspect_scoped(&self, source: PacketSource, out: &mut [Verdict]) {
+        let shard_count = self.shards.len();
+        let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        for index in 0..source.len() {
+            // SAFETY: `index < len` and the batch outlives this call.
+            let packet = unsafe { source.get(index) };
+            partitions[self.shard_for(packet)].push(index as u32);
+        }
+        let slots = VerdictSlots(out.as_mut_ptr());
+        thread::scope(|scope| {
+            for (shard, indexes) in partitions.iter().enumerate() {
+                if indexes.is_empty() {
+                    continue;
+                }
+                let slots = &slots;
+                scope.spawn(move || {
+                    // SAFETY: indexes are in bounds by construction, the
+                    // batch outlives the scope, and partitions are disjoint
+                    // so no slot is written twice.
+                    unsafe { self.run_partition(shard, source, indexes, *slots) };
+                });
+            }
+        });
+    }
+
+    /// The single-shard / tiny-batch path: inspect every packet of the
+    /// batch inline, appending verdicts in input order.
+    pub(crate) fn inspect_sequential(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
+        let len = source.len();
+        verdicts.reserve(len);
+        for index in 0..len {
+            // SAFETY: `index < len` and the caller's batch outlives this
+            // call.
+            let packet = unsafe { source.get(index) };
+            verdicts.push(self.inspect(packet));
+        }
     }
 }
 

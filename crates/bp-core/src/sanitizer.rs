@@ -120,6 +120,7 @@ impl QueueHandler for PacketSanitizer {
     fn handle_batch_into(&mut self, packets: &mut [&mut Ipv4Packet], verdicts: &mut Vec<Verdict>) {
         self.sanitize_batch(packets);
         verdicts.clear();
+        // bp-lint: allow(fail-closed) the sanitizer mutates in place, never filters
         verdicts.resize(packets.len(), Verdict::Accept);
     }
 }

@@ -1,0 +1,23 @@
+// Known-bad fixture: an atomic field with no declared protocol, and
+// relaxed operations the declared protocols forbid.
+
+struct Core {
+    sneaky_epoch: AtomicU64,
+}
+
+fn weaken_publish(&self, ring: &RingShared, tail: usize) {
+    // `tail` declares relaxed=load: a relaxed store silently breaks the
+    // consumer's Acquire pairing.
+    ring.tail.store(tail.wrapping_add(1), Ordering::Relaxed);
+}
+
+fn weaken_countdown(&self, sync: &BatchSync) {
+    // `pending` declares relaxed=none: the countdown is the visibility
+    // edge for worker writes.
+    sync.pending.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn weaken_generation(&self) {
+    self.tables_generation
+        .store(1, Ordering::Relaxed);
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: declared atomics used within their protocols
+// (names match the checked-in invariants.manifest).
+
+struct RingShared {
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    label: String,
+}
+
+fn producer_len(&self, ring: &RingShared) -> usize {
+    // Each side may re-read its own index relaxed (relaxed=load).
+    let tail = ring.tail.load(Ordering::Relaxed);
+    let head = ring.head.load(Ordering::Acquire);
+    tail.wrapping_sub(head)
+}
+
+fn publish(&self, ring: &RingShared, tail: usize) {
+    ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+}
+
+fn count(&self, stats: &Stats) {
+    // Stats counters declare relaxed=all.
+    stats.inspected.fetch_add(1, Ordering::Relaxed);
+}
+
+fn local_state() {
+    // Locals are not named fields; the manifest does not govern them.
+    let busy = AtomicBool::new(false);
+    busy.store(true, Ordering::Relaxed);
+}

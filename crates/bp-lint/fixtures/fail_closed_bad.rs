@@ -1,0 +1,17 @@
+// Known-bad fixture: three silently-permissive defaults — the ConXsense
+// failure mode BorderPatrol's fail-closed posture exists to prevent.
+
+fn verdict_for(kind: PacketKind) -> Verdict {
+    match kind {
+        PacketKind::Known(app) => evaluate(app),
+        _ => Verdict::Accept,
+    }
+}
+
+fn verdict_or_accept(result: Result<Verdict, DecodeError>) -> Verdict {
+    result.unwrap_or(Verdict::Accept)
+}
+
+fn presize(verdicts: &mut Vec<Verdict>, len: usize) {
+    verdicts.resize(len, Verdict::Accept);
+}

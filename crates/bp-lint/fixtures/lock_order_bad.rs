@@ -1,0 +1,22 @@
+// Known-bad fixture: the PR 5 deadlock shape.  `inspect_batch` takes
+// `flow` before `scratch` while the inline path takes them in the declared
+// order; two threads contending for one shard deadlock.
+
+fn inspect(&self, shard: &EnforcerShard) {
+    let mut scratch = shard.scratch.lock();
+    let mut drop_log = shard.drop_log.lock();
+    let mut flow = shard.flow.lock();
+    work(&mut scratch, &mut drop_log, &mut flow);
+}
+
+fn inspect_batch(&self, shard: &EnforcerShard) {
+    let mut flow = shard.flow.lock();
+    let mut scratch = shard.scratch.lock();
+    work_batch(&mut scratch, &mut flow);
+}
+
+fn reentrant(&self, shard: &EnforcerShard) {
+    let first = shard.drop_log.lock();
+    let second = shard.drop_log.lock();
+    read(&first, &second);
+}

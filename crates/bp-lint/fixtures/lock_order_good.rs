@@ -1,0 +1,27 @@
+// Known-good fixture: every multi-lock path follows the declared shard
+// order `scratch` -> `drop_log` -> `flow`, and scopes release guards.
+// (Fixture files are linted as text, never compiled.)
+
+fn inspect(&self, shard: &EnforcerShard) {
+    let mut scratch = shard.scratch.lock();
+    let mut drop_log = shard.drop_log.lock();
+    let mut flow = shard.flow.lock();
+    work(&mut scratch, &mut drop_log, &mut flow);
+}
+
+fn pair_only(&self, shard: &EnforcerShard) {
+    let mut drop_log = shard.drop_log.lock();
+    let mut flow = shard.flow.lock();
+    log(&mut drop_log, &mut flow);
+}
+
+fn sequential_scopes(&self, shard: &EnforcerShard) {
+    {
+        let mut flow = shard.flow.lock();
+        flow.clear();
+    }
+    // `flow` was released by its scope; taking `scratch` afterwards is a
+    // fresh acquisition sequence, not an inversion.
+    let mut scratch = shard.scratch.lock();
+    scratch.clear();
+}

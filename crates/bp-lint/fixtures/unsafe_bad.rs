@@ -1,0 +1,9 @@
+// Known-bad fixture: `unsafe` outside the allowlist (when linted under a
+// non-allowlisted path) and, even inside the allowlist, an occurrence with
+// no SAFETY justification plus an attribute reopening the door.
+
+#[allow(unsafe_code)]
+fn sneak(&self) {
+    let value = unsafe { self.slot.assume_init_read() };
+    drop(value);
+}

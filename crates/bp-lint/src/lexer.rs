@@ -1,0 +1,396 @@
+//! A hand-rolled Rust lexer producing the **line model** the rules run on.
+//!
+//! We are offline — no `syn`, no `proc-macro2` — so the analyzer works from
+//! a deliberately simple representation: for every source line it separates
+//! the *code* text (with comment bodies and string/char literal contents
+//! blanked out, preserving column positions) from the *comment* text, and
+//! records the brace depth at the start of the line.  Rules then pattern
+//! match on code text without tripping over `"unsafe"` in a string literal
+//! or `.lock()` in a doc comment.
+//!
+//! The lexer understands the token shapes that matter for that split:
+//! line comments (`//`, `///`, `//!`), nested block comments, string /
+//! byte-string / raw-string literals (`"…"`, `b"…"`, `r#"…"#`), char and
+//! byte literals (`'x'`, `b'\n'`) and — the classic trap — lifetimes
+//! (`'a`), which are *not* char literals.
+
+/// One analyzed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line exactly as written (no trailing newline).
+    pub raw: String,
+    /// The line with comment text and literal bodies replaced by spaces.
+    /// Literal delimiters are kept so the code shape stays recognizable.
+    pub code: String,
+    /// The comment text carried by this line (line-comment body, or the
+    /// slice of a block comment crossing it); empty when there is none.
+    pub comment: String,
+    /// Brace depth at the **start** of the line (`{` = +1, `}` = −1,
+    /// counted in code text only).
+    pub depth: usize,
+}
+
+impl Line {
+    /// True when the line holds no code at all (blank, or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// The whole-file line model.
+#[derive(Debug, Clone)]
+pub struct SourceModel {
+    /// Analyzed lines, in file order (index 0 = line 1).
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across characters (and, for block comments and
+/// multi-line strings, across lines).
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside a `//` comment; ends at end of line.
+    LineComment,
+    /// Inside a (possibly nested) `/* … */` comment; `usize` is the depth.
+    BlockComment(usize),
+    /// Inside a `"…"` or `b"…"` string literal.
+    Str,
+    /// Inside a raw string literal closed by `"` followed by `usize` hashes.
+    RawStr(usize),
+}
+
+impl SourceModel {
+    /// Lex `text` into the line model.
+    pub fn parse(text: &str) -> SourceModel {
+        let mut lines = Vec::new();
+        let mut state = State::Code;
+        let mut depth: usize = 0;
+        for raw_line in text.split('\n') {
+            let raw: Vec<char> = raw_line.chars().collect();
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let depth_at_start = depth;
+            let mut i = 0;
+            while i < raw.len() {
+                let c = raw[i];
+                match state {
+                    State::Code => match c {
+                        '/' if raw.get(i + 1) == Some(&'/') => {
+                            comment.push_str(&raw_line[char_byte_index(raw_line, i)..]);
+                            state = State::LineComment;
+                            i = raw.len();
+                        }
+                        '/' if raw.get(i + 1) == Some(&'*') => {
+                            state = State::BlockComment(1);
+                            code.push_str("  ");
+                            i += 2;
+                        }
+                        '"' => {
+                            state = State::Str;
+                            code.push('"');
+                            i += 1;
+                        }
+                        'b' if raw.get(i + 1) == Some(&'"') => {
+                            state = State::Str;
+                            code.push_str("b\"");
+                            i += 2;
+                        }
+                        'r' | 'b' if starts_raw_string(&raw, i) => {
+                            let (hashes, consumed) = raw_string_open(&raw, i);
+                            state = State::RawStr(hashes);
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            i += consumed;
+                        }
+                        '\'' => {
+                            // Char/byte literal vs lifetime: a literal is
+                            // `'\…'` or `'x'`; anything else (`'a`,
+                            // `'static`) is a lifetime and stays code.
+                            if let Some(consumed) = char_literal_len(&raw, i) {
+                                code.push('\'');
+                                for _ in 1..consumed {
+                                    code.push(' ');
+                                }
+                                i += consumed;
+                            } else {
+                                code.push('\'');
+                                i += 1;
+                            }
+                        }
+                        '{' => {
+                            depth += 1;
+                            code.push('{');
+                            i += 1;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            code.push('}');
+                            i += 1;
+                        }
+                        other => {
+                            code.push(other);
+                            i += 1;
+                        }
+                    },
+                    State::LineComment => unreachable!("line comments consume the line"),
+                    State::BlockComment(level) => {
+                        if c == '*' && raw.get(i + 1) == Some(&'/') {
+                            if level == 1 {
+                                state = State::Code;
+                            } else {
+                                state = State::BlockComment(level - 1);
+                            }
+                            code.push_str("  ");
+                            i += 2;
+                        } else if c == '/' && raw.get(i + 1) == Some(&'*') {
+                            state = State::BlockComment(level + 1);
+                            comment.push_str("/*");
+                            code.push_str("  ");
+                            i += 2;
+                        } else {
+                            comment.push(c);
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    State::Str => match c {
+                        '\\' => {
+                            code.push_str("  ");
+                            i += 2;
+                        }
+                        '"' => {
+                            state = State::Code;
+                            code.push('"');
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    },
+                    State::RawStr(hashes) => {
+                        if c == '"' && closes_raw_string(&raw, i, hashes) {
+                            state = State::Code;
+                            for _ in 0..=hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            lines.push(Line {
+                raw: raw_line.to_string(),
+                code,
+                comment,
+                depth: depth_at_start,
+            });
+        }
+        SourceModel { lines }
+    }
+
+    /// Find every occurrence of `ident` as a standalone word in the code
+    /// text of line `index`, returning column offsets.
+    pub fn word_positions(&self, index: usize, ident: &str) -> Vec<usize> {
+        word_positions(&self.lines[index].code, ident)
+    }
+}
+
+/// Byte index of the `n`-th char of `s` (lines are short; linear is fine).
+fn char_byte_index(s: &str, n: usize) -> usize {
+    s.char_indices()
+        .nth(n)
+        .map(|(byte, _)| byte)
+        .unwrap_or_else(|| s.len())
+}
+
+/// Does a raw-string opener (`r"`, `r#"`, `br#"`, …) start at `i`?
+fn starts_raw_string(raw: &[char], i: usize) -> bool {
+    let mut j = i;
+    if raw.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if raw.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while raw.get(j) == Some(&'#') {
+        j += 1;
+    }
+    raw.get(j) == Some(&'"')
+}
+
+/// Number of `#`s and total chars consumed by the raw-string opener at `i`.
+fn raw_string_open(raw: &[char], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if raw.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while raw.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string expecting `hashes` hashes?
+fn closes_raw_string(raw: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| raw.get(i + k) == Some(&'#'))
+}
+
+/// Length in chars of the char/byte literal starting at the `'` at `i`,
+/// or `None` when the quote starts a lifetime.
+fn char_literal_len(raw: &[char], i: usize) -> Option<usize> {
+    match raw.get(i + 1) {
+        // `'\n'`, `'\u{1F600}'`, `'\''` — scan to the closing quote.
+        Some('\\') => {
+            let mut j = i + 2;
+            while let Some(&c) = raw.get(j) {
+                if c == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    return Some(j + 1 - i);
+                }
+                j += 1;
+            }
+            None
+        }
+        // `'x'` — exactly one char then a quote; otherwise it's a lifetime.
+        Some(_) if raw.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// True when the char is part of a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Standalone-word occurrences of `ident` in `code` (no ident char on
+/// either side), as char offsets.
+pub fn word_positions(code: &str, ident: &str) -> Vec<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    let needle: Vec<char> = ident.chars().collect();
+    let mut found = Vec::new();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return found;
+    }
+    for start in 0..=chars.len() - needle.len() {
+        if chars[start..start + needle.len()] != needle[..] {
+            continue;
+        }
+        let before_ok = start == 0 || !is_ident_char(chars[start - 1]);
+        let after = start + needle.len();
+        let after_ok = after >= chars.len() || !is_ident_char(chars[after]);
+        if before_ok && after_ok {
+            found.push(start);
+        }
+    }
+    found
+}
+
+/// The identifier ending exactly at char offset `end` of `code` (exclusive),
+/// if any — used to read the receiver field of `<recv>.load(…)`.
+pub fn ident_ending_at(code: &str, end: usize) -> Option<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut start = end;
+    while start > 0 && is_ident_char(chars[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    let ident: String = chars[start..end].iter().collect();
+    // A pure number (tuple index receiver like `self.0`) is not a name.
+    if ident.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let model = SourceModel::parse("let x = 1; // unsafe { nope }\n/* unsafe */ let y = 2;");
+        assert!(!model.lines[0].code.contains("unsafe"));
+        assert!(model.lines[0].comment.contains("unsafe"));
+        assert!(!model.lines[1].code.contains("unsafe"));
+        assert!(model.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_delimiters_kept() {
+        let model = SourceModel::parse(r#"let s = "unsafe .lock()"; s.lock();"#);
+        let code = &model.lines[0].code;
+        assert!(!code.contains("unsafe"));
+        assert_eq!(code.matches(".lock()").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let text = "let a = r#\"x \" unsafe \"# ; let b = \"\\\"unsafe\";\nlet c = 1;";
+        let model = SourceModel::parse(text);
+        assert!(!model.lines[0].code.contains("unsafe"));
+        assert!(model.lines[1].code.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let model = SourceModel::parse("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; d");
+        let code = &model.lines[0].code;
+        assert!(code.contains("fn f<'a>"));
+        assert!(code.contains("{ x }"));
+        // The char literal body is blanked; the trailing code survives.
+        assert!(!code.contains("'x'"));
+        assert!(code.ends_with("d"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_depth_tracking() {
+        let text = "fn f() {\n    /* outer /* inner */ still comment { */\n    let x = 1;\n}";
+        let model = SourceModel::parse(text);
+        assert_eq!(model.lines[0].depth, 0);
+        assert_eq!(model.lines[1].depth, 1);
+        assert_eq!(model.lines[2].depth, 1);
+        assert!(model.lines[1].is_code_blank());
+        assert_eq!(model.lines[3].depth, 1);
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let text = "let s = \"line one\nunsafe { }\nend\"; let t = 5;";
+        let model = SourceModel::parse(text);
+        assert!(model.lines[1].is_code_blank());
+        assert!(model.lines[2].code.contains("let t = 5;"));
+    }
+
+    #[test]
+    fn word_positions_respect_identifier_boundaries() {
+        assert_eq!(word_positions("unsafe_code unsafe", "unsafe"), vec![12]);
+        assert_eq!(word_positions("fn f() { unsafe {} }", "unsafe"), vec![9]);
+        assert!(word_positions("deny(unsafe_code)", "unsafe").is_empty());
+    }
+
+    #[test]
+    fn ident_ending_at_reads_receivers() {
+        let code = "self.now_micros.load(x)";
+        let dot = code.find(".load").unwrap();
+        assert_eq!(ident_ending_at(code, dot), Some("now_micros".into()));
+        assert_eq!(ident_ending_at("self.0.load", 6), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! CLI for the invariant linter.
+//!
+//! ```text
+//! cargo run -p bp-lint            # lint the workspace, exit 1 on findings
+//! cargo run -p bp-lint -- --json  # one JSON object per finding
+//! cargo run -p bp-lint -- <root>  # lint a different tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("bp-lint: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = match bp_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("bp-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        if json {
+            println!("{}", finding.to_json());
+        } else {
+            println!("{}", finding.render());
+        }
+    }
+    if report.findings.is_empty() {
+        eprintln!("bp-lint: clean ({} files scanned)", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bp-lint: {} finding(s) across {} scanned files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// When run via `cargo run -p bp-lint`, the workspace root is two levels
+/// above this crate's manifest.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+const USAGE: &str = "usage: bp-lint [--json] [workspace-root]
+exit status: 0 clean, 1 findings, 2 usage or configuration error";

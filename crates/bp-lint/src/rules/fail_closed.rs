@@ -1,0 +1,156 @@
+//! Rule `fail-closed`: verdict-producing code must not default to accept.
+//!
+//! ConXsense-style context systems fail exactly here: a silently-permissive
+//! default turns every unhandled case into an allow.  BorderPatrol's
+//! enforcement plane is documented fail-closed — unparseable context drops,
+//! unknown apps drop, panicked partitions read as drops — and this rule
+//! pins that posture.  Flagged shapes:
+//!
+//! * a wildcard match arm producing an accept (`_ => Verdict::Accept`),
+//! * an error-fallback accept (`unwrap_or(Verdict::Accept)`,
+//!   `unwrap_or_else(|…| Verdict::Accept)`, `.ok().unwrap_or(…)` variants),
+//! * a bulk accept fill used as a placeholder
+//!   (`resize(n, Verdict::Accept)`, `vec![Verdict::Accept; n]`) — slots a
+//!   worker fails to overwrite must read as drops, never accepts.
+//!
+//! A site whose accept-default is the *contract* (e.g. the sanitizer,
+//! which mutates packets and never filters) is annotated in place:
+//! `// bp-lint: allow(fail-closed) <why>` on the line or the line above.
+
+use crate::lexer::SourceModel;
+use crate::{Finding, RuleId};
+
+/// Scan one file.
+pub fn scan(rel_path: &str, model: &SourceModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, line) in model.lines.iter().enumerate() {
+        if line.is_code_blank() {
+            continue;
+        }
+        let code = &line.code;
+        let mut flag = |message: String| {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: index + 1,
+                rule: RuleId::FailClosed,
+                message,
+            });
+        };
+        if let Some(arm_at) = wildcard_arm(code) {
+            let accepts_here = code[arm_at..].contains("Verdict::Accept");
+            let accepts_next = code[arm_at..].trim_end().ends_with("=>")
+                && next_code_line(model, index)
+                    .is_some_and(|next| next.contains("Verdict::Accept"));
+            if accepts_here || accepts_next {
+                flag(
+                    "wildcard match arm defaults to `Verdict::Accept` — verdict \
+                     producers must fail closed (drop on the unhandled case)"
+                        .to_string(),
+                );
+            }
+        }
+        if code.contains("unwrap_or") && code.contains("Verdict::Accept") {
+            flag(
+                "error fallback produces `Verdict::Accept` — a failed evaluation \
+                 must drop, not accept"
+                    .to_string(),
+            );
+        }
+        if (code.contains("resize(") || code.contains("vec![")) && code.contains("Verdict::Accept")
+        {
+            flag(
+                "bulk `Verdict::Accept` fill — placeholder slots must read as \
+                 drops if a worker never overwrites them"
+                    .to_string(),
+            );
+        }
+    }
+    findings
+}
+
+/// Char offset of a wildcard match arm (`_ =>`, `_ if … =>`) on this line.
+fn wildcard_arm(code: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    for (at, &c) in chars.iter().enumerate() {
+        if c != '_' {
+            continue;
+        }
+        let lone = (at == 0 || !crate::lexer::is_ident_char(chars[at - 1]))
+            && chars
+                .get(at + 1)
+                .is_none_or(|&next| !crate::lexer::is_ident_char(next));
+        if !lone {
+            continue;
+        }
+        let rest: String = chars[at + 1..].iter().collect();
+        let trimmed = rest.trim_start();
+        if trimmed.starts_with("=>") || (trimmed.starts_with("if ") && trimmed.contains("=>")) {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// The next line carrying any code, if one exists.
+fn next_code_line(model: &SourceModel, index: usize) -> Option<&str> {
+    model.lines[index + 1..]
+        .iter()
+        .find(|line| !line.is_code_blank())
+        .map(|line| line.code.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Finding> {
+        scan("test.rs", &SourceModel::parse(text))
+    }
+
+    #[test]
+    fn wildcard_accept_arm_is_flagged() {
+        let findings = run("match kind {\n    Known => handle(),\n    _ => Verdict::Accept,\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn wildcard_accept_on_next_line_is_flagged() {
+        let findings = run("match kind {\n    _ =>\n        Verdict::Accept,\n}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_drop_arm_is_fine() {
+        assert!(run("match kind {\n    _ => Verdict::Drop { reason },\n}\n").is_empty());
+    }
+
+    #[test]
+    fn non_verdict_wildcards_are_fine() {
+        assert!(run("match c {\n    'x' => 1,\n    _ => 0,\n}\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_accept_is_flagged() {
+        let findings = run("let v = evaluate(p).unwrap_or(Verdict::Accept);\n");
+        assert_eq!(findings.len(), 1);
+        let findings = run("let v = evaluate(p).unwrap_or_else(|_| Verdict::Accept);\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn bulk_accept_fill_is_flagged() {
+        assert_eq!(run("verdicts.resize(n, Verdict::Accept);\n").len(), 1);
+        assert_eq!(run("let v = vec![Verdict::Accept; n];\n").len(), 1);
+    }
+
+    #[test]
+    fn accept_in_string_or_comment_is_ignored() {
+        assert!(run("// _ => Verdict::Accept\nlet s = \"_ => Verdict::Accept\";\n").is_empty());
+    }
+
+    #[test]
+    fn underscore_prefixed_bindings_are_not_wildcards() {
+        assert!(run("let _verdict = Verdict::Accept; map(|_x| 1);\n").is_empty());
+    }
+}

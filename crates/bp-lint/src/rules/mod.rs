@@ -1,0 +1,6 @@
+//! The rule set: one module per enforced invariant.
+
+pub mod atomics;
+pub mod fail_closed;
+pub mod lock_order;
+pub mod unsafe_hygiene;

@@ -1,0 +1,203 @@
+//! Rule self-tests: every rule catches its known-bad fixture and stays
+//! quiet on its known-good twin, the CLI exit codes match, and —
+//! the reason this crate exists — reintroducing the PR 5 lock-order
+//! inversion into the real `enforcer.rs` is caught.
+
+use std::path::{Path, PathBuf};
+
+use bp_lint::manifest::Manifest;
+use bp_lint::rules::lock_order::AcquisitionGraph;
+use bp_lint::{lint_file, Finding, RuleId};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn manifest() -> Manifest {
+    Manifest::load(&bp_lint::manifest_path(&workspace_root())).expect("checked-in manifest parses")
+}
+
+/// Lint a fixture file as if it lived at `as_path` in the workspace.
+fn lint_fixture(name: &str, as_path: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut graph = AcquisitionGraph::default();
+    lint_file(as_path, &text, &manifest(), &mut graph)
+}
+
+fn count(findings: &[Finding], rule: RuleId) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn lock_order_fixtures() {
+    let good = lint_fixture("lock_order_good.rs", "crates/bp-core/src/good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("lock_order_bad.rs", "crates/bp-core/src/bad.rs");
+    // One inversion (flow held while scratch acquired) + one re-acquisition.
+    assert_eq!(count(&bad, RuleId::LockOrder), 2, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("holding `flow`")));
+    assert!(bad.iter().any(|f| f.message.contains("re-acquires")));
+}
+
+#[test]
+fn unsafe_fixtures() {
+    let good = lint_fixture("unsafe_good.rs", "crates/bp-core/src/runtime.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    // Outside the allowlist both the attribute and the occurrence are hits.
+    let outside = lint_fixture("unsafe_bad.rs", "crates/bp-core/src/enforcer.rs");
+    assert_eq!(count(&outside, RuleId::UnsafeHygiene), 2, "{outside:#?}");
+    // Inside the allowlist the same text still lacks a SAFETY comment.
+    let inside = lint_fixture("unsafe_bad.rs", "crates/bp-core/src/runtime.rs");
+    assert_eq!(count(&inside, RuleId::UnsafeHygiene), 1, "{inside:#?}");
+    assert!(inside[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn atomics_fixtures() {
+    let good = lint_fixture("atomics_good.rs", "crates/bp-core/src/good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("atomics_bad.rs", "crates/bp-core/src/bad.rs");
+    // Undeclared field + three forbidden relaxed operations.
+    assert_eq!(count(&bad, RuleId::AtomicsProtocol), 4, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("sneaky_epoch")));
+    assert!(bad
+        .iter()
+        .any(|f| f.message.contains("relaxed store on `tail`")));
+    assert!(bad.iter().any(|f| f.message.contains("`pending`")));
+    assert!(bad
+        .iter()
+        .any(|f| f.message.contains("`tables_generation`")));
+}
+
+#[test]
+fn fail_closed_fixtures() {
+    let good = lint_fixture("fail_closed_good.rs", "crates/bp-core/src/good.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("fail_closed_bad.rs", "crates/bp-core/src/bad.rs");
+    assert_eq!(count(&bad, RuleId::FailClosed), 3, "{bad:#?}");
+}
+
+/// Fixture rules are scoped: the same bad lock/atomics text outside
+/// `crates/bp-core` is not subject to those rules.
+#[test]
+fn core_scoped_rules_ignore_other_crates() {
+    let bad = lint_fixture("lock_order_bad.rs", "crates/bp-cli/src/main.rs");
+    assert_eq!(count(&bad, RuleId::LockOrder), 0, "{bad:#?}");
+    let bad = lint_fixture("atomics_bad.rs", "crates/bp-cli/src/main.rs");
+    assert_eq!(count(&bad, RuleId::AtomicsProtocol), 0, "{bad:#?}");
+}
+
+/// THE regression this tool was built for: swap the `scratch` / `flow`
+/// acquisition lines inside the real `EnforcerCore::inspect` (the PR 5
+/// deadlock, reintroduced) and the linter must catch it; the pristine file
+/// must stay clean.
+#[test]
+fn pr5_lock_inversion_in_real_enforcer_is_caught() {
+    let enforcer = workspace_root().join("crates/bp-core/src/enforcer.rs");
+    let pristine = std::fs::read_to_string(&enforcer).expect("read enforcer.rs");
+
+    let mut graph = AcquisitionGraph::default();
+    let clean = lint_file(
+        "crates/bp-core/src/enforcer.rs",
+        &pristine,
+        &manifest(),
+        &mut graph,
+    );
+    assert!(
+        clean.is_empty(),
+        "pristine enforcer.rs must lint clean: {clean:#?}"
+    );
+
+    const SCRATCH: &str = "let mut scratch = shard.scratch.lock();";
+    const FLOW: &str = "let mut flow = shard.flow.lock();";
+    assert!(
+        pristine.contains(SCRATCH) && pristine.contains(FLOW),
+        "the canonical acquisition sequence moved; update this regression test"
+    );
+    let inverted = pristine
+        .replace(SCRATCH, "\u{1}")
+        .replace(FLOW, SCRATCH)
+        .replace('\u{1}', FLOW);
+    assert_ne!(inverted, pristine);
+
+    let mut graph = AcquisitionGraph::default();
+    let findings = lint_file(
+        "crates/bp-core/src/enforcer.rs",
+        &inverted,
+        &manifest(),
+        &mut graph,
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::LockOrder),
+        "the reintroduced PR 5 inversion must be flagged: {findings:#?}"
+    );
+}
+
+/// Same inversion applied to the worker path in `runtime.rs` (where
+/// `run_partition` now lives) is caught too.
+#[test]
+fn lock_inversion_in_runtime_worker_path_is_caught() {
+    let runtime = workspace_root().join("crates/bp-core/src/runtime.rs");
+    let pristine = std::fs::read_to_string(&runtime).expect("read runtime.rs");
+
+    const DROP_LOG: &str = "let mut drop_log = shard.drop_log.lock();";
+    const FLOW: &str = "let mut flow = shard.flow.lock();";
+    assert!(pristine.contains(DROP_LOG) && pristine.contains(FLOW));
+    let inverted = pristine
+        .replace(DROP_LOG, "\u{1}")
+        .replace(FLOW, DROP_LOG)
+        .replace('\u{1}', FLOW);
+
+    let mut graph = AcquisitionGraph::default();
+    let findings = lint_file(
+        "crates/bp-core/src/runtime.rs",
+        &inverted,
+        &manifest(),
+        &mut graph,
+    );
+    assert!(
+        findings.iter().any(|f| f.rule == RuleId::LockOrder),
+        "{findings:#?}"
+    );
+}
+
+/// CLI contract: exit 0 on a clean tree, 1 on a tree with a violation,
+/// findings on stdout.
+#[test]
+fn cli_exit_codes_follow_findings() {
+    use std::process::Command;
+
+    let scratch = std::env::temp_dir().join(format!("bp-lint-selftest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(scratch.join("crates/bp-lint")).unwrap();
+    std::fs::create_dir_all(scratch.join("crates/bp-core/src")).unwrap();
+    std::fs::copy(
+        bp_lint::manifest_path(&workspace_root()),
+        bp_lint::manifest_path(&scratch),
+    )
+    .unwrap();
+
+    let good = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/lock_order_good.rs");
+    std::fs::copy(&good, scratch.join("crates/bp-core/src/paths.rs")).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_bp-lint"))
+        .arg(&scratch)
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(status.status.code(), Some(0), "{status:?}");
+
+    let bad = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/lock_order_bad.rs");
+    std::fs::copy(&bad, scratch.join("crates/bp-core/src/paths.rs")).unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_bp-lint"))
+        .arg(&scratch)
+        .arg("--json")
+        .output()
+        .expect("run bp-lint");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"rule\":\"lock-order\""), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

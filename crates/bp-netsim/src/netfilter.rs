@@ -686,7 +686,10 @@ mod tests {
         let mut b = packet_to([1, 1, 1, 1], 81);
         let mut c = packet_to([1, 1, 1, 1], 82);
         let mut batch: Vec<&mut Ipv4Packet> = vec![&mut a, &mut b, &mut c];
-        let mut verdicts = vec![Verdict::Accept];
+        // Seed with a stale drop to prove every slot gets overwritten.
+        let mut verdicts = vec![Verdict::Drop {
+            reason: String::from("stale"),
+        }];
         handler.handle_batch_into(&mut batch, &mut verdicts);
         assert_eq!(verdicts.len(), 3);
         assert!(!verdicts[0].is_accept());
