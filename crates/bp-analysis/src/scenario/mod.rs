@@ -60,6 +60,7 @@ use bp_core::flow::FlowTableConfig;
 use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
 use bp_core::policy::{Policy, PolicySet};
 use bp_core::runtime::BatchRuntime;
+use bp_core::wire::{CaptureHeader, CaptureReader, CaptureWriter};
 use bp_dex::MethodTable;
 use bp_netsim::addr::Endpoint;
 use bp_netsim::clock::SimDuration;
@@ -69,6 +70,11 @@ use bp_types::{EnforcementLevel, Error};
 
 pub use adversary::{AdversaryModel, AdversaryProfile};
 pub use fleet::{ConnectRate, FleetSpec};
+
+/// Callback [`PreparedScenario::run_recorded`] threads through the tick
+/// loop: called once per synthesized packet with `(tick, origin_tag,
+/// packet)` before inspection, in exact batch order.
+type FrameRecorder<'a> = dyn FnMut(u32, u8, &Ipv4Packet) -> Result<(), Error> + 'a;
 
 /// A deterministic policy-hot-swap event raced against fleet traffic.
 ///
@@ -286,6 +292,7 @@ impl ScenarioReport {
             ("dropped_malformed", s.dropped_malformed),
             ("dropped_duplicate_context", s.dropped_duplicate_context),
             ("dropped_context_switch", s.dropped_context_switch),
+            ("dropped_wire", s.dropped_wire),
             ("flow_hits", s.flow_hits),
             ("flow_misses", s.flow_misses),
             ("flow_evictions", s.flow_evictions),
@@ -613,21 +620,145 @@ impl PreparedScenario {
     /// bench drives one prepared scenario under both runtimes.  The report
     /// does not depend on the runtime (both produce identical verdicts).
     pub fn run_with_runtime(&self, runtime: BatchRuntime) -> Result<ScenarioReport, Error> {
-        let spec = &self.spec;
-        let apps = &self.apps;
-        let device_apps = &self.device_apps;
-        let sockets = spec.fleet.sockets_per_device;
-        let mut rng = self.traffic_rng.clone();
+        self.run_impl(runtime, None)
+    }
 
-        // The enforcement plane under test: a sharded enforcer registered as
-        // the endpoint of a control plane, which owns the authoritative
-        // state and drives the hot swap.  Flow capacity covers every
-        // long-lived flow plus the adversaries' injection flows so eviction
-        // noise never perturbs attribution.
+    /// Run the scenario while recording every synthesized packet — wire
+    /// bytes, in exact batch order — into a capture stream on `sink`
+    /// ([`bp_core::wire::CaptureWriter`]).  The capture's header pins the
+    /// spec's seed, tick length and tick count; each frame carries the tag
+    /// [`PreparedScenario::replay`] uses to re-attribute it (0 = legitimate,
+    /// `k` = the spec's `k-1`-th adversary profile).
+    ///
+    /// Returns the report of the recorded run together with the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hot-swap commit failures and sink I/O errors (as
+    /// [`Error::InvalidState`]).
+    pub fn run_recorded<W: std::io::Write>(&self, sink: W) -> Result<(ScenarioReport, W), Error> {
+        let spec = &self.spec;
+        let header = CaptureHeader {
+            seed: spec.seed,
+            tick_millis: spec.tick_millis,
+            ticks: spec.ticks,
+        };
+        let mut writer = CaptureWriter::new(sink, header).map_err(capture_io)?;
+        let mut frame_buf = Vec::new();
+        let report = self.run_impl(
+            spec.runtime,
+            Some(&mut |tick, tag, packet: &Ipv4Packet| {
+                packet.write_wire_bytes(&mut frame_buf);
+                writer.record(tick, tag, &frame_buf).map_err(capture_io)
+            }),
+        )?;
+        let sink = writer.finish().map_err(capture_io)?;
+        Ok((report, sink))
+    }
+
+    /// Replay a recorded capture through the **byte ingress path**
+    /// ([`ShardedEnforcer::inspect_wire_batch_into`]): the same control
+    /// plane, hot-swap schedule and virtual clock as a live run, but every
+    /// packet arrives as raw wire bytes instead of a synthesized struct.
+    ///
+    /// Because the wire codec round-trips exactly, a replayed capture
+    /// produces a report whose [`ScenarioReport::render`] is byte-identical
+    /// to the recorded run's, on any shard count the spec asks for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] if the capture's header does not match
+    /// this scenario's seed/clock/ticks or a frame tag names no adversary
+    /// profile; propagates hot-swap commit failures.
+    pub fn replay(&self, capture: &CaptureReader) -> Result<ScenarioReport, Error> {
+        self.replay_with_runtime(capture, self.spec.runtime)
+    }
+
+    /// Like [`PreparedScenario::replay`] with the batch runtime overridden.
+    pub fn replay_with_runtime(
+        &self,
+        capture: &CaptureReader,
+        runtime: BatchRuntime,
+    ) -> Result<ScenarioReport, Error> {
+        let spec = &self.spec;
+        let header = capture.header();
+        if header.seed != spec.seed
+            || header.tick_millis != spec.tick_millis
+            || header.ticks != spec.ticks
+        {
+            return Err(Error::malformed(
+                "capture",
+                format!(
+                    "capture header (seed {}, {} ms/tick, {} ticks) does not match \
+                     spec '{}' (seed {}, {} ms/tick, {} ticks)",
+                    header.seed,
+                    header.tick_millis,
+                    header.ticks,
+                    spec.name,
+                    spec.seed,
+                    spec.tick_millis,
+                    spec.ticks
+                ),
+            ));
+        }
+
+        let (mut control, enforcer) = self.build_plane(runtime);
+        let mut tally = Tally::default();
+        let mut frames: Vec<&[u8]> = Vec::new();
+        let mut origins: Vec<Option<AdversaryModel>> = Vec::new();
+        let mut verdicts: Vec<bp_netsim::netfilter::Verdict> = Vec::new();
+        let mut frame_iter = capture.frames().peekable();
+
+        for tick in 0..spec.ticks {
+            enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
+            if let Some(swap) = &spec.hot_swap {
+                if swap.at_tick == tick {
+                    control
+                        .begin()
+                        .replace_policies(swap.policies.clone())
+                        .commit()?;
+                    tally.hot_swaps += 1;
+                }
+            }
+
+            frames.clear();
+            origins.clear();
+            while frame_iter.peek().map(|f| f.tick) == Some(tick) {
+                let frame = frame_iter.next().expect("peeked frame exists");
+                origins.push(match frame.tag {
+                    0 => None,
+                    k => Some(
+                        spec.adversaries
+                            .get(k as usize - 1)
+                            .ok_or_else(|| {
+                                Error::malformed(
+                                    "capture",
+                                    format!("frame tag {k} names no adversary profile"),
+                                )
+                            })?
+                            .model,
+                    ),
+                });
+                frames.push(frame.bytes);
+            }
+
+            enforcer.inspect_wire_batch_into(&frames, &mut verdicts);
+            tally.account(&origins, &verdicts);
+        }
+
+        Ok(self.assemble_report(tally, enforcer.stats()))
+    }
+
+    /// The enforcement plane under test: a sharded enforcer registered as
+    /// the endpoint of a control plane, which owns the authoritative state
+    /// and drives the hot swap.  Flow capacity covers every long-lived flow
+    /// plus the adversaries' injection flows so eviction noise never
+    /// perturbs attribution.
+    fn build_plane(&self, runtime: BatchRuntime) -> (ControlPlane, Arc<ShardedEnforcer>) {
+        let spec = &self.spec;
         let mut control = ControlPlane::new(self.db.clone(), spec.policies.clone(), spec.config);
-        let total_flows = self.total_flows;
         let flow_config = FlowTableConfig {
-            capacity: (total_flows as usize * 2).max(4_096),
+            capacity: (self.total_flows as usize * 2).max(4_096),
             ..FlowTableConfig::default()
         };
         let enforcer = Arc::new(ShardedEnforcer::with_runtime(
@@ -637,13 +768,25 @@ impl PreparedScenario {
             runtime,
         ));
         control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+        (control, enforcer)
+    }
 
-        let mut legit_packets = 0u64;
-        let mut legit_accepted = 0u64;
-        let mut legit_dropped = 0u64;
-        let mut emitted: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
-        let mut dropped: BTreeMap<AdversaryModel, u64> = BTreeMap::new();
-        let mut hot_swaps = 0u32;
+    /// Shared tick loop of [`PreparedScenario::run_with_runtime`] and
+    /// [`PreparedScenario::run_recorded`]: synthesize, optionally record,
+    /// inspect, account.
+    fn run_impl(
+        &self,
+        runtime: BatchRuntime,
+        mut recorder: Option<&mut FrameRecorder<'_>>,
+    ) -> Result<ScenarioReport, Error> {
+        let spec = &self.spec;
+        let apps = &self.apps;
+        let device_apps = &self.device_apps;
+        let sockets = spec.fleet.sockets_per_device;
+        let mut rng = self.traffic_rng.clone();
+
+        let (mut control, enforcer) = self.build_plane(runtime);
+        let mut tally = Tally::default();
 
         let mut packets: Vec<Ipv4Packet> = Vec::new();
         let mut origins: Vec<Option<AdversaryModel>> = Vec::new();
@@ -657,7 +800,7 @@ impl PreparedScenario {
                         .begin()
                         .replace_policies(swap.policies.clone())
                         .commit()?;
-                    hot_swaps += 1;
+                    tally.hot_swaps += 1;
                 }
             }
 
@@ -715,36 +858,38 @@ impl PreparedScenario {
                 }
             }
 
+            // Record before inspecting: the capture sees the exact frames,
+            // in the exact batch order, the enforcer does.
+            if let Some(recorder) = recorder.as_deref_mut() {
+                for (packet, origin) in packets.iter().zip(&origins) {
+                    let tag = origin.map_or(0, |model| {
+                        spec.adversaries
+                            .iter()
+                            .position(|p| p.model == model)
+                            .map_or(0, |ordinal| ordinal as u8 + 1)
+                    });
+                    recorder(tick, tag, packet)?;
+                }
+            }
+
             // Reuse the verdict buffer: the all-accept path of a tick is then
             // allocation-free on the enforcement side.
             enforcer.inspect_batch_into(&packets, &mut verdicts);
-            for (origin, verdict) in origins.iter().zip(&verdicts) {
-                match origin {
-                    None => {
-                        legit_packets += 1;
-                        if verdict.is_accept() {
-                            legit_accepted += 1;
-                        } else {
-                            legit_dropped += 1;
-                        }
-                    }
-                    Some(model) => {
-                        *emitted.entry(*model).or_default() += 1;
-                        if !verdict.is_accept() {
-                            *dropped.entry(*model).or_default() += 1;
-                        }
-                    }
-                }
-            }
+            tally.account(&origins, &verdicts);
         }
 
-        let stats = enforcer.stats();
+        Ok(self.assemble_report(tally, enforcer.stats()))
+    }
+
+    /// Turn one run's tallies and final enforcer statistics into a report.
+    fn assemble_report(&self, tally: Tally, stats: EnforcerStats) -> ScenarioReport {
+        let spec = &self.spec;
         let adversaries = spec
             .adversaries
             .iter()
             .map(|profile| {
-                let emitted = emitted.get(&profile.model).copied().unwrap_or(0);
-                let dropped = dropped.get(&profile.model).copied().unwrap_or(0);
+                let emitted = tally.emitted.get(&profile.model).copied().unwrap_or(0);
+                let dropped = tally.dropped.get(&profile.model).copied().unwrap_or(0);
                 AdversaryOutcome {
                     model: profile.model,
                     emitted,
@@ -756,22 +901,67 @@ impl PreparedScenario {
             })
             .collect();
 
-        Ok(ScenarioReport {
+        ScenarioReport {
             name: spec.name.clone(),
             seed: spec.seed,
             devices: spec.fleet.devices,
             shards: spec.shards.max(1),
             ticks: spec.ticks,
-            flows: total_flows,
+            flows: self.total_flows,
             packets: stats.packets_inspected,
-            legit_packets,
-            legit_accepted,
-            legit_dropped,
+            legit_packets: tally.legit_packets,
+            legit_accepted: tally.legit_accepted,
+            legit_dropped: tally.legit_dropped,
             adversaries,
-            hot_swaps,
+            hot_swaps: tally.hot_swaps,
             stats,
-        })
+        }
     }
+}
+
+/// Per-run verdict accounting shared by the live and replay tick loops.
+#[derive(Default)]
+struct Tally {
+    legit_packets: u64,
+    legit_accepted: u64,
+    legit_dropped: u64,
+    emitted: BTreeMap<AdversaryModel, u64>,
+    dropped: BTreeMap<AdversaryModel, u64>,
+    hot_swaps: u32,
+}
+
+impl Tally {
+    /// Attribute one batch's verdicts (input order) to their traffic
+    /// sources.
+    fn account(
+        &mut self,
+        origins: &[Option<AdversaryModel>],
+        verdicts: &[bp_netsim::netfilter::Verdict],
+    ) {
+        for (origin, verdict) in origins.iter().zip(verdicts) {
+            match origin {
+                None => {
+                    self.legit_packets += 1;
+                    if verdict.is_accept() {
+                        self.legit_accepted += 1;
+                    } else {
+                        self.legit_dropped += 1;
+                    }
+                }
+                Some(model) => {
+                    *self.emitted.entry(*model).or_default() += 1;
+                    if !verdict.is_accept() {
+                        *self.dropped.entry(*model).or_default() += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Map a capture sink I/O failure into the workspace error type.
+fn capture_io(e: std::io::Error) -> Error {
+    Error::invalid_state("capture recording", e.to_string())
 }
 
 /// Run a scenario: compile the mix, assemble the fleet, drive every tick's

@@ -61,6 +61,7 @@ use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
 use crate::runtime::{BatchRuntime, PacketSource, WorkerPool};
+use crate::wire::{self, WireError};
 
 /// Source of the monotonically increasing epoch stamped onto every
 /// [`EnforcementTables`] build.  Process-global so that *any* recompilation
@@ -161,6 +162,13 @@ pub struct EnforcerStats {
     /// injected context; only charged when
     /// [`EnforcerConfig::drop_context_switch`] is enabled).
     pub dropped_context_switch: u64,
+    /// Frames dropped at the byte ingress boundary because they failed wire
+    /// decode ([`crate::wire::WireError`]): truncated, corrupt checksum,
+    /// unknown protocol or inconsistent option geometry.  Such frames never
+    /// reach context decode, so they are charged here (and to
+    /// [`EnforcerStats::packets_inspected`]), not to
+    /// [`EnforcerStats::dropped_malformed`].
+    pub dropped_wire: u64,
     /// Tagged packets whose verdict was served from the flow table.
     pub flow_hits: u64,
     /// Tagged packets that required a full decode/resolve/evaluate pass.
@@ -183,6 +191,7 @@ impl EnforcerStats {
             + self.dropped_malformed
             + self.dropped_duplicate_context
             + self.dropped_context_switch
+            + self.dropped_wire
     }
 
     /// Sum two snapshots (used when merging shards).
@@ -197,6 +206,7 @@ impl EnforcerStats {
             dropped_duplicate_context: self.dropped_duplicate_context
                 + other.dropped_duplicate_context,
             dropped_context_switch: self.dropped_context_switch + other.dropped_context_switch,
+            dropped_wire: self.dropped_wire + other.dropped_wire,
             flow_hits: self.flow_hits + other.flow_hits,
             flow_misses: self.flow_misses + other.flow_misses,
             flow_evictions: self.flow_evictions + other.flow_evictions,
@@ -235,6 +245,7 @@ pub struct AtomicEnforcerStats {
     malformed: AtomicU64,
     duplicate_context: AtomicU64,
     context_switch: AtomicU64,
+    wire: AtomicU64,
     flow_hits: AtomicU64,
     flow_misses: AtomicU64,
     flow_evictions: AtomicU64,
@@ -258,6 +269,7 @@ impl AtomicEnforcerStats {
             dropped_malformed: self.malformed.load(Ordering::Relaxed),
             dropped_duplicate_context: self.duplicate_context.load(Ordering::Relaxed),
             dropped_context_switch: self.context_switch.load(Ordering::Relaxed),
+            dropped_wire: self.wire.load(Ordering::Relaxed),
             flow_hits: self.flow_hits.load(Ordering::Relaxed),
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
             flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
@@ -283,12 +295,20 @@ impl AtomicEnforcerStats {
             .store(stats.dropped_duplicate_context, Ordering::Relaxed);
         self.context_switch
             .store(stats.dropped_context_switch, Ordering::Relaxed);
+        self.wire.store(stats.dropped_wire, Ordering::Relaxed);
         self.flow_hits.store(stats.flow_hits, Ordering::Relaxed);
         self.flow_misses.store(stats.flow_misses, Ordering::Relaxed);
         self.flow_evictions
             .store(stats.flow_evictions, Ordering::Relaxed);
         self.flow_context_switches
             .store(stats.flow_context_switches, Ordering::Relaxed);
+    }
+
+    /// Count one frame that failed wire decode: inspected, then dropped at
+    /// the byte ingress boundary before any enforcement logic ran.
+    pub fn record_wire_drop(&self) {
+        self.inspected.fetch_add(1, Ordering::Relaxed);
+        self.wire.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
@@ -1118,6 +1138,20 @@ impl QueueHandler for PolicyEnforcer {
     fn handle(&mut self, packet: &mut Ipv4Packet) -> Verdict {
         self.inspect(packet)
     }
+
+    fn handle_wire_batch(&mut self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(frames.len());
+        for frame in frames {
+            verdicts.push(match wire::decode_frame(frame) {
+                Ok(packet) => self.inspect(&packet),
+                Err(error) => {
+                    self.stats.record_wire_drop();
+                    record_drop(&mut self.drop_log, DropReason::Static(error.drop_reason()))
+                }
+            });
+        }
+    }
 }
 
 /// One worker shard: private counters, drop log, decode scratch and flow
@@ -1409,6 +1443,66 @@ impl ShardedEnforcer {
         self.inspect_source_into(PacketSource::slice(packets), verdicts);
     }
 
+    /// Inspect a batch of raw wire frames and return verdicts in frame
+    /// order.  Allocating variant of
+    /// [`ShardedEnforcer::inspect_wire_batch_into`].
+    pub fn inspect_wire_batch(&self, frames: &[&[u8]]) -> Vec<Verdict> {
+        let mut verdicts = Vec::with_capacity(frames.len());
+        self.inspect_wire_batch_into(frames, &mut verdicts);
+        verdicts
+    }
+
+    /// Inspect a batch of raw wire frames: decode each through the byte
+    /// ingress boundary ([`crate::wire`]), run the packets that parsed
+    /// through [`ShardedEnforcer::inspect_batch_into`], and write one
+    /// verdict per frame (frame order) into `verdicts`.
+    ///
+    /// A frame that fails decode never reaches enforcement: it yields a
+    /// fail-closed [`Verdict::Drop`] whose reason is the typed
+    /// [`WireError::drop_reason`], counted in
+    /// [`EnforcerStats::dropped_wire`] and recorded in the drop log.
+    /// Malformed frames are charged to shard 0 — an unparsable frame has no
+    /// flow key to hash a shard from.  Never panics on malformed input.
+    pub fn inspect_wire_batch_into(&self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
+        let mut packets = Vec::with_capacity(frames.len());
+        let mut failures: Vec<(usize, WireError)> = Vec::new();
+        for (index, frame) in frames.iter().enumerate() {
+            match wire::decode_frame(frame) {
+                Ok(packet) => packets.push(packet),
+                Err(error) => failures.push((index, error)),
+            }
+        }
+        if failures.is_empty() {
+            self.inspect_batch_into(&packets, verdicts);
+            return;
+        }
+        let mut failure_verdicts = Vec::with_capacity(failures.len());
+        {
+            let shard = &self.core.shards[0];
+            let mut drop_log = shard.drop_log.lock();
+            for &(index, error) in &failures {
+                shard.stats.record_wire_drop();
+                let verdict = record_drop(&mut drop_log, DropReason::Static(error.drop_reason()));
+                failure_verdicts.push((index, verdict));
+            }
+        }
+        let mut decoded_verdicts = Vec::with_capacity(packets.len());
+        self.inspect_batch_into(&packets, &mut decoded_verdicts);
+        verdicts.clear();
+        verdicts.reserve(frames.len());
+        let mut failure_iter = failure_verdicts.into_iter().peekable();
+        let mut decoded = decoded_verdicts.into_iter();
+        for index in 0..frames.len() {
+            match failure_iter.peek() {
+                Some(&(at, _)) if at == index => {
+                    let (_, verdict) = failure_iter.next().expect("peeked entry exists");
+                    verdicts.push(verdict);
+                }
+                _ => verdicts.push(decoded.next().expect("one verdict per decoded packet")),
+            }
+        }
+    }
+
     /// Shared batch implementation over either batch shape (owned slice or
     /// NFQUEUE reference batch).
     fn inspect_source_into(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
@@ -1490,6 +1584,12 @@ impl QueueHandler for ShardedEnforcer {
         // The enforcer only reads packets; view the reference batch directly
         // instead of collecting an intermediate `Vec<&Ipv4Packet>`.
         self.inspect_source_into(PacketSource::refs(packets), verdicts);
+    }
+
+    fn handle_wire_batch(&mut self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
+        // Typed ingress: unlike the default trait impl this counts decode
+        // failures in `dropped_wire` and the drop log.
+        self.inspect_wire_batch_into(frames, verdicts);
     }
 }
 

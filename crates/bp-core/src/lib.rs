@@ -67,6 +67,7 @@ pub mod policy_extractor;
 mod policy_index;
 pub mod runtime;
 pub mod sanitizer;
+pub mod wire;
 
 pub use context::{ContextManager, ContextManagerConfig};
 pub use control::{
@@ -86,3 +87,4 @@ pub use policy::{CompiledPolicySet, CompiledVerdict, Decision, Policy, PolicyAct
 pub use policy_extractor::{PolicyExtractor, ProfileRun};
 pub use runtime::BatchRuntime;
 pub use sanitizer::PacketSanitizer;
+pub use wire::{CaptureHeader, CaptureReader, CaptureWriter, WireDecoder, WireError};

@@ -7,6 +7,10 @@
 //! pins that posture.  Flagged shapes:
 //!
 //! * a wildcard match arm producing an accept (`_ => Verdict::Accept`),
+//! * an `Err(…)` match arm producing an accept
+//!   (`Err(WireError::BadChecksum) => Verdict::Accept`) — the wire-ingress
+//!   shape: a frame the decoder rejected must drop with its typed
+//!   `WireError` reason, never pass as if it had parsed,
 //! * an error-fallback accept (`unwrap_or(Verdict::Accept)`,
 //!   `unwrap_or_else(|…| Verdict::Accept)`, `.ok().unwrap_or(…)` variants),
 //! * a bulk accept fill used as a placeholder
@@ -49,6 +53,20 @@ pub fn scan(rel_path: &str, model: &SourceModel) -> Vec<Finding> {
                 );
             }
         }
+        if let Some(arm_at) = err_arm(code) {
+            let accepts_here = code[arm_at..].contains("Verdict::Accept");
+            let accepts_next = code[arm_at..].trim_end().ends_with("=>")
+                && next_code_line(model, index)
+                    .is_some_and(|next| next.contains("Verdict::Accept"));
+            if accepts_here || accepts_next {
+                flag(
+                    "`Err(…)` match arm produces `Verdict::Accept` — a decode or \
+                     evaluation failure must drop with its typed reason (e.g. a \
+                     `WireError` on the wire-ingress path), never accept"
+                        .to_string(),
+                );
+            }
+        }
         if code.contains("unwrap_or") && code.contains("Verdict::Accept") {
             flag(
                 "error fallback produces `Verdict::Accept` — a failed evaluation \
@@ -86,6 +104,41 @@ fn wildcard_arm(code: &str) -> Option<usize> {
         let trimmed = rest.trim_start();
         if trimmed.starts_with("=>") || (trimmed.starts_with("if ") && trimmed.contains("=>")) {
             return Some(at);
+        }
+    }
+    None
+}
+
+/// Char offset of an `Err(…) =>` match arm on this line: an `Err(` token
+/// whose balanced closing paren is followed (same line) by `=>`.  Arms that
+/// open a block (`Err(e) => {`) are matched too, but only flagged when the
+/// accept appears on the arm line or the next code line — a block body that
+/// *conditionally* accepts is a config gate, not a default.
+fn err_arm(code: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    for at in 0..chars.len() {
+        if chars[at..].iter().take(4).collect::<String>() != "Err(" {
+            continue;
+        }
+        if at > 0 && crate::lexer::is_ident_char(chars[at - 1]) {
+            continue;
+        }
+        let mut depth = 0usize;
+        for (offset, &c) in chars.iter().enumerate().skip(at + 3) {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let rest: String = chars[offset + 1..].iter().collect();
+                        if rest.trim_start().starts_with("=>") {
+                            return Some(at);
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
         }
     }
     None
@@ -142,6 +195,39 @@ mod tests {
     fn bulk_accept_fill_is_flagged() {
         assert_eq!(run("verdicts.resize(n, Verdict::Accept);\n").len(), 1);
         assert_eq!(run("let v = vec![Verdict::Accept; n];\n").len(), 1);
+    }
+
+    #[test]
+    fn err_arm_accept_is_flagged() {
+        let findings =
+            run("match decode(f) {\n    Ok(p) => inspect(p),\n    Err(_) => Verdict::Accept,\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+        let findings =
+            run("match decode(f) {\n    Err(WireError::BadChecksum) => Verdict::Accept,\n}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn err_arm_accept_on_next_line_is_flagged() {
+        let findings = run("match decode(f) {\n    Err(e) =>\n        Verdict::Accept,\n}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn err_arm_drop_and_gated_block_are_fine() {
+        assert!(run("match decode(f) {\n    Err(e) => Verdict::Drop { reason },\n}\n").is_empty());
+        // A block-bodied arm may gate an accept on configuration; the arm
+        // line itself carries no accept, so it is not a default.
+        assert!(run(
+            "match decode(f) {\n    Err(e) => {\n        log(e);\n        drop_or_gate(e)\n    }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn err_in_expression_position_is_not_an_arm() {
+        assert!(run("let v = Err(e); accept(Verdict::Accept);\n").is_empty());
     }
 
     #[test]

@@ -80,6 +80,16 @@ fn fail_closed_fixtures() {
     assert_eq!(count(&bad, RuleId::FailClosed), 3, "{bad:#?}");
 }
 
+#[test]
+fn fail_closed_wire_fixtures() {
+    let good = lint_fixture("fail_closed_wire_good.rs", "crates/bp-core/src/wire.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("fail_closed_wire_bad.rs", "crates/bp-core/src/wire.rs");
+    // Same-line `Err(_)` accept + typed `WireError` accept + continuation-line accept.
+    assert_eq!(count(&bad, RuleId::FailClosed), 3, "{bad:#?}");
+    assert!(bad.iter().all(|f| f.message.contains("`Err(…)` match arm")));
+}
+
 /// Fixture rules are scoped: the same bad lock/atomics text outside
 /// `crates/bp-core` is not subject to those rules.
 #[test]

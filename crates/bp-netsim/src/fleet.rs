@@ -19,7 +19,7 @@ use std::net::Ipv4Addr;
 use bp_types::Error;
 
 use crate::addr::Endpoint;
-use crate::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN};
+use crate::options::{IpOption, IpOptionKind, IpOptions, MAX_OPTIONS_LEN, TRAILING_DATA_MARKER};
 use crate::packet::Ipv4Packet;
 
 /// Deterministic device-index → address mapping for simulated fleets.
@@ -176,6 +176,21 @@ impl PacketTemplate {
     pub fn instantiate_from(&self, device: u32, socket: u16) -> Ipv4Packet {
         self.instantiate(FleetAddressing::endpoint(device, socket))
     }
+
+    /// Stamp one packet from `source` directly into its wire-byte form
+    /// (cleared into `out`) — what a capture recorder frames, without the
+    /// caller juggling the intermediate struct.  Equivalent to
+    /// `self.instantiate(source).write_wire_bytes(out)`, preserving
+    /// non-conforming options shapes ([`Ipv4Packet::wire_bytes`]).
+    pub fn write_wire_bytes(&self, source: Endpoint, out: &mut Vec<u8>) {
+        self.instantiate(source).write_wire_bytes(out);
+    }
+
+    /// Wire-byte form of one packet sourced from fleet device
+    /// `(device, socket)`.
+    pub fn wire_bytes_from(&self, device: u32, socket: u16) -> Vec<u8> {
+        self.instantiate_from(device, socket).wire_bytes()
+    }
 }
 
 /// Build the raw options-area bytes of a context option followed by an
@@ -196,7 +211,7 @@ pub fn trailing_data_options(context_payload: &[u8]) -> Result<Vec<u8>, Error> {
     bytes.push((context_payload.len() + 2) as u8);
     bytes.extend_from_slice(context_payload);
     bytes.push(IpOptionKind::EndOfList.type_byte());
-    bytes.push(0xBE); // non-zero covert byte riding after End-of-List
+    bytes.push(TRAILING_DATA_MARKER); // non-zero covert byte riding after End-of-List
     Ok(bytes)
 }
 

@@ -77,6 +77,28 @@ pub trait QueueHandler: Send {
             verdicts.push(self.handle(packet));
         }
     }
+
+    /// Inspect a batch of raw wire frames, writing one verdict per frame
+    /// (input order) into `verdicts`, which is cleared first.
+    ///
+    /// The default decodes each frame with [`Ipv4Packet::parse`] and hands
+    /// the packet to [`QueueHandler::handle`]; a frame that fails to decode
+    /// is **dropped** with the parse diagnostic as its reason — the
+    /// fail-closed posture every verdict producer in this workspace keeps.
+    /// The sharded Policy Enforcer overrides this with its typed-error wire
+    /// decoder (attributed `WireError` drops counted in its statistics).
+    fn handle_wire_batch(&mut self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(frames.len());
+        for frame in frames {
+            verdicts.push(match Ipv4Packet::parse(frame) {
+                Ok(mut packet) => self.handle(&mut packet),
+                Err(e) => Verdict::Drop {
+                    reason: format!("wire: {e}"),
+                },
+            });
+        }
+    }
 }
 
 /// A pass-through handler that accepts every packet unmodified — the

@@ -11,10 +11,17 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use bp_types::wire::{OPT_BP_CONTEXT, OPT_END_OF_LIST, OPT_NOOP, OPT_SECURITY, OPT_TIMESTAMP};
 use bp_types::Error;
 
 /// Maximum total size of the options area in bytes (RFC 791).
-pub const MAX_OPTIONS_LEN: usize = 40;
+pub const MAX_OPTIONS_LEN: usize = bp_types::wire::MAX_OPTIONS_AREA;
+
+/// The non-zero byte the wire encoder places after the End-of-List marker
+/// when a packet's [`IpOptions::has_trailing_data`] flag is set — the
+/// covert-channel shape the §IV-A4 conformance checks exist to catch,
+/// reproducible on demand for adversarial traffic and round-trip tests.
+pub const TRAILING_DATA_MARKER: u8 = 0xBE;
 
 /// Option kinds understood by the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,11 +46,11 @@ impl IpOptionKind {
     /// The on-wire option type byte.
     pub fn type_byte(self) -> u8 {
         match self {
-            IpOptionKind::EndOfList => 0,
-            IpOptionKind::NoOp => 1,
-            IpOptionKind::Timestamp => 68,
-            IpOptionKind::Security => 130,
-            IpOptionKind::BorderPatrolContext => 0x9e,
+            IpOptionKind::EndOfList => OPT_END_OF_LIST,
+            IpOptionKind::NoOp => OPT_NOOP,
+            IpOptionKind::Timestamp => OPT_TIMESTAMP,
+            IpOptionKind::Security => OPT_SECURITY,
+            IpOptionKind::BorderPatrolContext => OPT_BP_CONTEXT,
             IpOptionKind::Other(t) => t,
         }
     }
@@ -51,11 +58,11 @@ impl IpOptionKind {
     /// Map an on-wire type byte back to a kind.
     pub fn from_type_byte(byte: u8) -> Self {
         match byte {
-            0 => IpOptionKind::EndOfList,
-            1 => IpOptionKind::NoOp,
-            68 => IpOptionKind::Timestamp,
-            130 => IpOptionKind::Security,
-            0x9e => IpOptionKind::BorderPatrolContext,
+            OPT_END_OF_LIST => IpOptionKind::EndOfList,
+            OPT_NOOP => IpOptionKind::NoOp,
+            OPT_TIMESTAMP => IpOptionKind::Timestamp,
+            OPT_SECURITY => IpOptionKind::Security,
+            OPT_BP_CONTEXT => IpOptionKind::BorderPatrolContext,
             other => IpOptionKind::Other(other),
         }
     }
@@ -193,6 +200,16 @@ impl IpOptions {
         std::mem::take(&mut self.trailing_data)
     }
 
+    /// Set the trailing-data marker, as parsing a wire form with non-zero
+    /// bytes after the End-of-List option would.  Used by the wire decoder
+    /// (which parses the options area itself to attribute typed errors) and
+    /// by tests constructing the covert-channel shape directly; the flag is
+    /// re-emitted by [`IpOptions::wire_bytes`] so the shape survives an
+    /// encode → decode round trip.
+    pub fn mark_trailing_data(&mut self) {
+        self.trailing_data = true;
+    }
+
     /// Remove every option of `kind`, returning how many were removed.
     pub fn remove(&mut self, kind: IpOptionKind) -> usize {
         let before = self.options.len();
@@ -221,6 +238,40 @@ impl IpOptions {
         }
         while out.len() % 4 != 0 {
             out.push(IpOptionKind::NoOp.type_byte());
+        }
+        out
+    }
+
+    /// Serialize the options area in its **wire** form: like
+    /// [`IpOptions::to_bytes`], but a set trailing-data flag is re-emitted
+    /// as an End-of-List marker followed by one non-zero byte
+    /// ([`TRAILING_DATA_MARKER`]) inside the zero padding — the §IV-A4
+    /// covert-channel shape, byte-exact.  [`IpOptions::parse`] of the
+    /// result restores the flag, so the wire codec round-trips shapes
+    /// `to_bytes` normalizes away.
+    ///
+    /// Emitting the marker needs an EOL byte plus one trailer inside the
+    /// 40-byte area; when fewer than 2 bytes remain the flag is dropped
+    /// (normalized), exactly as `to_bytes` always does.
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        if !self.trailing_data || self.encoded_len() + 2 > MAX_OPTIONS_LEN {
+            return self.to_bytes();
+        }
+        let mut out = Vec::with_capacity((self.encoded_len() + 2 + 3) & !3);
+        for opt in &self.options {
+            match opt.kind {
+                IpOptionKind::EndOfList | IpOptionKind::NoOp => out.push(opt.kind.type_byte()),
+                _ => {
+                    out.push(opt.kind.type_byte());
+                    out.push((opt.data.len() + 2) as u8);
+                    out.extend_from_slice(&opt.data);
+                }
+            }
+        }
+        out.push(IpOptionKind::EndOfList.type_byte());
+        out.push(TRAILING_DATA_MARKER);
+        while out.len() % 4 != 0 {
+            out.push(0);
         }
         out
     }
@@ -407,6 +458,39 @@ mod tests {
         let mut parsed = IpOptions::parse(&[0, 0xAB, 0, 0]).unwrap();
         assert!(parsed.has_trailing_data());
         parsed.clear();
+        assert!(!parsed.has_trailing_data());
+    }
+
+    #[test]
+    fn wire_bytes_round_trips_the_trailing_data_flag() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![1, 2, 3]).unwrap())
+            .unwrap();
+        opts.mark_trailing_data();
+        let bytes = opts.wire_bytes();
+        assert_eq!(bytes.len() % 4, 0);
+        assert!(bytes.contains(&TRAILING_DATA_MARKER));
+        let parsed = IpOptions::parse(&bytes).unwrap();
+        assert!(parsed.has_trailing_data());
+        assert_eq!(parsed, opts);
+    }
+
+    #[test]
+    fn wire_bytes_without_flag_matches_to_bytes() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::Security, vec![9, 9]).unwrap())
+            .unwrap();
+        assert_eq!(opts.wire_bytes(), opts.to_bytes());
+    }
+
+    #[test]
+    fn wire_bytes_normalizes_when_no_room_for_the_marker() {
+        let mut opts = IpOptions::new();
+        opts.push(IpOption::new(IpOptionKind::BorderPatrolContext, vec![0; 38]).unwrap())
+            .unwrap();
+        opts.mark_trailing_data();
+        // 40 bytes used: no room for EOL + marker, so the flag normalizes.
+        let parsed = IpOptions::parse(&opts.wire_bytes()).unwrap();
         assert!(!parsed.has_trailing_data());
     }
 

@@ -182,6 +182,12 @@ impl Ipv4Packet {
         self.ttl
     }
 
+    /// Set the time-to-live (the wire decoder restores the on-wire value;
+    /// simulated routers use [`Ipv4Packet::decrement_ttl`]).
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.ttl = ttl;
+    }
+
     /// Decrement TTL (routers do this per hop); returns the new value.
     pub fn decrement_ttl(&mut self) -> u8 {
         self.ttl = self.ttl.saturating_sub(1);
@@ -286,6 +292,10 @@ impl Ipv4Packet {
     ///
     /// The transport layer is abbreviated: source and destination ports are
     /// written immediately after the IP header, followed by the payload.
+    ///
+    /// This is the *normalizing* serializer: a set trailing-data flag is
+    /// dropped (the options area is NOP-padded, never EOL-trailed).  The
+    /// wire codec uses [`Ipv4Packet::wire_bytes`], which preserves it.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut header = self.header_bytes();
         let ck = checksum(&header);
@@ -295,6 +305,48 @@ impl Ipv4Packet {
         out.extend_from_slice(&self.destination.port.to_be_bytes());
         out.extend_from_slice(&self.payload);
         out
+    }
+
+    /// Serialize the packet's **wire** form: like [`Ipv4Packet::to_bytes`]
+    /// but the options area is emitted via [`IpOptions::wire_bytes`], so a
+    /// set trailing-data flag reappears on the wire as post-EOL non-zero
+    /// padding (checksummed like any other header byte).  This is the
+    /// encoder the byte ingress boundary and the capture format use:
+    /// `parse(wire_bytes(p))` reproduces `p` including the covert-channel
+    /// conformance flag.
+    pub fn wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_wire_bytes(&mut out);
+        out
+    }
+
+    /// Write the wire form into `out` (cleared first) — the reusable-buffer
+    /// variant of [`Ipv4Packet::wire_bytes`] for encode loops that frame
+    /// packet after packet.
+    pub fn write_wire_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let options_bytes = self.options.wire_bytes();
+        let header_len = Self::BASE_HEADER_LEN + options_bytes.len();
+        let total_len = (header_len + self.payload.len()) as u16;
+        out.reserve(header_len + 4 + self.payload.len());
+
+        out.push(0x40 | (header_len / 4) as u8); // version 4 + IHL
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // flags + fragment offset
+        out.push(self.ttl);
+        out.push(self.protocol.number());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.source.ip.octets());
+        out.extend_from_slice(&self.destination.ip.octets());
+        out.extend_from_slice(&options_bytes);
+        let ck = checksum(&out[..header_len]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+
+        out.extend_from_slice(&self.source.port.to_be_bytes());
+        out.extend_from_slice(&self.destination.port.to_be_bytes());
+        out.extend_from_slice(&self.payload);
     }
 
     /// Parse a packet from its wire form.
@@ -448,6 +500,50 @@ mod tests {
         assert!(!parsed.has_context_option());
         assert_eq!(parsed.header_len(), Ipv4Packet::BASE_HEADER_LEN);
         assert!(parsed.payload().is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_preserves_trailing_data_through_parse() {
+        let mut p = sample_packet();
+        p.options_mut().mark_trailing_data();
+        // `to_bytes` normalizes the covert-channel flag away …
+        assert!(!Ipv4Packet::parse(&p.to_bytes())
+            .unwrap()
+            .options()
+            .has_trailing_data());
+        // … `wire_bytes` preserves it, with a valid checksum over the
+        // trailer bytes.
+        let parsed = Ipv4Packet::parse(&p.wire_bytes()).unwrap();
+        assert!(parsed.options().has_trailing_data());
+        assert_eq!(
+            parsed
+                .options()
+                .find(IpOptionKind::BorderPatrolContext)
+                .unwrap()
+                .data,
+            vec![1, 2, 3, 4, 5, 6]
+        );
+        assert_eq!(parsed.payload(), p.payload());
+    }
+
+    #[test]
+    fn wire_bytes_equals_to_bytes_without_trailing_data() {
+        let p = sample_packet();
+        assert_eq!(p.wire_bytes(), p.to_bytes());
+        let mut reused = Vec::new();
+        p.write_wire_bytes(&mut reused);
+        assert_eq!(reused, p.to_bytes());
+        // The buffer is cleared on reuse, not appended to.
+        p.write_wire_bytes(&mut reused);
+        assert_eq!(reused, p.to_bytes());
+    }
+
+    #[test]
+    fn set_ttl_round_trips_on_the_wire() {
+        let mut p = sample_packet();
+        p.set_ttl(7);
+        let parsed = Ipv4Packet::parse(&p.wire_bytes()).unwrap();
+        assert_eq!(parsed.ttl(), 7);
     }
 
     #[test]

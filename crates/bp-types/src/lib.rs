@@ -13,6 +13,8 @@
 //! * [`EnforcementLevel`] — the four policy granularities (`hash` < `library`
 //!   < `class` < `method`).
 //! * [`Error`] — the shared error type.
+//! * [`WireError`] — typed decode failures of the raw-byte ingress boundary
+//!   (plus the option type-byte constants of [`wire`]).
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@ pub mod ids;
 pub mod level;
 pub mod signature;
 pub mod stack;
+pub mod wire;
 
 pub use error::{Error, Result};
 pub use hash::{md5_digest, ApkHash, AppTag};
@@ -42,3 +45,4 @@ pub use ids::{AppId, ConnectionId, DeviceId, FlowId, PacketId, SocketId};
 pub use level::EnforcementLevel;
 pub use signature::{MethodSignature, SignatureParseError};
 pub use stack::{StackFrame, StackTrace};
+pub use wire::WireError;

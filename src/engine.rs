@@ -42,6 +42,7 @@ use bp_core::flow::FlowTableConfig;
 use bp_core::offline::SignatureDatabase;
 use bp_core::policy::{Policy, PolicySet};
 use bp_core::runtime::BatchRuntime;
+use bp_netsim::netfilter::Verdict;
 
 /// A complete BorderPatrol enforcement engine: a [`ShardedEnforcer`] data
 /// plane registered as an endpoint of a [`ControlPlane`].
@@ -86,6 +87,21 @@ impl Engine {
     /// Merged data-plane statistics.
     pub fn stats(&self) -> EnforcerStats {
         self.data_plane.stats()
+    }
+
+    /// The byte ingress path: decode raw wire frames through
+    /// `bp_core::wire` and inspect the batch, returning one verdict per
+    /// frame in frame order.  Malformed frames never panic — they fail
+    /// closed with a typed `WireError` drop reason counted in
+    /// [`EnforcerStats::dropped_wire`].
+    pub fn ingest_bytes(&self, frames: &[&[u8]]) -> Vec<Verdict> {
+        self.data_plane.inspect_wire_batch(frames)
+    }
+
+    /// Buffer-reusing variant of [`Engine::ingest_bytes`]: verdicts are
+    /// written into `verdicts` (cleared first).
+    pub fn ingest_bytes_into(&self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
+        self.data_plane.inspect_wire_batch_into(frames, verdicts);
     }
 }
 
