@@ -35,6 +35,7 @@ pub mod testbed;
 pub use ioi::{IoiAnalysis, IoiHistogram};
 pub use report::TextTable;
 pub use scenario::{
-    AdversaryModel, AdversaryProfile, ConnectRate, FleetSpec, ScenarioReport, ScenarioSpec,
+    AdversaryCounters, AdversaryModel, AdversaryProfile, ConnectRate, FleetSpec, ScenarioReport,
+    ScenarioSpec, TickObserver, TickTelemetry,
 };
 pub use testbed::{CompromisedSession, Deployment, RunOutcome, Testbed};

@@ -170,6 +170,45 @@ impl ScenarioSpec {
     }
 }
 
+/// Running per-adversary counters, as exposed to a tick observer and to the
+/// facade's `Engine::observe()` — the live (mid-run) form of
+/// [`AdversaryOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversaryCounters {
+    /// The adversary model.
+    pub model: AdversaryModel,
+    /// Adversarial packets injected for this model so far.
+    pub emitted: u64,
+    /// How many of them the enforcer has dropped so far.
+    pub dropped: u64,
+}
+
+/// What a tick observer sees after each tick's batch has been inspected and
+/// accounted: the position in the run, the live enforcement plane (for
+/// telemetry polling) and the engine's ground-truth adversary attribution.
+///
+/// Passed by [`PreparedScenario::run_observed`] /
+/// [`PreparedScenario::replay_observed`]; the `bp_top` dashboard polls
+/// [`ShardedEnforcer::telemetry`] through `enforcer` here, tick-aligned with
+/// the simulated clock.
+pub struct TickTelemetry<'a> {
+    /// The tick just completed (0-based).
+    pub tick: u32,
+    /// Ticks the run will drive in total.
+    pub ticks: u32,
+    /// Simulated milliseconds per tick.
+    pub tick_millis: u64,
+    /// The live enforcement plane.
+    pub enforcer: &'a Arc<ShardedEnforcer>,
+    /// Ground-truth per-adversary counters, in spec profile order.
+    pub adversaries: Vec<AdversaryCounters>,
+    /// Hot swaps committed so far.
+    pub hot_swaps: u32,
+}
+
+/// A tick observer: called once per tick, after verdict accounting.
+pub type TickObserver<'a> = dyn FnMut(TickTelemetry<'_>) + 'a;
+
 /// Per-adversary accounting in a [`ScenarioReport`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct AdversaryOutcome {
@@ -620,7 +659,21 @@ impl PreparedScenario {
     /// bench drives one prepared scenario under both runtimes.  The report
     /// does not depend on the runtime (both produce identical verdicts).
     pub fn run_with_runtime(&self, runtime: BatchRuntime) -> Result<ScenarioReport, Error> {
-        self.run_impl(runtime, None)
+        self.run_impl(runtime, None, None)
+    }
+
+    /// Like [`PreparedScenario::run`], invoking `observer` after every
+    /// tick's batch has been inspected and accounted.  The observer sees the
+    /// live enforcement plane plus the engine's ground-truth adversary
+    /// counters ([`TickTelemetry`]) — this is the hook the observability
+    /// plane's dashboard rides, tick-aligned with the simulated clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hot-swap commit failures, exactly as
+    /// [`PreparedScenario::run`].
+    pub fn run_observed(&self, observer: &mut TickObserver<'_>) -> Result<ScenarioReport, Error> {
+        self.run_impl(self.spec.runtime, None, Some(observer))
     }
 
     /// Run the scenario while recording every synthesized packet — wire
@@ -651,6 +704,7 @@ impl PreparedScenario {
                 packet.write_wire_bytes(&mut frame_buf);
                 writer.record(tick, tag, &frame_buf).map_err(capture_io)
             }),
+            None,
         )?;
         let sink = writer.finish().map_err(capture_io)?;
         Ok((report, sink))
@@ -679,6 +733,33 @@ impl PreparedScenario {
         &self,
         capture: &CaptureReader,
         runtime: BatchRuntime,
+    ) -> Result<ScenarioReport, Error> {
+        self.replay_impl(capture, runtime, None)
+    }
+
+    /// Like [`PreparedScenario::replay`], invoking `observer` after every
+    /// tick — the capture-replay twin of
+    /// [`PreparedScenario::run_observed`], so the dashboard can be driven
+    /// from a recorded capture as well as a live run.
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedScenario::replay`].
+    pub fn replay_observed(
+        &self,
+        capture: &CaptureReader,
+        observer: &mut TickObserver<'_>,
+    ) -> Result<ScenarioReport, Error> {
+        self.replay_impl(capture, self.spec.runtime, Some(observer))
+    }
+
+    /// Shared body of [`PreparedScenario::replay_with_runtime`] and
+    /// [`PreparedScenario::replay_observed`].
+    fn replay_impl(
+        &self,
+        capture: &CaptureReader,
+        runtime: BatchRuntime,
+        mut observer: Option<&mut TickObserver<'_>>,
     ) -> Result<ScenarioReport, Error> {
         let spec = &self.spec;
         let header = capture.header();
@@ -744,6 +825,16 @@ impl PreparedScenario {
 
             enforcer.inspect_wire_batch_into(&frames, &mut verdicts);
             tally.account(&origins, &verdicts);
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(TickTelemetry {
+                    tick,
+                    ticks: spec.ticks,
+                    tick_millis: spec.tick_millis,
+                    enforcer: &enforcer,
+                    adversaries: tally.adversary_counters(spec),
+                    hot_swaps: tally.hot_swaps,
+                });
+            }
         }
 
         Ok(self.assemble_report(tally, enforcer.stats()))
@@ -778,6 +869,7 @@ impl PreparedScenario {
         &self,
         runtime: BatchRuntime,
         mut recorder: Option<&mut FrameRecorder<'_>>,
+        mut observer: Option<&mut TickObserver<'_>>,
     ) -> Result<ScenarioReport, Error> {
         let spec = &self.spec;
         let apps = &self.apps;
@@ -876,6 +968,16 @@ impl PreparedScenario {
             // allocation-free on the enforcement side.
             enforcer.inspect_batch_into(&packets, &mut verdicts);
             tally.account(&origins, &verdicts);
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(TickTelemetry {
+                    tick,
+                    ticks: spec.ticks,
+                    tick_millis: spec.tick_millis,
+                    enforcer: &enforcer,
+                    adversaries: tally.adversary_counters(spec),
+                    hot_swaps: tally.hot_swaps,
+                });
+            }
         }
 
         Ok(self.assemble_report(tally, enforcer.stats()))
@@ -931,6 +1033,18 @@ struct Tally {
 }
 
 impl Tally {
+    /// Snapshot the running per-adversary counters in spec profile order.
+    fn adversary_counters(&self, spec: &ScenarioSpec) -> Vec<AdversaryCounters> {
+        spec.adversaries
+            .iter()
+            .map(|profile| AdversaryCounters {
+                model: profile.model,
+                emitted: self.emitted.get(&profile.model).copied().unwrap_or(0),
+                dropped: self.dropped.get(&profile.model).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+
     /// Attribute one batch's verdicts (input order) to their traffic
     /// sources.
     fn account(

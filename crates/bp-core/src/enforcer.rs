@@ -61,6 +61,7 @@ use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
 use crate::runtime::{BatchRuntime, PacketSource, WorkerPool};
+use crate::telemetry::{TelemetryCell, TelemetrySnapshot};
 use crate::wire::{self, WireError};
 
 /// Source of the monotonically increasing epoch stamped onto every
@@ -180,6 +181,92 @@ pub struct EnforcerStats {
     /// drops): a live, unexpired flow entry saw a packet with different
     /// context payload bytes under the same tables epoch.
     pub flow_context_switches: u64,
+    /// [`EnforcerStats::dropped_wire`] broken out per [`WireError`]
+    /// variant — `dropped_wire` always equals
+    /// [`WireDropStats::total`] of this field.  `serde(default)` so
+    /// snapshots serialized before the breakdown existed still parse.
+    #[serde(default)]
+    pub dropped_wire_by: WireDropStats,
+}
+
+/// Wire-decode drops broken out by [`WireError`] variant (one counter per
+/// variant, field order matching [`WireError::ALL`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDropStats {
+    /// Frames rejected with [`WireError::TruncatedHeader`].
+    pub truncated_header: u64,
+    /// Frames rejected with [`WireError::BadVersion`].
+    pub bad_version: u64,
+    /// Frames rejected with [`WireError::BadIhl`].
+    pub bad_ihl: u64,
+    /// Frames rejected with [`WireError::TruncatedFrame`].
+    pub truncated_frame: u64,
+    /// Frames rejected with [`WireError::BadChecksum`].
+    pub bad_checksum: u64,
+    /// Frames rejected with [`WireError::UnknownProtocol`].
+    pub unknown_protocol: u64,
+    /// Frames rejected with [`WireError::OptionTruncated`].
+    pub option_truncated: u64,
+    /// Frames rejected with [`WireError::BadOptionLength`].
+    pub bad_option_length: u64,
+    /// Frames rejected with [`WireError::OptionOverrun`].
+    pub option_overrun: u64,
+    /// Frames rejected with [`WireError::LengthMismatch`].
+    pub length_mismatch: u64,
+}
+
+impl WireDropStats {
+    /// The counter for one error variant.
+    pub fn get(&self, error: WireError) -> u64 {
+        self.to_array()[error.index()]
+    }
+
+    /// Sum across every variant (always equals
+    /// [`EnforcerStats::dropped_wire`]).
+    pub fn total(&self) -> u64 {
+        self.to_array().iter().sum()
+    }
+
+    /// The counters as an array indexed by [`WireError::index`].
+    pub fn to_array(&self) -> [u64; 10] {
+        [
+            self.truncated_header,
+            self.bad_version,
+            self.bad_ihl,
+            self.truncated_frame,
+            self.bad_checksum,
+            self.unknown_protocol,
+            self.option_truncated,
+            self.bad_option_length,
+            self.option_overrun,
+            self.length_mismatch,
+        ]
+    }
+
+    /// Rebuild from an array indexed by [`WireError::index`].
+    pub fn from_array(counts: [u64; 10]) -> WireDropStats {
+        WireDropStats {
+            truncated_header: counts[0],
+            bad_version: counts[1],
+            bad_ihl: counts[2],
+            truncated_frame: counts[3],
+            bad_checksum: counts[4],
+            unknown_protocol: counts[5],
+            option_truncated: counts[6],
+            bad_option_length: counts[7],
+            option_overrun: counts[8],
+            length_mismatch: counts[9],
+        }
+    }
+
+    /// Sum two breakdowns (used when merging shards).
+    pub fn merged(&self, other: &WireDropStats) -> WireDropStats {
+        let mut counts = self.to_array();
+        for (count, add) in counts.iter_mut().zip(other.to_array()) {
+            *count += add;
+        }
+        WireDropStats::from_array(counts)
+    }
 }
 
 impl EnforcerStats {
@@ -211,6 +298,7 @@ impl EnforcerStats {
             flow_misses: self.flow_misses + other.flow_misses,
             flow_evictions: self.flow_evictions + other.flow_evictions,
             flow_context_switches: self.flow_context_switches + other.flow_context_switches,
+            dropped_wire_by: self.dropped_wire_by.merged(&other.dropped_wire_by),
         }
     }
 
@@ -250,6 +338,7 @@ pub struct AtomicEnforcerStats {
     flow_misses: AtomicU64,
     flow_evictions: AtomicU64,
     flow_context_switches: AtomicU64,
+    wire_by: [AtomicU64; 10],
 }
 
 impl AtomicEnforcerStats {
@@ -274,6 +363,13 @@ impl AtomicEnforcerStats {
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
             flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
             flow_context_switches: self.flow_context_switches.load(Ordering::Relaxed),
+            dropped_wire_by: {
+                let mut counts = [0u64; 10];
+                for (count, counter) in counts.iter_mut().zip(self.wire_by.iter()) {
+                    *count = counter.load(Ordering::Relaxed);
+                }
+                WireDropStats::from_array(counts)
+            },
         }
     }
 
@@ -302,13 +398,19 @@ impl AtomicEnforcerStats {
             .store(stats.flow_evictions, Ordering::Relaxed);
         self.flow_context_switches
             .store(stats.flow_context_switches, Ordering::Relaxed);
+        for (counter, count) in self.wire_by.iter().zip(stats.dropped_wire_by.to_array()) {
+            counter.store(count, Ordering::Relaxed);
+        }
     }
 
-    /// Count one frame that failed wire decode: inspected, then dropped at
-    /// the byte ingress boundary before any enforcement logic ran.
-    pub fn record_wire_drop(&self) {
+    /// Count one frame that failed wire decode with `error`: inspected,
+    /// then dropped at the byte ingress boundary before any enforcement
+    /// logic ran — charged to both the aggregate
+    /// [`EnforcerStats::dropped_wire`] and the per-variant breakdown.
+    pub fn record_wire_drop(&self, error: WireError) {
         self.inspected.fetch_add(1, Ordering::Relaxed);
         self.wire.fetch_add(1, Ordering::Relaxed);
+        self.wire_by[error.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reset every counter to zero.
@@ -1146,7 +1248,7 @@ impl QueueHandler for PolicyEnforcer {
             verdicts.push(match wire::decode_frame(frame) {
                 Ok(packet) => self.inspect(&packet),
                 Err(error) => {
-                    self.stats.record_wire_drop();
+                    self.stats.record_wire_drop(error);
                     record_drop(&mut self.drop_log, DropReason::Static(error.drop_reason()))
                 }
             });
@@ -1169,6 +1271,12 @@ pub(crate) struct EnforcerShard {
     pub(crate) drop_log: Mutex<DropLog>,
     pub(crate) scratch: Mutex<Vec<u32>>,
     pub(crate) flow: Mutex<FlowTable>,
+    /// The shard's seqlock-published telemetry snapshot.  Written at
+    /// partition/batch end by whichever thread holds the shard's `drop_log`
+    /// mutex — that lock is the single-writer guarantee; readers (the
+    /// observability collector) spin on the sequence stamp instead of
+    /// locking anything.
+    pub(crate) telemetry: TelemetryCell,
 }
 
 impl EnforcerShard {
@@ -1235,24 +1343,55 @@ impl EnforcerCore {
         (hashed >> 32) as usize % self.shards.len()
     }
 
-    /// Inspect one packet inline on its flow's shard (flow-cached).
+    /// Inspect one packet inline on its flow's shard (flow-cached),
+    /// publishing the shard's telemetry snapshot before the locks drop —
+    /// one inline inspect is its own batch.
     pub(crate) fn inspect(&self, packet: &Ipv4Packet) -> Verdict {
+        self.inspect_on_shard(packet, self.shard_for(packet), true)
+    }
+
+    /// The inline inspect body.  `publish` controls whether the shard's
+    /// telemetry snapshot is published before the locks drop: the
+    /// single-packet API publishes per call, while the sequential batch
+    /// loop defers to one publication per touched shard at batch end (see
+    /// `inspect_sequential` in [`crate::runtime`]).
+    pub(crate) fn inspect_on_shard(
+        &self,
+        packet: &Ipv4Packet,
+        shard_index: usize,
+        publish: bool,
+    ) -> Verdict {
         let tables = self.tables();
-        let shard = &self.shards[self.shard_for(packet)];
+        let shard = &self.shards[shard_index];
         // Shard lock order: scratch → drop_log → flow, matching
         // `run_partition` — an inline inspect and a batch worker contending
         // for the same shard must never interleave acquisition.
         let mut scratch = shard.scratch.lock();
         let mut drop_log = shard.drop_log.lock();
         let mut flow = shard.flow.lock();
-        tables.inspect_flow_cached(
+        let verdict = tables.inspect_flow_cached(
             packet,
             &mut flow,
             self.now(),
             &mut scratch,
             &shard.stats,
             &mut drop_log,
-        )
+        );
+        if publish {
+            // Sole writer: this thread holds the shard's drop_log mutex.
+            shard.telemetry.publish(&shard.stats, tables.epoch());
+        }
+        verdict
+    }
+
+    /// Publish one shard's telemetry snapshot outside a partition loop
+    /// (batch-end catch-up for the sequential path).  Takes the shard's
+    /// `drop_log` mutex — the telemetry single-writer lock — and nothing
+    /// else, so the declared lock order is trivially respected.
+    pub(crate) fn publish_shard_telemetry(&self, shard_index: usize) {
+        let shard = &self.shards[shard_index];
+        let _writer = shard.drop_log.lock();
+        shard.telemetry.publish(&shard.stats, self.tables().epoch());
     }
 
     // The batch entry points that dereference borrowed-batch raw pointers —
@@ -1481,10 +1620,14 @@ impl ShardedEnforcer {
             let shard = &self.core.shards[0];
             let mut drop_log = shard.drop_log.lock();
             for &(index, error) in &failures {
-                shard.stats.record_wire_drop();
+                shard.stats.record_wire_drop(error);
                 let verdict = record_drop(&mut drop_log, DropReason::Static(error.drop_reason()));
                 failure_verdicts.push((index, verdict));
             }
+            // Sole writer: this thread holds shard 0's drop_log mutex.
+            shard
+                .telemetry
+                .publish(&shard.stats, self.core.tables().epoch());
         }
         let mut decoded_verdicts = Vec::with_capacity(packets.len());
         self.inspect_batch_into(&packets, &mut decoded_verdicts);
@@ -1551,6 +1694,25 @@ impl ShardedEnforcer {
             .collect()
     }
 
+    /// One shard's latest seqlock-published telemetry snapshot (consistent:
+    /// the reader retries until an attempt lands between publications).
+    /// Unlike [`ShardedEnforcer::shard_stats`] — whose relaxed counter
+    /// reads can tear across counters — a snapshot is exactly one
+    /// publication, so cross-counter invariants hold and deltas between
+    /// successive snapshots are exact.
+    pub fn shard_telemetry(&self, shard: usize) -> TelemetrySnapshot {
+        self.core.shards[shard].telemetry.read()
+    }
+
+    /// Every shard's latest telemetry snapshot, in shard order.
+    pub fn telemetry(&self) -> Vec<TelemetrySnapshot> {
+        self.core
+            .shards
+            .iter()
+            .map(|shard| shard.telemetry.read())
+            .collect()
+    }
+
     /// Drop reasons across all shards (grouped by shard, oldest first within
     /// each shard).
     pub fn drop_log(&self) -> Vec<String> {
@@ -1566,7 +1728,10 @@ impl ShardedEnforcer {
     pub fn reset_stats(&self) {
         for shard in &self.core.shards {
             shard.stats.reset();
-            shard.drop_log.lock().clear();
+            let mut drop_log = shard.drop_log.lock();
+            drop_log.clear();
+            // Holding drop_log makes this thread the telemetry writer.
+            shard.telemetry.reset();
         }
     }
 }

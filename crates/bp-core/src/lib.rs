@@ -31,6 +31,10 @@
 //!   instead of OS thread creation.
 //! * [`sanitizer`] — the **Packet Sanitizer**: strips the context option from
 //!   conforming packets before they leave the enterprise perimeter.
+//! * [`telemetry`] — the seqlock-published per-shard telemetry snapshot the
+//!   observability plane (`bp-obs`) polls: the hot path stamps a sequence
+//!   word around plain relaxed stores, readers retry on torn reads, and the
+//!   writer never takes a lock or blocks.
 //! * [`policy_extractor`] — the differential profiling tool that helps
 //!   administrators derive policies from a baseline run and an
 //!   undesired-functionality run.
@@ -67,9 +71,10 @@ pub mod policy_extractor;
 mod policy_index;
 pub mod runtime;
 pub mod sanitizer;
+pub mod telemetry;
 pub mod wire;
 
-pub use context::{ContextManager, ContextManagerConfig};
+pub use context::{ContextManager, ContextManagerConfig, ContextManagerStats};
 pub use control::{
     ControlPlane, EnforcementEndpoint, GenerationId, GenerationRecord, RolloutError, RolloutPlan,
     RolloutValidation, RolloutWarning, Transaction,
@@ -77,7 +82,7 @@ pub use control::{
 pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_PAYLOAD};
 pub use enforcer::{
     AtomicEnforcerStats, DropLog, DropReason, EnforcementTables, EnforcerConfig, EnforcerStats,
-    PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer, TableReuse,
+    PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer, TableReuse, WireDropStats,
 };
 pub use flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 pub use offline::{
@@ -87,4 +92,5 @@ pub use policy::{CompiledPolicySet, CompiledVerdict, Decision, Policy, PolicyAct
 pub use policy_extractor::{PolicyExtractor, ProfileRun};
 pub use runtime::BatchRuntime;
 pub use sanitizer::PacketSanitizer;
+pub use telemetry::{GenerationCounters, TelemetryCell, TelemetrySnapshot, GENERATION_SLOTS};
 pub use wire::{CaptureHeader, CaptureReader, CaptureWriter, WireDecoder, WireError};

@@ -448,6 +448,10 @@ impl EnforcerCore {
             );
             slots.set(index as usize, verdict);
         }
+        // Publish once per partition, not per packet: the batch paths keep
+        // telemetry out of the per-packet budget.  Still holding drop_log,
+        // which is the telemetry single-writer token.
+        shard.telemetry.publish(&shard.stats, tables.epoch());
     }
 
     /// The scoped-spawn batch baseline: partition by flow, spawn one scoped
@@ -485,11 +489,25 @@ impl EnforcerCore {
     pub(crate) fn inspect_sequential(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
         let len = source.len();
         verdicts.reserve(len);
+        // Defer telemetry publication to batch end (one seqlock write per
+        // touched shard, not per packet); shards are tracked in a bitmask
+        // while the count fits one word, else every shard is published.
+        let track_touched = self.shards.len() <= u64::BITS as usize;
+        let mut touched: u64 = 0;
         for index in 0..len {
             // SAFETY: `index < len` and the caller's batch outlives this
             // call.
             let packet = unsafe { source.get(index) };
-            verdicts.push(self.inspect(packet));
+            let shard = self.shard_for(packet);
+            if track_touched {
+                touched |= 1 << shard;
+            }
+            verdicts.push(self.inspect_on_shard(packet, shard, false));
+        }
+        for shard in 0..self.shards.len() {
+            if !track_touched || touched & (1 << shard) != 0 {
+                self.publish_shard_telemetry(shard);
+            }
         }
     }
 }

@@ -1,0 +1,18 @@
+// Known-bad fixture: a seqlock with an undeclared stamp field and a
+// relaxed read-modify-write on `seq`, which its declared
+// relaxed=load,store policy forbids (RMW must stay ordered).
+
+struct ShadowCell {
+    stamp: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+fn publish_with_rmw(&self, cell: &Cell, payload: &[u64; 4]) {
+    // `seq` declares relaxed=load,store: a Relaxed fetch_add is not a
+    // plain store and silently drops the closing Release edge.
+    cell.seq.fetch_add(1, Ordering::Relaxed);
+    for (word, value) in cell.words.iter().zip(payload) {
+        word.store(*value, Ordering::Relaxed);
+    }
+    cell.seq.fetch_add(1, Ordering::Relaxed);
+}

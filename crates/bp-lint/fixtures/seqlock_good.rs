@@ -1,0 +1,39 @@
+// Known-good fixture: the telemetry seqlock stamp pattern, exactly as
+// the declared protocol permits it (`seq` relaxed=load,store, `words`
+// relaxed=all; the fences carry the ordering).
+
+struct Cell {
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+fn publish(&self, cell: &Cell, payload: &[u64; 4]) {
+    // Odd stamp first: a Relaxed store is declared sound because the
+    // Release fence below orders it before the payload for readers.
+    let start = cell.seq.load(Ordering::Relaxed);
+    cell.seq.store(start.wrapping_add(1), Ordering::Relaxed);
+    fence(Ordering::Release);
+    for (word, value) in cell.words.iter().zip(payload) {
+        word.store(*value, Ordering::Relaxed);
+    }
+    // Even stamp with Release closes the critical section.
+    cell.seq.store(start.wrapping_add(2), Ordering::Release);
+}
+
+fn try_read(&self, cell: &Cell) -> Option<[u64; 4]> {
+    let before = cell.seq.load(Ordering::Acquire);
+    if before & 1 != 0 {
+        return None;
+    }
+    let mut out = [0u64; 4];
+    for (slot, word) in out.iter_mut().zip(&cell.words) {
+        *slot = word.load(Ordering::Relaxed);
+    }
+    fence(Ordering::Acquire);
+    // Revalidation load: the Acquire fence above already ordered the
+    // payload reads, so Relaxed is declared sound here.
+    if cell.seq.load(Ordering::Relaxed) != before {
+        return None;
+    }
+    Some(out)
+}

@@ -174,7 +174,11 @@ pub fn lint_file(
         findings.extend(rules::lock_order::scan(rel_path, &model, manifest, graph));
     }
     findings.extend(rules::unsafe_hygiene::scan(rel_path, &model, manifest));
-    if in_scope(rel_path, &manifest.atomics_scope) {
+    if manifest
+        .atomics_scopes
+        .iter()
+        .any(|scope| in_scope(rel_path, scope))
+    {
         findings.extend(rules::atomics::scan(rel_path, &model, manifest));
     }
     findings.extend(rules::fail_closed::scan(rel_path, &model));

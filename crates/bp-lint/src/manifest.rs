@@ -101,8 +101,11 @@ pub struct Manifest {
     pub lock_order: Vec<String>,
     /// Workspace-relative files allowed to contain `unsafe`.
     pub unsafe_allow: Vec<String>,
-    /// Path prefix the atomics rule applies to.
-    pub atomics_scope: String,
+    /// Path prefixes the atomics rule applies to.  Multiple `scope =` lines
+    /// (or whitespace-separated values on one line) accumulate, so the
+    /// manifest can govern atomics in more than one crate (`bp-core`'s data
+    /// plane and `bp-obs`'s collector both carry declared atomics).
+    pub atomics_scopes: Vec<String>,
     /// Per-field declared protocols, keyed by field name.
     pub atomics: BTreeMap<String, AtomicProtocol>,
 }
@@ -139,7 +142,7 @@ impl Manifest {
         let mut lock_scope = String::new();
         let mut lock_order = Vec::new();
         let mut unsafe_allow = Vec::new();
-        let mut atomics_scope = String::new();
+        let mut atomics_scopes = Vec::new();
         let mut atomics = BTreeMap::new();
         let mut section = String::new();
         for (index, raw) in text.lines().enumerate() {
@@ -174,7 +177,7 @@ impl Manifest {
                         fail(format!("expected `field = protocol`, got `{line}`"))
                     })?;
                     if key == "scope" {
-                        atomics_scope = value.to_string();
+                        atomics_scopes.extend(value.split_whitespace().map(str::to_string));
                         continue;
                     }
                     let protocol = parse_protocol(value).map_err(fail)?;
@@ -203,7 +206,7 @@ impl Manifest {
             lock_scope,
             lock_order,
             unsafe_allow,
-            atomics_scope,
+            atomics_scopes,
             atomics,
         })
     }

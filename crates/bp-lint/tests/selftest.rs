@@ -72,6 +72,38 @@ fn atomics_fixtures() {
         .any(|f| f.message.contains("`tables_generation`")));
 }
 
+/// The seqlock stamp pattern from `bp-core/src/telemetry.rs`: the good
+/// twin follows the declared `seq`/`words` protocol exactly (fence-bracketed
+/// relaxed payload stores, Relaxed revalidation load); the bad twin smuggles
+/// in an undeclared stamp field and relaxed RMWs on `seq`.
+#[test]
+fn seqlock_fixtures() {
+    let good = lint_fixture("seqlock_good.rs", "crates/bp-core/src/telemetry.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("seqlock_bad.rs", "crates/bp-core/src/telemetry.rs");
+    // Undeclared `stamp` field + two forbidden relaxed RMWs on `seq`.
+    assert_eq!(count(&bad, RuleId::AtomicsProtocol), 3, "{bad:#?}");
+    assert!(bad.iter().any(|f| f.message.contains("stamp")));
+    assert_eq!(
+        bad.iter()
+            .filter(|f| f.message.contains("read-modify-write") && f.message.contains("`seq`"))
+            .count(),
+        2,
+        "{bad:#?}"
+    );
+}
+
+/// The bp-obs scope line works: the collector's declared `stop` flag is
+/// governed there, and an undeclared atomic in bp-obs is flagged.
+#[test]
+fn bp_obs_scope_governs_collector_atomics() {
+    let bad = lint_fixture("atomics_bad.rs", "crates/bp-obs/src/collector.rs");
+    assert!(
+        bad.iter().any(|f| f.message.contains("sneaky_epoch")),
+        "{bad:#?}"
+    );
+}
+
 #[test]
 fn fail_closed_fixtures() {
     let good = lint_fixture("fail_closed_good.rs", "crates/bp-core/src/good.rs");

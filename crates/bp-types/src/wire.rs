@@ -87,6 +87,13 @@ impl WireError {
         WireError::LengthMismatch,
     ];
 
+    /// This variant's position in [`WireError::ALL`] — the stable index the
+    /// enforcer's per-variant wire-drop counters and the telemetry snapshot
+    /// layout are keyed by.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable machine-readable tag (used in drop reasons and corpus
     /// fixture names).
     pub fn tag(self) -> &'static str {
@@ -157,6 +164,13 @@ mod tests {
     #[test]
     fn display_matches_tag() {
         assert_eq!(WireError::BadChecksum.to_string(), "bad-checksum");
+    }
+
+    #[test]
+    fn index_agrees_with_all_order() {
+        for (position, err) in WireError::ALL.iter().enumerate() {
+            assert_eq!(err.index(), position, "{err}");
+        }
     }
 
     #[test]

@@ -36,13 +36,17 @@
 
 use std::sync::Arc;
 
+use bp_analysis::scenario::AdversaryCounters;
+use bp_core::context::{ContextManager, ContextManagerStats};
 use bp_core::control::{ControlPlane, EnforcementEndpoint, GenerationId, DEFAULT_RETAIN};
 use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::SignatureDatabase;
 use bp_core::policy::{Policy, PolicySet};
 use bp_core::runtime::BatchRuntime;
+use bp_core::telemetry::TelemetrySnapshot;
 use bp_netsim::netfilter::Verdict;
+use parking_lot::Mutex;
 
 /// A complete BorderPatrol enforcement engine: a [`ShardedEnforcer`] data
 /// plane registered as an endpoint of a [`ControlPlane`].
@@ -50,6 +54,36 @@ use bp_netsim::netfilter::Verdict;
 pub struct Engine {
     control: ControlPlane,
     data_plane: Arc<ShardedEnforcer>,
+    /// On-device context manager, when the embedder attached one — lets
+    /// [`Engine::observe`] surface injection-side statistics next to the
+    /// enforcement-side ones.
+    context_manager: Option<Arc<Mutex<ContextManager>>>,
+    /// Ground-truth per-adversary counters deposited by a harness (the
+    /// scenario engine's tick observer) so dashboards can read them through
+    /// the facade instead of importing harness internals.
+    adversary_counters: Mutex<Vec<AdversaryCounters>>,
+}
+
+/// One observation of a running engine — everything the observability plane
+/// needs without any crate-internal imports: the installed generation, the
+/// merged and per-shard-seqlock enforcement statistics, the context
+/// manager's injection stats (if one is [attached](Engine::attach_context_manager))
+/// and any harness-deposited adversary attribution.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The currently installed control-plane generation.
+    pub generation: GenerationId,
+    /// Merged data-plane statistics (point-in-time atomic reads).
+    pub stats: EnforcerStats,
+    /// One seqlock-consistent telemetry snapshot per shard — the same feed
+    /// the `bp-obs` collector polls.
+    pub telemetry: Vec<TelemetrySnapshot>,
+    /// Injection-side statistics of the attached context manager, if any.
+    pub context_manager: Option<ContextManagerStats>,
+    /// Per-adversary ground truth last deposited via
+    /// [`Engine::deposit_adversary_counters`] (empty when no harness is
+    /// attached).
+    pub adversaries: Vec<AdversaryCounters>,
 }
 
 impl Engine {
@@ -102,6 +136,36 @@ impl Engine {
     /// written into `verdicts` (cleared first).
     pub fn ingest_bytes_into(&self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
         self.data_plane.inspect_wire_batch_into(frames, verdicts);
+    }
+
+    /// Attach an on-device [`ContextManager`] so [`Engine::observe`] can
+    /// report its injection statistics alongside the enforcement counters.
+    pub fn attach_context_manager(&mut self, manager: Arc<Mutex<ContextManager>>) {
+        self.context_manager = Some(manager);
+    }
+
+    /// Deposit ground-truth per-adversary counters (typically from the
+    /// scenario engine's tick observer) for the next [`Engine::observe`]
+    /// call.  Replaces the previous deposit.
+    pub fn deposit_adversary_counters(&self, counters: Vec<AdversaryCounters>) {
+        *self.adversary_counters.lock() = counters;
+    }
+
+    /// Observe the engine: generation, merged stats, per-shard seqlock
+    /// telemetry snapshots, attached context-manager stats and deposited
+    /// adversary counters — the one-stop feed for dashboards and exporters,
+    /// with no crate-internal imports required.
+    pub fn observe(&self) -> Observation {
+        Observation {
+            generation: self.control.generation(),
+            stats: self.data_plane.stats(),
+            telemetry: self.data_plane.telemetry(),
+            context_manager: self
+                .context_manager
+                .as_ref()
+                .map(|manager| manager.lock().stats()),
+            adversaries: self.adversary_counters.lock().clone(),
+        }
     }
 }
 
@@ -211,6 +275,8 @@ impl EngineBuilder {
         Engine {
             control,
             data_plane,
+            context_manager: None,
+            adversary_counters: Mutex::new(Vec::new()),
         }
     }
 }
@@ -254,5 +320,54 @@ mod tests {
         // generation's policy index instead of recompiling it.
         assert_eq!(engine.policy_index_reuses(), 1);
         assert_eq!(engine.stats().packets_inspected, 0);
+    }
+
+    #[test]
+    fn observe_surfaces_telemetry_context_and_adversary_state() {
+        use bp_analysis::scenario::AdversaryCounters;
+        use bp_analysis::AdversaryModel;
+        use bp_netsim::addr::Endpoint;
+
+        let mut engine = Engine::builder().shards(2).strict().build();
+        let observation = engine.observe();
+        assert_eq!(observation.generation, engine.generation());
+        assert_eq!(observation.telemetry.len(), 2);
+        assert!(observation.context_manager.is_none());
+        assert!(observation.adversaries.is_empty());
+
+        // Untagged traffic shows up in the next observation's telemetry.
+        let packet = bp_netsim::packet::Ipv4Packet::new(
+            Endpoint::new([10, 0, 0, 1], 4000),
+            Endpoint::new([93, 184, 216, 34], 443),
+            b"GET /".to_vec(),
+        );
+        engine
+            .data_plane()
+            .inspect_batch(std::slice::from_ref(&packet));
+        let observation = engine.observe();
+        assert_eq!(observation.stats.dropped_untagged, 1);
+        let telemetry_total: u64 = observation
+            .telemetry
+            .iter()
+            .map(|t| t.stats.dropped_untagged)
+            .sum();
+        assert_eq!(telemetry_total, 1);
+        assert!(observation.telemetry.iter().all(|t| t.consistent()));
+
+        // Attached context manager and deposited harness counters surface
+        // through the same call.
+        engine.attach_context_manager(ContextManager::new().shared());
+        engine.deposit_adversary_counters(vec![AdversaryCounters {
+            model: AdversaryModel::ContextReplay,
+            emitted: 7,
+            dropped: 7,
+        }]);
+        let observation = engine.observe();
+        assert_eq!(
+            observation.context_manager.unwrap(),
+            bp_core::context::ContextManagerStats::default()
+        );
+        assert_eq!(observation.adversaries.len(), 1);
+        assert_eq!(observation.adversaries[0].dropped, 7);
     }
 }

@@ -45,7 +45,7 @@
 pub mod engine;
 
 pub use bp_core::runtime::BatchRuntime;
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{Engine, EngineBuilder, Observation};
 
 /// Shared vocabulary types ([`bp_types`]).
 pub use bp_types as types;
@@ -70,3 +70,7 @@ pub use bp_baseline as baseline;
 
 /// Evaluation / experiment harness ([`bp_analysis`]).
 pub use bp_analysis as analysis;
+
+/// Observability plane: telemetry collection, metrics export, dashboard
+/// ([`bp_obs`]).
+pub use bp_obs as obs;

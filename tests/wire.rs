@@ -389,6 +389,23 @@ fn corpus_fails_closed_through_the_engine_with_typed_reasons() {
     assert_eq!(stats.total_dropped(), cases.len() as u64);
     assert_eq!(stats.packets_accepted, 0);
 
+    // The per-variant breakdown attributes each decode failure to its exact
+    // `WireError`: the corpus carries one frame per variant, so every
+    // variant's counter is exactly 1, and the breakdown sums back to the
+    // aggregate.
+    for error in WireError::ALL {
+        assert_eq!(
+            stats.dropped_wire_by.get(error),
+            1,
+            "wire drop counter for {error} must see its one corpus frame"
+        );
+    }
+    assert_eq!(
+        stats.dropped_wire_by.total(),
+        stats.dropped_wire,
+        "per-variant wire counters must sum to the aggregate"
+    );
+
     // Every wire failure left its typed reason in the drop log.
     let log = engine.data_plane().drop_log();
     for (name, _, expect) in &cases {
