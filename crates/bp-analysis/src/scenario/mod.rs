@@ -53,9 +53,10 @@ use serde::Serialize;
 use std::sync::Arc;
 
 use bp_appsim::monkey::weighted_index;
-use bp_core::control::{ControlPlane, EnforcementEndpoint};
+use bp_core::control::{ControlPlane, EnforcementEndpoint, RolloutError};
 use bp_core::encoding::ContextEncoding;
 use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
+use bp_core::faults::{FaultInjector, FaultPlan};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::{OfflineAnalyzer, SignatureDatabase};
 use bp_core::policy::{Policy, PolicySet};
@@ -128,6 +129,10 @@ pub struct ScenarioSpec {
     pub tick_millis: u64,
     /// Optional policy hot swap raced against the traffic.
     pub hot_swap: Option<HotSwap>,
+    /// Optional deterministic fault plan (chaos runs): worker panics, wire
+    /// corruption and commit failures injected by one shared
+    /// [`FaultInjector`], so the same seed replays the same faults.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
@@ -160,12 +165,32 @@ impl ScenarioSpec {
             ticks: 3,
             tick_millis: 500,
             hot_swap: None,
+            faults: None,
         }
+    }
+
+    /// The chaos variant of [`ScenarioSpec::adversarial_fleet`]: the same
+    /// mixed fleet and adversary load, plus a seed-derived
+    /// [`FaultPlan`] (a worker panic scheduled on every shard, periodic
+    /// wire corruption, an early commit failure) and enough ticks for every
+    /// scheduled fault to fire and every worker to be respawned.  Two runs
+    /// with the same seed produce byte-identical reports.
+    pub fn chaos_fleet(name: impl Into<String>, devices: u32, seed: u64, shards: usize) -> Self {
+        let mut spec = Self::adversarial_fleet(name, devices, seed, shards);
+        spec.ticks = 8;
+        spec.faults = Some(FaultPlan::seeded(seed, shards.max(1)));
+        spec
     }
 
     /// Race a policy hot swap at the start of `at_tick` (builder style).
     pub fn with_hot_swap(mut self, at_tick: u32, policies: PolicySet) -> Self {
         self.hot_swap = Some(HotSwap { at_tick, policies });
+        self
+    }
+
+    /// Install a deterministic fault plan (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -332,6 +357,8 @@ impl ScenarioReport {
             ("dropped_duplicate_context", s.dropped_duplicate_context),
             ("dropped_context_switch", s.dropped_context_switch),
             ("dropped_wire", s.dropped_wire),
+            ("dropped_runtime_fault", s.dropped_runtime_fault),
+            ("dropped_overload", s.dropped_overload),
             ("flow_hits", s.flow_hits),
             ("flow_misses", s.flow_misses),
             ("flow_evictions", s.flow_evictions),
@@ -794,11 +821,18 @@ impl PreparedScenario {
             enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
             if let Some(swap) = &spec.hot_swap {
                 if swap.at_tick == tick {
-                    control
+                    match control
                         .begin()
                         .replace_policies(swap.policies.clone())
-                        .commit()?;
-                    tally.hot_swaps += 1;
+                        .commit()
+                    {
+                        Ok(_) => tally.hot_swaps += 1,
+                        // A chaos plan failing the commit is part of the
+                        // run, not an error: the old generation stays
+                        // installed and the scenario keeps serving.
+                        Err(RolloutError::FaultInjected { .. }) => {}
+                        Err(error) => return Err(error.into()),
+                    }
                 }
             }
 
@@ -859,6 +893,13 @@ impl PreparedScenario {
             runtime,
         ));
         control.register(Arc::clone(&enforcer) as Arc<dyn EnforcementEndpoint>);
+        if let Some(plan) = &spec.faults {
+            // One injector drives both planes so a single seed schedules
+            // every fault of the run.
+            let injector = Arc::new(FaultInjector::new(plan.clone(), spec.shards.max(1)));
+            enforcer.install_faults(Arc::clone(&injector));
+            control.install_faults(injector);
+        }
         (control, enforcer)
     }
 
@@ -888,11 +929,18 @@ impl PreparedScenario {
             enforcer.set_now(SimDuration::from_millis(u64::from(tick) * spec.tick_millis));
             if let Some(swap) = &spec.hot_swap {
                 if swap.at_tick == tick {
-                    control
+                    match control
                         .begin()
                         .replace_policies(swap.policies.clone())
-                        .commit()?;
-                    tally.hot_swaps += 1;
+                        .commit()
+                    {
+                        Ok(_) => tally.hot_swaps += 1,
+                        // A chaos plan failing the commit is part of the
+                        // run, not an error: the old generation stays
+                        // installed and the scenario keeps serving.
+                        Err(RolloutError::FaultInjected { .. }) => {}
+                        Err(error) => return Err(error.into()),
+                    }
                 }
             }
 

@@ -177,7 +177,7 @@ fn benches_all(c: &mut Criterion) {
     bench_throughput_under_storm(c);
 }
 
-/// `--json` quick sweep, merged into `BENCH_9.json`: commit/rollback
+/// `--json` quick sweep, merged into `BENCH_10.json`: commit/rollback
 /// latencies (batch = policy count, elements = commits) plus the quiet
 /// data-plane batch throughput under both batch runtimes.
 fn json_sweep() {

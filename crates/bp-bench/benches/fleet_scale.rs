@@ -7,7 +7,7 @@
 //! assembly) and each iteration re-runs only the enforcement tick loop, so
 //! the rows compare data-plane wall-clock as the shard count grows.
 //!
-//! `--json` switches to the quick sweep that feeds `BENCH_9.json`: three
+//! `--json` switches to the quick sweep that feeds `BENCH_10.json`: three
 //! fleet sizes chosen so the per-tick batches land in the ≤16 / ≤64 / ~1k
 //! packet regimes, each on 1/4/8 shards under both the persistent worker
 //! pool and the scoped spawn-per-batch baseline.  Small batches are where
@@ -52,7 +52,7 @@ fn bench_fleet_scale(c: &mut Criterion) {
     group.finish();
 }
 
-/// `--json` quick sweep, merged into `BENCH_9.json`.
+/// `--json` quick sweep, merged into `BENCH_10.json`.
 ///
 /// Fleet sizes map to per-tick batch regimes (2 sockets/device, 1–2 packets
 /// per flow per tick, plus adversarial injections): 3 devices ≈ 10-packet

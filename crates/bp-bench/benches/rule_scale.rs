@@ -63,7 +63,7 @@ fn bench_eval_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-/// `--json` quick sweep, merged into `BENCH_9.json`.
+/// `--json` quick sweep, merged into `BENCH_10.json`.
 ///
 /// Row conventions: `batch` carries the rule count; commit rows use
 /// runtime `"n/a"` and elements = 1 (so `ns_per_iter` is the commit

@@ -6,7 +6,7 @@
 //! worker pool (default) and the scoped spawn-per-batch baseline — so the
 //! spawn-vs-pool delta is visible per shard count.  `--json` switches to the
 //! quick sweep (batch sizes 8/64/1024 × shards × runtimes) that feeds
-//! `BENCH_9.json`; in the small-batch regime the spawn/join cost dominates
+//! `BENCH_10.json`; in the small-batch regime the spawn/join cost dominates
 //! the scoped rows, which is exactly what the pool eliminates.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion, Throughput};
@@ -107,7 +107,7 @@ fn bench_sharded(c: &mut Criterion) {
 }
 
 /// `--json` quick sweep: pkts/sec per (batch size, shards, runtime) on the
-/// case-study policy set, merged into `BENCH_9.json`.
+/// case-study policy set, merged into `BENCH_10.json`.
 fn json_sweep() {
     let app = analyzed_solcalendar();
     let policies = case_study_policies();

@@ -11,7 +11,7 @@
 //! the budget is <2% on the small-batch regime (the `fleet_scale`
 //! small-batch shape, where per-batch fixed costs weigh the most).
 //!
-//! `--json` merges `detached` / `attached` rows into `BENCH_9.json`
+//! `--json` merges `detached` / `attached` rows into `BENCH_10.json`
 //! alongside the `fleet_scale` rows they mirror.
 
 use std::sync::Arc;
@@ -106,7 +106,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-/// `--json` quick sweep, merged into `BENCH_9.json`: detached vs attached
+/// `--json` quick sweep, merged into `BENCH_10.json`: detached vs attached
 /// rows at the small and mid batch regimes.  Diffing the paired rows shows
 /// what a live sampler costs the data plane; the budget is <2% on
 /// small_batch.

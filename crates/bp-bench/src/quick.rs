@@ -5,7 +5,7 @@
 //! `--json` (e.g. `cargo bench -p bp-bench --bench fleet_scale -- --json`)
 //! switches it into this mode: a short, self-timed sweep whose rows —
 //! packets/second per (case, shard count, batch size, batch runtime) — are
-//! merged into the workspace-root `BENCH_9.json`.  Each bench owns its rows
+//! merged into the workspace-root `BENCH_10.json`.  Each bench owns its rows
 //! in the file (re-running a bench replaces only that bench's section), so
 //! running the three data-plane benches in any order converges to one
 //! complete artifact.
@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 /// Where the merged artifact lives: the workspace root, next to README.md.
-pub const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+pub const BENCH_JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
 
 /// One measured configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,7 +49,7 @@ pub struct Row {
     pub speedup_vs_scoped: f64,
 }
 
-/// The merged `BENCH_9.json` document.
+/// The merged `BENCH_10.json` document.
 #[derive(Debug, Default, Serialize, Deserialize)]
 struct BenchReport {
     /// Stacked-PR issue the artifact belongs to.
@@ -136,7 +136,7 @@ impl QuickBench {
             .ok()
             .and_then(|text| serde_json::from_str::<BenchReport>(&text).ok())
             .unwrap_or_default();
-        report.issue = 9;
+        report.issue = 10;
         report.rows.retain(|row| row.bench != self.bench);
         report.rows.append(&mut self.rows);
         report.rows.sort_by(|a, b| {
@@ -144,7 +144,7 @@ impl QuickBench {
                 .cmp(&(&b.bench, &b.case, b.shards, b.batch, &b.runtime))
         });
         let text = serde_json::to_string_pretty(&report).expect("bench report serializes");
-        std::fs::write(BENCH_JSON_PATH, text + "\n").expect("write BENCH_9.json");
+        std::fs::write(BENCH_JSON_PATH, text + "\n").expect("write BENCH_10.json");
         println!("wrote {BENCH_JSON_PATH}");
     }
 }
@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn rows_roundtrip_through_json() {
         let report = BenchReport {
-            issue: 9,
+            issue: 10,
             rows: vec![Row {
                 bench: "b".into(),
                 case: "c".into(),
@@ -194,7 +194,7 @@ mod tests {
         };
         let text = serde_json::to_string_pretty(&report).unwrap();
         let parsed: BenchReport = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed.issue, 9);
+        assert_eq!(parsed.issue, 10);
         assert_eq!(parsed.rows.len(), 1);
         assert_eq!(parsed.rows[0].bench, "b");
         assert_eq!(parsed.rows[0].shards, 4);

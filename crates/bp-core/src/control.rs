@@ -47,6 +47,7 @@ use bp_types::{AppTag, MethodSignature};
 use crate::enforcer::{
     EnforcementTables, EnforcerConfig, PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer,
 };
+use crate::faults::FaultInjector;
 use crate::offline::{SignatureDatabase, TagCollision};
 use crate::policy::{Policy, PolicySet};
 
@@ -187,6 +188,15 @@ pub enum RolloutError {
         /// The findings that blocked the commit.
         errors: Vec<RolloutError>,
     },
+    /// A deterministic chaos plan failed this commit attempt
+    /// ([`FaultPlan::fail_commits`](crate::faults::FaultPlan)): the control
+    /// plane and every endpoint are left untouched, exactly as on a real
+    /// rejected rollout.
+    FaultInjected {
+        /// Which commit attempt (0-based, counted across the control
+        /// plane's lifetime) the plan failed.
+        ordinal: u64,
+    },
 }
 
 impl fmt::Display for RolloutError {
@@ -207,6 +217,9 @@ impl fmt::Display for RolloutError {
                     write!(f, "{e}")?;
                 }
                 Ok(())
+            }
+            RolloutError::FaultInjected { ordinal } => {
+                write!(f, "fault plan failed commit attempt {ordinal}")
             }
         }
     }
@@ -384,6 +397,10 @@ pub struct ControlPlane {
     /// Commits that shared the previous generation's compiled signature
     /// database instead of recompiling it.
     database_reuses: u64,
+    /// Deterministic fault injector; when installed, scheduled commit
+    /// attempts fail with [`RolloutError::FaultInjected`] before any state
+    /// is touched.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl fmt::Debug for dyn EnforcementEndpoint {
@@ -424,7 +441,17 @@ impl ControlPlane {
             builds: 1,
             policy_reuses: 0,
             database_reuses: 0,
+            faults: None,
         }
+    }
+
+    /// Install a deterministic fault injector: commit attempts the plan
+    /// schedules ([`FaultPlan::fail_commits`](crate::faults::FaultPlan))
+    /// fail with [`RolloutError::FaultInjected`], leaving the control plane
+    /// and every endpoint untouched.  Pass the same injector to the data
+    /// plane so one plan drives the whole chaos run.
+    pub fn install_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     /// Register a data-plane endpoint and install the current generation on
@@ -816,6 +843,17 @@ impl Transaction<'_> {
     /// [`RolloutError::Rejected`] carrying every blocking validation finding;
     /// the control plane and all endpoints are left untouched.
     pub fn commit(mut self) -> Result<GenerationId, RolloutError> {
+        // Chaos hook first: every commit *attempt* ticks the plan's ordinal
+        // (so replays stay aligned), and a scheduled failure aborts before
+        // validation or compilation touches anything.
+        if let Some(ordinal) = self
+            .plane
+            .faults
+            .as_ref()
+            .and_then(|faults| faults.commit_should_fail())
+        {
+            return Err(RolloutError::FaultInjected { ordinal });
+        }
         let (policies, errors) = self.staged_policies();
         if !errors.is_empty() {
             return Err(RolloutError::Rejected { errors });

@@ -45,7 +45,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
@@ -57,6 +57,7 @@ use bp_netsim::options::IpOptionKind;
 use bp_netsim::packet::Ipv4Packet;
 
 use crate::encoding::ContextEncoding;
+use crate::faults::{FaultInjector, HealthState, ShardHealth, ShardHealthSnapshot};
 use crate::flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 use crate::offline::{CompiledSignatureDb, SignatureDatabase};
 use crate::policy::{CompiledPolicySet, CompiledVerdict, Decision, PolicySet};
@@ -170,6 +171,17 @@ pub struct EnforcerStats {
     /// [`EnforcerStats::packets_inspected`]), not to
     /// [`EnforcerStats::dropped_malformed`].
     pub dropped_wire: u64,
+    /// Packets failed closed because the worker inspecting their partition
+    /// panicked (injected or real): the uninspected remainder of the
+    /// partition drops under this counter instead of poisoning the
+    /// enforcer.  `serde(default)` so pre-fault snapshots still parse.
+    #[serde(default)]
+    pub dropped_runtime_fault: u64,
+    /// Packets shed fail-closed by the overload guard before inspection
+    /// (batch length past the admission watermark).  `serde(default)` so
+    /// pre-fault snapshots still parse.
+    #[serde(default)]
+    pub dropped_overload: u64,
     /// Tagged packets whose verdict was served from the flow table.
     pub flow_hits: u64,
     /// Tagged packets that required a full decode/resolve/evaluate pass.
@@ -279,6 +291,8 @@ impl EnforcerStats {
             + self.dropped_duplicate_context
             + self.dropped_context_switch
             + self.dropped_wire
+            + self.dropped_runtime_fault
+            + self.dropped_overload
     }
 
     /// Sum two snapshots (used when merging shards).
@@ -294,6 +308,8 @@ impl EnforcerStats {
                 + other.dropped_duplicate_context,
             dropped_context_switch: self.dropped_context_switch + other.dropped_context_switch,
             dropped_wire: self.dropped_wire + other.dropped_wire,
+            dropped_runtime_fault: self.dropped_runtime_fault + other.dropped_runtime_fault,
+            dropped_overload: self.dropped_overload + other.dropped_overload,
             flow_hits: self.flow_hits + other.flow_hits,
             flow_misses: self.flow_misses + other.flow_misses,
             flow_evictions: self.flow_evictions + other.flow_evictions,
@@ -334,6 +350,8 @@ pub struct AtomicEnforcerStats {
     duplicate_context: AtomicU64,
     context_switch: AtomicU64,
     wire: AtomicU64,
+    runtime_fault: AtomicU64,
+    overload: AtomicU64,
     flow_hits: AtomicU64,
     flow_misses: AtomicU64,
     flow_evictions: AtomicU64,
@@ -359,6 +377,8 @@ impl AtomicEnforcerStats {
             dropped_duplicate_context: self.duplicate_context.load(Ordering::Relaxed),
             dropped_context_switch: self.context_switch.load(Ordering::Relaxed),
             dropped_wire: self.wire.load(Ordering::Relaxed),
+            dropped_runtime_fault: self.runtime_fault.load(Ordering::Relaxed),
+            dropped_overload: self.overload.load(Ordering::Relaxed),
             flow_hits: self.flow_hits.load(Ordering::Relaxed),
             flow_misses: self.flow_misses.load(Ordering::Relaxed),
             flow_evictions: self.flow_evictions.load(Ordering::Relaxed),
@@ -392,6 +412,10 @@ impl AtomicEnforcerStats {
         self.context_switch
             .store(stats.dropped_context_switch, Ordering::Relaxed);
         self.wire.store(stats.dropped_wire, Ordering::Relaxed);
+        self.runtime_fault
+            .store(stats.dropped_runtime_fault, Ordering::Relaxed);
+        self.overload
+            .store(stats.dropped_overload, Ordering::Relaxed);
         self.flow_hits.store(stats.flow_hits, Ordering::Relaxed);
         self.flow_misses.store(stats.flow_misses, Ordering::Relaxed);
         self.flow_evictions
@@ -413,6 +437,21 @@ impl AtomicEnforcerStats {
         self.wire_by[error.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one packet failed closed because its partition's worker
+    /// panicked: inspected, then dropped without any enforcement logic
+    /// having run.
+    pub fn record_runtime_fault(&self) {
+        self.inspected.fetch_add(1, Ordering::Relaxed);
+        self.runtime_fault.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one packet shed fail-closed by the overload guard before
+    /// inspection.
+    pub fn record_overload(&self) {
+        self.inspected.fetch_add(1, Ordering::Relaxed);
+        self.overload.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reset every counter to zero.
     pub fn reset(&self) {
         self.store(EnforcerStats::default());
@@ -421,6 +460,15 @@ impl AtomicEnforcerStats {
 
 /// Default capacity of the drop log ring buffer.
 pub const DROP_LOG_CAPACITY: usize = 10_000;
+
+/// Drop-log reason charged to packets failed closed because the worker
+/// inspecting their partition panicked ([`EnforcerStats::dropped_runtime_fault`]).
+pub const RUNTIME_FAULT_DROP_REASON: &str = "runtime fault: worker panicked; packet failed closed";
+
+/// Drop-log reason charged to packets shed fail-closed by the overload guard
+/// ([`EnforcerStats::dropped_overload`]).
+pub const OVERLOAD_DROP_REASON: &str =
+    "overload: batch past admission watermark; packet shed fail-closed";
 
 /// Why a packet was dropped, as retained by the [`DropLog`].
 ///
@@ -955,7 +1003,7 @@ impl EnforcementTables {
 /// [`DropReason`]); the only string the drop path still allocates is the
 /// rendering carried by the returned [`Verdict::Drop`] itself — the old
 /// `String` log paid that allocation *plus* two clones of the reason.
-fn record_drop(drop_log: &mut DropLog, reason: DropReason) -> Verdict {
+pub(crate) fn record_drop(drop_log: &mut DropLog, reason: DropReason) -> Verdict {
     let verdict = Verdict::Drop {
         reason: reason.as_str().to_owned(),
     };
@@ -1277,6 +1325,10 @@ pub(crate) struct EnforcerShard {
     /// observability collector) spin on the sequence stamp instead of
     /// locking anything.
     pub(crate) telemetry: TelemetryCell,
+    /// The shard's health state machine (Healthy → Degraded → Quarantined),
+    /// fed by the runtime's panic recovery, respawn and watchdog paths and
+    /// published through the telemetry snapshot.
+    pub(crate) health: ShardHealth,
 }
 
 impl EnforcerShard {
@@ -1313,6 +1365,9 @@ pub(crate) struct EnforcerCore {
     /// Simulated time in microseconds, advanced by the driving clock owner;
     /// used for flow-table TTL expiry.
     now_micros: AtomicU64,
+    /// The armed fault injector, if any (first install wins).  Inert cost on
+    /// the hot path is one `OnceLock` load per partition.
+    pub(crate) faults: OnceLock<Arc<FaultInjector>>,
 }
 
 impl EnforcerCore {
@@ -1379,7 +1434,9 @@ impl EnforcerCore {
         );
         if publish {
             // Sole writer: this thread holds the shard's drop_log mutex.
-            shard.telemetry.publish(&shard.stats, tables.epoch());
+            shard
+                .telemetry
+                .publish(&shard.stats, tables.epoch(), &shard.health);
         }
         verdict
     }
@@ -1391,7 +1448,9 @@ impl EnforcerCore {
     pub(crate) fn publish_shard_telemetry(&self, shard_index: usize) {
         let shard = &self.shards[shard_index];
         let _writer = shard.drop_log.lock();
-        shard.telemetry.publish(&shard.stats, self.tables().epoch());
+        shard
+            .telemetry
+            .publish(&shard.stats, self.tables().epoch(), &shard.health);
     }
 
     // The batch entry points that dereference borrowed-batch raw pointers —
@@ -1436,6 +1495,11 @@ pub struct ShardedEnforcer {
     /// cost no threads.  Dropped — shutdown messages, workers joined — with
     /// the enforcer.
     pool: OnceLock<WorkerPool>,
+    /// Overload-guard admission watermark in packets per batch; `0` means
+    /// the guard is off.  Batches longer than the watermark have their tail
+    /// shed fail-closed under [`EnforcerStats::dropped_overload`] before
+    /// inspection.
+    overload_watermark: AtomicUsize,
 }
 
 impl ShardedEnforcer {
@@ -1471,9 +1535,11 @@ impl ShardedEnforcer {
                     .map(|_| EnforcerShard::with_flow_config(flow))
                     .collect(),
                 now_micros: AtomicU64::new(0),
+                faults: OnceLock::new(),
             }),
             runtime,
             pool: OnceLock::new(),
+            overload_watermark: AtomicUsize::new(0),
         }
     }
 
@@ -1605,8 +1671,21 @@ impl ShardedEnforcer {
     pub fn inspect_wire_batch_into(&self, frames: &[&[u8]], verdicts: &mut Vec<Verdict>) {
         let mut packets = Vec::with_capacity(frames.len());
         let mut failures: Vec<(usize, WireError)> = Vec::new();
+        let injector = self.core.faults.get();
         for (index, frame) in frames.iter().enumerate() {
-            match wire::decode_frame(frame) {
+            let corrupt = injector.is_some_and(|i| i.corrupt_next_frame());
+            let result = match (corrupt, frame.first()) {
+                (true, Some(_)) => {
+                    // Injected wire corruption: flip the version/IHL byte so
+                    // the frame fails closed through the ordinary typed
+                    // wire-error path, deterministically.
+                    let mut bytes = frame.to_vec();
+                    bytes[0] ^= 0xFF;
+                    wire::decode_frame(&bytes)
+                }
+                _ => wire::decode_frame(frame),
+            };
+            match result {
                 Ok(packet) => packets.push(packet),
                 Err(error) => failures.push((index, error)),
             }
@@ -1627,7 +1706,7 @@ impl ShardedEnforcer {
             // Sole writer: this thread holds shard 0's drop_log mutex.
             shard
                 .telemetry
-                .publish(&shard.stats, self.core.tables().epoch());
+                .publish(&shard.stats, self.core.tables().epoch(), &shard.health);
         }
         let mut decoded_verdicts = Vec::with_capacity(packets.len());
         self.inspect_batch_into(&packets, &mut decoded_verdicts);
@@ -1651,29 +1730,60 @@ impl ShardedEnforcer {
     fn inspect_source_into(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
         verdicts.clear();
         let len = source.len();
-        if self.core.shard_count() == 1 || len <= 1 {
+        // Overload guard: admit at most the watermark, shed the tail
+        // fail-closed after inspection so verdicts stay in input order.
+        let watermark = self.overload_watermark.load(Ordering::Relaxed);
+        let admitted = if watermark == 0 {
+            len
+        } else {
+            len.min(watermark)
+        };
+        let source = source.truncated(admitted);
+        if self.core.shard_count() == 1 || admitted <= 1 {
             self.core.inspect_sequential(source, verdicts);
-            return;
+        } else {
+            // Pre-size the slot array with **fail-closed** placeholders:
+            // every slot is overwritten by exactly one worker on the normal
+            // path, and a partition whose worker panics has its uninspected
+            // slots converted into attributed `dropped_runtime_fault` drops
+            // by the recovery path — never silent accepts.  An empty
+            // `String` owns no heap, so the resize allocates nothing.
+            verdicts.resize(
+                admitted,
+                Verdict::Drop {
+                    reason: String::new(),
+                },
+            );
+            match self.runtime {
+                BatchRuntime::Scoped => self.core.inspect_scoped(source, verdicts),
+                BatchRuntime::Pool => self
+                    .pool
+                    .get_or_init(|| WorkerPool::spawn(&self.core))
+                    .inspect(source, verdicts),
+            }
         }
-        // Pre-size the slot array with **fail-closed** placeholders: every
-        // slot is overwritten by exactly one worker on the normal path, and
-        // a partition that panics mid-batch leaves its uninspected packets
-        // reading as drops — never as silent accepts — should a caller
-        // catch the re-raised panic and consult the buffer.  An empty
-        // `String` owns no heap, so the resize allocates nothing.
-        verdicts.resize(
-            len,
-            Verdict::Drop {
-                reason: String::new(),
-            },
-        );
-        match self.runtime {
-            BatchRuntime::Scoped => self.core.inspect_scoped(source, verdicts),
-            BatchRuntime::Pool => self
-                .pool
-                .get_or_init(|| WorkerPool::spawn(&self.core))
-                .inspect(&self.core, source, verdicts),
+        if admitted < len {
+            self.shed_overload(len - admitted, verdicts);
         }
+    }
+
+    /// Shed `count` packets fail-closed under the overload guard, appending
+    /// their drop verdicts (they are the batch tail).  Charged to shard 0,
+    /// like wire-decode failures: a shed packet was never routed.
+    fn shed_overload(&self, count: usize, verdicts: &mut Vec<Verdict>) {
+        let shard = &self.core.shards[0];
+        let mut drop_log = shard.drop_log.lock();
+        for _ in 0..count {
+            shard.stats.record_overload();
+            verdicts.push(record_drop(
+                &mut drop_log,
+                DropReason::Static(OVERLOAD_DROP_REASON),
+            ));
+        }
+        // Sole writer: this thread holds shard 0's drop_log mutex.
+        shard
+            .telemetry
+            .publish(&shard.stats, self.core.tables().epoch(), &shard.health);
     }
 
     /// Merged statistics across all shards.
@@ -1721,6 +1831,50 @@ impl ShardedEnforcer {
             .iter()
             .flat_map(|shard| shard.drop_log.lock().to_vec())
             .collect()
+    }
+
+    /// Arm a deterministic fault injector on this enforcer's data plane
+    /// (worker panics, stalls, wire corruption — see
+    /// [`crate::faults::FaultPlan`]).  First install wins; later calls are
+    /// ignored.  Without an installed injector the hooks cost one
+    /// `OnceLock` load per partition.
+    pub fn install_faults(&self, injector: Arc<FaultInjector>) {
+        let _ = self.core.faults.set(injector);
+    }
+
+    /// The armed fault injector, if any.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.core.faults.get()
+    }
+
+    /// Set the overload-guard admission watermark in packets per batch
+    /// (`0` disables the guard).  Batches longer than the watermark have
+    /// their tail shed fail-closed under
+    /// [`EnforcerStats::dropped_overload`] before inspection.
+    pub fn set_overload_watermark(&self, watermark: usize) {
+        self.overload_watermark.store(watermark, Ordering::Relaxed);
+    }
+
+    /// The overload-guard admission watermark (`0` = guard off).
+    pub fn overload_watermark(&self) -> usize {
+        self.overload_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Every shard's current health snapshot, in shard order.
+    pub fn shard_health(&self) -> Vec<ShardHealthSnapshot> {
+        self.core
+            .shards
+            .iter()
+            .map(|shard| shard.health.snapshot())
+            .collect()
+    }
+
+    /// True when any shard is [`HealthState::Quarantined`].
+    pub fn any_quarantined(&self) -> bool {
+        self.core
+            .shards
+            .iter()
+            .any(|shard| shard.health.state() == HealthState::Quarantined)
     }
 
     /// Reset statistics and drop logs on every shard (flow caches are kept;

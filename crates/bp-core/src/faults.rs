@@ -1,0 +1,447 @@
+//! Deterministic fault injection for chaos-testing the data plane.
+//!
+//! A [`FaultPlan`] describes *exactly* which faults fire and when: a worker
+//! panic at batch `N` on shard `S`, a slow-worker stall, wire corruption of
+//! every `K`-th ingress frame, a control-plane commit failure at rollout
+//! ordinal `M`.  The plan is plain data — `Clone + PartialEq` — and
+//! [`FaultPlan::seeded`] derives one deterministically from a 64-bit seed, so
+//! a chaos run is exactly as replayable as every other scenario in this
+//! repository: same seed, same shard count, same faults, same report.
+//!
+//! A [`FaultInjector`] is the armed form of a plan: it owns the per-shard
+//! batch ordinals, the ingress frame ordinal and the commit ordinal, and the
+//! data plane consults it at well-defined hook points:
+//!
+//! * [`FaultInjector::on_partition_start`] — called once per shard per batch
+//!   before any packet of that shard's partition is inspected.  Panics (the
+//!   runtime converts this into fail-closed verdicts, see
+//!   `crates/bp-core/src/runtime.rs`) or stalls per the plan.
+//! * [`FaultInjector::corrupt_next_frame`] — called once per decoded ingress
+//!   frame; when `true` the decoder flips a byte first so the frame fails
+//!   closed through the ordinary typed wire-error path.
+//! * [`FaultInjector::commit_should_fail`] — called once per control-plane
+//!   commit attempt; `Some(ordinal)` makes the transaction fail without
+//!   touching any state.
+//!
+//! When no injector is installed the hooks cost one `OnceLock` load on the
+//! hot path (benchmarked by `fault_overhead`); the counters below are plain
+//! relaxed ordinals — they order nothing, they only count.
+//!
+//! The module also hosts the per-shard **health state machine** the runtime
+//! feeds: [`HealthState::Healthy`] → [`HealthState::Degraded`] on a fault or
+//! stall, back to `Healthy` after a clean streak, and
+//! [`HealthState::Quarantined`] (terminal) once the respawn budget is spent —
+//! a quarantined shard is rerouted to the submitter's inline path forever
+//! after and injection hooks no longer apply to it.
+
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// A worker panic scheduled at a (shard, batch) coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Shard whose partition panics.
+    pub shard: usize,
+    /// Zero-based batch ordinal (per shard) at which the panic fires.
+    pub batch: u64,
+}
+
+/// A slow-worker stall scheduled at a (shard, batch) coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStall {
+    /// Shard whose partition stalls.
+    pub shard: usize,
+    /// Zero-based batch ordinal (per shard) at which the stall fires.
+    pub batch: u64,
+    /// How long the worker sleeps before inspecting the partition.
+    pub millis: u64,
+}
+
+/// A deterministic schedule of data-plane faults.
+///
+/// The default plan is empty (injects nothing); [`FaultPlan::seeded`] derives
+/// a reproducible chaos mix from a seed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Worker panics, identified by (shard, per-shard batch ordinal).
+    pub worker_panics: Vec<WorkerPanic>,
+    /// Slow-worker stalls, identified by (shard, per-shard batch ordinal).
+    pub stalls: Vec<WorkerStall>,
+    /// Corrupt every `n`-th decoded ingress frame (1-based: `n = 4` corrupts
+    /// frames 3, 7, 11, … counting from zero).
+    pub corrupt_every: Option<NonZeroU64>,
+    /// Control-plane commit ordinals (zero-based attempts) that fail.
+    pub fail_commits: Vec<u64>,
+}
+
+/// SplitMix64 step — the repository's stock seed expander (no external RNG
+/// crates in bp-core).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Derive a deterministic chaos plan from `seed` for an enforcer with
+    /// `shards` shards: one worker panic on **every** shard within the first
+    /// few batches, wire corruption of every 8–23rd frame, and one commit
+    /// failure among the first four rollout attempts.  Stalls are left empty
+    /// (they cost wall-clock time; schedule them explicitly when wanted).
+    pub fn seeded(seed: u64, shards: usize) -> FaultPlan {
+        let mut state = seed;
+        let worker_panics = (0..shards.max(1))
+            .map(|shard| WorkerPanic {
+                shard,
+                batch: 1 + splitmix64(&mut state) % 6,
+            })
+            .collect();
+        let corrupt_every = NonZeroU64::new(8 + splitmix64(&mut state) % 16);
+        let fail_commits = vec![splitmix64(&mut state) % 4];
+        FaultPlan {
+            worker_panics,
+            stalls: Vec::new(),
+            corrupt_every,
+            fail_commits,
+        }
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.worker_panics.is_empty()
+            && self.stalls.is_empty()
+            && self.corrupt_every.is_none()
+            && self.fail_commits.is_empty()
+    }
+}
+
+/// An armed [`FaultPlan`]: the plan plus the ordinal counters that decide
+/// *which* partition/frame/commit each scheduled fault lands on.
+///
+/// The counters are relaxed atomics — they are pure ordinals and order
+/// nothing; determinism comes from the serialized call sites (batch
+/// submission holds the submit lock, frame decode and commit run on the
+/// caller's thread).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-shard batch ordinal, bumped once per `on_partition_start`.
+    batches: Vec<AtomicU64>,
+    /// Ingress frame ordinal, bumped once per `corrupt_next_frame`.
+    frames: AtomicU64,
+    /// Control-plane commit ordinal, bumped once per `commit_should_fail`.
+    commits: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Arm `plan` for an enforcer with `shards` shards.
+    pub fn new(plan: FaultPlan, shards: usize) -> FaultInjector {
+        FaultInjector {
+            plan,
+            batches: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            frames: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this injector was armed with.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Hook: a partition for `shard` is about to be inspected.  Bumps the
+    /// shard's batch ordinal, then stalls and/or panics if the plan schedules
+    /// a fault at this coordinate.  The panic is the injected fault — callers
+    /// run partitions under `catch_unwind` and fail the partition closed.
+    pub fn on_partition_start(&self, shard: usize) {
+        let Some(counter) = self.batches.get(shard) else {
+            return;
+        };
+        let batch = counter.fetch_add(1, Ordering::Relaxed);
+        for stall in &self.plan.stalls {
+            if stall.shard == shard && stall.batch == batch {
+                std::thread::sleep(Duration::from_millis(stall.millis));
+            }
+        }
+        if self
+            .plan
+            .worker_panics
+            .iter()
+            .any(|p| p.shard == shard && p.batch == batch)
+        {
+            panic!("injected worker fault: shard {shard} batch {batch}");
+        }
+    }
+
+    /// Hook: an ingress frame is about to be decoded.  Returns true when the
+    /// plan schedules corruption for this frame ordinal.
+    pub fn corrupt_next_frame(&self) -> bool {
+        let Some(every) = self.plan.corrupt_every else {
+            return false;
+        };
+        let frame = self.frames.fetch_add(1, Ordering::Relaxed);
+        (frame + 1) % every.get() == 0
+    }
+
+    /// Hook: a control-plane commit is being attempted.  Returns
+    /// `Some(ordinal)` when the plan schedules this attempt to fail.
+    pub fn commit_should_fail(&self) -> Option<u64> {
+        let ordinal = self.commits.fetch_add(1, Ordering::Relaxed);
+        self.plan.fail_commits.contains(&ordinal).then_some(ordinal)
+    }
+}
+
+/// The per-shard health state the runtime maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum HealthState {
+    /// Serving normally.
+    #[default]
+    Healthy = 0,
+    /// At least one fault or stall observed; recovers to [`HealthState::Healthy`]
+    /// after [`CLEAN_BATCHES_TO_RECOVER`] consecutive clean batches.
+    Degraded = 1,
+    /// Respawn budget exhausted — the shard's partitions run inline on the
+    /// submitter forever after.  Terminal.
+    Quarantined = 2,
+}
+
+impl HealthState {
+    /// Decode from a telemetry word; unknown values read as `Healthy` (the
+    /// seqlock checksum catches genuinely torn snapshots).
+    pub fn from_word(word: u64) -> HealthState {
+        match word {
+            1 => HealthState::Degraded,
+            2 => HealthState::Quarantined,
+            _ => HealthState::Healthy,
+        }
+    }
+
+    /// Short label for dashboards and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Consecutive clean batches a [`HealthState::Degraded`] shard must serve
+/// before it is promoted back to [`HealthState::Healthy`].
+pub const CLEAN_BATCHES_TO_RECOVER: u64 = 16;
+
+/// A point-in-time copy of one shard's health, as published through the
+/// telemetry seqlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardHealthSnapshot {
+    /// Current state.
+    pub state: HealthState,
+    /// Worker panics absorbed (fail-closed partitions).
+    pub faults: u64,
+    /// Workers respawned after a panic.
+    pub respawns: u64,
+    /// Partitions flagged by the stall watchdog.
+    pub stalls: u64,
+}
+
+/// The live per-shard health state machine.
+///
+/// All fields are relaxed atomics: transitions are advisory (they steer
+/// routing and reporting, never data correctness) and the writers are either
+/// the shard's single worker or the serialized submitter.
+#[derive(Debug)]
+pub struct ShardHealth {
+    state: AtomicU8,
+    faults: AtomicU64,
+    respawns: AtomicU64,
+    stalls: AtomicU64,
+    clean_streak: AtomicU64,
+    /// Batch-scoped completion flag for the stall watchdog: the submitter
+    /// clears it before dispatching a partition, the worker sets it when the
+    /// partition finishes (cleanly or fail-closed).
+    batch_done: AtomicBool,
+}
+
+impl Default for ShardHealth {
+    fn default() -> Self {
+        ShardHealth {
+            state: AtomicU8::new(HealthState::Healthy as u8),
+            faults: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            clean_streak: AtomicU64::new(0),
+            // Starts `true`: the watchdog must only flag shards with a
+            // partition actually in flight, and no dispatch has happened
+            // yet — the submitter clears this right before each dispatch.
+            batch_done: AtomicBool::new(true),
+        }
+    }
+}
+
+impl ShardHealth {
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        HealthState::from_word(self.state.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Snapshot every published counter.
+    pub fn snapshot(&self) -> ShardHealthSnapshot {
+        ShardHealthSnapshot {
+            state: self.state(),
+            faults: self.faults.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A partition of this shard panicked and was failed closed.
+    pub(crate) fn record_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.clean_streak.store(0, Ordering::Relaxed);
+        let _ = self.state.compare_exchange(
+            HealthState::Healthy as u8,
+            HealthState::Degraded as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The submitter respawned this shard's worker.
+    pub(crate) fn record_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stall watchdog flagged a partition stuck past the deadline.
+    pub(crate) fn record_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+        self.clean_streak.store(0, Ordering::Relaxed);
+        let _ = self.state.compare_exchange(
+            HealthState::Healthy as u8,
+            HealthState::Degraded as u8,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The respawn budget is spent: quarantine the shard (terminal).
+    pub(crate) fn quarantine(&self) {
+        self.state
+            .store(HealthState::Quarantined as u8, Ordering::Relaxed);
+    }
+
+    /// A partition completed cleanly; a degraded shard recovers after
+    /// [`CLEAN_BATCHES_TO_RECOVER`] in a row.
+    pub(crate) fn note_clean_batch(&self) {
+        if self.state.load(Ordering::Relaxed) != HealthState::Degraded as u8 {
+            return;
+        }
+        let streak = self.clean_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= CLEAN_BATCHES_TO_RECOVER {
+            self.clean_streak.store(0, Ordering::Relaxed);
+            let _ = self.state.compare_exchange(
+                HealthState::Degraded as u8,
+                HealthState::Healthy as u8,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Watchdog plumbing: mark this shard's partition as not-yet-finished
+    /// (`done = false` before dispatch) or finished.
+    pub(crate) fn set_batch_done(&self, done: bool) {
+        self.batch_done.store(done, Ordering::Relaxed);
+    }
+
+    /// Watchdog plumbing: has the dispatched partition finished?
+    pub(crate) fn batch_done(&self) -> bool {
+        self.batch_done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_every_shard() {
+        let a = FaultPlan::seeded(0xC0FFEE, 4);
+        let b = FaultPlan::seeded(0xC0FFEE, 4);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let shards: Vec<usize> = a.worker_panics.iter().map(|p| p.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3]);
+        assert!(a.worker_panics.iter().all(|p| (1..=6).contains(&p.batch)));
+        assert_ne!(a, FaultPlan::seeded(0xC0FFEF, 4));
+    }
+
+    #[test]
+    fn injector_fires_at_the_scheduled_batch_only() {
+        let plan = FaultPlan {
+            worker_panics: vec![WorkerPanic { shard: 1, batch: 2 }],
+            ..FaultPlan::default()
+        };
+        let injector = FaultInjector::new(plan, 2);
+        injector.on_partition_start(0); // shard 0 never panics
+        injector.on_partition_start(1); // batch 0
+        injector.on_partition_start(1); // batch 1
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            injector.on_partition_start(1)
+        }));
+        assert!(result.is_err(), "batch 2 on shard 1 must panic");
+        injector.on_partition_start(1); // batch 3: recovered
+        injector.on_partition_start(7); // out-of-range shard is a no-op
+    }
+
+    #[test]
+    fn frame_corruption_hits_every_nth_frame() {
+        let plan = FaultPlan {
+            corrupt_every: NonZeroU64::new(4),
+            ..FaultPlan::default()
+        };
+        let injector = FaultInjector::new(plan, 1);
+        let hits: Vec<bool> = (0..8).map(|_| injector.corrupt_next_frame()).collect();
+        assert_eq!(
+            hits,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn commit_failures_hit_the_scheduled_ordinals() {
+        let plan = FaultPlan {
+            fail_commits: vec![1],
+            ..FaultPlan::default()
+        };
+        let injector = FaultInjector::new(plan, 1);
+        assert_eq!(injector.commit_should_fail(), None);
+        assert_eq!(injector.commit_should_fail(), Some(1));
+        assert_eq!(injector.commit_should_fail(), None);
+    }
+
+    #[test]
+    fn health_state_machine_degrades_recovers_and_quarantines() {
+        let health = ShardHealth::default();
+        assert_eq!(health.state(), HealthState::Healthy);
+        health.record_fault();
+        assert_eq!(health.state(), HealthState::Degraded);
+        assert_eq!(health.snapshot().faults, 1);
+        for _ in 0..CLEAN_BATCHES_TO_RECOVER {
+            health.note_clean_batch();
+        }
+        assert_eq!(health.state(), HealthState::Healthy);
+        health.record_stall();
+        assert_eq!(health.state(), HealthState::Degraded);
+        health.quarantine();
+        assert_eq!(health.state(), HealthState::Quarantined);
+        // Quarantine is terminal: clean batches do not resurrect the shard.
+        for _ in 0..2 * CLEAN_BATCHES_TO_RECOVER {
+            health.note_clean_batch();
+        }
+        assert_eq!(health.state(), HealthState::Quarantined);
+    }
+}

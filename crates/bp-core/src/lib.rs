@@ -28,7 +28,12 @@
 //! * [`runtime`] — the data-plane worker runtime: a persistent per-shard
 //!   worker pool fed through bounded SPSC rings, replacing the
 //!   spawn-per-batch model so small batches cost a wake/park handshake
-//!   instead of OS thread creation.
+//!   instead of OS thread creation.  A panicked partition fails closed and
+//!   the worker is respawned under a bounded backoff budget; shards that
+//!   exhaust the budget are quarantined to the inline path.
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`],
+//!   [`faults::FaultInjector`]) and the per-shard health state machine
+//!   (Healthy → Degraded → Quarantined) chaos runs exercise.
 //! * [`sanitizer`] — the **Packet Sanitizer**: strips the context option from
 //!   conforming packets before they leave the enterprise perimeter.
 //! * [`telemetry`] — the seqlock-published per-shard telemetry snapshot the
@@ -64,6 +69,7 @@ pub mod context;
 pub mod control;
 pub mod encoding;
 pub mod enforcer;
+pub mod faults;
 pub mod flow;
 pub mod offline;
 pub mod policy;
@@ -83,6 +89,10 @@ pub use encoding::{ContextEncoding, DecodedHeader, EncodedContext, MAX_CONTEXT_P
 pub use enforcer::{
     AtomicEnforcerStats, DropLog, DropReason, EnforcementTables, EnforcerConfig, EnforcerStats,
     PolicyDelta, PolicyEnforcer, PolicyReuse, ShardedEnforcer, TableReuse, WireDropStats,
+    OVERLOAD_DROP_REASON, RUNTIME_FAULT_DROP_REASON,
+};
+pub use faults::{
+    FaultInjector, FaultPlan, HealthState, ShardHealthSnapshot, WorkerPanic, WorkerStall,
 };
 pub use flow::{CachedOutcome, FlowProbe, FlowTable, FlowTableConfig};
 pub use offline::{

@@ -33,6 +33,16 @@
 //!   per packet exactly as the scoped path did, so a control-plane
 //!   [`commit`](crate::control::Transaction::commit) mid-batch takes effect
 //!   on every later packet of that batch.
+//! * **Self-healing**: a worker panic (injected by a
+//!   [`FaultPlan`](crate::faults::FaultPlan) or real) never crosses the
+//!   submitter.  The panicked partition's uninspected packets **fail
+//!   closed** under `dropped_runtime_fault`, the worker thread is retired
+//!   and respawned under a bounded backoff budget
+//!   (`RESPAWN_BUDGET`), and a shard that exhausts the budget is
+//!   **quarantined**: its partitions run inline on the submitting thread
+//!   forever after.  A watchdog flags partitions stuck past
+//!   `STALL_DEADLINE` into the shard's health state.  The enforcer keeps
+//!   serving batches through all of it.
 //! * **Shutdown joins**: dropping the pool (i.e. the owning
 //!   [`ShardedEnforcer`]) sends every worker a shutdown message and joins it —
 //!   no detached threads outlive the enforcer.
@@ -64,13 +74,15 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle, Thread};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use bp_netsim::netfilter::Verdict;
 use bp_netsim::packet::Ipv4Packet;
 
-use crate::enforcer::EnforcerCore;
+use crate::enforcer::{record_drop, DropReason, EnforcerCore, RUNTIME_FAULT_DROP_REASON};
+use crate::faults::HealthState;
 
 /// How [`ShardedEnforcer::inspect_batch`] fans a batch across its shards.
 ///
@@ -347,6 +359,22 @@ impl PacketSource {
         }
     }
 
+    /// This view limited to its first `new_len` packets (no-op when the
+    /// batch is already at most that long).  The overload guard inspects the
+    /// truncated head and sheds the tail fail-closed.
+    pub(crate) fn truncated(self, new_len: usize) -> Self {
+        match self {
+            PacketSource::Slice { ptr, len } => PacketSource::Slice {
+                ptr,
+                len: len.min(new_len),
+            },
+            PacketSource::Refs { ptr, len } => PacketSource::Refs {
+                ptr,
+                len: len.min(new_len),
+            },
+        }
+    }
+
     /// The packet at `index`.
     ///
     /// # Safety
@@ -423,7 +451,19 @@ impl EnforcerCore {
         indexes: &[u32],
         slots: VerdictSlots,
     ) {
-        let shard = &self.shards[shard];
+        let shard_index = shard;
+        let shard = &self.shards[shard_index];
+        // Deterministic fault injection fires at partition start, before any
+        // packet or lock is touched: the whole partition fails closed, which
+        // keeps the faulted set a pure function of the plan and the batch
+        // ordinal.  Quarantined shards are past their fault schedule by
+        // construction (the budget is exhausted), so injection is suppressed
+        // and the inline reroute serves them indefinitely.
+        if let Some(injector) = self.faults.get() {
+            if shard.health.state() != HealthState::Quarantined {
+                injector.on_partition_start(shard_index);
+            }
+        }
         // Shard lock order: scratch → drop_log → flow, matching
         // `EnforcerCore::inspect` — an inline inspect and a batch worker
         // contending for the same shard must never interleave acquisition.
@@ -451,7 +491,68 @@ impl EnforcerCore {
         // Publish once per partition, not per packet: the batch paths keep
         // telemetry out of the per-packet budget.  Still holding drop_log,
         // which is the telemetry single-writer token.
-        shard.telemetry.publish(&shard.stats, tables.epoch());
+        shard.health.note_clean_batch();
+        shard
+            .telemetry
+            .publish(&shard.stats, tables.epoch(), &shard.health);
+    }
+
+    /// Fail a panicked partition closed: every index whose slot still holds
+    /// the submitter's empty-reason placeholder was never inspected, and
+    /// drops under `dropped_runtime_fault`.  Slots the partition wrote
+    /// before unwinding keep their real verdicts — the packet *was*
+    /// inspected.  Records the fault on the shard's health and republishes
+    /// telemetry so the degradation is immediately observable.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`run_partition`](Self::run_partition): indexes in
+    /// bounds, batch alive, slots exclusive to this partition.
+    pub(crate) unsafe fn fail_close_partition(
+        &self,
+        shard: usize,
+        indexes: &[u32],
+        slots: VerdictSlots,
+    ) {
+        let shard = &self.shards[shard];
+        shard.health.record_fault();
+        let mut drop_log = shard.drop_log.lock();
+        for &index in indexes {
+            let slot = &mut *slots.0.add(index as usize);
+            let uninspected = matches!(&*slot, Verdict::Drop { reason } if reason.is_empty());
+            if !uninspected {
+                continue;
+            }
+            shard.stats.record_runtime_fault();
+            *slot = record_drop(&mut drop_log, DropReason::Static(RUNTIME_FAULT_DROP_REASON));
+        }
+        shard
+            .telemetry
+            .publish(&shard.stats, self.tables().epoch(), &shard.health);
+    }
+
+    /// Run one partition under `catch_unwind`; a panic (injected or real)
+    /// fails the uninspected remainder closed instead of crossing the
+    /// caller.  Returns whether the partition completed cleanly.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`run_partition`](Self::run_partition).
+    pub(crate) unsafe fn run_partition_caught(
+        &self,
+        shard: usize,
+        source: PacketSource,
+        indexes: &[u32],
+        slots: VerdictSlots,
+    ) -> bool {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            self.run_partition(shard, source, indexes, slots);
+        }));
+        if outcome.is_err() {
+            // Fail closed, never open: nothing uninspected may pass.
+            self.fail_close_partition(shard, indexes, slots);
+        }
+        outcome.is_ok()
     }
 
     /// The scoped-spawn batch baseline: partition by flow, spawn one scoped
@@ -478,7 +579,7 @@ impl EnforcerCore {
                     // SAFETY: indexes are in bounds by construction, the
                     // batch outlives the scope, and partitions are disjoint
                     // so no slot is written twice.
-                    unsafe { self.run_partition(shard, source, indexes, *slots) };
+                    unsafe { self.run_partition_caught(shard, source, indexes, *slots) };
                 });
             }
         });
@@ -486,26 +587,84 @@ impl EnforcerCore {
 
     /// The single-shard / tiny-batch path: inspect every packet of the
     /// batch inline, appending verdicts in input order.
+    ///
+    /// Fault injection fires on the first packet that touches a shard in
+    /// the batch (the sequential analogue of a partition start); a panic
+    /// fails the uninspected tail closed per packet on each packet's own
+    /// shard — same invariant as the pooled recovery: nothing uninspected
+    /// ever passes, and the batch call returns normally.
     pub(crate) fn inspect_sequential(&self, source: PacketSource, verdicts: &mut Vec<Verdict>) {
         let len = source.len();
         verdicts.reserve(len);
         // Defer telemetry publication to batch end (one seqlock write per
         // touched shard, not per packet); shards are tracked in a bitmask
         // while the count fits one word, else every shard is published.
+        // This path only runs multi-packet batches when `shard_count == 1`,
+        // so the bitmask doubles as the first-touch injection trigger.
         let track_touched = self.shards.len() <= u64::BITS as usize;
         let mut touched: u64 = 0;
-        for index in 0..len {
-            // SAFETY: `index < len` and the caller's batch outlives this
-            // call.
-            let packet = unsafe { source.get(index) };
-            let shard = self.shard_for(packet);
-            if track_touched {
-                touched |= 1 << shard;
+        let injector = self.faults.get();
+        let outcome = {
+            let touched = &mut touched;
+            let verdicts = &mut *verdicts;
+            panic::catch_unwind(AssertUnwindSafe(move || {
+                for index in verdicts.len()..len {
+                    // SAFETY: `index < len` and the caller's batch outlives
+                    // this call.
+                    let packet = unsafe { source.get(index) };
+                    let shard = self.shard_for(packet);
+                    let first_touch = if track_touched {
+                        let bit = 1u64 << shard;
+                        let first = *touched & bit == 0;
+                        *touched |= bit;
+                        first
+                    } else {
+                        // > 64 shards only reaches here with a <= 1 packet
+                        // batch, where every touch is a first touch.
+                        true
+                    };
+                    if first_touch {
+                        if let Some(injector) = injector {
+                            if self.shards[shard].health.state() != HealthState::Quarantined {
+                                injector.on_partition_start(shard);
+                            }
+                        }
+                    }
+                    verdicts.push(self.inspect_on_shard(packet, shard, false));
+                }
+            }))
+        };
+        if outcome.is_err() {
+            // `verdicts.len()` is the first uninspected index: push wasn't
+            // reached for the packet that unwound, nor for any after it.
+            // Fail the whole tail closed on each packet's own shard.
+            let from = verdicts.len();
+            if from < len {
+                // SAFETY: `from < len` and the batch is alive.
+                let faulted = self.shard_for(unsafe { source.get(from) });
+                self.shards[faulted].health.record_fault();
+                for index in from..len {
+                    // SAFETY: `index < len` and the batch is alive.
+                    let packet = unsafe { source.get(index) };
+                    let shard = self.shard_for(packet);
+                    if track_touched {
+                        touched |= 1 << shard;
+                    }
+                    let shard = &self.shards[shard];
+                    let mut drop_log = shard.drop_log.lock();
+                    shard.stats.record_runtime_fault();
+                    verdicts.push(record_drop(
+                        &mut drop_log,
+                        DropReason::Static(RUNTIME_FAULT_DROP_REASON),
+                    ));
+                }
             }
-            verdicts.push(self.inspect_on_shard(packet, shard, false));
         }
         for shard in 0..self.shards.len() {
             if !track_touched || touched & (1 << shard) != 0 {
+                if outcome.is_ok() {
+                    self.shards[shard].health.note_clean_batch();
+                }
                 self.publish_shard_telemetry(shard);
             }
         }
@@ -517,8 +676,6 @@ impl EnforcerCore {
 struct BatchSync {
     /// Dispatched partitions still running.
     pending: AtomicUsize,
-    /// Set when a worker's partition panicked; re-raised by the submitter.
-    poisoned: AtomicBool,
     /// The submitting thread, unparked by the final countdown.
     waiter: Thread,
 }
@@ -547,16 +704,41 @@ enum Message {
     Shutdown,
 }
 
+/// How long a dispatched partition may run before the submitter's watchdog
+/// flags its shard as stalled.  The wait itself never gives up — the workers
+/// hold pointers into the submitter's frame, so abandoning them would be a
+/// use-after-free — but the stall is recorded into the shard's health state
+/// for the observability plane.  Wall-clock dependent, so stall flags are
+/// deliberately *not* part of the deterministic chaos report surface.
+const STALL_DEADLINE: Duration = Duration::from_millis(250);
+
 /// Waits for the batch countdown even when the guarded scope unwinds: the
 /// workers hold pointers into the submitter's frame (verdict slots,
 /// partition buffers, the countdown itself), so returning — or panicking —
 /// before they finish would free memory out from under them.
-struct WaitForBatch<'a>(&'a BatchSync);
+///
+/// Doubles as the stall watchdog: once the wait exceeds [`STALL_DEADLINE`],
+/// every shard still mid-batch (its `batch_done` flag unset) is flagged
+/// degraded via [`ShardHealth::record_stall`](crate::faults::ShardHealth).
+struct WaitForBatch<'a> {
+    sync: &'a BatchSync,
+    core: &'a EnforcerCore,
+}
 
 impl Drop for WaitForBatch<'_> {
     fn drop(&mut self) {
-        while self.0.pending.load(Ordering::Acquire) != 0 {
-            thread::park();
+        let deadline = Instant::now() + STALL_DEADLINE;
+        let mut flagged = false;
+        while self.sync.pending.load(Ordering::Acquire) != 0 {
+            thread::park_timeout(STALL_DEADLINE);
+            if !flagged && Instant::now() >= deadline {
+                flagged = true;
+                for shard in &self.core.shards {
+                    if !shard.health.batch_done() {
+                        shard.health.record_stall();
+                    }
+                }
+            }
         }
     }
 }
@@ -570,11 +752,30 @@ impl Drop for WaitForBatch<'_> {
 /// message.
 const LANE_CAPACITY: usize = 2;
 
-/// One worker's submission lane: its ring producer plus its thread handle
-/// for unparking.
+/// How many times a shard's worker is respawned after panics before the
+/// shard is quarantined to the inline path for good.  Between respawns the
+/// lane sits out an exponentially growing number of batches
+/// (2, 4, 8 — `1 << respawns`), served inline meanwhile, so a
+/// crash-looping shard cannot monopolize the submitter with respawn work.
+const RESPAWN_BUDGET: u32 = 3;
+
+/// One worker's submission lane: its ring producer, its thread handle for
+/// unparking, and the respawn bookkeeping the self-healing path maintains.
 struct Lane {
     jobs: SpscSender<Message>,
     worker: Thread,
+    /// Cleared by the worker itself when a partition panics: the thread
+    /// retires after counting the batch down, and the next submission
+    /// respawns or reroutes.  Only written while the worker owns a job and
+    /// only read under the submission lock with no job in flight, so plain
+    /// relaxed ordering suffices.
+    alive: Arc<AtomicBool>,
+    /// Joined before the lane is respawned or the pool drops.
+    handle: Option<JoinHandle<()>>,
+    /// Respawns consumed from [`RESPAWN_BUDGET`].
+    respawns: u32,
+    /// Batches left to sit out (inline-served) before the next respawn.
+    cooldown: u32,
 }
 
 /// Producer-side state, serialized by the submission lock: the per-worker
@@ -590,7 +791,9 @@ struct SubmitState {
 /// the owning [`ShardedEnforcer`](crate::enforcer::ShardedEnforcer).
 pub(crate) struct WorkerPool {
     submit: Mutex<SubmitState>,
-    handles: Vec<JoinHandle<()>>,
+    /// The enforcer the workers serve; owned so the respawn path can build
+    /// replacement workers without the caller re-threading it through.
+    core: Arc<EnforcerCore>,
     /// Workers that have not yet exited their loop; drained to zero by the
     /// shutdown join.  Kept behind an `Arc` so tests can watch it across the
     /// pool's own drop.
@@ -600,28 +803,56 @@ pub(crate) struct WorkerPool {
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.handles.len())
+            .field("shards", &self.core.shard_count())
             .field("live", &self.live_workers.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
+}
+
+/// Spawn one shard worker: ring, alive flag, named thread.  Increments
+/// `live` before the thread starts (and backs the increment out if the
+/// spawn fails), so the count never underflows however short-lived the
+/// worker turns out to be.
+fn spawn_worker(
+    core: &Arc<EnforcerCore>,
+    shard: usize,
+    live: &Arc<AtomicUsize>,
+) -> std::io::Result<Lane> {
+    let (jobs, ring) = spsc_ring::<Message>(LANE_CAPACITY);
+    let alive = Arc::new(AtomicBool::new(true));
+    let worker_core = Arc::clone(core);
+    let worker_live = Arc::clone(live);
+    let worker_alive = Arc::clone(&alive);
+    live.fetch_add(1, Ordering::Release);
+    let spawned = thread::Builder::new()
+        .name(format!("bp-enforcer-shard-{shard}"))
+        .spawn(move || worker_loop(worker_core, shard, ring, worker_live, worker_alive));
+    let handle = match spawned {
+        Ok(handle) => handle,
+        Err(error) => {
+            live.fetch_sub(1, Ordering::Release);
+            return Err(error);
+        }
+    };
+    Ok(Lane {
+        jobs,
+        worker: handle.thread().clone(),
+        alive,
+        handle: Some(handle),
+        respawns: 0,
+        cooldown: 0,
+    })
 }
 
 impl WorkerPool {
     /// Spawn one worker per shard of `core`.
     pub(crate) fn spawn(core: &Arc<EnforcerCore>) -> WorkerPool {
         let shard_count = core.shard_count();
-        let live_workers = Arc::new(AtomicUsize::new(shard_count));
+        let live_workers = Arc::new(AtomicUsize::new(0));
         let mut lanes: Vec<Lane> = Vec::with_capacity(shard_count);
-        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
-            let (jobs, ring) = spsc_ring::<Message>(LANE_CAPACITY);
-            let worker_core = Arc::clone(core);
-            let live = Arc::clone(&live_workers);
-            let spawned = thread::Builder::new()
-                .name(format!("bp-enforcer-shard-{shard}"))
-                .spawn(move || worker_loop(worker_core, shard, ring, live));
-            let handle = match spawned {
-                Ok(handle) => handle,
+            match spawn_worker(core, shard, &live_workers) {
+                Ok(lane) => lanes.push(lane),
                 Err(error) => {
                     // Partial spawn (thread/resource exhaustion): shut down
                     // and join the workers already running before failing,
@@ -632,25 +863,78 @@ impl WorkerPool {
                         let _ = lane.jobs.push(Message::Shutdown);
                         lane.worker.unpark();
                     }
-                    for handle in handles {
-                        let _ = handle.join();
+                    for lane in &mut lanes {
+                        if let Some(handle) = lane.handle.take() {
+                            let _ = handle.join();
+                        }
                     }
                     panic!("spawn enforcer shard worker: {error}");
                 }
-            };
-            lanes.push(Lane {
-                jobs,
-                worker: handle.thread().clone(),
-            });
-            handles.push(handle);
+            }
         }
         WorkerPool {
             submit: Mutex::new(SubmitState {
                 lanes,
                 partitions: vec![Vec::new(); shard_count],
             }),
-            handles,
+            core: Arc::clone(core),
             live_workers,
+        }
+    }
+
+    /// Bring `lane` to a dispatchable state, consuming respawn budget as
+    /// needed.  Returns whether the lane can take this batch's partition;
+    /// `false` means the partition runs inline on the submitter.
+    ///
+    /// Called under the submission lock with no batch in flight, so the
+    /// `alive` flag it reads cannot change concurrently (workers only retire
+    /// while they own a job).
+    fn ensure_lane(
+        core: &Arc<EnforcerCore>,
+        shard: usize,
+        lane: &mut Lane,
+        live: &Arc<AtomicUsize>,
+    ) -> bool {
+        let health = &core.shards[shard].health;
+        if health.state() == HealthState::Quarantined {
+            return false;
+        }
+        if lane.alive.load(Ordering::Relaxed) {
+            return true;
+        }
+        if lane.respawns >= RESPAWN_BUDGET {
+            // Budget exhausted: the shard is quarantined for the lifetime of
+            // the pool and served inline from here on.
+            health.quarantine();
+            return false;
+        }
+        if lane.cooldown > 0 {
+            // Sitting out the backoff window; the partition runs inline.
+            lane.cooldown -= 1;
+            return false;
+        }
+        // Join the retired worker before replacing its lane: it has already
+        // counted its last batch down, so the join is prompt, and it must
+        // not outlive its ring's producer side.
+        if let Some(handle) = lane.handle.take() {
+            let _ = handle.join();
+        }
+        lane.respawns += 1;
+        let respawns = lane.respawns;
+        let cooldown = 1 << respawns;
+        match spawn_worker(core, shard, live) {
+            Ok(fresh) => {
+                *lane = fresh;
+                lane.respawns = respawns;
+                lane.cooldown = cooldown;
+                health.record_respawn();
+                true
+            }
+            Err(_) => {
+                // The attempt consumed budget; retry after the cooldown.
+                lane.cooldown = cooldown;
+                false
+            }
         }
     }
 
@@ -666,11 +950,19 @@ impl WorkerPool {
     /// shard but the last to its worker, run the last partition on the
     /// submitting thread, wait for the countdown.
     ///
+    /// Self-healing: shards whose worker retired after a panic are respawned
+    /// here under the backoff budget (see [`Lane`]); shards past the budget
+    /// are quarantined and their partitions — like those of lanes mid
+    /// cooldown — run inline on the submitting thread.  Either way the call
+    /// returns normally with every slot holding a real verdict; a panicked
+    /// partition's uninspected packets fail closed.
+    ///
     /// `out` must hold exactly `source.len()` initialized verdict slots;
     /// each is overwritten in place.  On the all-accept path this performs
     /// no allocation: the partition buffers are reused, the jobs are
     /// fixed-size ring slots and the verdicts land in `out`.
-    pub(crate) fn inspect(&self, core: &EnforcerCore, source: PacketSource, out: &mut [Verdict]) {
+    pub(crate) fn inspect(&self, source: PacketSource, out: &mut [Verdict]) {
+        let core = &self.core;
         debug_assert_eq!(out.len(), source.len());
         let mut state = self.submit.lock();
         let SubmitState { lanes, partitions } = &mut *state;
@@ -687,11 +979,23 @@ impl WorkerPool {
         let Some(last_busy) = partitions.iter().rposition(|p| !p.is_empty()) else {
             return;
         };
-        let busy = partitions.iter().filter(|p| !p.is_empty()).count();
+
+        // Pass 1 — route: respawn/quarantine side effects happen before any
+        // dispatch so the pending count is exact when the first job lands.
+        // Routing is stable between the passes: workers only retire while
+        // they own a job, and none is in flight under the submission lock.
+        let mut dispatched = 0usize;
+        for (shard, partition) in partitions.iter().enumerate() {
+            if partition.is_empty() || shard == last_busy {
+                continue;
+            }
+            if Self::ensure_lane(core, shard, &mut lanes[shard], &self.live_workers) {
+                dispatched += 1;
+            }
+        }
 
         let sync = BatchSync {
-            pending: AtomicUsize::new(busy - 1),
-            poisoned: AtomicBool::new(false),
+            pending: AtomicUsize::new(dispatched),
             waiter: thread::current(),
         };
         let slots = VerdictSlots(out.as_mut_ptr());
@@ -699,11 +1003,22 @@ impl WorkerPool {
             // The guard waits for every already-dispatched worker no matter
             // what panics below — workers hold pointers into this frame, so
             // unwinding past them would be a use-after-free, not a panic.
-            let _wait = WaitForBatch(&sync);
+            let _wait = WaitForBatch { sync: &sync, core };
+            // Pass 2 — dispatch to live lanes, run the rest inline.
             for (shard, partition) in partitions.iter().enumerate() {
                 if partition.is_empty() || shard == last_busy {
                     continue;
                 }
+                let lane = &mut lanes[shard];
+                let dispatchable = lane.alive.load(Ordering::Relaxed)
+                    && core.shards[shard].health.state() != HealthState::Quarantined;
+                if !dispatchable {
+                    // SAFETY: indexes in bounds, batch alive, partitions
+                    // disjoint; a panic fails the partition closed.
+                    unsafe { core.run_partition_caught(shard, source, partition, slots) };
+                    continue;
+                }
+                core.shards[shard].health.set_batch_done(false);
                 let job = BatchJob {
                     source,
                     indexes: partition.as_ptr(),
@@ -711,7 +1026,6 @@ impl WorkerPool {
                     slots,
                     sync: &sync,
                 };
-                let lane = &mut lanes[shard];
                 match lane.jobs.push(Message::Batch(job)) {
                     Ok(()) => lane.worker.unpark(),
                     // Unreachable while submission is serialized (the ring
@@ -720,12 +1034,13 @@ impl WorkerPool {
                     // panicking mid-dispatch.  Count it down *first*: the
                     // countdown tracks work other threads owe this frame.
                     Err(Message::Batch(job)) => {
+                        core.shards[shard].health.set_batch_done(true);
                         sync.pending.fetch_sub(1, Ordering::Release);
                         // SAFETY: same contract as the worker side — indexes
                         // in bounds, batch alive, partition disjoint.
                         unsafe {
                             let indexes = std::slice::from_raw_parts(job.indexes, job.index_count);
-                            core.run_partition(shard, job.source, indexes, job.slots);
+                            core.run_partition_caught(shard, job.source, indexes, job.slots);
                         }
                     }
                     Err(Message::Shutdown) => {
@@ -736,40 +1051,40 @@ impl WorkerPool {
             // SAFETY: indexes are in bounds by construction, the batch is
             // alive for the whole call, and `last_busy`'s indexes are
             // disjoint from every dispatched partition.
-            unsafe { core.run_partition(last_busy, source, &partitions[last_busy], slots) };
-        }
-        if sync.poisoned.load(Ordering::Relaxed) {
-            panic!("enforcer shard panicked");
+            unsafe { core.run_partition_caught(last_busy, source, &partitions[last_busy], slots) };
         }
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.submit.lock();
-            for lane in &mut state.lanes {
-                if lane.jobs.push(Message::Shutdown).is_err() {
-                    unreachable!("worker lane overflow: no batch can be in flight during drop");
-                }
-                lane.worker.unpark();
-            }
+        let state = self.submit.get_mut();
+        for lane in &mut state.lanes {
+            // A retired lane's receiver is gone; the shutdown message then
+            // sits in a ring nobody drains, which the ring's own drop
+            // reclaims.  Push failure (full ring) is likewise only possible
+            // on a retired lane — a live lane's ring is empty between
+            // batches.
+            let _ = lane.jobs.push(Message::Shutdown);
+            lane.worker.unpark();
         }
-        for handle in self.handles.drain(..) {
-            // A worker that panicked outside a batch already poisoned the
-            // batch that observed it; nothing useful to re-raise from drop.
-            let _ = handle.join();
+        for lane in &mut state.lanes {
+            if let Some(handle) = lane.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
 
 /// The body of one pool worker: drain the ring, park when idle, exit on
-/// shutdown.
+/// shutdown — or retire after a panicked partition, clearing `alive` so the
+/// next submission respawns the lane (or reroutes it inline).
 fn worker_loop(
     core: Arc<EnforcerCore>,
     shard: usize,
     mut jobs: SpscReceiver<Message>,
     live: Arc<AtomicUsize>,
+    alive: Arc<AtomicBool>,
 ) {
     loop {
         let Some(message) = jobs.pop() else {
@@ -782,27 +1097,36 @@ fn worker_loop(
         match message {
             Message::Shutdown => break,
             Message::Batch(job) => {
-                let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                    // SAFETY: the submitter keeps the batch (packets, index
-                    // slice, verdict slots) alive until we count down below.
-                    unsafe {
-                        let indexes = std::slice::from_raw_parts(job.indexes, job.index_count);
-                        core.run_partition(shard, job.source, indexes, job.slots);
-                    }
-                }));
+                // SAFETY: the submitter keeps the batch (packets, index
+                // slice, verdict slots) alive until we count down below.  A
+                // panic fails the uninspected remainder closed under
+                // `dropped_runtime_fault`; it never escapes the worker.
+                let clean = unsafe {
+                    let indexes = std::slice::from_raw_parts(job.indexes, job.index_count);
+                    core.run_partition_caught(shard, job.source, indexes, job.slots)
+                };
+                core.shards[shard].health.set_batch_done(true);
+                if !clean {
+                    // The thread's state is suspect after an unwound
+                    // partition: retire it.  Ordering relative to the
+                    // countdown below doesn't matter — the submitter only
+                    // reads `alive` under the submission lock with no batch
+                    // in flight.
+                    alive.store(false, Ordering::Relaxed);
+                }
                 // SAFETY: `sync` lives until `pending` reaches zero and the
                 // submitter observes it — which cannot happen before the
                 // fetch_sub below.
                 let sync = unsafe { &*job.sync };
-                if outcome.is_err() {
-                    sync.poisoned.store(true, Ordering::Relaxed);
-                }
                 // Clone the waiter handle *before* counting down: the
                 // countdown releases the submitter, whose frame (and with it
                 // `sync`) may be gone by the time we unpark.
                 let waiter = sync.waiter.clone();
                 if sync.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                     waiter.unpark();
+                }
+                if !clean {
+                    break;
                 }
             }
         }

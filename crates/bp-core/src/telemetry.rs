@@ -35,6 +35,7 @@
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::enforcer::{AtomicEnforcerStats, EnforcerStats};
+use crate::faults::{HealthState, ShardHealth, ShardHealthSnapshot};
 
 /// Generations tracked per shard.  A rollback window deeper than this many
 /// *concurrently active* epochs recycles the oldest slot; totals are never
@@ -42,11 +43,15 @@ use crate::enforcer::{AtomicEnforcerStats, EnforcerStats};
 pub const GENERATION_SLOTS: usize = 4;
 
 /// `EnforcerStats` scalar counters plus the 10 per-`WireError` counters.
-const STATS_WORDS: usize = 13 + 10;
+const STATS_WORDS: usize = 15 + 10;
 /// (epoch, accepted, dropped) per generation slot.
 const RING_WORDS: usize = 3 * GENERATION_SLOTS;
+/// Shard health words: state, faults, respawns, stalls.
+const HEALTH_WORDS: usize = 4;
+/// First health word index.
+const W_HEALTH: usize = STATS_WORDS + RING_WORDS;
 /// Checksum word index (wrapping sum of every preceding word).
-const W_CHECKSUM: usize = STATS_WORDS + RING_WORDS;
+const W_CHECKSUM: usize = W_HEALTH + HEALTH_WORDS;
 /// Total payload words of one snapshot.
 const SNAPSHOT_WORDS: usize = W_CHECKSUM + 1;
 
@@ -71,6 +76,8 @@ pub struct TelemetrySnapshot {
     pub stats: EnforcerStats,
     /// Verdict deltas per recently active tables epoch.
     pub generations: [GenerationCounters; GENERATION_SLOTS],
+    /// The shard's health state machine as of the publication.
+    pub health: ShardHealthSnapshot,
     /// The checksum word as published (see
     /// [`TelemetrySnapshot::checksum_valid`]).
     pub checksum: u64,
@@ -82,7 +89,7 @@ impl TelemetrySnapshot {
     /// prove the guarantee rather than assume it.
     pub fn checksum_valid(&self) -> bool {
         let mut words = [0u64; SNAPSHOT_WORDS];
-        write_payload(&mut words, &self.stats, &self.generations);
+        write_payload(&mut words, &self.stats, &self.generations, &self.health);
         words[W_CHECKSUM] == self.checksum
     }
 
@@ -102,11 +109,13 @@ impl TelemetrySnapshot {
     }
 }
 
-/// Serialize the stats + ring into the word layout (checksum stamped last).
+/// Serialize the stats + ring + health into the word layout (checksum
+/// stamped last).
 fn write_payload(
     words: &mut [u64; SNAPSHOT_WORDS],
     stats: &EnforcerStats,
     ring: &[GenerationCounters; GENERATION_SLOTS],
+    health: &ShardHealthSnapshot,
 ) {
     let scalars = [
         stats.packets_inspected,
@@ -118,28 +127,38 @@ fn write_payload(
         stats.dropped_duplicate_context,
         stats.dropped_context_switch,
         stats.dropped_wire,
+        stats.dropped_runtime_fault,
+        stats.dropped_overload,
         stats.flow_hits,
         stats.flow_misses,
         stats.flow_evictions,
         stats.flow_context_switches,
     ];
-    words[..13].copy_from_slice(&scalars);
-    words[13..STATS_WORDS].copy_from_slice(&stats.dropped_wire_by.to_array());
+    words[..15].copy_from_slice(&scalars);
+    words[15..STATS_WORDS].copy_from_slice(&stats.dropped_wire_by.to_array());
     for (slot, counters) in ring.iter().enumerate() {
         let base = STATS_WORDS + 3 * slot;
         words[base] = counters.epoch;
         words[base + 1] = counters.accepted;
         words[base + 2] = counters.dropped;
     }
+    words[W_HEALTH] = health.state as u8 as u64;
+    words[W_HEALTH + 1] = health.faults;
+    words[W_HEALTH + 2] = health.respawns;
+    words[W_HEALTH + 3] = health.stalls;
     words[W_CHECKSUM] = checksum(words);
 }
 
 /// Deserialize the word layout back into a snapshot.
 fn read_payload(
     words: &[u64; SNAPSHOT_WORDS],
-) -> (EnforcerStats, [GenerationCounters; GENERATION_SLOTS]) {
+) -> (
+    EnforcerStats,
+    [GenerationCounters; GENERATION_SLOTS],
+    ShardHealthSnapshot,
+) {
     let mut wire_by = [0u64; 10];
-    wire_by.copy_from_slice(&words[13..STATS_WORDS]);
+    wire_by.copy_from_slice(&words[15..STATS_WORDS]);
     let stats = EnforcerStats {
         packets_inspected: words[0],
         packets_accepted: words[1],
@@ -150,10 +169,12 @@ fn read_payload(
         dropped_duplicate_context: words[6],
         dropped_context_switch: words[7],
         dropped_wire: words[8],
-        flow_hits: words[9],
-        flow_misses: words[10],
-        flow_evictions: words[11],
-        flow_context_switches: words[12],
+        dropped_runtime_fault: words[9],
+        dropped_overload: words[10],
+        flow_hits: words[11],
+        flow_misses: words[12],
+        flow_evictions: words[13],
+        flow_context_switches: words[14],
         dropped_wire_by: crate::enforcer::WireDropStats::from_array(wire_by),
     };
     let mut ring = [GenerationCounters::default(); GENERATION_SLOTS];
@@ -163,7 +184,13 @@ fn read_payload(
         counters.accepted = words[base + 1];
         counters.dropped = words[base + 2];
     }
-    (stats, ring)
+    let health = ShardHealthSnapshot {
+        state: HealthState::from_word(words[W_HEALTH]),
+        faults: words[W_HEALTH + 1],
+        respawns: words[W_HEALTH + 2],
+        stalls: words[W_HEALTH + 3],
+    };
+    (stats, ring, health)
 }
 
 /// Wrapping sum of every payload word before the checksum slot.
@@ -202,8 +229,9 @@ impl TelemetryCell {
     /// Caller must be the shard's sole telemetry writer (hold the shard's
     /// `drop_log` mutex).  Cost: one relaxed snapshot of the counters plus
     /// ~36 relaxed stores and two stamp stores — no RMW, no lock.
-    pub(crate) fn publish(&self, stats: &AtomicEnforcerStats, epoch: u64) {
+    pub(crate) fn publish(&self, stats: &AtomicEnforcerStats, epoch: u64, health: &ShardHealth) {
         let snapshot = stats.snapshot();
+        let health = health.snapshot();
 
         // The previous payload is writer-private between publications (the
         // drop_log lock serializes writers), so these relaxed loads see
@@ -212,7 +240,7 @@ impl TelemetryCell {
         for (word, cell) in words.iter_mut().zip(self.words.iter()) {
             *word = cell.load(Ordering::Relaxed);
         }
-        let (previous, mut ring) = read_payload(&words);
+        let (previous, mut ring, _) = read_payload(&words);
 
         // A counter reset (tests, operator action) makes the snapshot
         // regress; restart attribution from the new totals rather than wrap.
@@ -234,7 +262,7 @@ impl TelemetryCell {
             slot.dropped += delta_dropped;
         }
 
-        write_payload(&mut words, &snapshot, &ring);
+        write_payload(&mut words, &snapshot, &ring, &health);
 
         let seq = self.seq.load(Ordering::Relaxed);
         self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
@@ -280,11 +308,12 @@ impl TelemetryCell {
         if before != after {
             return None;
         }
-        let (stats, generations) = read_payload(&words);
+        let (stats, generations, health) = read_payload(&words);
         Some(TelemetrySnapshot {
             publications: before / 2,
             stats,
             generations,
+            health,
             checksum: words[W_CHECKSUM],
         })
     }
@@ -354,7 +383,7 @@ mod tests {
     #[test]
     fn publish_roundtrips_stats_and_attributes_the_delta() {
         let cell = TelemetryCell::default();
-        cell.publish(&counters_with(7, 3), 42);
+        cell.publish(&counters_with(7, 3), 42, &ShardHealth::default());
         let snapshot = cell.read();
         assert_eq!(snapshot.publications, 1);
         assert_eq!(snapshot.stats.packets_accepted, 7);
@@ -368,8 +397,8 @@ mod tests {
     #[test]
     fn deltas_split_across_epochs() {
         let cell = TelemetryCell::default();
-        cell.publish(&counters_with(5, 1), 10);
-        cell.publish(&counters_with(9, 4), 11);
+        cell.publish(&counters_with(5, 1), 10, &ShardHealth::default());
+        cell.publish(&counters_with(9, 4), 11, &ShardHealth::default());
         let snapshot = cell.read();
         assert_eq!(snapshot.publications, 2);
         let by_epoch: Vec<_> = snapshot
@@ -387,7 +416,11 @@ mod tests {
     fn ring_evicts_the_oldest_epoch_at_capacity() {
         let cell = TelemetryCell::default();
         for (index, epoch) in (100..100 + GENERATION_SLOTS as u64 + 1).enumerate() {
-            cell.publish(&counters_with((index as u64 + 1) * 2, 0), epoch);
+            cell.publish(
+                &counters_with((index as u64 + 1) * 2, 0),
+                epoch,
+                &ShardHealth::default(),
+            );
         }
         let snapshot = cell.read();
         let epochs: Vec<u64> = snapshot
@@ -407,14 +440,14 @@ mod tests {
     #[test]
     fn counter_reset_restarts_attribution_without_wrapping() {
         let cell = TelemetryCell::default();
-        cell.publish(&counters_with(50, 5), 7);
+        cell.publish(&counters_with(50, 5), 7, &ShardHealth::default());
         let fresh = AtomicEnforcerStats::new();
         fresh.store(EnforcerStats {
             packets_inspected: 2,
             packets_accepted: 2,
             ..EnforcerStats::default()
         });
-        cell.publish(&fresh, 8);
+        cell.publish(&fresh, 8, &ShardHealth::default());
         let snapshot = cell.read();
         assert_eq!(snapshot.stats.packets_accepted, 2);
         let total_ring: u64 = snapshot.generations.iter().map(|g| g.accepted).sum();
@@ -425,7 +458,7 @@ mod tests {
     #[test]
     fn reset_zeroes_the_published_payload() {
         let cell = TelemetryCell::default();
-        cell.publish(&counters_with(9, 9), 3);
+        cell.publish(&counters_with(9, 9), 3, &ShardHealth::default());
         cell.reset();
         let snapshot = cell.read();
         assert_eq!(snapshot.stats, EnforcerStats::default());
@@ -449,7 +482,7 @@ mod tests {
     #[test]
     fn checksum_detects_a_hand_torn_payload() {
         let cell = TelemetryCell::default();
-        cell.publish(&counters_with(4, 2), 1);
+        cell.publish(&counters_with(4, 2), 1, &ShardHealth::default());
         let mut snapshot = cell.read();
         assert!(snapshot.checksum_valid());
         snapshot.stats.packets_accepted += 1;

@@ -1,0 +1,28 @@
+//! Known-bad fixture for the fail-closed rule's fault-path check: panic
+//! recovery that fails *open*.  A panicked partition's uninspected packets
+//! must drop under the runtime-fault reason, never pass as if they had been
+//! inspected.  Expected findings: 2 (one `is_err()` recovery block, one
+//! block-bodied `Err` arm on the unwind outcome).
+
+/// BAD: the recovery loop backfills the panicked partition's remaining
+/// slots with accepts — every uninspected packet sails through.
+fn recover_fail_open(len: usize, verdicts: &mut Vec<Verdict>) {
+    let outcome = std::panic::catch_unwind(run_partition);
+    if outcome.is_err() {
+        while verdicts.len() < len {
+            verdicts.push(Verdict::Accept);
+        }
+    }
+}
+
+/// BAD: the `Err` arm of the unwind outcome logs the payload and then
+/// fills the partition's slots with accepts.
+fn arm_fail_open(slots: &mut [Verdict]) {
+    match std::panic::catch_unwind(run_partition) {
+        Ok(()) => {}
+        Err(payload) => {
+            note_panic(payload);
+            fill(slots, Verdict::Accept);
+        }
+    }
+}

@@ -15,7 +15,12 @@
 //!   `unwrap_or_else(|…| Verdict::Accept)`, `.ok().unwrap_or(…)` variants),
 //! * a bulk accept fill used as a placeholder
 //!   (`resize(n, Verdict::Accept)`, `vec![Verdict::Accept; n]`) — slots a
-//!   worker fails to overwrite must read as drops, never accepts.
+//!   worker fails to overwrite must read as drops, never accepts,
+//! * a **fault-path accept** after `catch_unwind`: within a short window
+//!   after a `catch_unwind` call, an `is_err()` recovery block or an
+//!   `Err(…)` arm that produces `Verdict::Accept` — a panicked partition's
+//!   uninspected packets must fail closed (`dropped_runtime_fault`), never
+//!   pass as if they had been inspected.
 //!
 //! A site whose accept-default is the *contract* (e.g. the sanitizer,
 //! which mutates packets and never filters) is annotated in place:
@@ -24,14 +29,39 @@
 use crate::lexer::SourceModel;
 use crate::{Finding, RuleId};
 
+/// Code lines after a `catch_unwind` call during which error-path accepts
+/// are treated as fault-path accepts.
+const UNWIND_WINDOW: usize = 20;
+
+/// Code lines after an `is_err()` check / `Err` arm (inside the unwind
+/// window) during which a `Verdict::Accept` is flagged.
+const ACCEPT_WINDOW: usize = 5;
+
 /// Scan one file.
 pub fn scan(rel_path: &str, model: &SourceModel) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut unwind_window = 0usize;
+    let mut accept_window = 0usize;
     for (index, line) in model.lines.iter().enumerate() {
         if line.is_code_blank() {
             continue;
         }
         let code = &line.code;
+        unwind_window = unwind_window.saturating_sub(1);
+        accept_window = accept_window.saturating_sub(1);
+        if code.contains("catch_unwind") {
+            unwind_window = UNWIND_WINDOW;
+        }
+        // Arm the fault-path check on the unwind outcome's error branch.
+        // Arms that accept on the arm line itself are already flagged by
+        // the generic `Err(…)` check below; this window catches the
+        // block-bodied shapes that check cannot see.
+        if unwind_window > 0
+            && (code.contains("is_err()")
+                || (err_arm(code).is_some() && !code.contains("Verdict::Accept")))
+        {
+            accept_window = ACCEPT_WINDOW;
+        }
         let mut flag = |message: String| {
             findings.push(Finding {
                 file: rel_path.to_string(),
@@ -79,6 +109,14 @@ pub fn scan(rel_path: &str, model: &SourceModel) -> Vec<Finding> {
             flag(
                 "bulk `Verdict::Accept` fill — placeholder slots must read as \
                  drops if a worker never overwrites them"
+                    .to_string(),
+            );
+        }
+        if accept_window > 0 && code.contains("Verdict::Accept") {
+            flag(
+                "fault-path `catch_unwind` recovery produces `Verdict::Accept` \
+                 — a panicked partition's uninspected packets must fail closed \
+                 (`dropped_runtime_fault`), never pass as inspected"
                     .to_string(),
             );
         }
@@ -238,5 +276,64 @@ mod tests {
     #[test]
     fn underscore_prefixed_bindings_are_not_wildcards() {
         assert!(run("let _verdict = Verdict::Accept; map(|_x| 1);\n").is_empty());
+    }
+
+    #[test]
+    fn fault_path_accept_after_is_err_is_flagged() {
+        let findings = run("let outcome = std::panic::catch_unwind(work);\n\
+             if outcome.is_err() {\n\
+                 while slots.len() < len {\n\
+                     slots.push(Verdict::Accept);\n\
+                 }\n\
+             }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn fault_path_accept_in_block_bodied_err_arm_is_flagged() {
+        let findings = run("match std::panic::catch_unwind(work) {\n\
+                 Ok(()) => {}\n\
+                 Err(payload) => {\n\
+                     log(payload);\n\
+                     fill(slots, Verdict::Accept);\n\
+                 }\n\
+             }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn fault_path_drop_recovery_is_fine() {
+        assert!(run("let outcome = std::panic::catch_unwind(work);\n\
+             if outcome.is_err() {\n\
+                 while slots.len() < len {\n\
+                     slots.push(Verdict::Drop { reason });\n\
+                 }\n\
+             }\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn is_err_accept_without_catch_unwind_is_fine() {
+        // An `is_err()` gate far from any unwind boundary is ordinary
+        // control flow, not a fault path.
+        assert!(run("if probe.is_err() {\n\
+                 expect(Verdict::Accept);\n\
+             }\n",)
+        .is_empty());
+    }
+
+    #[test]
+    fn accept_past_the_window_is_not_flagged() {
+        let filler = "touch(slots);\n".repeat(ACCEPT_WINDOW);
+        let text = format!(
+            "let outcome = std::panic::catch_unwind(work);\n\
+             if outcome.is_err() {{\n\
+             {filler}\
+                 slots.push(Verdict::Accept);\n\
+             }}\n",
+        );
+        assert!(run(&text).is_empty());
     }
 }

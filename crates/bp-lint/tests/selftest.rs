@@ -122,6 +122,21 @@ fn fail_closed_wire_fixtures() {
     assert!(bad.iter().all(|f| f.message.contains("`Err(…)` match arm")));
 }
 
+/// The PR 10 fault-path shapes: panic recovery after `catch_unwind` that
+/// backfills a panicked partition with accepts is caught; the fail-closed
+/// twin (runtime-fault drops, one annotated probe accept) stays clean.
+#[test]
+fn fault_path_fixtures() {
+    let good = lint_fixture("fault_path_good.rs", "crates/bp-core/src/runtime.rs");
+    assert!(good.is_empty(), "{good:#?}");
+    let bad = lint_fixture("fault_path_bad.rs", "crates/bp-core/src/runtime.rs");
+    // One `is_err()` recovery block + one block-bodied `Err` arm.
+    assert_eq!(count(&bad, RuleId::FailClosed), 2, "{bad:#?}");
+    assert!(bad
+        .iter()
+        .all(|f| f.message.contains("fault-path `catch_unwind`")));
+}
+
 /// Fixture rules are scoped: the same bad lock/atomics text outside
 /// `crates/bp-core` is not subject to those rules.
 #[test]

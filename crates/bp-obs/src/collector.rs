@@ -19,7 +19,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bp_core::{EnforcerStats, ShardedEnforcer, TelemetrySnapshot, WireDropStats};
+use bp_core::{
+    EnforcerStats, ShardHealthSnapshot, ShardedEnforcer, TelemetrySnapshot, WireDropStats,
+};
 
 // ---------------------------------------------------------------------------
 // Sources
@@ -133,6 +135,9 @@ pub struct ShardView {
     pub stats: EnforcerStats,
     /// How many times the shard has published its snapshot.
     pub publications: u64,
+    /// Self-healing state as of the last poll: health state machine plus
+    /// fault / respawn / stall counters.
+    pub health: ShardHealthSnapshot,
 }
 
 /// One active table generation's verdict counters, merged across shards.
@@ -317,6 +322,7 @@ impl Collector {
                 index,
                 stats: snapshot.stats,
                 publications: snapshot.publications,
+                health: snapshot.health,
             });
         }
 
@@ -421,6 +427,12 @@ fn stats_delta(current: &EnforcerStats, previous: Option<&EnforcerStats>) -> Enf
             .dropped_context_switch
             .saturating_sub(previous.dropped_context_switch),
         dropped_wire: current.dropped_wire.saturating_sub(previous.dropped_wire),
+        dropped_runtime_fault: current
+            .dropped_runtime_fault
+            .saturating_sub(previous.dropped_runtime_fault),
+        dropped_overload: current
+            .dropped_overload
+            .saturating_sub(previous.dropped_overload),
         flow_hits: current.flow_hits.saturating_sub(previous.flow_hits),
         flow_misses: current.flow_misses.saturating_sub(previous.flow_misses),
         flow_evictions: current

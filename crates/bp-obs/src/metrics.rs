@@ -44,6 +44,8 @@ pub fn render_metrics(view: &FleetView) -> String {
         ("duplicate-context", view.totals.dropped_duplicate_context),
         ("context-switch", view.totals.dropped_context_switch),
         ("wire", view.totals.dropped_wire),
+        ("runtime-fault", view.totals.dropped_runtime_fault),
+        ("overload", view.totals.dropped_overload),
     ] {
         line(format!("bp_drops_total{{reason=\"{reason}\"}} {value}"));
     }
@@ -86,6 +88,25 @@ pub fn render_metrics(view: &FleetView) -> String {
             "bp_shard_publications_total{{shard=\"{}\"}} {}",
             shard.index, shard.publications
         ));
+    }
+
+    for shard in &view.shards {
+        line(format!(
+            "bp_shard_health_state{{shard=\"{}\",state=\"{}\"}} {}",
+            shard.index,
+            shard.health.state.label(),
+            shard.health.state as u8
+        ));
+        for (event, value) in [
+            ("fault", shard.health.faults),
+            ("respawn", shard.health.respawns),
+            ("stall", shard.health.stalls),
+        ] {
+            line(format!(
+                "bp_shard_health_events_total{{shard=\"{}\",event=\"{event}\"}} {value}",
+                shard.index
+            ));
+        }
     }
 
     for rate in &view.rates {
@@ -157,6 +178,10 @@ mod tests {
             "bp_flow_events_total{event=\"hit\"} 0",
             "bp_generation_packets_total{generation=\"g0\",verdict=\"accepted\"} 9",
             "bp_shard_packets_inspected_total{shard=\"0\"} 12",
+            "bp_drops_total{reason=\"runtime-fault\"} 0",
+            "bp_drops_total{reason=\"overload\"} 0",
+            "bp_shard_health_state{shard=\"0\",state=\"healthy\"} 0",
+            "bp_shard_health_events_total{shard=\"0\",event=\"respawn\"} 0",
             "bp_rate_per_sec{signal=\"accepted\",kind=\"instant\"} 9.000",
             "bp_abnormality_flagged{signal=\"wire-malformed\"} 0",
         ] {

@@ -9,6 +9,8 @@
 //! clear-screen escape, while `--headless` mode prints them verbatim (CI
 //! smoke-tests that path).
 
+use bp_core::HealthState;
+
 use crate::collector::{Abnormality, FleetView, Signal};
 
 /// How many recent spikes [`render_dashboard`] lists in the abnormality log.
@@ -54,6 +56,10 @@ pub fn render_dashboard(view: &FleetView, history: &[Abnormality]) -> String {
         totals.dropped_wire,
     ));
     out.push_str(&format!(
+        "│ faults: runtime-fault {} · overload {}\n",
+        totals.dropped_runtime_fault, totals.dropped_overload,
+    ));
+    out.push_str(&format!(
         "│ flows: hits {} · misses {} · evictions {} · context-switches {}\n",
         totals.flow_hits, totals.flow_misses, totals.flow_evictions, totals.flow_context_switches,
     ));
@@ -91,6 +97,29 @@ pub fn render_dashboard(view: &FleetView, history: &[Abnormality]) -> String {
                 shard.index,
                 shard.stats.packets_inspected,
                 "▌".repeat(cells.min(BAR_WIDTH))
+            ));
+        }
+    }
+
+    // Health lane: only drawn once the fleet has a story to tell — a calm
+    // all-healthy fleet keeps the frame compact.
+    let eventful = view.shards.iter().any(|s| {
+        s.health.state != HealthState::Healthy
+            || s.health.faults > 0
+            || s.health.respawns > 0
+            || s.health.stalls > 0
+    });
+    if eventful {
+        out.push_str("├─ health\n");
+        for shard in &view.shards {
+            let health = &shard.health;
+            out.push_str(&format!(
+                "│ shard {:<3} {:<11}  faults {:>4}  respawns {:>3}  stalls {:>3}\n",
+                shard.index,
+                health.state.label(),
+                health.faults,
+                health.respawns,
+                health.stalls
             ));
         }
     }
@@ -209,5 +238,30 @@ mod tests {
         let view = collector.record(&[TelemetrySnapshot::default()]).clone();
         let frame = render_dashboard(&view, &[]);
         assert!(frame.contains("all signals within baseline"), "{frame}");
+        assert!(frame.contains("faults: runtime-fault 0"), "{frame}");
+        // An all-healthy fleet with no fault history keeps the frame
+        // compact: no health lane.
+        assert!(!frame.contains("├─ health"), "{frame}");
+    }
+
+    #[test]
+    fn health_lane_appears_once_a_shard_degrades() {
+        use bp_core::{HealthState, ShardHealthSnapshot};
+
+        let mut collector = Collector::new(CollectorConfig::default());
+        let snapshot = TelemetrySnapshot {
+            health: ShardHealthSnapshot {
+                state: HealthState::Degraded,
+                faults: 2,
+                respawns: 1,
+                stalls: 0,
+            },
+            ..TelemetrySnapshot::default()
+        };
+        let view = collector.record(&[snapshot]).clone();
+        let frame = render_dashboard(&view, &[]);
+        assert!(frame.contains("├─ health"), "{frame}");
+        assert!(frame.contains("degraded"), "{frame}");
+        assert!(frame.contains("faults    2"), "{frame}");
     }
 }

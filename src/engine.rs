@@ -40,6 +40,7 @@ use bp_analysis::scenario::AdversaryCounters;
 use bp_core::context::{ContextManager, ContextManagerStats};
 use bp_core::control::{ControlPlane, EnforcementEndpoint, GenerationId, DEFAULT_RETAIN};
 use bp_core::enforcer::{EnforcerConfig, EnforcerStats, ShardedEnforcer};
+use bp_core::faults::{FaultInjector, FaultPlan, ShardHealthSnapshot};
 use bp_core::flow::FlowTableConfig;
 use bp_core::offline::SignatureDatabase;
 use bp_core::policy::{Policy, PolicySet};
@@ -151,6 +152,12 @@ impl Engine {
         *self.adversary_counters.lock() = counters;
     }
 
+    /// Per-shard self-healing state: the health state machine plus
+    /// fault / respawn / stall counters, in shard order.
+    pub fn shard_health(&self) -> Vec<ShardHealthSnapshot> {
+        self.data_plane.shard_health()
+    }
+
     /// Observe the engine: generation, merged stats, per-shard seqlock
     /// telemetry snapshots, attached context-manager stats and deposited
     /// adversary counters — the one-stop feed for dashboards and exporters,
@@ -179,6 +186,8 @@ pub struct EngineBuilder {
     flow: FlowTableConfig,
     runtime: BatchRuntime,
     retain: usize,
+    faults: Option<FaultPlan>,
+    overload_watermark: usize,
 }
 
 impl Default for EngineBuilder {
@@ -191,6 +200,8 @@ impl Default for EngineBuilder {
             flow: FlowTableConfig::default(),
             runtime: BatchRuntime::default(),
             retain: DEFAULT_RETAIN,
+            faults: None,
+            overload_watermark: 0,
         }
     }
 }
@@ -260,6 +271,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Install a deterministic fault plan for chaos runs: one
+    /// [`FaultInjector`] built from `plan` is shared by the data plane
+    /// (worker panics, stalls, wire corruption) and the control plane
+    /// (commit failures), so the same seed replays the same faults.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overload admission watermark for the data plane: batches longer than
+    /// `watermark` packets are truncated at ingest and the excess is shed
+    /// fail-closed under `dropped_overload`.  `0` (the default) disables
+    /// shedding.
+    pub fn overload_watermark(mut self, watermark: usize) -> Self {
+        self.overload_watermark = watermark;
+        self
+    }
+
     /// Compile the initial generation (one table build) and wire the data
     /// plane to the control plane.
     pub fn build(self) -> Engine {
@@ -272,6 +301,14 @@ impl EngineBuilder {
             self.runtime,
         ));
         control.register(Arc::clone(&data_plane) as Arc<dyn EnforcementEndpoint>);
+        if let Some(plan) = self.faults {
+            let injector = Arc::new(FaultInjector::new(plan, self.shards));
+            data_plane.install_faults(Arc::clone(&injector));
+            control.install_faults(injector);
+        }
+        if self.overload_watermark > 0 {
+            data_plane.set_overload_watermark(self.overload_watermark);
+        }
         Engine {
             control,
             data_plane,

@@ -44,6 +44,7 @@
 
 pub mod engine;
 
+pub use bp_core::faults::{FaultPlan, HealthState, ShardHealthSnapshot};
 pub use bp_core::runtime::BatchRuntime;
 pub use engine::{Engine, EngineBuilder, Observation};
 
